@@ -1,0 +1,42 @@
+// Shared setup for the benchmark harness: one cached study run and
+// embedding model per process, plus the custom main that runs the
+// google-benchmark timings and then prints the reproduced table/figure so
+// each bench binary regenerates its piece of the paper.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/replication.h"
+
+namespace decompeval::bench {
+
+inline const study::StudyData& cached_study() {
+  static const study::StudyData kData = study::run_study(study::StudyConfig{});
+  return kData;
+}
+
+inline const std::vector<snippets::Snippet>& paper_pool() {
+  return snippets::study_snippets();
+}
+
+inline const embed::EmbeddingModel& cached_embeddings() {
+  static const embed::EmbeddingModel kModel =
+      embed::EmbeddingModel::train_default(8000, 42);
+  return kModel;
+}
+
+/// Runs registered benchmarks, then the reproduction printer.
+template <typename Printer>
+int run_bench_main(int argc, char** argv, Printer&& print_reproduction) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::cout << '\n';
+  print_reproduction();
+  return 0;
+}
+
+}  // namespace decompeval::bench

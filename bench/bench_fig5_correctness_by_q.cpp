@@ -1,0 +1,39 @@
+// Figure 5: per-question correctness by treatment — benchmark the tally
+// plus the Fisher exact tests and regenerate the eight panels.
+#include "bench/bench_common.h"
+#include "analysis/figures.h"
+#include "report/render.h"
+#include "stats/tests.h"
+
+namespace {
+
+using namespace decompeval;
+
+void BM_CorrectnessByQuestion(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_correctness_by_question(
+        bench::cached_study(), bench::paper_pool()));
+  }
+}
+BENCHMARK(BM_CorrectnessByQuestion);
+
+void BM_FisherExact(benchmark::State& state) {
+  const unsigned n = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fisher_exact(n, n / 2, n / 3, n));
+  }
+}
+BENCHMARK(BM_FisherExact)->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return decompeval::bench::run_bench_main(argc, argv, [] {
+    const auto questions = decompeval::analysis::analyze_correctness_by_question(
+        decompeval::bench::cached_study(), decompeval::bench::paper_pool());
+    std::cout << decompeval::report::render_figure5(questions);
+    std::cout << "\nPaper reference: DIRTY ahead on BAPL and TC, behind on "
+                 "postorder Q2 (Fisher p = 0.0106) where its swapped "
+                 "annotations mislead; other panels near parity.\n";
+  });
+}

@@ -1,0 +1,46 @@
+// Figure 6: BAPL completion times with Welch's t-test.
+#include "bench/bench_common.h"
+#include "analysis/figures.h"
+#include "report/render.h"
+#include "stats/tests.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace decompeval;
+
+void BM_SnippetTimingAnalysis(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analyze_snippet_timing(
+        bench::cached_study(), bench::paper_pool(), "BAPL"));
+  }
+}
+BENCHMARK(BM_SnippetTimingAnalysis);
+
+void BM_WelchTTest(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  util::Rng rng(2);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.lognormal(5.5, 0.5);
+    y[i] = rng.lognormal(5.45, 0.6);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::welch_t_test(x, y));
+  }
+}
+BENCHMARK(BM_WelchTTest)->Arg(32)->Arg(256)->Arg(2048);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return decompeval::bench::run_bench_main(argc, argv, [] {
+    const auto timing = decompeval::analysis::analyze_snippet_timing(
+        decompeval::bench::cached_study(), decompeval::bench::paper_pool(),
+        "BAPL");
+    std::cout << decompeval::report::render_figure6(timing);
+    std::cout << "\nPaper reference: Hex-Rays mean 256.3 s (sd 145.1) vs "
+                 "DIRTY 242.3 s (sd 202.3), Welch p = 0.7204 — no "
+                 "significant difference despite better correctness.\n";
+  });
+}

@@ -1,0 +1,47 @@
+// Figure 8: diverging Likert opinions of names/types by treatment, with
+// the Wilcoxon rank-sum tests.
+#include "bench/bench_common.h"
+#include "analysis/rq3_opinions.h"
+#include "report/render.h"
+#include "stats/tests.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace decompeval;
+
+void BM_OpinionAnalysis(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analysis::analyze_opinions(bench::cached_study(), bench::paper_pool()));
+  }
+}
+BENCHMARK(BM_OpinionAnalysis);
+
+void BM_WilcoxonRankSum(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  util::Rng rng(4);
+  std::vector<double> x(n), y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = static_cast<double>(rng.uniform_int(1, 5));
+    y[i] = static_cast<double>(rng.uniform_int(1, 5));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::wilcoxon_rank_sum(x, y));
+  }
+}
+BENCHMARK(BM_WilcoxonRankSum)->Arg(64)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return decompeval::bench::run_bench_main(argc, argv, [] {
+    const auto opinions = decompeval::analysis::analyze_opinions(
+        decompeval::bench::cached_study(), decompeval::bench::paper_pool());
+    std::cout << decompeval::report::render_figure8(opinions);
+    std::cout << "\nPaper reference: names strongly prefer DIRTY (Wilcoxon "
+                 "p = 5.07e-14, location shift 1); types show no overall "
+                 "difference (p = 0.2734) with twos_complement as the "
+                 "negative outlier.\n";
+  });
+}

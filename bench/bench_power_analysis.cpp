@@ -1,0 +1,67 @@
+// Extension bench: Monte-Carlo power of the Table I design (§VI threats —
+// "additional snippets would require additional participants to maintain
+// statistical power"). Quantifies the detection probability of a real
+// DIRTY effect under the paper's 40-participant / 4-snippet design and
+// scaled-up designs.
+#include "bench/bench_common.h"
+#include "analysis/power.h"
+#include "decompiler/generator.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace decompeval;
+
+void BM_OnePowerReplicate(benchmark::State& state) {
+  analysis::PowerConfig config;
+  config.n_replicates = 1;
+  config.true_effect_logit = 0.5;
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    config.seed = 1000 + (seed++);
+    benchmark::DoNotOptimize(analysis::estimate_power(config));
+  }
+}
+BENCHMARK(BM_OnePowerReplicate)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return decompeval::bench::run_bench_main(argc, argv, [] {
+    using decompeval::util::format_fixed;
+    std::cout << "Monte-Carlo power of the Table I GLMM (alpha = 0.05, "
+                 "30 replicates each):\n\n";
+    std::cout << "A. Effect-size sweep, paper design (41 participants, 4 "
+                 "snippets):\n";
+    std::cout << "   effect (logit) | power | mean estimate +/- SE\n";
+    for (const double effect : {0.0, 0.3, 0.6, 1.0}) {
+      decompeval::analysis::PowerConfig config;
+      config.true_effect_logit = effect;
+      config.n_replicates = 30;
+      const auto result = decompeval::analysis::estimate_power(config);
+      std::cout << "   " << format_fixed(effect, 1) << "            | "
+                << format_fixed(result.power, 2) << "  | "
+                << format_fixed(result.mean_estimate, 2) << " +/- "
+                << format_fixed(result.mean_std_error, 2) << '\n';
+    }
+    std::cout << "\nB. Snippet-pool sweep at effect 0.5 (synthetic pools):\n";
+    std::cout << "   snippets | power | mean SE\n";
+    for (const std::size_t n : {4u, 8u, 16u}) {
+      decompeval::decompiler::GeneratorConfig gen;
+      gen.seed = 555;
+      decompeval::analysis::PowerConfig config;
+      config.true_effect_logit = 0.5;
+      config.n_replicates = 30;
+      config.pool = decompeval::decompiler::generate_snippets(n, gen);
+      const auto result = decompeval::analysis::estimate_power(config);
+      std::cout << "   " << n << (n < 10 ? "        | " : "       | ")
+                << format_fixed(result.power, 2) << "  | "
+                << format_fixed(result.mean_std_error, 2) << '\n';
+    }
+    std::cout << "\nExpected shape: near-zero false-positive rate at effect "
+                 "0, rising power with effect size and with pool size — the "
+                 "4-snippet design is underpowered for modest effects, "
+                 "supporting the paper's cautious interpretation of its "
+                 "nulls.\n";
+  });
+}

@@ -1,0 +1,129 @@
+// Extension bench: the paper's thesis as an executable experiment.
+//
+// Sweeps the DIRTY-like model's recovery quality from poor to near-perfect
+// and measures (a) the intrinsic metrics the field optimizes (exact-match
+// accuracy, Jaccard) and (b) the extrinsic outcome the study measures (the
+// DIRTY-vs-Hex-Rays correctness gap) on synthetic studies. With misleading
+// annotations in the mix, intrinsic accuracy rises smoothly while the
+// comprehension gain does not track it — the decorrelation of RQ5, now as
+// a causal sweep rather than a correlation.
+#include "bench/bench_common.h"
+#include "decompiler/generator.h"
+#include "text/similarity.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace decompeval;
+
+struct SweepPoint {
+  double exact_rate;
+  double misleading_rate;
+};
+
+struct SweepOutcome {
+  double exact_match = 0.0;      // intrinsic: names recovered verbatim
+  double mean_jaccard = 0.0;     // intrinsic: subtoken overlap
+  double correctness_gap = 0.0;  // extrinsic: P(correct|DIRTY) − P(|HexRays)
+};
+
+SweepOutcome run_point(const SweepPoint& point, std::uint64_t seed) {
+  decompiler::GeneratorConfig generator;
+  generator.seed = seed;
+  generator.recovery_rates.exact = point.exact_rate;
+  generator.recovery_rates.misleading = point.misleading_rate;
+  const double rest =
+      1.0 - point.exact_rate - point.misleading_rate - 0.05;
+  generator.recovery_rates.synonym = std::max(0.0, rest * 0.6);
+  generator.recovery_rates.related = std::max(0.0, rest * 0.4);
+
+  const auto pool = decompiler::generate_snippets(12, generator);
+
+  SweepOutcome outcome;
+  std::size_t pairs = 0;
+  for (const auto& snippet : pool) {
+    for (const auto& pair : snippet.variable_alignment) {
+      outcome.exact_match += pair.original == pair.recovered ? 1.0 : 0.0;
+      outcome.mean_jaccard += text::name_jaccard(pair.original, pair.recovered);
+      ++pairs;
+    }
+  }
+  outcome.exact_match /= static_cast<double>(pairs);
+  outcome.mean_jaccard /= static_cast<double>(pairs);
+
+  study::StudyConfig config;
+  config.seed = seed ^ 0xFACEULL;
+  const auto data = study::run_study(config, pool);
+  std::size_t dirty_correct = 0, dirty_total = 0, hex_correct = 0,
+              hex_total = 0;
+  for (const auto& r : data.responses) {
+    if (!r.answered || !r.gradeable) continue;
+    if (r.treatment == study::Treatment::kDirty) {
+      ++dirty_total;
+      if (r.correct) ++dirty_correct;
+    } else {
+      ++hex_total;
+      if (r.correct) ++hex_correct;
+    }
+  }
+  outcome.correctness_gap =
+      static_cast<double>(dirty_correct) / std::max<std::size_t>(dirty_total, 1) -
+      static_cast<double>(hex_correct) / std::max<std::size_t>(hex_total, 1);
+  return outcome;
+}
+
+void BM_SweepPoint(benchmark::State& state) {
+  const SweepPoint point{0.5, 0.15};
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_point(point, 42 + (seed++)));
+  }
+}
+BENCHMARK(BM_SweepPoint)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return decompeval::bench::run_bench_main(argc, argv, [] {
+    using decompeval::util::format_fixed;
+    std::cout << "Recovery-quality sweep (12 synthetic snippets per point, "
+                 "3 replicated studies each):\n\n";
+    std::cout << "A. Quality sweep with NO misleading annotations:\n";
+    std::cout << "   exact | exact-match | Jaccard | correctness gap\n";
+    for (const double exact : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      SweepOutcome mean;
+      for (std::uint64_t rep = 0; rep < 3; ++rep) {
+        const auto o = run_point({exact, 0.0}, 100 + rep);
+        mean.exact_match += o.exact_match / 3;
+        mean.mean_jaccard += o.mean_jaccard / 3;
+        mean.correctness_gap += o.correctness_gap / 3;
+      }
+      std::cout << "   " << format_fixed(exact, 1) << "   | "
+                << format_fixed(mean.exact_match, 2) << "        | "
+                << format_fixed(mean.mean_jaccard, 2) << "    | "
+                << (mean.correctness_gap >= 0 ? "+" : "")
+                << format_fixed(mean.correctness_gap, 3) << '\n';
+    }
+    std::cout << "\nB. Same sweep with 25% misleading annotations:\n";
+    std::cout << "   exact | exact-match | Jaccard | correctness gap\n";
+    for (const double exact : {0.1, 0.3, 0.5, 0.7}) {
+      SweepOutcome mean;
+      for (std::uint64_t rep = 0; rep < 3; ++rep) {
+        const auto o = run_point({exact, 0.25}, 200 + rep);
+        mean.exact_match += o.exact_match / 3;
+        mean.mean_jaccard += o.mean_jaccard / 3;
+        mean.correctness_gap += o.correctness_gap / 3;
+      }
+      std::cout << "   " << format_fixed(exact, 1) << "   | "
+                << format_fixed(mean.exact_match, 2) << "        | "
+                << format_fixed(mean.mean_jaccard, 2) << "    | "
+                << (mean.correctness_gap >= 0 ? "+" : "")
+                << format_fixed(mean.correctness_gap, 3) << '\n';
+    }
+    std::cout << "\nExpected shape: intrinsic metrics rise with the exact "
+                 "rate in both sweeps; the extrinsic correctness gap rises "
+                 "only in sweep A and is flattened or negated in sweep B — "
+                 "intrinsic accuracy is not a comprehension proxy when the "
+                 "error mode is misleading rather than missing.\n";
+  });
+}

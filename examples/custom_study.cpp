@@ -1,0 +1,98 @@
+// Custom study designer: runs the full pipeline on a *synthetic* snippet
+// pool with a configurable DIRTY-like recovery quality, prints the key
+// analyses, and exports the raw per-response and per-opinion data as CSV —
+// the format the paper's replication package ships.
+//
+// Usage:
+//   ./build/examples/custom_study [n_snippets] [exact_rate] [misleading_rate] [seed]
+// e.g. a study where the recovery model is nearly perfect:
+//   ./build/examples/custom_study 12 0.8 0.0 7
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "analysis/figures.h"
+#include "analysis/rq1_correctness.h"
+#include "analysis/rq2_timing.h"
+#include "decompiler/generator.h"
+#include "report/render.h"
+#include "study/engine.h"
+#include "util/csv.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace decompeval;
+
+  const std::size_t n_snippets =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
+  const double exact_rate = argc > 2 ? std::atof(argv[2]) : 0.20;
+  const double misleading_rate = argc > 3 ? std::atof(argv[3]) : 0.15;
+  const std::uint64_t seed =
+      argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4])) : 77;
+
+  decompiler::GeneratorConfig generator;
+  generator.seed = seed;
+  generator.recovery_rates.exact = exact_rate;
+  generator.recovery_rates.misleading = misleading_rate;
+  // Keep the remaining mass on synonym/related in the default 35:20 ratio.
+  const double remaining = 1.0 - exact_rate - misleading_rate - 0.10;
+  generator.recovery_rates.synonym = std::max(0.0, remaining * 0.64);
+  generator.recovery_rates.related = std::max(0.0, remaining * 0.36);
+  generator.recovery_rates.validate();
+
+  std::cout << "Generating " << n_snippets
+            << " synthetic snippets (exact=" << exact_rate
+            << ", misleading=" << misleading_rate << ", seed=" << seed
+            << ")\n\n";
+  const auto pool = decompiler::generate_snippets(n_snippets, generator);
+
+  study::StudyConfig config;
+  config.seed = seed;
+  const study::StudyData data = study::run_study(config, pool);
+
+  std::cout << "Recruited " << data.cohort.size() << ", excluded "
+            << data.excluded_participants.size() << " by the quality check, "
+            << data.responses.size() << " responses collected.\n\n";
+
+  const auto table1 = analysis::analyze_correctness(data);
+  std::cout << report::render_table1(table1) << '\n';
+  const auto table2 = analysis::analyze_timing(data);
+  std::cout << report::render_table2(table2) << '\n';
+  const auto figure5 = analysis::analyze_correctness_by_question(data, pool);
+  std::cout << report::render_figure5(figure5) << '\n';
+
+  // ---- CSV export of the raw data ----
+  {
+    std::ofstream out("responses.csv");
+    util::CsvWriter csv(out);
+    csv.write_row({"participant", "question", "treatment", "answered",
+                   "gradeable", "correct", "seconds"});
+    for (const auto& r : data.responses) {
+      csv.write_row({std::to_string(r.participant_id), r.question_id,
+                     r.treatment == study::Treatment::kDirty ? "DIRTY"
+                                                             : "HexRays",
+                     r.answered ? "1" : "0", r.gradeable ? "1" : "0",
+                     r.correct ? "1" : "0",
+                     util::format_fixed(r.seconds, 1)});
+    }
+  }
+  {
+    std::ofstream out("opinions.csv");
+    util::CsvWriter csv(out);
+    csv.write_row({"participant", "snippet", "treatment", "argument",
+                   "name_rating", "type_rating"});
+    for (const auto& o : data.opinions) {
+      for (std::size_t arg = 0; arg < o.name_ratings.size(); ++arg) {
+        csv.write_row({std::to_string(o.participant_id),
+                       pool[o.snippet_index].id,
+                       o.treatment == study::Treatment::kDirty ? "DIRTY"
+                                                               : "HexRays",
+                       std::to_string(arg + 1),
+                       std::to_string(o.name_ratings[arg]),
+                       std::to_string(o.type_ratings[arg])});
+      }
+    }
+  }
+  std::cout << "Raw data written to responses.csv and opinions.csv\n";
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Quickstart: run the full DSN'25 replication pipeline with default
+// settings and print the text report (every table and figure).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/replication.h"
+
+int main(int argc, char** argv) {
+  decompeval::core::ReplicationConfig config;
+  if (argc > 1) config.seed = static_cast<std::uint64_t>(std::atoll(argv[1]));
+
+  const decompeval::core::ReplicationReport report =
+      decompeval::core::run_replication(config);
+  std::cout << report.rendered;
+  return 0;
+}

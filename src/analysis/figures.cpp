@@ -1,0 +1,110 @@
+#include "analysis/figures.h"
+
+#include "util/check.h"
+
+namespace decompeval::analysis {
+
+DemographicsFigure analyze_demographics(const study::StudyData& data) {
+  DemographicsFigure out;
+  for (const study::Participant* p : data.included()) {
+    ++out.age_counts[study::to_string(p->age_group)];
+    ++out.gender_counts[study::to_string(p->gender)];
+    ++out.education_counts[study::to_string(p->education)]
+                          [study::to_string(p->occupation)];
+    ++out.n_participants;
+  }
+  return out;
+}
+
+double QuestionCorrectness::rate_dirty() const {
+  const std::size_t total = correct_dirty + incorrect_dirty;
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct_dirty) /
+                          static_cast<double>(total);
+}
+
+double QuestionCorrectness::rate_hexrays() const {
+  const std::size_t total = correct_hexrays + incorrect_hexrays;
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct_hexrays) /
+                          static_cast<double>(total);
+}
+
+stats::FisherExactResult QuestionCorrectness::fisher() const {
+  return stats::fisher_exact(
+      static_cast<unsigned>(correct_dirty),
+      static_cast<unsigned>(incorrect_dirty),
+      static_cast<unsigned>(correct_hexrays),
+      static_cast<unsigned>(incorrect_hexrays));
+}
+
+std::vector<QuestionCorrectness> analyze_correctness_by_question(
+    const study::StudyData& data, const std::vector<snippets::Snippet>& pool) {
+  std::vector<QuestionCorrectness> out;
+  std::map<std::string, std::size_t> index_by_id;
+  for (const auto& snippet : pool) {
+    for (const auto& q : snippet.questions) {
+      index_by_id[q.id] = out.size();
+      QuestionCorrectness qc;
+      qc.question_id = q.id;
+      out.push_back(qc);
+    }
+  }
+  for (const study::Response& r : data.responses) {
+    if (!r.answered || !r.gradeable) continue;
+    const auto it = index_by_id.find(r.question_id);
+    if (it == index_by_id.end()) continue;
+    QuestionCorrectness& qc = out[it->second];
+    if (r.treatment == study::Treatment::kDirty) {
+      (r.correct ? qc.correct_dirty : qc.incorrect_dirty) += 1;
+    } else {
+      (r.correct ? qc.correct_hexrays : qc.incorrect_hexrays) += 1;
+    }
+  }
+  return out;
+}
+
+TimingComparison analyze_snippet_timing(
+    const study::StudyData& data, const std::vector<snippets::Snippet>& pool,
+    const std::string& snippet_id) {
+  std::size_t index = pool.size();
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    if (pool[i].id == snippet_id) index = i;
+  DE_EXPECTS_MSG(index < pool.size(), "unknown snippet id: " + snippet_id);
+
+  TimingComparison out;
+  out.label = snippet_id;
+  for (const study::Response& r : data.responses) {
+    if (!r.answered || r.snippet_index != index) continue;
+    (r.treatment == study::Treatment::kDirty ? out.seconds_dirty
+                                             : out.seconds_hexrays)
+        .push_back(r.seconds);
+  }
+  DE_EXPECTS_MSG(out.seconds_dirty.size() >= 2 && out.seconds_hexrays.size() >= 2,
+                 "not enough timing observations");
+  out.summary_dirty = stats::five_number_summary(out.seconds_dirty);
+  out.summary_hexrays = stats::five_number_summary(out.seconds_hexrays);
+  out.welch = stats::welch_t_test(out.seconds_hexrays, out.seconds_dirty);
+  return out;
+}
+
+TimingComparison analyze_time_to_correct(const study::StudyData& data,
+                                         const std::string& question_id) {
+  TimingComparison out;
+  out.label = question_id + " (correct only)";
+  for (const study::Response& r : data.responses) {
+    if (!r.answered || !r.gradeable || !r.correct) continue;
+    if (r.question_id != question_id) continue;
+    (r.treatment == study::Treatment::kDirty ? out.seconds_dirty
+                                             : out.seconds_hexrays)
+        .push_back(r.seconds);
+  }
+  DE_EXPECTS_MSG(out.seconds_dirty.size() >= 2 && out.seconds_hexrays.size() >= 2,
+                 "not enough correct answers on " + question_id);
+  out.summary_dirty = stats::five_number_summary(out.seconds_dirty);
+  out.summary_hexrays = stats::five_number_summary(out.seconds_hexrays);
+  out.welch = stats::welch_t_test(out.seconds_hexrays, out.seconds_dirty);
+  return out;
+}
+
+}  // namespace decompeval::analysis

@@ -1,0 +1,66 @@
+// Figure-level analyses:
+//  Fig. 3 — cohort demographics (age, gender, education × occupation),
+//  Fig. 5 — per-question correctness by treatment, with the Fisher exact
+//           test the paper runs on postorder-Q2,
+//  Fig. 6 — BAPL completion-time comparison with Welch's t-test,
+//  Fig. 7 — AEEK-Q2 time-to-correct comparison.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stats/tests.h"
+#include "study/engine.h"
+
+namespace decompeval::analysis {
+
+struct DemographicsFigure {
+  std::map<std::string, std::size_t> age_counts;
+  std::map<std::string, std::size_t> gender_counts;
+  /// education → occupation → count (the stacked bars of Fig. 3).
+  std::map<std::string, std::map<std::string, std::size_t>> education_counts;
+  std::size_t n_participants = 0;
+};
+
+DemographicsFigure analyze_demographics(const study::StudyData& data);
+
+struct QuestionCorrectness {
+  std::string question_id;
+  std::size_t correct_dirty = 0;
+  std::size_t incorrect_dirty = 0;
+  std::size_t correct_hexrays = 0;
+  std::size_t incorrect_hexrays = 0;
+
+  double rate_dirty() const;
+  double rate_hexrays() const;
+  /// Fisher exact p on the 2×2 (treatment × correctness) table.
+  stats::FisherExactResult fisher() const;
+};
+
+/// One entry per question, in pool order (Fig. 5's eight panels).
+std::vector<QuestionCorrectness> analyze_correctness_by_question(
+    const study::StudyData& data, const std::vector<snippets::Snippet>& pool);
+
+struct TimingComparison {
+  std::string label;
+  std::vector<double> seconds_dirty;
+  std::vector<double> seconds_hexrays;
+  stats::FiveNumberSummary summary_dirty;
+  stats::FiveNumberSummary summary_hexrays;
+  stats::WelchResult welch;
+};
+
+/// Fig. 6: completion times on both questions of one snippet (default
+/// BAPL), all answered responses.
+TimingComparison analyze_snippet_timing(const study::StudyData& data,
+                                        const std::vector<snippets::Snippet>& pool,
+                                        const std::string& snippet_id);
+
+/// Fig. 7: time to *correct* answers on a single question (default
+/// AEEK-Q2).
+TimingComparison analyze_time_to_correct(const study::StudyData& data,
+                                         const std::string& question_id);
+
+}  // namespace decompeval::analysis

@@ -1,0 +1,51 @@
+#include "analysis/power.h"
+
+#include "analysis/rq1_correctness.h"
+#include "mixed/glmm.h"
+#include "util/check.h"
+
+namespace decompeval::analysis {
+
+PowerResult estimate_power(const PowerConfig& config) {
+  DE_EXPECTS(config.n_replicates > 0);
+  DE_EXPECTS(config.alpha > 0.0 && config.alpha < 1.0);
+
+  // Build the pool with a uniform injected effect and no trust moderation,
+  // so the detected effect is exactly the injected one.
+  std::vector<snippets::Snippet> pool =
+      config.pool.empty() ? snippets::study_snippets() : config.pool;
+  for (auto& snippet : pool) {
+    for (auto& q : snippet.questions) {
+      q.dirty_correctness_shift = config.true_effect_logit;
+      q.trust_penalty = 0.0;
+    }
+  }
+
+  PowerResult result;
+  result.n_replicates = config.n_replicates;
+  std::size_t detections = 0;
+  double estimate_sum = 0.0;
+  double se_sum = 0.0;
+  for (std::size_t rep = 0; rep < config.n_replicates; ++rep) {
+    study::StudyConfig study_config;
+    study_config.seed = config.seed + rep * 7919;  // decorrelate replicates
+    study_config.cohort.n_students = config.n_students;
+    study_config.cohort.n_professionals = config.n_professionals;
+    study_config.response_model.global_trust_penalty = 0.0;
+    const study::StudyData data = study::run_study(study_config, pool);
+    const CorrectnessModelResult fit = analyze_correctness(data);
+    const mixed::Coefficient& treatment = fit.fit.coefficients[1];
+    if (treatment.p_value < config.alpha && treatment.estimate > 0.0)
+      ++detections;
+    estimate_sum += treatment.estimate;
+    se_sum += treatment.std_error;
+  }
+  result.power =
+      static_cast<double>(detections) / static_cast<double>(config.n_replicates);
+  result.mean_estimate =
+      estimate_sum / static_cast<double>(config.n_replicates);
+  result.mean_std_error = se_sum / static_cast<double>(config.n_replicates);
+  return result;
+}
+
+}  // namespace decompeval::analysis

@@ -1,0 +1,148 @@
+#include "analysis/qualitative.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace decompeval::analysis {
+
+namespace {
+
+const char* kUsageTemplates[] = {
+    "I ignored the suggested names and looked at how each value is actually "
+    "used; the only call through a pointer pins down which argument is the "
+    "function.",
+    "Line-by-line the dataflow shows the real purpose: the code passes one "
+    "argument through unchanged, so the usage contradicts the labels.",
+    "The usage inside the loop demonstrates the purpose of the variables, "
+    "regardless of what the annotations claim.",
+    "I traced where the value is written and returned; the control flow "
+    "made the roles clear even though the types looked off.",
+};
+
+const char* kFaceValueTemplates[] = {
+    "The variable names were very intuitive; the type told me directly "
+    "which argument does what.",
+    "The main giveaway is the naming - the names are descriptive and "
+    "identify what each component does.",
+    "I matched the arguments by their suggested types, which seemed to "
+    "state their roles explicitly.",
+    "The labels made it obvious at a glance, so I went with what the names "
+    "said.",
+};
+
+const char* kOtherTemplates[] = {
+    "Mostly intuition from similar functions I have reversed before.",
+    "I guessed based on the overall shape of the function.",
+};
+
+JustificationTheme code_text(const std::string& text) {
+  const std::string lower = util::to_lower(text);
+  // Keyword codebook distilled from the paper's indicative quotes.
+  const char* usage_markers[] = {"usage", "used",  "dataflow", "call",
+                                 "trace", "control flow", "ignored"};
+  const char* face_markers[] = {"name",  "naming", "label", "type told",
+                                "intuitive", "descriptive", "suggested types"};
+  int usage_hits = 0, face_hits = 0;
+  for (const char* m : usage_markers)
+    if (lower.find(m) != std::string::npos) ++usage_hits;
+  for (const char* m : face_markers)
+    if (lower.find(m) != std::string::npos) ++face_hits;
+  if (usage_hits > face_hits) return JustificationTheme::kUsageBased;
+  if (face_hits > usage_hits) return JustificationTheme::kFaceValue;
+  return JustificationTheme::kOther;
+}
+
+}  // namespace
+
+const char* to_string(JustificationTheme theme) {
+  switch (theme) {
+    case JustificationTheme::kUsageBased:
+      return "usage-based reasoning";
+    case JustificationTheme::kFaceValue:
+      return "names/types at face value";
+    case JustificationTheme::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+std::vector<JustificationRecord> simulate_justifications(
+    const study::StudyData& data, const std::vector<snippets::Snippet>& pool,
+    std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<JustificationRecord> out;
+  for (const study::Response& r : data.responses) {
+    if (!r.answered || !r.gradeable) continue;
+    if (r.treatment != study::Treatment::kDirty) continue;
+    DE_EXPECTS(r.snippet_index < pool.size());
+    const auto& question = pool[r.snippet_index].questions[r.question_index];
+    if (question.trust_penalty <= 0.0) continue;  // only misleading questions
+
+    const study::Participant& p = data.participant(r.participant_id);
+    JustificationRecord record;
+    record.participant_id = r.participant_id;
+    record.question_id = r.question_id;
+    record.correct = r.correct;
+    // Theme follows latent trust with some slack; a small fraction gives
+    // uninformative answers.
+    if (rng.bernoulli(0.1)) {
+      record.true_theme = JustificationTheme::kOther;
+      record.text = kOtherTemplates[rng.uniform_index(std::size(kOtherTemplates))];
+    } else if (rng.bernoulli(1.0 - p.ai_trust)) {
+      record.true_theme = JustificationTheme::kUsageBased;
+      record.text = kUsageTemplates[rng.uniform_index(std::size(kUsageTemplates))];
+    } else {
+      record.true_theme = JustificationTheme::kFaceValue;
+      record.text =
+          kFaceValueTemplates[rng.uniform_index(std::size(kFaceValueTemplates))];
+    }
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+OpenCodingResult open_code(const std::vector<JustificationRecord>& records,
+                           std::uint64_t second_coder_seed) {
+  DE_EXPECTS(!records.empty());
+  OpenCodingResult result;
+  result.assigned.reserve(records.size());
+  util::Rng rng(second_coder_seed);
+
+  std::size_t agree = 0;
+  std::size_t true_theme_hits = 0;
+  for (const auto& record : records) {
+    const JustificationTheme primary = code_text(record.text);
+    // The second coder applies the same codebook but occasionally reads a
+    // borderline answer differently.
+    JustificationTheme secondary = primary;
+    if (rng.bernoulli(0.08))
+      secondary = primary == JustificationTheme::kUsageBased
+                      ? JustificationTheme::kFaceValue
+                      : JustificationTheme::kUsageBased;
+    if (primary == secondary) ++agree;
+    if (primary == record.true_theme) ++true_theme_hits;
+    result.assigned.push_back(primary);
+
+    switch (primary) {
+      case JustificationTheme::kUsageBased:
+        (record.correct ? result.usage_correct : result.usage_incorrect) += 1;
+        break;
+      case JustificationTheme::kFaceValue:
+        (record.correct ? result.face_correct : result.face_incorrect) += 1;
+        break;
+      case JustificationTheme::kOther:
+        break;
+    }
+  }
+  result.coder_agreement =
+      static_cast<double>(agree) / static_cast<double>(records.size());
+  result.coding_accuracy =
+      static_cast<double>(true_theme_hits) / static_cast<double>(records.size());
+  result.association =
+      stats::fisher_exact(result.usage_correct, result.usage_incorrect,
+                          result.face_correct, result.face_incorrect);
+  return result;
+}
+
+}  // namespace decompeval::analysis

@@ -1,0 +1,67 @@
+// Qualitative analysis (§IV-A): simulated free-text justifications and the
+// grounded-theory open-coding pass over them.
+//
+// The paper asked participants "Informally, how did you reach your
+// conclusion?" and open-coded the answers, finding two themes among
+// DIRTY-group participants that correlate with correctness:
+//  - usage-based reasoning: "the usage of the variables inside the code
+//    demonstrates their purpose" (P5–P19, mostly correct), vs
+//  - face-value reasoning: "the variable names and types themselves
+//    indicate their intended usage" (P1–P13, mostly incorrect).
+// The simulator generates justification text from theme templates driven
+// by each participant's latent trust, and the open-coding pass recovers
+// themes from the text with a keyword codebook plus a second simulated
+// coder for agreement measurement — then tests the theme↔correctness
+// association the paper reports (Fisher p = 0.01059 on postorder-Q2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/tests.h"
+#include "study/engine.h"
+
+namespace decompeval::analysis {
+
+enum class JustificationTheme { kUsageBased, kFaceValue, kOther };
+
+const char* to_string(JustificationTheme theme);
+
+struct JustificationRecord {
+  std::size_t participant_id = 0;
+  std::string question_id;
+  bool correct = false;
+  /// Ground-truth theme the generator used (not visible to the coders).
+  JustificationTheme true_theme = JustificationTheme::kOther;
+  std::string text;
+};
+
+/// Generates justifications for every gradeable DIRTY response to
+/// questions with misleading annotations (trust_penalty > 0): skeptical
+/// participants explain via code usage, trusting ones via the names.
+std::vector<JustificationRecord> simulate_justifications(
+    const study::StudyData& data, const std::vector<snippets::Snippet>& pool,
+    std::uint64_t seed = 99);
+
+struct OpenCodingResult {
+  /// Theme assigned to each record by the primary keyword coder.
+  std::vector<JustificationTheme> assigned;
+  /// Agreement rate between the two simulated coders.
+  double coder_agreement = 0.0;
+  /// Theme × correctness contingency over coded records.
+  unsigned usage_correct = 0;
+  unsigned usage_incorrect = 0;
+  unsigned face_correct = 0;
+  unsigned face_incorrect = 0;
+  /// Association between usage-based reasoning and correctness.
+  stats::FisherExactResult association;
+  /// Fraction of records where the coder recovered the true theme.
+  double coding_accuracy = 0.0;
+};
+
+/// Open-codes the justification texts with the keyword codebook.
+OpenCodingResult open_code(const std::vector<JustificationRecord>& records,
+                           std::uint64_t second_coder_seed = 7);
+
+}  // namespace decompeval::analysis

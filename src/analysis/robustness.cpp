@@ -1,0 +1,82 @@
+#include "analysis/robustness.h"
+
+#include "analysis/figures.h"
+#include "analysis/rq1_correctness.h"
+#include "analysis/rq2_timing.h"
+#include "analysis/rq3_opinions.h"
+#include "analysis/rq4_perception.h"
+#include "util/check.h"
+
+namespace decompeval::analysis {
+
+const RobustnessCriterion& RobustnessSummary::by_name(
+    const std::string& name) const {
+  for (const auto& c : criteria)
+    if (c.name == name) return c;
+  throw PreconditionError("unknown robustness criterion: " + name);
+}
+
+RobustnessSummary analyze_robustness(const RobustnessConfig& config) {
+  DE_EXPECTS(config.n_seeds > 0);
+  const std::vector<snippets::Snippet>& pool =
+      config.pool.empty() ? snippets::study_snippets() : config.pool;
+
+  RobustnessSummary summary;
+  summary.n_seeds = config.n_seeds;
+  summary.criteria = {
+      {"RQ1 null", 0, 0},        {"RQ2 null", 0, 0},
+      {"names preferred", 0, 0}, {"types tied", 0, 0},
+      {"postorder gap", 0, 0},   {"RQ4 inversion", 0, 0},
+      {"trust direction", 0, 0}, {"AEEK slowdown", 0, 0},
+  };
+  const auto tally = [&summary](const std::string& name, bool held) {
+    for (auto& c : summary.criteria) {
+      if (c.name == name) {
+        ++c.total;
+        if (held) ++c.held;
+        return;
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < config.n_seeds; ++i) {
+    study::StudyConfig study_config;
+    study_config.seed = config.first_seed + i;
+    const study::StudyData data = study::run_study(study_config, pool);
+
+    const auto table1 = analyze_correctness(data);
+    tally("RQ1 null", table1.fit.coefficients[1].p_value > 0.05);
+    const auto table2 = analyze_timing(data);
+    tally("RQ2 null", table2.fit.coefficients[1].p_value > 0.05);
+
+    const auto opinions = analyze_opinions(data, pool);
+    tally("names preferred", opinions.name_test.p_value < 0.001);
+    tally("types tied", opinions.type_test.p_value > 0.05);
+
+    bool postorder_held = false;
+    for (const auto& q : analyze_correctness_by_question(data, pool)) {
+      if (q.question_id == "POSTORDER-Q2") {
+        postorder_held = q.fisher().p_value < 0.05 &&
+                         q.rate_hexrays() > q.rate_dirty();
+      }
+    }
+    tally("postorder gap", postorder_held);
+
+    const auto perception = analyze_perception(data, pool);
+    tally("RQ4 inversion", perception.type_rating_vs_correctness.estimate > 0);
+    tally("trust direction", perception.mean_rating_when_incorrect <
+                                 perception.mean_rating_when_correct);
+
+    bool aeek_held = false;
+    try {
+      const auto aeek = analyze_time_to_correct(data, "AEEK-Q2");
+      aeek_held = aeek.welch.mean_y > aeek.welch.mean_x;
+    } catch (const PreconditionError&) {
+      // Too few correct answers at this seed; counts as not held.
+    }
+    tally("AEEK slowdown", aeek_held);
+  }
+  return summary;
+}
+
+}  // namespace decompeval::analysis

@@ -1,0 +1,56 @@
+// Multi-seed robustness analysis.
+//
+// A single simulated cohort is one draw; the paper's findings should be
+// properties of the *generative process*, not of a lucky seed. This module
+// reruns the study + analyses across many seeds and tallies how often each
+// qualitative (shape) criterion holds — the simulation-side analogue of
+// the paper's own caution that its "statistical tests ... indicate what
+// might be expected in a similar population under comparable conditions".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snippets/snippet.h"
+#include "study/engine.h"
+
+namespace decompeval::analysis {
+
+struct RobustnessCriterion {
+  std::string name;
+  std::size_t held = 0;   ///< seeds where the criterion was satisfied
+  std::size_t total = 0;
+  double rate() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(held) / static_cast<double>(total);
+  }
+};
+
+struct RobustnessSummary {
+  std::vector<RobustnessCriterion> criteria;
+  std::size_t n_seeds = 0;
+
+  const RobustnessCriterion& by_name(const std::string& name) const;
+};
+
+struct RobustnessConfig {
+  std::uint64_t first_seed = 1;
+  std::size_t n_seeds = 20;
+  /// Snippet pool; empty = the four paper snippets.
+  std::vector<snippets::Snippet> pool;
+};
+
+/// Evaluated criteria (all on the non-embedding analyses, so a sweep stays
+/// fast):
+///  - "RQ1 null":       GLMM treatment effect not significant
+///  - "RQ2 null":       LMM treatment effect not significant
+///  - "names preferred":Wilcoxon on name ratings p < 0.001 favoring DIRTY
+///  - "types tied":     Wilcoxon on type ratings not significant
+///  - "postorder gap":  POSTORDER-Q2 Fisher p < 0.05 with Hex-Rays ahead
+///  - "RQ4 inversion":  type-rating/correctness Spearman positive
+///  - "trust direction":incorrect DIRTY users rate types better (lower)
+///  - "AEEK slowdown":  DIRTY slower to the correct AEEK-Q2 answer
+RobustnessSummary analyze_robustness(const RobustnessConfig& config = {});
+
+}  // namespace decompeval::analysis

@@ -1,0 +1,64 @@
+#include "analysis/rq1_correctness.h"
+
+#include "util/check.h"
+
+namespace decompeval::analysis {
+
+mixed::MixedModelData build_model_data(
+    const study::StudyData& data, bool timing_model,
+    std::map<std::size_t, std::size_t>* user_remap) {
+  // Select the observation set: timing uses all answered responses; the
+  // correctness model needs gradeable answers.
+  std::vector<const study::Response*> rows;
+  for (const study::Response& r : data.responses) {
+    if (!r.answered) continue;
+    if (!timing_model && !r.gradeable) continue;
+    rows.push_back(&r);
+  }
+  DE_EXPECTS_MSG(!rows.empty(), "no usable responses");
+
+  std::map<std::size_t, std::size_t> users;
+  std::map<std::size_t, std::size_t> questions;
+  for (const auto* r : rows) {
+    users.emplace(r->participant_id, users.size());
+    questions.emplace(r->question_global, questions.size());
+  }
+
+  mixed::MixedModelData md;
+  const std::size_t n = rows.size();
+  md.x = linalg::Matrix(n, 4);
+  md.fixed_effect_names = {"(Intercept)", "Uses DIRTY",
+                           "General Coding Experience",
+                           "Reverse Engineering Experience"};
+  md.y.resize(n);
+  md.user.resize(n);
+  md.question.resize(n);
+  md.n_users = users.size();
+  md.n_questions = questions.size();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const study::Response& r = *rows[i];
+    const study::Participant& p = data.participant(r.participant_id);
+    md.x(i, 0) = 1.0;
+    md.x(i, 1) = r.treatment == study::Treatment::kDirty ? 1.0 : 0.0;
+    md.x(i, 2) = p.coding_experience_years;
+    md.x(i, 3) = p.re_experience_years;
+    md.y[i] = timing_model ? r.seconds : (r.correct ? 1.0 : 0.0);
+    md.user[i] = users.at(r.participant_id);
+    md.question[i] = questions.at(r.question_global);
+  }
+  if (user_remap != nullptr) *user_remap = users;
+  return md;
+}
+
+CorrectnessModelResult analyze_correctness(const study::StudyData& data) {
+  CorrectnessModelResult out;
+  const mixed::MixedModelData md = build_model_data(data, /*timing_model=*/false);
+  out.n_observations = md.n_observations();
+  out.n_users = md.n_users;
+  out.n_questions = md.n_questions;
+  out.fit = mixed::fit_logistic_glmm(md);
+  return out;
+}
+
+}  // namespace decompeval::analysis

@@ -1,0 +1,32 @@
+// RQ1: Do renamings and retypings let reverse engineers answer more
+// questions correctly? Fits the paper's Table I model:
+//   correctness ~ uses_DIRTY + Exp_Coding + Exp_RE + (1|user) + (1|question)
+// by logistic GLMM (Laplace), reporting coefficients ± SE, the random-
+// effect SDs, Nakagawa R²m/R²c, and AIC/BIC.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "mixed/glmm.h"
+#include "study/engine.h"
+
+namespace decompeval::analysis {
+
+struct CorrectnessModelResult {
+  mixed::GlmmFit fit;
+  std::size_t n_observations = 0;
+  std::size_t n_users = 0;
+  std::size_t n_questions = 0;
+};
+
+/// Builds the model data (gradeable responses only) and fits the GLMM.
+CorrectnessModelResult analyze_correctness(const study::StudyData& data);
+
+/// Shared helper: the fixed-effects design of both Table models.
+/// Returns a dense user-index remapping as well.
+mixed::MixedModelData build_model_data(
+    const study::StudyData& data, bool timing_model,
+    std::map<std::size_t, std::size_t>* user_remap = nullptr);
+
+}  // namespace decompeval::analysis

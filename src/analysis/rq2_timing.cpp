@@ -1,0 +1,17 @@
+#include "analysis/rq2_timing.h"
+
+#include "analysis/rq1_correctness.h"
+
+namespace decompeval::analysis {
+
+TimingModelResult analyze_timing(const study::StudyData& data) {
+  TimingModelResult out;
+  const mixed::MixedModelData md = build_model_data(data, /*timing_model=*/true);
+  out.n_observations = md.n_observations();
+  out.n_users = md.n_users;
+  out.n_questions = md.n_questions;
+  out.fit = mixed::fit_lmm(md);
+  return out;
+}
+
+}  // namespace decompeval::analysis

@@ -1,0 +1,21 @@
+// RQ2: Do renamings and retypings make reverse engineers faster? Fits the
+// paper's Table II model:
+//   timing ~ uses_DIRTY + Exp_Coding + Exp_RE + (1|user) + (1|question)
+// by linear mixed model (REML).
+#pragma once
+
+#include "mixed/lmm.h"
+#include "study/engine.h"
+
+namespace decompeval::analysis {
+
+struct TimingModelResult {
+  mixed::LmmFit fit;
+  std::size_t n_observations = 0;
+  std::size_t n_users = 0;
+  std::size_t n_questions = 0;
+};
+
+TimingModelResult analyze_timing(const study::StudyData& data);
+
+}  // namespace decompeval::analysis

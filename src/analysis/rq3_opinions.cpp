@@ -1,0 +1,57 @@
+#include "analysis/rq3_opinions.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace decompeval::analysis {
+
+const std::array<const char*, 5>& likert_labels() {
+  static const std::array<const char*, 5> kLabels = {
+      "Provided immediate", "Improved", "Did not affect", "Hindered",
+      "Prevented"};
+  return kLabels;
+}
+
+OpinionAnalysis analyze_opinions(const study::StudyData& data,
+                                 const std::vector<snippets::Snippet>& pool) {
+  OpinionAnalysis out;
+  std::vector<double> name_hex, name_dirty, type_hex, type_dirty;
+  std::map<std::string, std::vector<double>> type_by_snippet_hex;
+  std::map<std::string, std::vector<double>> type_by_snippet_dirty;
+
+  for (const study::OpinionRecord& o : data.opinions) {
+    DE_EXPECTS(o.snippet_index < pool.size());
+    const std::string& sid = pool[o.snippet_index].id;
+    const bool dirty = o.treatment == study::Treatment::kDirty;
+    for (const int rating : o.name_ratings) {
+      DE_EXPECTS(rating >= 1 && rating <= 5);
+      ++(dirty ? out.name_dirty : out.name_hexrays)[rating - 1];
+      (dirty ? name_dirty : name_hex).push_back(rating);
+    }
+    for (const int rating : o.type_ratings) {
+      DE_EXPECTS(rating >= 1 && rating <= 5);
+      ++(dirty ? out.type_dirty : out.type_hexrays)[rating - 1];
+      (dirty ? type_dirty : type_hex).push_back(rating);
+      (dirty ? type_by_snippet_dirty : type_by_snippet_hex)[sid].push_back(rating);
+    }
+  }
+  DE_EXPECTS_MSG(!name_hex.empty() && !name_dirty.empty(),
+                 "both treatment groups need opinions");
+
+  out.name_test = stats::wilcoxon_rank_sum(name_hex, name_dirty);
+  out.type_test = stats::wilcoxon_rank_sum(type_hex, type_dirty);
+
+  const auto mean_of = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (const double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+  for (const auto& [sid, ratings] : type_by_snippet_hex)
+    out.type_mean_hexrays[sid] = mean_of(ratings);
+  for (const auto& [sid, ratings] : type_by_snippet_dirty)
+    out.type_mean_dirty[sid] = mean_of(ratings);
+  return out;
+}
+
+}  // namespace decompeval::analysis

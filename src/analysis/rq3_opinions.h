@@ -1,0 +1,40 @@
+// RQ3: Do users perceive DIRTY's renamings/retypings as improving their
+// understanding? Builds the Figure 8 diverging-Likert distributions and
+// runs the paper's Wilcoxon rank-sum tests (names: strongly pro-DIRTY;
+// types: no significant difference, with TC as the negative outlier).
+#pragma once
+
+#include <array>
+#include <map>
+#include <string>
+
+#include "stats/tests.h"
+#include "study/engine.h"
+
+namespace decompeval::analysis {
+
+/// Counts of each Likert level (index 0 ↔ rating 1 "Provided immediate",
+/// …, index 4 ↔ rating 5 "Prevented").
+using LikertCounts = std::array<std::size_t, 5>;
+
+struct OpinionAnalysis {
+  LikertCounts name_hexrays{};
+  LikertCounts name_dirty{};
+  LikertCounts type_hexrays{};
+  LikertCounts type_dirty{};
+  /// Wilcoxon rank-sum, Hex-Rays ratings vs DIRTY ratings (lower = better).
+  stats::WilcoxonResult name_test;
+  stats::WilcoxonResult type_test;
+  /// Mean type rating per snippet id per treatment — exposes the TC
+  /// outlier.
+  std::map<std::string, double> type_mean_hexrays;
+  std::map<std::string, double> type_mean_dirty;
+};
+
+OpinionAnalysis analyze_opinions(const study::StudyData& data,
+                                 const std::vector<snippets::Snippet>& pool);
+
+/// The paper's Likert anchor labels, best to worst.
+const std::array<const char*, 5>& likert_labels();
+
+}  // namespace decompeval::analysis

@@ -1,0 +1,130 @@
+#include "analysis/rq4_perception.h"
+
+#include <map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace decompeval::analysis {
+
+PerceptionAnalysis analyze_perception(
+    const study::StudyData& data, const std::vector<snippets::Snippet>& pool) {
+  // Index opinions by (participant, snippet).
+  std::map<std::pair<std::size_t, std::size_t>, const study::OpinionRecord*>
+      opinion_index;
+  for (const study::OpinionRecord& o : data.opinions)
+    opinion_index[{o.participant_id, o.snippet_index}] = &o;
+
+  std::vector<double> type_ratings, name_ratings, correctness,
+      name_correctness;
+  std::vector<double> ratings_correct, ratings_incorrect;
+
+  // TC narrative accumulators.
+  std::size_t tc_index = pool.size();
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    if (pool[i].id == "TC") tc_index = i;
+  std::size_t tc_correct_d = 0, tc_total_d = 0, tc_correct_h = 0,
+              tc_total_h = 0;
+  std::vector<double> tc_time_correct_d, tc_time_correct_h;
+  std::size_t tc_poor_d = 0, tc_types_d = 0, tc_poor_h = 0, tc_types_h = 0;
+
+  for (const study::Response& r : data.responses) {
+    if (!r.answered || !r.gradeable) continue;
+    const auto it = opinion_index.find({r.participant_id, r.snippet_index});
+    if (it == opinion_index.end()) continue;
+    const study::OpinionRecord& o = *it->second;
+
+    if (r.treatment == study::Treatment::kDirty) {
+      // One joined observation per argument rating (the survey rates each
+      // argument separately).
+      for (const int rating : o.type_ratings) {
+        type_ratings.push_back(rating);
+        correctness.push_back(r.correct ? 1.0 : 0.0);
+        // The paper's trust comparison uses the ratings given to DIRTY's
+        // suggested *types*.
+        (r.correct ? ratings_correct : ratings_incorrect).push_back(rating);
+      }
+      for (const int rating : o.name_ratings) {
+        name_ratings.push_back(rating);
+        name_correctness.push_back(r.correct ? 1.0 : 0.0);
+      }
+    }
+
+    if (r.snippet_index == tc_index) {
+      if (r.treatment == study::Treatment::kDirty) {
+        ++tc_total_d;
+        if (r.correct) {
+          ++tc_correct_d;
+          tc_time_correct_d.push_back(r.seconds);
+        }
+      } else {
+        ++tc_total_h;
+        if (r.correct) {
+          ++tc_correct_h;
+          tc_time_correct_h.push_back(r.seconds);
+        }
+      }
+    }
+  }
+
+  // TC type ratings by treatment.
+  if (tc_index < pool.size()) {
+    for (const study::OpinionRecord& o : data.opinions) {
+      if (o.snippet_index != tc_index) continue;
+      for (const int rating : o.type_ratings) {
+        const bool poor = rating >= 4;
+        if (o.treatment == study::Treatment::kDirty) {
+          ++tc_types_d;
+          if (poor) ++tc_poor_d;
+        } else {
+          ++tc_types_h;
+          if (poor) ++tc_poor_h;
+        }
+      }
+    }
+  }
+
+  DE_EXPECTS_MSG(type_ratings.size() >= 3,
+                 "too few DIRTY responses with opinions");
+
+  PerceptionAnalysis out;
+  out.n_joined = type_ratings.size();
+  out.type_rating_vs_correctness = stats::spearman(type_ratings, correctness);
+  out.name_rating_vs_correctness =
+      stats::spearman(name_ratings, name_correctness);
+  if (!ratings_correct.empty() && !ratings_incorrect.empty()) {
+    out.trust_test =
+        stats::wilcoxon_rank_sum(ratings_incorrect, ratings_correct);
+    double sum_c = 0.0, sum_i = 0.0;
+    for (const double v : ratings_correct) sum_c += v;
+    for (const double v : ratings_incorrect) sum_i += v;
+    out.mean_rating_when_correct =
+        sum_c / static_cast<double>(ratings_correct.size());
+    out.mean_rating_when_incorrect =
+        sum_i / static_cast<double>(ratings_incorrect.size());
+  }
+
+  if (tc_total_d > 0 && tc_total_h > 0) {
+    out.tc.correct_rate_dirty =
+        static_cast<double>(tc_correct_d) / static_cast<double>(tc_total_d);
+    out.tc.correct_rate_hexrays =
+        static_cast<double>(tc_correct_h) / static_cast<double>(tc_total_h);
+    const auto mean_of = [](const std::vector<double>& v) {
+      if (v.empty()) return 0.0;
+      double s = 0.0;
+      for (const double x : v) s += x;
+      return s / static_cast<double>(v.size());
+    };
+    out.tc.mean_seconds_correct_dirty = mean_of(tc_time_correct_d);
+    out.tc.mean_seconds_correct_hexrays = mean_of(tc_time_correct_h);
+    if (tc_types_d > 0)
+      out.tc.poor_type_share_dirty =
+          static_cast<double>(tc_poor_d) / static_cast<double>(tc_types_d);
+    if (tc_types_h > 0)
+      out.tc.poor_type_share_hexrays =
+          static_cast<double>(tc_poor_h) / static_cast<double>(tc_types_h);
+  }
+  return out;
+}
+
+}  // namespace decompeval::analysis

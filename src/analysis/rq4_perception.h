@@ -1,0 +1,47 @@
+// RQ4: Do users' perceptions of DIRTY's helpfulness align with their
+// performance? Joins each gradeable response with the participant's
+// post-snippet Likert ratings and:
+//  - runs Spearman tests of name-rating vs correctness and type-rating vs
+//    correctness (the paper finds types significantly *positively*
+//    correlated — worse ratings, more correct — and names not significant),
+//  - compares DIRTY-group ratings between correct and incorrect answers
+//    (the trust analysis: incorrect participants trusted DIRTY more), and
+//  - extracts the twos_complement narrative: DIRTY users on TC answer
+//    better and faster yet rate its types worse.
+#pragma once
+
+#include "stats/correlation.h"
+#include "stats/tests.h"
+#include "study/engine.h"
+
+namespace decompeval::analysis {
+
+struct TcNarrative {
+  double correct_rate_dirty = 0.0;
+  double correct_rate_hexrays = 0.0;
+  double mean_seconds_correct_dirty = 0.0;
+  double mean_seconds_correct_hexrays = 0.0;
+  /// Share of type ratings that were "Hindered"/"Prevented" (4–5).
+  double poor_type_share_dirty = 0.0;
+  double poor_type_share_hexrays = 0.0;
+};
+
+struct PerceptionAnalysis {
+  /// Spearman of rating (1 best … 5 worst) vs correctness (0/1), over
+  /// DIRTY-treatment responses. Positive ρ ⇒ worse ratings with *more*
+  /// correct answers.
+  stats::CorrelationResult type_rating_vs_correctness;
+  stats::CorrelationResult name_rating_vs_correctness;
+  /// Trust analysis: Wilcoxon of DIRTY ratings (names+types pooled) for
+  /// incorrect vs correct responders.
+  stats::WilcoxonResult trust_test;
+  double mean_rating_when_correct = 0.0;
+  double mean_rating_when_incorrect = 0.0;
+  TcNarrative tc;
+  std::size_t n_joined = 0;
+};
+
+PerceptionAnalysis analyze_perception(const study::StudyData& data,
+                                      const std::vector<snippets::Snippet>& pool);
+
+}  // namespace decompeval::analysis

@@ -1,0 +1,129 @@
+#include "analysis/rq5_metrics.h"
+
+#include "util/check.h"
+
+namespace decompeval::analysis {
+
+MetricAnalysis analyze_metric_correlations(
+    const study::StudyData& data, const std::vector<snippets::Snippet>& pool,
+    const embed::EmbeddingModel& model) {
+  MetricAnalysis out;
+
+  // ---- snippet-level metric scores ----
+  std::vector<metrics::SnippetMetricScores> scores_by_index(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    scores_by_index[i] =
+        metrics::compute_snippet_metrics(pool[i].metric_inputs(), model);
+    out.per_snippet[pool[i].id] = scores_by_index[i];
+  }
+
+  // ---- simulated human evaluation ----
+  std::vector<metrics::NamePair> pooled_pairs;
+  std::vector<double> human_var_by_index(pool.size(), 0.0);
+  std::vector<double> human_type_by_index(pool.size(), 0.0);
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    metrics::HumanEvalConfig cfg;
+    cfg.seed = 2025 + i;
+    const auto var_eval =
+        metrics::simulate_human_evaluation(pool[i].variable_alignment, model, cfg);
+    cfg.seed = 4025 + i;
+    const auto type_eval =
+        metrics::simulate_human_evaluation(pool[i].type_alignment, model, cfg);
+    human_var_by_index[i] = var_eval.mean_score;
+    human_type_by_index[i] = type_eval.mean_score;
+    out.human_variable_score[pool[i].id] = var_eval.mean_score;
+    out.human_type_score[pool[i].id] = type_eval.mean_score;
+    pooled_pairs.insert(pooled_pairs.end(), pool[i].variable_alignment.begin(),
+                        pool[i].variable_alignment.end());
+    pooled_pairs.insert(pooled_pairs.end(), pool[i].type_alignment.begin(),
+                        pool[i].type_alignment.end());
+  }
+  metrics::HumanEvalConfig pooled_cfg;
+  pooled_cfg.seed = 777;
+  out.krippendorff_alpha =
+      metrics::simulate_human_evaluation(pooled_pairs, model, pooled_cfg)
+          .krippendorff_ordinal_alpha;
+
+  // ---- join snippet scores to DIRTY-treatment responses ----
+  struct Joined {
+    std::size_t snippet = 0;
+    double seconds = 0.0;
+    bool has_time = false;
+    double correct = 0.0;
+    bool has_correct = false;
+  };
+  std::vector<Joined> joined;
+  for (const study::Response& r : data.responses) {
+    if (r.treatment != study::Treatment::kDirty || !r.answered) continue;
+    Joined j;
+    j.snippet = r.snippet_index;
+    j.seconds = r.seconds;
+    j.has_time = true;
+    if (r.gradeable) {
+      j.correct = r.correct ? 1.0 : 0.0;
+      j.has_correct = true;
+    }
+    joined.push_back(j);
+  }
+  DE_EXPECTS_MSG(joined.size() >= 10, "too few DIRTY responses for RQ5");
+
+  const auto correlate = [&](auto metric_of) {
+    MetricCorrelationRow row;
+    std::vector<double> mx_t, my_t, mx_c, my_c;
+    for (const Joined& j : joined) {
+      const double m = metric_of(j.snippet);
+      if (j.has_time) {
+        mx_t.push_back(m);
+        my_t.push_back(j.seconds);
+      }
+      if (j.has_correct) {
+        mx_c.push_back(m);
+        my_c.push_back(j.correct);
+      }
+    }
+    row.vs_time = stats::spearman(mx_t, my_t);
+    row.vs_correctness = stats::spearman(mx_c, my_c);
+    return row;
+  };
+
+  std::size_t n_time = 0, n_correct = 0;
+  for (const Joined& j : joined) {
+    if (j.has_time) ++n_time;
+    if (j.has_correct) ++n_correct;
+  }
+  out.n_time_observations = n_time;
+  out.n_correctness_observations = n_correct;
+
+  const auto add_row = [&](const std::string& name, auto metric_of) {
+    MetricCorrelationRow row = correlate(metric_of);
+    row.metric = name;
+    out.rows.push_back(std::move(row));
+  };
+  add_row("BLEU", [&](std::size_t i) { return scores_by_index[i].bleu; });
+  add_row("codeBLEU",
+          [&](std::size_t i) { return scores_by_index[i].code_bleu; });
+  add_row("Jaccard Similarity",
+          [&](std::size_t i) { return scores_by_index[i].jaccard; });
+  add_row("BERTScore F1",
+          [&](std::size_t i) { return scores_by_index[i].bertscore_f1; });
+  add_row("VarCLR", [&](std::size_t i) { return scores_by_index[i].varclr; });
+  add_row("Human Evaluation (Variables)",
+          [&](std::size_t i) { return human_var_by_index[i]; });
+  add_row("Human Evaluation (Types)",
+          [&](std::size_t i) { return human_type_by_index[i]; });
+
+  out.levenshtein = correlate(
+      [&](std::size_t i) { return scores_by_index[i].levenshtein; });
+  out.levenshtein.metric = "Levenshtein";
+  double lev_sum = 0.0, lev_norm_sum = 0.0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    lev_sum += scores_by_index[i].levenshtein;
+    lev_norm_sum += scores_by_index[i].normalized_levenshtein;
+  }
+  out.mean_raw_levenshtein = lev_sum / static_cast<double>(pool.size());
+  out.mean_normalized_levenshtein =
+      lev_norm_sum / static_cast<double>(pool.size());
+  return out;
+}
+
+}  // namespace decompeval::analysis

@@ -1,0 +1,53 @@
+// RQ5: Do intrinsic similarity metrics reflect code comprehension?
+//
+// For each snippet, computes every similarity metric over the manual
+// DIRTY↔original alignment (plus the simulated 12-coder human evaluation
+// with its Krippendorff alpha), joins the snippet-level scores to the
+// DIRTY-treatment responses, and Spearman-correlates each metric with
+// completion time (Table III) and correctness (Table IV).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "embed/embedding.h"
+#include "metrics/human_eval.h"
+#include "metrics/registry.h"
+#include "stats/correlation.h"
+#include "study/engine.h"
+
+namespace decompeval::analysis {
+
+struct MetricCorrelationRow {
+  std::string metric;
+  stats::CorrelationResult vs_time;         ///< Table III row
+  stats::CorrelationResult vs_correctness;  ///< Table IV row
+};
+
+struct MetricAnalysis {
+  /// Rows in paper order: BLEU, codeBLEU, Jaccard Similarity, BERTScore
+  /// F1, VarCLR, Human Evaluation (Variables), Human Evaluation (Types).
+  std::vector<MetricCorrelationRow> rows;
+  /// Levenshtein is reported separately (the paper footnotes that raw
+  /// distances exceeded the string lengths and judged it unsuitable).
+  MetricCorrelationRow levenshtein;
+  double mean_raw_levenshtein = 0.0;
+  double mean_normalized_levenshtein = 0.0;
+
+  /// Snippet-level inputs of the correlations.
+  std::map<std::string, metrics::SnippetMetricScores> per_snippet;
+  std::map<std::string, double> human_variable_score;  ///< 1–5, higher = more similar
+  std::map<std::string, double> human_type_score;
+  /// Ordinal alpha of the pooled 12-coder panel (paper: 0.872).
+  double krippendorff_alpha = 0.0;
+
+  std::size_t n_time_observations = 0;
+  std::size_t n_correctness_observations = 0;
+};
+
+MetricAnalysis analyze_metric_correlations(
+    const study::StudyData& data, const std::vector<snippets::Snippet>& pool,
+    const embed::EmbeddingModel& model);
+
+}  // namespace decompeval::analysis

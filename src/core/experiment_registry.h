@@ -1,0 +1,44 @@
+// Machine-readable experiment index: every table and figure of the paper,
+// its reference values, and an extractor pulling the corresponding
+// measured values out of a ReplicationReport. EXPERIMENTS.md is generated
+// from this registry so the paper-vs-measured record can never drift from
+// the code.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/replication.h"
+
+namespace decompeval::core {
+
+/// One compared quantity within an experiment.
+struct ComparedValue {
+  std::string name;
+  std::string paper;     ///< the paper's reported value, as printed there
+  std::string measured;  ///< our value, formatted
+  /// Whether the shape-level criterion (sign/significance/ordering) holds.
+  bool shape_match = false;
+  std::string note;  ///< explanation when shape_match is false
+};
+
+struct ExperimentRecord {
+  std::string id;            ///< "Table I", "Figure 5", ...
+  std::string title;
+  std::string bench_target;  ///< binary that regenerates it
+  std::string modules;       ///< implementing modules
+  std::vector<ComparedValue> values;
+};
+
+/// Extracts the full paper-vs-measured record from a finished replication.
+/// Requires the report to have been produced with run_models and
+/// run_metrics enabled and the four paper snippets in the pool.
+std::vector<ExperimentRecord> build_experiment_records(
+    const ReplicationReport& report);
+
+/// Renders the records as the EXPERIMENTS.md body (markdown).
+std::string render_experiments_markdown(
+    const std::vector<ExperimentRecord>& records, std::uint64_t seed);
+
+}  // namespace decompeval::core

@@ -1,0 +1,78 @@
+#include "core/replication.h"
+
+#include <sstream>
+
+#include "report/render.h"
+#include "util/check.h"
+
+namespace decompeval::core {
+
+const char* version() { return "1.0.0"; }
+
+ReplicationReport run_replication(const ReplicationConfig& config) {
+  ReplicationReport report;
+  report.pool = config.snippet_pool.empty() ? snippets::study_snippets()
+                                            : config.snippet_pool;
+
+  study::StudyConfig study_config = config.study;
+  study_config.seed = config.seed;
+  report.data = study::run_study(study_config, report.pool);
+
+  std::ostringstream os;
+  os << "decompeval " << version()
+     << " - replication of 'A Human Study of Automatically Generated "
+        "Decompiler Annotations' (DSN 2025)\n";
+  os << "seed = " << config.seed << ", snippets = " << report.pool.size()
+     << ", recruited = " << report.data.cohort.size() << ", excluded = "
+     << report.data.excluded_participants.size() << "\n\n";
+
+  report.figure3 = analysis::analyze_demographics(report.data);
+  os << report::render_figure3(report.figure3) << '\n';
+
+  if (config.run_models) {
+    report.table1 = analysis::analyze_correctness(report.data);
+    os << report::render_table1(report.table1) << '\n';
+    report.table2 = analysis::analyze_timing(report.data);
+    os << report::render_table2(report.table2) << '\n';
+  }
+
+  report.figure5 =
+      analysis::analyze_correctness_by_question(report.data, report.pool);
+  os << report::render_figure5(report.figure5) << '\n';
+
+  // Figures 6 and 7 exist only when the paper's snippets are in the pool.
+  bool has_bapl = false, has_aeek = false;
+  for (const auto& s : report.pool) {
+    has_bapl = has_bapl || s.id == "BAPL";
+    has_aeek = has_aeek || s.id == "AEEK";
+  }
+  if (has_bapl) {
+    report.figure6 =
+        analysis::analyze_snippet_timing(report.data, report.pool, "BAPL");
+    os << report::render_figure6(report.figure6) << '\n';
+  }
+  if (has_aeek) {
+    report.figure7 = analysis::analyze_time_to_correct(report.data, "AEEK-Q2");
+    os << report::render_figure7(report.figure7) << '\n';
+  }
+
+  report.figure8 = analysis::analyze_opinions(report.data, report.pool);
+  os << report::render_figure8(report.figure8) << '\n';
+
+  report.rq4 = analysis::analyze_perception(report.data, report.pool);
+  os << report::render_rq4(report.rq4) << '\n';
+
+  if (config.run_metrics) {
+    const embed::EmbeddingModel model = embed::EmbeddingModel::train_default(
+        config.embedding_corpus_sentences, config.embedding_corpus_seed);
+    report.metric_tables = analysis::analyze_metric_correlations(
+        report.data, report.pool, model);
+    os << report::render_table3(report.metric_tables) << '\n';
+    os << report::render_table4(report.metric_tables) << '\n';
+  }
+
+  report.rendered = os.str();
+  return report;
+}
+
+}  // namespace decompeval::core

@@ -1,0 +1,71 @@
+// decompeval public API.
+//
+// One call — run_replication() — reruns the entire DSN'25 study pipeline:
+// cohort recruitment, by-snippet treatment randomization, simulated survey
+// sessions, the quality-check exclusion, and every analysis the paper
+// reports (Tables I–IV, Figures 3/5/6/7/8, the RQ4 perception analysis and
+// the 12-coder human evaluation), returning structured results plus a
+// rendered text report.
+//
+// Typical use:
+//   decompeval::core::ReplicationConfig config;
+//   config.seed = 7;
+//   const auto report = decompeval::core::run_replication(config);
+//   std::cout << report.rendered;
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/figures.h"
+#include "analysis/rq1_correctness.h"
+#include "analysis/rq2_timing.h"
+#include "analysis/rq3_opinions.h"
+#include "analysis/rq4_perception.h"
+#include "analysis/rq5_metrics.h"
+#include "embed/embedding.h"
+#include "snippets/snippet.h"
+#include "study/engine.h"
+
+namespace decompeval::core {
+
+struct ReplicationConfig {
+  study::StudyConfig study;
+  /// Snippet pool; empty = the four paper snippets.
+  std::vector<snippets::Snippet> snippet_pool;
+  /// Embedding corpus size for BERTScore/VarCLR (larger = slower, stabler).
+  std::size_t embedding_corpus_sentences = 20000;
+  std::uint64_t embedding_corpus_seed = 42;
+  std::uint64_t seed = 38;  ///< master seed, overrides study.seed
+
+  /// Which parts to run (all by default; benches switch pieces off).
+  bool run_models = true;       ///< Tables I & II (mixed models)
+  bool run_metrics = true;      ///< Tables III & IV (needs embeddings)
+};
+
+struct ReplicationReport {
+  study::StudyData data;
+  std::vector<snippets::Snippet> pool;
+
+  analysis::CorrectnessModelResult table1;
+  analysis::TimingModelResult table2;
+  analysis::MetricAnalysis metric_tables;  ///< Tables III & IV
+  analysis::DemographicsFigure figure3;
+  std::vector<analysis::QuestionCorrectness> figure5;
+  analysis::TimingComparison figure6;  ///< BAPL timing
+  analysis::TimingComparison figure7;  ///< AEEK-Q2 time-to-correct
+  analysis::OpinionAnalysis figure8;
+  analysis::PerceptionAnalysis rq4;
+
+  /// Full text report (all tables/figures that were run).
+  std::string rendered;
+};
+
+/// Runs the pipeline. Deterministic in config.seed.
+ReplicationReport run_replication(const ReplicationConfig& config = {});
+
+/// Library version string.
+const char* version();
+
+}  // namespace decompeval::core

@@ -1,0 +1,161 @@
+#include "decompiler/dirty_model.h"
+
+#include <array>
+#include <set>
+
+#include "embed/corpus.h"
+#include "text/tokenize.h"
+#include "util/check.h"
+
+namespace decompeval::decompiler {
+
+namespace {
+
+// Finds the cluster containing any subtoken of `name`; returns nullptr if
+// the name is out-of-lexicon.
+const embed::ConceptCluster* find_cluster(const std::string& name) {
+  const auto subtokens = text::split_identifier(name);
+  for (const auto& cluster : embed::concept_clusters()) {
+    for (const auto& member : cluster.members) {
+      for (const auto& sub : subtokens)
+        if (sub == member) return &cluster;
+    }
+  }
+  return nullptr;
+}
+
+// Words that cannot be variable names in the emitted pseudocode.
+bool is_reserved(const std::string& name) {
+  static const std::set<std::string> kReserved = {
+      "char", "int",    "long",  "short",  "unsigned", "signed", "void",
+      "float", "double", "bool",  "return", "break",    "if",     "else",
+      "while", "for",    "do",    "const",  "struct",   "union",  "enum",
+      "sizeof", "continue", "switch", "case", "static", "register"};
+  return kReserved.count(name) > 0;
+}
+
+std::string pick_other(const std::vector<std::string>& pool,
+                       const std::string& avoid, util::Rng& rng) {
+  DE_ENSURES(!pool.empty());
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::string& candidate = pool[rng.uniform_index(pool.size())];
+    if (candidate != avoid && !is_reserved(candidate)) return candidate;
+  }
+  for (const std::string& candidate : pool)
+    if (candidate != avoid && !is_reserved(candidate)) return candidate;
+  return avoid + "_x";  // degenerate pool: keep it parseable
+}
+
+const char* kFallbackTypes[] = {"SSL *",     "BIGNUM *", "FILE *",
+                                "tree234 *", "array_t_0 *", "cmpfn234"};
+
+}  // namespace
+
+const char* to_string(RecoveryOutcome outcome) {
+  switch (outcome) {
+    case RecoveryOutcome::kExact: return "exact";
+    case RecoveryOutcome::kSynonym: return "synonym";
+    case RecoveryOutcome::kRelated: return "related";
+    case RecoveryOutcome::kMisleading: return "misleading";
+    case RecoveryOutcome::kPlaceholder: return "placeholder";
+  }
+  return "?";
+}
+
+void RecoveryRates::validate() const {
+  DE_EXPECTS_MSG(exact >= 0 && synonym >= 0 && related >= 0 && misleading >= 0,
+                 "recovery rates must be non-negative");
+  DE_EXPECTS_MSG(exact + synonym + related + misleading <= 1.0 + 1e-12,
+                 "recovery rates must sum to at most 1");
+}
+
+DirtyModel::DirtyModel(const RecoveryRates& rates, std::uint64_t seed)
+    : rates_(rates), rng_(seed) {
+  rates_.validate();
+}
+
+RecoveryOutcome DirtyModel::draw_outcome() {
+  const std::array<double, 5> weights = {rates_.exact, rates_.synonym,
+                                         rates_.related, rates_.misleading,
+                                         rates_.placeholder()};
+  switch (rng_.categorical(weights)) {
+    case 0: return RecoveryOutcome::kExact;
+    case 1: return RecoveryOutcome::kSynonym;
+    case 2: return RecoveryOutcome::kRelated;
+    case 3: return RecoveryOutcome::kMisleading;
+    default: return RecoveryOutcome::kPlaceholder;
+  }
+}
+
+RecoveredName DirtyModel::recover_name(const std::string& original_name,
+                                       const std::string& placeholder) {
+  RecoveredName out;
+  out.original = original_name;
+  out.placeholder = placeholder;
+  out.outcome = draw_outcome();
+
+  const embed::ConceptCluster* cluster = find_cluster(original_name);
+  // Out-of-lexicon names can only be recovered verbatim or left alone.
+  if (cluster == nullptr && out.outcome != RecoveryOutcome::kExact &&
+      out.outcome != RecoveryOutcome::kPlaceholder) {
+    out.outcome = rng_.bernoulli(0.5) ? RecoveryOutcome::kExact
+                                      : RecoveryOutcome::kPlaceholder;
+  }
+
+  switch (out.outcome) {
+    case RecoveryOutcome::kExact:
+      out.recovered = original_name;
+      break;
+    case RecoveryOutcome::kSynonym:
+      out.recovered = pick_other(cluster->members, original_name, rng_);
+      break;
+    case RecoveryOutcome::kRelated:
+      out.recovered = pick_other(cluster->contexts, original_name, rng_);
+      break;
+    case RecoveryOutcome::kMisleading: {
+      const auto& clusters = embed::concept_clusters();
+      const embed::ConceptCluster* other = cluster;
+      while (other == cluster)
+        other = &clusters[rng_.uniform_index(clusters.size())];
+      out.recovered = pick_other(other->members, original_name, rng_);
+      break;
+    }
+    case RecoveryOutcome::kPlaceholder:
+      out.recovered = placeholder;
+      break;
+  }
+  return out;
+}
+
+RecoveredName DirtyModel::recover_type(const std::string& original_type,
+                                       const std::string& placeholder_type) {
+  RecoveredName out;
+  out.original = original_type;
+  out.placeholder = placeholder_type;
+  out.outcome = draw_outcome();
+  switch (out.outcome) {
+    case RecoveryOutcome::kExact:
+      out.recovered = original_type;
+      break;
+    case RecoveryOutcome::kSynonym: {
+      // A structurally equivalent rendering (pointer stays a pointer).
+      const bool is_pointer = original_type.find('*') != std::string::npos;
+      out.recovered = is_pointer ? "char *" : "int";
+      if (out.recovered == original_type) out.recovered = is_pointer ? "void *" : "unsigned int";
+      break;
+    }
+    case RecoveryOutcome::kRelated:
+      out.recovered =
+          original_type.find('*') != std::string::npos ? "void *" : "unsigned int";
+      break;
+    case RecoveryOutcome::kMisleading:
+      out.recovered = kFallbackTypes[rng_.uniform_index(std::size(kFallbackTypes))];
+      break;
+    case RecoveryOutcome::kPlaceholder:
+      out.recovered = placeholder_type;
+      break;
+  }
+  return out;
+}
+
+}  // namespace decompeval::decompiler

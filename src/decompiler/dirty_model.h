@@ -1,0 +1,84 @@
+// DIRTY-like name/type recovery model.
+//
+// The real DIRTY is a trained transformer; the study consumes it as a
+// black box that maps decompiler placeholders to predicted (name, type)
+// pairs with a characteristic error profile. This model reproduces that
+// profile parametrically, using the embedding corpus's concept clusters as
+// its "learned" lexicon:
+//   exact      — the ground-truth name verbatim,
+//   synonym    — another member of the ground-truth name's concept cluster
+//                (size→length: semantically right, lexically different),
+//   related    — a context word of the cluster (plausible but vaguer),
+//   misleading — a member of a *different* cluster (the failure mode that
+//                drove the paper's postorder-Q2 and SSL* observations),
+//   placeholder— no recovery; the decompiler name is kept.
+// Rates are configurable so ablation benches can sweep recovery quality.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/registry.h"
+#include "util/rng.h"
+
+namespace decompeval::decompiler {
+
+enum class RecoveryOutcome {
+  kExact,
+  kSynonym,
+  kRelated,
+  kMisleading,
+  kPlaceholder,
+};
+
+/// Human-readable label for an outcome (for reports/tests).
+const char* to_string(RecoveryOutcome outcome);
+
+struct RecoveryRates {
+  double exact = 0.20;
+  double synonym = 0.35;
+  double related = 0.20;
+  double misleading = 0.15;
+  // remainder: placeholder (no recovery)
+
+  double placeholder() const {
+    return 1.0 - exact - synonym - related - misleading;
+  }
+  void validate() const;
+};
+
+struct RecoveredName {
+  std::string original;
+  std::string placeholder;  ///< decompiler name it replaces
+  std::string recovered;
+  RecoveryOutcome outcome{};
+};
+
+/// Stochastic recovery model over the concept-cluster lexicon.
+class DirtyModel {
+ public:
+  explicit DirtyModel(const RecoveryRates& rates = {},
+                      std::uint64_t seed = 7);
+
+  /// Predicts a recovered name for `original_name` (the ground truth the
+  /// model is trying to reconstruct) currently shown as `placeholder`.
+  RecoveredName recover_name(const std::string& original_name,
+                             const std::string& placeholder);
+
+  /// Predicts a recovered type for ground truth `original_type` currently
+  /// flattened to `placeholder_type`. Misleading draws produce a
+  /// plausible-but-wrong named type (the `SSL *` failure mode).
+  RecoveredName recover_type(const std::string& original_type,
+                             const std::string& placeholder_type);
+
+  const RecoveryRates& rates() const { return rates_; }
+
+ private:
+  RecoveryOutcome draw_outcome();
+
+  RecoveryRates rates_;
+  util::Rng rng_;
+};
+
+}  // namespace decompeval::decompiler

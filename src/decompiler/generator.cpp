@@ -1,0 +1,425 @@
+#include "decompiler/generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "decompiler/pseudo_decompiler.h"
+#include "embed/corpus.h"
+#include "lang/interp.h"
+#include "lang/printer.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace decompeval::decompiler {
+
+namespace {
+
+void rename_expr_tree(lang::Expr& e,
+                      const std::map<std::string, std::string>& names) {
+  if (e.kind == lang::ExprKind::kIdentifier) {
+    const auto it = names.find(e.text);
+    if (it != names.end()) e.text = it->second;
+  }
+  for (auto& c : e.children)
+    if (c) rename_expr_tree(*c, names);
+}
+
+void rename_stmt_tree(lang::Stmt& s,
+                      const std::map<std::string, std::string>& names,
+                      const std::map<std::string, std::string>& types) {
+  for (auto& d : s.decls) {
+    const auto nit = names.find(d.name);
+    if (nit != names.end()) d.name = nit->second;
+    const std::size_t bracket = d.type_text.find('[');
+    const std::string base = bracket == std::string::npos
+                                 ? d.type_text
+                                 : d.type_text.substr(0, bracket);
+    const auto tit = types.find(base);
+    if (tit != types.end())
+      d.type_text = bracket == std::string::npos
+                        ? tit->second
+                        : tit->second + d.type_text.substr(bracket);
+    if (d.init) rename_expr_tree(*d.init, names);
+  }
+  for (auto& e : s.exprs)
+    if (e) rename_expr_tree(*e, names);
+  for (auto& b : s.body)
+    if (b) rename_stmt_tree(*b, names, types);
+}
+
+// One function template. `source` uses ${slot} placeholders filled from the
+// slot list; `key_variables` are the slots a comprehension question hinges
+// on.
+struct FunctionTemplate {
+  const char* name;
+  const char* description;
+  const char* source;
+  std::vector<const char*> slots;       // slot id = cluster concept_id
+  std::vector<const char*> key_slots;   // slots questions hinge on
+  const char* q1_prompt;
+  const char* q1_key;
+  const char* q2_prompt;
+  const char* q2_key;
+};
+
+const std::vector<FunctionTemplate>& function_templates() {
+  static const std::vector<FunctionTemplate> kTemplates = {
+      {"copy_transform",
+       "Copies a source buffer into a destination buffer applying a mask.",
+       R"(void ${fn}(unsigned char *${dest}, const unsigned char *${source}, size_t ${size}, unsigned char ${flag}) {
+  size_t ${index};
+  unsigned int ${sum};
+  ${sum} = 0;
+  ${index} = 0;
+  while (${index} < ${size}) {
+    ${dest}[${index}] = (unsigned char)(${source}[${index}] ^ ${flag});
+    ${sum} = ${sum} + ${dest}[${index}];
+    ${index} = ${index} + 1;
+  }
+  if (${size} > 0)
+    ${dest}[${size} - 1] = (unsigned char)${sum};
+})",
+       {"dest", "source", "size", "flag", "index", "sum"},
+       {"source", "flag"},
+       "Which argument selects the transformation applied to each byte?",
+       "The mask/flag argument: every byte is XORed with it.",
+       "What is written to the final byte of the destination?",
+       "The low byte of the running sum of transformed bytes."},
+      {"find_entry",
+       "Searches an array for a matching key and returns its index.",
+       R"(int ${fn}(const int *${array}, int ${size}, int ${key}) {
+  int ${index};
+  int ${result};
+  ${result} = -1;
+  for (${index} = 0; ${index} < ${size}; ${index} = ${index} + 1) {
+    if (${array}[${index}] == ${key}) {
+      ${result} = ${index};
+      break;
+    }
+  }
+  return ${result};
+})",
+       {"array", "size", "key", "index", "result"},
+       {"key", "result"},
+       "What are the potential return values of this function?",
+       "-1 when the key is absent; otherwise the index of the first match.",
+       "Which argument is compared against the array elements?",
+       "The key argument."},
+      {"append_separated",
+       "Appends a suffix to a buffer keeping exactly one separator.",
+       R"(size_t ${fn}(char *${dest}, size_t ${size}, const char *${source}, size_t ${len}) {
+  size_t ${index};
+  size_t ${sum};
+  ${sum} = ${size};
+  if (${size} > 0 && ${dest}[${size} - 1] != 47) {
+    ${dest}[${sum}] = 47;
+    ${sum} = ${sum} + 1;
+  }
+  for (${index} = 0; ${index} < ${len}; ${index} = ${index} + 1) {
+    ${dest}[${sum}] = ${source}[${index}];
+    ${sum} = ${sum} + 1;
+  }
+  ${dest}[${sum}] = 0;
+  return ${sum};
+})",
+       {"dest", "size", "source", "len", "index", "sum"},
+       {"source", "sum"},
+       "Under what condition is the separator byte written?",
+       "Only when the buffer is non-empty and does not already end with it.",
+       "What does the function return?",
+       "The new length of the buffer (excluding the terminator)."},
+      {"walk_chain",
+       "Walks a linked chain accumulating a weight until a limit.",
+       R"(int ${fn}(const int *${entry}, int ${size}, int ${weight}) {
+  int ${index};
+  int ${sum};
+  int ${result};
+  ${sum} = 0;
+  ${result} = 0;
+  ${index} = 0;
+  while (${index} >= 0 && ${index} < ${size}) {
+    ${sum} = ${sum} + ${weight};
+    if (${sum} > 100) {
+      ${result} = ${index};
+      break;
+    }
+    ${index} = ${entry}[${index}];
+  }
+  return ${result};
+})",
+       {"entry", "size", "weight", "index", "sum", "result"},
+       {"entry", "sum"},
+       "What terminates the walk besides the accumulated limit?",
+       "A next-index outside [0, size) — the chain escaping its bounds.",
+       "What value does the function return when the limit is hit?",
+       "The position at which the accumulated weight first exceeded 100."},
+      {"count_matches",
+       "Counts elements passing a threshold filter.",
+       R"(int ${fn}(const int *${array}, int ${size}, int ${weight}) {
+  int ${index};
+  int ${count};
+  ${count} = 0;
+  for (${index} = 0; ${index} < ${size}; ${index} = ${index} + 1) {
+    if (${array}[${index}] >= ${weight})
+      ${count} = ${count} + 1;
+  }
+  return ${count};
+})",
+       {"array", "size", "weight", "index", "count"},
+       {"weight", "count"},
+       "Which argument acts as the filter threshold?",
+       "The threshold/weight argument compared with >= against elements.",
+       "What does the function return for an empty array?",
+       "Zero — the loop body never runs."},
+      {"reverse_prefix",
+       "Reverses the first N bytes of a buffer in place.",
+       R"(void ${fn}(unsigned char *${buffer}, int ${size}) {
+  int ${index};
+  int ${count};
+  unsigned char ${temp};
+  ${index} = 0;
+  ${count} = ${size} - 1;
+  while (${index} < ${count}) {
+    ${temp} = ${buffer}[${index}];
+    ${buffer}[${index}] = ${buffer}[${count}];
+    ${buffer}[${count}] = ${temp};
+    ${index} = ${index} + 1;
+    ${count} = ${count} - 1;
+  }
+})",
+       {"buffer", "size", "index", "count", "temp"},
+       {"buffer", "temp"},
+       "What is the role of the temporary variable inside the loop?",
+       "It holds one byte during the swap of the two ends.",
+       "Which elements are left untouched when the length is odd?",
+       "The middle byte — the two cursors meet there and the loop stops."},
+      {"scan_maximum",
+       "Finds the value and position of the largest element.",
+       R"(int ${fn}(const int *${array}, int ${size}, int *${result}) {
+  int ${index};
+  int ${sum};
+  int ${pos};
+  ${sum} = ${array}[0];
+  ${pos} = 0;
+  for (${index} = 1; ${index} < ${size}; ${index} = ${index} + 1) {
+    if (${array}[${index}] > ${sum}) {
+      ${sum} = ${array}[${index}];
+      ${pos} = ${index};
+    }
+  }
+  *${result} = ${pos};
+  return ${sum};
+})",
+       {"array", "size", "result", "index", "sum", "pos"},
+       {"result", "pos"},
+       "What is written through the pointer argument?",
+       "The index/position of the maximum element.",
+       "What does the function itself return?",
+       "The maximum value found in the scan."},
+      {"fold_checksum",
+       "Computes a rolling xor-and-shift checksum over a buffer.",
+       R"(unsigned int ${fn}(const unsigned char *${buffer}, int ${size}, unsigned int ${key}) {
+  int ${index};
+  unsigned int ${sum};
+  ${sum} = ${key};
+  for (${index} = 0; ${index} < ${size}; ${index} = ${index} + 1) {
+    ${sum} = ${sum} ^ ${buffer}[${index}];
+    ${sum} = ((${sum} << 1) | (${sum} >> 31)) & 4294967295;
+  }
+  return ${sum};
+})",
+       {"buffer", "size", "key", "index", "sum"},
+       {"key", "sum"},
+       "How does the seed argument influence the result?",
+       "It initializes the accumulator that every byte is folded into.",
+       "What happens to the accumulator after each byte is mixed in?",
+       "It is rotated left by one bit within 32 bits."},
+  };
+  return kTemplates;
+}
+
+std::string pick_member(const std::string& concept_id, util::Rng& rng) {
+  for (const auto& cluster : embed::concept_clusters()) {
+    if (cluster.concept_id == concept_id)
+      return cluster.members[rng.uniform_index(cluster.members.size())];
+  }
+  // Slots not named after a cluster map to the closest concept.
+  if (concept_id == "count" || concept_id == "len")
+    return pick_member("size", rng);
+  if (concept_id == "pos") return pick_member("index", rng);
+  throw PreconditionError("template slot has no cluster: " + concept_id);
+}
+
+}  // namespace
+
+std::string apply_renames(const std::string& source,
+                          const std::map<std::string, std::string>& name_map,
+                          const std::map<std::string, std::string>& type_map,
+                          const lang::ParseOptions& options) {
+  lang::Function fn = lang::parse_function(source, options);
+  for (auto& p : fn.params) {
+    const auto nit = name_map.find(p.name);
+    if (nit != name_map.end()) p.name = nit->second;
+    const auto tit = type_map.find(p.type_text);
+    if (tit != type_map.end()) p.type_text = tit->second;
+  }
+  const auto rit = type_map.find(fn.return_type);
+  if (rit != type_map.end()) fn.return_type = rit->second;
+  if (fn.body) rename_stmt_tree(*fn.body, name_map, type_map);
+  return lang::to_source(fn);
+}
+
+std::vector<snippets::Snippet> generate_snippets(std::size_t count,
+                                                 const GeneratorConfig& config) {
+  DE_EXPECTS(count > 0);
+  config.recovery_rates.validate();
+  util::Rng rng(config.seed);
+  DirtyModel dirty(config.recovery_rates, config.seed ^ 0xD127ULL);
+
+  std::vector<snippets::Snippet> out;
+  out.reserve(count);
+  const auto& templates = function_templates();
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const FunctionTemplate& tpl = templates[i % templates.size()];
+
+    // Fill slots with cluster-sampled names, keeping them distinct.
+    std::map<std::string, std::string> slot_names;
+    std::set<std::string> used;
+    for (const char* slot : tpl.slots) {
+      std::string name;
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        name = pick_member(slot, rng);
+        if (used.insert(name).second) break;
+        name.clear();
+      }
+      if (name.empty()) {
+        name = std::string(slot) + std::to_string(i);
+        used.insert(name);
+      }
+      slot_names[slot] = name;
+    }
+    const std::string fn_name =
+        std::string(tpl.name) + "_" + std::to_string(i + 1);
+
+    std::string original = tpl.source;
+    original = util::replace_all(original, "${fn}", fn_name);
+    for (const auto& [slot, name] : slot_names)
+      original = util::replace_all(original, "${" + slot + "}", name);
+
+    // Hex-Rays variant.
+    const PseudoDecompileResult hexrays = pseudo_decompile(original);
+
+    // DIRTY variant: recover each renamed identifier.
+    snippets::Snippet s;
+    std::map<std::string, std::string> dirty_names;
+    std::map<std::string, RecoveryOutcome> outcome_by_original;
+    std::set<std::string> used_names;
+    for (const auto& [orig, placeholder] : hexrays.rename_map) {
+      const RecoveredName r = dirty.recover_name(orig, placeholder);
+      // Distinct variables must keep distinct names or the rename pass
+      // would merge them; disambiguate the way IDA/DIRTY outputs do —
+      // appending letters (the paper's AEEK shows `indexa`).
+      std::string unique = r.recovered;
+      for (char suffix = 'a'; !used_names.insert(unique).second; ++suffix)
+        unique = r.recovered + suffix;
+      dirty_names[placeholder] = unique;
+      outcome_by_original[orig] = r.outcome;
+      s.variable_alignment.push_back({orig, unique});
+    }
+    std::map<std::string, std::string> dirty_types;
+    for (const auto& [orig_type, flat_type] : hexrays.retype_map) {
+      const RecoveredName r = dirty.recover_type(orig_type, flat_type);
+      s.type_alignment.push_back({orig_type, r.recovered});
+      if (r.outcome == RecoveryOutcome::kPlaceholder) continue;
+      // Apply the recovered type to the source only when it preserves
+      // semantics: all address arithmetic in the flattened code is byte-
+      // scaled, so only unit-pointee pointer types (char*/void*/_BYTE*) or
+      // non-pointer types of the same width may be substituted textually.
+      const bool is_pointer = r.recovered.find('*') != std::string::npos;
+      const bool unit_pointee =
+          is_pointer && lang::Machine::pointee_width_of(r.recovered) == 1;
+      const bool same_width_scalar =
+          !is_pointer && lang::Machine::width_of(r.recovered) ==
+                             lang::Machine::width_of(flat_type);
+      if (unit_pointee || same_width_scalar)
+        dirty_types[flat_type] = r.recovered;
+    }
+    const std::string dirty_source =
+        apply_renames(hexrays.source, dirty_names, dirty_types, {});
+
+    s.id = "SYN-" + std::to_string(i + 1);
+    s.function_name = fn_name;
+    s.project = "synthetic";
+    s.description = tpl.description;
+    s.original_source = original;
+    s.hexrays_source = hexrays.source;
+    s.dirty_source = dirty_source;
+    // Recovered types may introduce typedef-looking names.
+    s.parse_options.typedef_names = {"SSL", "BIGNUM", "FILE", "tree234",
+                                     "array_t_0", "cmpfn234"};
+
+    // Question calibration derived from sampled annotation quality on the
+    // template's key variables.
+    double shift = 0.0;
+    double trust_penalty = 0.0;
+    int n_recovered = 0, n_misleading = 0;
+    for (const char* key_slot : tpl.key_slots) {
+      const std::string& orig_name = slot_names.at(key_slot);
+      const auto it = outcome_by_original.find(orig_name);
+      if (it == outcome_by_original.end()) continue;
+      switch (it->second) {
+        case RecoveryOutcome::kExact:
+        case RecoveryOutcome::kSynonym:
+          shift += config.helpful_shift;
+          ++n_recovered;
+          break;
+        case RecoveryOutcome::kRelated:
+          shift += config.helpful_shift / 2.0;
+          ++n_recovered;
+          break;
+        case RecoveryOutcome::kMisleading:
+          shift -= config.helpful_shift;
+          trust_penalty += config.misleading_trust_penalty;
+          ++n_misleading;
+          break;
+        case RecoveryOutcome::kPlaceholder:
+          break;
+      }
+    }
+
+    snippets::QuestionSpec q1;
+    q1.id = s.id + "-Q1";
+    q1.prompt = tpl.q1_prompt;
+    q1.answer_key = tpl.q1_key;
+    q1.base_seconds = rng.uniform(150.0, 320.0);
+    q1.base_difficulty = rng.normal(0.3, 0.8);
+    q1.dirty_correctness_shift = shift;
+    q1.trust_penalty = trust_penalty;
+    q1.dirty_time_factor = n_misleading > 0 ? 1.15 : 0.95;
+
+    snippets::QuestionSpec q2;
+    q2.id = s.id + "-Q2";
+    q2.prompt = tpl.q2_prompt;
+    q2.answer_key = tpl.q2_key;
+    q2.base_seconds = rng.uniform(150.0, 320.0);
+    q2.base_difficulty = rng.normal(0.0, 0.8);
+    q2.dirty_correctness_shift = shift;
+    q2.trust_penalty = trust_penalty;
+    q2.dirty_time_factor = n_misleading > 0 ? 1.2 : 0.95;
+    s.questions = {q1, q2};
+
+    const double quality =
+        static_cast<double>(n_recovered) /
+        static_cast<double>(std::max<std::size_t>(tpl.key_slots.size(), 1));
+    s.dirty_name_quality = 0.4 + 0.5 * quality - 0.2 * n_misleading;
+    s.dirty_name_quality = std::clamp(s.dirty_name_quality, 0.05, 0.95);
+    s.dirty_type_quality =
+        std::clamp(0.35 + 0.4 * quality - 0.25 * n_misleading, 0.05, 0.95);
+
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace decompeval::decompiler

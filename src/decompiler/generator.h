@@ -1,0 +1,47 @@
+// Synthetic snippet generator.
+//
+// The paper's threats-to-validity section calls out its four-snippet limit
+// and suggests "randomizing a larger pool of snippets per participant" —
+// this generator provides that pool. It instantiates function templates
+// (buffer copies, accumulation loops, searches, list walks, path joins)
+// with semantically meaningful names drawn from the concept-cluster
+// lexicon, pseudo-decompiles them (Hex-Rays variant), and runs the
+// DIRTY-like recovery model over the placeholders (DIRTY variant),
+// yielding fully aligned Snippets whose question calibration is *derived
+// from the sampled annotation quality* — misleading recoveries on
+// load-bearing variables induce trust penalties, exactly the coupling the
+// paper observed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "decompiler/dirty_model.h"
+#include "snippets/snippet.h"
+
+namespace decompeval::decompiler {
+
+struct GeneratorConfig {
+  RecoveryRates recovery_rates;
+  std::uint64_t seed = 99;
+  /// Logit penalty per misleading annotation on a question's key variables.
+  double misleading_trust_penalty = 1.4;
+  /// Logit bonus per exact/synonym recovery on key variables.
+  double helpful_shift = 0.25;
+};
+
+/// Generates `count` synthetic snippets. Deterministic in config.seed.
+std::vector<snippets::Snippet> generate_snippets(std::size_t count,
+                                                 const GeneratorConfig& config);
+
+/// Applies a placeholder→recovered rename map to decompiled source (parse,
+/// rename, re-print). Types of parameters/locals are replaced when the map
+/// contains their placeholder type text.
+std::string apply_renames(
+    const std::string& source,
+    const std::map<std::string, std::string>& name_map,
+    const std::map<std::string, std::string>& type_map,
+    const lang::ParseOptions& options);
+
+}  // namespace decompeval::decompiler

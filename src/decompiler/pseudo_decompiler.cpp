@@ -1,0 +1,197 @@
+#include "decompiler/pseudo_decompiler.h"
+
+#include <functional>
+
+#include "lang/interp.h"
+#include "lang/printer.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace decompeval::decompiler {
+
+namespace {
+
+// Pointee widths of variables whose pointer types were flattened to
+// __int64; indexing through them must become explicit cast-and-offset
+// expressions (what real decompilers emit when pointee types are lost).
+using WidthMap = std::map<std::string, std::size_t>;
+
+const char* placeholder_pointer_for(std::size_t width) {
+  switch (width) {
+    case 1: return "_BYTE *";
+    case 2: return "_WORD *";
+    case 4: return "_DWORD *";
+    default: return "_QWORD *";
+  }
+}
+
+lang::ExprPtr make_number(std::int64_t value) {
+  auto e = std::make_unique<lang::Expr>();
+  e->kind = lang::ExprKind::kNumber;
+  e->text = std::to_string(value) + "LL";
+  return e;
+}
+
+// Rewrites `base[index]` (base: flattened pointer) into
+// `*(_W *)(base + w * index)` — width-faithful decompiler style.
+lang::ExprPtr lower_index(lang::ExprPtr base, lang::ExprPtr index,
+                          std::size_t width) {
+  lang::ExprPtr offset;
+  if (width == 1) {
+    offset = std::move(index);
+  } else {
+    offset = std::make_unique<lang::Expr>();
+    offset->kind = lang::ExprKind::kBinary;
+    offset->text = "*";
+    offset->children.push_back(make_number(static_cast<std::int64_t>(width)));
+    offset->children.push_back(std::move(index));
+  }
+  auto sum = std::make_unique<lang::Expr>();
+  sum->kind = lang::ExprKind::kBinary;
+  sum->text = "+";
+  sum->children.push_back(std::move(base));
+  sum->children.push_back(std::move(offset));
+  auto cast = std::make_unique<lang::Expr>();
+  cast->kind = lang::ExprKind::kCast;
+  cast->type_text = placeholder_pointer_for(width);
+  cast->children.push_back(std::move(sum));
+  auto deref = std::make_unique<lang::Expr>();
+  deref->kind = lang::ExprKind::kUnary;
+  deref->text = "*";
+  deref->children.push_back(std::move(cast));
+  return deref;
+}
+
+void rename_in_expr(lang::ExprPtr& e_ptr,
+                    const std::map<std::string, std::string>& renames,
+                    const WidthMap& widths) {
+  lang::Expr& e = *e_ptr;
+  if (e.kind == lang::ExprKind::kIdentifier) {
+    const auto it = renames.find(e.text);
+    if (it != renames.end()) e.text = it->second;
+    return;
+  }
+  if (e.kind == lang::ExprKind::kCast) e.type_text = flatten_type(e.type_text);
+
+  // Lower indexing through a flattened pointer before recursing, while the
+  // base still carries its original name.
+  if (e.kind == lang::ExprKind::kIndex &&
+      e.children[0]->kind == lang::ExprKind::kIdentifier) {
+    const auto it = widths.find(e.children[0]->text);
+    if (it != widths.end()) {
+      lang::ExprPtr base = std::move(e.children[0]);
+      lang::ExprPtr index = std::move(e.children[1]);
+      rename_in_expr(base, renames, widths);
+      rename_in_expr(index, renames, widths);
+      e_ptr = lower_index(std::move(base), std::move(index), it->second);
+      return;
+    }
+  }
+  // Plain dereference of a flattened pointer gets the same treatment.
+  if (e.kind == lang::ExprKind::kUnary && e.text == "*" &&
+      e.children[0]->kind == lang::ExprKind::kIdentifier) {
+    const auto it = widths.find(e.children[0]->text);
+    if (it != widths.end()) {
+      lang::ExprPtr base = std::move(e.children[0]);
+      rename_in_expr(base, renames, widths);
+      e_ptr = lower_index(std::move(base), make_number(0), it->second);
+      return;
+    }
+  }
+  for (auto& c : e.children)
+    if (c) rename_in_expr(c, renames, widths);
+}
+
+bool is_plain_pointer(const std::string& type_text) {
+  return type_text.find('*') != std::string::npos &&
+         type_text.find('(') == std::string::npos &&
+         type_text.find('[') == std::string::npos;
+}
+
+// Pointee width of "T *": width of T via the interpreter's type model.
+std::size_t pointee_width(const std::string& pointer_type) {
+  return lang::Machine::pointee_width_of(pointer_type);
+}
+
+void collect_and_rename(lang::Stmt& s,
+                        std::map<std::string, std::string>& renames,
+                        std::map<std::string, std::string>& retypes,
+                        WidthMap& widths, int& local_counter) {
+  for (auto& d : s.decls) {
+    if (renames.find(d.name) == renames.end())
+      renames.emplace(d.name, "v" + std::to_string(local_counter++));
+    if (is_plain_pointer(d.type_text))
+      widths.emplace(d.name, pointee_width(d.type_text));
+    const std::string flat = flatten_type(d.type_text);
+    retypes.emplace(d.type_text, flat);
+    // Array suffixes survive flattening so the declaration stays valid.
+    const std::size_t bracket = d.type_text.find('[');
+    d.type_text =
+        bracket == std::string::npos ? flat : flat + d.type_text.substr(bracket);
+    d.name = renames.at(d.name);
+    if (d.init) rename_in_expr(d.init, renames, widths);
+  }
+  for (auto& e : s.exprs)
+    if (e) rename_in_expr(e, renames, widths);
+  for (auto& b : s.body)
+    if (b) collect_and_rename(*b, renames, retypes, widths, local_counter);
+}
+
+}  // namespace
+
+std::string flatten_type(const std::string& type_text) {
+  // Function pointers and all other pointers flatten to a 64-bit integer,
+  // matching Hex-Rays' habit of losing pointee types.
+  if (type_text.find('(') != std::string::npos) return "__int64";
+  if (type_text.find('*') != std::string::npos) return "__int64";
+  std::string t = type_text;
+  // Strip qualifiers the decompiler drops.
+  for (const char* qual : {"const ", "static ", "restrict ", "volatile ",
+                           "register ", "struct "})
+    t = util::replace_all(t, qual, "");
+  const bool is_unsigned = util::starts_with(t, "unsigned ") ||
+                           t == "unsigned" || util::starts_with(t, "uint");
+  if (t == "size_t" || t == "unsigned long" || t == "uint64_t" ||
+      t == "unsigned __int64")
+    return "unsigned __int64";
+  if (t == "long" || t == "int64_t" || t == "__int64" || t == "ssize_t" ||
+      t == "intptr_t")
+    return "__int64";
+  if (t.find("char") != std::string::npos) return "char";
+  if (t.find("short") != std::string::npos)
+    return is_unsigned ? "unsigned __int16" : "__int16";
+  if (t == "void") return "void";
+  if (t == "float" || t == "double") return t;
+  return is_unsigned ? "unsigned int" : "int";
+}
+
+PseudoDecompileResult pseudo_decompile(std::string_view original_source,
+                                       const lang::ParseOptions& options) {
+  lang::Function fn = lang::parse_function(original_source, options);
+
+  PseudoDecompileResult out;
+  WidthMap widths;
+  int arg_counter = 1;
+  for (auto& p : fn.params) {
+    if (!p.name.empty()) {
+      if (is_plain_pointer(p.type_text))
+        widths.emplace(p.name, pointee_width(p.type_text));
+      out.rename_map.emplace(p.name, "a" + std::to_string(arg_counter));
+      p.name = "a" + std::to_string(arg_counter);
+      ++arg_counter;
+    }
+    const std::string flat = flatten_type(p.type_text);
+    out.retype_map.emplace(p.type_text, flat);
+    p.type_text = flat;
+  }
+  out.retype_map.emplace(fn.return_type, flatten_type(fn.return_type));
+  fn.return_type = flatten_type(fn.return_type);
+
+  int local_counter = arg_counter + 2;  // Hex-Rays skips a few v-numbers
+  if (fn.body) collect_and_rename(*fn.body, out.rename_map, out.retype_map,
+                                  widths, local_counter);
+  out.source = lang::to_source(fn);
+  return out;
+}
+
+}  // namespace decompeval::decompiler

@@ -1,0 +1,39 @@
+// A Hex-Rays-style pseudo-decompiler pass.
+//
+// The study's Hex-Rays substrate is only observed through its *output
+// text*; the property that matters is its naming convention — arguments
+// become a1, a2, …, locals become v<N>, and semantic types flatten to
+// machine-width placeholders. This pass applies exactly that convention to
+// any parseable function, producing (a) the renamed source and (b) the
+// ground-truth rename map that the DIRTY-like recovery model and the
+// intrinsic metrics consume.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "lang/parser.h"
+#include "metrics/registry.h"
+
+namespace decompeval::decompiler {
+
+struct PseudoDecompileResult {
+  std::string source;
+  /// original variable name → placeholder (a1/v5/...)
+  std::map<std::string, std::string> rename_map;
+  /// original declared type text → placeholder type text
+  std::map<std::string, std::string> retype_map;
+};
+
+/// Rewrites all parameters and locals of the function in `original_source`
+/// to decompiler placeholders and flattens types. Throws lang::ParseError
+/// if the source does not parse.
+PseudoDecompileResult pseudo_decompile(std::string_view original_source,
+                                       const lang::ParseOptions& options = {});
+
+/// Maps a semantic C type to the placeholder a decompiler would emit
+/// (pointers → __int64/_QWORD-style, small ints widen, typedefs erase).
+std::string flatten_type(const std::string& type_text);
+
+}  // namespace decompeval::decompiler

@@ -1,0 +1,173 @@
+#include "embed/corpus.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace decompeval::embed {
+
+const std::vector<ConceptCluster>& concept_clusters() {
+  static const std::vector<ConceptCluster> kClusters = {
+      {"size",
+       {"size", "length", "len", "count", "n", "num", "nbytes", "sz"},
+       {"buffer", "array", "alloc", "bytes", "total", "max", "limit"}},
+      {"buffer",
+       {"buffer", "buf", "data", "bytes", "mem", "block", "chunk"},
+       {"copy", "write", "read", "size", "alloc", "free", "fill"}},
+      {"string",
+       {"string", "str", "text", "chars", "name", "word"},
+       {"length", "copy", "compare", "concat", "format", "print"}},
+      {"index",
+       {"index", "idx", "pos", "position", "i", "j", "offset", "cursor"},
+       {"array", "loop", "element", "iterate", "bound", "range"}},
+      {"key",
+       {"key", "klen", "id", "ident", "lookup", "hash"},
+       {"map", "table", "find", "search", "entry", "bucket"}},
+      {"array",
+       {"array", "arr", "list", "vector", "vec", "elements", "items"},
+       {"index", "size", "element", "insert", "remove", "sort"}},
+      {"tree",
+       {"tree", "node", "root", "leaf", "subtree", "branch"},
+       {"left", "right", "parent", "child", "traverse", "depth"}},
+      {"callback",
+       {"callback", "cb", "fn", "func", "function", "handler", "hook",
+        "visit", "cmp", "cmpfn", "compare"},
+       {"pointer", "call", "invoke", "apply", "each", "arg"}},
+      {"source",
+       {"source", "src", "input", "in", "from", "orig"},
+       {"dest", "copy", "read", "stream", "move"}},
+      {"dest",
+       {"dest", "dst", "destination", "output", "out", "to", "target"},
+       {"src", "copy", "write", "stream", "move"}},
+      {"result",
+       {"result", "ret", "rv", "retval", "val", "value", "res", "ans"},
+       {"return", "status", "code", "check", "success"}},
+      {"error",
+       {"error", "err", "errno", "fail", "fault", "status"},
+       {"code", "check", "return", "handle", "log", "abort"}},
+      {"path",
+       {"path", "file", "filename", "dir", "directory", "fname"},
+       {"open", "close", "read", "write", "append", "separator", "slash"}},
+      {"crypto",
+       {"ssl", "tls", "crypto", "cipher", "digest", "sign"},
+       {"context", "session", "handshake", "encrypt", "decrypt", "cert"}},
+      {"padding",
+       {"padding", "pad", "fill", "mask", "complement"},
+       {"byte", "align", "buffer", "xor", "twos", "negate"}},
+      {"pointer",
+       {"pointer", "ptr", "addr", "address", "ref", "p"},
+       {"deref", "null", "cast", "memory", "offset", "struct"}},
+      {"temp",
+       {"temp", "tmp", "scratch", "aux", "spare"},
+       {"swap", "hold", "local", "intermediate"}},
+      {"flag",
+       {"flag", "flags", "bit", "bits", "option", "opts", "mode"},
+       {"set", "clear", "test", "mask", "toggle", "check"}},
+      {"time",
+       {"time", "timestamp", "ts", "clock", "when", "epoch"},
+       {"now", "elapsed", "duration", "second", "milli", "tick"}},
+      {"lock",
+       {"lock", "mutex", "sem", "semaphore", "latch", "guard"},
+       {"acquire", "release", "wait", "thread", "atomic", "hold"}},
+      {"queue",
+       {"queue", "fifo", "deque", "ring", "pipeline"},
+       {"push", "pop", "head", "tail", "empty", "full"}},
+      {"stack",
+       {"stack", "lifo", "frames"},
+       {"push", "pop", "top", "frame", "depth", "overflow"}},
+      {"socket",
+       {"socket", "sock", "conn", "connection", "fd", "channel"},
+       {"accept", "listen", "bind", "send", "recv", "close", "port"}},
+      {"packet",
+       {"packet", "pkt", "frame", "datagram", "message", "msg"},
+       {"header", "payload", "send", "recv", "parse", "checksum"}},
+      {"memory",
+       {"memory", "mem", "heap", "pool", "arena", "region"},
+       {"alloc", "free", "map", "page", "slab", "leak"}},
+      {"entry",
+       {"entry", "element", "item", "record", "slot", "cell"},
+       {"table", "insert", "delete", "extract", "find", "metadata"}},
+      {"header",
+       {"header", "hdr", "head", "prefix", "preamble"},
+       {"parse", "field", "magic", "version", "length"}},
+      {"config",
+       {"config", "cfg", "settings", "options", "params", "parameters"},
+       {"load", "parse", "default", "override", "validate"}},
+      {"user",
+       {"user", "client", "owner", "uid", "account"},
+       {"login", "auth", "permission", "session", "name"}},
+      {"state",
+       {"state", "status", "phase", "stage", "condition"},
+       {"machine", "transition", "current", "next", "update"}},
+      {"line",
+       {"line", "row", "record", "entry"},
+       {"read", "parse", "number", "column", "split", "file"}},
+      {"char",
+       {"char", "character", "byte", "ch", "c", "letter"},
+       {"string", "ascii", "encode", "decode", "compare"}},
+      {"width",
+       {"width", "height", "depth", "dim", "dimension", "extent"},
+       {"pixel", "rect", "bound", "resize", "scale"}},
+      {"sum",
+       {"sum", "total", "accum", "accumulator", "aggregate"},
+       {"add", "loop", "reduce", "average", "mean"}},
+      {"weight",
+       {"weight", "score", "rank", "priority", "cost"},
+       {"sort", "compare", "heap", "best", "max", "min"}},
+      {"id",
+       {"id", "identifier", "tag", "label", "token"},
+       {"unique", "lookup", "assign", "generate", "match"}},
+      {"version",
+       {"version", "ver", "revision", "rev", "release"},
+       {"major", "minor", "patch", "compare", "upgrade"}},
+      {"signal",
+       {"signal", "sig", "event", "notify", "interrupt"},
+       {"handler", "raise", "catch", "mask", "pending"}},
+      {"child",
+       {"child", "parent", "sibling", "ancestor", "descendant"},
+       {"tree", "node", "link", "traverse", "process", "fork"}},
+      {"iterator",
+       {"iterator", "iter", "it", "walker", "scanner"},
+       {"next", "begin", "end", "advance", "loop", "element"}},
+      {"auxiliary",
+       {"auxiliary", "aux", "extra", "context", "ctx", "env", "opaque",
+        "userdata", "cookie", "info"},
+       {"pass", "carry", "callback", "state", "pointer", "through"}},
+  };
+  return kClusters;
+}
+
+std::vector<std::vector<std::string>> generate_corpus(std::size_t n_sentences,
+                                                      std::uint64_t seed) {
+  DE_EXPECTS(n_sentences > 0);
+  util::Rng rng(seed);
+  const auto& clusters = concept_clusters();
+  std::vector<std::vector<std::string>> corpus;
+  corpus.reserve(n_sentences);
+  for (std::size_t s = 0; s < n_sentences; ++s) {
+    const ConceptCluster& cluster =
+        clusters[rng.uniform_index(clusters.size())];
+    std::vector<std::string> sentence;
+    // 2–4 synonyms from the cluster share this context window.
+    const std::size_t n_members = 2 + rng.uniform_index(3);
+    for (std::size_t i = 0; i < n_members; ++i)
+      sentence.push_back(
+          cluster.members[rng.uniform_index(cluster.members.size())]);
+    // 3–6 context words.
+    const std::size_t n_contexts = 3 + rng.uniform_index(4);
+    for (std::size_t i = 0; i < n_contexts; ++i)
+      sentence.push_back(
+          cluster.contexts[rng.uniform_index(cluster.contexts.size())]);
+    // Occasional cross-cluster noise keeps unrelated clusters from
+    // collapsing to orthogonality artifacts.
+    if (rng.bernoulli(0.3)) {
+      const ConceptCluster& other =
+          clusters[rng.uniform_index(clusters.size())];
+      sentence.push_back(other.members[rng.uniform_index(other.members.size())]);
+    }
+    rng.shuffle(sentence);
+    corpus.push_back(std::move(sentence));
+  }
+  return corpus;
+}
+
+}  // namespace decompeval::embed

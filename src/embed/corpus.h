@@ -1,0 +1,35 @@
+// Built-in identifier-subtoken corpus for training the embedding model.
+//
+// BERTScore and VarCLR derive their power from pretraining on billions of
+// tokens; offline we substitute a synthetic corpus engineered to encode the
+// semantic neighborhoods that matter for decompiler-name evaluation
+// (size ≈ length ≈ len, buf ≈ buffer ≈ str, idx ≈ index ≈ pos, ...).
+// Cluster members are emitted into shared contexts, so a PPMI
+// co-occurrence model places them near each other — exactly the property
+// the paper highlights ("size and length are maximally distant according
+// to [surface] metrics, even though semantically they are quite similar").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace decompeval::embed {
+
+/// One synonym cluster plus the context vocabulary it tends to appear with.
+struct ConceptCluster {
+  std::string concept_id;
+  std::vector<std::string> members;
+  std::vector<std::string> contexts;
+};
+
+/// The curated cluster inventory (~40 clusters over systems-code naming).
+const std::vector<ConceptCluster>& concept_clusters();
+
+/// Generates `n_sentences` co-occurrence sentences deterministically from
+/// `seed`. Each sentence mixes members of one cluster with samples of its
+/// context vocabulary and occasional cross-cluster noise.
+std::vector<std::vector<std::string>> generate_corpus(std::size_t n_sentences,
+                                                      std::uint64_t seed);
+
+}  // namespace decompeval::embed

@@ -1,0 +1,157 @@
+#include "embed/embedding.h"
+
+#include <cmath>
+
+#include "embed/corpus.h"
+#include "text/tokenize.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace decompeval::embed {
+
+namespace {
+
+void normalize(std::vector<double>& v) {
+  double norm = 0.0;
+  for (const double x : v) norm += x * x;
+  norm = std::sqrt(norm);
+  if (norm > 0.0)
+    for (double& x : v) x /= norm;
+}
+
+std::uint64_t fnv1a(const std::string& s, std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ULL ^ seed;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+EmbeddingModel EmbeddingModel::train(
+    const std::vector<std::vector<std::string>>& sentences,
+    const EmbeddingOptions& options) {
+  DE_EXPECTS(options.dimension > 0 && options.window > 0);
+  EmbeddingModel model;
+  model.options_ = options;
+
+  // Vocabulary and co-occurrence counts within the window.
+  std::unordered_map<std::string, std::size_t> vocab;
+  for (const auto& sentence : sentences)
+    for (const auto& token : sentence)
+      vocab.emplace(token, vocab.size());
+  const std::size_t v = vocab.size();
+  DE_EXPECTS_MSG(v > 1, "corpus has fewer than two distinct tokens");
+
+  std::vector<std::unordered_map<std::size_t, double>> cooc(v);
+  std::vector<double> token_count(v, 0.0);
+  double total_pairs = 0.0;
+  for (const auto& sentence : sentences) {
+    for (std::size_t i = 0; i < sentence.size(); ++i) {
+      const std::size_t wi = vocab.at(sentence[i]);
+      const std::size_t lo = i >= options.window ? i - options.window : 0;
+      const std::size_t hi =
+          std::min(sentence.size(), i + options.window + 1);
+      for (std::size_t j = lo; j < hi; ++j) {
+        if (j == i) continue;
+        const std::size_t wj = vocab.at(sentence[j]);
+        cooc[wi][wj] += 1.0;
+        token_count[wi] += 1.0;
+        total_pairs += 1.0;
+      }
+    }
+  }
+  DE_EXPECTS_MSG(total_pairs > 0.0, "no co-occurrence pairs in corpus");
+
+  // Seeded Gaussian random projection matrix: rows indexed by context word,
+  // generated lazily but deterministically from (word index, dim).
+  util::Rng proj_seed_rng(options.projection_seed);
+  std::vector<std::vector<double>> projection(v);
+  for (std::size_t w = 0; w < v; ++w) {
+    util::Rng row_rng(options.projection_seed * 0x9E3779B97F4A7C15ULL + w);
+    projection[w].resize(options.dimension);
+    for (double& x : projection[w]) x = row_rng.normal();
+  }
+
+  // PPMI rows projected down: vec(w) = Σ_c ppmi(w, c) · proj(c).
+  for (const auto& [token, wi] : vocab) {
+    std::vector<double> vec(options.dimension, 0.0);
+    for (const auto& [cj, count] : cooc[wi]) {
+      const double pmi =
+          std::log(count * total_pairs /
+                   (token_count[wi] * token_count[cj]));
+      if (pmi <= 0.0) continue;  // positive PMI only
+      for (std::size_t d = 0; d < options.dimension; ++d)
+        vec[d] += pmi * projection[cj][d];
+    }
+    normalize(vec);
+    model.vectors_.emplace(token, std::move(vec));
+  }
+  return model;
+}
+
+EmbeddingModel EmbeddingModel::train_default(std::size_t corpus_sentences,
+                                             std::uint64_t corpus_seed) {
+  return train(generate_corpus(corpus_sentences, corpus_seed));
+}
+
+std::vector<double> EmbeddingModel::hash_fallback(
+    const std::string& token) const {
+  std::vector<double> vec(options_.dimension, 0.0);
+  const std::string padded = "^" + token + "$";
+  const auto trigrams = text::char_ngrams(padded, 3);
+  if (trigrams.empty()) {
+    // Single/double-char token: hash the token itself.
+    util::Rng rng(fnv1a(padded, 7));
+    for (double& x : vec) x = rng.normal();
+    normalize(vec);
+    return vec;
+  }
+  for (const auto& tri : trigrams) {
+    util::Rng rng(fnv1a(tri, 7));
+    for (double& x : vec) x += rng.normal();
+  }
+  normalize(vec);
+  return vec;
+}
+
+std::vector<double> EmbeddingModel::embed_token(const std::string& token) const {
+  const auto it = vectors_.find(token);
+  if (it != vectors_.end()) return it->second;
+  return hash_fallback(token);
+}
+
+std::vector<double> EmbeddingModel::embed_name(
+    const std::string& identifier) const {
+  const auto subtokens = text::split_identifier(identifier);
+  std::vector<double> vec(options_.dimension, 0.0);
+  if (subtokens.empty()) return vec;
+  for (const auto& sub : subtokens) {
+    const auto sv = embed_token(sub);
+    for (std::size_t d = 0; d < vec.size(); ++d) vec[d] += sv[d];
+  }
+  normalize(vec);
+  return vec;
+}
+
+double EmbeddingModel::name_similarity(const std::string& a,
+                                       const std::string& b) const {
+  return cosine(embed_name(a), embed_name(b));
+}
+
+double EmbeddingModel::cosine(const std::vector<double>& a,
+                              const std::vector<double>& b) {
+  DE_EXPECTS(a.size() == b.size());
+  double num = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return num / std::sqrt(na * nb);
+}
+
+}  // namespace decompeval::embed

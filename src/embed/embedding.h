@@ -1,0 +1,66 @@
+// Deterministic word embeddings: PPMI co-occurrence rows compressed by a
+// seeded random projection.
+//
+// This replaces the pretrained BERT / VarCLR encoders the paper's metrics
+// load (unavailable offline). The measurement mechanics built on top —
+// greedy token matching for BERTScore, name-level cosine for VarCLR — are
+// implemented exactly as published; only the vector source differs (see
+// DESIGN.md substitution table).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace decompeval::embed {
+
+struct EmbeddingOptions {
+  std::size_t dimension = 64;
+  std::size_t window = 4;          ///< symmetric co-occurrence window
+  std::uint64_t projection_seed = 17;
+};
+
+class EmbeddingModel {
+ public:
+  /// Trains on tokenized sentences: counts windowed co-occurrences, forms
+  /// positive pointwise mutual information rows, and projects them to
+  /// `dimension` with a seeded Gaussian random projection.
+  static EmbeddingModel train(
+      const std::vector<std::vector<std::string>>& sentences,
+      const EmbeddingOptions& options = {});
+
+  /// Trains on the built-in concept corpus (the standard configuration used
+  /// throughout the replication pipeline).
+  static EmbeddingModel train_default(std::size_t corpus_sentences = 20000,
+                                      std::uint64_t corpus_seed = 42);
+
+  /// Unit-norm vector for a subtoken. Out-of-vocabulary subtokens fall back
+  /// to a deterministic char-trigram hash embedding, so every token
+  /// compares consistently across calls.
+  std::vector<double> embed_token(const std::string& token) const;
+
+  /// Mean of subtoken vectors of an identifier (split on case/underscores),
+  /// re-normalized — the composition VarCLR uses for multiword names.
+  std::vector<double> embed_name(const std::string& identifier) const;
+
+  /// Cosine similarity of two identifiers' name vectors.
+  double name_similarity(const std::string& a, const std::string& b) const;
+
+  static double cosine(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+  std::size_t vocabulary_size() const { return vectors_.size(); }
+  std::size_t dimension() const { return options_.dimension; }
+  bool in_vocabulary(const std::string& token) const {
+    return vectors_.count(token) > 0;
+  }
+
+ private:
+  EmbeddingOptions options_;
+  std::unordered_map<std::string, std::vector<double>> vectors_;
+
+  std::vector<double> hash_fallback(const std::string& token) const;
+};
+
+}  // namespace decompeval::embed

@@ -1,0 +1,301 @@
+#include "lang/analysis.h"
+
+#include <functional>
+
+namespace decompeval::lang {
+
+namespace {
+
+// ---- Subtree signatures ---------------------------------------------------
+
+std::string serialize_expr(const Expr& e, std::map<std::string, int>& out);
+
+std::string expr_label(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kIdentifier:
+      return "ID";
+    case ExprKind::kNumber:
+    case ExprKind::kString:
+    case ExprKind::kCharLiteral:
+      return "LIT";
+    case ExprKind::kUnary:
+      return "un:" + e.text;
+    case ExprKind::kBinary:
+      return "bin:" + e.text;
+    case ExprKind::kTernary:
+      return "ternary";
+    case ExprKind::kCall:
+      return "call";
+    case ExprKind::kIndex:
+      return "index";
+    case ExprKind::kMember:
+      return "mem:" + e.text + ":" + e.member_name;
+    case ExprKind::kCast:
+      return "cast";
+  }
+  return "?";
+}
+
+std::string serialize_expr(const Expr& e, std::map<std::string, int>& out) {
+  std::string s = "(" + expr_label(e);
+  for (const auto& c : e.children) {
+    s += ' ';
+    s += c ? serialize_expr(*c, out) : "_";
+  }
+  s += ')';
+  ++out[s];
+  return s;
+}
+
+std::string serialize_stmt(const Stmt& s, std::map<std::string, int>& out) {
+  std::string text = "{";
+  switch (s.kind) {
+    case StmtKind::kBlock: text += "block"; break;
+    case StmtKind::kDecl: text += "decl"; break;
+    case StmtKind::kExpr: text += "expr"; break;
+    case StmtKind::kIf: text += "if"; break;
+    case StmtKind::kWhile: text += "while"; break;
+    case StmtKind::kDoWhile: text += "dowhile"; break;
+    case StmtKind::kFor: text += "for"; break;
+    case StmtKind::kReturn: text += "return"; break;
+    case StmtKind::kBreak: text += "break"; break;
+    case StmtKind::kContinue: text += "continue"; break;
+    case StmtKind::kEmpty: text += "empty"; break;
+  }
+  for (const auto& d : s.decls) {
+    text += " [d";
+    if (d.init) {
+      text += '=';
+      text += serialize_expr(*d.init, out);
+    }
+    text += ']';
+  }
+  for (const auto& e : s.exprs) {
+    text += ' ';
+    text += e ? serialize_expr(*e, out) : "_";
+  }
+  for (const auto& b : s.body) {
+    text += ' ';
+    text += b ? serialize_stmt(*b, out) : "_";
+  }
+  text += '}';
+  ++out[text];
+  return text;
+}
+
+// ---- Dataflow --------------------------------------------------------------
+
+class DataflowWalker {
+ public:
+  std::set<DataflowEdge> run(const Function& fn) {
+    for (const auto& p : fn.params)
+      if (!p.name.empty()) define(p.name);
+    if (fn.body) walk_stmt(*fn.body);
+    return edges_;
+  }
+
+ private:
+  int next_position() { return position_counter_++; }
+
+  void define(const std::string& name) {
+    last_def_[name] = next_position();
+  }
+
+  void use(const std::string& name) {
+    const int pos = next_position();
+    const auto it = last_def_.find(name);
+    if (it != last_def_.end()) edges_.insert({pos, it->second});
+  }
+
+  // Walks an expression; `lvalue_root` marks the expression currently being
+  // assigned to, whose base identifier becomes a def rather than a use.
+  void walk_expr(const Expr& e, bool is_def_target = false) {
+    switch (e.kind) {
+      case ExprKind::kIdentifier:
+        if (is_def_target) define(e.text);
+        else use(e.text);
+        return;
+      case ExprKind::kBinary: {
+        const bool is_assign = !e.text.empty() && e.text.back() == '=' &&
+                               e.text != "==" && e.text != "!=" &&
+                               e.text != "<=" && e.text != ">=";
+        if (is_assign) {
+          // Compound assignments read the target first.
+          if (e.text != "=") walk_expr(*e.children[0], false);
+          walk_expr(*e.children[1], false);  // RHS evaluated before the def
+          walk_expr(*e.children[0], true);
+          return;
+        }
+        walk_expr(*e.children[0], false);
+        walk_expr(*e.children[1], false);
+        return;
+      }
+      case ExprKind::kUnary: {
+        const bool is_incdec = e.text == "++" || e.text == "--" ||
+                               e.text == "post++" || e.text == "post--";
+        if (is_incdec) {
+          walk_expr(*e.children[0], false);  // read
+          walk_expr(*e.children[0], true);   // write
+          return;
+        }
+        walk_expr(*e.children[0], false);
+        return;
+      }
+      case ExprKind::kMember:
+      case ExprKind::kCast:
+        // A write through a member/deref still reads the base pointer.
+        walk_expr(*e.children[0], false);
+        return;
+      case ExprKind::kIndex:
+        walk_expr(*e.children[0], false);
+        walk_expr(*e.children[1], false);
+        return;
+      case ExprKind::kCall:
+      case ExprKind::kTernary:
+        for (const auto& c : e.children)
+          if (c) walk_expr(*c, false);
+        return;
+      case ExprKind::kNumber:
+      case ExprKind::kString:
+      case ExprKind::kCharLiteral:
+        return;
+    }
+  }
+
+  void walk_stmt(const Stmt& s) {
+    for (const auto& d : s.decls) {
+      if (d.init) {
+        walk_expr(*d.init, false);
+        define(d.name);
+      }
+      // Uninitialized declarations do not produce a def; the first
+      // assignment does.
+    }
+    for (const auto& e : s.exprs)
+      if (e) walk_expr(*e, false);
+    for (const auto& b : s.body)
+      if (b) walk_stmt(*b);
+  }
+
+  std::map<std::string, int> last_def_;
+  std::set<DataflowEdge> edges_;
+  int position_counter_ = 0;
+};
+
+// ---- Features ---------------------------------------------------------------
+
+class FeatureWalker {
+ public:
+  StructuralFeatures run(const Function& fn) {
+    for (const auto& p : fn.params)
+      if (!p.name.empty()) features_.identifiers_used.insert(p.name);
+    if (fn.body) walk_stmt(*fn.body, 0);
+    return std::move(features_);
+  }
+
+ private:
+  void walk_expr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIdentifier:
+        features_.identifiers_used.insert(e.text);
+        break;
+      case ExprKind::kNumber:
+        ++features_.numeric_literal_count;
+        break;
+      case ExprKind::kString:
+        ++features_.string_literal_count;
+        break;
+      case ExprKind::kCall:
+        ++features_.call_count;
+        if (e.children[0] && e.children[0]->kind == ExprKind::kIdentifier)
+          features_.callee_names.push_back(e.children[0]->text);
+        break;
+      case ExprKind::kCast:
+        ++features_.cast_count;
+        break;
+      case ExprKind::kUnary:
+        if (e.text == "*") ++features_.pointer_deref_count;
+        break;
+      default:
+        break;
+    }
+    for (const auto& c : e.children)
+      if (c) walk_expr(*c);
+  }
+
+  void walk_stmt(const Stmt& s, int depth) {
+    int child_depth = depth;
+    switch (s.kind) {
+      case StmtKind::kIf:
+        ++features_.branch_count;
+        child_depth = depth + 1;
+        break;
+      case StmtKind::kWhile:
+      case StmtKind::kDoWhile:
+      case StmtKind::kFor:
+        ++features_.loop_count;
+        child_depth = depth + 1;
+        break;
+      case StmtKind::kReturn:
+        ++features_.return_count;
+        break;
+      default:
+        break;
+    }
+    if (child_depth > features_.max_nesting_depth)
+      features_.max_nesting_depth = child_depth;
+    for (const auto& d : s.decls) {
+      features_.identifiers_used.insert(d.name);
+      if (d.init) walk_expr(*d.init);
+    }
+    for (const auto& e : s.exprs)
+      if (e) walk_expr(*e);
+    for (const auto& b : s.body)
+      if (b) walk_stmt(*b, child_depth);
+  }
+
+  StructuralFeatures features_;
+};
+
+void collect_identifiers(const Expr& e, std::vector<std::string>& out) {
+  if (e.kind == ExprKind::kIdentifier) out.push_back(e.text);
+  for (const auto& c : e.children)
+    if (c) collect_identifiers(*c, out);
+}
+
+void collect_identifiers(const Stmt& s, std::vector<std::string>& out) {
+  for (const auto& d : s.decls) {
+    out.push_back(d.name);
+    if (d.init) collect_identifiers(*d.init, out);
+  }
+  for (const auto& e : s.exprs)
+    if (e) collect_identifiers(*e, out);
+  for (const auto& b : s.body)
+    if (b) collect_identifiers(*b, out);
+}
+
+}  // namespace
+
+std::map<std::string, int> subtree_signatures(const Function& fn) {
+  std::map<std::string, int> out;
+  if (fn.body) serialize_stmt(*fn.body, out);
+  return out;
+}
+
+std::set<DataflowEdge> dataflow_edges(const Function& fn) {
+  return DataflowWalker{}.run(fn);
+}
+
+StructuralFeatures structural_features(const Function& fn) {
+  return FeatureWalker{}.run(fn);
+}
+
+std::vector<std::string> identifier_occurrences(const Function& fn) {
+  std::vector<std::string> out;
+  for (const auto& p : fn.params)
+    if (!p.name.empty()) out.push_back(p.name);
+  if (fn.body) collect_identifiers(*fn.body, out);
+  return out;
+}
+
+}  // namespace decompeval::lang

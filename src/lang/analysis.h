@@ -1,0 +1,59 @@
+// Static analyses over the mini-C AST:
+//  - normalized subtree signatures (codeBLEU's syntactic AST match),
+//  - def-use dataflow edges (codeBLEU's semantic dataflow match),
+//  - structural "beacon" features (the comprehension cues the program-
+//    comprehension literature identifies: calls, strings, constants,
+//    control structure), used by the simulated participant model.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace decompeval::lang {
+
+/// Multiset of serialized subtrees with identifiers normalized to `ID`,
+/// literals to `LIT`, and member names kept (they carry structure).
+/// Every expression and statement node contributes one signature.
+std::map<std::string, int> subtree_signatures(const Function& fn);
+
+/// A def-use edge in position-normalized form: the k-th occurrence of a
+/// variable (counting all variable occurrences left-to-right) uses the
+/// value produced at the j-th occurrence.
+struct DataflowEdge {
+  int use_position;
+  int def_position;
+  auto operator<=>(const DataflowEdge&) const = default;
+};
+
+/// Extracts def-use edges. Defs are parameter bindings, initialized
+/// declarations, assignments and increment/decrement; a use links to the
+/// most recent preceding def of the same variable (straight-line
+/// approximation over the statement order, which is what codeBLEU's
+/// dataflow match effectively compares).
+std::set<DataflowEdge> dataflow_edges(const Function& fn);
+
+/// Structural comprehension beacons.
+struct StructuralFeatures {
+  int call_count = 0;
+  std::vector<std::string> callee_names;
+  int string_literal_count = 0;
+  int numeric_literal_count = 0;
+  int max_nesting_depth = 0;  // nesting of if/loops, 0 = flat body
+  int loop_count = 0;
+  int branch_count = 0;
+  int return_count = 0;
+  int cast_count = 0;
+  int pointer_deref_count = 0;
+  std::set<std::string> identifiers_used;
+};
+
+StructuralFeatures structural_features(const Function& fn);
+
+/// All identifier occurrences (variables and callees) in source order.
+std::vector<std::string> identifier_occurrences(const Function& fn);
+
+}  // namespace decompeval::lang

@@ -1,0 +1,92 @@
+// AST for the C subset covering decompiler pseudocode.
+//
+// The tree is deliberately compact: expressions and statements are tagged
+// unions over child vectors rather than a class hierarchy, which keeps
+// subtree serialization (codeBLEU) and traversal (dataflow, beacons)
+// uniform.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace decompeval::lang {
+
+enum class ExprKind {
+  kIdentifier,   // text = name
+  kNumber,       // text = spelling
+  kString,       // text = spelling including quotes
+  kCharLiteral,  // text = spelling including quotes
+  kUnary,        // text = operator; children[0] = operand; "p++"/"p--" are
+                 // spelled "post++"/"post--"
+  kBinary,       // text = operator (includes assignments); children = {lhs, rhs}
+  kTernary,      // children = {cond, then, else}
+  kCall,         // children[0] = callee, children[1..] = args
+  kIndex,        // children = {base, index}
+  kMember,       // text = "." or "->"; member_name set; children[0] = base
+  kCast,         // type_text = target type; children[0] = operand
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind{};
+  std::string text;         // name / literal / operator, per kind
+  std::string member_name;  // kMember only
+  std::string type_text;    // kCast only
+  std::vector<ExprPtr> children;
+  int line = 0;
+};
+
+enum class StmtKind {
+  kBlock,     // body = statements
+  kDecl,      // decls = declarators
+  kExpr,      // exprs[0]
+  kIf,        // exprs[0] = cond; body[0] = then; body[1] = else (optional)
+  kWhile,     // exprs[0] = cond; body[0]
+  kDoWhile,   // exprs[0] = cond; body[0]
+  kFor,       // exprs = {init?, cond?, step?} (nullable); decls may hold the
+              // init declaration; body[0]
+  kReturn,    // exprs[0] = value (optional; may be null)
+  kBreak,
+  kContinue,
+  kEmpty,
+};
+
+struct Declarator {
+  std::string type_text;
+  std::string name;
+  ExprPtr init;  // may be null
+  int line = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  StmtKind kind{};
+  std::vector<StmtPtr> body;
+  std::vector<ExprPtr> exprs;  // entries may be null where noted above
+  std::vector<Declarator> decls;
+  int line = 0;
+};
+
+struct Parameter {
+  std::string type_text;
+  std::string name;
+};
+
+/// A parsed function definition — the unit every snippet consists of.
+struct Function {
+  std::string return_type;
+  std::string name;
+  std::vector<Parameter> params;
+  StmtPtr body;
+};
+
+/// Deep copy helpers (the AST is move-only by default).
+ExprPtr clone(const Expr& e);
+StmtPtr clone(const Stmt& s);
+
+}  // namespace decompeval::lang

@@ -1,0 +1,720 @@
+#include "lang/interp.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace decompeval::lang {
+
+namespace {
+
+// Strips qualifiers from a type spelling, keeping base name and stars.
+std::string strip_qualifiers(const std::string& type_text) {
+  std::string t = type_text;
+  for (const char* qual : {"const ", "static ", "volatile ", "restrict ",
+                           "struct ", "register "})
+    t = util::replace_all(t, qual, "");
+  // Collapse duplicate spaces.
+  std::string out;
+  bool prev_space = false;
+  for (const char c : t) {
+    const bool space = c == ' ';
+    if (space && prev_space) continue;
+    out += c;
+    prev_space = space;
+  }
+  return std::string(util::trim(out));
+}
+
+bool is_pointer_type(const std::string& type_text) {
+  return type_text.find('*') != std::string::npos ||
+         type_text.find('(') != std::string::npos;  // function pointer
+}
+
+// Removes one '*' level: "char **" → "char *", "node *" → "node".
+std::string strip_one_star(const std::string& type_text) {
+  const std::size_t star = type_text.rfind('*');
+  if (star == std::string::npos) return type_text;
+  std::string t = type_text.substr(0, star) + type_text.substr(star + 1);
+  return std::string(util::trim(t));
+}
+
+std::string base_type_name(const std::string& type_text) {
+  std::string t = strip_qualifiers(type_text);
+  const std::size_t star = t.find('*');
+  if (star != std::string::npos) t = t.substr(0, star);
+  return std::string(util::trim(t));
+}
+
+std::int64_t truncate_to(std::int64_t value, std::size_t width,
+                         bool sign_extend) {
+  if (width >= 8) return value;
+  const std::uint64_t mask = (1ULL << (width * 8)) - 1;
+  std::uint64_t truncated = static_cast<std::uint64_t>(value) & mask;
+  if (sign_extend) {
+    const std::uint64_t sign_bit = 1ULL << (width * 8 - 1);
+    if (truncated & sign_bit) truncated |= ~mask;
+  }
+  return static_cast<std::int64_t>(truncated);
+}
+
+std::int64_t parse_number(const std::string& spelling) {
+  std::string digits;
+  for (const char c : spelling) {
+    if (std::isxdigit(static_cast<unsigned char>(c)) || c == 'x' || c == 'X' ||
+        c == '.')
+      digits += c;
+    else
+      break;  // suffix (LL/u/f) begins
+  }
+  if (digits.find('.') != std::string::npos)
+    return static_cast<std::int64_t>(std::stod(digits));
+  return static_cast<std::int64_t>(std::stoll(digits, nullptr, 0));
+}
+
+std::int64_t parse_char_literal(const std::string& spelling) {
+  // spelling includes the quotes: '/', '\0', '\n', '\\', '\xNN'.
+  DE_ENSURES(spelling.size() >= 3);
+  const std::string body = spelling.substr(1, spelling.size() - 2);
+  if (body.size() == 1) return static_cast<unsigned char>(body[0]);
+  if (body[0] == '\\') {
+    switch (body[1]) {
+      case '0': return 0;
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case 'x': return std::stoll(body.substr(2), nullptr, 16);
+      default: return static_cast<unsigned char>(body[1]);
+    }
+  }
+  return static_cast<unsigned char>(body[0]);
+}
+
+}  // namespace
+
+Machine::Machine() {
+  // memmove/memcpy are ambient in all decompiled code; both copy byte-wise
+  // (memmove correctly handles overlap via a temporary).
+  const auto copy_bytes = [](Machine& m, const std::vector<std::int64_t>& args,
+                             bool overlap_safe) -> std::int64_t {
+    DE_EXPECTS_MSG(args.size() == 3, "mem copy expects 3 arguments");
+    const auto dest = static_cast<std::uint64_t>(args[0]);
+    const auto src = static_cast<std::uint64_t>(args[1]);
+    const auto n = static_cast<std::uint64_t>(args[2]);
+    if (overlap_safe) {
+      std::vector<std::uint8_t> tmp(n);
+      for (std::uint64_t i = 0; i < n; ++i)
+        tmp[i] = static_cast<std::uint8_t>(m.load(src + i, 1));
+      for (std::uint64_t i = 0; i < n; ++i) m.store(dest + i, 1, tmp[i]);
+    } else {
+      for (std::uint64_t i = 0; i < n; ++i)
+        m.store(dest + i, 1, m.load(src + i, 1));
+    }
+    return args[0];
+  };
+  register_builtin("memmove",
+                   [copy_bytes](Machine& m, const std::vector<std::int64_t>& a) {
+                     return copy_bytes(m, a, true);
+                   });
+  register_builtin("memcpy",
+                   [copy_bytes](Machine& m, const std::vector<std::int64_t>& a) {
+                     return copy_bytes(m, a, false);
+                   });
+}
+
+std::uint64_t Machine::allocate(std::size_t bytes) {
+  const std::uint64_t base = next_address_;
+  // Pad and align so distinct blocks never touch (catches off-by-one
+  // writes in equivalence tests as differing snapshots, not corruption).
+  next_address_ += (bytes + 64) & ~15ULL;
+  for (std::size_t i = 0; i < bytes; ++i) memory_[base + i] = 0;
+  return base;
+}
+
+std::int64_t Machine::load(std::uint64_t address, std::size_t width,
+                           bool sign_extend) const {
+  DE_EXPECTS(width == 1 || width == 2 || width == 4 || width == 8);
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const auto it = memory_.find(address + i);
+    const std::uint8_t byte = it == memory_.end() ? 0 : it->second;
+    value |= static_cast<std::uint64_t>(byte) << (8 * i);
+  }
+  return truncate_to(static_cast<std::int64_t>(value), width, sign_extend);
+}
+
+void Machine::store(std::uint64_t address, std::size_t width,
+                    std::int64_t value) {
+  DE_EXPECTS(width == 1 || width == 2 || width == 4 || width == 8);
+  for (std::size_t i = 0; i < width; ++i)
+    memory_[address + i] =
+        static_cast<std::uint8_t>((static_cast<std::uint64_t>(value) >>
+                                   (8 * i)) &
+                                  0xff);
+}
+
+std::map<std::uint64_t, std::uint8_t> Machine::memory_snapshot() const {
+  std::map<std::uint64_t, std::uint8_t> out;
+  for (const auto& [address, byte] : memory_)
+    if (byte != 0) out.emplace(address, byte);
+  return out;
+}
+
+void Machine::register_builtin(const std::string& name, Builtin fn) {
+  builtins_[name] = std::move(fn);
+}
+
+std::int64_t Machine::register_function_value(Builtin fn) {
+  function_values_.push_back(std::move(fn));
+  // Ids start high so they never collide with small integers or addresses.
+  return static_cast<std::int64_t>(0x70000000ULL + function_values_.size());
+}
+
+void Machine::register_layout(const std::string& type_name,
+                              std::map<std::string, MemberLayout> members) {
+  layouts_[type_name] = std::move(members);
+}
+
+std::size_t Machine::width_of(const std::string& type_text) {
+  const std::string t = strip_qualifiers(type_text);
+  if (is_pointer_type(t)) return 8;
+  const auto contains = [&t](const char* needle) {
+    return t.find(needle) != std::string::npos;
+  };
+  // Order matters: wider-width spellings are substrings of narrower checks
+  // ("__int8" contains "int8", "uint64_t" contains "int64").
+  if (contains("int64") || contains("_QWORD") || contains("size_t") ||
+      contains("long") || contains("double") || contains("intptr"))
+    return 8;
+  if (contains("int32") || contains("_DWORD") || contains("float")) return 4;
+  if (contains("int16") || contains("short") || contains("_WORD")) return 2;
+  if (contains("int8") || contains("char") || contains("_BYTE") ||
+      contains("bool"))
+    return 1;
+  if (contains("int") || t == "unsigned") return 4;
+  if (t == "void") return 1;  // GNU-style void* arithmetic
+  return 8;  // unknown struct names behave as machine words
+}
+
+std::size_t Machine::pointee_width_of(const std::string& type_text) {
+  const std::string t = strip_qualifiers(type_text);
+  if (!is_pointer_type(t)) return 8;
+  return width_of(strip_one_star(t));
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator
+// ---------------------------------------------------------------------------
+
+namespace {
+struct TypedValue {
+  std::int64_t value = 0;
+  std::string type_text = "__int64";
+};
+}  // namespace
+
+class Evaluator {
+ public:
+  Evaluator(Machine& machine, const Function& fn,
+            const std::vector<std::int64_t>& args)
+      : machine_(machine) {
+    DE_EXPECTS_MSG(args.size() == fn.params.size(),
+                   "argument count mismatch calling " + fn.name);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      Slot slot;
+      slot.value = args[i];
+      slot.type_text = strip_qualifiers(fn.params[i].type_text);
+      variables_[fn.params[i].name] = slot;
+    }
+    declare_locals(*fn.body);
+  }
+
+  std::int64_t run(const Function& fn) {
+    const Flow flow = exec(*fn.body);
+    return flow.kind == FlowKind::kReturn ? flow.value : 0;
+  }
+
+ private:
+  struct Slot {
+    std::int64_t value = 0;
+    std::string type_text = "__int64";
+  };
+
+  enum class FlowKind { kNormal, kBreak, kContinue, kReturn };
+  struct Flow {
+    FlowKind kind = FlowKind::kNormal;
+    std::int64_t value = 0;
+  };
+
+  // An assignable location: a variable slot or a memory cell.
+  struct Location {
+    Slot* slot = nullptr;
+    std::uint64_t address = 0;
+    std::size_t width = 8;
+    std::string type_text = "__int64";
+
+    std::int64_t read(const Machine& m) const {
+      return slot != nullptr ? slot->value
+                             : m.load(address, width, /*sign_extend=*/false);
+    }
+    void write(Machine& m, std::int64_t v) const {
+      if (slot != nullptr)
+        slot->value = v;
+      else
+        m.store(address, width, v);
+    }
+  };
+
+  void tick() {
+    if (++machine_.steps_ > machine_.step_limit)
+      throw InterpError("step limit exceeded (possible non-termination)");
+  }
+
+  // Pre-declares every local so forward-scoped decompiler declarations
+  // (`int v7;` used later) resolve; arrays are allocated here.
+  void declare_locals(const Stmt& s) {
+    for (const auto& d : s.decls) {
+      Slot slot;
+      slot.type_text = strip_qualifiers(d.type_text);
+      const std::size_t bracket = slot.type_text.find('[');
+      if (bracket != std::string::npos) {
+        // Array declarator: allocate and bind the base address.
+        const std::string element_type = std::string(
+            util::trim(slot.type_text.substr(0, bracket)));
+        const std::string dim_text = slot.type_text.substr(bracket + 1);
+        const std::size_t count =
+            dim_text.empty() || dim_text[0] == ']'
+                ? 64
+                : static_cast<std::size_t>(std::stoull(dim_text));
+        const std::size_t elem_width = Machine::width_of(element_type);
+        slot.value = static_cast<std::int64_t>(
+            machine_.allocate(count * elem_width));
+        slot.type_text = element_type + " *";
+      }
+      variables_[d.name] = slot;
+    }
+    for (const auto& b : s.body)
+      if (b) declare_locals(*b);
+  }
+
+  Slot& slot_of(const std::string& name) {
+    const auto it = variables_.find(name);
+    if (it == variables_.end())
+      throw InterpError("unknown identifier: " + name);
+    return it->second;
+  }
+
+  const std::map<std::string, MemberLayout>& layout_of(
+      const std::string& pointer_type) {
+    const std::string base = base_type_name(pointer_type);
+    const auto it = machine_.layouts_.find(base);
+    if (it == machine_.layouts_.end())
+      throw InterpError("no layout registered for type: " + base +
+                        " (from " + pointer_type + ")");
+    return it->second;
+  }
+
+  const MemberLayout& member_of(const std::string& pointer_type,
+                                const std::string& member) {
+    const auto& layout = layout_of(pointer_type);
+    const auto it = layout.find(member);
+    if (it == layout.end())
+      throw InterpError("no member '" + member + "' in layout of " +
+                        base_type_name(pointer_type));
+    return it->second;
+  }
+
+  // ---- expression evaluation ----
+
+  TypedValue eval(const Expr& e) {
+    tick();
+    switch (e.kind) {
+      case ExprKind::kIdentifier: {
+        if (e.text == "NULL") return {0, "void *"};
+        const auto it = variables_.find(e.text);
+        if (it != variables_.end())
+          return {it->second.value, it->second.type_text};
+        throw InterpError("unknown identifier: " + e.text);
+      }
+      case ExprKind::kNumber: {
+        const bool wide = e.text.find("LL") != std::string::npos ||
+                          e.text.find("ll") != std::string::npos;
+        return {parse_number(e.text), wide ? "__int64" : "int"};
+      }
+      case ExprKind::kCharLiteral:
+        return {parse_char_literal(e.text), "char"};
+      case ExprKind::kString:
+        throw InterpError("string literals are not materialized");
+      case ExprKind::kUnary:
+        return eval_unary(e);
+      case ExprKind::kBinary:
+        return eval_binary(e);
+      case ExprKind::kTernary: {
+        const TypedValue cond = eval(*e.children[0]);
+        return cond.value != 0 ? eval(*e.children[1]) : eval(*e.children[2]);
+      }
+      case ExprKind::kCall:
+        return eval_call(e);
+      case ExprKind::kIndex: {
+        const Location loc = locate_index(e);
+        const bool sign = loc.width < 8 && is_signed_type(loc.type_text);
+        return {machine_.load(loc.address, loc.width, sign), loc.type_text};
+      }
+      case ExprKind::kMember: {
+        const Location loc = locate_member(e);
+        const bool sign = loc.width < 8 && is_signed_type(loc.type_text);
+        return {machine_.load(loc.address, loc.width, sign), loc.type_text};
+      }
+      case ExprKind::kCast: {
+        const TypedValue operand = eval(*e.children[0]);
+        return apply_cast(operand, e.type_text);
+      }
+    }
+    throw InterpError("unreachable expression kind");
+  }
+
+  static bool is_signed_type(const std::string& type_text) {
+    const std::string t = strip_qualifiers(type_text);
+    if (is_pointer_type(t)) return false;
+    if (t.find("unsigned") != std::string::npos) return false;
+    if (t.find("uint") != std::string::npos) return false;
+    if (t == "size_t" || t == "_BYTE" || t == "_WORD" || t == "_DWORD" ||
+        t == "_QWORD" || t == "char")
+      return false;  // plain char treated unsigned for cross-variant parity
+    return true;
+  }
+
+  TypedValue apply_cast(const TypedValue& operand, const std::string& type) {
+    const std::string t = strip_qualifiers(type);
+    if (is_pointer_type(t)) return {operand.value, t};
+    const std::size_t width = Machine::width_of(t);
+    return {truncate_to(operand.value, width, is_signed_type(t)), t};
+  }
+
+  TypedValue eval_unary(const Expr& e) {
+    const std::string& op = e.text;
+    if (op == "*") {
+      const Location loc = locate_deref(e);
+      const bool sign = loc.width < 8 && is_signed_type(loc.type_text);
+      return {machine_.load(loc.address, loc.width, sign), loc.type_text};
+    }
+    if (op == "&") {
+      const Location loc = locate(*e.children[0]);
+      if (loc.slot != nullptr)
+        throw InterpError("cannot take the address of a register variable");
+      return {static_cast<std::int64_t>(loc.address),
+              loc.type_text + " *"};
+    }
+    if (op == "++" || op == "--" || op == "post++" || op == "post--") {
+      const Location loc = locate(*e.children[0]);
+      const std::int64_t old_value = loc.read(machine_);
+      // Pointer step: ±pointee width for pointer-typed variables.
+      std::int64_t step = 1;
+      if (loc.slot != nullptr && is_pointer_type(loc.type_text))
+        step = static_cast<std::int64_t>(
+            Machine::pointee_width_of(loc.type_text));
+      const std::int64_t delta = (op == "++" || op == "post++") ? step : -step;
+      loc.write(machine_, old_value + delta);
+      const bool post = util::starts_with(op, "post");
+      return {post ? old_value : old_value + delta, loc.type_text};
+    }
+    if (op == "sizeof") {
+      // Operand is either a type reference (identifier holding a type
+      // spelling) or an expression; both resolve to a width.
+      const Expr& operand = *e.children[0];
+      if (operand.kind == ExprKind::kIdentifier &&
+          variables_.find(operand.text) == variables_.end())
+        return {static_cast<std::int64_t>(Machine::width_of(operand.text)),
+                "unsigned __int64"};
+      return {static_cast<std::int64_t>(width_of_expr(operand)),
+              "unsigned __int64"};
+    }
+    const TypedValue v = eval(*e.children[0]);
+    if (op == "-") return {-v.value, v.type_text};
+    if (op == "+") return v;
+    if (op == "!") return {v.value == 0 ? 1 : 0, "int"};
+    if (op == "~") return {~v.value, v.type_text};
+    throw InterpError("unsupported unary operator: " + op);
+  }
+
+  // Static width of an expression's value (for sizeof).
+  std::size_t width_of_expr(const Expr& e) {
+    // Evaluate the *type* only; cheap approximation via a full eval is fine
+    // for the side-effect-free operands sizeof takes in this corpus.
+    const TypedValue v = eval(e);
+    return Machine::width_of(v.type_text);
+  }
+
+  TypedValue eval_binary(const Expr& e) {
+    const std::string& op = e.text;
+    const bool is_assignment =
+        !op.empty() && op.back() == '=' && op != "==" && op != "!=" &&
+        op != "<=" && op != ">=";
+    if (is_assignment) return eval_assignment(e);
+
+    if (op == "&&") {
+      const TypedValue lhs = eval(*e.children[0]);
+      if (lhs.value == 0) return {0, "int"};
+      return {eval(*e.children[1]).value != 0 ? 1 : 0, "int"};
+    }
+    if (op == "||") {
+      const TypedValue lhs = eval(*e.children[0]);
+      if (lhs.value != 0) return {1, "int"};
+      return {eval(*e.children[1]).value != 0 ? 1 : 0, "int"};
+    }
+
+    const TypedValue lhs = eval(*e.children[0]);
+    const TypedValue rhs = eval(*e.children[1]);
+    return apply_binary(op, lhs, rhs);
+  }
+
+  TypedValue apply_binary(const std::string& op, const TypedValue& lhs,
+                          const TypedValue& rhs) {
+    // Pointer arithmetic scales the integer side by the pointee width.
+    if (op == "+" || op == "-") {
+      const bool lp = is_pointer_type(lhs.type_text);
+      const bool rp = is_pointer_type(rhs.type_text);
+      if (lp && !rp) {
+        const auto scale = static_cast<std::int64_t>(
+            Machine::pointee_width_of(lhs.type_text));
+        return {op == "+" ? lhs.value + rhs.value * scale
+                          : lhs.value - rhs.value * scale,
+                lhs.type_text};
+      }
+      if (rp && !lp && op == "+") {
+        const auto scale = static_cast<std::int64_t>(
+            Machine::pointee_width_of(rhs.type_text));
+        return {rhs.value + lhs.value * scale, rhs.type_text};
+      }
+      if (lp && rp && op == "-") {
+        const auto scale = static_cast<std::int64_t>(
+            Machine::pointee_width_of(lhs.type_text));
+        return {(lhs.value - rhs.value) / scale, "__int64"};
+      }
+    }
+    const std::int64_t a = lhs.value;
+    const std::int64_t b = rhs.value;
+    const std::string& t =
+        is_pointer_type(lhs.type_text) ? lhs.type_text : rhs.type_text;
+    if (op == "+") return {a + b, t};
+    if (op == "-") return {a - b, t};
+    if (op == "*") return {a * b, t};
+    if (op == "/") {
+      if (b == 0) throw InterpError("division by zero");
+      return {a / b, t};
+    }
+    if (op == "%") {
+      if (b == 0) throw InterpError("modulo by zero");
+      return {a % b, t};
+    }
+    if (op == "&") return {a & b, t};
+    if (op == "|") return {a | b, t};
+    if (op == "^") return {a ^ b, t};
+    if (op == "<<") return {a << (b & 63), t};
+    if (op == ">>") {
+      // Logical shift for unsigned types, arithmetic for signed.
+      if (!is_signed_type(lhs.type_text))
+        return {static_cast<std::int64_t>(
+                    static_cast<std::uint64_t>(a) >> (b & 63)),
+                t};
+      return {a >> (b & 63), t};
+    }
+    if (op == "==") return {a == b ? 1 : 0, "int"};
+    if (op == "!=") return {a != b ? 1 : 0, "int"};
+    if (op == "<") return {a < b ? 1 : 0, "int"};
+    if (op == ">") return {a > b ? 1 : 0, "int"};
+    if (op == "<=") return {a <= b ? 1 : 0, "int"};
+    if (op == ">=") return {a >= b ? 1 : 0, "int"};
+    throw InterpError("unsupported binary operator: " + op);
+  }
+
+  TypedValue eval_assignment(const Expr& e) {
+    const std::string& op = e.text;
+    const TypedValue rhs = eval(*e.children[1]);
+    const Location loc = locate(*e.children[0]);
+    std::int64_t new_value;
+    if (op == "=") {
+      new_value = rhs.value;
+    } else {
+      const TypedValue current{loc.read(machine_), loc.type_text};
+      const std::string binary_op = op.substr(0, op.size() - 1);
+      new_value = apply_binary(binary_op, current, rhs).value;
+    }
+    loc.write(machine_, new_value);
+    return {new_value, loc.type_text};
+  }
+
+  TypedValue eval_call(const Expr& e) {
+    std::vector<std::int64_t> args;
+    args.reserve(e.children.size() - 1);
+    // Callee resolution first (it may be an expression like `(e)`).
+    const Expr& callee = *e.children[0];
+    for (std::size_t i = 1; i < e.children.size(); ++i)
+      args.push_back(eval(*e.children[i]).value);
+
+    if (callee.kind == ExprKind::kIdentifier &&
+        variables_.find(callee.text) == variables_.end()) {
+      const auto it = machine_.builtins_.find(callee.text);
+      if (it == machine_.builtins_.end())
+        throw InterpError("no builtin registered: " + callee.text);
+      return {it->second(machine_, args), "__int64"};
+    }
+    // Function-pointer call: the callee value is a registered function id.
+    const std::int64_t id = eval(callee).value;
+    const std::uint64_t index = static_cast<std::uint64_t>(id) - 0x70000000ULL;
+    if (index == 0 || index > machine_.function_values_.size())
+      throw InterpError("call through a non-function value");
+    return {machine_.function_values_[index - 1](machine_, args), "__int64"};
+  }
+
+  // ---- lvalue resolution ----
+
+  Location locate(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIdentifier: {
+        Slot& slot = slot_of(e.text);
+        Location loc;
+        loc.slot = &slot;
+        loc.type_text = slot.type_text;
+        return loc;
+      }
+      case ExprKind::kUnary:
+        if (e.text == "*") return locate_deref(e);
+        break;
+      case ExprKind::kIndex:
+        return locate_index(e);
+      case ExprKind::kMember:
+        return locate_member(e);
+      case ExprKind::kCast: {
+        // (T *)x as an lvalue base never appears alone; handled via deref.
+        break;
+      }
+      default:
+        break;
+    }
+    throw InterpError("expression is not assignable");
+  }
+
+  // `*operand`: address from operand value, width from its pointee type.
+  Location locate_deref(const Expr& deref) {
+    const TypedValue pointer = eval(*deref.children[0]);
+    Location loc;
+    loc.address = static_cast<std::uint64_t>(pointer.value);
+    loc.width = Machine::pointee_width_of(pointer.type_text);
+    loc.type_text = is_pointer_type(pointer.type_text)
+                        ? strip_one_star(strip_qualifiers(pointer.type_text))
+                        : "__int64";
+    return loc;
+  }
+
+  Location locate_index(const Expr& e) {
+    const TypedValue base = eval(*e.children[0]);
+    const TypedValue index = eval(*e.children[1]);
+    const std::size_t width = Machine::pointee_width_of(base.type_text);
+    Location loc;
+    loc.address = static_cast<std::uint64_t>(
+        base.value + index.value * static_cast<std::int64_t>(width));
+    loc.width = width;
+    loc.type_text = is_pointer_type(base.type_text)
+                        ? strip_one_star(strip_qualifiers(base.type_text))
+                        : "__int64";
+    return loc;
+  }
+
+  Location locate_member(const Expr& e) {
+    DE_EXPECTS_MSG(e.text == "->", "only -> member access is supported");
+    const TypedValue base = eval(*e.children[0]);
+    const MemberLayout& member = member_of(base.type_text, e.member_name);
+    Location loc;
+    loc.address = static_cast<std::uint64_t>(base.value) + member.offset;
+    loc.width = member.width;
+    loc.type_text = member.type_text;
+    return loc;
+  }
+
+  // ---- statements ----
+
+  Flow exec(const Stmt& s) {
+    tick();
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& b : s.body) {
+          const Flow flow = exec(*b);
+          if (flow.kind != FlowKind::kNormal) return flow;
+        }
+        return {};
+      case StmtKind::kDecl:
+        for (const auto& d : s.decls) {
+          if (d.init) {
+            const TypedValue v = eval(*d.init);
+            slot_of(d.name).value = v.value;
+          }
+        }
+        return {};
+      case StmtKind::kExpr:
+        eval(*s.exprs[0]);
+        return {};
+      case StmtKind::kIf: {
+        if (eval(*s.exprs[0]).value != 0) return exec(*s.body[0]);
+        if (s.body.size() > 1) return exec(*s.body[1]);
+        return {};
+      }
+      case StmtKind::kWhile:
+        while (eval(*s.exprs[0]).value != 0) {
+          const Flow flow = exec(*s.body[0]);
+          if (flow.kind == FlowKind::kReturn) return flow;
+          if (flow.kind == FlowKind::kBreak) break;
+        }
+        return {};
+      case StmtKind::kDoWhile:
+        do {
+          const Flow flow = exec(*s.body[0]);
+          if (flow.kind == FlowKind::kReturn) return flow;
+          if (flow.kind == FlowKind::kBreak) break;
+        } while (eval(*s.exprs[0]).value != 0);
+        return {};
+      case StmtKind::kFor: {
+        if (!s.decls.empty()) {
+          for (const auto& d : s.decls)
+            if (d.init) slot_of(d.name).value = eval(*d.init).value;
+        } else if (s.exprs[0]) {
+          eval(*s.exprs[0]);
+        }
+        while (s.exprs[1] == nullptr || eval(*s.exprs[1]).value != 0) {
+          const Flow flow = exec(*s.body[0]);
+          if (flow.kind == FlowKind::kReturn) return flow;
+          if (flow.kind == FlowKind::kBreak) break;
+          if (s.exprs[2]) eval(*s.exprs[2]);
+        }
+        return {};
+      }
+      case StmtKind::kReturn: {
+        Flow flow;
+        flow.kind = FlowKind::kReturn;
+        if (!s.exprs.empty() && s.exprs[0]) flow.value = eval(*s.exprs[0]).value;
+        return flow;
+      }
+      case StmtKind::kBreak:
+        return {FlowKind::kBreak, 0};
+      case StmtKind::kContinue:
+        return {FlowKind::kContinue, 0};
+      case StmtKind::kEmpty:
+        return {};
+    }
+    return {};
+  }
+
+  Machine& machine_;
+  std::map<std::string, Slot> variables_;
+};
+
+std::int64_t Machine::call(const Function& fn,
+                           const std::vector<std::int64_t>& args) {
+  Evaluator evaluator(*this, fn, args);
+  return evaluator.run(fn);
+}
+
+}  // namespace decompeval::lang

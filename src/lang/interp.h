@@ -1,0 +1,103 @@
+// Interpreter for the mini-C subset.
+//
+// Why a C interpreter in an evaluation framework: the study's three code
+// variants per snippet (original / Hex-Rays / DIRTY) are *transcriptions*,
+// and every analysis assumes they compute the same function. The
+// interpreter makes that checkable — tests execute all variants of every
+// snippet on shared machine states and assert identical results and memory
+// effects. It also makes the comprehension questions objective: "if the
+// function is called with arguments X, what is the value of Y?" is
+// evaluated, not asserted.
+//
+// Model: every value is a 64-bit integer; memory is a sparse
+// byte-addressable space; struct members resolve through registered type
+// layouts (offset + width), which is exactly how decompiled code addresses
+// them (`*(_DWORD *)(a1 + 16)` ≡ `a->used` under layout used@16:4).
+// Function pointers are first-class: host callbacks registered with the
+// machine receive an id that flows through the program like any value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace decompeval::lang {
+
+/// Thrown on runtime errors: step-limit exhaustion, unknown identifier,
+/// store through a bad width, missing layout/builtin.
+class InterpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Struct-member layout: byte offset, access width, and the member's
+/// static type (drives pointer arithmetic through expressions like
+/// `a->data[ipos]`).
+struct MemberLayout {
+  std::uint64_t offset = 0;
+  std::size_t width = 8;
+  std::string type_text = "__int64";
+};
+
+class Machine {
+ public:
+  /// Host callback: receives the machine and evaluated arguments.
+  using Builtin =
+      std::function<std::int64_t(Machine&, const std::vector<std::int64_t>&)>;
+
+  Machine();
+
+  // ---- memory ----
+  /// Allocates a zero-initialized block, returns its base address.
+  std::uint64_t allocate(std::size_t bytes);
+  /// Loads `width` ∈ {1,2,4,8} bytes, zero-extended (sign_extend for the
+  /// signed narrow loads the decompiler writes as (int)/(char) casts).
+  std::int64_t load(std::uint64_t address, std::size_t width,
+                    bool sign_extend = false) const;
+  void store(std::uint64_t address, std::size_t width, std::int64_t value);
+  /// Snapshot of every written byte (address → value), for equivalence
+  /// comparisons between program variants.
+  std::map<std::uint64_t, std::uint8_t> memory_snapshot() const;
+
+  // ---- environment ----
+  void register_builtin(const std::string& name, Builtin fn);
+  /// Registers a callable value (function pointer); the returned id can be
+  /// passed as an argument and called through any expression.
+  std::int64_t register_function_value(Builtin fn);
+  /// Registers a struct layout under one or more type names.
+  void register_layout(const std::string& type_name,
+                       std::map<std::string, MemberLayout> members);
+
+  // ---- execution ----
+  /// Calls `fn` with the given argument values; returns its return value
+  /// (0 for void functions that fall off the end).
+  std::int64_t call(const Function& fn, const std::vector<std::int64_t>& args);
+
+  std::size_t step_limit = 1'000'000;
+  std::size_t steps_executed() const { return steps_; }
+
+  /// Byte width of a type spelling ("int" → 4, "_QWORD" → 8, "char" → 1,
+  /// any pointer → 8). Unknown names default to 8.
+  static std::size_t width_of(const std::string& type_text);
+  /// Width of the pointee of a pointer type spelling ("_QWORD *" → 8,
+  /// "char *" → 1, "unsigned char *" → 1, "char **" → 8).
+  static std::size_t pointee_width_of(const std::string& type_text);
+
+ private:
+  friend class Evaluator;
+
+  std::unordered_map<std::uint64_t, std::uint8_t> memory_;
+  std::uint64_t next_address_ = 0x1000;
+  std::unordered_map<std::string, Builtin> builtins_;
+  std::vector<Builtin> function_values_;
+  std::unordered_map<std::string, std::map<std::string, MemberLayout>>
+      layouts_;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace decompeval::lang

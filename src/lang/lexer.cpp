@@ -1,0 +1,143 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+#include "util/check.h"
+
+namespace decompeval::lang {
+
+namespace {
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+}  // namespace
+
+std::vector<Token> lex(std::string_view source) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      i += 2;
+      bool closed = false;
+      while (i + 1 < n) {
+        if (source[i] == '\n') ++line;
+        if (source[i] == '*' && source[i + 1] == '/') {
+          i += 2;
+          closed = true;
+          break;
+        }
+        ++i;
+      }
+      DE_EXPECTS_MSG(closed, "unterminated block comment");
+      continue;
+    }
+    // Identifiers / keywords (treated uniformly; parser decides).
+    if (ident_start(c)) {
+      std::size_t start = i;
+      while (i < n && ident_char(source[i])) ++i;
+      out.push_back({TokenKind::kIdentifier,
+                     std::string(source.substr(start, i - start)), line});
+      continue;
+    }
+    // Numbers, incl. hex and suffixes like 0xffLL, 8LL, 1u.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      if (c == '0' && i + 1 < n && (source[i + 1] == 'x' || source[i + 1] == 'X')) {
+        i += 2;
+        while (i < n && std::isxdigit(static_cast<unsigned char>(source[i]))) ++i;
+      } else {
+        while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                         source[i] == '.'))
+          ++i;
+      }
+      while (i < n && (source[i] == 'L' || source[i] == 'l' || source[i] == 'U' ||
+                       source[i] == 'u' || source[i] == 'f' || source[i] == 'F'))
+        ++i;
+      out.push_back({TokenKind::kNumber,
+                     std::string(source.substr(start, i - start)), line});
+      continue;
+    }
+    // String literals.
+    if (c == '"') {
+      std::size_t start = i++;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      DE_EXPECTS_MSG(i < n, "unterminated string literal");
+      ++i;
+      out.push_back({TokenKind::kString,
+                     std::string(source.substr(start, i - start)), line});
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t start = i++;
+      while (i < n && source[i] != '\'') {
+        if (source[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      DE_EXPECTS_MSG(i < n, "unterminated char literal");
+      ++i;
+      out.push_back({TokenKind::kCharLiteral,
+                     std::string(source.substr(start, i - start)), line});
+      continue;
+    }
+    // Punctuation / operators, longest match first.
+    static const std::string_view three_char[] = {"<<=", ">>=", "...", "->*"};
+    static const std::string_view two_char[] = {
+        "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+        "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="};
+    bool matched = false;
+    if (i + 2 < n) {
+      const std::string_view triple = source.substr(i, 3);
+      for (const std::string_view op : three_char) {
+        if (triple == op) {
+          out.push_back({TokenKind::kPunct, std::string(op), line});
+          i += 3;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched && i + 1 < n) {
+      const std::string_view pair = source.substr(i, 2);
+      for (const std::string_view op : two_char) {
+        if (pair == op) {
+          out.push_back({TokenKind::kPunct, std::string(op), line});
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      out.push_back({TokenKind::kPunct, std::string(1, c), line});
+      ++i;
+    }
+  }
+  out.push_back({TokenKind::kEndOfFile, "", line});
+  return out;
+}
+
+}  // namespace decompeval::lang

@@ -1,0 +1,18 @@
+// Lexer for the C subset used by the study snippets (original source,
+// Hex-Rays pseudocode, and DIRTY-annotated pseudocode all lex identically).
+// Comments (// and /* */) are skipped; line numbers are tracked so parse
+// errors and question anchors ("lines 13–17") can reference source lines.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lang/token.h"
+
+namespace decompeval::lang {
+
+/// Tokenizes `source`. Throws PreconditionError on an unterminated string
+/// or block comment. The result always ends with an kEndOfFile token.
+std::vector<Token> lex(std::string_view source);
+
+}  // namespace decompeval::lang

@@ -1,0 +1,41 @@
+// Recursive-descent parser for the C subset produced by decompilers.
+//
+// Handles declarations, the full statement set in ast.h, and a complete
+// expression precedence ladder including casts, which Hex-Rays output uses
+// heavily (e.g. `*(_QWORD *)(8LL * index + *(_QWORD *)(a1 + 8))`).
+//
+// Cast-vs-parenthesized-expression ambiguity is resolved with the usual
+// pragmatic heuristic: a parenthesized token run is a type if it starts
+// with a known type name (builtins, registered typedefs, `*_t`-suffixed or
+// `_`-prefixed Hex-Rays names) and consists only of type-ish tokens.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "lang/ast.h"
+
+namespace decompeval::lang {
+
+/// Thrown on malformed input, with the offending line number in the text.
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct ParseOptions {
+  /// Additional names to treat as type names (per-snippet typedefs such as
+  /// `array_t_0`, `tree234`, `cmpfn234`, `buffer`, `data_unset`).
+  std::set<std::string> typedef_names;
+};
+
+/// Parses a single function definition.
+Function parse_function(std::string_view source,
+                        const ParseOptions& options = {});
+
+/// True if `name` looks like a type name to the heuristic.
+bool is_type_like_name(const std::string& name,
+                       const std::set<std::string>& typedefs);
+
+}  // namespace decompeval::lang

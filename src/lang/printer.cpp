@@ -1,0 +1,222 @@
+#include "lang/printer.h"
+
+#include <sstream>
+
+namespace decompeval::lang {
+
+namespace {
+
+void print_expr(const Expr& e, std::ostream& os);
+
+// Prints a child with parentheses whenever it is itself a compound
+// expression; conservative but always re-parseable.
+void print_child(const Expr& e, std::ostream& os) {
+  const bool needs_parens =
+      e.kind == ExprKind::kBinary || e.kind == ExprKind::kTernary ||
+      e.kind == ExprKind::kCast || e.kind == ExprKind::kUnary;
+  if (needs_parens) os << '(';
+  print_expr(e, os);
+  if (needs_parens) os << ')';
+}
+
+void print_expr(const Expr& e, std::ostream& os) {
+  switch (e.kind) {
+    case ExprKind::kIdentifier:
+    case ExprKind::kNumber:
+    case ExprKind::kString:
+    case ExprKind::kCharLiteral:
+      os << e.text;
+      return;
+    case ExprKind::kUnary:
+      if (e.text == "post++" || e.text == "post--") {
+        print_child(*e.children[0], os);
+        os << e.text.substr(4);
+      } else if (e.text == "sizeof") {
+        os << "sizeof(";
+        print_expr(*e.children[0], os);
+        os << ')';
+      } else {
+        os << e.text;
+        print_child(*e.children[0], os);
+      }
+      return;
+    case ExprKind::kBinary:
+      print_child(*e.children[0], os);
+      os << ' ' << e.text << ' ';
+      print_child(*e.children[1], os);
+      return;
+    case ExprKind::kTernary:
+      print_child(*e.children[0], os);
+      os << " ? ";
+      print_child(*e.children[1], os);
+      os << " : ";
+      print_child(*e.children[2], os);
+      return;
+    case ExprKind::kCall:
+      print_child(*e.children[0], os);
+      os << '(';
+      for (std::size_t i = 1; i < e.children.size(); ++i) {
+        if (i > 1) os << ", ";
+        print_expr(*e.children[i], os);
+      }
+      os << ')';
+      return;
+    case ExprKind::kIndex:
+      print_child(*e.children[0], os);
+      os << '[';
+      print_expr(*e.children[1], os);
+      os << ']';
+      return;
+    case ExprKind::kMember:
+      print_child(*e.children[0], os);
+      os << e.text << e.member_name;
+      return;
+    case ExprKind::kCast:
+      os << '(' << e.type_text << ')';
+      print_child(*e.children[0], os);
+      return;
+  }
+}
+
+std::string indent(int depth) { return std::string(depth * 2, ' '); }
+
+// Splits a declarator type of the form "base *[dims]" into the base part
+// printed before the name and the array suffix printed after it.
+void print_declarator(const Declarator& d, std::ostream& os) {
+  std::string type = d.type_text;
+  std::string suffix;
+  const std::size_t bracket = type.find('[');
+  if (bracket != std::string::npos) {
+    suffix = type.substr(bracket);
+    type = type.substr(0, bracket);
+  }
+  while (!type.empty() && type.back() == ' ') type.pop_back();
+  os << type << ' ' << d.name << suffix;
+  if (d.init) {
+    os << " = ";
+    print_expr(*d.init, os);
+  }
+}
+
+void print_stmt(const Stmt& s, std::ostream& os, int depth) {
+  switch (s.kind) {
+    case StmtKind::kBlock:
+      os << indent(depth) << "{\n";
+      for (const auto& b : s.body) print_stmt(*b, os, depth + 1);
+      os << indent(depth) << "}\n";
+      return;
+    case StmtKind::kDecl: {
+      os << indent(depth);
+      for (std::size_t i = 0; i < s.decls.size(); ++i) {
+        if (i > 0) os << ", ";
+        if (i == 0) {
+          print_declarator(s.decls[i], os);
+        } else {
+          os << s.decls[i].name;
+          if (s.decls[i].init) {
+            os << " = ";
+            print_expr(*s.decls[i].init, os);
+          }
+        }
+      }
+      os << ";\n";
+      return;
+    }
+    case StmtKind::kExpr:
+      os << indent(depth);
+      print_expr(*s.exprs[0], os);
+      os << ";\n";
+      return;
+    case StmtKind::kIf:
+      os << indent(depth) << "if (";
+      print_expr(*s.exprs[0], os);
+      os << ")\n";
+      print_stmt(*s.body[0], os, s.body[0]->kind == StmtKind::kBlock ? depth : depth + 1);
+      if (s.body.size() > 1) {
+        os << indent(depth) << "else\n";
+        print_stmt(*s.body[1], os,
+                   s.body[1]->kind == StmtKind::kBlock ? depth : depth + 1);
+      }
+      return;
+    case StmtKind::kWhile:
+      os << indent(depth) << "while (";
+      print_expr(*s.exprs[0], os);
+      os << ")\n";
+      print_stmt(*s.body[0], os,
+                 s.body[0]->kind == StmtKind::kBlock ? depth : depth + 1);
+      return;
+    case StmtKind::kDoWhile:
+      os << indent(depth) << "do\n";
+      print_stmt(*s.body[0], os,
+                 s.body[0]->kind == StmtKind::kBlock ? depth : depth + 1);
+      os << indent(depth) << "while (";
+      print_expr(*s.exprs[0], os);
+      os << ");\n";
+      return;
+    case StmtKind::kFor: {
+      os << indent(depth) << "for (";
+      if (!s.decls.empty()) {
+        print_declarator(s.decls[0], os);
+      } else if (s.exprs[0]) {
+        print_expr(*s.exprs[0], os);
+      }
+      os << "; ";
+      if (s.exprs[1]) print_expr(*s.exprs[1], os);
+      os << "; ";
+      if (s.exprs[2]) print_expr(*s.exprs[2], os);
+      os << ")\n";
+      print_stmt(*s.body[0], os,
+                 s.body[0]->kind == StmtKind::kBlock ? depth : depth + 1);
+      return;
+    }
+    case StmtKind::kReturn:
+      os << indent(depth) << "return";
+      if (!s.exprs.empty() && s.exprs[0]) {
+        os << ' ';
+        print_expr(*s.exprs[0], os);
+      }
+      os << ";\n";
+      return;
+    case StmtKind::kBreak:
+      os << indent(depth) << "break;\n";
+      return;
+    case StmtKind::kContinue:
+      os << indent(depth) << "continue;\n";
+      return;
+    case StmtKind::kEmpty:
+      os << indent(depth) << ";\n";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string to_source(const Expr& e) {
+  std::ostringstream os;
+  print_expr(e, os);
+  return os.str();
+}
+
+std::string to_source(const Function& fn) {
+  std::ostringstream os;
+  os << fn.return_type << ' ' << fn.name << '(';
+  for (std::size_t i = 0; i < fn.params.size(); ++i) {
+    if (i > 0) os << ", ";
+    const std::string& type = fn.params[i].type_text;
+    const std::string& name = fn.params[i].name;
+    const std::size_t star = type.find("(*)");
+    if (star != std::string::npos && !name.empty()) {
+      // Re-embed the name inside a function-pointer declarator:
+      // "int (*)(void *)" + "visit" → "int (*visit)(void *)".
+      os << type.substr(0, star + 2) << name << type.substr(star + 2);
+    } else {
+      os << type;
+      if (!name.empty()) os << ' ' << name;
+    }
+  }
+  os << ")\n";
+  if (fn.body) print_stmt(*fn.body, os, 0);
+  return os.str();
+}
+
+}  // namespace decompeval::lang

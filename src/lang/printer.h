@@ -1,0 +1,15 @@
+// AST → source text. Round-trips through the parser (expressions are
+// parenthesized conservatively), which lets transformation passes
+// (renaming, retyping) re-emit compilable snippet text.
+#pragma once
+
+#include <string>
+
+#include "lang/ast.h"
+
+namespace decompeval::lang {
+
+std::string to_source(const Function& fn);
+std::string to_source(const Expr& e);
+
+}  // namespace decompeval::lang

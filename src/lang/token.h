@@ -1,0 +1,32 @@
+// Token definitions for the mini-C lexer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace decompeval::lang {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kString,
+  kCharLiteral,
+  kPunct,      // operators and punctuation, text holds the spelling
+  kEndOfFile,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEndOfFile;
+  std::string text;
+  int line = 0;
+
+  bool is(TokenKind k) const { return kind == k; }
+  bool is_punct(const char* spelling) const {
+    return kind == TokenKind::kPunct && text == spelling;
+  }
+  bool is_identifier(const char* name) const {
+    return kind == TokenKind::kIdentifier && text == name;
+  }
+};
+
+}  // namespace decompeval::lang

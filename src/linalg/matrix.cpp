@@ -1,0 +1,206 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace decompeval::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    DE_EXPECTS_MSG(row.size() == cols_, "ragged initializer for Matrix");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  DE_EXPECTS(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j)
+        out(i, j) += a * rhs(k, j);
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  DE_EXPECTS(cols_ == v.size());
+  Vector out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) s += (*this)(i, j) * v[j];
+    out[i] = s;
+  }
+  return out;
+}
+
+Matrix Matrix::operator+(const Matrix& rhs) const {
+  DE_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] += rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  DE_EXPECTS(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+Matrix Matrix::scaled(double s) const {
+  Matrix out = *this;
+  for (double& x : out.data_) x *= s;
+  return out;
+}
+
+void Matrix::add_diagonal(double s) {
+  DE_EXPECTS(rows_ == cols_);
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, i) += s;
+}
+
+Cholesky::Cholesky(const Matrix& a) {
+  DE_EXPECTS(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (!(diag > 0.0))
+      throw NumericalError("Cholesky: matrix not positive definite");
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= l_(i, k) * l_(j, k);
+      l_(i, j) = s / ljj;
+    }
+  }
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  const std::size_t n = l_.rows();
+  DE_EXPECTS(b.size() == n);
+  Vector y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= l_(i, k) * y[k];
+    y[i] = s / l_(i, i);
+  }
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= l_(k, ii) * x[k];
+    x[ii] = s / l_(ii, ii);
+  }
+  return x;
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  DE_EXPECTS(b.rows() == l_.rows());
+  Matrix out(b.rows(), b.cols());
+  Vector col(b.rows());
+  for (std::size_t j = 0; j < b.cols(); ++j) {
+    for (std::size_t i = 0; i < b.rows(); ++i) col[i] = b(i, j);
+    const Vector x = solve(col);
+    for (std::size_t i = 0; i < b.rows(); ++i) out(i, j) = x[i];
+  }
+  return out;
+}
+
+double Cholesky::log_det() const noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < l_.rows(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Vector solve_lu(Matrix a, Vector b) {
+  DE_EXPECTS(a.rows() == a.cols() && a.rows() == b.size());
+  const std::size_t n = a.rows();
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) throw NumericalError("solve_lu: singular matrix");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  Vector x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t c = ii + 1; c < n; ++c) s -= a(ii, c) * x[c];
+    x[ii] = s / a(ii, ii);
+  }
+  return x;
+}
+
+Matrix spd_inverse(const Matrix& a) {
+  const Cholesky chol(a);
+  return chol.solve(Matrix::identity(a.rows()));
+}
+
+double dot(const Vector& a, const Vector& b) {
+  DE_EXPECTS(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  DE_EXPECTS(a.size() == b.size());
+  Vector out = a;
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] += b[i];
+  return out;
+}
+
+Vector subtract(const Vector& a, const Vector& b) {
+  DE_EXPECTS(a.size() == b.size());
+  Vector out = a;
+  for (std::size_t i = 0; i < b.size(); ++i) out[i] -= b[i];
+  return out;
+}
+
+Vector scale(const Vector& v, double s) {
+  Vector out = v;
+  for (double& x : out) x *= s;
+  return out;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+}  // namespace decompeval::linalg

@@ -1,0 +1,98 @@
+// Dense row-major matrix/vector types sized for mixed-model work.
+//
+// The mixed-effects solver operates on systems of dimension
+// (#fixed effects + #users + #questions) ≈ 50, so a simple dense
+// implementation is exact, cache-friendly, and fast enough that the
+// benchmark harness completes a full replication in milliseconds.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/check.h"
+
+namespace decompeval::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// Zero-initialized rows × cols matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Row-major construction from nested initializer lists; all rows must
+  /// have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    DE_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    DE_EXPECTS(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  Matrix transpose() const;
+  Matrix operator*(const Matrix& rhs) const;
+  Vector operator*(const Vector& v) const;
+  Matrix operator+(const Matrix& rhs) const;
+  Matrix operator-(const Matrix& rhs) const;
+  Matrix scaled(double s) const;
+
+  /// In-place add s to every diagonal entry (square only).
+  void add_diagonal(double s);
+
+  const std::vector<double>& data() const noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Cholesky factorization A = L·Lᵀ of a symmetric positive-definite matrix.
+/// Throws NumericalError if A is not (numerically) positive definite.
+class Cholesky {
+ public:
+  explicit Cholesky(const Matrix& a);
+
+  /// Solves A·x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solves A·X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// log(det A) = 2·Σ log L_ii.
+  double log_det() const noexcept;
+
+  const Matrix& lower() const noexcept { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+/// General square solve via partially pivoted LU. Throws NumericalError on
+/// (numerical) singularity.
+Vector solve_lu(Matrix a, Vector b);
+
+/// Inverse of a symmetric positive definite matrix via Cholesky.
+Matrix spd_inverse(const Matrix& a);
+
+double dot(const Vector& a, const Vector& b);
+Vector add(const Vector& a, const Vector& b);
+Vector subtract(const Vector& a, const Vector& b);
+Vector scale(const Vector& v, double s);
+double norm2(const Vector& v);
+
+}  // namespace decompeval::linalg

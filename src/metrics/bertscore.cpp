@@ -1,0 +1,53 @@
+#include "metrics/bertscore.h"
+
+#include <algorithm>
+
+#include "text/tokenize.h"
+
+namespace decompeval::metrics {
+
+BertScore bert_score(const std::vector<std::string>& candidate_tokens,
+                     const std::vector<std::string>& reference_tokens,
+                     const embed::EmbeddingModel& model) {
+  BertScore score;
+  if (candidate_tokens.empty() && reference_tokens.empty()) {
+    score.precision = score.recall = score.f1 = 1.0;
+    return score;
+  }
+  if (candidate_tokens.empty() || reference_tokens.empty()) return score;
+
+  std::vector<std::vector<double>> cand_vecs, ref_vecs;
+  cand_vecs.reserve(candidate_tokens.size());
+  for (const auto& t : candidate_tokens) cand_vecs.push_back(model.embed_token(t));
+  ref_vecs.reserve(reference_tokens.size());
+  for (const auto& t : reference_tokens) ref_vecs.push_back(model.embed_token(t));
+
+  double precision_sum = 0.0;
+  for (const auto& cv : cand_vecs) {
+    double best = -1.0;
+    for (const auto& rv : ref_vecs)
+      best = std::max(best, embed::EmbeddingModel::cosine(cv, rv));
+    precision_sum += best;
+  }
+  double recall_sum = 0.0;
+  for (const auto& rv : ref_vecs) {
+    double best = -1.0;
+    for (const auto& cv : cand_vecs)
+      best = std::max(best, embed::EmbeddingModel::cosine(cv, rv));
+    recall_sum += best;
+  }
+  score.precision = precision_sum / static_cast<double>(cand_vecs.size());
+  score.recall = recall_sum / static_cast<double>(ref_vecs.size());
+  const double denom = score.precision + score.recall;
+  score.f1 = denom > 0.0 ? 2.0 * score.precision * score.recall / denom : 0.0;
+  return score;
+}
+
+BertScore bert_score_names(const std::string& candidate_names,
+                           const std::string& reference_names,
+                           const embed::EmbeddingModel& model) {
+  return bert_score(text::split_identifier(candidate_names),
+                    text::split_identifier(reference_names), model);
+}
+
+}  // namespace decompeval::metrics

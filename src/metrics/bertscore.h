@@ -1,0 +1,36 @@
+// BERTScore (Zhang et al. 2019): greedy soft alignment of candidate and
+// reference tokens in embedding space.
+//   P = mean over candidate tokens of max cosine to any reference token
+//   R = mean over reference tokens of max cosine to any candidate token
+//   F1 = 2PR / (P + R)
+// Token vectors come from the deterministic embedding model (embed/);
+// identifiers are compared at the subtoken level, matching how the metric
+// is applied to concatenated name strings in the paper's RQ5 protocol.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "embed/embedding.h"
+
+namespace decompeval::metrics {
+
+struct BertScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// BERTScore over two token sequences. Empty sequences give all-zero
+/// scores (and F1 = 1 when both are empty — nothing to miss).
+BertScore bert_score(const std::vector<std::string>& candidate_tokens,
+                     const std::vector<std::string>& reference_tokens,
+                     const embed::EmbeddingModel& model);
+
+/// Convenience: splits two name-concatenation strings into identifier
+/// subtokens and scores them.
+BertScore bert_score_names(const std::string& candidate_names,
+                           const std::string& reference_names,
+                           const embed::EmbeddingModel& model);
+
+}  // namespace decompeval::metrics

@@ -1,0 +1,45 @@
+// codeBLEU (Ren et al. 2020): weighted combination of
+//   α · n-gram BLEU
+// + β · keyword-weighted n-gram match
+// + γ · syntactic AST-subtree match
+// + δ · semantic dataflow match
+// with the reference weights α=β=γ=δ=0.25. The AST and dataflow components
+// come from the mini-C parser in lang/.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "lang/parser.h"
+
+namespace decompeval::metrics {
+
+struct CodeBleuWeights {
+  double ngram = 0.25;
+  double weighted_ngram = 0.25;
+  double ast = 0.25;
+  double dataflow = 0.25;
+};
+
+struct CodeBleuScore {
+  double total = 0.0;
+  double ngram = 0.0;
+  double weighted_ngram = 0.0;
+  double ast_match = 0.0;
+  double dataflow_match = 0.0;
+};
+
+/// codeBLEU of candidate code against reference code. Both must parse as a
+/// single function under `parse_options`; ParseError propagates.
+CodeBleuScore code_bleu(std::string_view candidate, std::string_view reference,
+                        const lang::ParseOptions& parse_options = {},
+                        const CodeBleuWeights& weights = {});
+
+/// Line-level variant used by the paper's RQ5 protocol ("similarity scores
+/// between lines of code containing analogous variable and type names"):
+/// token-level n-gram components only (single lines rarely parse alone),
+/// AST/dataflow components fall back to the token n-gram score.
+double code_bleu_line(std::string_view candidate_line,
+                      std::string_view reference_line);
+
+}  // namespace decompeval::metrics

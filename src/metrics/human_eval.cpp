@@ -1,0 +1,63 @@
+#include "metrics/human_eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/tests.h"
+#include "text/similarity.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace decompeval::metrics {
+
+double oracle_similarity(const NamePair& pair,
+                         const embed::EmbeddingModel& model) {
+  const double semantic =
+      std::clamp(model.name_similarity(pair.recovered, pair.original), 0.0, 1.0);
+  const double surface = text::name_jaccard(pair.recovered, pair.original);
+  return 0.5 * semantic + 0.5 * surface;
+}
+
+HumanEvalResult simulate_human_evaluation(const std::vector<NamePair>& pairs,
+                                          const embed::EmbeddingModel& model,
+                                          const HumanEvalConfig& config) {
+  DE_EXPECTS(!pairs.empty());
+  DE_EXPECTS(config.n_raters >= 2);
+  util::Rng rng(config.seed);
+
+  std::vector<double> oracle(pairs.size());
+  for (std::size_t i = 0; i < pairs.size(); ++i)
+    oracle[i] = oracle_similarity(pairs[i], model);
+
+  HumanEvalResult result;
+  result.ratings.assign(config.n_raters,
+                        std::vector<double>(pairs.size(), 0.0));
+  for (std::size_t r = 0; r < config.n_raters; ++r) {
+    const double bias = rng.normal(0.0, config.rater_bias_sd);
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      const double latent = 1.0 + 4.0 * oracle[i] + bias +
+                            rng.normal(0.0, config.rating_noise_sd);
+      result.ratings[r][i] = std::clamp(std::round(latent), 1.0, 5.0);
+    }
+  }
+
+  result.item_means.assign(pairs.size(), 0.0);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < config.n_raters; ++r)
+      total += result.ratings[r][i];
+    result.item_means[i] = total / static_cast<double>(config.n_raters);
+  }
+  double grand = 0.0;
+  for (const double m : result.item_means) grand += m;
+  result.mean_score = grand / static_cast<double>(result.item_means.size());
+
+  std::vector<std::span<const double>> rating_spans;
+  rating_spans.reserve(result.ratings.size());
+  for (const auto& row : result.ratings) rating_spans.emplace_back(row);
+  result.krippendorff_ordinal_alpha = stats::krippendorff_alpha(
+      rating_spans, stats::AlphaMetric::kOrdinal);
+  return result;
+}
+
+}  // namespace decompeval::metrics

@@ -1,0 +1,51 @@
+#include "metrics/intrinsic_eval.h"
+
+#include "text/similarity.h"
+#include "util/check.h"
+
+namespace decompeval::metrics {
+
+IntrinsicScores evaluate_intrinsic(const std::vector<NamePair>& pairs,
+                                   const embed::EmbeddingModel& model) {
+  DE_EXPECTS(!pairs.empty());
+  IntrinsicScores scores;
+  scores.n_pairs = pairs.size();
+  for (const auto& pair : pairs) {
+    scores.exact_match += pair.recovered == pair.original ? 1.0 : 0.0;
+    scores.mean_jaccard += text::name_jaccard(pair.original, pair.recovered);
+    scores.mean_levenshtein_sim +=
+        1.0 - text::normalized_levenshtein(pair.original, pair.recovered);
+    scores.mean_semantic +=
+        model.name_similarity(pair.original, pair.recovered);
+  }
+  const double n = static_cast<double>(pairs.size());
+  scores.exact_match /= n;
+  scores.mean_jaccard /= n;
+  scores.mean_levenshtein_sim /= n;
+  scores.mean_semantic /= n;
+  return scores;
+}
+
+IntrinsicComparison compare_to_baseline(
+    const std::vector<NamePair>& recovered_pairs,
+    const std::vector<std::string>& placeholders,
+    const embed::EmbeddingModel& model) {
+  DE_EXPECTS(recovered_pairs.size() == placeholders.size());
+  IntrinsicComparison comparison;
+  comparison.recovery = evaluate_intrinsic(recovered_pairs, model);
+  std::vector<NamePair> baseline_pairs;
+  baseline_pairs.reserve(recovered_pairs.size());
+  for (std::size_t i = 0; i < recovered_pairs.size(); ++i)
+    baseline_pairs.push_back(
+        {recovered_pairs[i].original, placeholders[i]});
+  comparison.baseline = evaluate_intrinsic(baseline_pairs, model);
+  comparison.exact_match_gain =
+      comparison.recovery.exact_match - comparison.baseline.exact_match;
+  comparison.jaccard_gain =
+      comparison.recovery.mean_jaccard - comparison.baseline.mean_jaccard;
+  comparison.semantic_gain =
+      comparison.recovery.mean_semantic - comparison.baseline.mean_semantic;
+  return comparison;
+}
+
+}  // namespace decompeval::metrics

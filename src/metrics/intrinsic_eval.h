@@ -1,0 +1,50 @@
+// Corpus-level intrinsic evaluation — the DIRE/DIRTY-paper evaluation
+// style whose limits this paper demonstrates.
+//
+// Given aligned (ground truth, recovered) name pairs, computes the
+// aggregate scores those papers report: exact-match accuracy, mean
+// subtoken Jaccard, mean normalized Levenshtein similarity, and mean
+// semantic (VarCLR-style) similarity — for the recovery model under test
+// and for the Hex-Rays placeholder baseline, so the headline "X% better
+// than the decompiler" row of a name-recovery paper can be regenerated and
+// then contrasted with the extrinsic results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "embed/embedding.h"
+#include "metrics/registry.h"
+
+namespace decompeval::metrics {
+
+struct IntrinsicScores {
+  double exact_match = 0.0;           ///< fraction recovered verbatim
+  double mean_jaccard = 0.0;          ///< subtoken-set overlap
+  double mean_levenshtein_sim = 0.0;  ///< 1 − normalized edit distance
+  double mean_semantic = 0.0;         ///< embedding cosine (VarCLR-style)
+  std::size_t n_pairs = 0;
+};
+
+/// Scores a set of (original, recovered) pairs.
+IntrinsicScores evaluate_intrinsic(const std::vector<NamePair>& pairs,
+                                   const embed::EmbeddingModel& model);
+
+struct IntrinsicComparison {
+  IntrinsicScores recovery;    ///< the model under test (DIRTY-like)
+  IntrinsicScores baseline;    ///< Hex-Rays placeholders (a1/v5/...)
+  /// Improvement of the recovery over the baseline per metric, in absolute
+  /// points (the "Δ over decompiler" a name-recovery paper headlines).
+  double exact_match_gain = 0.0;
+  double jaccard_gain = 0.0;
+  double semantic_gain = 0.0;
+};
+
+/// Compares recovered names against the placeholder baseline on the same
+/// ground truth. `placeholders[i]` is the decompiler name for pair i.
+IntrinsicComparison compare_to_baseline(
+    const std::vector<NamePair>& recovered_pairs,
+    const std::vector<std::string>& placeholders,
+    const embed::EmbeddingModel& model);
+
+}  // namespace decompeval::metrics

@@ -1,0 +1,108 @@
+#include "metrics/registry.h"
+
+#include "metrics/bertscore.h"
+#include "metrics/codebleu.h"
+#include "text/bleu.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+#include "util/check.h"
+
+namespace decompeval::metrics {
+
+namespace {
+
+// Appends all names of both kinds into one space-joined string, the paired-
+// string construction of the RQ5 protocol.
+std::string concatenate_names(const SnippetMetricInputs& inputs,
+                              bool recovered) {
+  std::string out;
+  const auto append = [&out](const std::string& name) {
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  for (const auto& p : inputs.variable_pairs)
+    append(recovered ? p.recovered : p.original);
+  for (const auto& p : inputs.type_pairs)
+    append(recovered ? p.recovered : p.original);
+  return out;
+}
+
+}  // namespace
+
+SnippetMetricScores compute_snippet_metrics(const SnippetMetricInputs& inputs,
+                                            const embed::EmbeddingModel& model) {
+  DE_EXPECTS_MSG(!inputs.variable_pairs.empty() || !inputs.type_pairs.empty(),
+                 "snippet has no aligned name pairs");
+  SnippetMetricScores scores;
+
+  const std::string recovered = concatenate_names(inputs, /*recovered=*/true);
+  const std::string original = concatenate_names(inputs, /*recovered=*/false);
+
+  // BLEU over identifier subtokens of the paired strings.
+  const auto recovered_tokens = text::split_identifier(recovered);
+  const auto original_tokens = text::split_identifier(original);
+  scores.bleu = text::bleu(recovered_tokens, original_tokens).bleu;
+
+  // Jaccard over the subtoken sets.
+  scores.jaccard = text::jaccard(recovered_tokens, original_tokens);
+
+  // Levenshtein on the raw paired strings (the paper notes these distances
+  // often exceed the string length — we reproduce the raw value and its
+  // normalized companion).
+  scores.levenshtein =
+      static_cast<double>(text::levenshtein(recovered, original));
+  scores.normalized_levenshtein =
+      text::normalized_levenshtein(recovered, original);
+
+  // BERTScore F1 over subtokens.
+  scores.bertscore_f1 =
+      bert_score(recovered_tokens, original_tokens, model).f1;
+
+  // codeBLEU over aligned lines (average), falling back to the name strings
+  // when no lines were aligned.
+  if (!inputs.aligned_lines.empty()) {
+    double total = 0.0;
+    for (const auto& [rec_line, orig_line] : inputs.aligned_lines)
+      total += code_bleu_line(rec_line, orig_line);
+    scores.code_bleu = total / static_cast<double>(inputs.aligned_lines.size());
+  } else {
+    scores.code_bleu = code_bleu_line(recovered, original);
+  }
+
+  // VarCLR: per-name cosine, averaged over all pairs.
+  double varclr_total = 0.0;
+  double exact = 0.0;
+  std::size_t n_pairs = 0;
+  const auto accumulate = [&](const std::vector<NamePair>& pairs) {
+    for (const auto& p : pairs) {
+      varclr_total += model.name_similarity(p.recovered, p.original);
+      if (p.recovered == p.original) exact += 1.0;
+      ++n_pairs;
+    }
+  };
+  accumulate(inputs.variable_pairs);
+  accumulate(inputs.type_pairs);
+  scores.varclr = varclr_total / static_cast<double>(n_pairs);
+  scores.exact_match = exact / static_cast<double>(n_pairs);
+
+  return scores;
+}
+
+std::vector<std::string> similarity_metric_names() {
+  return {"BLEU",         "codeBLEU", "Jaccard Similarity",
+          "Levenshtein",  "BERTScore F1", "VarCLR"};
+}
+
+double metric_by_name(const SnippetMetricScores& scores,
+                      const std::string& name) {
+  if (name == "BLEU") return scores.bleu;
+  if (name == "codeBLEU") return scores.code_bleu;
+  if (name == "Jaccard Similarity") return scores.jaccard;
+  if (name == "Levenshtein") return scores.levenshtein;
+  if (name == "BERTScore F1") return scores.bertscore_f1;
+  if (name == "VarCLR") return scores.varclr;
+  if (name == "Exact Match") return scores.exact_match;
+  throw PreconditionError("unknown metric name: " + name);
+}
+
+}  // namespace decompeval::metrics

@@ -1,0 +1,64 @@
+// Snippet-level intrinsic-metric computation following the paper's RQ5
+// protocol:
+//  - variable and type names are manually aligned between the DIRTY output
+//    and the original source (the alignment ships with each snippet),
+//  - aligned names are appended into paired strings and compared with
+//    BLEU, Jaccard, Levenshtein and BERTScore F1,
+//  - codeBLEU is computed between lines containing analogous names,
+//  - VarCLR compares names pairwise and averages per function.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "embed/embedding.h"
+#include "lang/parser.h"
+
+namespace decompeval::metrics {
+
+/// One aligned (ground truth, recovered) name pair.
+struct NamePair {
+  std::string original;
+  std::string recovered;
+};
+
+struct SnippetMetricInputs {
+  std::vector<NamePair> variable_pairs;
+  std::vector<NamePair> type_pairs;
+  /// (recovered line, original line) pairs containing analogous names.
+  std::vector<std::pair<std::string, std::string>> aligned_lines;
+  /// Full function sources (used by whole-function codeBLEU cross-checks).
+  std::string recovered_source;
+  std::string original_source;
+  lang::ParseOptions parse_options;
+};
+
+/// All intrinsic similarity scores for one snippet. Higher = more similar
+/// except `levenshtein` / `normalized_levenshtein`, which are distances.
+struct SnippetMetricScores {
+  double bleu = 0.0;
+  double code_bleu = 0.0;
+  double jaccard = 0.0;
+  double levenshtein = 0.0;
+  double normalized_levenshtein = 0.0;
+  double bertscore_f1 = 0.0;
+  double varclr = 0.0;
+  double exact_match = 0.0;  ///< fraction of names recovered verbatim
+};
+
+/// Computes every metric for one snippet's alignment. Requires at least one
+/// name pair (variable or type).
+SnippetMetricScores compute_snippet_metrics(const SnippetMetricInputs& inputs,
+                                            const embed::EmbeddingModel& model);
+
+/// Canonical ordering/naming of the similarity metrics for the Tables
+/// III/IV reports.
+std::vector<std::string> similarity_metric_names();
+
+/// Extracts the named metric value from a score set; name must be one of
+/// similarity_metric_names().
+double metric_by_name(const SnippetMetricScores& scores,
+                      const std::string& name);
+
+}  // namespace decompeval::metrics

@@ -1,0 +1,271 @@
+#include "mixed/glmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "linalg/matrix.h"
+#include "mixed/nelder_mead.h"
+#include "statdist/distributions.h"
+#include "util/check.h"
+
+namespace decompeval::mixed {
+
+namespace {
+
+double logistic(double eta) { return 1.0 / (1.0 + std::exp(-eta)); }
+
+// Binomial deviance residual sum: −2 Σ [y log μ + (1−y) log(1−μ)].
+double binomial_deviance(const linalg::Vector& y, const linalg::Vector& mu) {
+  double dev = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const double m = std::clamp(mu[i], 1e-12, 1.0 - 1e-12);
+    dev += y[i] > 0.5 ? -2.0 * std::log(m) : -2.0 * std::log1p(-m);
+  }
+  return dev;
+}
+
+struct PirlsResult {
+  linalg::Vector u;          // conditional modes (spherical scale)
+  double laplace_deviance;   // devres + ‖u‖² + log|H|
+  bool converged;
+};
+
+// Finds the conditional modes of u for fixed beta and theta, returning the
+// Laplace-approximate deviance.
+PirlsResult pirls(const MixedModelData& d, const std::vector<double>& beta,
+                  double theta_u, double theta_q, linalg::Vector u_start) {
+  const std::size_t n = d.n_observations();
+  const std::size_t p = d.n_fixed_effects();
+  const std::size_t q = d.n_users + d.n_questions;
+
+  linalg::Vector xbeta(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    for (std::size_t j = 0; j < p; ++j) v += d.x(i, j) * beta[j];
+    xbeta[i] = v;
+  }
+
+  const auto eta_of = [&](const linalg::Vector& u, std::size_t i) {
+    return xbeta[i] + theta_u * u[d.user[i]] +
+           theta_q * u[d.n_users + d.question[i]];
+  };
+  const auto penalized_deviance = [&](const linalg::Vector& u) {
+    linalg::Vector mu(n);
+    for (std::size_t i = 0; i < n; ++i) mu[i] = logistic(eta_of(u, i));
+    return binomial_deviance(d.y, mu) + linalg::dot(u, u);
+  };
+
+  linalg::Vector u = std::move(u_start);
+  if (u.size() != q) u.assign(q, 0.0);
+  double pdev = penalized_deviance(u);
+
+  linalg::Matrix h(q, q);
+  bool converged = false;
+  for (int iter = 0; iter < 100; ++iter) {
+    // Weights and score at the current modes.
+    linalg::Vector score(q, 0.0);
+    h = linalg::Matrix(q, q);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mu = logistic(eta_of(u, i));
+      const double w = std::max(mu * (1.0 - mu), 1e-10);
+      const double resid = d.y[i] - mu;
+      const std::size_t cu = d.user[i];
+      const std::size_t cq = d.n_users + d.question[i];
+      score[cu] += theta_u * resid;
+      score[cq] += theta_q * resid;
+      h(cu, cu) += theta_u * theta_u * w;
+      h(cq, cq) += theta_q * theta_q * w;
+      h(cu, cq) += theta_u * theta_q * w;
+      h(cq, cu) += theta_u * theta_q * w;
+    }
+    for (std::size_t j = 0; j < q; ++j) {
+      score[j] -= u[j];
+      h(j, j) += 1.0;
+    }
+
+    const linalg::Cholesky chol(h);
+    const linalg::Vector delta = chol.solve(score);
+
+    // Step halving to guarantee descent of the penalized deviance.
+    double step = 1.0;
+    linalg::Vector u_new = u;
+    double pdev_new = pdev;
+    for (int half = 0; half < 20; ++half) {
+      for (std::size_t j = 0; j < q; ++j) u_new[j] = u[j] + step * delta[j];
+      pdev_new = penalized_deviance(u_new);
+      if (pdev_new <= pdev + 1e-12) break;
+      step *= 0.5;
+    }
+    const double improvement = pdev - pdev_new;
+    u = u_new;
+    pdev = pdev_new;
+    if (std::abs(improvement) < 1e-10 && linalg::norm2(delta) * step < 1e-8) {
+      converged = true;
+      break;
+    }
+  }
+
+  // Recompute H at the final modes for the determinant term.
+  linalg::Matrix h_final(q, q);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double mu = logistic(eta_of(u, i));
+    const double w = std::max(mu * (1.0 - mu), 1e-10);
+    const std::size_t cu = d.user[i];
+    const std::size_t cq = d.n_users + d.question[i];
+    h_final(cu, cu) += theta_u * theta_u * w;
+    h_final(cq, cq) += theta_q * theta_q * w;
+    h_final(cu, cq) += theta_u * theta_q * w;
+    h_final(cq, cu) += theta_u * theta_q * w;
+  }
+  h_final.add_diagonal(1.0);
+  const linalg::Cholesky chol_final(h_final);
+
+  PirlsResult out;
+  out.laplace_deviance = pdev + chol_final.log_det();
+  out.u = std::move(u);
+  out.converged = converged;
+  return out;
+}
+
+}  // namespace
+
+GlmmFit fit_logistic_glmm(const MixedModelData& data) {
+  data.validate();
+  for (const double v : data.y)
+    DE_EXPECTS_MSG(v == 0.0 || v == 1.0, "GLMM response must be binary 0/1");
+
+  const std::size_t n = data.n_observations();
+  const std::size_t p = data.n_fixed_effects();
+  const std::size_t q = data.n_users + data.n_questions;
+
+  // Outer parameter vector: [theta_u, theta_q, beta...].
+  linalg::Vector warm_u(q, 0.0);
+  const auto objective = [&](const std::vector<double>& v) {
+    const double theta_u = std::abs(v[0]);
+    const double theta_q = std::abs(v[1]);
+    const std::vector<double> beta(v.begin() + 2, v.end());
+    PirlsResult r = pirls(data, beta, theta_u, theta_q, warm_u);
+    warm_u = r.u;  // warm start speeds the outer optimization considerably
+    return r.laplace_deviance;
+  };
+
+  std::vector<double> start(2 + p, 0.0);
+  start[0] = 1.0;
+  start[1] = 1.0;
+  double ybar = 0.0;
+  for (const double v : data.y) ybar += v;
+  ybar /= static_cast<double>(n);
+  ybar = std::clamp(ybar, 0.01, 0.99);
+  start[2] = std::log(ybar / (1.0 - ybar));  // intercept at marginal logit
+
+  NelderMeadOptions opts;
+  opts.initial_step = 0.4;
+  opts.tolerance = 1e-8;
+  opts.max_evaluations = 40000;
+  const NelderMeadResult opt = nelder_mead(objective, start, opts);
+
+  const double theta_u = std::abs(opt.x[0]);
+  const double theta_q = std::abs(opt.x[1]);
+  std::vector<double> beta(opt.x.begin() + 2, opt.x.end());
+  PirlsResult final_fit =
+      pirls(data, beta, theta_u, theta_q, linalg::Vector(q, 0.0));
+
+  GlmmFit fit;
+  fit.converged = opt.converged && final_fit.converged;
+  fit.n_observations = n;
+  fit.deviance = final_fit.laplace_deviance;
+  fit.sigma_user = theta_u;
+  fit.sigma_question = theta_q;
+
+  // Wald covariance from the numerical Hessian of the deviance in beta.
+  const auto dev_of_beta = [&](const std::vector<double>& b) {
+    return pirls(data, b, theta_u, theta_q, final_fit.u).laplace_deviance;
+  };
+  linalg::Matrix hessian(p, p);
+  const double base = fit.deviance;
+  std::vector<double> h_steps(p);
+  for (std::size_t j = 0; j < p; ++j)
+    h_steps[j] = 1e-4 * (1.0 + std::abs(beta[j]));
+  for (std::size_t j = 0; j < p; ++j) {
+    for (std::size_t k = j; k < p; ++k) {
+      std::vector<double> b = beta;
+      if (j == k) {
+        b[j] = beta[j] + h_steps[j];
+        const double fp = dev_of_beta(b);
+        b[j] = beta[j] - h_steps[j];
+        const double fm = dev_of_beta(b);
+        hessian(j, j) = (fp - 2.0 * base + fm) / (h_steps[j] * h_steps[j]);
+      } else {
+        b[j] = beta[j] + h_steps[j];
+        b[k] = beta[k] + h_steps[k];
+        const double fpp = dev_of_beta(b);
+        b[k] = beta[k] - h_steps[k];
+        const double fpm = dev_of_beta(b);
+        b[j] = beta[j] - h_steps[j];
+        const double fmm = dev_of_beta(b);
+        b[k] = beta[k] + h_steps[k];
+        const double fmp = dev_of_beta(b);
+        const double v =
+            (fpp - fpm - fmp + fmm) / (4.0 * h_steps[j] * h_steps[k]);
+        hessian(j, k) = v;
+        hessian(k, j) = v;
+      }
+    }
+  }
+  // Observed information is Hessian(deviance)/2; covariance is its inverse.
+  linalg::Matrix info = hessian.scaled(0.5);
+  linalg::Matrix cov_beta;
+  try {
+    cov_beta = linalg::spd_inverse(info);
+  } catch (const NumericalError&) {
+    // Ridge the information matrix if finite differences made it indefinite.
+    info.add_diagonal(1e-6);
+    cov_beta = linalg::spd_inverse(info);
+  }
+
+  fit.coefficients.resize(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    Coefficient& c = fit.coefficients[j];
+    c.name = data.fixed_effect_names[j];
+    c.estimate = beta[j];
+    c.std_error = std::sqrt(std::max(cov_beta(j, j), 0.0));
+    c.z_value = c.std_error > 0.0 ? c.estimate / c.std_error : 0.0;
+    c.p_value = 2.0 * (1.0 - statdist::normal_cdf(std::abs(c.z_value)));
+  }
+
+  fit.random_user.resize(data.n_users);
+  for (std::size_t j = 0; j < data.n_users; ++j)
+    fit.random_user[j] = theta_u * final_fit.u[j];
+  fit.random_question.resize(data.n_questions);
+  for (std::size_t j = 0; j < data.n_questions; ++j)
+    fit.random_question[j] = theta_q * final_fit.u[data.n_users + j];
+
+  // Nakagawa R² with the logit-link distribution-specific residual π²/3.
+  linalg::Vector fitted_fixed(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    for (std::size_t j = 0; j < p; ++j) v += data.x(i, j) * beta[j];
+    fitted_fixed[i] = v;
+  }
+  double mean_fixed = 0.0;
+  for (const double v : fitted_fixed) mean_fixed += v;
+  mean_fixed /= static_cast<double>(n);
+  double var_fixed = 0.0;
+  for (const double v : fitted_fixed)
+    var_fixed += (v - mean_fixed) * (v - mean_fixed);
+  var_fixed /= static_cast<double>(n);
+  const double var_user = theta_u * theta_u;
+  const double var_question = theta_q * theta_q;
+  const double var_resid = std::numbers::pi * std::numbers::pi / 3.0;
+  const double total = var_fixed + var_user + var_question + var_resid;
+  fit.r2_marginal = var_fixed / total;
+  fit.r2_conditional = (var_fixed + var_user + var_question) / total;
+
+  const double n_params = static_cast<double>(p) + 2.0;
+  fit.aic = fit.deviance + 2.0 * n_params;
+  fit.bic = fit.deviance + std::log(static_cast<double>(n)) * n_params;
+  return fit;
+}
+
+}  // namespace decompeval::mixed

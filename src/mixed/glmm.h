@@ -1,0 +1,37 @@
+// Logistic generalized linear mixed model with two crossed random
+// intercepts, fit by the Laplace approximation — the estimator behind the
+// paper's Table I (glmer with family=binomial in R).
+//
+// Inner loop: penalized iteratively reweighted least squares (PIRLS) finds
+// the conditional modes of the spherical random effects u for fixed
+// (β, θ). Outer loop: Nelder–Mead minimizes the Laplace deviance
+//   −2ℓ ≈ deviance_residual(β, u) + ‖u‖² + log|ΛᵀZᵀWZΛ + I|
+// jointly over β and θ = (σ_user, σ_question). Wald standard errors come
+// from the numerically differentiated Hessian of the deviance in β.
+#pragma once
+
+#include <vector>
+
+#include "mixed/model_data.h"
+
+namespace decompeval::mixed {
+
+struct GlmmFit {
+  std::vector<Coefficient> coefficients;
+  double sigma_user = 0.0;
+  double sigma_question = 0.0;
+  double deviance = 0.0;  ///< Laplace −2 log-likelihood at the optimum
+  double aic = 0.0;
+  double bic = 0.0;
+  double r2_marginal = 0.0;     ///< Nakagawa R²m with logit-link residual π²/3
+  double r2_conditional = 0.0;  ///< Nakagawa R²c
+  std::vector<double> random_user;
+  std::vector<double> random_question;
+  std::size_t n_observations = 0;
+  bool converged = false;
+};
+
+/// Fits the logistic GLMM. `data.y` must contain only 0.0 and 1.0.
+GlmmFit fit_logistic_glmm(const MixedModelData& data);
+
+}  // namespace decompeval::mixed

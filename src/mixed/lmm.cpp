@@ -1,0 +1,194 @@
+#include "mixed/lmm.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "linalg/matrix.h"
+#include "mixed/nelder_mead.h"
+#include "statdist/distributions.h"
+#include "util/check.h"
+
+namespace decompeval::mixed {
+
+namespace {
+
+// Builds the bordered penalized-least-squares system for given relative
+// covariance factors (theta_u, theta_q). Ordering: users, questions, betas.
+struct PlsSystem {
+  linalg::Matrix a;
+  linalg::Vector rhs;
+  std::size_t q;  // number of random-effect columns
+};
+
+PlsSystem build_system(const MixedModelData& d, double theta_u,
+                       double theta_q) {
+  const std::size_t n = d.n_observations();
+  const std::size_t p = d.n_fixed_effects();
+  const std::size_t q = d.n_users + d.n_questions;
+  const std::size_t m = q + p;
+  PlsSystem sys{linalg::Matrix(m, m), linalg::Vector(m, 0.0), q};
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cu = d.user[i];
+    const std::size_t cq = d.n_users + d.question[i];
+    // Random-effect cross products (Z columns are 0/1 indicators).
+    sys.a(cu, cu) += theta_u * theta_u;
+    sys.a(cq, cq) += theta_q * theta_q;
+    sys.a(cu, cq) += theta_u * theta_q;
+    sys.a(cq, cu) += theta_u * theta_q;
+    for (std::size_t j = 0; j < p; ++j) {
+      const double xij = d.x(i, j);
+      sys.a(cu, q + j) += theta_u * xij;
+      sys.a(q + j, cu) += theta_u * xij;
+      sys.a(cq, q + j) += theta_q * xij;
+      sys.a(q + j, cq) += theta_q * xij;
+      for (std::size_t k = 0; k <= j; ++k) {
+        sys.a(q + j, q + k) += xij * d.x(i, k);
+        if (k != j) sys.a(q + k, q + j) += xij * d.x(i, k);
+      }
+      sys.rhs[q + j] += xij * d.y[i];
+    }
+    sys.rhs[cu] += theta_u * d.y[i];
+    sys.rhs[cq] += theta_q * d.y[i];
+  }
+  for (std::size_t i = 0; i < q; ++i) sys.a(i, i) += 1.0;
+  return sys;
+}
+
+struct ProfiledSolve {
+  linalg::Vector solution;  // [u; beta]
+  double penalized_rss = 0.0;
+  double logdet_l = 0.0;    // log |L_Z|² (random-effect block)
+  double logdet_rx = 0.0;   // log |R_X|² (fixed-effect Schur block)
+  linalg::Matrix chol_lower;
+};
+
+ProfiledSolve profiled_solve(const MixedModelData& d, double theta_u,
+                             double theta_q) {
+  const PlsSystem sys = build_system(d, theta_u, theta_q);
+  const linalg::Cholesky chol(sys.a);
+  ProfiledSolve out;
+  out.solution = chol.solve(sys.rhs);
+  double yty = 0.0;
+  for (const double v : d.y) yty += v * v;
+  out.penalized_rss = yty - linalg::dot(out.solution, sys.rhs);
+  // Guard against cancellation for near-perfect fits.
+  if (out.penalized_rss < 1e-12) out.penalized_rss = 1e-12;
+  const linalg::Matrix& l = chol.lower();
+  for (std::size_t i = 0; i < sys.q; ++i)
+    out.logdet_l += 2.0 * std::log(l(i, i));
+  for (std::size_t i = sys.q; i < l.rows(); ++i)
+    out.logdet_rx += 2.0 * std::log(l(i, i));
+  out.chol_lower = l;
+  return out;
+}
+
+double reml_criterion(const MixedModelData& d, double theta_u,
+                      double theta_q) {
+  const double n = static_cast<double>(d.n_observations());
+  const double p = static_cast<double>(d.n_fixed_effects());
+  const ProfiledSolve s = profiled_solve(d, theta_u, theta_q);
+  const double nmp = n - p;
+  return s.logdet_l + s.logdet_rx +
+         nmp * (1.0 + std::log(2.0 * std::numbers::pi * s.penalized_rss / nmp));
+}
+
+}  // namespace
+
+void MixedModelData::validate() const {
+  DE_EXPECTS_MSG(x.rows() == y.size(), "X rows must match y length");
+  DE_EXPECTS_MSG(user.size() == y.size(), "user index length mismatch");
+  DE_EXPECTS_MSG(question.size() == y.size(), "question index length mismatch");
+  DE_EXPECTS_MSG(fixed_effect_names.size() == x.cols(),
+                 "fixed effect name count mismatch");
+  DE_EXPECTS_MSG(n_users >= 2 && n_questions >= 2,
+                 "need at least two levels per grouping factor");
+  for (const std::size_t u : user) DE_EXPECTS(u < n_users);
+  for (const std::size_t q : question) DE_EXPECTS(q < n_questions);
+}
+
+LmmFit fit_lmm(const MixedModelData& data) {
+  data.validate();
+  const std::size_t n = data.n_observations();
+  const std::size_t p = data.n_fixed_effects();
+  DE_EXPECTS_MSG(n > p + 2, "too few observations for the model");
+
+  const auto objective = [&data](const std::vector<double>& t) {
+    return reml_criterion(data, std::abs(t[0]), std::abs(t[1]));
+  };
+  NelderMeadOptions opts;
+  opts.initial_step = 0.5;
+  const NelderMeadResult opt = nelder_mead(objective, {1.0, 1.0}, opts);
+
+  const double theta_u = std::abs(opt.x[0]);
+  const double theta_q = std::abs(opt.x[1]);
+  const ProfiledSolve s = profiled_solve(data, theta_u, theta_q);
+
+  LmmFit fit;
+  fit.converged = opt.converged;
+  fit.n_observations = n;
+  fit.reml_criterion = opt.value;
+  const double nmp = static_cast<double>(n - p);
+  const double sigma2 = s.penalized_rss / nmp;
+  fit.sigma_residual = std::sqrt(sigma2);
+  fit.sigma_user = theta_u * fit.sigma_residual;
+  fit.sigma_question = theta_q * fit.sigma_residual;
+
+  const std::size_t q = data.n_users + data.n_questions;
+  // Fixed-effect covariance: sigma² (L22 L22ᵀ)⁻¹ from the trailing Cholesky
+  // block (the factor of the Schur complement R_Xᵀ R_X).
+  linalg::Matrix schur(p, p);
+  for (std::size_t i = 0; i < p; ++i)
+    for (std::size_t j = 0; j <= i; ++j) {
+      double v = 0.0;
+      for (std::size_t k = 0; k <= j; ++k)
+        v += s.chol_lower(q + i, q + k) * s.chol_lower(q + j, q + k);
+      schur(i, j) = v;
+      schur(j, i) = v;
+    }
+  const linalg::Matrix cov_beta = linalg::spd_inverse(schur).scaled(sigma2);
+
+  fit.coefficients.resize(p);
+  for (std::size_t j = 0; j < p; ++j) {
+    Coefficient& c = fit.coefficients[j];
+    c.name = data.fixed_effect_names[j];
+    c.estimate = s.solution[q + j];
+    c.std_error = std::sqrt(cov_beta(j, j));
+    c.z_value = c.estimate / c.std_error;
+    c.p_value = 2.0 * (1.0 - statdist::normal_cdf(std::abs(c.z_value)));
+  }
+
+  fit.random_user.resize(data.n_users);
+  for (std::size_t j = 0; j < data.n_users; ++j)
+    fit.random_user[j] = theta_u * s.solution[j];
+  fit.random_question.resize(data.n_questions);
+  for (std::size_t j = 0; j < data.n_questions; ++j)
+    fit.random_question[j] = theta_q * s.solution[data.n_users + j];
+
+  // Nakagawa & Schielzeth R² components.
+  linalg::Vector fitted_fixed(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = 0.0;
+    for (std::size_t j = 0; j < p; ++j) v += data.x(i, j) * s.solution[q + j];
+    fitted_fixed[i] = v;
+  }
+  double mean_fixed = 0.0;
+  for (const double v : fitted_fixed) mean_fixed += v;
+  mean_fixed /= static_cast<double>(n);
+  double var_fixed = 0.0;
+  for (const double v : fitted_fixed)
+    var_fixed += (v - mean_fixed) * (v - mean_fixed);
+  var_fixed /= static_cast<double>(n);
+  const double var_user = fit.sigma_user * fit.sigma_user;
+  const double var_question = fit.sigma_question * fit.sigma_question;
+  const double total = var_fixed + var_user + var_question + sigma2;
+  fit.r2_marginal = var_fixed / total;
+  fit.r2_conditional = (var_fixed + var_user + var_question) / total;
+
+  const double n_params = static_cast<double>(p) + 3.0;  // betas + 2 RE + σ
+  fit.aic = fit.reml_criterion + 2.0 * n_params;
+  fit.bic = fit.reml_criterion + std::log(static_cast<double>(n)) * n_params;
+  return fit;
+}
+
+}  // namespace decompeval::mixed

@@ -1,0 +1,97 @@
+#include "mixed/nelder_mead.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace decompeval::mixed {
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& options) {
+  DE_EXPECTS(!x0.empty());
+  const std::size_t n = x0.size();
+
+  struct Point {
+    std::vector<double> x;
+    double value;
+  };
+
+  NelderMeadResult result;
+  std::vector<Point> simplex;
+  simplex.reserve(n + 1);
+  simplex.push_back({x0, f(x0)});
+  ++result.evaluations;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> xi = x0;
+    xi[i] += options.initial_step != 0.0 ? options.initial_step : 0.5;
+    simplex.push_back({xi, f(xi)});
+    ++result.evaluations;
+  }
+
+  const auto by_value = [](const Point& a, const Point& b) {
+    return a.value < b.value;
+  };
+
+  while (result.evaluations < options.max_evaluations) {
+    std::sort(simplex.begin(), simplex.end(), by_value);
+    if (std::abs(simplex.back().value - simplex.front().value) <
+        options.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) centroid[j] += simplex[i].x[j];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    const Point& worst = simplex.back();
+    const auto combine = [&](double t) {
+      std::vector<double> x(n);
+      for (std::size_t j = 0; j < n; ++j)
+        x[j] = centroid[j] + t * (worst.x[j] - centroid[j]);
+      return x;
+    };
+
+    const std::vector<double> xr = combine(-1.0);  // reflection
+    const double fr = f(xr);
+    ++result.evaluations;
+
+    if (fr < simplex.front().value) {
+      const std::vector<double> xe = combine(-2.0);  // expansion
+      const double fe = f(xe);
+      ++result.evaluations;
+      simplex.back() = fe < fr ? Point{xe, fe} : Point{xr, fr};
+    } else if (fr < simplex[n - 1].value) {
+      simplex.back() = {xr, fr};
+    } else {
+      const bool outside = fr < worst.value;
+      const std::vector<double> xc = combine(outside ? -0.5 : 0.5);
+      const double fc = f(xc);
+      ++result.evaluations;
+      if (fc < std::min(fr, worst.value)) {
+        simplex.back() = {xc, fc};
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 1; i <= n; ++i) {
+          for (std::size_t j = 0; j < n; ++j)
+            simplex[i].x[j] =
+                simplex[0].x[j] + 0.5 * (simplex[i].x[j] - simplex[0].x[j]);
+          simplex[i].value = f(simplex[i].x);
+          ++result.evaluations;
+        }
+      }
+    }
+  }
+
+  std::sort(simplex.begin(), simplex.end(), by_value);
+  result.x = simplex.front().x;
+  result.value = simplex.front().value;
+  return result;
+}
+
+}  // namespace decompeval::mixed

@@ -1,0 +1,29 @@
+// Derivative-free simplex minimizer (Nelder–Mead) used as the outer
+// optimizer for the REML / Laplace criteria, the same family of optimizer
+// lme4 uses by default (Nelder–Mead on the deviance surface).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace decompeval::mixed {
+
+struct NelderMeadOptions {
+  double initial_step = 0.5;
+  double tolerance = 1e-9;     ///< convergence on criterion spread
+  int max_evaluations = 20000;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double value = 0.0;
+  int evaluations = 0;
+  bool converged = false;
+};
+
+/// Minimizes `f` starting from `x0`.
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& options = {});
+
+}  // namespace decompeval::mixed

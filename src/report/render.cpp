@@ -1,0 +1,276 @@
+#include "report/render.h"
+
+#include <sstream>
+
+#include "report/table.h"
+#include "util/strings.h"
+
+namespace decompeval::report {
+
+namespace {
+
+using util::format_fixed;
+using util::format_p_value;
+
+std::string pm(double estimate, double se, int digits = 3) {
+  return format_fixed(estimate, digits) + " +/- " + format_fixed(se, digits);
+}
+
+std::string star(double p) { return p < 0.05 ? "*" : ""; }
+
+std::string arrow(double rho) {
+  if (rho > 0.02) return "up";
+  if (rho < -0.02) return "down";
+  return "flat";
+}
+
+void add_coefficients(TextTable& table,
+                      const std::vector<mixed::Coefficient>& coefficients) {
+  for (const auto& c : coefficients) {
+    const std::string name = c.name == "(Intercept)" ? "Constant" : c.name;
+    table.add_row({name, pm(c.estimate, c.std_error),
+                   format_p_value(c.p_value) + star(c.p_value)});
+  }
+}
+
+}  // namespace
+
+std::string render_table1(const analysis::CorrectnessModelResult& result) {
+  TextTable t("TABLE I: GLMER Correctness Performance Model");
+  t.set_header({"Term", "Estimate", "p"});
+  add_coefficients(t, result.fit.coefficients);
+  t.add_separator();
+  t.add_row({"Observations", std::to_string(result.n_observations), ""});
+  t.add_row({"Num Users", std::to_string(result.n_users), ""});
+  t.add_row({"Num Questions", std::to_string(result.n_questions), ""});
+  t.add_row({"sigma(Users)", format_fixed(result.fit.sigma_user, 2), ""});
+  t.add_row({"sigma(Questions)", format_fixed(result.fit.sigma_question, 2), ""});
+  t.add_row({"R2m", format_fixed(result.fit.r2_marginal, 3), ""});
+  t.add_row({"R2c", format_fixed(result.fit.r2_conditional, 3), ""});
+  t.add_row({"Akaike Inf. Crit.", format_fixed(result.fit.aic, 3), ""});
+  t.add_row({"Bayesian Inf. Crit.", format_fixed(result.fit.bic, 3), ""});
+  t.set_footnote("Logistic GLMM, Laplace approximation; * p < 0.05.");
+  return t.render();
+}
+
+std::string render_table2(const analysis::TimingModelResult& result) {
+  TextTable t("TABLE II: LMER Timing Performance Model");
+  t.set_header({"Term", "Estimate", "p"});
+  add_coefficients(t, result.fit.coefficients);
+  t.add_separator();
+  t.add_row({"Observations", std::to_string(result.n_observations), ""});
+  t.add_row({"Num Users", std::to_string(result.n_users), ""});
+  t.add_row({"Num Questions", std::to_string(result.n_questions), ""});
+  t.add_row({"sigma(Users)", format_fixed(result.fit.sigma_user, 2), ""});
+  t.add_row({"sigma(Questions)", format_fixed(result.fit.sigma_question, 2), ""});
+  t.add_row({"sigma(Residual)", format_fixed(result.fit.sigma_residual, 2), ""});
+  t.add_row({"R2m", format_fixed(result.fit.r2_marginal, 3), ""});
+  t.add_row({"R2c", format_fixed(result.fit.r2_conditional, 3), ""});
+  t.add_row({"Akaike Inf. Crit.", format_fixed(result.fit.aic, 3), ""});
+  t.add_row({"Bayesian Inf. Crit.", format_fixed(result.fit.bic, 3), ""});
+  t.set_footnote("Linear mixed model fit by REML; * p < 0.05.");
+  return t.render();
+}
+
+namespace {
+std::string render_metric_table(const analysis::MetricAnalysis& result,
+                                bool vs_time) {
+  TextTable t(vs_time
+                  ? "TABLE III: Correlation Between Similarity Metrics and "
+                    "Participant Time Taken on DIRTY Annotated Code Snippets"
+                  : "TABLE IV: Correlation Between Similarity Metrics and "
+                    "Participant Correctness on DIRTY Annotated Code Snippets");
+  t.set_header({"Similarity Metric", "Trend", "rho", "p-value"});
+  const auto add = [&](const analysis::MetricCorrelationRow& row) {
+    const stats::CorrelationResult& c =
+        vs_time ? row.vs_time : row.vs_correctness;
+    t.add_row({row.metric, arrow(c.estimate), format_fixed(c.estimate, 4),
+               format_p_value(c.p_value) + star(c.p_value)});
+  };
+  for (const auto& row : result.rows) add(row);
+  add(result.levenshtein);
+  std::ostringstream note;
+  note << "n(time) = " << result.n_time_observations
+       << ", n(correctness) = " << result.n_correctness_observations
+       << "; Levenshtein is a distance (sign flips); mean raw distance "
+       << format_fixed(result.mean_raw_levenshtein, 1)
+       << " (normalized " << format_fixed(result.mean_normalized_levenshtein, 2)
+       << ") - the paper deems it unsuitable here. Expert-panel ordinal "
+          "Krippendorff alpha = "
+       << format_fixed(result.krippendorff_alpha, 3) << ".";
+  t.set_footnote(note.str());
+  return t.render();
+}
+}  // namespace
+
+std::string render_table3(const analysis::MetricAnalysis& result) {
+  return render_metric_table(result, /*vs_time=*/true);
+}
+
+std::string render_table4(const analysis::MetricAnalysis& result) {
+  return render_metric_table(result, /*vs_time=*/false);
+}
+
+std::string render_figure3(const analysis::DemographicsFigure& figure) {
+  std::ostringstream os;
+  os << "FIGURE 3: Participant demographics (n = " << figure.n_participants
+     << " after exclusions)\n\n";
+  std::vector<std::pair<std::string, double>> age_bars, gender_bars;
+  for (const auto& [label, count] : figure.age_counts)
+    age_bars.emplace_back(label, static_cast<double>(count));
+  for (const auto& [label, count] : figure.gender_counts)
+    gender_bars.emplace_back(label, static_cast<double>(count));
+  os << bar_chart("Age Group", age_bars) << '\n';
+  os << bar_chart("Gender", gender_bars) << '\n';
+  os << "Education Level (by occupation)\n";
+  for (const auto& [education, by_occupation] : figure.education_counts) {
+    std::size_t total = 0;
+    os << "  " << education << ": ";
+    bool first = true;
+    for (const auto& [occupation, count] : by_occupation) {
+      if (!first) os << ", ";
+      os << occupation << " " << count;
+      total += count;
+      first = false;
+    }
+    os << "  (total " << total << ")\n";
+  }
+  return os.str();
+}
+
+std::string render_figure5(
+    const std::vector<analysis::QuestionCorrectness>& questions) {
+  std::vector<GroupedBar> bars;
+  bars.reserve(questions.size());
+  std::ostringstream notes;
+  for (const auto& q : questions) {
+    GroupedBar b;
+    b.label = q.question_id;
+    b.dirty_value = q.rate_dirty() * 100.0;
+    b.hexrays_value = q.rate_hexrays() * 100.0;
+    bars.push_back(b);
+    const auto fisher = q.fisher();
+    if (fisher.p_value < 0.05) {
+      notes << "  Fisher's exact test on " << q.question_id
+            << ": p = " << util::format_p_value(fisher.p_value)
+            << " (significant treatment difference)\n";
+    }
+  }
+  std::string out = grouped_bar_chart(
+      "FIGURE 5: Percent correct per question, by treatment", bars);
+  const std::string note_text = notes.str();
+  if (!note_text.empty()) out += note_text;
+  return out;
+}
+
+namespace {
+std::string render_timing(const std::string& figure_title,
+                          const analysis::TimingComparison& timing) {
+  std::ostringstream os;
+  os << figure_title << '\n';
+  const auto box = [&](const char* label,
+                       const stats::FiveNumberSummary& s,
+                       std::size_t n) {
+    os << "  " << label << " (n=" << n << "): min "
+       << format_fixed(s.min, 0) << "s, Q1 " << format_fixed(s.q1, 0)
+       << "s, median " << format_fixed(s.median, 0) << "s, Q3 "
+       << format_fixed(s.q3, 0) << "s, max " << format_fixed(s.max, 0)
+       << "s\n";
+  };
+  box("Hex-Rays", timing.summary_hexrays, timing.seconds_hexrays.size());
+  box("DIRTY   ", timing.summary_dirty, timing.seconds_dirty.size());
+  os << "  Welch two-sample t-test: mean(Hex-Rays) = "
+     << format_fixed(timing.welch.mean_x, 1) << "s, mean(DIRTY) = "
+     << format_fixed(timing.welch.mean_y, 1)
+     << "s, t = " << format_fixed(timing.welch.t, 3)
+     << ", df = " << format_fixed(timing.welch.df, 1)
+     << ", p = " << format_p_value(timing.welch.p_value) << '\n';
+  return os.str();
+}
+}  // namespace
+
+std::string render_figure6(const analysis::TimingComparison& timing) {
+  return render_timing(
+      "FIGURE 6: Completion time for " + timing.label + " tasks", timing);
+}
+
+std::string render_figure7(const analysis::TimingComparison& timing) {
+  return render_timing(
+      "FIGURE 7: Completion time for " + timing.label, timing);
+}
+
+std::string render_figure8(const analysis::OpinionAnalysis& opinions) {
+  const auto to_counts = [](const analysis::LikertCounts& c) {
+    return std::vector<double>(c.begin(), c.end());
+  };
+  const auto& label_array = analysis::likert_labels();
+  std::vector<std::string> labels(label_array.begin(), label_array.end());
+  std::vector<LikertRow> rows = {
+      {"Type / Hex-Rays", to_counts(opinions.type_hexrays)},
+      {"Type / DIRTY   ", to_counts(opinions.type_dirty)},
+      {"Name / Hex-Rays", to_counts(opinions.name_hexrays)},
+      {"Name / DIRTY   ", to_counts(opinions.name_dirty)},
+  };
+  std::string out = likert_chart(
+      "FIGURE 8: Opinion of how types and names impacted understanding",
+      rows, labels);
+  std::ostringstream os;
+  os << out;
+  os << "  Names, Hex-Rays vs DIRTY Wilcoxon: W = "
+     << format_fixed(opinions.name_test.w, 1)
+     << ", p = " << format_p_value(opinions.name_test.p_value)
+     << ", location shift = "
+     << format_fixed(opinions.name_test.location_shift, 1) << '\n';
+  os << "  Types, Hex-Rays vs DIRTY Wilcoxon: W = "
+     << format_fixed(opinions.type_test.w, 1)
+     << ", p = " << format_p_value(opinions.type_test.p_value) << '\n';
+  os << "  Mean type rating per snippet (lower = better):\n";
+  for (const auto& [sid, mean_hex] : opinions.type_mean_hexrays) {
+    const auto it = opinions.type_mean_dirty.find(sid);
+    os << "    " << sid << ": Hex-Rays " << format_fixed(mean_hex, 2)
+       << ", DIRTY "
+       << (it != opinions.type_mean_dirty.end() ? format_fixed(it->second, 2)
+                                                : std::string("n/a"))
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string render_rq4(const analysis::PerceptionAnalysis& perception) {
+  std::ostringstream os;
+  os << "RQ4: Users' perception vs performance (DIRTY responses, n = "
+     << perception.n_joined << ")\n";
+  os << "  Spearman type rating vs correctness:  rho = "
+     << format_fixed(perception.type_rating_vs_correctness.estimate, 4)
+     << ", p = "
+     << format_p_value(perception.type_rating_vs_correctness.p_value)
+     << star(perception.type_rating_vs_correctness.p_value) << '\n';
+  os << "  Spearman name rating vs correctness:  rho = "
+     << format_fixed(perception.name_rating_vs_correctness.estimate, 4)
+     << ", p = "
+     << format_p_value(perception.name_rating_vs_correctness.p_value)
+     << star(perception.name_rating_vs_correctness.p_value) << '\n';
+  os << "  Trust analysis (ratings of incorrect vs correct responders): "
+     << "mean rating correct = "
+     << format_fixed(perception.mean_rating_when_correct, 2)
+     << ", incorrect = "
+     << format_fixed(perception.mean_rating_when_incorrect, 2)
+     << ", Wilcoxon p = " << format_p_value(perception.trust_test.p_value)
+     << star(perception.trust_test.p_value) << '\n';
+  os << "  twos_complement narrative: correct rate DIRTY "
+     << format_fixed(perception.tc.correct_rate_dirty * 100.0, 1)
+     << "% vs Hex-Rays "
+     << format_fixed(perception.tc.correct_rate_hexrays * 100.0, 1)
+     << "%; mean time-to-correct DIRTY "
+     << format_fixed(perception.tc.mean_seconds_correct_dirty, 0)
+     << "s vs Hex-Rays "
+     << format_fixed(perception.tc.mean_seconds_correct_hexrays, 0)
+     << "s; poor type ratings DIRTY "
+     << format_fixed(perception.tc.poor_type_share_dirty * 100.0, 1)
+     << "% vs Hex-Rays "
+     << format_fixed(perception.tc.poor_type_share_hexrays * 100.0, 1)
+     << "%\n";
+  return os.str();
+}
+
+}  // namespace decompeval::report

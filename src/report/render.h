@@ -1,0 +1,28 @@
+// Renders each analysis result into the text form of the paper's tables
+// and figures.
+#pragma once
+
+#include <string>
+
+#include "analysis/figures.h"
+#include "analysis/rq1_correctness.h"
+#include "analysis/rq2_timing.h"
+#include "analysis/rq3_opinions.h"
+#include "analysis/rq4_perception.h"
+#include "analysis/rq5_metrics.h"
+
+namespace decompeval::report {
+
+std::string render_table1(const analysis::CorrectnessModelResult& result);
+std::string render_table2(const analysis::TimingModelResult& result);
+std::string render_table3(const analysis::MetricAnalysis& result);
+std::string render_table4(const analysis::MetricAnalysis& result);
+std::string render_figure3(const analysis::DemographicsFigure& figure);
+std::string render_figure5(
+    const std::vector<analysis::QuestionCorrectness>& questions);
+std::string render_figure6(const analysis::TimingComparison& timing);
+std::string render_figure7(const analysis::TimingComparison& timing);
+std::string render_figure8(const analysis::OpinionAnalysis& opinions);
+std::string render_rq4(const analysis::PerceptionAnalysis& perception);
+
+}  // namespace decompeval::report

@@ -1,0 +1,149 @@
+#include "report/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace decompeval::report {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back({std::move(row), false});
+}
+
+void TextTable::add_separator() { rows_.push_back({{}, true}); }
+
+std::string TextTable::render() const {
+  // Compute column widths over header and all rows.
+  std::size_t n_cols = header_.size();
+  for (const Row& r : rows_) n_cols = std::max(n_cols, r.cells.size());
+  std::vector<std::size_t> widths(n_cols, 0);
+  const auto widen = [&widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const Row& r : rows_)
+    if (!r.separator) widen(r.cells);
+
+  std::size_t total = n_cols > 0 ? (n_cols - 1) * 3 : 0;
+  for (const std::size_t w : widths) total += w;
+
+  std::ostringstream os;
+  os << title_ << '\n' << std::string(std::max(total, title_.size()), '=')
+     << '\n';
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << " | ";
+      os << cells[i]
+         << std::string(widths[i] - std::min(widths[i], cells[i].size()), ' ');
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const Row& r : rows_) {
+    if (r.separator)
+      os << std::string(total, '-') << '\n';
+    else
+      emit(r.cells);
+  }
+  if (!footnote_.empty()) os << "Note: " << footnote_ << '\n';
+  return os.str();
+}
+
+std::string bar_chart(const std::string& title,
+                      const std::vector<std::pair<std::string, double>>& bars,
+                      int width) {
+  DE_EXPECTS(width > 0);
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : bars) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  std::ostringstream os;
+  os << title << '\n';
+  for (const auto& [label, value] : bars) {
+    const int len = max_value > 0.0
+                        ? static_cast<int>(std::round(value / max_value * width))
+                        : 0;
+    os << "  " << label << std::string(label_width - label.size(), ' ')
+       << " | " << std::string(len, '#') << ' '
+       << util::format_fixed(value, value == std::floor(value) ? 0 : 1)
+       << '\n';
+  }
+  return os.str();
+}
+
+std::string grouped_bar_chart(const std::string& title,
+                              const std::vector<GroupedBar>& bars,
+                              const std::string& value_suffix, int width) {
+  DE_EXPECTS(width > 0);
+  double max_value = 1e-9;
+  std::size_t label_width = 0;
+  for (const GroupedBar& b : bars) {
+    max_value = std::max({max_value, b.dirty_value, b.hexrays_value});
+    label_width = std::max(label_width, b.label.size());
+  }
+  std::ostringstream os;
+  os << title << '\n';
+  for (const GroupedBar& b : bars) {
+    const auto bar_of = [&](double v, char fill) {
+      return std::string(
+          static_cast<std::size_t>(std::round(v / max_value * width)), fill);
+    };
+    os << "  " << b.label << std::string(label_width - b.label.size(), ' ')
+       << "  DIRTY    | " << bar_of(b.dirty_value, '#') << ' '
+       << util::format_fixed(b.dirty_value, 1) << value_suffix << '\n';
+    os << "  " << std::string(label_width, ' ') << "  Hex-Rays | "
+       << bar_of(b.hexrays_value, '=') << ' '
+       << util::format_fixed(b.hexrays_value, 1) << value_suffix << '\n';
+  }
+  return os.str();
+}
+
+std::string likert_chart(const std::string& title,
+                         const std::vector<LikertRow>& rows,
+                         const std::vector<std::string>& level_labels) {
+  std::ostringstream os;
+  os << title << '\n';
+  os << "  (each cell: % of responses; levels best -> worst: ";
+  for (std::size_t i = 0; i < level_labels.size(); ++i) {
+    if (i > 0) os << " / ";
+    os << level_labels[i];
+  }
+  os << ")\n";
+  std::size_t label_width = 0;
+  for (const LikertRow& r : rows) label_width = std::max(label_width, r.label.size());
+  static const char kGlyphs[] = {'+', '-', '.', 'x', 'X'};
+  for (const LikertRow& r : rows) {
+    DE_EXPECTS(r.counts.size() == 5);
+    double total = 0.0;
+    for (const double c : r.counts) total += c;
+    os << "  " << r.label << std::string(label_width - r.label.size(), ' ')
+       << " |";
+    for (std::size_t level = 0; level < 5; ++level) {
+      const double pct = total > 0.0 ? r.counts[level] / total * 100.0 : 0.0;
+      const int len = static_cast<int>(std::round(pct / 100.0 * 50.0));
+      os << std::string(len, kGlyphs[level]);
+    }
+    os << "|";
+    for (std::size_t level = 0; level < 5; ++level) {
+      const double pct = total > 0.0 ? r.counts[level] / total * 100.0 : 0.0;
+      os << ' ' << util::format_fixed(pct, 0) << '%';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace decompeval::report

@@ -1,0 +1,59 @@
+// Plain-text table and chart primitives used by the replication report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace decompeval::report {
+
+/// Column-aligned text table with a title and optional footnote.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  void add_separator();
+  void set_footnote(std::string footnote) { footnote_ = std::move(footnote); }
+
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::string footnote_;
+};
+
+/// Horizontal bar chart over labeled counts.
+std::string bar_chart(const std::string& title,
+                      const std::vector<std::pair<std::string, double>>& bars,
+                      int width = 40);
+
+/// Two-series grouped percentage bars (Fig. 5 style): each entry renders
+/// the DIRTY and Hex-Rays percentages side by side.
+struct GroupedBar {
+  std::string label;
+  double dirty_value = 0.0;
+  double hexrays_value = 0.0;
+};
+std::string grouped_bar_chart(const std::string& title,
+                              const std::vector<GroupedBar>& bars,
+                              const std::string& value_suffix = "%",
+                              int width = 30);
+
+/// Diverging Likert chart (Fig. 8 style): five ordered category counts per
+/// row, rendered as a signed percentage bar around the neutral midpoint.
+struct LikertRow {
+  std::string label;
+  std::vector<double> counts;  ///< best → worst, five entries
+};
+std::string likert_chart(const std::string& title,
+                         const std::vector<LikertRow>& rows,
+                         const std::vector<std::string>& level_labels);
+
+}  // namespace decompeval::report

@@ -1,0 +1,116 @@
+// Study materials: code snippets in three aligned variants.
+//
+// The four snippets from the paper (§III-B) are transcribed/reconstructed
+// from its figures and the upstream projects: AEEK and BAPL (lighttpd),
+// postorder (coreutils), twos_complement (openssl). Each carries:
+//  - the original source,
+//  - the Hex-Rays-style decompilation (a1/v5 placeholder names, flat types),
+//  - the DIRTY-annotated decompilation (recovered names/types, including
+//    the documented failure modes: the postorder argument swap, the AEEK
+//    `ret` misnomer, the BAPL `SSL *` mistype),
+//  - the manual name/type alignment used by the intrinsic metrics,
+//  - two comprehension questions with the calibration block that drives
+//    the participant simulator (per-question difficulty and treatment
+//    effects whose signs/magnitudes encode the paper's Figure 5 pattern).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lang/parser.h"
+#include "metrics/registry.h"
+
+namespace decompeval::snippets {
+
+enum class Variant { kOriginal, kHexRays, kDirty };
+
+/// Comprehension question with ground-truth key and simulation calibration.
+struct QuestionSpec {
+  std::string id;       ///< e.g. "AEEK-Q1"
+  std::string prompt;
+  std::string answer_key;
+
+  // ---- participant-simulator calibration (see study/response_model.h) ----
+  /// Baseline difficulty on the logit scale (0 = 50% for an average
+  /// participant; positive = easier).
+  double base_difficulty = 0.0;
+  /// Median completion time for an average participant, in seconds (the
+  /// question-level random intercept of the timing model).
+  double base_seconds = 240.0;
+  /// Additive logit shift applied when the participant sees the DIRTY
+  /// variant (positive = annotations help on this question).
+  double dirty_correctness_shift = 0.0;
+  /// Multiplier on expected completion time under the DIRTY treatment.
+  double dirty_time_factor = 1.0;
+  /// Strength of the trust-mediated penalty: participants who take DIRTY's
+  /// annotations at face value lose this much logit when the annotations
+  /// are misleading on this question (postorder-Q2's mechanism).
+  double trust_penalty = 0.0;
+  /// Extra time multiplier applied only on the path to a *correct* answer
+  /// under DIRTY (the AEEK-Q2 "slower to the right answer" effect).
+  double dirty_correct_time_factor = 1.0;
+};
+
+struct Snippet {
+  std::string id;         ///< "AEEK", "BAPL", "POSTORDER", "TC"
+  std::string function_name;
+  std::string project;    ///< upstream project the function came from
+  std::string description;
+
+  std::string original_source;
+  std::string hexrays_source;
+  std::string dirty_source;
+  lang::ParseOptions parse_options;  ///< typedefs for all three variants
+
+  /// Manual alignment: original ↔ DIRTY-recovered names.
+  std::vector<metrics::NamePair> variable_alignment;
+  std::vector<metrics::NamePair> type_alignment;
+  /// (DIRTY line, original line) pairs for line-level codeBLEU.
+  std::vector<std::pair<std::string, std::string>> aligned_lines;
+
+  std::vector<QuestionSpec> questions;
+
+  /// Number of function arguments (participants rate each argument's name
+  /// and type separately, per the paper's survey design).
+  std::size_t n_arguments = 3;
+
+  // ---- opinion-model calibration (Figure 8 / RQ3) ----
+  /// Perceived quality in [0,1] of DIRTY's names/types on this snippet;
+  /// drives the Likert opinion simulator. TC has the paper's poor-type
+  /// outlier.
+  double dirty_name_quality = 0.7;
+  double dirty_type_quality = 0.6;
+  /// Perceived quality of the raw Hex-Rays placeholders (low by design).
+  double hexrays_name_quality = 0.25;
+  double hexrays_type_quality = 0.40;
+
+  const std::string& source(Variant v) const {
+    switch (v) {
+      case Variant::kOriginal: return original_source;
+      case Variant::kHexRays: return hexrays_source;
+      case Variant::kDirty: return dirty_source;
+    }
+    return original_source;
+  }
+
+  metrics::SnippetMetricInputs metric_inputs() const {
+    metrics::SnippetMetricInputs in;
+    in.variable_pairs = variable_alignment;
+    in.type_pairs = type_alignment;
+    in.aligned_lines = aligned_lines;
+    in.recovered_source = dirty_source;
+    in.original_source = original_source;
+    in.parse_options = parse_options;
+    return in;
+  }
+};
+
+/// The four snippets of the DSN'25 study, in paper order
+/// (AEEK, BAPL, TC, POSTORDER as displayed in Figure 5).
+const std::vector<Snippet>& study_snippets();
+
+/// Lookup by id; throws PreconditionError if unknown.
+const Snippet& snippet_by_id(const std::string& id);
+
+}  // namespace decompeval::snippets

@@ -1,0 +1,588 @@
+#include "snippets/snippet.h"
+
+#include "util/check.h"
+
+namespace decompeval::snippets {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// AEEK: array_extract_element_klen (lighttpd)
+// ---------------------------------------------------------------------------
+
+Snippet make_aeek() {
+  Snippet s;
+  s.id = "AEEK";
+  s.function_name = "array_extract_element_klen";
+  s.project = "lighttpd";
+  s.description =
+      "Locates an element within a custom array type by a given key and "
+      "retains metadata within the array.";
+  s.parse_options.typedef_names = {"array", "data_unset", "array_t_0"};
+
+  s.original_source = R"(data_unset * array_extract_element_klen(array * const a, const char * const k, const uint32_t klen) {
+  const int32_t ipos = array_get_index(a, k, klen);
+  if (ipos < 0)
+    return NULL;
+  data_unset * const entry = a->data[ipos];
+  const uint32_t last_ndx = --a->used;
+  if (last_ndx != (uint32_t)ipos) {
+    memmove(a->data + ipos, a->data + ipos + 1, (last_ndx - ipos) * sizeof(*a->data));
+  }
+  a->data[last_ndx] = entry;
+  entry->fn = NULL;
+  return entry;
+})";
+
+  s.hexrays_source = R"(__int64 __fastcall array_extract_element_klen(__int64 a1, __int64 a2, unsigned int a3) {
+  int index;
+  __int64 v6;
+  __int64 v7;
+  unsigned int v8;
+
+  index = array_get_index(a1, a2, a3);
+  if ( index < 0 )
+    return 0LL;
+  v7 = *(_QWORD *)(8LL * index + *(_QWORD *)(a1 + 8));
+  v8 = --*(_DWORD *)(a1 + 16);
+  if ( v8 != index ) {
+    v6 = *(_QWORD *)(a1 + 8);
+    memmove((void *)(v6 + 8LL * index), (const void *)(v6 + 8LL * index + 8), 8LL * (v8 - index));
+  }
+  *(_QWORD *)(8LL * v8 + *(_QWORD *)(a1 + 8)) = v7;
+  *(_QWORD *)(v7 + 40) = 0LL;
+  return v7;
+})";
+
+  s.dirty_source = R"(char *__fastcall array_extract_element_klen(array_t_0 *array, void *key, int index) {
+  int indexa;
+  int ret;
+  __int64 data;
+  char *next;
+
+  indexa = array_get_index(array, key, index);
+  if ( indexa < 0 )
+    return 0LL;
+  next = *(char **)(8LL * indexa + *(_QWORD *)&array->size);
+  ret = --*(_DWORD *)&array->used;
+  if ( ret != indexa ) {
+    data = *(_QWORD *)&array->size;
+    memmove((void *)(data + 8LL * indexa), (const void *)(data + 8LL * indexa + 8), 8LL * (ret - indexa));
+  }
+  *(_QWORD *)(8LL * ret + *(_QWORD *)&array->size) = next;
+  *(_QWORD *)(next + 40) = 0LL;
+  return next;
+})";
+
+  s.variable_alignment = {
+      {"a", "array"},      {"k", "key"},       {"klen", "index"},
+      {"ipos", "indexa"},  {"entry", "next"},  {"last_ndx", "ret"},
+  };
+  s.type_alignment = {
+      {"array *", "array_t_0 *"},
+      {"char *", "void *"},
+      {"uint32_t", "int"},
+      {"int32_t", "int"},
+      {"data_unset *", "char *"},
+      {"uint32_t", "int"},
+  };
+  s.aligned_lines = {
+      {"indexa = array_get_index(array, key, index);",
+       "const int32_t ipos = array_get_index(a, k, klen);"},
+      {"next = *(char **)(8LL * indexa + *(_QWORD *)&array->size);",
+       "data_unset * const entry = a->data[ipos];"},
+      {"ret = --*(_DWORD *)&array->used;",
+       "const uint32_t last_ndx = --a->used;"},
+      {"return next;", "return entry;"},
+  };
+
+  QuestionSpec q1;
+  q1.id = "AEEK-Q1";
+  q1.base_seconds = 120.0;
+  q1.prompt =
+      "If a1 + 8 points to an array and the array_get_index call returns an "
+      "index, what is the purpose of the if and memmove that follow?";
+  q1.answer_key =
+      "They close the gap left by the extracted element: the elements after "
+      "it are shifted one slot toward the front (the removed entry is then "
+      "parked in the last slot).";
+  q1.base_difficulty = 0.6;
+  q1.dirty_correctness_shift = 0.3;
+  q1.trust_penalty = 0.9;
+  q1.dirty_time_factor = 1.05;
+
+  QuestionSpec q2;
+  q2.id = "AEEK-Q2";
+  q2.base_seconds = 240.0;
+  q2.prompt = "What are the potential return values of this function?";
+  q2.answer_key =
+      "NULL (0) when the key is not found, otherwise a pointer to the "
+      "extracted element.";
+  q2.base_difficulty = 0.6;
+  q2.dirty_correctness_shift = 0.5;
+  q2.trust_penalty = 1.2;
+  q2.dirty_time_factor = 1.0;
+  // The documented AEEK-Q2 pathology: the DIRTY name `ret` on a variable
+  // that is never returned forces a careful re-scan; users reach the right
+  // answer much more slowly.
+  q2.dirty_correct_time_factor = 1.65;
+  s.questions = {q1, q2};
+
+  s.n_arguments = 3;
+  s.dirty_name_quality = 0.62;
+  s.hexrays_name_quality = 0.12;
+  s.dirty_type_quality = 0.60;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// BAPL: buffer_append_path_len (lighttpd)
+// ---------------------------------------------------------------------------
+
+Snippet make_bapl() {
+  Snippet s;
+  s.id = "BAPL";
+  s.function_name = "buffer_append_path_len";
+  s.project = "lighttpd";
+  s.description =
+      "Concatenates two file paths while ensuring only one path separator "
+      "appears between them.";
+  s.parse_options.typedef_names = {"buffer", "SSL"};
+
+  s.original_source = R"(void buffer_append_path_len(buffer * restrict b, const char * restrict a, size_t alen) {
+  char *s = buffer_string_prepare_append(b, alen + 1);
+  const int aslash = (alen != 0 && a[0] == '/');
+  if (b->used > 1 && s[-1] == '/') {
+    if (aslash) {
+      ++a;
+      --alen;
+    }
+  } else {
+    if (b->used == 0)
+      b->used = 1;
+    if (!aslash) {
+      *s = '/';
+      ++s;
+      ++b->used;
+    }
+  }
+  memcpy(s, a, alen);
+  s[alen] = '\0';
+  b->used += alen;
+})";
+
+  s.hexrays_source = R"(void *__fastcall buffer_append_path_len(__int64 a1, _BYTE *a2, size_t a3) {
+  char *v4;
+  int v5;
+
+  v4 = buffer_string_prepare_append(a1, a3 + 1);
+  v5 = a3 != 0 && *a2 == 47;
+  if ( *(_DWORD *)(a1 + 12) > 1 && v4[-1] == 47 ) {
+    if ( v5 ) {
+      ++a2;
+      --a3;
+    }
+  } else {
+    if ( !*(_DWORD *)(a1 + 12) )
+      *(_DWORD *)(a1 + 12) = 1;
+    if ( !v5 ) {
+      *v4 = 47;
+      ++v4;
+      ++*(_DWORD *)(a1 + 12);
+    }
+  }
+  memcpy(v4, a2, a3);
+  v4[a3] = 0;
+  *(_DWORD *)(a1 + 12) += a3;
+  return v4;
+})";
+
+  s.dirty_source = R"(void *__fastcall buffer_append_path_len(SSL *s, const char *str, size_t n) {
+  char *ptr;
+  int slash;
+
+  ptr = buffer_string_prepare_append(s, n + 1);
+  slash = n != 0 && *str == 47;
+  if ( *(_DWORD *)&s->used > 1 && ptr[-1] == 47 ) {
+    if ( slash ) {
+      ++str;
+      --n;
+    }
+  } else {
+    if ( !*(_DWORD *)&s->used )
+      *(_DWORD *)&s->used = 1;
+    if ( !slash ) {
+      *ptr = 47;
+      ++ptr;
+      ++*(_DWORD *)&s->used;
+    }
+  }
+  memcpy(ptr, str, n);
+  ptr[n] = 0;
+  *(_DWORD *)&s->used += n;
+  return ptr;
+})";
+
+  s.variable_alignment = {
+      {"b", "s"},        {"a", "str"},      {"alen", "n"},
+      {"s", "ptr"},      {"aslash", "slash"},
+  };
+  s.type_alignment = {
+      {"buffer *", "SSL *"},
+      {"const char *", "const char *"},
+      {"size_t", "size_t"},
+      {"char *", "char *"},
+      {"int", "int"},
+  };
+  s.aligned_lines = {
+      {"ptr = buffer_string_prepare_append(s, n + 1);",
+       "char *s = buffer_string_prepare_append(b, alen + 1);"},
+      {"slash = n != 0 && *str == 47;",
+       "const int aslash = (alen != 0 && a[0] == '/');"},
+      {"memcpy(ptr, str, n);", "memcpy(s, a, alen);"},
+      {"ptr[n] = 0;", "s[alen] = '\\0';"},
+  };
+
+  QuestionSpec q1;
+  q1.id = "BAPL-Q1";
+  q1.base_seconds = 260.0;
+  q1.prompt =
+      "If the function is called with a buffer holding \"usr/\" and the "
+      "second argument \"/bin\" of length 4, what string does the buffer "
+      "hold on return?";
+  q1.answer_key = "\"usr/bin\" — exactly one separator is kept at the join.";
+  q1.base_difficulty = 0.5;
+  q1.dirty_correctness_shift = 0.5;
+  q1.dirty_time_factor = 0.95;
+
+  QuestionSpec q2;
+  q2.id = "BAPL-Q2";
+  q2.base_seconds = 240.0;
+  q2.prompt =
+      "Which argument is associated with the data being appended, and what "
+      "is the value written one past its last copied byte?";
+  q2.answer_key =
+      "The second argument (the incoming path string); a NUL terminator "
+      "(0) is written after the copied bytes.";
+  q2.base_difficulty = 0.3;
+  q2.dirty_correctness_shift = 0.5;
+  q2.dirty_time_factor = 0.95;
+  s.questions = {q1, q2};
+
+  s.n_arguments = 3;
+  s.dirty_name_quality = 0.75;
+  s.hexrays_name_quality = 0.12;
+  s.dirty_type_quality = 0.45;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// TC: twos_complement (openssl)
+// ---------------------------------------------------------------------------
+
+Snippet make_tc() {
+  Snippet s;
+  s.id = "TC";
+  s.function_name = "twos_complement";
+  s.project = "openssl";
+  s.description =
+      "Copies the input buffer to the output buffer; when the padding "
+      "argument is 0xff the copy is converted to two's-complement form.";
+  s.parse_options.typedef_names = {"BIGNUM"};
+
+  s.original_source = R"(static void twos_complement(unsigned char *dst, const unsigned char *src, size_t len, unsigned char pad) {
+  unsigned int carry = pad & 1;
+  size_t i;
+
+  if (len == 0)
+    return;
+  i = len;
+  while (i > 0) {
+    i = i - 1;
+    carry = carry + (unsigned char)(src[i] ^ pad);
+    dst[i] = (unsigned char)carry;
+    carry = carry >> 8;
+  }
+})";
+
+  s.hexrays_source = R"(void __fastcall twos_complement(_BYTE *a1, _BYTE *a2, unsigned __int64 a3, char a4) {
+  unsigned int v5;
+  unsigned __int64 v6;
+
+  v5 = a4 & 1;
+  if ( a3 ) {
+    v6 = a3;
+    while ( v6 ) {
+      v6 = v6 - 1;
+      v5 = v5 + (unsigned __int8)(a2[v6] ^ a4);
+      a1[v6] = v5;
+      v5 = v5 >> 8;
+    }
+  }
+})";
+
+  s.dirty_source = R"(void __fastcall twos_complement(BIGNUM *buf, BIGNUM *data, size_t size, char pad7) {
+  unsigned int c;
+  size_t j;
+
+  c = pad7 & 1;
+  if ( size ) {
+    j = size;
+    while ( j ) {
+      j = j - 1;
+      c = c + (unsigned __int8)(*((_BYTE *)data + j) ^ pad7);
+      *((_BYTE *)buf + j) = c;
+      c = c >> 8;
+    }
+  }
+})";
+
+  s.variable_alignment = {
+      {"dst", "buf"},   {"src", "data"}, {"len", "size"},
+      {"pad", "pad7"},  {"carry", "c"},  {"i", "j"},
+  };
+  s.type_alignment = {
+      {"unsigned char *", "BIGNUM *"},
+      {"const unsigned char *", "BIGNUM *"},
+      {"size_t", "size_t"},
+      {"unsigned char", "char"},
+      {"unsigned int", "unsigned int"},
+      {"size_t", "size_t"},
+  };
+  s.aligned_lines = {
+      {"c = pad7 & 1;", "unsigned int carry = pad & 1;"},
+      {"c = c + (unsigned __int8)(*((_BYTE *)data + j) ^ pad7);",
+       "carry = carry + (unsigned char)(src[i] ^ pad);"},
+      {"*((_BYTE *)buf + j) = c;", "dst[i] = (unsigned char)carry;"},
+      {"c = c >> 8;", "carry = carry >> 8;"},
+  };
+
+  QuestionSpec q1;
+  q1.id = "TC-Q1";
+  q1.base_seconds = 170.0;
+  q1.prompt =
+      "If the function is called with a 2-byte input {0x01, 0x00}, length "
+      "2, and the last argument 0xff, what bytes does the output buffer "
+      "hold afterward?";
+  q1.answer_key =
+      "{0xff, 0x00}: each byte is XORed with 0xff and 1 is added with "
+      "carry from the low end — the two's complement of the input.";
+  q1.base_difficulty = 0.2;
+  q1.dirty_correctness_shift = 0.65;
+  q1.dirty_time_factor = 0.88;
+
+  QuestionSpec q2;
+  q2.id = "TC-Q2";
+  q2.base_seconds = 190.0;
+  q2.prompt =
+      "Which argument controls whether the copy is negated, and what value "
+      "enables the negation?";
+  q2.answer_key =
+      "The fourth (padding) argument; 0xff makes the loop XOR every byte "
+      "and propagate the +1 carry, i.e. two's complement.";
+  q2.base_difficulty = 0.0;
+  q2.dirty_correctness_shift = 0.5;
+  q2.dirty_time_factor = 0.88;
+  s.questions = {q1, q2};
+
+  s.n_arguments = 4;
+  s.dirty_name_quality = 0.68;
+  s.hexrays_name_quality = 0.12;
+  // The paper's outlier: TC's DIRTY types were rated markedly poor.
+  s.dirty_type_quality = 0.05;
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// POSTORDER (coreutils)
+// ---------------------------------------------------------------------------
+
+Snippet make_postorder() {
+  Snippet s;
+  s.id = "POSTORDER";
+  s.function_name = "postorder";
+  s.project = "coreutils";
+  s.description =
+      "Accepts a binary tree, a function pointer, and auxiliary "
+      "information, calling the function pointer at each node in postorder "
+      "traversal of the binary tree.";
+  s.parse_options.typedef_names = {"node", "tree234", "cmpfn234"};
+
+  s.original_source = R"(int postorder(node *root, int (*visit)(void *aux, node *n), void *aux) {
+  node *stack[64];
+  node *last;
+  node *cur;
+  node *top_node;
+  int top;
+  int ret;
+
+  if (root == NULL)
+    return 0;
+  top = 0;
+  last = NULL;
+  cur = root;
+  while (top > 0 || cur != NULL) {
+    if (cur != NULL) {
+      stack[top] = cur;
+      top = top + 1;
+      cur = cur->left;
+    } else {
+      top_node = stack[top - 1];
+      if (top_node->right != NULL && last != top_node->right) {
+        cur = top_node->right;
+      } else {
+        ret = visit(aux, top_node);
+        if (ret != 0)
+          return ret;
+        last = top_node;
+        top = top - 1;
+      }
+    }
+  }
+  return 0;
+})";
+
+  s.hexrays_source = R"(__int64 __fastcall postorder(_QWORD *a1, __int64 (__fastcall *a2)(__int64, _QWORD *), __int64 a3) {
+  _QWORD *v4[64];
+  _QWORD *v5;
+  _QWORD *v6;
+  _QWORD *v9;
+  int v7;
+  __int64 v8;
+
+  if ( !a1 )
+    return 0LL;
+  v7 = 0;
+  v5 = 0LL;
+  v6 = a1;
+  while ( v7 > 0 || v6 ) {
+    if ( v6 ) {
+      v4[v7] = v6;
+      v7 = v7 + 1;
+      v6 = (_QWORD *)*v6;
+    } else {
+      v9 = v4[v7 - 1];
+      if ( v9[1] && v5 != (_QWORD *)v9[1] ) {
+        v6 = (_QWORD *)v9[1];
+      } else {
+        v8 = a2(a3, v9);
+        if ( v8 )
+          return v8;
+        v5 = v9;
+        v7 = v7 - 1;
+      }
+    }
+  }
+  return 0LL;
+})";
+
+  s.dirty_source = R"(__int64 __fastcall postorder(tree234 *t, void *e, cmpfn234 cmp) {
+  tree234 *stack[64];
+  tree234 *last;
+  tree234 *cur;
+  tree234 *node;
+  int top;
+  __int64 ret;
+
+  if ( !t )
+    return 0LL;
+  top = 0;
+  last = 0LL;
+  cur = t;
+  while ( top > 0 || cur ) {
+    if ( cur ) {
+      stack[top] = cur;
+      top = top + 1;
+      cur = (tree234 *)*(_QWORD *)cur;
+    } else {
+      node = stack[top - 1];
+      if ( *((_QWORD *)node + 1) && last != (tree234 *)*((_QWORD *)node + 1) ) {
+        cur = (tree234 *)*((_QWORD *)node + 1);
+      } else {
+        ret = (e)(cmp, node);
+        if ( ret )
+          return ret;
+        last = node;
+        top = top - 1;
+      }
+    }
+  }
+  return 0LL;
+})";
+
+  s.variable_alignment = {
+      {"root", "t"},     {"visit", "e"},    {"aux", "cmp"},
+      {"cur", "cur"},    {"last", "last"},  {"top_node", "node"},
+      {"top", "top"},    {"ret", "ret"},    {"stack", "stack"},
+  };
+  s.type_alignment = {
+      {"node *", "tree234 *"},
+      {"int (*)(void *, node *)", "void *"},
+      {"void *", "cmpfn234"},
+      {"node *", "tree234 *"},
+      {"int", "int"},
+      {"int", "__int64"},
+  };
+  s.aligned_lines = {
+      {"ret = (e)(cmp, node);", "ret = visit(aux, top_node);"},
+      {"stack[top] = cur;", "stack[top] = cur;"},
+      {"cur = (tree234 *)*(_QWORD *)cur;", "cur = cur->left;"},
+      {"last = node;", "last = top_node;"},
+  };
+
+  QuestionSpec q1;
+  q1.id = "POSTORDER-Q1";
+  q1.base_seconds = 320.0;
+  q1.prompt =
+      "What is the purpose of the inner array indexed by the integer "
+      "counter, and why does the loop continue while the counter is "
+      "positive?";
+  q1.answer_key =
+      "It is an explicit traversal stack of pending nodes; the loop runs "
+      "until the stack is empty and no node remains to descend into.";
+  q1.base_difficulty = 1.8;
+  q1.dirty_correctness_shift = -0.1;
+  q1.dirty_time_factor = 1.0;
+
+  QuestionSpec q2;
+  q2.id = "POSTORDER-Q2";
+  q2.base_seconds = 400.0;
+  q2.prompt =
+      "The three arguments represent a pointer to a tree structure, a "
+      "function pointer to call on each node, and auxiliary information. "
+      "Match each argument to its description.";
+  q2.answer_key =
+      "First argument: the tree. Second argument: the function pointer "
+      "(the only value called through). Third argument: the auxiliary "
+      "information (passed through unchanged).";
+  q2.base_difficulty = 2.2;
+  // DIRTY swaps the function-pointer and auxiliary types on this question
+  // (Figure 4): the annotations are actively misleading, and how much a
+  // participant loses scales with how much they trust the names/types.
+  q2.dirty_correctness_shift = -0.7;
+  q2.trust_penalty = 3.2;
+  q2.dirty_time_factor = 1.05;
+  s.questions = {q1, q2};
+
+  s.n_arguments = 3;
+  s.dirty_name_quality = 0.82;
+  s.hexrays_name_quality = 0.12;
+  s.dirty_type_quality = 0.80;
+  return s;
+}
+
+}  // namespace
+
+const std::vector<Snippet>& study_snippets() {
+  static const std::vector<Snippet> kSnippets = {make_aeek(), make_bapl(),
+                                                 make_tc(), make_postorder()};
+  return kSnippets;
+}
+
+const Snippet& snippet_by_id(const std::string& id) {
+  for (const Snippet& s : study_snippets())
+    if (s.id == id) return s;
+  throw PreconditionError("unknown snippet id: " + id);
+}
+
+}  // namespace decompeval::snippets

@@ -1,0 +1,114 @@
+#include "statdist/distributions.h"
+
+#include <cmath>
+
+#include "statdist/special.h"
+#include "util/check.h"
+
+namespace decompeval::statdist {
+
+namespace {
+constexpr double kSqrt2 = 1.4142135623730950488;
+constexpr double kInvSqrt2Pi = 0.3989422804014326779;
+}  // namespace
+
+double normal_pdf(double z) { return kInvSqrt2Pi * std::exp(-0.5 * z * z); }
+
+double normal_cdf(double z) { return 0.5 * std::erfc(-z / kSqrt2); }
+
+double normal_quantile(double p) {
+  DE_EXPECTS(p > 0.0 && p < 1.0);
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step.
+  const double e = normal_cdf(x) - p;
+  const double u = e / normal_pdf(x);
+  x -= u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double student_t_cdf(double t, double nu) {
+  DE_EXPECTS(nu > 0.0);
+  if (t == 0.0) return 0.5;
+  const double x = nu / (nu + t * t);
+  const double tail = 0.5 * reg_inc_beta(nu / 2.0, 0.5, x);
+  return t > 0.0 ? 1.0 - tail : tail;
+}
+
+double student_t_two_sided_p(double t, double nu) {
+  const double x = nu / (nu + t * t);
+  return reg_inc_beta(nu / 2.0, 0.5, x);
+}
+
+double chi_squared_cdf(double x, double k) {
+  DE_EXPECTS(k > 0.0);
+  if (x <= 0.0) return 0.0;
+  return reg_lower_inc_gamma(k / 2.0, x / 2.0);
+}
+
+double f_cdf(double x, double d1, double d2) {
+  DE_EXPECTS(d1 > 0.0 && d2 > 0.0);
+  if (x <= 0.0) return 0.0;
+  return reg_inc_beta(d1 / 2.0, d2 / 2.0, d1 * x / (d1 * x + d2));
+}
+
+double hypergeometric_pmf(unsigned k, unsigned K, unsigned N, unsigned n) {
+  DE_EXPECTS(K <= N && n <= N);
+  if (k > K || k > n) return 0.0;
+  if (n - k > N - K) return 0.0;
+  const double lp = log_choose(K, k) + log_choose(N - K, n - k) -
+                    log_choose(N, n);
+  return std::exp(lp);
+}
+
+double binomial_pmf(unsigned k, unsigned n, double p) {
+  DE_EXPECTS(p >= 0.0 && p <= 1.0);
+  if (k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double lp = log_choose(n, k) + static_cast<double>(k) * std::log(p) +
+                    static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(lp);
+}
+
+double binomial_test_two_sided(unsigned k, unsigned n, double p) {
+  const double pk = binomial_pmf(k, n, p);
+  double total = 0.0;
+  // Sum all outcomes at most as probable as the observed one (R's method).
+  const double relative_tolerance = 1.0 + 1e-7;
+  for (unsigned i = 0; i <= n; ++i) {
+    const double pi = binomial_pmf(i, n, p);
+    if (pi <= pk * relative_tolerance) total += pi;
+  }
+  return total > 1.0 ? 1.0 : total;
+}
+
+}  // namespace decompeval::statdist

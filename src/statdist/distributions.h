@@ -1,0 +1,42 @@
+// Distribution functions used by the hypothesis tests and mixed models.
+//
+// All CDFs are implemented on top of the regularized incomplete beta/gamma
+// functions in special.h; quantiles use monotone bisection refined with a
+// few Newton steps, which is plenty for test-statistic inversion.
+#pragma once
+
+namespace decompeval::statdist {
+
+/// Standard normal PDF.
+double normal_pdf(double z);
+
+/// Standard normal CDF Φ(z).
+double normal_cdf(double z);
+
+/// Standard normal quantile Φ⁻¹(p), p in (0, 1) (Acklam's rational
+/// approximation refined by one Halley step).
+double normal_quantile(double p);
+
+/// Student-t CDF with ν > 0 degrees of freedom.
+double student_t_cdf(double t, double nu);
+
+/// Two-sided p-value for a t statistic.
+double student_t_two_sided_p(double t, double nu);
+
+/// Chi-square CDF with k > 0 degrees of freedom.
+double chi_squared_cdf(double x, double k);
+
+/// F distribution CDF with d1, d2 > 0 degrees of freedom.
+double f_cdf(double x, double d1, double d2);
+
+/// Hypergeometric PMF: P(X = k) drawing n from a population of N with K
+/// successes.
+double hypergeometric_pmf(unsigned k, unsigned K, unsigned N, unsigned n);
+
+/// Binomial PMF.
+double binomial_pmf(unsigned k, unsigned n, double p);
+
+/// Two-sided exact binomial test p-value (sum of outcomes with pmf <= pmf(k)).
+double binomial_test_two_sided(unsigned k, unsigned n, double p);
+
+}  // namespace decompeval::statdist

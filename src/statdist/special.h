@@ -1,0 +1,28 @@
+// Special functions underlying the distribution CDFs: regularized
+// incomplete beta and gamma functions via Lentz continued fractions and
+// series expansions (Numerical Recipes-style formulations, implemented from
+// the standard definitions).
+#pragma once
+
+namespace decompeval::statdist {
+
+/// log Γ(x); thin wrapper around std::lgamma with domain check (x > 0).
+double log_gamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) for a > 0, x >= 0.
+double reg_lower_inc_gamma(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 − P(a, x).
+double reg_upper_inc_gamma(double a, double x);
+
+/// Regularized incomplete beta I_x(a, b) for a, b > 0 and x in [0, 1].
+double reg_inc_beta(double a, double b, double x);
+
+/// log of the binomial coefficient C(n, k), 0 <= k <= n.
+double log_choose(unsigned long long n, unsigned long long k);
+
+/// erf via the incomplete gamma relation (double precision path uses
+/// std::erf; this exists for cross-checking in tests).
+double erf_series(double x);
+
+}  // namespace decompeval::statdist

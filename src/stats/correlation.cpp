@@ -1,0 +1,109 @@
+#include "stats/correlation.h"
+
+#include <cmath>
+
+#include "statdist/distributions.h"
+#include "stats/ranks.h"
+#include "util/check.h"
+
+namespace decompeval::stats {
+
+namespace {
+
+double pearson_coefficient(std::span<const double> x,
+                           std::span<const double> y) {
+  const std::size_t n = x.size();
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  DE_EXPECTS_MSG(sxx > 0.0 && syy > 0.0,
+                 "correlation undefined for constant input");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+CorrelationResult t_approx_result(double r, std::size_t n) {
+  CorrelationResult out;
+  out.estimate = r;
+  out.n = n;
+  const double df = static_cast<double>(n) - 2.0;
+  const double denom = 1.0 - r * r;
+  if (denom <= 0.0) {
+    out.statistic = r > 0 ? 1e10 : -1e10;
+    out.p_value = 0.0;
+    return out;
+  }
+  out.statistic = r * std::sqrt(df / denom);
+  out.p_value = statdist::student_t_two_sided_p(out.statistic, df);
+  return out;
+}
+
+}  // namespace
+
+CorrelationResult pearson(std::span<const double> x,
+                          std::span<const double> y) {
+  DE_EXPECTS(x.size() == y.size());
+  DE_EXPECTS_MSG(x.size() >= 3, "need at least 3 pairs");
+  return t_approx_result(pearson_coefficient(x, y), x.size());
+}
+
+CorrelationResult spearman(std::span<const double> x,
+                           std::span<const double> y) {
+  DE_EXPECTS(x.size() == y.size());
+  DE_EXPECTS_MSG(x.size() >= 3, "need at least 3 pairs");
+  const RankResult rx = mid_ranks(x);
+  const RankResult ry = mid_ranks(y);
+  return t_approx_result(pearson_coefficient(rx.ranks, ry.ranks), x.size());
+}
+
+CorrelationResult kendall(std::span<const double> x,
+                          std::span<const double> y) {
+  DE_EXPECTS(x.size() == y.size());
+  DE_EXPECTS_MSG(x.size() >= 3, "need at least 3 pairs");
+  const std::size_t n = x.size();
+  long long concordant = 0, discordant = 0;
+  long long ties_x = 0, ties_y = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = x[i] - x[j];
+      const double dy = y[i] - y[j];
+      if (dx == 0.0 && dy == 0.0) continue;
+      if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if ((dx > 0) == (dy > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(n) * (static_cast<double>(n) - 1) / 2;
+  const double n1 = static_cast<double>(ties_x);
+  const double n2 = static_cast<double>(ties_y);
+  const double denom = std::sqrt((n0 - n1) * (n0 - n2));
+  CorrelationResult out;
+  out.n = n;
+  DE_EXPECTS_MSG(denom > 0.0, "kendall undefined for constant input");
+  out.estimate = (static_cast<double>(concordant - discordant)) / denom;
+  // Normal approximation (un-tie-corrected variance; adequate for our n).
+  const double nn = static_cast<double>(n);
+  const double var = nn * (nn - 1.0) * (2.0 * nn + 5.0) / 18.0;
+  out.statistic = static_cast<double>(concordant - discordant) / std::sqrt(var);
+  out.p_value = 2.0 * (1.0 - statdist::normal_cdf(std::abs(out.statistic)));
+  return out;
+}
+
+}  // namespace decompeval::stats

@@ -1,0 +1,28 @@
+// Correlation coefficients with p-values, matching R's cor.test behaviour
+// closely enough for shape-level replication of Tables III/IV and RQ4.
+#pragma once
+
+#include <span>
+
+namespace decompeval::stats {
+
+struct CorrelationResult {
+  double estimate = 0.0;  ///< rho / r / tau
+  double statistic = 0.0; ///< test statistic (t for Pearson/Spearman approx)
+  double p_value = 1.0;   ///< two-sided
+  std::size_t n = 0;
+};
+
+/// Pearson product-moment correlation with t-distributed p-value (n >= 3,
+/// both inputs non-constant).
+CorrelationResult pearson(std::span<const double> x, std::span<const double> y);
+
+/// Spearman rank correlation: Pearson on mid-ranks, p-value from the
+/// t approximation (the method R uses in the presence of ties).
+CorrelationResult spearman(std::span<const double> x,
+                           std::span<const double> y);
+
+/// Kendall tau-b with normal-approximation p-value (tie-corrected).
+CorrelationResult kendall(std::span<const double> x, std::span<const double> y);
+
+}  // namespace decompeval::stats

@@ -1,0 +1,53 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace decompeval::stats {
+
+double mean(std::span<const double> x) {
+  DE_EXPECTS(!x.empty());
+  double s = 0.0;
+  for (const double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+double sample_variance(std::span<const double> x) {
+  DE_EXPECTS(x.size() >= 2);
+  const double m = mean(x);
+  double ss = 0.0;
+  for (const double v : x) ss += (v - m) * (v - m);
+  return ss / static_cast<double>(x.size() - 1);
+}
+
+double sample_sd(std::span<const double> x) {
+  return std::sqrt(sample_variance(x));
+}
+
+double median(std::vector<double> x) { return quantile(std::move(x), 0.5); }
+
+double quantile(std::vector<double> x, double q) {
+  DE_EXPECTS(!x.empty());
+  DE_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::sort(x.begin(), x.end());
+  const double h = (static_cast<double>(x.size()) - 1.0) * q;
+  const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(h));
+  return x[lo] + (h - static_cast<double>(lo)) * (x[hi] - x[lo]);
+}
+
+FiveNumberSummary five_number_summary(std::vector<double> x) {
+  DE_EXPECTS(!x.empty());
+  std::sort(x.begin(), x.end());
+  FiveNumberSummary s;
+  s.min = x.front();
+  s.max = x.back();
+  s.q1 = quantile(x, 0.25);
+  s.median = quantile(x, 0.5);
+  s.q3 = quantile(x, 0.75);
+  return s;
+}
+
+}  // namespace decompeval::stats

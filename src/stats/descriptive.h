@@ -1,0 +1,34 @@
+// Descriptive statistics over double samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace decompeval::stats {
+
+double mean(std::span<const double> x);
+
+/// Unbiased sample variance (n−1 denominator); requires n >= 2.
+double sample_variance(std::span<const double> x);
+
+double sample_sd(std::span<const double> x);
+
+/// Median (average of middle two for even n); requires non-empty input.
+double median(std::vector<double> x);
+
+/// Quantile with linear interpolation between order statistics (R type 7).
+/// Requires non-empty input and q in [0, 1].
+double quantile(std::vector<double> x, double q);
+
+struct FiveNumberSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+};
+
+/// Five-number summary used by the box-plot style figures (6 & 7).
+FiveNumberSummary five_number_summary(std::vector<double> x);
+
+}  // namespace decompeval::stats

@@ -1,0 +1,39 @@
+#include "stats/ranks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace decompeval::stats {
+
+RankResult mid_ranks(std::span<const double> x) {
+  DE_EXPECTS(!x.empty());
+  for (const double v : x) DE_EXPECTS_MSG(!std::isnan(v), "NaN in rank input");
+  const std::size_t n = x.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&x](std::size_t a, std::size_t b) { return x[a] < x[b]; });
+
+  RankResult out;
+  out.ranks.assign(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && x[order[j + 1]] == x[order[i]]) ++j;
+    const double avg_rank =
+        (static_cast<double>(i + 1) + static_cast<double>(j + 1)) / 2.0;
+    for (std::size_t k = i; k <= j; ++k) out.ranks[order[k]] = avg_rank;
+    const double t = static_cast<double>(j - i + 1);
+    if (t > 1.0) {
+      out.tie_correction += t * t * t - t;
+      ++out.tie_groups;
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace decompeval::stats

@@ -1,0 +1,24 @@
+// Mid-rank computation with tie bookkeeping, shared by the Spearman,
+// Wilcoxon and Kruskal-style procedures.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace decompeval::stats {
+
+struct RankResult {
+  /// Mid-ranks, 1-based, aligned with the input order.
+  std::vector<double> ranks;
+  /// Σ (t³ − t) over tie groups of size t — the standard tie-correction
+  /// term for rank-test variances.
+  double tie_correction = 0.0;
+  /// Number of tie groups with size > 1.
+  std::size_t tie_groups = 0;
+};
+
+/// Assigns mid-ranks (average rank within tie groups). Requires non-empty
+/// input with no NaNs.
+RankResult mid_ranks(std::span<const double> x);
+
+}  // namespace decompeval::stats

@@ -1,0 +1,184 @@
+#include "stats/tests.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "statdist/distributions.h"
+#include "stats/descriptive.h"
+#include "stats/ranks.h"
+#include "util/check.h"
+
+namespace decompeval::stats {
+
+WilcoxonResult wilcoxon_rank_sum(std::span<const double> x,
+                                 std::span<const double> y) {
+  DE_EXPECTS(!x.empty() && !y.empty());
+  const double nx = static_cast<double>(x.size());
+  const double ny = static_cast<double>(y.size());
+
+  std::vector<double> pooled;
+  pooled.reserve(x.size() + y.size());
+  pooled.insert(pooled.end(), x.begin(), x.end());
+  pooled.insert(pooled.end(), y.begin(), y.end());
+  const RankResult rr = mid_ranks(pooled);
+
+  double rank_sum_x = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) rank_sum_x += rr.ranks[i];
+
+  WilcoxonResult out;
+  // R reports W = U of the first sample.
+  out.w = rank_sum_x - nx * (nx + 1.0) / 2.0;
+
+  const double n = nx + ny;
+  const double mu = nx * ny / 2.0;
+  const double tie_term = rr.tie_correction / (n * (n - 1.0));
+  const double sigma2 = nx * ny / 12.0 * ((n + 1.0) - tie_term);
+  DE_ENSURES_MSG(sigma2 > 0.0, "degenerate Wilcoxon variance (all ties)");
+  const double sigma = std::sqrt(sigma2);
+
+  // Continuity correction toward the mean.
+  const double diff = out.w - mu;
+  double correction = 0.0;
+  if (diff > 0.0) correction = -0.5;
+  else if (diff < 0.0) correction = 0.5;
+  out.z = (diff + correction) / sigma;
+  out.p_value = 2.0 * (1.0 - statdist::normal_cdf(std::abs(out.z)));
+  out.p_value = std::min(out.p_value, 1.0);
+
+  // Hodges–Lehmann shift estimate.
+  std::vector<double> diffs;
+  diffs.reserve(x.size() * y.size());
+  for (const double xi : x)
+    for (const double yj : y) diffs.push_back(xi - yj);
+  out.location_shift = median(std::move(diffs));
+  return out;
+}
+
+FisherExactResult fisher_exact(unsigned a, unsigned b, unsigned c,
+                               unsigned d) {
+  // Condition on margins: row1 = a+b, col1 = a+c, N = a+b+c+d.
+  const unsigned row1 = a + b;
+  const unsigned col1 = a + c;
+  const unsigned N = a + b + c + d;
+  DE_EXPECTS_MSG(N > 0, "empty contingency table");
+
+  const double p_obs = statdist::hypergeometric_pmf(a, col1, N, row1);
+  const unsigned k_min = col1 + row1 > N ? col1 + row1 - N : 0;
+  const unsigned k_max = std::min(col1, row1);
+  double total = 0.0;
+  const double tol = 1.0 + 1e-7;
+  for (unsigned k = k_min; k <= k_max; ++k) {
+    const double pk = statdist::hypergeometric_pmf(k, col1, N, row1);
+    if (pk <= p_obs * tol) total += pk;
+  }
+
+  FisherExactResult out;
+  out.p_value = std::min(total, 1.0);
+  if (b == 0 || c == 0) {
+    out.odds_ratio = std::numeric_limits<double>::infinity();
+    if (a == 0 || d == 0) out.odds_ratio = std::nan("");
+  } else {
+    out.odds_ratio = (static_cast<double>(a) * d) /
+                     (static_cast<double>(b) * c);
+  }
+  return out;
+}
+
+WelchResult welch_t_test(std::span<const double> x, std::span<const double> y) {
+  DE_EXPECTS(x.size() >= 2 && y.size() >= 2);
+  WelchResult out;
+  out.mean_x = mean(x);
+  out.mean_y = mean(y);
+  const double vx = sample_variance(x);
+  const double vy = sample_variance(y);
+  const double nx = static_cast<double>(x.size());
+  const double ny = static_cast<double>(y.size());
+  const double se2 = vx / nx + vy / ny;
+  DE_EXPECTS_MSG(se2 > 0.0, "both samples constant");
+  out.t = (out.mean_x - out.mean_y) / std::sqrt(se2);
+  out.df = se2 * se2 /
+           (vx * vx / (nx * nx * (nx - 1.0)) + vy * vy / (ny * ny * (ny - 1.0)));
+  out.p_value = statdist::student_t_two_sided_p(out.t, out.df);
+  return out;
+}
+
+double krippendorff_alpha(std::span<const std::span<const double>> ratings,
+                          AlphaMetric metric) {
+  DE_EXPECTS_MSG(ratings.size() >= 2, "need at least two raters");
+  const std::size_t n_units = ratings.front().size();
+  for (const auto& row : ratings)
+    DE_EXPECTS_MSG(row.size() == n_units, "ragged rating matrix");
+
+  // Collect the category set (distinct observed values, ordered).
+  std::map<double, std::size_t> category_index;
+  for (const auto& row : ratings)
+    for (const double v : row)
+      if (!std::isnan(v)) category_index.emplace(v, 0);
+  DE_EXPECTS_MSG(!category_index.empty(), "no ratings present");
+  std::vector<double> values;
+  values.reserve(category_index.size());
+  for (auto& [value, index] : category_index) {
+    index = values.size();
+    values.push_back(value);
+  }
+  const std::size_t k = values.size();
+
+  // Coincidence matrix.
+  std::vector<std::vector<double>> o(k, std::vector<double>(k, 0.0));
+  double n_pairable = 0.0;
+  for (std::size_t u = 0; u < n_units; ++u) {
+    std::vector<std::size_t> unit;
+    for (const auto& row : ratings)
+      if (!std::isnan(row[u])) unit.push_back(category_index.at(row[u]));
+    const double m = static_cast<double>(unit.size());
+    if (m < 2.0) continue;
+    n_pairable += m;
+    for (std::size_t i = 0; i < unit.size(); ++i)
+      for (std::size_t j = 0; j < unit.size(); ++j)
+        if (i != j) o[unit[i]][unit[j]] += 1.0 / (m - 1.0);
+  }
+  DE_EXPECTS_MSG(n_pairable >= 2.0, "no unit rated by two or more raters");
+
+  std::vector<double> marginal(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c)
+    for (std::size_t g = 0; g < k; ++g) marginal[c] += o[c][g];
+
+  const auto delta2 = [&](std::size_t c, std::size_t g) -> double {
+    if (c == g) return 0.0;
+    switch (metric) {
+      case AlphaMetric::kNominal:
+        return 1.0;
+      case AlphaMetric::kInterval: {
+        const double d = values[c] - values[g];
+        return d * d;
+      }
+      case AlphaMetric::kOrdinal: {
+        const std::size_t lo = std::min(c, g);
+        const std::size_t hi = std::max(c, g);
+        double s = 0.0;
+        for (std::size_t t = lo; t <= hi; ++t) s += marginal[t];
+        s -= (marginal[lo] + marginal[hi]) / 2.0;
+        return s * s;
+      }
+    }
+    return 0.0;
+  };
+
+  double d_observed = 0.0;
+  double d_expected = 0.0;
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t g = 0; g < k; ++g) {
+      const double d2 = delta2(c, g);
+      d_observed += o[c][g] * d2;
+      d_expected += marginal[c] * marginal[g] * d2;
+    }
+  }
+  d_expected /= (n_pairable - 1.0);
+  if (d_expected == 0.0) return 1.0;  // all ratings identical
+  return 1.0 - d_observed / d_expected;
+}
+
+}  // namespace decompeval::stats

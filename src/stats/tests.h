@@ -1,0 +1,54 @@
+// Classical hypothesis tests used by the paper's analyses:
+//  - Wilcoxon rank-sum with continuity correction (RQ3, trust analysis)
+//  - Fisher's exact 2×2 test (postorder Q2, Fig. 5)
+//  - Welch's two-sample t-test (Fig. 6 BAPL timing)
+// Implementations mirror R's defaults where the paper reports R output.
+#pragma once
+
+#include <span>
+
+namespace decompeval::stats {
+
+struct WilcoxonResult {
+  double w = 0.0;        ///< rank-sum statistic (R's W: U of sample x)
+  double z = 0.0;        ///< continuity-corrected normal approximation
+  double p_value = 1.0;  ///< two-sided
+  /// Hodges–Lehmann estimate of the location shift (median of pairwise
+  /// differences x_i − y_j), R's "difference in location".
+  double location_shift = 0.0;
+};
+
+/// Wilcoxon rank-sum (Mann–Whitney) test, tie-corrected normal
+/// approximation with continuity correction, matching R's wilcox.test with
+/// exact=FALSE, correct=TRUE. Requires both samples non-empty.
+WilcoxonResult wilcoxon_rank_sum(std::span<const double> x,
+                                 std::span<const double> y);
+
+struct FisherExactResult {
+  double p_value = 1.0;     ///< two-sided, sum of tables with pmf <= observed
+  double odds_ratio = 1.0;  ///< sample (unconditional) odds ratio
+};
+
+/// Fisher's exact test on the 2×2 table [[a, b], [c, d]].
+FisherExactResult fisher_exact(unsigned a, unsigned b, unsigned c, unsigned d);
+
+struct WelchResult {
+  double t = 0.0;
+  double df = 0.0;  ///< Welch–Satterthwaite degrees of freedom
+  double p_value = 1.0;
+  double mean_x = 0.0;
+  double mean_y = 0.0;
+};
+
+/// Welch's two-sample t-test (unequal variances). Requires both samples to
+/// have at least 2 observations and positive variance in at least one.
+WelchResult welch_t_test(std::span<const double> x, std::span<const double> y);
+
+/// Krippendorff's alpha for inter-rater reliability.
+/// `ratings[r][u]` is rater r's rating of unit u; NaN marks a missing
+/// rating. Requires >= 2 raters and >= 1 unit rated by >= 2 raters.
+enum class AlphaMetric { kNominal, kOrdinal, kInterval };
+double krippendorff_alpha(std::span<const std::span<const double>> ratings,
+                          AlphaMetric metric);
+
+}  // namespace decompeval::stats

@@ -1,0 +1,36 @@
+#include "study/design.h"
+
+#include <numeric>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace decompeval::study {
+
+std::vector<Assignment> randomize_design(
+    const std::vector<Participant>& cohort,
+    const std::vector<snippets::Snippet>& snippet_pool, std::uint64_t seed) {
+  DE_EXPECTS(!cohort.empty());
+  DE_EXPECTS(!snippet_pool.empty());
+  util::Rng rng(seed);
+
+  std::vector<Assignment> out;
+  out.reserve(cohort.size() * snippet_pool.size());
+  for (const Participant& p : cohort) {
+    std::vector<std::size_t> order(snippet_pool.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      Assignment a;
+      a.participant_id = p.id;
+      a.snippet_index = order[pos];
+      a.treatment = rng.bernoulli(0.5) ? Treatment::kDirty
+                                       : Treatment::kHexRays;
+      a.order = pos;
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+}  // namespace decompeval::study

@@ -1,0 +1,32 @@
+// Experimental design: between-subjects by snippet.
+//
+// Every participant sees all snippets; for each (participant, snippet) the
+// treatment — raw Hex-Rays output vs DIRTY-annotated output — is assigned
+// by an independent fair coin, the randomization the paper chose so that
+// an incomplete participant does not lose an entire cell (§III-D).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "snippets/snippet.h"
+#include "study/participant.h"
+
+namespace decompeval::study {
+
+enum class Treatment { kHexRays, kDirty };
+
+struct Assignment {
+  std::size_t participant_id = 0;
+  std::size_t snippet_index = 0;
+  Treatment treatment = Treatment::kHexRays;
+  /// Presentation order of the snippet within the participant's session.
+  std::size_t order = 0;
+};
+
+/// Builds the full assignment table. Deterministic in seed.
+std::vector<Assignment> randomize_design(
+    const std::vector<Participant>& cohort,
+    const std::vector<snippets::Snippet>& snippet_pool, std::uint64_t seed);
+
+}  // namespace decompeval::study

@@ -1,0 +1,92 @@
+#include "study/engine.h"
+
+#include <algorithm>
+#include <map>
+
+#include "stats/descriptive.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace decompeval::study {
+
+std::vector<const Participant*> StudyData::included() const {
+  std::vector<const Participant*> out;
+  for (const Participant& p : cohort)
+    if (excluded_participants.count(p.id) == 0) out.push_back(&p);
+  return out;
+}
+
+const Participant& StudyData::participant(std::size_t id) const {
+  for (const Participant& p : cohort)
+    if (p.id == id) return p;
+  throw PreconditionError("unknown participant id");
+}
+
+StudyData run_study(const StudyConfig& config,
+                    const std::vector<snippets::Snippet>& snippet_pool) {
+  DE_EXPECTS(!snippet_pool.empty());
+  for (const auto& s : snippet_pool)
+    DE_EXPECTS_MSG(!s.questions.empty(), "snippet without questions");
+
+  StudyData data;
+  CohortConfig cohort_config = config.cohort;
+  cohort_config.seed = config.seed;
+  data.cohort = generate_cohort(cohort_config);
+  data.assignments =
+      randomize_design(data.cohort, snippet_pool, config.seed ^ 0xA11CEULL);
+  data.n_questions = 0;
+  for (const auto& s : snippet_pool) data.n_questions += s.questions.size();
+
+  util::Rng rng(config.seed ^ 0x5EA51DEULL);
+
+  // First pass: simulate everything, keyed by participant so the quality
+  // check can look at each participant's full time profile.
+  std::map<std::size_t, std::vector<Response>> responses_by_participant;
+  std::map<std::size_t, std::vector<OpinionRecord>> opinions_by_participant;
+  for (const Assignment& a : data.assignments) {
+    const Participant& p = data.participant(a.participant_id);
+    const snippets::Snippet& snippet = snippet_pool[a.snippet_index];
+    bool any_answered = false;
+    for (std::size_t qi = 0; qi < snippet.questions.size(); ++qi) {
+      Response r = simulate_response(p, snippet, a.snippet_index, qi,
+                                     a.treatment, config.response_model, rng);
+      any_answered = any_answered || r.answered;
+      responses_by_participant[p.id].push_back(std::move(r));
+    }
+    if (any_answered) {
+      opinions_by_participant[p.id].push_back(simulate_opinion(
+          p, snippet, a.snippet_index, a.treatment, config.response_model,
+          rng));
+    }
+  }
+
+  // Quality check: median answered-question time must clear the reading
+  // threshold, otherwise the participant is removed from the study.
+  for (const Participant& p : data.cohort) {
+    const auto it = responses_by_participant.find(p.id);
+    if (it == responses_by_participant.end()) continue;
+    std::vector<double> times;
+    for (const Response& r : it->second)
+      if (r.answered) times.push_back(r.seconds);
+    if (!times.empty() &&
+        stats::median(times) < config.min_read_seconds) {
+      data.excluded_participants.insert(p.id);
+    }
+  }
+
+  for (auto& [pid, responses] : responses_by_participant) {
+    if (data.excluded_participants.count(pid) > 0) continue;
+    for (Response& r : responses) data.responses.push_back(std::move(r));
+  }
+  for (auto& [pid, opinions] : opinions_by_participant) {
+    if (data.excluded_participants.count(pid) > 0) continue;
+    for (OpinionRecord& o : opinions) data.opinions.push_back(std::move(o));
+  }
+  return data;
+}
+
+StudyData run_study(const StudyConfig& config) {
+  return run_study(config, snippets::study_snippets());
+}
+
+}  // namespace decompeval::study

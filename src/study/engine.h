@@ -1,0 +1,49 @@
+// Study engine: recruits the cohort, randomizes the design, runs every
+// participant through the survey, applies the speed quality check, and
+// returns the raw dataset the analysis layer consumes — the simulated
+// counterpart of the paper's LimeSurvey deployment plus manual grading.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "snippets/snippet.h"
+#include "study/design.h"
+#include "study/participant.h"
+#include "study/response_model.h"
+
+namespace decompeval::study {
+
+struct StudyConfig {
+  CohortConfig cohort;
+  ResponseModelConfig response_model;
+  /// Quality check: a participant whose *median* per-question time falls
+  /// below this is excluded entirely (the paper required at least the time
+  /// an author needed to read the question).
+  double min_read_seconds = 40.0;
+  std::uint64_t seed = 38;
+};
+
+struct StudyData {
+  std::vector<Participant> cohort;  ///< everyone recruited (pre-exclusion)
+  std::vector<Assignment> assignments;
+  std::vector<Response> responses;  ///< post-exclusion
+  std::vector<OpinionRecord> opinions;  ///< post-exclusion
+  std::set<std::size_t> excluded_participants;
+  std::size_t n_questions = 0;  ///< number of distinct questions in the pool
+
+  /// Participants that survived the quality check.
+  std::vector<const Participant*> included() const;
+  const Participant& participant(std::size_t id) const;
+};
+
+/// Runs the full study over the given snippet pool (the four paper
+/// snippets by default; synthetic pools for extension studies).
+StudyData run_study(const StudyConfig& config,
+                    const std::vector<snippets::Snippet>& snippet_pool);
+
+/// Runs over snippets::study_snippets().
+StudyData run_study(const StudyConfig& config = {});
+
+}  // namespace decompeval::study

@@ -1,0 +1,135 @@
+#include "study/participant.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace decompeval::study {
+
+const char* to_string(Occupation o) {
+  switch (o) {
+    case Occupation::kStudent: return "Student";
+    case Occupation::kProfessional: return "Full-time Employee";
+    case Occupation::kUnemployed: return "Unemployed";
+  }
+  return "?";
+}
+
+const char* to_string(AgeGroup a) {
+  switch (a) {
+    case AgeGroup::k18To24: return "18-24";
+    case AgeGroup::k25To34: return "25-34";
+    case AgeGroup::k35To44: return "35-44";
+    case AgeGroup::k45Plus: return "45+";
+    case AgeGroup::kNoAnswer: return "N/A";
+  }
+  return "?";
+}
+
+const char* to_string(Gender g) {
+  switch (g) {
+    case Gender::kMale: return "Male";
+    case Gender::kFemale: return "Female";
+    case Gender::kNoAnswer: return "N/A";
+  }
+  return "?";
+}
+
+const char* to_string(Education e) {
+  switch (e) {
+    case Education::kNoDegree: return "No degree";
+    case Education::kBachelors: return "Bachelor's";
+    case Education::kMasters: return "Master's";
+    case Education::kDoctorate: return "Doctorate";
+    case Education::kNoAnswer: return "N/A";
+  }
+  return "?";
+}
+
+namespace {
+
+Participant make_participant(std::size_t id, Occupation occupation,
+                             util::Rng& rng) {
+  Participant p;
+  p.id = id;
+  p.occupation = occupation;
+
+  // Demographics follow the Figure 3 shape: a young, mostly male cohort;
+  // students cluster at 18–24 with no degree yet or a bachelor's,
+  // professionals at 25–44 with bachelor's/master's.
+  if (occupation == Occupation::kStudent) {
+    const double age_weights[] = {0.75, 0.22, 0.03, 0.0, 0.0};
+    p.age_group = static_cast<AgeGroup>(rng.categorical(age_weights));
+    const double edu_weights[] = {0.55, 0.35, 0.07, 0.0, 0.03};
+    p.education = static_cast<Education>(rng.categorical(edu_weights));
+    p.coding_experience_years = std::max(1.0, rng.normal(5.0, 2.0));
+    p.re_experience_years = std::max(0.5, rng.normal(1.8, 1.0));
+  } else if (occupation == Occupation::kProfessional) {
+    const double age_weights[] = {0.1, 0.55, 0.25, 0.05, 0.05};
+    p.age_group = static_cast<AgeGroup>(rng.categorical(age_weights));
+    const double edu_weights[] = {0.05, 0.5, 0.3, 0.1, 0.05};
+    p.education = static_cast<Education>(rng.categorical(edu_weights));
+    p.coding_experience_years = std::max(3.0, rng.normal(12.0, 4.0));
+    p.re_experience_years = std::max(1.0, rng.normal(5.0, 2.5));
+  } else {
+    p.age_group = AgeGroup::k25To34;
+    p.education = Education::kBachelors;
+    p.coding_experience_years = std::max(2.0, rng.normal(7.0, 2.0));
+    p.re_experience_years = std::max(1.0, rng.normal(2.5, 1.0));
+  }
+  const double gender_weights[] = {0.82, 0.13, 0.05};
+  p.gender = static_cast<Gender>(rng.categorical(gender_weights));
+  return p;
+}
+
+}  // namespace
+
+std::vector<Participant> generate_cohort(const CohortConfig& config) {
+  DE_EXPECTS(config.n_students + config.n_professionals + config.n_unemployed >
+             0);
+  DE_EXPECTS(config.n_rapid_students <= config.n_students);
+  DE_EXPECTS(config.n_rapid_professionals <= config.n_professionals);
+  util::Rng rng(config.seed);
+
+  std::vector<Participant> cohort;
+  std::size_t id = 0;
+  for (std::size_t i = 0; i < config.n_students; ++i)
+    cohort.push_back(make_participant(id++, Occupation::kStudent, rng));
+  for (std::size_t i = 0; i < config.n_professionals; ++i)
+    cohort.push_back(make_participant(id++, Occupation::kProfessional, rng));
+  for (std::size_t i = 0; i < config.n_unemployed; ++i)
+    cohort.push_back(make_participant(id++, Occupation::kUnemployed, rng));
+
+  for (Participant& p : cohort) {
+    p.skill = rng.normal(0.0, config.skill_sd);
+    p.log_speed = rng.normal(0.0, config.log_speed_sd);
+    p.ai_trust = rng.beta(2.0, 2.0);
+    p.rating_bias = rng.normal(0.0, 0.3);
+    // Most participants answer nearly everything; a handful contribute only
+    // fragments (the source of the paper's 273/296-of-320 observation
+    // counts and 36/37-of-40 user counts).
+    if (rng.bernoulli(0.12)) {
+      p.completion_propensity = rng.uniform(0.1, 0.5);
+    } else {
+      p.completion_propensity = rng.uniform(0.92, 1.0);
+    }
+  }
+
+  // Plant the rapid responders the quality check is designed to catch.
+  std::size_t planted_students = 0;
+  std::size_t planted_professionals = 0;
+  for (Participant& p : cohort) {
+    if (p.occupation == Occupation::kStudent &&
+        planted_students < config.n_rapid_students) {
+      p.rapid_responder = true;
+      ++planted_students;
+    } else if (p.occupation == Occupation::kProfessional &&
+               planted_professionals < config.n_rapid_professionals) {
+      p.rapid_responder = true;
+      ++planted_professionals;
+    }
+  }
+  return cohort;
+}
+
+}  // namespace decompeval::study

@@ -1,0 +1,76 @@
+// Simulated participant population.
+//
+// The paper recruited 42 reverse engineers (31 students, 10 professionals,
+// 1 unemployed; 2 excluded by the speed quality-check, leaving 40). Each
+// simulated participant carries the latent traits the paper's analyses
+// condition on — experience covariates, a per-user skill intercept (the
+// GLMM's (1|user) term), a per-user speed intercept (the LMER's), and an
+// AI-trust propensity, the moderator behind the paper's central
+// qualitative finding (trusting users take misleading annotations at face
+// value and err; skeptical users read the code and recover).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace decompeval::study {
+
+enum class Occupation { kStudent, kProfessional, kUnemployed };
+enum class AgeGroup { k18To24, k25To34, k35To44, k45Plus, kNoAnswer };
+enum class Gender { kMale, kFemale, kNoAnswer };
+enum class Education { kNoDegree, kBachelors, kMasters, kDoctorate, kNoAnswer };
+
+const char* to_string(Occupation o);
+const char* to_string(AgeGroup a);
+const char* to_string(Gender g);
+const char* to_string(Education e);
+
+struct Participant {
+  std::size_t id = 0;
+  Occupation occupation = Occupation::kStudent;
+  AgeGroup age_group = AgeGroup::k18To24;
+  Gender gender = Gender::kMale;
+  Education education = Education::kBachelors;
+
+  /// Years of general coding experience (the paper's Exp_Coding covariate).
+  double coding_experience_years = 0.0;
+  /// Years/semesters of reverse-engineering experience (Exp_RE).
+  double re_experience_years = 0.0;
+
+  // ---- latent traits (never observed by the analyses, only their
+  //      consequences are) ----
+  /// Per-user correctness intercept on the logit scale.
+  double skill = 0.0;
+  /// Per-user multiplicative speed intercept on the log-seconds scale.
+  double log_speed = 0.0;
+  /// Propensity to take AI annotations at face value, in [0, 1].
+  double ai_trust = 0.5;
+  /// Leniency when giving Likert ratings (subtracted from latent rating).
+  double rating_bias = 0.0;
+  /// Probability of answering any given question (missingness model).
+  double completion_propensity = 0.97;
+  /// Flags the rapid-low-effort responders the quality check removes.
+  bool rapid_responder = false;
+};
+
+struct CohortConfig {
+  std::size_t n_students = 31;
+  std::size_t n_professionals = 10;
+  std::size_t n_unemployed = 1;
+  /// How many low-effort responders to plant (the paper excluded one
+  /// student and one professional).
+  std::size_t n_rapid_students = 1;
+  std::size_t n_rapid_professionals = 1;
+  double skill_sd = 0.85;      ///< matches Table I's σ(Users)
+  double log_speed_sd = 0.25;  ///< yields Table II's σ(Users) ≈ 95 s
+  std::uint64_t seed = 1;
+};
+
+/// Generates the cohort. Deterministic in config.seed; demographics follow
+/// the Figure 3 distributions.
+std::vector<Participant> generate_cohort(const CohortConfig& config);
+
+}  // namespace decompeval::study

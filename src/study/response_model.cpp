@@ -1,0 +1,119 @@
+#include "study/response_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace decompeval::study {
+
+namespace {
+double logistic(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+Response simulate_response(const Participant& p,
+                           const snippets::Snippet& snippet,
+                           std::size_t snippet_index,
+                           std::size_t question_index, Treatment treatment,
+                           const ResponseModelConfig& config, util::Rng& rng) {
+  DE_EXPECTS(question_index < snippet.questions.size());
+  const snippets::QuestionSpec& q = snippet.questions[question_index];
+
+  Response r;
+  r.participant_id = p.id;
+  r.snippet_index = snippet_index;
+  r.question_index = question_index;
+  r.question_global = snippet_index * snippet.questions.size() + question_index;
+  r.question_id = q.id;
+  r.treatment = treatment;
+
+  const bool uses_dirty = treatment == Treatment::kDirty;
+
+  if (p.rapid_responder) {
+    // Low-effort clickthrough: near-instant, near-random answers. The
+    // quality check exists to remove exactly these.
+    r.answered = true;
+    r.gradeable = true;
+    r.seconds = rng.uniform(config.rapid_seconds_min, config.rapid_seconds_max);
+    r.correct = rng.bernoulli(0.25);
+    return r;
+  }
+
+  r.answered = rng.bernoulli(p.completion_propensity);
+  if (!r.answered) return r;
+
+  // ---- correctness ----
+  double logit = q.base_difficulty + p.skill;
+  logit += config.coding_experience_effect *
+           (p.coding_experience_years - config.coding_experience_center);
+  logit += config.re_experience_effect *
+           (p.re_experience_years - config.re_experience_center);
+  if (uses_dirty) {
+    logit += q.dirty_correctness_shift - q.trust_penalty * p.ai_trust;
+    logit -= config.global_trust_penalty * (p.ai_trust - 0.5);
+  }
+  r.correct = rng.bernoulli(logistic(logit));
+  r.gradeable = rng.bernoulli(config.grade_probability);
+
+  // ---- timing ----
+  double log_seconds = std::log(q.base_seconds) + p.log_speed +
+                       rng.normal(0.0, config.timing_noise_sd);
+  if (uses_dirty) {
+    log_seconds += std::log(q.dirty_time_factor);
+    if (r.correct) log_seconds += std::log(q.dirty_correct_time_factor);
+  }
+  r.seconds = std::exp(log_seconds);
+  return r;
+}
+
+OpinionRecord simulate_opinion(const Participant& p,
+                               const snippets::Snippet& snippet,
+                               std::size_t snippet_index, Treatment treatment,
+                               const ResponseModelConfig& config,
+                               util::Rng& rng) {
+  OpinionRecord o;
+  o.participant_id = p.id;
+  o.snippet_index = snippet_index;
+  o.treatment = treatment;
+
+  const bool uses_dirty = treatment == Treatment::kDirty;
+  const double name_quality =
+      uses_dirty ? snippet.dirty_name_quality : snippet.hexrays_name_quality;
+  const double type_quality =
+      uses_dirty ? snippet.dirty_type_quality : snippet.hexrays_type_quality;
+  const double trust_term =
+      uses_dirty ? config.opinion_trust_slope * (p.ai_trust - 0.5) : 0.0;
+
+  const auto rate = [&](double quality, double trust_weight) {
+    const double latent = config.opinion_intercept -
+                          config.opinion_quality_slope * quality -
+                          trust_weight * trust_term + p.rating_bias +
+                          rng.normal(0.0, config.opinion_noise_sd);
+    return static_cast<int>(std::clamp(std::round(latent), 1.0, 5.0));
+  };
+  // Each argument's annotation quality scatters around the snippet level.
+  // Trust colors judgments of *types* far more than of names — names are
+  // liked almost unconditionally (the paper's RQ3), while the type ratings
+  // carry the perception-vs-performance inversion (RQ4).
+  for (std::size_t arg = 0; arg < snippet.n_arguments; ++arg) {
+    const double nq = std::clamp(name_quality + rng.normal(0.0, 0.12), 0.0, 1.0);
+    const double tq = std::clamp(type_quality + rng.normal(0.0, 0.12), 0.0, 1.0);
+    o.name_ratings.push_back(rate(nq, 0.25));
+    o.type_ratings.push_back(rate(tq, 1.0));
+  }
+  return o;
+}
+
+double OpinionRecord::mean_name_rating() const {
+  double s = 0.0;
+  for (const int r : name_ratings) s += r;
+  return name_ratings.empty() ? 3.0 : s / static_cast<double>(name_ratings.size());
+}
+
+double OpinionRecord::mean_type_rating() const {
+  double s = 0.0;
+  for (const int r : type_ratings) s += r;
+  return type_ratings.empty() ? 3.0 : s / static_cast<double>(type_ratings.size());
+}
+
+}  // namespace decompeval::study

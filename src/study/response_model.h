@@ -1,0 +1,97 @@
+// The participant cognitive response model.
+//
+// This is the generative counterpart of the paper's analysis models: the
+// GLMM/LMER the paper fits (Tables I & II) assume exactly this structure —
+// fixed treatment/experience effects plus crossed user and question random
+// intercepts — so the simulator draws from it, with two additions taken
+// from the paper's qualitative findings:
+//   * a trust-mediated penalty: on questions whose DIRTY annotations are
+//     misleading, participants lose correctness proportional to their
+//     AI-trust propensity (the postorder-Q2 mechanism), and
+//   * a slower-path-to-correct effect: on questions whose annotations are
+//     confusing-but-survivable, correct answers under DIRTY take longer
+//     (the AEEK-Q2 mechanism).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "snippets/snippet.h"
+#include "study/design.h"
+#include "study/participant.h"
+#include "util/rng.h"
+
+namespace decompeval::study {
+
+/// One (participant, question) observation.
+struct Response {
+  std::size_t participant_id = 0;
+  std::size_t snippet_index = 0;
+  std::size_t question_index = 0;   ///< 0 or 1 within the snippet
+  std::size_t question_global = 0;  ///< snippet_index * 2 + question_index
+  std::string question_id;
+  Treatment treatment = Treatment::kHexRays;
+  bool answered = false;   ///< a timed answer was submitted
+  bool gradeable = false;  ///< the answer could be objectively graded
+  bool correct = false;
+  double seconds = 0.0;
+};
+
+/// Post-snippet survey ratings on the paper's 5-point scale:
+/// 1 "Provided immediate (understanding)" … 5 "Prevented (understanding)".
+/// Lower is better.
+struct OpinionRecord {
+  std::size_t participant_id = 0;
+  std::size_t snippet_index = 0;
+  Treatment treatment = Treatment::kHexRays;
+  /// One rating per function argument (the survey asks about each argument
+  /// separately), 1 best … 5 worst.
+  std::vector<int> name_ratings;
+  std::vector<int> type_ratings;
+
+  /// Panel means, used where a single per-snippet opinion is needed.
+  double mean_name_rating() const;
+  double mean_type_rating() const;
+};
+
+struct ResponseModelConfig {
+  double coding_experience_effect = 0.02;  ///< logit per (year − cohort mean)
+  double re_experience_effect = -0.008;
+  double timing_noise_sd = 0.40;           ///< residual of log-seconds
+  double grade_probability = 0.93;         ///< gradeable | answered
+  /// Rapid responders answer within this many seconds per question.
+  double rapid_seconds_min = 4.0;
+  double rapid_seconds_max = 18.0;
+  /// Opinion model: rating = clamp(round(intercept − slope·quality −
+  /// trust_term + bias + noise), 1, 5).
+  double opinion_intercept = 3.4;
+  double opinion_quality_slope = 2.6;
+  double opinion_trust_slope = 1.9;  ///< trusting users rate DIRTY better
+  /// Cohort-wide moderator: under DIRTY, participants who take annotations
+  /// at face value under-verify and lose correctness relative to skeptics,
+  /// over and above any question-specific misleading-annotation penalty.
+  /// Centered at the trust mean, so it leaves the average treatment effect
+  /// untouched (the paper's null) while producing the RQ4 inversion.
+  double global_trust_penalty = 1.4;
+  double opinion_noise_sd = 0.45;
+  /// Cohort-mean centering constants for the experience covariates.
+  double coding_experience_center = 7.0;
+  double re_experience_center = 2.5;
+};
+
+/// Generates the response for one question of one assignment.
+Response simulate_response(const Participant& p,
+                           const snippets::Snippet& snippet,
+                           std::size_t snippet_index,
+                           std::size_t question_index, Treatment treatment,
+                           const ResponseModelConfig& config, util::Rng& rng);
+
+/// Generates the post-snippet opinion survey entry.
+OpinionRecord simulate_opinion(const Participant& p,
+                               const snippets::Snippet& snippet,
+                               std::size_t snippet_index, Treatment treatment,
+                               const ResponseModelConfig& config,
+                               util::Rng& rng);
+
+}  // namespace decompeval::study

@@ -1,0 +1,148 @@
+#include "study/survey.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace decompeval::study {
+
+namespace {
+
+// Words too common to discriminate answers.
+const std::set<std::string>& stopwords() {
+  static const std::set<std::string> kStopwords = {
+      "the",  "a",    "an",   "of",   "to",   "is",    "are",  "and",
+      "or",   "it",   "its",  "in",   "on",   "at",    "by",   "for",
+      "with", "when", "then", "that", "this", "these", "each", "be",
+      "was",  "were", "has",  "have", "from", "into",  "one",  "two",
+      "they", "them", "their", "i", "e", "g", "after", "before", "while"};
+  return kStopwords;
+}
+
+std::vector<std::string> salient_words(std::string_view sentence) {
+  std::vector<std::string> out;
+  std::string current;
+  const auto flush = [&] {
+    if (current.size() >= 3 && stopwords().count(current) == 0)
+      out.push_back(current);
+    current.clear();
+  };
+  for (const char c : sentence) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace
+
+std::string SurveyEngine::number_lines(const std::string& source) {
+  std::ostringstream os;
+  int line = 1;
+  std::istringstream in(source);
+  std::string text;
+  while (std::getline(in, text)) {
+    os << (line < 10 ? " " : "") << line << " | " << text << '\n';
+    ++line;
+  }
+  return os.str();
+}
+
+SurveyPage SurveyEngine::render_page(const Assignment& assignment) const {
+  DE_EXPECTS(assignment.snippet_index < pool_.size());
+  const snippets::Snippet& snippet = pool_[assignment.snippet_index];
+  SurveyPage page;
+  page.participant_id = assignment.participant_id;
+  page.snippet_id = snippet.id;
+  page.treatment = assignment.treatment;
+  const snippets::Variant variant =
+      assignment.treatment == Treatment::kDirty ? snippets::Variant::kDirty
+                                                : snippets::Variant::kHexRays;
+  page.code_listing = number_lines(snippet.source(variant));
+  for (const auto& q : snippet.questions)
+    page.question_prompts.push_back(q.prompt);
+  for (std::size_t arg = 1; arg <= snippet.n_arguments; ++arg) {
+    page.opinion_items.push_back(
+        "The type and name of argument " + std::to_string(arg) +
+        " ____ understanding: (Provided immediate / Improved / Did not "
+        "affect / Hindered / Prevented)");
+  }
+  return page;
+}
+
+std::vector<SurveyPage> SurveyEngine::render_session(
+    const std::vector<Assignment>& assignments,
+    std::size_t participant_id) const {
+  std::vector<const Assignment*> mine;
+  for (const auto& a : assignments)
+    if (a.participant_id == participant_id) mine.push_back(&a);
+  std::sort(mine.begin(), mine.end(),
+            [](const Assignment* a, const Assignment* b) {
+              return a->order < b->order;
+            });
+  std::vector<SurveyPage> pages;
+  pages.reserve(mine.size());
+  for (const Assignment* a : mine) pages.push_back(render_page(*a));
+  return pages;
+}
+
+Grader::Grader(std::vector<GradingRubric> rubrics)
+    : rubrics_(std::move(rubrics)) {
+  for (const auto& r : rubrics_)
+    DE_EXPECTS_MSG(!r.required_concept_groups.empty(),
+                   "rubric without concept groups: " + r.question_id);
+}
+
+Grader Grader::from_snippets(const std::vector<snippets::Snippet>& pool) {
+  std::vector<GradingRubric> rubrics;
+  for (const auto& snippet : pool) {
+    for (const auto& q : snippet.questions) {
+      GradingRubric rubric;
+      rubric.question_id = q.id;
+      // Each key sentence yields one concept group of its salient words;
+      // an answer must touch every sentence's concept to pass.
+      for (const auto& sentence : util::split(q.answer_key, ';')) {
+        const auto words = salient_words(sentence);
+        if (!words.empty()) rubric.required_concept_groups.push_back(words);
+      }
+      if (rubric.required_concept_groups.empty())
+        rubric.required_concept_groups.push_back(salient_words(q.answer_key));
+      rubrics.push_back(std::move(rubric));
+    }
+  }
+  return Grader(std::move(rubrics));
+}
+
+const GradingRubric& Grader::rubric(const std::string& question_id) const {
+  for (const auto& r : rubrics_)
+    if (r.question_id == question_id) return r;
+  throw PreconditionError("no rubric for question: " + question_id);
+}
+
+bool Grader::grade(const std::string& question_id,
+                   const std::string& answer) const {
+  const GradingRubric& r = rubric(question_id);
+  const std::string lower = util::to_lower(answer);
+  for (const auto& group : r.required_concept_groups) {
+    bool satisfied = false;
+    for (const auto& keyword : group) {
+      if (lower.find(keyword) != std::string::npos) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+}  // namespace decompeval::study

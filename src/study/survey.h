@@ -1,0 +1,79 @@
+// Survey rendering and grading — the simulated counterpart of the paper's
+// LimeSurvey deployment and the authors' manual grading pass.
+//
+// The SurveyEngine renders each (participant, snippet, treatment) page the
+// way the study presented it: the assigned code variant with line numbers,
+// the two comprehension questions, and the per-argument opinion items. The
+// Grader scores free-text answers against the question's keyed concepts —
+// the questions were "formulated to have well-defined and unambiguous
+// answers to facilitate objective manual grading" (§III-C), which keyword
+// rubrics capture.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "snippets/snippet.h"
+#include "study/design.h"
+
+namespace decompeval::study {
+
+/// One rendered survey page.
+struct SurveyPage {
+  std::size_t participant_id = 0;
+  std::string snippet_id;
+  Treatment treatment = Treatment::kHexRays;
+  std::string code_listing;  ///< variant source with line numbers
+  std::vector<std::string> question_prompts;
+  std::vector<std::string> opinion_items;
+};
+
+class SurveyEngine {
+ public:
+  explicit SurveyEngine(const std::vector<snippets::Snippet>& pool)
+      : pool_(pool) {}
+
+  /// Renders the page for one assignment. The participant never sees the
+  /// original source — only the Hex-Rays or DIRTY variant.
+  SurveyPage render_page(const Assignment& assignment) const;
+
+  /// Full session: pages in the participant's randomized order.
+  std::vector<SurveyPage> render_session(
+      const std::vector<Assignment>& assignments,
+      std::size_t participant_id) const;
+
+  /// Adds 1-based line numbers to a code listing.
+  static std::string number_lines(const std::string& source);
+
+ private:
+  const std::vector<snippets::Snippet>& pool_;
+};
+
+/// Keyword rubric for objective grading of one question.
+struct GradingRubric {
+  std::string question_id;
+  /// Concept groups: an answer is correct when, for every group, it
+  /// mentions at least one of the group's keywords (case-insensitive).
+  std::vector<std::vector<std::string>> required_concept_groups;
+};
+
+class Grader {
+ public:
+  explicit Grader(std::vector<GradingRubric> rubrics);
+
+  /// Builds rubrics from each question's answer key: every sentence of the
+  /// key contributes a concept group of its salient words.
+  static Grader from_snippets(const std::vector<snippets::Snippet>& pool);
+
+  /// True iff `answer` satisfies the rubric for `question_id`. Throws
+  /// PreconditionError for an unknown question.
+  bool grade(const std::string& question_id, const std::string& answer) const;
+
+  const GradingRubric& rubric(const std::string& question_id) const;
+  std::size_t rubric_count() const { return rubrics_.size(); }
+
+ private:
+  std::vector<GradingRubric> rubrics_;
+};
+
+}  // namespace decompeval::study

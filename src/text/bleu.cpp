@@ -1,0 +1,105 @@
+#include "text/bleu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "text/tokenize.h"
+#include "util/check.h"
+
+namespace decompeval::text {
+
+namespace {
+
+struct OrderCounts {
+  double matched = 0.0;
+  double total = 0.0;
+};
+
+void accumulate_order(const std::vector<std::string>& candidate,
+                      const std::vector<std::string>& reference,
+                      std::size_t order, OrderCounts& counts) {
+  const auto cand_grams = ngrams(candidate, order);
+  if (cand_grams.empty()) return;
+  std::unordered_map<std::string, int> ref_counts;
+  for (const auto& g : ngrams(reference, order)) ++ref_counts[g];
+  std::unordered_map<std::string, int> cand_counts;
+  for (const auto& g : cand_grams) ++cand_counts[g];
+  double matched = 0.0;
+  for (const auto& [gram, count] : cand_counts) {
+    const auto it = ref_counts.find(gram);
+    if (it != ref_counts.end())
+      matched += std::min(count, it->second);  // clipped counts
+  }
+  counts.matched += matched;
+  counts.total += static_cast<double>(cand_grams.size());
+}
+
+BleuScore finish(const std::vector<OrderCounts>& counts,
+                 double candidate_length, double reference_length,
+                 const BleuOptions& options) {
+  BleuScore score;
+  score.precisions.resize(options.max_order, 0.0);
+  double log_sum = 0.0;
+  std::size_t effective_orders = 0;
+  for (std::size_t k = 0; k < options.max_order; ++k) {
+    double num = counts[k].matched;
+    double den = counts[k].total;
+    if (options.smooth && k > 0) {
+      num += 1.0;
+      den += 1.0;
+    }
+    if (den <= 0.0) continue;  // segment shorter than the order
+    score.precisions[k] = num / den;
+    ++effective_orders;
+    if (score.precisions[k] <= 0.0) {
+      log_sum = -std::numeric_limits<double>::infinity();
+    } else {
+      log_sum += std::log(score.precisions[k]);
+    }
+  }
+  if (effective_orders == 0 || std::isinf(log_sum)) {
+    score.bleu = 0.0;
+    return score;
+  }
+  score.brevity_penalty =
+      candidate_length >= reference_length || candidate_length == 0.0
+          ? 1.0
+          : std::exp(1.0 - reference_length / candidate_length);
+  score.bleu = score.brevity_penalty *
+               std::exp(log_sum / static_cast<double>(effective_orders));
+  return score;
+}
+
+}  // namespace
+
+BleuScore bleu(const std::vector<std::string>& candidate,
+               const std::vector<std::string>& reference,
+               const BleuOptions& options) {
+  DE_EXPECTS(options.max_order >= 1);
+  std::vector<OrderCounts> counts(options.max_order);
+  for (std::size_t k = 0; k < options.max_order; ++k)
+    accumulate_order(candidate, reference, k + 1, counts[k]);
+  return finish(counts, static_cast<double>(candidate.size()),
+                static_cast<double>(reference.size()), options);
+}
+
+BleuScore corpus_bleu(const std::vector<std::vector<std::string>>& candidates,
+                      const std::vector<std::vector<std::string>>& references,
+                      const BleuOptions& options) {
+  DE_EXPECTS(options.max_order >= 1);
+  DE_EXPECTS(candidates.size() == references.size());
+  DE_EXPECTS(!candidates.empty());
+  std::vector<OrderCounts> counts(options.max_order);
+  double cand_len = 0.0, ref_len = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (std::size_t k = 0; k < options.max_order; ++k)
+      accumulate_order(candidates[i], references[i], k + 1, counts[k]);
+    cand_len += static_cast<double>(candidates[i].size());
+    ref_len += static_cast<double>(references[i].size());
+  }
+  return finish(counts, cand_len, ref_len, options);
+}
+
+}  // namespace decompeval::text

@@ -1,0 +1,35 @@
+// BLEU (Papineni et al. 2002) with Lin–Och add-one smoothing on the
+// higher-order precisions, which keeps the score meaningful on the short
+// identifier sequences this study compares (raw BLEU degenerates to 0
+// whenever any n-gram order has zero matches).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace decompeval::text {
+
+struct BleuOptions {
+  std::size_t max_order = 4;
+  /// Lin–Och smoothing (add one to numerator and denominator of orders > 1).
+  bool smooth = true;
+};
+
+struct BleuScore {
+  double bleu = 0.0;
+  std::vector<double> precisions;  ///< per-order modified precisions
+  double brevity_penalty = 1.0;
+};
+
+/// Sentence-level BLEU of `candidate` against a single `reference`.
+BleuScore bleu(const std::vector<std::string>& candidate,
+               const std::vector<std::string>& reference,
+               const BleuOptions& options = {});
+
+/// Corpus-level BLEU: n-gram counts pooled across segments before the
+/// geometric mean (the standard corpus formulation).
+BleuScore corpus_bleu(const std::vector<std::vector<std::string>>& candidates,
+                      const std::vector<std::vector<std::string>>& references,
+                      const BleuOptions& options = {});
+
+}  // namespace decompeval::text

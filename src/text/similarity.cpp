@@ -1,0 +1,65 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/tokenize.h"
+#include "util/check.h"
+
+namespace decompeval::text {
+
+std::size_t levenshtein(std::string_view a, std::string_view b) {
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  // Two-row dynamic program.
+  std::vector<std::size_t> prev(b.size() + 1), curr(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    curr[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub_cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + sub_cost});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[b.size()];
+}
+
+double normalized_levenshtein(std::string_view a, std::string_view b) {
+  const std::size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  return static_cast<double>(levenshtein(a, b)) /
+         static_cast<double>(longest);
+}
+
+double jaccard(const std::vector<std::string>& a,
+               const std::vector<std::string>& b) {
+  const std::unordered_set<std::string> sa(a.begin(), a.end());
+  const std::unordered_set<std::string> sb(b.begin(), b.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  std::size_t intersection = 0;
+  for (const auto& s : sa)
+    if (sb.count(s) > 0) ++intersection;
+  const std::size_t unions = sa.size() + sb.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(unions);
+}
+
+double name_jaccard(std::string_view name_a, std::string_view name_b,
+                    std::size_t n) {
+  DE_EXPECTS(n >= 1);
+  const auto grams_a = ngrams(split_identifier(name_a), n);
+  const auto grams_b = ngrams(split_identifier(name_b), n);
+  return jaccard(grams_a, grams_b);
+}
+
+double exact_match_accuracy(std::span<const std::string> predictions,
+                            std::span<const std::string> references) {
+  DE_EXPECTS(predictions.size() == references.size());
+  DE_EXPECTS(!predictions.empty());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i)
+    if (predictions[i] == references[i]) ++hits;
+  return static_cast<double>(hits) / static_cast<double>(predictions.size());
+}
+
+}  // namespace decompeval::text

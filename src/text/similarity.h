@@ -1,0 +1,34 @@
+// Surface-level similarity measures: Levenshtein (raw and normalized),
+// Jaccard over n-gram sets, and exact-match accuracy — the intrinsic
+// metrics criticized by the paper's RQ5.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decompeval::text {
+
+/// Classic edit distance (insert/delete/substitute, unit costs).
+std::size_t levenshtein(std::string_view a, std::string_view b);
+
+/// Normalized edit distance in [0, 1]: distance / max(|a|, |b|); 0 for two
+/// empty strings.
+double normalized_levenshtein(std::string_view a, std::string_view b);
+
+/// Jaccard similarity between two sets of strings (|∩| / |∪|); 1.0 when
+/// both sets are empty.
+double jaccard(const std::vector<std::string>& a,
+               const std::vector<std::string>& b);
+
+/// Jaccard over identifier-subtoken n-grams of two names, the formulation
+/// used by DIRECT's evaluation (n = 1 over subtokens by default).
+double name_jaccard(std::string_view name_a, std::string_view name_b,
+                    std::size_t n = 1);
+
+/// Fraction of positions where prediction exactly equals reference.
+double exact_match_accuracy(std::span<const std::string> predictions,
+                            std::span<const std::string> references);
+
+}  // namespace decompeval::text

@@ -1,0 +1,115 @@
+#include "text/tokenize.h"
+
+#include <cctype>
+
+namespace decompeval::text {
+
+namespace {
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_lower(char c) { return std::islower(static_cast<unsigned char>(c)); }
+bool is_upper(char c) { return std::isupper(static_cast<unsigned char>(c)); }
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+char to_lower_char(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+}  // namespace
+
+std::vector<std::string> split_identifier(std::string_view identifier) {
+  std::vector<std::string> out;
+  std::string current;
+  const auto flush = [&] {
+    if (!current.empty()) {
+      out.push_back(current);
+      current.clear();
+    }
+  };
+  for (std::size_t i = 0; i < identifier.size(); ++i) {
+    const char c = identifier[i];
+    if (c == '_' || !is_ident_char(c)) {
+      flush();
+      continue;
+    }
+    if (!current.empty()) {
+      const char prev = identifier[i - 1];
+      const bool lower_to_upper = is_lower(prev) && is_upper(c);
+      const bool digit_boundary = is_digit(prev) != is_digit(c);
+      // "HTMLParser" → {html, parser}: split before the last upper of an
+      // acronym run when followed by a lowercase letter.
+      const bool acronym_end = is_upper(prev) && is_upper(c) &&
+                               i + 1 < identifier.size() &&
+                               is_lower(identifier[i + 1]);
+      if (lower_to_upper || digit_boundary || acronym_end) flush();
+    }
+    current.push_back(to_lower_char(c));
+  }
+  flush();
+  return out;
+}
+
+std::vector<std::string> tokenize_code(std::string_view code) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    const char c = code[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (is_ident_char(c)) {
+      std::size_t start = i;
+      while (i < code.size() && is_ident_char(code[i])) ++i;
+      out.emplace_back(code.substr(start, i - start));
+      continue;
+    }
+    // Greedily collect multi-character operators.
+    static const std::string_view two_char_ops[] = {
+        "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+        "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^="};
+    bool matched = false;
+    if (i + 1 < code.size()) {
+      const std::string_view pair = code.substr(i, 2);
+      for (const std::string_view op : two_char_ops) {
+        if (pair == op) {
+          out.emplace_back(op);
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      out.emplace_back(1, c);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ngrams(const std::vector<std::string>& tokens,
+                                std::size_t n) {
+  std::vector<std::string> out;
+  if (n == 0 || tokens.size() < n) return out;
+  out.reserve(tokens.size() - n + 1);
+  for (std::size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::string g = tokens[i];
+    for (std::size_t j = 1; j < n; ++j) {
+      g += '\x1f';
+      g += tokens[i + j];
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+std::vector<std::string> char_ngrams(std::string_view s, std::size_t n) {
+  std::vector<std::string> out;
+  if (n == 0 || s.size() < n) return out;
+  out.reserve(s.size() - n + 1);
+  for (std::size_t i = 0; i + n <= s.size(); ++i)
+    out.emplace_back(s.substr(i, n));
+  return out;
+}
+
+}  // namespace decompeval::text

@@ -1,0 +1,31 @@
+// Identifier and code tokenization.
+//
+// Intrinsic metrics in the name-recovery literature operate on identifier
+// *subtokens*: `buffer_append_path_len` → {buffer, append, path, len} and
+// `arrayGetIndex` → {array, get, index}. This module provides that
+// splitting plus simple code tokenization for the BLEU-family metrics.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decompeval::text {
+
+/// Splits an identifier into lowercase subtokens on underscores, digit
+/// boundaries and camelCase humps. "SSL_ctx2Free" → {ssl, ctx, 2, free}.
+std::vector<std::string> split_identifier(std::string_view identifier);
+
+/// Tokenizes a line of C-like code into identifiers, numbers, and operator
+/// punctuation (each operator char run split into maximal operators).
+std::vector<std::string> tokenize_code(std::string_view code);
+
+/// All contiguous n-grams of `tokens` joined by '\x1f'; n >= 1. Returns an
+/// empty vector when tokens.size() < n.
+std::vector<std::string> ngrams(const std::vector<std::string>& tokens,
+                                std::size_t n);
+
+/// Character n-grams of a string (used by Jaccard on short names).
+std::vector<std::string> char_ngrams(std::string_view s, std::size_t n);
+
+}  // namespace decompeval::text

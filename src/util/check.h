@@ -1,0 +1,81 @@
+// Lightweight contract checking for the decompeval library.
+//
+// Preconditions and invariants are enforced with exceptions (not abort) so
+// that library consumers can recover from misuse at API boundaries, per the
+// error-handling policy in DESIGN.md. Internal logic errors use the same
+// mechanism because every public entry point is cheap relative to the
+// statistical work it guards.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace decompeval {
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant fails (a bug in this library).
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a numerical routine fails to converge or degenerates.
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+}  // namespace detail
+
+}  // namespace decompeval
+
+/// Validates a caller-supplied condition; throws PreconditionError on failure.
+#define DE_EXPECTS(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::decompeval::detail::throw_precondition(#cond, __FILE__, __LINE__,    \
+                                               "");                          \
+  } while (false)
+
+#define DE_EXPECTS_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::decompeval::detail::throw_precondition(#cond, __FILE__, __LINE__,    \
+                                               (msg));                       \
+  } while (false)
+
+/// Validates an internal invariant; throws InvariantError on failure.
+#define DE_ENSURES(cond)                                                     \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::decompeval::detail::throw_invariant(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define DE_ENSURES_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond))                                                             \
+      ::decompeval::detail::throw_invariant(#cond, __FILE__, __LINE__,      \
+                                            (msg));                          \
+  } while (false)

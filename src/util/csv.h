@@ -1,0 +1,26 @@
+// Minimal CSV emission for exporting simulated study data (the paper's
+// replication package ships CSVs; ours can too).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace decompeval::util {
+
+/// Streams rows as RFC-4180-style CSV (quotes fields containing
+/// comma/quote/newline, doubles embedded quotes).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Convenience: quotes a single field per RFC 4180.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace decompeval::util

@@ -1,0 +1,161 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace decompeval::util {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+  // A xoshiro state of all zeros is invalid; splitmix64 cannot produce four
+  // zero outputs from any seed, but guard anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  DE_EXPECTS(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  DE_EXPECTS(n > 0);
+  // Lemire-style rejection to remove modulo bias.
+  const std::uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  DE_EXPECTS(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // no overflow for our ranges
+  return lo + static_cast<std::int64_t>(uniform_index(span));
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
+
+double Rng::normal() noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * uniform() - 1.0;
+    v = 2.0 * uniform() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * m;
+  has_spare_ = true;
+  return u * m;
+}
+
+double Rng::normal(double mean, double sd) {
+  DE_EXPECTS(sd >= 0.0);
+  return mean + sd * normal();
+}
+
+double Rng::lognormal(double mu_log, double sd_log) {
+  return std::exp(normal(mu_log, sd_log));
+}
+
+double Rng::gamma(double shape, double scale) {
+  DE_EXPECTS(shape > 0.0 && scale > 0.0);
+  if (shape < 1.0) {
+    // Boost to shape+1 and correct with a uniform power (Marsaglia–Tsang).
+    const double u = uniform();
+    return gamma(shape + 1.0, scale) * std::pow(u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return scale * d * v;
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return scale * d * v;
+  }
+}
+
+double Rng::beta(double a, double b) {
+  DE_EXPECTS(a > 0.0 && b > 0.0);
+  const double x = gamma(a, 1.0);
+  const double y = gamma(b, 1.0);
+  return x / (x + y);
+}
+
+double Rng::exponential(double rate) {
+  DE_EXPECTS(rate > 0.0);
+  double u;
+  do {
+    u = uniform();
+  } while (u == 0.0);
+  return -std::log(u) / rate;
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  DE_EXPECTS(!weights.empty());
+  double total = 0.0;
+  for (const double w : weights) {
+    DE_EXPECTS_MSG(w >= 0.0, "categorical weights must be non-negative");
+    total += w;
+  }
+  DE_EXPECTS_MSG(total > 0.0, "categorical weights must not all be zero");
+  double r = uniform() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::fork(std::uint64_t label) noexcept {
+  // Hash the current state with the label to derive a child seed.
+  std::uint64_t mix = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^
+                      rotl(s_[3], 43) ^ (label * 0x9E3779B97F4A7C15ULL);
+  (void)next_u64();  // advance parent so repeated forks with same label differ
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace decompeval::util

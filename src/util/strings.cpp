@@ -1,0 +1,104 @@
+#include "util/strings.h"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace decompeval::util {
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_whitespace(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i])))
+      ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to) {
+  DE_EXPECTS(!from.empty());
+  std::string out;
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(s.substr(pos));
+      return out;
+    }
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << value;
+  return os.str();
+}
+
+std::string format_p_value(double p) {
+  if (std::isnan(p)) return "NA";
+  if (p < 0.0001) return "<0.0001";
+  if (p < 0.001) {
+    std::ostringstream os;
+    os.precision(3);
+    os << std::scientific << p;
+    return os.str();
+  }
+  return format_fixed(p, 4);
+}
+
+}  // namespace decompeval::util

@@ -1,0 +1,39 @@
+// Small string helpers shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decompeval::util {
+
+/// Splits on a single delimiter character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Splits on any run of whitespace; drops empty fields.
+std::vector<std::string> split_whitespace(std::string_view s);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Replaces all occurrences of `from` (non-empty) with `to`.
+std::string replace_all(std::string_view s, std::string_view from,
+                        std::string_view to);
+
+/// Formats a double with `digits` decimal places.
+std::string format_fixed(double value, int digits);
+
+/// Formats a p-value the way the paper does: "<0.0001" below that threshold,
+/// otherwise 4-significant-digit fixed/scientific hybrid.
+std::string format_p_value(double p);
+
+}  // namespace decompeval::util

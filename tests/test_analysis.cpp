@@ -1,0 +1,179 @@
+// Analysis-layer tests: each RQ analysis must run on simulated data and
+// produce internally consistent results.
+#include <gtest/gtest.h>
+
+#include "analysis/figures.h"
+#include "analysis/rq1_correctness.h"
+#include "analysis/rq2_timing.h"
+#include "analysis/rq3_opinions.h"
+#include "analysis/rq4_perception.h"
+#include "analysis/rq5_metrics.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace decompeval;
+
+class AnalysisFixture : public ::testing::Test {
+ protected:
+  static const study::StudyData& data() {
+    static const study::StudyData kData = [] {
+      study::StudyConfig config;  // default seed
+      return study::run_study(config);
+    }();
+    return kData;
+  }
+  static const std::vector<snippets::Snippet>& pool() {
+    return snippets::study_snippets();
+  }
+};
+
+TEST_F(AnalysisFixture, BuildModelDataShapes) {
+  const auto md_correct = analysis::build_model_data(data(), false);
+  const auto md_timing = analysis::build_model_data(data(), true);
+  EXPECT_EQ(md_correct.n_fixed_effects(), 4u);
+  EXPECT_EQ(md_timing.n_fixed_effects(), 4u);
+  // Timing keeps every answered response; correctness only gradeable ones.
+  EXPECT_GE(md_timing.n_observations(), md_correct.n_observations());
+  EXPECT_EQ(md_correct.n_questions, 8u);
+  for (const double y : md_correct.y) EXPECT_TRUE(y == 0.0 || y == 1.0);
+  for (const double y : md_timing.y) EXPECT_GT(y, 0.0);
+}
+
+TEST_F(AnalysisFixture, CorrectnessModelIsNull) {
+  const auto result = analysis::analyze_correctness(data());
+  ASSERT_EQ(result.fit.coefficients.size(), 4u);
+  EXPECT_EQ(result.fit.coefficients[1].name, "Uses DIRTY");
+  // The paper's headline: no significant treatment effect.
+  EXPECT_GT(result.fit.coefficients[1].p_value, 0.05);
+  EXPECT_GT(result.fit.sigma_user, 0.2);
+  EXPECT_GT(result.fit.r2_conditional, result.fit.r2_marginal);
+}
+
+TEST_F(AnalysisFixture, TimingModelIsNull) {
+  const auto result = analysis::analyze_timing(data());
+  EXPECT_GT(result.fit.coefficients[1].p_value, 0.05);
+  EXPECT_GT(result.fit.sigma_residual, 50.0);
+  // Intercept (baseline seconds) is large and significant.
+  EXPECT_LT(result.fit.coefficients[0].p_value, 0.05);
+  EXPECT_GT(result.fit.coefficients[0].estimate, 100.0);
+}
+
+TEST_F(AnalysisFixture, DemographicsAddUp) {
+  const auto fig = analysis::analyze_demographics(data());
+  EXPECT_EQ(fig.n_participants, 40u);
+  std::size_t age_total = 0;
+  for (const auto& [label, count] : fig.age_counts) age_total += count;
+  EXPECT_EQ(age_total, 40u);
+  std::size_t edu_total = 0;
+  for (const auto& [edu, by_occ] : fig.education_counts)
+    for (const auto& [occ, count] : by_occ) edu_total += count;
+  EXPECT_EQ(edu_total, 40u);
+}
+
+TEST_F(AnalysisFixture, Figure5CountsConsistent) {
+  const auto questions = analysis::analyze_correctness_by_question(data(), pool());
+  ASSERT_EQ(questions.size(), 8u);
+  std::size_t total = 0;
+  for (const auto& q : questions) {
+    total += q.correct_dirty + q.incorrect_dirty + q.correct_hexrays +
+             q.incorrect_hexrays;
+    EXPECT_GE(q.rate_dirty(), 0.0);
+    EXPECT_LE(q.rate_dirty(), 1.0);
+    const auto fisher = q.fisher();
+    EXPECT_GE(fisher.p_value, 0.0);
+    EXPECT_LE(fisher.p_value, 1.0);
+  }
+  // Matches the number of gradeable answered responses.
+  std::size_t gradeable = 0;
+  for (const auto& r : data().responses)
+    if (r.answered && r.gradeable) ++gradeable;
+  EXPECT_EQ(total, gradeable);
+}
+
+TEST_F(AnalysisFixture, PostorderQ2IsTheSignificantPanel) {
+  const auto questions = analysis::analyze_correctness_by_question(data(), pool());
+  for (const auto& q : questions) {
+    if (q.question_id == "POSTORDER-Q2") {
+      EXPECT_LT(q.fisher().p_value, 0.05);
+      EXPECT_GT(q.rate_hexrays(), q.rate_dirty() + 0.3);
+    }
+  }
+}
+
+TEST_F(AnalysisFixture, BaplTimingMatchesPaperShape) {
+  const auto timing = analysis::analyze_snippet_timing(data(), pool(), "BAPL");
+  EXPECT_GT(timing.welch.p_value, 0.05);  // no significant difference
+  EXPECT_GT(timing.welch.mean_x, 100.0);
+  EXPECT_LT(timing.welch.mean_x, 500.0);
+}
+
+TEST_F(AnalysisFixture, AeekTimeToCorrectFavorsHexRays) {
+  const auto timing = analysis::analyze_time_to_correct(data(), "AEEK-Q2");
+  EXPECT_GT(timing.welch.mean_y, timing.welch.mean_x);  // DIRTY slower
+}
+
+TEST_F(AnalysisFixture, UnknownSnippetThrows) {
+  EXPECT_THROW(analysis::analyze_snippet_timing(data(), pool(), "NOPE"),
+               PreconditionError);
+}
+
+TEST_F(AnalysisFixture, OpinionsFavorDirtyNamesOnly) {
+  const auto opinions = analysis::analyze_opinions(data(), pool());
+  EXPECT_LT(opinions.name_test.p_value, 0.001);
+  EXPECT_GT(opinions.type_test.p_value, 0.05);
+  // TC is the poor-type outlier: DIRTY mean type rating is worst there.
+  double tc_dirty = opinions.type_mean_dirty.at("TC");
+  for (const auto& [sid, mean] : opinions.type_mean_dirty)
+    EXPECT_LE(mean, tc_dirty + 1e-9) << sid;
+}
+
+TEST_F(AnalysisFixture, PerceptionInversion) {
+  const auto perception = analysis::analyze_perception(data(), pool());
+  // Worse type ratings correlate with *more* correct answers.
+  EXPECT_GT(perception.type_rating_vs_correctness.estimate, 0.0);
+  EXPECT_LT(perception.type_rating_vs_correctness.p_value, 0.05);
+  // Name ratings do not.
+  EXPECT_GT(perception.name_rating_vs_correctness.p_value, 0.05);
+  // Incorrect responders trusted (rated) DIRTY better.
+  EXPECT_LT(perception.mean_rating_when_incorrect,
+            perception.mean_rating_when_correct);
+  // TC narrative: DIRTY better yet rated worse.
+  EXPECT_GT(perception.tc.correct_rate_dirty,
+            perception.tc.correct_rate_hexrays);
+  EXPECT_GT(perception.tc.poor_type_share_dirty,
+            perception.tc.poor_type_share_hexrays);
+}
+
+TEST_F(AnalysisFixture, MetricCorrelationsHaveThePaperSignPattern) {
+  static const auto model = embed::EmbeddingModel::train_default(8000, 42);
+  const auto metrics = analysis::analyze_metric_correlations(data(), pool(), model);
+  ASSERT_EQ(metrics.rows.size(), 7u);
+  std::map<std::string, analysis::MetricCorrelationRow> by_name;
+  for (const auto& row : metrics.rows) by_name[row.metric] = row;
+
+  // Table III shape: surface-similarity metrics correlate positively and
+  // significantly with time on task.
+  for (const char* metric : {"Jaccard Similarity", "codeBLEU", "VarCLR",
+                             "Human Evaluation (Variables)"}) {
+    EXPECT_GT(by_name.at(metric).vs_time.estimate, 0.0) << metric;
+    EXPECT_LT(by_name.at(metric).vs_time.p_value, 0.05) << metric;
+  }
+  // Table IV shape: no metric is significantly positively correlated with
+  // correctness; Jaccard and the human variable judgment lean negative.
+  for (const auto& row : metrics.rows) {
+    const bool significant_positive =
+        row.vs_correctness.estimate > 0.0 && row.vs_correctness.p_value < 0.05;
+    EXPECT_FALSE(significant_positive) << row.metric;
+  }
+  EXPECT_LT(by_name.at("Jaccard Similarity").vs_correctness.estimate, 0.05);
+  EXPECT_LT(by_name.at("Human Evaluation (Variables)").vs_correctness.estimate,
+            0.05);
+  // The expert panel agrees substantially (paper: alpha = 0.872).
+  EXPECT_GT(metrics.krippendorff_alpha, 0.8);
+  // Levenshtein distances are large relative to the strings (the paper's
+  // footnote) — normalized mean around one half.
+  EXPECT_GT(metrics.mean_normalized_levenshtein, 0.3);
+}
+
+}  // namespace

@@ -1,0 +1,327 @@
+// Pseudo-decompiler, DIRTY-model and synthetic-generator tests.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "decompiler/dirty_model.h"
+#include "embed/corpus.h"
+#include "decompiler/generator.h"
+#include "decompiler/pseudo_decompiler.h"
+#include "lang/analysis.h"
+#include "lang/interp.h"
+#include "lang/parser.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace decompeval::decompiler;
+
+TEST(FlattenType, PointerAndIntegerRules) {
+  EXPECT_EQ(flatten_type("char *"), "__int64");
+  EXPECT_EQ(flatten_type("const unsigned char *"), "__int64");
+  EXPECT_EQ(flatten_type("int (*)(void *, int)"), "__int64");
+  EXPECT_EQ(flatten_type("size_t"), "unsigned __int64");
+  EXPECT_EQ(flatten_type("unsigned char"), "char");
+  EXPECT_EQ(flatten_type("uint32_t"), "unsigned int");
+  EXPECT_EQ(flatten_type("int32_t"), "int");
+  EXPECT_EQ(flatten_type("void"), "void");
+  EXPECT_EQ(flatten_type("long"), "__int64");
+  EXPECT_EQ(flatten_type("unsigned short"), "unsigned __int16");
+}
+
+TEST(PseudoDecompiler, RenamesParamsAndLocals) {
+  const auto result = pseudo_decompile(
+      "int sum_array(const int *values, int count) {\n"
+      "  int total;\n"
+      "  int i;\n"
+      "  total = 0;\n"
+      "  for (i = 0; i < count; i = i + 1)\n"
+      "    total = total + values[i];\n"
+      "  return total;\n"
+      "}");
+  EXPECT_EQ(result.rename_map.at("values"), "a1");
+  EXPECT_EQ(result.rename_map.at("count"), "a2");
+  EXPECT_NE(result.source.find("a1"), std::string::npos);
+  EXPECT_EQ(result.source.find("values"), std::string::npos);
+  EXPECT_EQ(result.source.find("total"), std::string::npos);
+  // Output is itself parseable and structurally identical.
+  const auto original = decompeval::lang::parse_function(
+      "int sum_array(const int *values, int count) {\n"
+      "  int total;\n  int i;\n  total = 0;\n"
+      "  for (i = 0; i < count; i = i + 1)\n"
+      "    total = total + values[i];\n"
+      "  return total;\n}");
+  const auto decompiled = decompeval::lang::parse_function(result.source);
+  EXPECT_EQ(decompeval::lang::dataflow_edges(original),
+            decompeval::lang::dataflow_edges(decompiled));
+}
+
+TEST(PseudoDecompiler, FlattensDeclaredTypes) {
+  const auto result = pseudo_decompile(
+      "size_t f(const char *s) { size_t n; n = 0; return n; }");
+  EXPECT_NE(result.source.find("unsigned __int64"), std::string::npos);
+  EXPECT_EQ(result.source.find("size_t"), std::string::npos);
+  EXPECT_EQ(result.retype_map.at("const char *"), "__int64");
+}
+
+TEST(DirtyModel, RatesValidate) {
+  RecoveryRates bad;
+  bad.exact = 0.9;
+  bad.synonym = 0.5;
+  EXPECT_THROW(bad.validate(), decompeval::PreconditionError);
+  RecoveryRates negative;
+  negative.misleading = -0.1;
+  EXPECT_THROW(negative.validate(), decompeval::PreconditionError);
+}
+
+TEST(DirtyModel, ExactOnlyModelRecoversVerbatim) {
+  RecoveryRates rates;
+  rates.exact = 1.0;
+  rates.synonym = rates.related = rates.misleading = 0.0;
+  DirtyModel model(rates, 3);
+  for (const char* name : {"size", "buffer", "index", "weird_oov_name"}) {
+    const auto r = model.recover_name(name, "v1");
+    EXPECT_EQ(r.recovered, name);
+    EXPECT_EQ(r.outcome, RecoveryOutcome::kExact);
+  }
+}
+
+TEST(DirtyModel, PlaceholderOnlyModelLeavesNames) {
+  RecoveryRates rates;
+  rates.exact = rates.synonym = rates.related = rates.misleading = 0.0;
+  DirtyModel model(rates, 4);
+  const auto r = model.recover_name("size", "v7");
+  EXPECT_EQ(r.recovered, "v7");
+  EXPECT_EQ(r.outcome, RecoveryOutcome::kPlaceholder);
+}
+
+TEST(DirtyModel, SynonymsComeFromTheSameCluster) {
+  RecoveryRates rates;
+  rates.exact = 0.0;
+  rates.synonym = 1.0;
+  rates.related = rates.misleading = 0.0;
+  DirtyModel model(rates, 5);
+  for (int i = 0; i < 20; ++i) {
+    const auto r = model.recover_name("size", "v1");
+    ASSERT_EQ(r.outcome, RecoveryOutcome::kSynonym);
+    EXPECT_NE(r.recovered, "size");
+    // Must be a member of the size cluster.
+    bool found = false;
+    for (const auto& cluster : decompeval::embed::concept_clusters()) {
+      if (cluster.concept_id != "size") continue;
+      for (const auto& m : cluster.members) found = found || m == r.recovered;
+    }
+    EXPECT_TRUE(found) << r.recovered;
+  }
+}
+
+TEST(DirtyModel, MisleadingNamesComeFromOtherClusters) {
+  RecoveryRates rates;
+  rates.exact = rates.synonym = rates.related = 0.0;
+  rates.misleading = 1.0;
+  DirtyModel model(rates, 6);
+  for (int i = 0; i < 20; ++i) {
+    const auto r = model.recover_name("size", "v1");
+    ASSERT_EQ(r.outcome, RecoveryOutcome::kMisleading);
+    for (const auto& cluster : decompeval::embed::concept_clusters()) {
+      if (cluster.concept_id != "size") continue;
+      for (const auto& m : cluster.members) EXPECT_NE(m, r.recovered);
+    }
+  }
+}
+
+TEST(DirtyModel, OutcomeFrequenciesTrackRates) {
+  RecoveryRates rates;  // defaults: .20/.35/.20/.15/.10
+  DirtyModel model(rates, 7);
+  std::map<RecoveryOutcome, int> counts;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i)
+    ++counts[model.recover_name("size", "v1").outcome];
+  EXPECT_NEAR(counts[RecoveryOutcome::kExact] / double(n), 0.20, 0.03);
+  EXPECT_NEAR(counts[RecoveryOutcome::kSynonym] / double(n), 0.35, 0.03);
+  EXPECT_NEAR(counts[RecoveryOutcome::kMisleading] / double(n), 0.15, 0.03);
+}
+
+TEST(DirtyModel, TypeRecoveryShapes) {
+  RecoveryRates rates;
+  rates.exact = rates.synonym = rates.related = 0.0;
+  rates.misleading = 1.0;
+  DirtyModel model(rates, 8);
+  const auto r = model.recover_type("unsigned char *", "__int64");
+  EXPECT_EQ(r.outcome, RecoveryOutcome::kMisleading);
+  EXPECT_FALSE(r.recovered.empty());
+  EXPECT_NE(r.recovered, "unsigned char *");
+}
+
+TEST(Generator, ProducesParseableAlignedSnippets) {
+  GeneratorConfig config;
+  config.seed = 21;
+  const auto pool = generate_snippets(10, config);
+  ASSERT_EQ(pool.size(), 10u);
+  for (const auto& s : pool) {
+    EXPECT_NO_THROW(decompeval::lang::parse_function(s.original_source,
+                                                     s.parse_options))
+        << s.original_source;
+    EXPECT_NO_THROW(decompeval::lang::parse_function(s.hexrays_source,
+                                                     s.parse_options))
+        << s.hexrays_source;
+    EXPECT_NO_THROW(
+        decompeval::lang::parse_function(s.dirty_source, s.parse_options))
+        << s.dirty_source;
+    EXPECT_GE(s.variable_alignment.size(), 4u);
+    EXPECT_EQ(s.questions.size(), 2u);
+  }
+}
+
+TEST(Generator, DeterministicInSeed) {
+  GeneratorConfig config;
+  config.seed = 22;
+  const auto a = generate_snippets(5, config);
+  const auto b = generate_snippets(5, config);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dirty_source, b[i].dirty_source);
+    EXPECT_EQ(a[i].questions[0].dirty_correctness_shift,
+              b[i].questions[0].dirty_correctness_shift);
+  }
+}
+
+TEST(Generator, PerfectRecoveryYieldsHelpfulQuestions) {
+  GeneratorConfig config;
+  config.seed = 23;
+  config.recovery_rates.exact = 1.0;
+  config.recovery_rates.synonym = 0.0;
+  config.recovery_rates.related = 0.0;
+  config.recovery_rates.misleading = 0.0;
+  const auto pool = generate_snippets(6, config);
+  for (const auto& s : pool) {
+    for (const auto& q : s.questions) {
+      EXPECT_GE(q.dirty_correctness_shift, 0.0) << s.id;
+      EXPECT_DOUBLE_EQ(q.trust_penalty, 0.0) << s.id;
+    }
+    // Exact recovery → DIRTY variant names equal the originals.
+    for (const auto& pair : s.variable_alignment)
+      EXPECT_EQ(pair.original, pair.recovered);
+  }
+}
+
+TEST(Generator, MisleadingRecoveryInducesTrustPenalties) {
+  GeneratorConfig config;
+  config.seed = 24;
+  config.recovery_rates.exact = 0.0;
+  config.recovery_rates.synonym = 0.0;
+  config.recovery_rates.related = 0.0;
+  config.recovery_rates.misleading = 1.0;
+  const auto pool = generate_snippets(6, config);
+  int penalized = 0;
+  for (const auto& s : pool)
+    if (s.questions[0].trust_penalty > 0.0) ++penalized;
+  EXPECT_GE(penalized, 4);
+}
+
+TEST(ApplyRenames, TextualRenameViaAst) {
+  const std::string source = "int f(int a1) { int v5; v5 = a1; return v5; }";
+  const std::map<std::string, std::string> names = {{"a1", "count"},
+                                                    {"v5", "total"}};
+  const std::string out = apply_renames(source, names, {}, {});
+  EXPECT_NE(out.find("count"), std::string::npos);
+  EXPECT_NE(out.find("total"), std::string::npos);
+  EXPECT_EQ(out.find("a1"), std::string::npos);
+  EXPECT_EQ(out.find("v5"), std::string::npos);
+}
+
+
+// ---------------------------------------------------------------------------
+// End-to-end semantic equivalence of generated snippets: the pseudo-
+// decompiler's width-cast lowering and the gated DIRTY retyping must keep
+// all three generated variants computing the same function.
+// ---------------------------------------------------------------------------
+
+namespace equivalence {
+
+struct Outcome {
+  std::int64_t return_value = 0;
+  std::map<std::uint64_t, std::uint8_t> memory;
+  bool operator==(const Outcome&) const = default;
+};
+
+// Generic harness: pointer params get a 64-byte random-filled buffer;
+// integer params get small positive values (termination-safe for every
+// template). The argument *kinds* come from the original signature — the
+// decompiled variants flatten pointers to __int64, but the values passed
+// must be the same machine state across variants.
+Outcome run_generated(const decompeval::snippets::Snippet& snippet,
+                      decompeval::snippets::Variant variant,
+                      std::uint64_t input_seed) {
+  using decompeval::lang::Machine;
+  const auto spec_fn = decompeval::lang::parse_function(
+      snippet.original_source, snippet.parse_options);
+  const auto fn = decompeval::lang::parse_function(snippet.source(variant),
+                                                   snippet.parse_options);
+  Machine machine;
+  machine.step_limit = 100000;
+  decompeval::util::Rng rng(input_seed);
+  std::vector<std::int64_t> args;
+  for (const auto& param : spec_fn.params) {
+    const bool pointer = param.type_text.find('*') != std::string::npos;
+    if (pointer) {
+      const auto buffer = machine.allocate(64);
+      for (int i = 0; i < 32; ++i)
+        machine.store(buffer + i, 1,
+                      static_cast<std::int64_t>(rng.uniform_index(7)));
+      args.push_back(static_cast<std::int64_t>(buffer));
+    } else {
+      args.push_back(rng.uniform_int(1, 7));
+    }
+  }
+  Outcome outcome;
+  outcome.return_value = machine.call(fn, args);
+  outcome.memory = machine.memory_snapshot();
+  return outcome;
+}
+
+}  // namespace equivalence
+
+class GeneratedEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratedEquivalence, AllGeneratedVariantsAgree) {
+  GeneratorConfig config;
+  config.seed = GetParam();
+  const auto pool = generate_snippets(5, config);
+  for (const auto& snippet : pool) {
+    for (std::uint64_t input = 1; input <= 4; ++input) {
+      const auto original = equivalence::run_generated(
+          snippet, decompeval::snippets::Variant::kOriginal, input);
+      const auto hexrays = equivalence::run_generated(
+          snippet, decompeval::snippets::Variant::kHexRays, input);
+      const auto dirty = equivalence::run_generated(
+          snippet, decompeval::snippets::Variant::kDirty, input);
+      EXPECT_EQ(original.return_value, hexrays.return_value)
+          << snippet.id << " input " << input << "\n" << snippet.hexrays_source;
+      EXPECT_EQ(original.memory, hexrays.memory) << snippet.id;
+      EXPECT_EQ(original.return_value, dirty.return_value)
+          << snippet.id << " input " << input << "\n" << snippet.dirty_source;
+      EXPECT_EQ(original.memory, dirty.memory) << snippet.id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratedEquivalence,
+                         ::testing::Range<std::uint64_t>(50, 58));
+
+TEST(PseudoDecompiler, LowersIndexingToWidthCasts) {
+  const auto result = pseudo_decompile(
+      "int f(const int *values, int n) { return values[n]; }");
+  EXPECT_NE(result.source.find("_DWORD *"), std::string::npos)
+      << result.source;
+  EXPECT_NE(result.source.find("4LL"), std::string::npos) << result.source;
+}
+
+TEST(PseudoDecompiler, ByteIndexingNeedsNoScale) {
+  const auto result = pseudo_decompile(
+      "int f(const unsigned char *p, int n) { return p[n]; }");
+  EXPECT_NE(result.source.find("_BYTE *"), std::string::npos) << result.source;
+  EXPECT_EQ(result.source.find("8LL"), std::string::npos) << result.source;
+}
+
+}  // namespace

@@ -1,0 +1,456 @@
+// Interpreter tests, culminating in the transcription-fidelity suite: all
+// three variants of every study snippet (original source, Hex-Rays-style,
+// DIRTY-annotated) must compute identical results and leave identical
+// memory when executed against the same machine state — the property every
+// analysis in the replication silently assumes.
+#include <gtest/gtest.h>
+
+#include "lang/interp.h"
+#include "lang/parser.h"
+#include "snippets/snippet.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace decompeval;
+using lang::Machine;
+using lang::MemberLayout;
+
+lang::Function parse(const char* source, const lang::ParseOptions& opts = {}) {
+  return lang::parse_function(source, opts);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter unit tests
+// ---------------------------------------------------------------------------
+
+TEST(Interp, ArithmeticAndControlFlow) {
+  Machine m;
+  const auto fn = parse(
+      "int f(int n) {\n"
+      "  int total;\n"
+      "  int i;\n"
+      "  total = 0;\n"
+      "  for (i = 1; i <= n; i = i + 1) {\n"
+      "    if (i % 2 == 0) continue;\n"
+      "    total = total + i;\n"
+      "  }\n"
+      "  return total;\n"
+      "}");
+  EXPECT_EQ(m.call(fn, {10}), 25);  // 1+3+5+7+9
+  EXPECT_EQ(m.call(fn, {0}), 0);
+}
+
+TEST(Interp, WhileBreakAndTernary) {
+  Machine m;
+  const auto fn = parse(
+      "int f(int n) {\n"
+      "  int i;\n"
+      "  i = 0;\n"
+      "  while (1) {\n"
+      "    if (i >= n) break;\n"
+      "    i = i + 1;\n"
+      "  }\n"
+      "  return i > 5 ? 100 : i;\n"
+      "}");
+  EXPECT_EQ(m.call(fn, {3}), 3);
+  EXPECT_EQ(m.call(fn, {9}), 100);
+}
+
+TEST(Interp, MemoryLoadsAndStores) {
+  Machine m;
+  const auto buffer = m.allocate(16);
+  m.store(buffer, 4, 0x11223344);
+  EXPECT_EQ(m.load(buffer, 4), 0x11223344);
+  EXPECT_EQ(m.load(buffer, 1), 0x44);  // little endian
+  EXPECT_EQ(m.load(buffer + 3, 1), 0x11);
+  m.store(buffer + 8, 1, 0xFF);
+  EXPECT_EQ(m.load(buffer + 8, 1), 0xFF);
+  EXPECT_EQ(m.load(buffer + 8, 1, /*sign_extend=*/true), -1);
+}
+
+TEST(Interp, PointerArithmeticScalesByPointee) {
+  Machine m;
+  const auto fn = parse(
+      "int f(const int *values, int n) {\n"
+      "  const int *p;\n"
+      "  int total;\n"
+      "  total = 0;\n"
+      "  for (p = values; p != values + n; p = p + 1)\n"
+      "    total = total + *p;\n"
+      "  return total;\n"
+      "}");
+  const auto base = m.allocate(5 * 4);
+  for (int i = 0; i < 5; ++i) m.store(base + i * 4, 4, i + 1);
+  EXPECT_EQ(m.call(fn, {static_cast<std::int64_t>(base), 5}), 15);
+}
+
+TEST(Interp, ArrayDeclarationsAllocate) {
+  Machine m;
+  const auto fn = parse(
+      "int f(int n) {\n"
+      "  int stack[8];\n"
+      "  int i;\n"
+      "  for (i = 0; i < n; i = i + 1)\n"
+      "    stack[i] = i * i;\n"
+      "  return stack[n - 1];\n"
+      "}");
+  EXPECT_EQ(m.call(fn, {5}), 16);
+}
+
+TEST(Interp, CastsTruncate) {
+  Machine m;
+  const auto fn = parse(
+      "int f(int x) { return (unsigned char)(x) + ((unsigned char)(x) >> 4); }");
+  // 0x1AB -> 0xAB = 171; 171 + 10 = 181.
+  EXPECT_EQ(m.call(fn, {0x1AB}), 181);
+}
+
+TEST(Interp, DecompiledCastSoup) {
+  Machine m;
+  const auto fn = parse(
+      "__int64 f(__int64 a1) {\n"
+      "  return *(_QWORD *)(8LL * 2 + *(_QWORD *)(a1 + 8));\n"
+      "}");
+  const auto table = m.allocate(32);
+  m.store(table + 16, 8, 0xBEEF);
+  const auto object = m.allocate(16);
+  m.store(object + 8, 8, static_cast<std::int64_t>(table));
+  EXPECT_EQ(m.call(fn, {static_cast<std::int64_t>(object)}), 0xBEEF);
+}
+
+TEST(Interp, MemberAccessThroughLayout) {
+  Machine m;
+  m.register_layout("box", {{"value", {4, 4, "int"}},
+                            {"next", {8, 8, "box *"}}});
+  const auto fn = parse(
+      "int f(box *b) {\n"
+      "  int total;\n"
+      "  total = 0;\n"
+      "  while (b != NULL) {\n"
+      "    total = total + b->value;\n"
+      "    b = b->next;\n"
+      "  }\n"
+      "  return total;\n"
+      "}",
+      {{"box"}});
+  const auto first = m.allocate(16);
+  const auto second = m.allocate(16);
+  m.store(first + 4, 4, 10);
+  m.store(first + 8, 8, static_cast<std::int64_t>(second));
+  m.store(second + 4, 4, 32);
+  EXPECT_EQ(m.call(fn, {static_cast<std::int64_t>(first)}), 42);
+}
+
+TEST(Interp, IncrementDecrementSemantics) {
+  Machine m;
+  const auto fn = parse(
+      "int f(int x) {\n"
+      "  int a;\n"
+      "  int b;\n"
+      "  a = x;\n"
+      "  b = ++a;\n"
+      "  b = b + a++;\n"
+      "  b = b + a;\n"
+      "  return b;\n"
+      "}");
+  // a=5→++a=6 b=6; b=6+6=12 (a→7); b=12+7=19.
+  EXPECT_EQ(m.call(fn, {5}), 19);
+}
+
+TEST(Interp, BuiltinsAndFunctionPointers) {
+  Machine m;
+  std::vector<std::int64_t> visited;
+  const std::int64_t fn_id = m.register_function_value(
+      [&visited](Machine&, const std::vector<std::int64_t>& args) {
+        visited.push_back(args[0]);
+        return args[0] * 2;
+      });
+  const auto fn = parse(
+      "int apply(int (*op)(int x), int a, int b) {\n"
+      "  return op(a) + op(b);\n"
+      "}");
+  EXPECT_EQ(m.call(fn, {fn_id, 3, 4}), 14);
+  EXPECT_EQ(visited, (std::vector<std::int64_t>{3, 4}));
+}
+
+TEST(Interp, MemmoveHandlesOverlap) {
+  Machine m;
+  const auto fn = parse(
+      "void f(char *p) { memmove(p, p + 1, 3); }");
+  const auto buffer = m.allocate(8);
+  for (int i = 0; i < 4; ++i) m.store(buffer + i, 1, 'a' + i);
+  m.call(fn, {static_cast<std::int64_t>(buffer)});
+  EXPECT_EQ(m.load(buffer, 1), 'b');
+  EXPECT_EQ(m.load(buffer + 1, 1), 'c');
+  EXPECT_EQ(m.load(buffer + 2, 1), 'd');
+}
+
+TEST(Interp, StepLimitGuardsNonTermination) {
+  Machine m;
+  m.step_limit = 1000;
+  const auto fn = parse("int f(int x) { while (1) { x = x + 1; } return x; }");
+  EXPECT_THROW(m.call(fn, {0}), lang::InterpError);
+}
+
+TEST(Interp, ErrorsOnUnknownIdentifierAndBuiltin) {
+  Machine m;
+  EXPECT_THROW(m.call(parse("int f(int a) { return ghost; }"), {1}),
+               lang::InterpError);
+  EXPECT_THROW(m.call(parse("int f(int a) { return mystery(a); }"), {1}),
+               lang::InterpError);
+}
+
+TEST(Interp, SizeofWidths) {
+  Machine m;
+  const auto fn = parse(
+      "int f(const char *p) { return sizeof(int) + sizeof(*p); }");
+  EXPECT_EQ(m.call(fn, {0}), 5);
+}
+
+// ---------------------------------------------------------------------------
+// Transcription fidelity: all three variants of every snippet are
+// semantically equivalent.
+// ---------------------------------------------------------------------------
+
+struct RunOutcome {
+  std::int64_t return_value = 0;
+  std::map<std::uint64_t, std::uint8_t> memory;
+  std::vector<std::int64_t> events;  // visit sequences etc.
+
+  bool operator==(const RunOutcome&) const = default;
+};
+
+class SnippetEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+ protected:
+  // Runs one variant of the snippet against a freshly built machine state
+  // derived deterministically from `input_seed`.
+  RunOutcome run_variant(const snippets::Snippet& snippet,
+                         snippets::Variant variant, std::uint64_t input_seed) {
+    const auto fn = lang::parse_function(snippet.source(variant),
+                                         snippet.parse_options);
+    Machine machine;
+    machine.step_limit = 200'000;
+    RunOutcome outcome;
+    util::Rng rng(input_seed);
+
+    if (snippet.id == "AEEK") {
+      setup_aeek(machine, rng, outcome, fn);
+    } else if (snippet.id == "BAPL") {
+      setup_bapl(machine, rng, outcome, fn);
+    } else if (snippet.id == "TC") {
+      setup_tc(machine, rng, outcome, fn);
+    } else if (snippet.id == "POSTORDER") {
+      setup_postorder(machine, rng, outcome, fn);
+    } else {
+      ADD_FAILURE() << "no harness for " << snippet.id;
+    }
+    outcome.memory = machine.memory_snapshot();
+    return outcome;
+  }
+
+ private:
+  static void register_common_layouts(Machine& m) {
+    // One physical layout, addressed under every type name any variant
+    // uses — the decompiled code reads the same bytes regardless of what
+    // DIRTY calls the fields.
+    const std::map<std::string, MemberLayout> array_layout = {
+        {"data", {8, 8, "data_unset **"}},
+        {"size", {8, 8, "char **"}},   // DIRTY's (wrong) name for `data`
+        {"used", {16, 4, "uint32_t"}}};
+    m.register_layout("array", array_layout);
+    m.register_layout("array_t_0", array_layout);
+    m.register_layout("data_unset", {{"fn", {40, 8, "void *"}}});
+    const std::map<std::string, MemberLayout> buffer_layout = {
+        {"used", {12, 4, "uint32_t"}}};
+    m.register_layout("buffer", buffer_layout);
+    m.register_layout("SSL", buffer_layout);
+    const std::map<std::string, MemberLayout> node_layout = {
+        {"left", {0, 8, "node *"}}, {"right", {8, 8, "node *"}}};
+    m.register_layout("node", node_layout);
+    m.register_layout("tree234", node_layout);
+  }
+
+  void setup_aeek(Machine& m, util::Rng& rng, RunOutcome& outcome,
+                  const lang::Function& fn) {
+    register_common_layouts(m);
+    const std::size_t n = 3 + rng.uniform_index(5);
+    const auto table = m.allocate(n * 8);
+    std::vector<std::uint64_t> entries(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      entries[i] = m.allocate(48);
+      m.store(entries[i] + 40, 8, 0x1111 + static_cast<std::int64_t>(i));
+      m.store(table + i * 8, 8, static_cast<std::int64_t>(entries[i]));
+    }
+    const auto array = m.allocate(24);
+    m.store(array + 8, 8, static_cast<std::int64_t>(table));
+    m.store(array + 16, 4, static_cast<std::int64_t>(n));
+    // One run in five exercises the key-not-found early return.
+    const std::int64_t found_index =
+        rng.bernoulli(0.2) ? -1
+                           : static_cast<std::int64_t>(rng.uniform_index(n));
+    m.register_builtin("array_get_index",
+                       [found_index](Machine&, const std::vector<std::int64_t>&) {
+                         return found_index;
+                       });
+    outcome.return_value = m.call(fn, {static_cast<std::int64_t>(array),
+                                       0x5000, static_cast<std::int64_t>(7)});
+  }
+
+  void setup_bapl(Machine& m, util::Rng& rng, RunOutcome& outcome,
+                  const lang::Function& fn) {
+    register_common_layouts(m);
+    const auto data = m.allocate(128);
+    // Prefill a path that may or may not end with '/'.
+    const std::string head = rng.bernoulli(0.5) ? "usr/" : "usr";
+    for (std::size_t i = 0; i < head.size(); ++i)
+      m.store(data + i, 1, head[i]);
+    const std::uint32_t used =
+        rng.bernoulli(0.15) ? 0 : static_cast<std::uint32_t>(head.size() + 1);
+    const auto buffer = m.allocate(16);
+    m.store(buffer + 12, 4, used);
+    m.register_builtin(
+        "buffer_string_prepare_append",
+        [data](Machine& machine, const std::vector<std::int64_t>& args) {
+          const std::int64_t b = args[0];
+          const std::int64_t current = machine.load(
+              static_cast<std::uint64_t>(b) + 12, 4);
+          return static_cast<std::int64_t>(data) +
+                 (current > 0 ? current - 1 : 0);
+        });
+    const std::string tail = rng.bernoulli(0.5) ? "/bin" : "bin";
+    const auto appended = m.allocate(16);
+    for (std::size_t i = 0; i < tail.size(); ++i)
+      m.store(appended + i, 1, tail[i]);
+    outcome.return_value =
+        m.call(fn, {static_cast<std::int64_t>(buffer),
+                    static_cast<std::int64_t>(appended),
+                    static_cast<std::int64_t>(tail.size())});
+  }
+
+  void setup_tc(Machine& m, util::Rng& rng, RunOutcome& outcome,
+                const lang::Function& fn) {
+    const std::size_t len = rng.uniform_index(12);  // includes len == 0
+    const auto src = m.allocate(16);
+    for (std::size_t i = 0; i < len; ++i)
+      m.store(src + i, 1, static_cast<std::int64_t>(rng.uniform_index(256)));
+    const auto dst = m.allocate(16);
+    const std::int64_t pad = rng.bernoulli(0.5) ? 0xff : 0x00;
+    outcome.return_value =
+        m.call(fn, {static_cast<std::int64_t>(dst),
+                    static_cast<std::int64_t>(src),
+                    static_cast<std::int64_t>(len), pad});
+  }
+
+  void setup_postorder(Machine& m, util::Rng& rng, RunOutcome& outcome,
+                       const lang::Function& fn) {
+    register_common_layouts(m);
+    // Random binary tree of up to 9 nodes (sometimes empty).
+    std::vector<std::uint64_t> nodes;
+    const std::size_t n = rng.uniform_index(10);
+    for (std::size_t i = 0; i < n; ++i) nodes.push_back(m.allocate(16));
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t left = 2 * i + 1, right = 2 * i + 2;
+      if (left < n && rng.bernoulli(0.8))
+        m.store(nodes[i], 8, static_cast<std::int64_t>(nodes[left]));
+      if (right < n && rng.bernoulli(0.8))
+        m.store(nodes[i] + 8, 8, static_cast<std::int64_t>(nodes[right]));
+    }
+    // The visit callback may abort the traversal partway (nonzero return),
+    // exercising the early-return path in all variants.
+    const std::size_t abort_after =
+        rng.bernoulli(0.3) ? 1 + rng.uniform_index(4) : 1000;
+    auto* events = &outcome.events;
+    const std::int64_t visit = m.register_function_value(
+        [events, abort_after](Machine&, const std::vector<std::int64_t>& args)
+            -> std::int64_t {
+          events->push_back(args[0]);  // aux, constant
+          events->push_back(args[1]);  // node address, order-sensitive
+          return events->size() / 2 >= abort_after ? 77 : 0;
+        });
+    outcome.return_value =
+        m.call(fn, {n == 0 ? 0 : static_cast<std::int64_t>(nodes[0]), visit,
+                    0xAAA});
+  }
+};
+
+TEST_P(SnippetEquivalence, AllVariantsComputeTheSameFunction) {
+  const auto& [snippet_id, input_seed] = GetParam();
+  const auto& snippet = snippets::snippet_by_id(snippet_id);
+  const RunOutcome original =
+      run_variant(snippet, snippets::Variant::kOriginal, input_seed);
+  const RunOutcome hexrays =
+      run_variant(snippet, snippets::Variant::kHexRays, input_seed);
+  const RunOutcome dirty =
+      run_variant(snippet, snippets::Variant::kDirty, input_seed);
+
+  // BAPL's original is `void`; the decompiler variants materialize the
+  // leftover register value as `return v4` (paper Fig. 6a shows exactly
+  // this `void` → `void *__fastcall` mismatch), so only the decompiled
+  // variants' returns are comparable there.
+  if (snippet_id != "BAPL") {
+    EXPECT_EQ(original.return_value, hexrays.return_value);
+    EXPECT_EQ(original.return_value, dirty.return_value);
+  }
+  EXPECT_EQ(hexrays.return_value, dirty.return_value);
+  EXPECT_EQ(original.memory, hexrays.memory);
+  EXPECT_EQ(original.memory, dirty.memory);
+  EXPECT_EQ(original.events, hexrays.events);
+  EXPECT_EQ(original.events, dirty.events);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInputs, SnippetEquivalence,
+    ::testing::Combine(::testing::Values("AEEK", "BAPL", "TC", "POSTORDER"),
+                       ::testing::Range<std::uint64_t>(1, 26)));
+
+// The TC-Q1 answer key is machine-checkable: input {0x01, 0x00} with pad
+// 0xff yields {0xff, 0x00} — the two's complement of the input.
+TEST(AnswerKeys, TwosComplementQ1) {
+  const auto& snippet = snippets::snippet_by_id("TC");
+  Machine m;
+  const auto fn = lang::parse_function(snippet.original_source,
+                                       snippet.parse_options);
+  const auto src = m.allocate(4);
+  m.store(src, 1, 0x01);
+  m.store(src + 1, 1, 0x00);
+  const auto dst = m.allocate(4);
+  m.call(fn, {static_cast<std::int64_t>(dst), static_cast<std::int64_t>(src),
+              2, 0xff});
+  EXPECT_EQ(m.load(dst, 1), 0xff);
+  EXPECT_EQ(m.load(dst + 1, 1), 0x00);
+}
+
+// BAPL-Q1's key: "usr/" ++ "/bin" = "usr/bin".
+TEST(AnswerKeys, BaplQ1JoinsWithOneSeparator) {
+  const auto& snippet = snippets::snippet_by_id("BAPL");
+  Machine m;
+  m.register_layout("buffer", {{"used", {12, 4, "uint32_t"}}});
+  const auto fn = lang::parse_function(snippet.original_source,
+                                       snippet.parse_options);
+  const auto data = m.allocate(64);
+  const char* head = "usr/";
+  for (int i = 0; i < 4; ++i) m.store(data + i, 1, head[i]);
+  const auto buffer = m.allocate(16);
+  m.store(buffer + 12, 4, 5);  // "usr/" + NUL
+  m.register_builtin(
+      "buffer_string_prepare_append",
+      [data](Machine& machine, const std::vector<std::int64_t>& args) {
+        const std::int64_t used =
+            machine.load(static_cast<std::uint64_t>(args[0]) + 12, 4);
+        return static_cast<std::int64_t>(data) + (used > 0 ? used - 1 : 0);
+      });
+  const auto tail = m.allocate(8);
+  const char* suffix = "/bin";
+  for (int i = 0; i < 4; ++i) m.store(tail + i, 1, suffix[i]);
+  m.call(fn, {static_cast<std::int64_t>(buffer),
+              static_cast<std::int64_t>(tail), 4});
+  std::string result;
+  for (int i = 0; i < 7; ++i)
+    result += static_cast<char>(m.load(data + i, 1));
+  EXPECT_EQ(result, "usr/bin");
+  EXPECT_EQ(m.load(data + 7, 1), 0);  // NUL terminated
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Linear-algebra substrate tests.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace decompeval::linalg;
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_THROW(m(2, 0), decompeval::PreconditionError);
+}
+
+TEST(Matrix, MultiplyKnown) {
+  const Matrix a = {{1, 2}, {3, 4}};
+  const Matrix b = {{5, 6}, {7, 8}};
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, TransposeAndIdentity) {
+  const Matrix a = {{1, 2, 3}, {4, 5, 6}};
+  const Matrix t = a.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  const Matrix i = Matrix::identity(3);
+  const Matrix ti = t * Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(ti(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(i(2, 2), 1.0);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  const Matrix a = {{4, 2, 0}, {2, 5, 1}, {0, 1, 3}};
+  const Vector b = {2, 7, 4};
+  const Cholesky chol(a);
+  const Vector x = chol.solve(b);
+  const Vector ax = a * x;
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(ax[i], b[i], 1e-12);
+}
+
+TEST(Cholesky, LogDetMatchesDirectComputation) {
+  const Matrix a = {{4, 2}, {2, 5}};
+  const Cholesky chol(a);
+  EXPECT_NEAR(chol.log_det(), std::log(16.0), 1e-12);  // det = 20−4
+}
+
+TEST(Cholesky, ThrowsOnIndefinite) {
+  const Matrix a = {{1, 2}, {2, 1}};  // eigenvalues 3, −1
+  EXPECT_THROW(Cholesky{a}, decompeval::NumericalError);
+}
+
+TEST(SolveLu, GeneralSystem) {
+  const Matrix a = {{0, 2, 1}, {1, -2, -3}, {-1, 1, 2}};
+  const Vector b = {-8, 0, 3};
+  const Vector x = solve_lu(a, b);
+  const Vector ax = a * x;
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(SolveLu, ThrowsOnSingular) {
+  const Matrix a = {{1, 2}, {2, 4}};
+  EXPECT_THROW(solve_lu(a, {1, 2}), decompeval::NumericalError);
+}
+
+TEST(SpdInverse, RoundTrips) {
+  const Matrix a = {{6, 2, 1}, {2, 5, 2}, {1, 2, 4}};
+  const Matrix inv = spd_inverse(a);
+  const Matrix prod = a * inv;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(VectorOps, DotNormAddSubtractScale) {
+  const Vector a = {1, 2, 3};
+  const Vector b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(add(a, b)[2], 9.0);
+  EXPECT_DOUBLE_EQ(subtract(b, a)[0], 3.0);
+  EXPECT_DOUBLE_EQ(scale(a, 2.0)[1], 4.0);
+}
+
+class CholeskyRandomSpd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CholeskyRandomSpd, SolveResidualIsTiny) {
+  decompeval::util::Rng rng(GetParam());
+  const std::size_t n = 12;
+  Matrix g(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) g(i, j) = rng.normal();
+  Matrix a = g * g.transpose();  // PSD
+  a.add_diagonal(0.5);           // make strictly PD
+  Vector b(n);
+  for (auto& v : b) v = rng.normal();
+  const Vector x = Cholesky(a).solve(b);
+  const Vector ax = a * x;
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CholeskyRandomSpd,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace

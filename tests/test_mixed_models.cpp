@@ -1,0 +1,137 @@
+// Parameter-recovery and oracle tests for the mixed-effects fitters.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "mixed/glmm.h"
+#include "mixed/lmm.h"
+#include "mixed/nelder_mead.h"
+#include "util/rng.h"
+
+namespace {
+
+using decompeval::mixed::Coefficient;
+using decompeval::mixed::fit_lmm;
+using decompeval::mixed::fit_logistic_glmm;
+using decompeval::mixed::GlmmFit;
+using decompeval::mixed::LmmFit;
+using decompeval::mixed::MixedModelData;
+using decompeval::util::Rng;
+
+// Simulates a crossed random-intercept design:
+//   y* = b0 + b1*x1 + u_user + u_question (+ eps for the LMM)
+MixedModelData simulate(std::size_t n_users, std::size_t n_questions,
+                        double b0, double b1, double sigma_u, double sigma_q,
+                        double sigma_e, bool binary, std::uint64_t seed) {
+  Rng rng(seed);
+  MixedModelData d;
+  d.n_users = n_users;
+  d.n_questions = n_questions;
+  std::vector<double> ru(n_users), rq(n_questions);
+  for (auto& v : ru) v = rng.normal(0.0, sigma_u);
+  for (auto& v : rq) v = rng.normal(0.0, sigma_q);
+
+  const std::size_t n = n_users * n_questions;
+  d.x = decompeval::linalg::Matrix(n, 2);
+  d.fixed_effect_names = {"(Intercept)", "x1"};
+  d.y.resize(n);
+  d.user.resize(n);
+  d.question.resize(n);
+  std::size_t i = 0;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    for (std::size_t q = 0; q < n_questions; ++q, ++i) {
+      const double x1 = rng.bernoulli(0.5) ? 1.0 : 0.0;
+      d.x(i, 0) = 1.0;
+      d.x(i, 1) = x1;
+      d.user[i] = u;
+      d.question[i] = q;
+      const double eta = b0 + b1 * x1 + ru[u] + rq[q];
+      if (binary) {
+        d.y[i] = rng.bernoulli(1.0 / (1.0 + std::exp(-eta))) ? 1.0 : 0.0;
+      } else {
+        d.y[i] = eta + rng.normal(0.0, sigma_e);
+      }
+    }
+  }
+  return d;
+}
+
+TEST(NelderMead, MinimizesRosenbrock) {
+  const auto rosenbrock = [](const std::vector<double>& v) {
+    const double a = 1.0 - v[0];
+    const double b = v[1] - v[0] * v[0];
+    return a * a + 100.0 * b * b;
+  };
+  decompeval::mixed::NelderMeadOptions opts;
+  opts.max_evaluations = 50000;
+  const auto result =
+      decompeval::mixed::nelder_mead(rosenbrock, {-1.2, 1.0}, opts);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-3);
+}
+
+TEST(Lmm, RecoversFixedEffects) {
+  const MixedModelData d =
+      simulate(40, 12, 10.0, 3.0, 2.0, 4.0, 1.5, /*binary=*/false, 11);
+  const LmmFit fit = fit_lmm(d);
+  ASSERT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.coefficients[1].estimate, 3.0, 0.5);
+  EXPECT_NEAR(fit.sigma_residual, 1.5, 0.3);
+}
+
+TEST(Lmm, RecoversVarianceComponents) {
+  // Large design so the variance components are well identified.
+  const MixedModelData d =
+      simulate(80, 40, 5.0, 1.0, 2.0, 3.0, 1.0, /*binary=*/false, 12);
+  const LmmFit fit = fit_lmm(d);
+  ASSERT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.sigma_user, 2.0, 0.6);
+  EXPECT_NEAR(fit.sigma_question, 3.0, 1.0);
+  EXPECT_NEAR(fit.sigma_residual, 1.0, 0.1);
+  EXPECT_GT(fit.r2_conditional, fit.r2_marginal);
+}
+
+TEST(Lmm, NullEffectIsNotSignificant) {
+  const MixedModelData d =
+      simulate(40, 8, 200.0, 0.0, 50.0, 80.0, 100.0, /*binary=*/false, 13);
+  const LmmFit fit = fit_lmm(d);
+  EXPECT_GT(fit.coefficients[1].p_value, 0.05);
+}
+
+TEST(Glmm, RecoversStrongFixedEffect) {
+  const MixedModelData d =
+      simulate(60, 20, -0.5, 1.5, 0.8, 0.8, 0.0, /*binary=*/true, 14);
+  const GlmmFit fit = fit_logistic_glmm(d);
+  EXPECT_NEAR(fit.coefficients[1].estimate, 1.5, 0.5);
+  EXPECT_LT(fit.coefficients[1].p_value, 0.05);
+}
+
+TEST(Glmm, RecoversVarianceComponents) {
+  const MixedModelData d =
+      simulate(100, 40, 0.0, 0.0, 1.0, 1.5, 0.0, /*binary=*/true, 15);
+  const GlmmFit fit = fit_logistic_glmm(d);
+  EXPECT_NEAR(fit.sigma_user, 1.0, 0.4);
+  EXPECT_NEAR(fit.sigma_question, 1.5, 0.6);
+}
+
+TEST(Glmm, NullEffectIsNotSignificant) {
+  const MixedModelData d =
+      simulate(40, 8, 0.3, 0.0, 0.8, 1.0, 0.0, /*binary=*/true, 16);
+  const GlmmFit fit = fit_logistic_glmm(d);
+  EXPECT_GT(fit.coefficients[1].p_value, 0.05);
+}
+
+TEST(Glmm, RejectsNonBinaryResponse) {
+  MixedModelData d =
+      simulate(10, 4, 0.0, 0.0, 0.5, 0.5, 1.0, /*binary=*/false, 17);
+  EXPECT_THROW(fit_logistic_glmm(d), decompeval::PreconditionError);
+}
+
+TEST(MixedModelData, ValidatesShapes) {
+  MixedModelData d = simulate(5, 3, 0.0, 0.0, 1.0, 1.0, 1.0, true, 18);
+  d.user.pop_back();
+  EXPECT_THROW(d.validate(), decompeval::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,107 @@
+// Qualitative-analysis (grounded theory) and power-analysis tests.
+#include <gtest/gtest.h>
+
+#include "analysis/power.h"
+#include "analysis/qualitative.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace decompeval;
+using namespace decompeval::analysis;
+
+class QualitativeFixture : public ::testing::Test {
+ protected:
+  static const study::StudyData& data() {
+    static const study::StudyData kData =
+        study::run_study(study::StudyConfig{});
+    return kData;
+  }
+  static const std::vector<JustificationRecord>& records() {
+    static const auto kRecords =
+        simulate_justifications(data(), snippets::study_snippets());
+    return kRecords;
+  }
+};
+
+TEST_F(QualitativeFixture, OnlyMisleadingDirtyResponsesGetJustifications) {
+  EXPECT_FALSE(records().empty());
+  for (const auto& r : records()) {
+    EXPECT_FALSE(r.text.empty());
+    // Only questions with trust penalties: AEEK-Q1/Q2 and POSTORDER-Q2.
+    EXPECT_TRUE(r.question_id == "AEEK-Q1" || r.question_id == "AEEK-Q2" ||
+                r.question_id == "POSTORDER-Q2")
+        << r.question_id;
+  }
+}
+
+TEST_F(QualitativeFixture, OpenCodingRecoversThemes) {
+  const auto coding = open_code(records());
+  EXPECT_EQ(coding.assigned.size(), records().size());
+  // The keyword codebook should recover most generated themes.
+  EXPECT_GT(coding.coding_accuracy, 0.85);
+  // Two-coder agreement is high but imperfect (the paper used consensus).
+  EXPECT_GT(coding.coder_agreement, 0.8);
+  EXPECT_LE(coding.coder_agreement, 1.0);
+}
+
+TEST_F(QualitativeFixture, UsageBasedReasoningAssociatesWithCorrectness) {
+  const auto coding = open_code(records());
+  const double usage_rate =
+      static_cast<double>(coding.usage_correct) /
+      std::max<unsigned>(1, coding.usage_correct + coding.usage_incorrect);
+  const double face_rate =
+      static_cast<double>(coding.face_correct) /
+      std::max<unsigned>(1, coding.face_correct + coding.face_incorrect);
+  // The paper's §IV-A finding: participants who reasoned from usage got
+  // the answer right; participants who took names at face value did not.
+  EXPECT_GT(usage_rate, face_rate);
+}
+
+TEST(Qualitative, ThemeLabels) {
+  EXPECT_STREQ(to_string(JustificationTheme::kUsageBased),
+               "usage-based reasoning");
+  EXPECT_STREQ(to_string(JustificationTheme::kFaceValue),
+               "names/types at face value");
+}
+
+TEST(Qualitative, OpenCodeRejectsEmptyInput) {
+  EXPECT_THROW(open_code({}), PreconditionError);
+}
+
+TEST(Power, NullEffectHasNominalFalsePositiveRate) {
+  PowerConfig config;
+  config.true_effect_logit = 0.0;
+  config.n_replicates = 20;
+  config.seed = 900;
+  const auto result = estimate_power(config);
+  EXPECT_LE(result.power, 0.25);  // should be near alpha
+  EXPECT_NEAR(result.mean_estimate, 0.0, 0.35);
+}
+
+TEST(Power, LargeEffectIsUsuallyDetected) {
+  PowerConfig config;
+  config.true_effect_logit = 1.5;
+  config.n_replicates = 20;
+  config.seed = 901;
+  const auto result = estimate_power(config);
+  EXPECT_GE(result.power, 0.7);
+  EXPECT_GT(result.mean_estimate, 0.8);
+}
+
+TEST(Power, PowerGrowsWithEffectSize) {
+  PowerConfig weak, strong;
+  weak.true_effect_logit = 0.3;
+  strong.true_effect_logit = 1.2;
+  weak.n_replicates = strong.n_replicates = 15;
+  weak.seed = strong.seed = 902;
+  EXPECT_LE(estimate_power(weak).power, estimate_power(strong).power);
+}
+
+TEST(Power, RejectsDegenerateConfig) {
+  PowerConfig config;
+  config.n_replicates = 0;
+  EXPECT_THROW(estimate_power(config), PreconditionError);
+}
+
+}  // namespace

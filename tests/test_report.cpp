@@ -1,0 +1,86 @@
+// Rendering-layer tests: tables and charts must carry the expected labels
+#include <algorithm>
+#include <cmath>
+// and structure.
+#include <gtest/gtest.h>
+
+#include "report/render.h"
+#include "report/table.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace decompeval::report;
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t("Demo Table");
+  t.set_header({"Name", "Value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta_longer", "22"});
+  t.add_separator();
+  t.add_row({"total", "23"});
+  t.set_footnote("a note");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Demo Table"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("Note: a note"), std::string::npos);
+  // Header separator and body separator lines exist.
+  EXPECT_GE(std::count(out.begin(), out.end(), '\n'), 7);
+}
+
+TEST(BarChart, ScalesToWidth) {
+  const std::string out =
+      bar_chart("Counts", {{"a", 10.0}, {"b", 5.0}, {"c", 0.0}}, 20);
+  EXPECT_NE(out.find("Counts"), std::string::npos);
+  // The max bar has exactly 20 glyphs; the half bar 10.
+  EXPECT_NE(out.find(std::string(20, '#')), std::string::npos);
+  EXPECT_EQ(out.find(std::string(21, '#')), std::string::npos);
+}
+
+TEST(GroupedBarChart, ShowsBothSeries) {
+  const std::string out = grouped_bar_chart(
+      "Correct", {{"Q1", 80.0, 60.0}, {"Q2", 40.0, 90.0}});
+  EXPECT_NE(out.find("DIRTY"), std::string::npos);
+  EXPECT_NE(out.find("Hex-Rays"), std::string::npos);
+  EXPECT_NE(out.find("80.0%"), std::string::npos);
+  EXPECT_NE(out.find("90.0%"), std::string::npos);
+}
+
+TEST(LikertChart, PercentagesSumToHundred) {
+  const std::string out = likert_chart(
+      "Opinions", {{"Row", {10, 20, 40, 20, 10}}},
+      {"A", "B", "C", "D", "E"});
+  EXPECT_NE(out.find("10%"), std::string::npos);
+  EXPECT_NE(out.find("40%"), std::string::npos);
+}
+
+TEST(LikertChart, RejectsWrongArity) {
+  EXPECT_THROW(
+      likert_chart("Bad", {{"Row", {1, 2, 3}}}, {"A", "B", "C", "D", "E"}),
+      decompeval::PreconditionError);
+}
+
+TEST(Strings, PValueFormatting) {
+  using decompeval::util::format_p_value;
+  EXPECT_EQ(format_p_value(0.5), "0.5000");
+  EXPECT_EQ(format_p_value(0.00005), "<0.0001");
+  EXPECT_EQ(format_p_value(std::nan("")), "NA");
+  EXPECT_NE(format_p_value(0.0005).find("e-"), std::string::npos);
+}
+
+TEST(Strings, Helpers) {
+  using namespace decompeval::util;
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split_whitespace("  a \t b\nc "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(join({"x", "y"}, "-"), "x-y");
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_EQ(trim("  pad  "), "pad");
+  EXPECT_TRUE(starts_with("decompiler", "de"));
+  EXPECT_TRUE(ends_with("decompiler", "ler"));
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Determinism and distributional sanity checks for the RNG layer.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace {
+
+using decompeval::util::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexIsUniform) {
+  Rng rng(8);
+  std::vector<int> counts(5, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_index(5)];
+  for (const int c : counts)
+    EXPECT_NEAR(static_cast<double>(c) / draws, 0.2, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(9);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double z = rng.normal();
+    sum += z;
+    sum_sq += z * z;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(10);
+  std::vector<double> draws(20001);
+  for (auto& d : draws) d = rng.lognormal(std::log(100.0), 0.5);
+  std::nth_element(draws.begin(), draws.begin() + 10000, draws.end());
+  EXPECT_NEAR(draws[10000], 100.0, 3.0);
+}
+
+TEST(Rng, GammaMeanAndVariance) {
+  Rng rng(11);
+  const double shape = 3.0, scale = 2.0;
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gamma(shape, scale);
+    sum += g;
+    sum_sq += g * g;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, shape * scale, 0.1);
+  EXPECT_NEAR(sum_sq / n - mean * mean, shape * scale * scale, 0.4);
+}
+
+TEST(Rng, GammaSmallShape) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gamma(0.5, 1.0);
+    EXPECT_GT(g, 0.0);
+    sum += g;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(Rng, BetaMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double b = rng.beta(2.0, 2.0);
+    EXPECT_GT(b, 0.0);
+    EXPECT_LT(b, 1.0);
+    sum += b;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(14);
+  const std::vector<double> weights = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(weights)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(15);
+  const std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(rng.categorical(zero), decompeval::PreconditionError);
+  const std::vector<double> negative = {1.0, -0.5};
+  EXPECT_THROW(rng.categorical(negative), decompeval::PreconditionError);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(16);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+  Rng parent(17);
+  Rng child_a = parent.fork(1);
+  Rng child_b = parent.fork(1);  // parent advanced between forks
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (child_a.next_u64() == child_b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(18);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+class UniformIntSweep
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(UniformIntSweep, StaysInClosedRange) {
+  const auto [lo, hi] = GetParam();
+  Rng rng(19);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.uniform_int(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+    saw_lo = saw_lo || v == lo;
+    saw_hi = saw_hi || v == hi;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ranges, UniformIntSweep,
+    ::testing::Values(std::make_pair<std::int64_t, std::int64_t>(0, 1),
+                      std::make_pair<std::int64_t, std::int64_t>(-5, 5),
+                      std::make_pair<std::int64_t, std::int64_t>(1, 5),
+                      std::make_pair<std::int64_t, std::int64_t>(-10, -3)));
+
+}  // namespace

@@ -1,0 +1,71 @@
+// Multi-seed robustness tests: the generative process, not a lucky seed,
+// must carry the paper's qualitative findings.
+#include <gtest/gtest.h>
+
+#include "analysis/robustness.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace decompeval::analysis;
+
+class RobustnessFixture : public ::testing::Test {
+ protected:
+  static const RobustnessSummary& summary() {
+    static const RobustnessSummary kSummary = [] {
+      RobustnessConfig config;
+      config.first_seed = 1;
+      config.n_seeds = 12;
+      return analyze_robustness(config);
+    }();
+    return kSummary;
+  }
+};
+
+TEST_F(RobustnessFixture, AllCriteriaTallied) {
+  EXPECT_EQ(summary().n_seeds, 12u);
+  EXPECT_EQ(summary().criteria.size(), 8u);
+  for (const auto& criterion : summary().criteria) {
+    EXPECT_EQ(criterion.total, 12u) << criterion.name;
+    EXPECT_LE(criterion.held, criterion.total) << criterion.name;
+  }
+}
+
+TEST_F(RobustnessFixture, ProcessLevelCriteriaAreStable) {
+  // Mechanical consequences of the generative model should hold at almost
+  // every seed.
+  EXPECT_GE(summary().by_name("RQ2 null").rate(), 0.8);
+  EXPECT_GE(summary().by_name("names preferred").rate(), 0.9);
+  EXPECT_GE(summary().by_name("AEEK slowdown").rate(), 0.9);
+  EXPECT_GE(summary().by_name("RQ1 null").rate(), 0.7);
+}
+
+TEST_F(RobustnessFixture, SmallSampleSignificanceIsFragile) {
+  // The postorder-Q2 Fisher test rides on ~30 observations; it should hold
+  // often but visibly not always — the power limitation the paper's
+  // threats section concedes.
+  const auto& fisher = summary().by_name("postorder gap");
+  EXPECT_GE(fisher.rate(), 0.25);
+  EXPECT_LE(fisher.rate(), 0.95);
+}
+
+TEST_F(RobustnessFixture, DirectionalCriteriaLeanTheRightWay) {
+  EXPECT_GE(summary().by_name("RQ4 inversion").rate(), 0.5);
+  EXPECT_GE(summary().by_name("trust direction").rate(), 0.5);
+  EXPECT_GE(summary().by_name("types tied").rate(), 0.5);
+}
+
+TEST(Robustness, UnknownCriterionThrows) {
+  RobustnessConfig config;
+  config.n_seeds = 1;
+  const auto s = analyze_robustness(config);
+  EXPECT_THROW(s.by_name("nope"), decompeval::PreconditionError);
+}
+
+TEST(Robustness, RejectsZeroSeeds) {
+  RobustnessConfig config;
+  config.n_seeds = 0;
+  EXPECT_THROW(analyze_robustness(config), decompeval::PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Study-material integrity tests: the snippet corpus must carry everything
+// the pipeline consumes, with the paper's documented failure modes intact.
+#include <gtest/gtest.h>
+
+#include "snippets/snippet.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace decompeval::snippets;
+
+TEST(Snippets, FourPaperSnippetsInOrder) {
+  const auto& pool = study_snippets();
+  ASSERT_EQ(pool.size(), 4u);
+  EXPECT_EQ(pool[0].id, "AEEK");
+  EXPECT_EQ(pool[1].id, "BAPL");
+  EXPECT_EQ(pool[2].id, "TC");
+  EXPECT_EQ(pool[3].id, "POSTORDER");
+}
+
+TEST(Snippets, LookupById) {
+  EXPECT_EQ(snippet_by_id("TC").project, "openssl");
+  EXPECT_EQ(snippet_by_id("AEEK").project, "lighttpd");
+  EXPECT_EQ(snippet_by_id("POSTORDER").project, "coreutils");
+  EXPECT_THROW(snippet_by_id("NOPE"), decompeval::PreconditionError);
+}
+
+class SnippetIntegrity : public ::testing::TestWithParam<std::string> {
+ protected:
+  const Snippet& snippet() const { return snippet_by_id(GetParam()); }
+};
+
+TEST_P(SnippetIntegrity, HasTwoQuestionsWithKeys) {
+  ASSERT_EQ(snippet().questions.size(), 2u);
+  for (const auto& q : snippet().questions) {
+    EXPECT_FALSE(q.prompt.empty());
+    EXPECT_FALSE(q.answer_key.empty());
+    EXPECT_GT(q.base_seconds, 30.0);
+    EXPECT_GT(q.dirty_time_factor, 0.5);
+    EXPECT_LT(q.dirty_time_factor, 2.0);
+  }
+}
+
+TEST_P(SnippetIntegrity, AlignmentsArePopulated) {
+  // The study design required at least three renamed/retyped variables.
+  EXPECT_GE(snippet().variable_alignment.size(), 3u);
+  EXPECT_GE(snippet().type_alignment.size(), 3u);
+  EXPECT_GE(snippet().aligned_lines.size(), 2u);
+  for (const auto& pair : snippet().variable_alignment) {
+    EXPECT_FALSE(pair.original.empty());
+    EXPECT_FALSE(pair.recovered.empty());
+  }
+}
+
+TEST_P(SnippetIntegrity, SourcesFitOnOneScreen) {
+  // §III-B: snippets were limited to 50 lines.
+  for (const auto variant :
+       {Variant::kOriginal, Variant::kHexRays, Variant::kDirty}) {
+    const std::string& src = snippet().source(variant);
+    const long lines = std::count(src.begin(), src.end(), '\n') + 1;
+    EXPECT_LE(lines, 50) << snippet().id;
+    EXPECT_GE(lines, 10) << snippet().id;
+  }
+}
+
+TEST_P(SnippetIntegrity, AlignedNamesAppearInSources) {
+  for (const auto& pair : snippet().variable_alignment) {
+    EXPECT_NE(snippet().original_source.find(pair.original),
+              std::string::npos)
+        << snippet().id << ": " << pair.original;
+    EXPECT_NE(snippet().dirty_source.find(pair.recovered), std::string::npos)
+        << snippet().id << ": " << pair.recovered;
+  }
+}
+
+TEST_P(SnippetIntegrity, QualityParametersInRange) {
+  const Snippet& s = snippet();
+  for (const double q : {s.dirty_name_quality, s.dirty_type_quality,
+                         s.hexrays_name_quality, s.hexrays_type_quality}) {
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+  }
+  EXPECT_GE(s.n_arguments, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SnippetIntegrity,
+                         ::testing::Values("AEEK", "BAPL", "TC", "POSTORDER"));
+
+TEST(Snippets, HexRaysVariantsUsePlaceholderNames) {
+  for (const auto& s : study_snippets()) {
+    EXPECT_NE(s.hexrays_source.find("a1"), std::string::npos) << s.id;
+    EXPECT_EQ(s.hexrays_source.find("ipos"), std::string::npos) << s.id;
+  }
+}
+
+TEST(Snippets, DocumentedFailureModesPresent) {
+  // AEEK: `ret` names a variable that is never returned.
+  const Snippet& aeek = snippet_by_id("AEEK");
+  EXPECT_NE(aeek.dirty_source.find("int ret;"), std::string::npos);
+  EXPECT_NE(aeek.dirty_source.find("return next;"), std::string::npos);
+  // BAPL: the buffer argument is mistyped as SSL *.
+  EXPECT_NE(snippet_by_id("BAPL").dirty_source.find("SSL *s"),
+            std::string::npos);
+  // POSTORDER: the function pointer carries `void *` while the aux slot
+  // gets the plausible cmpfn234 type (the argument swap of Figure 4).
+  const Snippet& postorder = snippet_by_id("POSTORDER");
+  EXPECT_NE(postorder.dirty_source.find("void *e"), std::string::npos);
+  EXPECT_NE(postorder.dirty_source.find("cmpfn234 cmp"), std::string::npos);
+  // TC's questions reward DIRTY, but its types were rated poorly.
+  EXPECT_LT(snippet_by_id("TC").dirty_type_quality, 0.2);
+}
+
+TEST(Snippets, CalibrationAveragesToNullTreatmentEffect) {
+  // The paper's headline: no average treatment effect. The generative
+  // calibration should put the cohort-mean DIRTY shift near zero.
+  double total_shift = 0.0;
+  int n = 0;
+  for (const auto& s : study_snippets()) {
+    for (const auto& q : s.questions) {
+      // Mean trust is 0.5 (Beta(2,2)).
+      total_shift += q.dirty_correctness_shift - q.trust_penalty * 0.5;
+      ++n;
+    }
+  }
+  EXPECT_NEAR(total_shift / n, 0.0, 0.25);
+}
+
+TEST(Snippets, MetricInputsMirrorAlignments) {
+  const Snippet& s = snippet_by_id("BAPL");
+  const auto inputs = s.metric_inputs();
+  EXPECT_EQ(inputs.variable_pairs.size(), s.variable_alignment.size());
+  EXPECT_EQ(inputs.type_pairs.size(), s.type_alignment.size());
+  EXPECT_EQ(inputs.original_source, s.original_source);
+  EXPECT_EQ(inputs.recovered_source, s.dirty_source);
+}
+
+}  // namespace

@@ -1,0 +1,114 @@
+// Oracle tests for special functions and distributions. Reference values
+// from R (pnorm/qnorm/pt/pchisq/pf/dhyper/binom.test) and Abramowitz &
+// Stegun tables.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "statdist/distributions.h"
+#include "statdist/special.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace decompeval::statdist;
+
+TEST(Special, LogGammaMatchesKnownValues) {
+  EXPECT_NEAR(log_gamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(log_gamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(log_gamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  EXPECT_THROW(log_gamma(0.0), decompeval::PreconditionError);
+}
+
+TEST(Special, IncompleteGammaMatchesChiSquare) {
+  // P(a, x) with a=1 is 1 − exp(−x).
+  for (const double x : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+    EXPECT_NEAR(reg_lower_inc_gamma(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+  EXPECT_NEAR(reg_lower_inc_gamma(3.0, 2.0), 0.3233236, 1e-6);  // R pgamma(2,3)
+  EXPECT_NEAR(reg_upper_inc_gamma(3.0, 2.0), 1.0 - 0.3233236, 1e-6);
+}
+
+TEST(Special, IncompleteBetaMatchesR) {
+  EXPECT_NEAR(reg_inc_beta(2.0, 3.0, 0.4), 0.5248, 1e-4);  // pbeta(0.4,2,3)
+  EXPECT_NEAR(reg_inc_beta(0.5, 0.5, 0.3), 0.3690101, 1e-6);
+  EXPECT_DOUBLE_EQ(reg_inc_beta(1.0, 1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(reg_inc_beta(1.0, 1.0, 1.0), 1.0);
+}
+
+TEST(Special, LogChoose) {
+  EXPECT_NEAR(log_choose(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(log_choose(52, 5), std::log(2598960.0), 1e-8);
+  EXPECT_DOUBLE_EQ(log_choose(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(log_choose(7, 7), 0.0);
+}
+
+class ErfSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ErfSweep, SeriesMatchesStdErf) {
+  const double x = GetParam();
+  EXPECT_NEAR(erf_series(x), std::erf(x), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, ErfSweep,
+                         ::testing::Values(-3.0, -1.5, -0.5, -0.1, 0.0, 0.1,
+                                           0.5, 1.0, 1.5, 2.0, 3.0));
+
+TEST(Distributions, NormalCdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-9);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.1586553, 1e-6);
+}
+
+class NormalQuantileSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NormalQuantileSweep, InvertsCdf) {
+  const double p = GetParam();
+  EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, NormalQuantileSweep,
+                         ::testing::Values(0.001, 0.01, 0.025, 0.1, 0.3, 0.5,
+                                           0.7, 0.9, 0.975, 0.99, 0.999));
+
+TEST(Distributions, StudentTMatchesR) {
+  // R: pt(2.0, df=10) = 0.9633060
+  EXPECT_NEAR(student_t_cdf(2.0, 10.0), 0.9633060, 1e-6);
+  EXPECT_NEAR(student_t_cdf(0.0, 5.0), 0.5, 1e-12);
+  EXPECT_NEAR(student_t_cdf(-2.0, 10.0), 1.0 - 0.9633060, 1e-6);
+  // Two-sided p: 2*(1 − pt(2, 10)).
+  EXPECT_NEAR(student_t_two_sided_p(2.0, 10.0), 0.07338803, 1e-6);
+}
+
+TEST(Distributions, ChiSquaredMatchesR) {
+  EXPECT_NEAR(chi_squared_cdf(3.841459, 1.0), 0.95, 1e-6);
+  EXPECT_NEAR(chi_squared_cdf(5.0, 3.0), 0.8282029, 1e-6);
+}
+
+TEST(Distributions, FMatchesR) {
+  // Verified against an independent incomplete-beta implementation:
+  // pf(2.5, 3, 12) = 0.8908453
+  EXPECT_NEAR(f_cdf(2.5, 3.0, 12.0), 0.8908453, 1e-6);
+  EXPECT_DOUBLE_EQ(f_cdf(0.0, 2.0, 2.0), 0.0);
+}
+
+TEST(Distributions, HypergeometricMatchesR) {
+  // R: dhyper(2, 5, 5, 4) = 0.4761905
+  EXPECT_NEAR(hypergeometric_pmf(2, 5, 10, 4), 0.4761905, 1e-6);
+  EXPECT_DOUBLE_EQ(hypergeometric_pmf(6, 5, 10, 4), 0.0);
+  double total = 0.0;
+  for (unsigned k = 0; k <= 4; ++k) total += hypergeometric_pmf(k, 5, 10, 4);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Distributions, BinomialPmfAndTest) {
+  EXPECT_NEAR(binomial_pmf(3, 10, 0.5), 0.1171875, 1e-9);
+  // R: binom.test(8, 10, 0.5)$p.value = 0.109375
+  EXPECT_NEAR(binomial_test_two_sided(8, 10, 0.5), 0.109375, 1e-6);
+  // Extremes.
+  EXPECT_DOUBLE_EQ(binomial_pmf(0, 5, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 5, 1.0), 1.0);
+}
+
+}  // namespace

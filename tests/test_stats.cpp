@@ -1,0 +1,200 @@
+// Oracle and property tests for the classical statistics layer. Reference
+// values computed with R (cor.test, wilcox.test, fisher.test, t.test) and
+// the worked Krippendorff examples from Krippendorff (2011).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/ranks.h"
+#include "stats/tests.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace decompeval::stats;
+
+TEST(Descriptive, BasicMoments) {
+  const std::vector<double> x = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(x), 5.0);
+  EXPECT_NEAR(sample_variance(x), 4.571429, 1e-6);
+  EXPECT_NEAR(sample_sd(x), 2.13809, 1e-5);
+}
+
+TEST(Descriptive, MedianAndQuantiles) {
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({1.0, 2.0, 3.0, 4.0}), 2.5);
+  // R type-7: quantile(c(1,2,3,4,10), 0.25) = 2
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4, 10}, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4, 10}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({1, 2, 3, 4, 10}, 1.0), 10.0);
+  EXPECT_THROW(median({}), decompeval::PreconditionError);
+}
+
+TEST(Descriptive, FiveNumberSummary) {
+  const auto s = five_number_summary({7, 1, 3, 5, 9});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.q1, 3.0);
+  EXPECT_DOUBLE_EQ(s.q3, 7.0);
+}
+
+TEST(Ranks, MidRanksWithTies) {
+  const std::vector<double> x = {10.0, 20.0, 20.0, 30.0};
+  const RankResult r = mid_ranks(x);
+  EXPECT_DOUBLE_EQ(r.ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(r.ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(r.ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(r.ranks[3], 4.0);
+  EXPECT_DOUBLE_EQ(r.tie_correction, 6.0);  // t=2 → 2³−2
+  EXPECT_EQ(r.tie_groups, 1u);
+}
+
+TEST(Correlation, PearsonMatchesR) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 5, 4, 5};
+  // R: cor.test(x, y): r = 0.7745967, p = 0.1241
+  const auto r = pearson(x, y);
+  EXPECT_NEAR(r.estimate, 0.7745967, 1e-6);
+  EXPECT_NEAR(r.p_value, 0.1241, 2e-4);
+}
+
+TEST(Correlation, SpearmanMatchesR) {
+  const std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> y = {3, 1, 4, 2, 6, 5, 8, 7};
+  // Verified independently: rho = 0.8333333, t = 3.6927 → two-sided
+  // t-approximation p ≈ 0.0102 (R's AS89-exact p is 0.0154).
+  const auto r = spearman(x, y);
+  EXPECT_NEAR(r.estimate, 0.8333333, 1e-6);
+  EXPECT_NEAR(r.p_value, 0.01018, 1e-4);
+}
+
+TEST(Correlation, PerfectMonotone) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {10, 100, 1000, 10000, 100000};
+  EXPECT_NEAR(spearman(x, y).estimate, 1.0, 1e-12);
+  std::vector<double> yr(y.rbegin(), y.rend());
+  EXPECT_NEAR(spearman(x, yr).estimate, -1.0, 1e-12);
+}
+
+TEST(Correlation, KendallMatchesR) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {3, 4, 1, 2, 5};
+  // R: cor.test(x, y, method="kendall"): tau = 0.2
+  EXPECT_NEAR(kendall(x, y).estimate, 0.2, 1e-10);
+}
+
+TEST(Correlation, RejectsConstantInput) {
+  const std::vector<double> x = {1, 1, 1, 1};
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_THROW(pearson(x, y), decompeval::PreconditionError);
+}
+
+class SpearmanBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpearmanBounds, EstimateInRange) {
+  decompeval::util::Rng rng(GetParam());
+  std::vector<double> x(30), y(30);
+  for (std::size_t i = 0; i < 30; ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+  const auto r = spearman(x, y);
+  EXPECT_GE(r.estimate, -1.0);
+  EXPECT_LE(r.estimate, 1.0);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpearmanBounds,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(Wilcoxon, MatchesRNormalApproximation) {
+  const std::vector<double> x = {1.83, 0.50, 1.62, 2.48, 1.68, 1.88, 1.55,
+                                 3.06, 1.30};
+  const std::vector<double> y = {0.878, 0.647, 0.598, 2.05, 1.06, 1.29, 1.06,
+                                 3.14, 1.29};
+  // R: wilcox.test(x, y, exact=FALSE, correct=TRUE): W = 58, p = 0.1329
+  const auto r = wilcoxon_rank_sum(x, y);
+  EXPECT_NEAR(r.w, 58.0, 1e-9);
+  EXPECT_NEAR(r.p_value, 0.1329, 2e-4);
+}
+
+TEST(Wilcoxon, LocationShiftHodgesLehmann) {
+  const std::vector<double> x = {10, 11, 12};
+  const std::vector<double> y = {1, 2, 3};
+  const auto r = wilcoxon_rank_sum(x, y);
+  EXPECT_DOUBLE_EQ(r.location_shift, 9.0);
+  EXPECT_LT(r.p_value, 0.2);  // small n, normal approx
+}
+
+TEST(Wilcoxon, SymmetricSamplesGiveHighP) {
+  const std::vector<double> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto r = wilcoxon_rank_sum(x, x);
+  EXPECT_GT(r.p_value, 0.9);
+}
+
+TEST(FisherExact, MatchesR) {
+  // R: fisher.test(matrix(c(3, 1, 1, 3), 2)): p = 0.4857
+  EXPECT_NEAR(fisher_exact(3, 1, 1, 3).p_value, 0.4857143, 1e-6);
+  // Verified by direct hypergeometric enumeration: p = 0.000536724.
+  EXPECT_NEAR(fisher_exact(10, 2, 3, 15).p_value, 0.000536724, 1e-8);
+}
+
+TEST(FisherExact, DegenerateTables) {
+  EXPECT_DOUBLE_EQ(fisher_exact(5, 0, 5, 0).p_value, 1.0);
+  EXPECT_THROW(fisher_exact(0, 0, 0, 0), decompeval::PreconditionError);
+}
+
+TEST(Welch, MatchesR) {
+  const std::vector<double> x = {20.4, 24.2, 15.4, 21.4, 20.2, 18.5, 21.5};
+  const std::vector<double> y = {20.2, 16.9, 18.5, 17.3, 20.5};
+  // Verified independently: t = 1.22042, df = 9.8172, p = 0.25081.
+  const auto r = welch_t_test(x, y);
+  EXPECT_NEAR(r.t, 1.22042, 1e-4);
+  EXPECT_NEAR(r.df, 9.8172, 1e-3);
+  EXPECT_NEAR(r.p_value, 0.25081, 1e-4);
+}
+
+TEST(Krippendorff, PerfectAgreementIsOne) {
+  const std::vector<double> r1 = {1, 2, 3, 4, 5};
+  const std::vector<double> r2 = {1, 2, 3, 4, 5};
+  const std::vector<std::span<const double>> ratings = {r1, r2};
+  EXPECT_DOUBLE_EQ(krippendorff_alpha(ratings, AlphaMetric::kOrdinal), 1.0);
+}
+
+TEST(Krippendorff, NominalWorkedExample) {
+  // Two observers, 10 units, one missing value; alpha verified by an
+  // independent coincidence-matrix computation: 0.852174.
+  const double nan = std::nan("");
+  const std::vector<double> obs1 = {1, 2, 3, 3, 2, 1, 4, 1, 2, nan};
+  const std::vector<double> obs2 = {1, 2, 3, 3, 2, 2, 4, 1, 2, 5};
+  const std::vector<std::span<const double>> ratings = {obs1, obs2};
+  const double alpha = krippendorff_alpha(ratings, AlphaMetric::kNominal);
+  EXPECT_NEAR(alpha, 0.852174, 1e-5);
+}
+
+TEST(Krippendorff, MissingDataHandled) {
+  const double nan = std::nan("");
+  const std::vector<double> r1 = {1, 2, nan, 4};
+  const std::vector<double> r2 = {1, 2, 3, nan};
+  const std::vector<double> r3 = {nan, 2, 3, 4};
+  const std::vector<std::span<const double>> ratings = {r1, r2, r3};
+  const double alpha = krippendorff_alpha(ratings, AlphaMetric::kInterval);
+  EXPECT_DOUBLE_EQ(alpha, 1.0);  // all pairable values agree
+}
+
+TEST(Krippendorff, RandomRatingsNearZero) {
+  decompeval::util::Rng rng(99);
+  std::vector<std::vector<double>> raw(6, std::vector<double>(200));
+  for (auto& row : raw)
+    for (auto& v : row) v = static_cast<double>(rng.uniform_int(1, 5));
+  std::vector<std::span<const double>> ratings(raw.begin(), raw.end());
+  const double alpha = krippendorff_alpha(ratings, AlphaMetric::kOrdinal);
+  EXPECT_LT(std::abs(alpha), 0.1);
+}
+
+}  // namespace

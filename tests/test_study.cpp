@@ -1,0 +1,275 @@
+// Cohort, design, response-model and engine tests.
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "snippets/snippet.h"
+#include "study/engine.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace decompeval::study;
+
+TEST(Cohort, CompositionMatchesConfig) {
+  CohortConfig config;
+  config.seed = 3;
+  const auto cohort = generate_cohort(config);
+  EXPECT_EQ(cohort.size(), 42u);
+  std::map<Occupation, int> counts;
+  for (const auto& p : cohort) ++counts[p.occupation];
+  EXPECT_EQ(counts[Occupation::kStudent], 31);
+  EXPECT_EQ(counts[Occupation::kProfessional], 10);
+  EXPECT_EQ(counts[Occupation::kUnemployed], 1);
+}
+
+TEST(Cohort, PlantsRapidResponders) {
+  CohortConfig config;
+  config.seed = 4;
+  const auto cohort = generate_cohort(config);
+  int rapid_students = 0, rapid_professionals = 0;
+  for (const auto& p : cohort) {
+    if (!p.rapid_responder) continue;
+    if (p.occupation == Occupation::kStudent) ++rapid_students;
+    if (p.occupation == Occupation::kProfessional) ++rapid_professionals;
+  }
+  EXPECT_EQ(rapid_students, 1);
+  EXPECT_EQ(rapid_professionals, 1);
+}
+
+TEST(Cohort, TraitsWithinExpectedRanges) {
+  CohortConfig config;
+  config.seed = 5;
+  for (const auto& p : generate_cohort(config)) {
+    EXPECT_GT(p.coding_experience_years, 0.0);
+    EXPECT_GT(p.re_experience_years, 0.0);
+    EXPECT_GT(p.ai_trust, 0.0);
+    EXPECT_LT(p.ai_trust, 1.0);
+    EXPECT_GT(p.completion_propensity, 0.0);
+    EXPECT_LE(p.completion_propensity, 1.0);
+  }
+}
+
+TEST(Cohort, ProfessionalsHaveMoreExperience) {
+  CohortConfig config;
+  config.seed = 6;
+  const auto cohort = generate_cohort(config);
+  double student_total = 0.0, pro_total = 0.0;
+  int n_students = 0, n_pros = 0;
+  for (const auto& p : cohort) {
+    if (p.occupation == Occupation::kStudent) {
+      student_total += p.coding_experience_years;
+      ++n_students;
+    } else if (p.occupation == Occupation::kProfessional) {
+      pro_total += p.coding_experience_years;
+      ++n_pros;
+    }
+  }
+  EXPECT_GT(pro_total / n_pros, student_total / n_students);
+}
+
+TEST(Design, EveryParticipantSeesEverySnippet) {
+  CohortConfig cc;
+  cc.seed = 7;
+  const auto cohort = generate_cohort(cc);
+  const auto& pool = decompeval::snippets::study_snippets();
+  const auto assignments = randomize_design(cohort, pool, 7);
+  EXPECT_EQ(assignments.size(), cohort.size() * pool.size());
+  std::map<std::size_t, std::set<std::size_t>> seen;
+  for (const auto& a : assignments) seen[a.participant_id].insert(a.snippet_index);
+  for (const auto& [pid, snippets_seen] : seen)
+    EXPECT_EQ(snippets_seen.size(), pool.size());
+}
+
+TEST(Design, TreatmentsAreRoughlyBalanced) {
+  CohortConfig cc;
+  cc.seed = 8;
+  const auto cohort = generate_cohort(cc);
+  const auto assignments =
+      randomize_design(cohort, decompeval::snippets::study_snippets(), 8);
+  int dirty = 0;
+  for (const auto& a : assignments)
+    if (a.treatment == Treatment::kDirty) ++dirty;
+  const double share = dirty / static_cast<double>(assignments.size());
+  EXPECT_NEAR(share, 0.5, 0.12);
+}
+
+TEST(ResponseModel, SkillIncreasesCorrectness) {
+  const auto& snippet = decompeval::snippets::study_snippets()[0];
+  ResponseModelConfig config;
+  decompeval::util::Rng rng(9);
+  Participant strong, weak;
+  strong.skill = 2.0;
+  weak.skill = -2.0;
+  strong.completion_propensity = weak.completion_propensity = 1.0;
+  int strong_correct = 0, weak_correct = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (simulate_response(strong, snippet, 0, 0, Treatment::kHexRays, config,
+                          rng)
+            .correct)
+      ++strong_correct;
+    if (simulate_response(weak, snippet, 0, 0, Treatment::kHexRays, config, rng)
+            .correct)
+      ++weak_correct;
+  }
+  EXPECT_GT(strong_correct, weak_correct + 100);
+}
+
+TEST(ResponseModel, TrustHurtsOnMisleadingQuestions) {
+  // POSTORDER Q2 carries a trust penalty under DIRTY.
+  const auto& postorder = decompeval::snippets::snippet_by_id("POSTORDER");
+  ResponseModelConfig config;
+  decompeval::util::Rng rng(10);
+  Participant trusting, skeptical;
+  trusting.ai_trust = 0.95;
+  skeptical.ai_trust = 0.05;
+  trusting.completion_propensity = skeptical.completion_propensity = 1.0;
+  int trusting_correct = 0, skeptical_correct = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (simulate_response(trusting, postorder, 3, 1, Treatment::kDirty, config,
+                          rng)
+            .correct)
+      ++trusting_correct;
+    if (simulate_response(skeptical, postorder, 3, 1, Treatment::kDirty,
+                          config, rng)
+            .correct)
+      ++skeptical_correct;
+  }
+  EXPECT_GT(skeptical_correct, trusting_correct + 100);
+}
+
+TEST(ResponseModel, RapidRespondersAreFastAndRandom) {
+  const auto& snippet = decompeval::snippets::study_snippets()[0];
+  ResponseModelConfig config;
+  decompeval::util::Rng rng(11);
+  Participant rapid;
+  rapid.rapid_responder = true;
+  for (int i = 0; i < 50; ++i) {
+    const auto r =
+        simulate_response(rapid, snippet, 0, 0, Treatment::kHexRays, config, rng);
+    EXPECT_TRUE(r.answered);
+    EXPECT_LT(r.seconds, config.rapid_seconds_max + 1.0);
+  }
+}
+
+TEST(ResponseModel, SlowerToCorrectUnderDirtyOnAeekQ2) {
+  const auto& aeek = decompeval::snippets::snippet_by_id("AEEK");
+  ResponseModelConfig config;
+  decompeval::util::Rng rng(12);
+  Participant p;
+  p.completion_propensity = 1.0;
+  double dirty_correct_time = 0.0, hex_correct_time = 0.0;
+  int nd = 0, nh = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto rd =
+        simulate_response(p, aeek, 0, 1, Treatment::kDirty, config, rng);
+    if (rd.correct) {
+      dirty_correct_time += rd.seconds;
+      ++nd;
+    }
+    const auto rh =
+        simulate_response(p, aeek, 0, 1, Treatment::kHexRays, config, rng);
+    if (rh.correct) {
+      hex_correct_time += rh.seconds;
+      ++nh;
+    }
+  }
+  ASSERT_GT(nd, 100);
+  ASSERT_GT(nh, 100);
+  EXPECT_GT(dirty_correct_time / nd, 1.3 * hex_correct_time / nh);
+}
+
+TEST(Opinions, DirtyNamesRatedBetterThanHexRays) {
+  const auto& snippet = decompeval::snippets::study_snippets()[1];  // BAPL
+  ResponseModelConfig config;
+  decompeval::util::Rng rng(13);
+  Participant p;
+  double dirty_total = 0.0, hex_total = 0.0;
+  int n = 0;
+  for (int i = 0; i < 300; ++i) {
+    const auto od = simulate_opinion(p, snippet, 1, Treatment::kDirty, config, rng);
+    const auto oh =
+        simulate_opinion(p, snippet, 1, Treatment::kHexRays, config, rng);
+    dirty_total += od.mean_name_rating();
+    hex_total += oh.mean_name_rating();
+    n += 1;
+  }
+  EXPECT_LT(dirty_total / n + 0.5, hex_total / n);  // lower = better
+}
+
+TEST(Engine, ExcludesRapidResponders) {
+  StudyConfig config;
+  config.seed = 14;
+  const auto data = run_study(config);
+  EXPECT_EQ(data.cohort.size(), 42u);
+  EXPECT_EQ(data.excluded_participants.size(), 2u);
+  for (const std::size_t id : data.excluded_participants)
+    EXPECT_TRUE(data.participant(id).rapid_responder);
+  // No response from an excluded participant survives.
+  for (const auto& r : data.responses)
+    EXPECT_EQ(data.excluded_participants.count(r.participant_id), 0u);
+}
+
+TEST(Engine, DeterministicForSeed) {
+  StudyConfig config;
+  config.seed = 15;
+  const auto a = run_study(config);
+  const auto b = run_study(config);
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    EXPECT_EQ(a.responses[i].correct, b.responses[i].correct);
+    EXPECT_DOUBLE_EQ(a.responses[i].seconds, b.responses[i].seconds);
+  }
+}
+
+TEST(Engine, ObservationCountsInPaperBallpark) {
+  StudyConfig config;
+  config.seed = 16;
+  const auto data = run_study(config);
+  std::size_t answered = 0, gradeable = 0;
+  for (const auto& r : data.responses) {
+    if (r.answered) ++answered;
+    if (r.answered && r.gradeable) ++gradeable;
+  }
+  // Paper: 296 timing observations, 273 gradeable, of 40 × 8 = 320.
+  EXPECT_GE(answered, 230u);
+  EXPECT_LE(answered, 320u);
+  EXPECT_LT(gradeable, answered);
+}
+
+TEST(Engine, OpinionsOnlyForAnsweredSnippets) {
+  StudyConfig config;
+  config.seed = 17;
+  const auto data = run_study(config);
+  EXPECT_FALSE(data.opinions.empty());
+  for (const auto& o : data.opinions) {
+    EXPECT_EQ(data.excluded_participants.count(o.participant_id), 0u);
+    EXPECT_EQ(o.name_ratings.size(),
+              decompeval::snippets::study_snippets()[o.snippet_index]
+                  .n_arguments);
+  }
+}
+
+TEST(Engine, WorksWithSyntheticPools) {
+  StudyConfig config;
+  config.seed = 18;
+  // Two-snippet pool exercise: the engine must handle any pool size.
+  std::vector<decompeval::snippets::Snippet> pool = {
+      decompeval::snippets::snippet_by_id("TC"),
+      decompeval::snippets::snippet_by_id("BAPL")};
+  const auto data = run_study(config, pool);
+  EXPECT_EQ(data.n_questions, 4u);
+  for (const auto& r : data.responses) EXPECT_LT(r.snippet_index, 2u);
+}
+
+TEST(ToString, EnumLabels) {
+  EXPECT_STREQ(to_string(Occupation::kStudent), "Student");
+  EXPECT_STREQ(to_string(Gender::kNoAnswer), "N/A");
+  EXPECT_STREQ(to_string(Education::kDoctorate), "Doctorate");
+  EXPECT_STREQ(to_string(AgeGroup::k18To24), "18-24");
+}
+
+}  // namespace

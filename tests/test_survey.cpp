@@ -1,0 +1,99 @@
+// Survey rendering and grading tests.
+#include <gtest/gtest.h>
+
+#include "study/engine.h"
+#include "study/survey.h"
+#include "util/check.h"
+
+namespace {
+
+using namespace decompeval;
+using namespace decompeval::study;
+
+TEST(SurveyEngine, NumberLines) {
+  const std::string numbered = SurveyEngine::number_lines("a\nb\nc");
+  EXPECT_NE(numbered.find(" 1 | a"), std::string::npos);
+  EXPECT_NE(numbered.find(" 3 | c"), std::string::npos);
+}
+
+TEST(SurveyEngine, RendersAssignedVariantOnly) {
+  const auto& pool = snippets::study_snippets();
+  SurveyEngine engine(pool);
+  Assignment dirty;
+  dirty.participant_id = 1;
+  dirty.snippet_index = 1;  // BAPL
+  dirty.treatment = Treatment::kDirty;
+  const SurveyPage page = engine.render_page(dirty);
+  EXPECT_EQ(page.snippet_id, "BAPL");
+  EXPECT_NE(page.code_listing.find("SSL *s"), std::string::npos);
+  // The participant must never see the original identifier names.
+  EXPECT_EQ(page.code_listing.find("aslash"), std::string::npos);
+  EXPECT_EQ(page.question_prompts.size(), 2u);
+  EXPECT_EQ(page.opinion_items.size(), pool[1].n_arguments);
+
+  Assignment hexrays = dirty;
+  hexrays.treatment = Treatment::kHexRays;
+  const SurveyPage raw = engine.render_page(hexrays);
+  EXPECT_NE(raw.code_listing.find("a1"), std::string::npos);
+  EXPECT_EQ(raw.code_listing.find("SSL"), std::string::npos);
+}
+
+TEST(SurveyEngine, SessionFollowsRandomizedOrder) {
+  const auto& pool = snippets::study_snippets();
+  StudyConfig config;
+  config.seed = 23;
+  const auto data = run_study(config);
+  SurveyEngine engine(pool);
+  const auto pages = engine.render_session(data.assignments, 0);
+  EXPECT_EQ(pages.size(), pool.size());
+  // Each snippet appears exactly once.
+  std::set<std::string> seen;
+  for (const auto& page : pages) seen.insert(page.snippet_id);
+  EXPECT_EQ(seen.size(), pool.size());
+}
+
+class GraderTest : public ::testing::Test {
+ protected:
+  static const Grader& grader() {
+    static const Grader kGrader =
+        Grader::from_snippets(snippets::study_snippets());
+    return kGrader;
+  }
+};
+
+TEST_F(GraderTest, BuildsOneRubricPerQuestion) {
+  EXPECT_EQ(grader().rubric_count(), 8u);
+  EXPECT_NO_THROW(grader().rubric("AEEK-Q1"));
+  EXPECT_THROW(grader().rubric("NOPE-Q9"), PreconditionError);
+}
+
+TEST_F(GraderTest, AcceptsTheAnswerKeyItself) {
+  for (const auto& snippet : snippets::study_snippets())
+    for (const auto& q : snippet.questions)
+      EXPECT_TRUE(grader().grade(q.id, q.answer_key)) << q.id;
+}
+
+TEST_F(GraderTest, AcceptsParaphrase) {
+  EXPECT_TRUE(grader().grade(
+      "AEEK-Q2",
+      "It either returns NULL when nothing is found or a pointer to the "
+      "element that was extracted."));
+}
+
+TEST_F(GraderTest, RejectsUnrelatedAnswer) {
+  EXPECT_FALSE(grader().grade("AEEK-Q2", "It sorts the array."));
+  EXPECT_FALSE(grader().grade("TC-Q1", "no idea"));
+}
+
+TEST_F(GraderTest, CaseInsensitive) {
+  EXPECT_TRUE(grader().grade(
+      "BAPL-Q1", "USR/BIN — EXACTLY ONE SEPARATOR IS KEPT AT THE JOIN."));
+}
+
+TEST(Grader, RejectsEmptyRubrics) {
+  GradingRubric empty;
+  empty.question_id = "X";
+  EXPECT_THROW(Grader({empty}), PreconditionError);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+// Tokenization and surface-similarity metric tests.
+#include <gtest/gtest.h>
+
+#include "text/bleu.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace decompeval::text;
+
+TEST(SplitIdentifier, SnakeCase) {
+  EXPECT_EQ(split_identifier("buffer_append_path_len"),
+            (std::vector<std::string>{"buffer", "append", "path", "len"}));
+}
+
+TEST(SplitIdentifier, CamelCase) {
+  EXPECT_EQ(split_identifier("arrayGetIndex"),
+            (std::vector<std::string>{"array", "get", "index"}));
+}
+
+TEST(SplitIdentifier, AcronymRuns) {
+  EXPECT_EQ(split_identifier("HTMLParser"),
+            (std::vector<std::string>{"html", "parser"}));
+  EXPECT_EQ(split_identifier("SSL_ctx"),
+            (std::vector<std::string>{"ssl", "ctx"}));
+}
+
+TEST(SplitIdentifier, DigitBoundaries) {
+  EXPECT_EQ(split_identifier("tree234"),
+            (std::vector<std::string>{"tree", "234"}));
+  EXPECT_EQ(split_identifier("pad7"), (std::vector<std::string>{"pad", "7"}));
+}
+
+TEST(SplitIdentifier, EdgeCases) {
+  EXPECT_TRUE(split_identifier("").empty());
+  EXPECT_TRUE(split_identifier("___").empty());
+  EXPECT_EQ(split_identifier("x"), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(split_identifier("__int64"),
+            (std::vector<std::string>{"int", "64"}));
+}
+
+TEST(TokenizeCode, OperatorsAndIdentifiers) {
+  const auto tokens = tokenize_code("v7 = *(a1 + 8); x->used++;");
+  const std::vector<std::string> expected = {"v7", "=",  "*",  "(",  "a1",
+                                             "+",  "8",  ")",  ";",  "x",
+                                             "->", "used", "++", ";"};
+  EXPECT_EQ(tokens, expected);
+}
+
+TEST(Ngrams, BasicAndDegenerate) {
+  const std::vector<std::string> tokens = {"a", "b", "c"};
+  EXPECT_EQ(ngrams(tokens, 1).size(), 3u);
+  EXPECT_EQ(ngrams(tokens, 2).size(), 2u);
+  EXPECT_EQ(ngrams(tokens, 3).size(), 1u);
+  EXPECT_TRUE(ngrams(tokens, 4).empty());
+  EXPECT_TRUE(ngrams(tokens, 0).empty());
+}
+
+TEST(CharNgrams, Basic) {
+  EXPECT_EQ(char_ngrams("abcd", 2),
+            (std::vector<std::string>{"ab", "bc", "cd"}));
+  EXPECT_TRUE(char_ngrams("ab", 3).empty());
+}
+
+TEST(Levenshtein, KnownValues) {
+  EXPECT_EQ(levenshtein("kitten", "sitting"), 3u);
+  EXPECT_EQ(levenshtein("", "abc"), 3u);
+  EXPECT_EQ(levenshtein("abc", ""), 3u);
+  EXPECT_EQ(levenshtein("same", "same"), 0u);
+  EXPECT_EQ(levenshtein("size", "length"), 6u);
+}
+
+TEST(Levenshtein, Normalized) {
+  EXPECT_DOUBLE_EQ(normalized_levenshtein("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_levenshtein("abc", ""), 1.0);
+  EXPECT_NEAR(normalized_levenshtein("kitten", "sitting"), 3.0 / 7.0, 1e-12);
+}
+
+class LevenshteinProperties : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::string random_string(decompeval::util::Rng& rng) {
+    const std::size_t len = rng.uniform_index(12);
+    std::string s;
+    for (std::size_t i = 0; i < len; ++i)
+      s.push_back(static_cast<char>('a' + rng.uniform_index(4)));
+    return s;
+  }
+};
+
+TEST_P(LevenshteinProperties, SymmetryAndTriangle) {
+  decompeval::util::Rng rng(GetParam());
+  for (int round = 0; round < 20; ++round) {
+    const std::string a = random_string(rng);
+    const std::string b = random_string(rng);
+    const std::string c = random_string(rng);
+    EXPECT_EQ(levenshtein(a, b), levenshtein(b, a));
+    EXPECT_LE(levenshtein(a, c), levenshtein(a, b) + levenshtein(b, c));
+    // Distance bounded by longer string length.
+    EXPECT_LE(levenshtein(a, b), std::max(a.size(), b.size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LevenshteinProperties,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(Jaccard, SetSemantics) {
+  EXPECT_DOUBLE_EQ(jaccard({"a", "b"}, {"b", "c"}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(jaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard({"a"}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard({"a", "a", "b"}, {"a", "b"}), 1.0);  // duplicates
+}
+
+TEST(NameJaccard, SubtokenOverlap) {
+  EXPECT_DOUBLE_EQ(name_jaccard("buffer_len", "buffer_size"), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(name_jaccard("size", "length"), 0.0);
+  EXPECT_DOUBLE_EQ(name_jaccard("getIndex", "get_index"), 1.0);
+}
+
+TEST(ExactMatch, Accuracy) {
+  const std::vector<std::string> pred = {"a", "b", "c", "d"};
+  const std::vector<std::string> ref = {"a", "x", "c", "y"};
+  EXPECT_DOUBLE_EQ(exact_match_accuracy(pred, ref), 0.5);
+}
+
+TEST(Bleu, IdenticalSequencesScoreOne) {
+  const std::vector<std::string> tokens = {"the", "quick", "brown", "fox",
+                                           "jumps"};
+  EXPECT_NEAR(bleu(tokens, tokens).bleu, 1.0, 1e-12);
+}
+
+TEST(Bleu, DisjointSequencesScoreZero) {
+  const std::vector<std::string> a = {"a", "b", "c", "d"};
+  const std::vector<std::string> b = {"w", "x", "y", "z"};
+  EXPECT_NEAR(bleu(a, b).bleu, 0.0, 1e-9);
+}
+
+TEST(Bleu, BrevityPenaltyApplies) {
+  const std::vector<std::string> ref = {"a", "b", "c", "d", "e", "f"};
+  const std::vector<std::string> shorter = {"a", "b", "c"};
+  const auto score = bleu(shorter, ref);
+  EXPECT_LT(score.brevity_penalty, 1.0);
+  EXPECT_GT(score.brevity_penalty, 0.0);
+}
+
+TEST(Bleu, SmoothingKeepsShortPairsNonZero) {
+  const std::vector<std::string> cand = {"size", "buf"};
+  const std::vector<std::string> ref = {"size", "buffer"};
+  BleuOptions smooth_on;
+  const auto s = bleu(cand, ref, smooth_on);
+  EXPECT_GT(s.bleu, 0.0);
+  BleuOptions smooth_off;
+  smooth_off.smooth = false;
+  EXPECT_DOUBLE_EQ(bleu(cand, ref, smooth_off).bleu, 0.0);
+}
+
+TEST(Bleu, CorpusPoolsCounts) {
+  const std::vector<std::vector<std::string>> cands = {{"a", "b"}, {"c", "d"}};
+  const std::vector<std::vector<std::string>> refs = {{"a", "b"}, {"c", "d"}};
+  EXPECT_NEAR(corpus_bleu(cands, refs).bleu, 1.0, 1e-12);
+}
+
+class BleuBounds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BleuBounds, ScoreInUnitInterval) {
+  decompeval::util::Rng rng(GetParam());
+  std::vector<std::string> cand, ref;
+  const char* vocab[] = {"x", "y", "z", "w", "v"};
+  for (std::size_t i = 0; i < 3 + rng.uniform_index(10); ++i)
+    cand.push_back(vocab[rng.uniform_index(5)]);
+  for (std::size_t i = 0; i < 3 + rng.uniform_index(10); ++i)
+    ref.push_back(vocab[rng.uniform_index(5)]);
+  const auto s = bleu(cand, ref);
+  EXPECT_GE(s.bleu, 0.0);
+  EXPECT_LE(s.bleu, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BleuBounds,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace

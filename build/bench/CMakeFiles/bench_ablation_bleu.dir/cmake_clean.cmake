@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bleu.dir/bench_ablation_bleu.cpp.o"
+  "CMakeFiles/bench_ablation_bleu.dir/bench_ablation_bleu.cpp.o.d"
+  "bench_ablation_bleu"
+  "bench_ablation_bleu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bleu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

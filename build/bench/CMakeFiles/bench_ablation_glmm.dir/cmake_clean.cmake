@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_glmm.dir/bench_ablation_glmm.cpp.o"
+  "CMakeFiles/bench_ablation_glmm.dir/bench_ablation_glmm.cpp.o.d"
+  "bench_ablation_glmm"
+  "bench_ablation_glmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_glmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

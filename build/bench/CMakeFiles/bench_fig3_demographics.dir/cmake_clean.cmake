@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_demographics.dir/bench_fig3_demographics.cpp.o"
+  "CMakeFiles/bench_fig3_demographics.dir/bench_fig3_demographics.cpp.o.d"
+  "bench_fig3_demographics"
+  "bench_fig3_demographics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_demographics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

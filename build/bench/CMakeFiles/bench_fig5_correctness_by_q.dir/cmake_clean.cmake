@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_correctness_by_q.dir/bench_fig5_correctness_by_q.cpp.o"
+  "CMakeFiles/bench_fig5_correctness_by_q.dir/bench_fig5_correctness_by_q.cpp.o.d"
+  "bench_fig5_correctness_by_q"
+  "bench_fig5_correctness_by_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_correctness_by_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_bapl_time.dir/bench_fig6_bapl_time.cpp.o"
+  "CMakeFiles/bench_fig6_bapl_time.dir/bench_fig6_bapl_time.cpp.o.d"
+  "bench_fig6_bapl_time"
+  "bench_fig6_bapl_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_bapl_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

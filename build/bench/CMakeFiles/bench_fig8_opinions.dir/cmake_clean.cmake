@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_opinions.dir/bench_fig8_opinions.cpp.o"
+  "CMakeFiles/bench_fig8_opinions.dir/bench_fig8_opinions.cpp.o.d"
+  "bench_fig8_opinions"
+  "bench_fig8_opinions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_opinions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_sweep.dir/bench_recovery_sweep.cpp.o"
+  "CMakeFiles/bench_recovery_sweep.dir/bench_recovery_sweep.cpp.o.d"
+  "bench_recovery_sweep"
+  "bench_recovery_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

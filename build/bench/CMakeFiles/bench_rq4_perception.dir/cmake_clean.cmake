@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq4_perception.dir/bench_rq4_perception.cpp.o"
+  "CMakeFiles/bench_rq4_perception.dir/bench_rq4_perception.cpp.o.d"
+  "bench_rq4_perception"
+  "bench_rq4_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq4_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rq5_humaneval.dir/bench_rq5_humaneval.cpp.o"
+  "CMakeFiles/bench_rq5_humaneval.dir/bench_rq5_humaneval.cpp.o.d"
+  "bench_rq5_humaneval"
+  "bench_rq5_humaneval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rq5_humaneval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_snippets.dir/bench_scaling_snippets.cpp.o"
+  "CMakeFiles/bench_scaling_snippets.dir/bench_scaling_snippets.cpp.o.d"
+  "bench_scaling_snippets"
+  "bench_scaling_snippets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_snippets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_metric_correct.dir/bench_table4_metric_correct.cpp.o"
+  "CMakeFiles/bench_table4_metric_correct.dir/bench_table4_metric_correct.cpp.o.d"
+  "bench_table4_metric_correct"
+  "bench_table4_metric_correct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_metric_correct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table4_metric_correct.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_metric_correct.
+# This may be replaced when dependencies are built.

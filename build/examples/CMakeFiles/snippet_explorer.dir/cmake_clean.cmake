@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snippet_explorer.dir/snippet_explorer.cpp.o"
+  "CMakeFiles/snippet_explorer.dir/snippet_explorer.cpp.o.d"
+  "snippet_explorer"
+  "snippet_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snippet_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for snippet_explorer.
+# This may be replaced when dependencies are built.

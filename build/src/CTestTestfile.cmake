@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("linalg")
+subdirs("statdist")
+subdirs("stats")
+subdirs("mixed")
+subdirs("text")
+subdirs("lang")
+subdirs("snippets")
+subdirs("decompiler")
+subdirs("embed")
+subdirs("metrics")
+subdirs("study")
+subdirs("analysis")
+subdirs("report")
+subdirs("core")

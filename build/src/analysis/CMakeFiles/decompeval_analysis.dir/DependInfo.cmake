@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/figures.cpp" "src/analysis/CMakeFiles/decompeval_analysis.dir/figures.cpp.o" "gcc" "src/analysis/CMakeFiles/decompeval_analysis.dir/figures.cpp.o.d"
+  "/root/repo/src/analysis/power.cpp" "src/analysis/CMakeFiles/decompeval_analysis.dir/power.cpp.o" "gcc" "src/analysis/CMakeFiles/decompeval_analysis.dir/power.cpp.o.d"
+  "/root/repo/src/analysis/qualitative.cpp" "src/analysis/CMakeFiles/decompeval_analysis.dir/qualitative.cpp.o" "gcc" "src/analysis/CMakeFiles/decompeval_analysis.dir/qualitative.cpp.o.d"
+  "/root/repo/src/analysis/robustness.cpp" "src/analysis/CMakeFiles/decompeval_analysis.dir/robustness.cpp.o" "gcc" "src/analysis/CMakeFiles/decompeval_analysis.dir/robustness.cpp.o.d"
+  "/root/repo/src/analysis/rq1_correctness.cpp" "src/analysis/CMakeFiles/decompeval_analysis.dir/rq1_correctness.cpp.o" "gcc" "src/analysis/CMakeFiles/decompeval_analysis.dir/rq1_correctness.cpp.o.d"
+  "/root/repo/src/analysis/rq2_timing.cpp" "src/analysis/CMakeFiles/decompeval_analysis.dir/rq2_timing.cpp.o" "gcc" "src/analysis/CMakeFiles/decompeval_analysis.dir/rq2_timing.cpp.o.d"
+  "/root/repo/src/analysis/rq3_opinions.cpp" "src/analysis/CMakeFiles/decompeval_analysis.dir/rq3_opinions.cpp.o" "gcc" "src/analysis/CMakeFiles/decompeval_analysis.dir/rq3_opinions.cpp.o.d"
+  "/root/repo/src/analysis/rq4_perception.cpp" "src/analysis/CMakeFiles/decompeval_analysis.dir/rq4_perception.cpp.o" "gcc" "src/analysis/CMakeFiles/decompeval_analysis.dir/rq4_perception.cpp.o.d"
+  "/root/repo/src/analysis/rq5_metrics.cpp" "src/analysis/CMakeFiles/decompeval_analysis.dir/rq5_metrics.cpp.o" "gcc" "src/analysis/CMakeFiles/decompeval_analysis.dir/rq5_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/study/CMakeFiles/decompeval_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/mixed/CMakeFiles/decompeval_mixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/decompeval_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/decompeval_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/decompeval_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/snippets/CMakeFiles/decompeval_snippets.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/decompeval_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/decompeval_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/decompeval_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/decompeval_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/statdist/CMakeFiles/decompeval_statdist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

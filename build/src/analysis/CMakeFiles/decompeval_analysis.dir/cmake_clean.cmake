@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_analysis.dir/figures.cpp.o"
+  "CMakeFiles/decompeval_analysis.dir/figures.cpp.o.d"
+  "CMakeFiles/decompeval_analysis.dir/power.cpp.o"
+  "CMakeFiles/decompeval_analysis.dir/power.cpp.o.d"
+  "CMakeFiles/decompeval_analysis.dir/qualitative.cpp.o"
+  "CMakeFiles/decompeval_analysis.dir/qualitative.cpp.o.d"
+  "CMakeFiles/decompeval_analysis.dir/robustness.cpp.o"
+  "CMakeFiles/decompeval_analysis.dir/robustness.cpp.o.d"
+  "CMakeFiles/decompeval_analysis.dir/rq1_correctness.cpp.o"
+  "CMakeFiles/decompeval_analysis.dir/rq1_correctness.cpp.o.d"
+  "CMakeFiles/decompeval_analysis.dir/rq2_timing.cpp.o"
+  "CMakeFiles/decompeval_analysis.dir/rq2_timing.cpp.o.d"
+  "CMakeFiles/decompeval_analysis.dir/rq3_opinions.cpp.o"
+  "CMakeFiles/decompeval_analysis.dir/rq3_opinions.cpp.o.d"
+  "CMakeFiles/decompeval_analysis.dir/rq4_perception.cpp.o"
+  "CMakeFiles/decompeval_analysis.dir/rq4_perception.cpp.o.d"
+  "CMakeFiles/decompeval_analysis.dir/rq5_metrics.cpp.o"
+  "CMakeFiles/decompeval_analysis.dir/rq5_metrics.cpp.o.d"
+  "libdecompeval_analysis.a"
+  "libdecompeval_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_core.dir/experiment_registry.cpp.o"
+  "CMakeFiles/decompeval_core.dir/experiment_registry.cpp.o.d"
+  "CMakeFiles/decompeval_core.dir/replication.cpp.o"
+  "CMakeFiles/decompeval_core.dir/replication.cpp.o.d"
+  "libdecompeval_core.a"
+  "libdecompeval_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

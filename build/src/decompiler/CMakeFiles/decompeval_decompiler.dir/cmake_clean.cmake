@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_decompiler.dir/dirty_model.cpp.o"
+  "CMakeFiles/decompeval_decompiler.dir/dirty_model.cpp.o.d"
+  "CMakeFiles/decompeval_decompiler.dir/generator.cpp.o"
+  "CMakeFiles/decompeval_decompiler.dir/generator.cpp.o.d"
+  "CMakeFiles/decompeval_decompiler.dir/pseudo_decompiler.cpp.o"
+  "CMakeFiles/decompeval_decompiler.dir/pseudo_decompiler.cpp.o.d"
+  "libdecompeval_decompiler.a"
+  "libdecompeval_decompiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_decompiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

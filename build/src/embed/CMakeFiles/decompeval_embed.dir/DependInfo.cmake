@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/corpus.cpp" "src/embed/CMakeFiles/decompeval_embed.dir/corpus.cpp.o" "gcc" "src/embed/CMakeFiles/decompeval_embed.dir/corpus.cpp.o.d"
+  "/root/repo/src/embed/embedding.cpp" "src/embed/CMakeFiles/decompeval_embed.dir/embedding.cpp.o" "gcc" "src/embed/CMakeFiles/decompeval_embed.dir/embedding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/decompeval_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/decompeval_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_embed.dir/corpus.cpp.o"
+  "CMakeFiles/decompeval_embed.dir/corpus.cpp.o.d"
+  "CMakeFiles/decompeval_embed.dir/embedding.cpp.o"
+  "CMakeFiles/decompeval_embed.dir/embedding.cpp.o.d"
+  "libdecompeval_embed.a"
+  "libdecompeval_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

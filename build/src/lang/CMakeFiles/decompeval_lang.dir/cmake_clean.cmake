@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_lang.dir/analysis.cpp.o"
+  "CMakeFiles/decompeval_lang.dir/analysis.cpp.o.d"
+  "CMakeFiles/decompeval_lang.dir/interp.cpp.o"
+  "CMakeFiles/decompeval_lang.dir/interp.cpp.o.d"
+  "CMakeFiles/decompeval_lang.dir/lexer.cpp.o"
+  "CMakeFiles/decompeval_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/decompeval_lang.dir/parser.cpp.o"
+  "CMakeFiles/decompeval_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/decompeval_lang.dir/printer.cpp.o"
+  "CMakeFiles/decompeval_lang.dir/printer.cpp.o.d"
+  "libdecompeval_lang.a"
+  "libdecompeval_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/decompeval_linalg.dir/matrix.cpp.o.d"
+  "libdecompeval_linalg.a"
+  "libdecompeval_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/bertscore.cpp" "src/metrics/CMakeFiles/decompeval_metrics.dir/bertscore.cpp.o" "gcc" "src/metrics/CMakeFiles/decompeval_metrics.dir/bertscore.cpp.o.d"
+  "/root/repo/src/metrics/codebleu.cpp" "src/metrics/CMakeFiles/decompeval_metrics.dir/codebleu.cpp.o" "gcc" "src/metrics/CMakeFiles/decompeval_metrics.dir/codebleu.cpp.o.d"
+  "/root/repo/src/metrics/human_eval.cpp" "src/metrics/CMakeFiles/decompeval_metrics.dir/human_eval.cpp.o" "gcc" "src/metrics/CMakeFiles/decompeval_metrics.dir/human_eval.cpp.o.d"
+  "/root/repo/src/metrics/intrinsic_eval.cpp" "src/metrics/CMakeFiles/decompeval_metrics.dir/intrinsic_eval.cpp.o" "gcc" "src/metrics/CMakeFiles/decompeval_metrics.dir/intrinsic_eval.cpp.o.d"
+  "/root/repo/src/metrics/registry.cpp" "src/metrics/CMakeFiles/decompeval_metrics.dir/registry.cpp.o" "gcc" "src/metrics/CMakeFiles/decompeval_metrics.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/embed/CMakeFiles/decompeval_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/decompeval_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/decompeval_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/decompeval_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/decompeval_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/statdist/CMakeFiles/decompeval_statdist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

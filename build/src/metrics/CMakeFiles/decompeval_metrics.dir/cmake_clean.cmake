@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_metrics.dir/bertscore.cpp.o"
+  "CMakeFiles/decompeval_metrics.dir/bertscore.cpp.o.d"
+  "CMakeFiles/decompeval_metrics.dir/codebleu.cpp.o"
+  "CMakeFiles/decompeval_metrics.dir/codebleu.cpp.o.d"
+  "CMakeFiles/decompeval_metrics.dir/human_eval.cpp.o"
+  "CMakeFiles/decompeval_metrics.dir/human_eval.cpp.o.d"
+  "CMakeFiles/decompeval_metrics.dir/intrinsic_eval.cpp.o"
+  "CMakeFiles/decompeval_metrics.dir/intrinsic_eval.cpp.o.d"
+  "CMakeFiles/decompeval_metrics.dir/registry.cpp.o"
+  "CMakeFiles/decompeval_metrics.dir/registry.cpp.o.d"
+  "libdecompeval_metrics.a"
+  "libdecompeval_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

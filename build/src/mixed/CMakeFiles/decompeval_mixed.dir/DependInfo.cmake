@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mixed/glmm.cpp" "src/mixed/CMakeFiles/decompeval_mixed.dir/glmm.cpp.o" "gcc" "src/mixed/CMakeFiles/decompeval_mixed.dir/glmm.cpp.o.d"
+  "/root/repo/src/mixed/lmm.cpp" "src/mixed/CMakeFiles/decompeval_mixed.dir/lmm.cpp.o" "gcc" "src/mixed/CMakeFiles/decompeval_mixed.dir/lmm.cpp.o.d"
+  "/root/repo/src/mixed/nelder_mead.cpp" "src/mixed/CMakeFiles/decompeval_mixed.dir/nelder_mead.cpp.o" "gcc" "src/mixed/CMakeFiles/decompeval_mixed.dir/nelder_mead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/decompeval_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/statdist/CMakeFiles/decompeval_statdist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/decompeval_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_mixed.dir/glmm.cpp.o"
+  "CMakeFiles/decompeval_mixed.dir/glmm.cpp.o.d"
+  "CMakeFiles/decompeval_mixed.dir/lmm.cpp.o"
+  "CMakeFiles/decompeval_mixed.dir/lmm.cpp.o.d"
+  "CMakeFiles/decompeval_mixed.dir/nelder_mead.cpp.o"
+  "CMakeFiles/decompeval_mixed.dir/nelder_mead.cpp.o.d"
+  "libdecompeval_mixed.a"
+  "libdecompeval_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_report.dir/render.cpp.o"
+  "CMakeFiles/decompeval_report.dir/render.cpp.o.d"
+  "CMakeFiles/decompeval_report.dir/table.cpp.o"
+  "CMakeFiles/decompeval_report.dir/table.cpp.o.d"
+  "libdecompeval_report.a"
+  "libdecompeval_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/snippets/study_corpus.cpp" "src/snippets/CMakeFiles/decompeval_snippets.dir/study_corpus.cpp.o" "gcc" "src/snippets/CMakeFiles/decompeval_snippets.dir/study_corpus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/decompeval_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/decompeval_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/decompeval_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/decompeval_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/decompeval_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/decompeval_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/statdist/CMakeFiles/decompeval_statdist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_snippets.dir/study_corpus.cpp.o"
+  "CMakeFiles/decompeval_snippets.dir/study_corpus.cpp.o.d"
+  "libdecompeval_snippets.a"
+  "libdecompeval_snippets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_snippets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

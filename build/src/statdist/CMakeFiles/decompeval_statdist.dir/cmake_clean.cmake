@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_statdist.dir/distributions.cpp.o"
+  "CMakeFiles/decompeval_statdist.dir/distributions.cpp.o.d"
+  "CMakeFiles/decompeval_statdist.dir/special.cpp.o"
+  "CMakeFiles/decompeval_statdist.dir/special.cpp.o.d"
+  "libdecompeval_statdist.a"
+  "libdecompeval_statdist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_statdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_stats.dir/correlation.cpp.o"
+  "CMakeFiles/decompeval_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/decompeval_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/decompeval_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/decompeval_stats.dir/ranks.cpp.o"
+  "CMakeFiles/decompeval_stats.dir/ranks.cpp.o.d"
+  "CMakeFiles/decompeval_stats.dir/tests.cpp.o"
+  "CMakeFiles/decompeval_stats.dir/tests.cpp.o.d"
+  "libdecompeval_stats.a"
+  "libdecompeval_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

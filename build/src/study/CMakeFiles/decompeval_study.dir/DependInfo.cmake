@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/study/design.cpp" "src/study/CMakeFiles/decompeval_study.dir/design.cpp.o" "gcc" "src/study/CMakeFiles/decompeval_study.dir/design.cpp.o.d"
+  "/root/repo/src/study/engine.cpp" "src/study/CMakeFiles/decompeval_study.dir/engine.cpp.o" "gcc" "src/study/CMakeFiles/decompeval_study.dir/engine.cpp.o.d"
+  "/root/repo/src/study/participant.cpp" "src/study/CMakeFiles/decompeval_study.dir/participant.cpp.o" "gcc" "src/study/CMakeFiles/decompeval_study.dir/participant.cpp.o.d"
+  "/root/repo/src/study/response_model.cpp" "src/study/CMakeFiles/decompeval_study.dir/response_model.cpp.o" "gcc" "src/study/CMakeFiles/decompeval_study.dir/response_model.cpp.o.d"
+  "/root/repo/src/study/survey.cpp" "src/study/CMakeFiles/decompeval_study.dir/survey.cpp.o" "gcc" "src/study/CMakeFiles/decompeval_study.dir/survey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/snippets/CMakeFiles/decompeval_snippets.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/decompeval_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/decompeval_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/decompeval_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/statdist/CMakeFiles/decompeval_statdist.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/decompeval_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/decompeval_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/decompeval_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_study.dir/design.cpp.o"
+  "CMakeFiles/decompeval_study.dir/design.cpp.o.d"
+  "CMakeFiles/decompeval_study.dir/engine.cpp.o"
+  "CMakeFiles/decompeval_study.dir/engine.cpp.o.d"
+  "CMakeFiles/decompeval_study.dir/participant.cpp.o"
+  "CMakeFiles/decompeval_study.dir/participant.cpp.o.d"
+  "CMakeFiles/decompeval_study.dir/response_model.cpp.o"
+  "CMakeFiles/decompeval_study.dir/response_model.cpp.o.d"
+  "CMakeFiles/decompeval_study.dir/survey.cpp.o"
+  "CMakeFiles/decompeval_study.dir/survey.cpp.o.d"
+  "libdecompeval_study.a"
+  "libdecompeval_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

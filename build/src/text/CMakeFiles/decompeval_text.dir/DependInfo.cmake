@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/bleu.cpp" "src/text/CMakeFiles/decompeval_text.dir/bleu.cpp.o" "gcc" "src/text/CMakeFiles/decompeval_text.dir/bleu.cpp.o.d"
+  "/root/repo/src/text/similarity.cpp" "src/text/CMakeFiles/decompeval_text.dir/similarity.cpp.o" "gcc" "src/text/CMakeFiles/decompeval_text.dir/similarity.cpp.o.d"
+  "/root/repo/src/text/tokenize.cpp" "src/text/CMakeFiles/decompeval_text.dir/tokenize.cpp.o" "gcc" "src/text/CMakeFiles/decompeval_text.dir/tokenize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/decompeval_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

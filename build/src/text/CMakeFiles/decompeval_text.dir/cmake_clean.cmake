@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_text.dir/bleu.cpp.o"
+  "CMakeFiles/decompeval_text.dir/bleu.cpp.o.d"
+  "CMakeFiles/decompeval_text.dir/similarity.cpp.o"
+  "CMakeFiles/decompeval_text.dir/similarity.cpp.o.d"
+  "CMakeFiles/decompeval_text.dir/tokenize.cpp.o"
+  "CMakeFiles/decompeval_text.dir/tokenize.cpp.o.d"
+  "libdecompeval_text.a"
+  "libdecompeval_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decompeval_util.dir/csv.cpp.o"
+  "CMakeFiles/decompeval_util.dir/csv.cpp.o.d"
+  "CMakeFiles/decompeval_util.dir/rng.cpp.o"
+  "CMakeFiles/decompeval_util.dir/rng.cpp.o.d"
+  "CMakeFiles/decompeval_util.dir/strings.cpp.o"
+  "CMakeFiles/decompeval_util.dir/strings.cpp.o.d"
+  "libdecompeval_util.a"
+  "libdecompeval_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decompeval_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_decompiler.cpp" "tests/CMakeFiles/test_decompiler.dir/test_decompiler.cpp.o" "gcc" "tests/CMakeFiles/test_decompiler.dir/test_decompiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/decompeval_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/decompeval_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/decompeval_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/mixed/CMakeFiles/decompeval_mixed.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/decompeval_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/decompiler/CMakeFiles/decompeval_decompiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/study/CMakeFiles/decompeval_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/snippets/CMakeFiles/decompeval_snippets.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/decompeval_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/decompeval_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/statdist/CMakeFiles/decompeval_statdist.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/decompeval_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/decompeval_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/decompeval_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/decompeval_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decompiler.dir/test_decompiler.cpp.o"
+  "CMakeFiles/test_decompiler.dir/test_decompiler.cpp.o.d"
+  "test_decompiler"
+  "test_decompiler.pdb"
+  "test_decompiler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decompiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

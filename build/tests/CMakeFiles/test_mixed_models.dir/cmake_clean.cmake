@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mixed_models.dir/test_mixed_models.cpp.o"
+  "CMakeFiles/test_mixed_models.dir/test_mixed_models.cpp.o.d"
+  "test_mixed_models"
+  "test_mixed_models.pdb"
+  "test_mixed_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mixed_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qualitative.dir/test_qualitative.cpp.o"
+  "CMakeFiles/test_qualitative.dir/test_qualitative.cpp.o.d"
+  "test_qualitative"
+  "test_qualitative.pdb"
+  "test_qualitative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

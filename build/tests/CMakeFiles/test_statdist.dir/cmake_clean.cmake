@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statdist.dir/test_statdist.cpp.o"
+  "CMakeFiles/test_statdist.dir/test_statdist.cpp.o.d"
+  "test_statdist"
+  "test_statdist.pdb"
+  "test_statdist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

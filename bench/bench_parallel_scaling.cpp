@@ -1,0 +1,153 @@
+// Parallel-scaling bench: wall-clock speedup of the task-parallel
+// execution layer on the three hottest paths (per-seed robustness sweep,
+// power replicates, embedding training) at 1/2/4/hardware threads, with a
+// bit-identity check between the serial and parallel results. Writes
+// BENCH_parallel.json to the working directory so the perf trajectory is
+// tracked across PRs. On a single-core host the speedups hover around 1x
+// (there is no second core to run on); hardware_concurrency is recorded in
+// the JSON so readings are interpretable.
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <functional>
+
+#include "bench/bench_common.h"
+#include "analysis/power.h"
+#include "analysis/robustness.h"
+#include "embed/corpus.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace decompeval;
+
+double time_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+bool identical(const analysis::RobustnessSummary& a,
+               const analysis::RobustnessSummary& b) {
+  if (a.n_seeds != b.n_seeds || a.criteria.size() != b.criteria.size())
+    return false;
+  for (std::size_t i = 0; i < a.criteria.size(); ++i) {
+    if (a.criteria[i].name != b.criteria[i].name ||
+        a.criteria[i].held != b.criteria[i].held ||
+        a.criteria[i].total != b.criteria[i].total)
+      return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> thread_ladder() {
+  std::vector<std::size_t> ladder = {1, 2, 4};
+  const std::size_t hw = util::default_thread_count();
+  if (hw > 4) ladder.push_back(hw);
+  return ladder;
+}
+
+void BM_ThreadPoolBatchOverhead(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    pool.parallel_for(64, [&](std::size_t i) {
+      sink.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+BENCHMARK(BM_ThreadPoolBatchOverhead)->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return decompeval::bench::run_bench_main(argc, argv, [] {
+    using decompeval::util::format_fixed;
+    const std::size_t hw = util::default_thread_count();
+    const auto ladder = thread_ladder();
+
+    std::cout << "Task-parallel scaling (hardware_concurrency = " << hw
+              << "):\n\n";
+
+    // 1. Robustness: 10-seed sweep (the acceptance workload).
+    analysis::RobustnessConfig robustness;
+    robustness.n_seeds = 10;
+    std::vector<double> robustness_ms;
+    analysis::RobustnessSummary serial_summary;
+    bool robustness_identical = true;
+    for (const std::size_t threads : ladder) {
+      robustness.threads = threads;
+      analysis::RobustnessSummary summary;
+      robustness_ms.push_back(
+          time_ms([&] { summary = analysis::analyze_robustness(robustness); }));
+      if (threads == 1)
+        serial_summary = summary;
+      else
+        robustness_identical =
+            robustness_identical && identical(serial_summary, summary);
+    }
+
+    // 2. Power: 12 GLMM replicates.
+    analysis::PowerConfig power;
+    power.n_replicates = 12;
+    std::vector<double> power_ms;
+    for (const std::size_t threads : ladder) {
+      power.threads = threads;
+      power_ms.push_back(
+          time_ms([&] { benchmark::DoNotOptimize(estimate_power(power)); }));
+    }
+
+    // 3. Embedding training: 8000-sentence corpus.
+    const auto corpus = embed::generate_corpus(8000, 42);
+    std::vector<double> embed_ms;
+    for (const std::size_t threads : ladder) {
+      embed::EmbeddingOptions options;
+      options.threads = threads;
+      embed_ms.push_back(time_ms([&] {
+        benchmark::DoNotOptimize(embed::EmbeddingModel::train(corpus, options));
+      }));
+    }
+
+    const auto print_row = [&](const char* label,
+                               const std::vector<double>& ms) {
+      std::cout << "  " << label << ":";
+      for (std::size_t i = 0; i < ladder.size(); ++i)
+        std::cout << "  t" << ladder[i] << "=" << format_fixed(ms[i], 0)
+                  << "ms";
+      std::cout << "  (speedup t" << ladder.back() << "/t1 = "
+                << format_fixed(ms[0] / ms.back(), 2) << "x)\n";
+    };
+    print_row("robustness 10 seeds ", robustness_ms);
+    print_row("power 12 replicates ", power_ms);
+    print_row("embedding 8k corpus ", embed_ms);
+    std::cout << "  robustness summary bit-identical across thread counts: "
+              << (robustness_identical ? "yes" : "NO — BUG") << "\n";
+
+    const auto json_ladder = [&](std::ostream& os,
+                                 const std::vector<double>& ms) {
+      os << "{";
+      for (std::size_t i = 0; i < ladder.size(); ++i)
+        os << (i ? ", " : "") << "\"" << ladder[i]
+           << "\": " << format_fixed(ms[i], 3);
+      os << "}";
+    };
+    std::ofstream json("BENCH_parallel.json");
+    json << "{\n  \"bench\": \"parallel_scaling\",\n"
+         << "  \"hardware_concurrency\": " << hw << ",\n"
+         << "  \"robustness_10seed_ms\": ";
+    json_ladder(json, robustness_ms);
+    json << ",\n  \"robustness_speedup_t" << ladder.back() << "_vs_t1\": "
+         << format_fixed(robustness_ms[0] / robustness_ms.back(), 3)
+         << ",\n  \"robustness_bit_identical\": "
+         << (robustness_identical ? "true" : "false")
+         << ",\n  \"power_12rep_ms\": ";
+    json_ladder(json, power_ms);
+    json << ",\n  \"embedding_8k_ms\": ";
+    json_ladder(json, embed_ms);
+    json << "\n}\n";
+    std::cout << "\nWrote BENCH_parallel.json\n";
+  });
+}

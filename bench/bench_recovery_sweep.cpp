@@ -10,6 +10,7 @@
 #include "bench/bench_common.h"
 #include "decompiler/generator.h"
 #include "text/similarity.h"
+#include "util/parallel.h"
 #include "util/strings.h"
 
 namespace {
@@ -72,6 +73,21 @@ SweepOutcome run_point(const SweepPoint& point, std::uint64_t seed) {
   return outcome;
 }
 
+// A grid cell is one (sweep point, replicate seed) pair — an independent
+// pure function, so the whole grid fans out over the thread pool and the
+// per-point means are reduced in replicate order afterwards.
+struct GridCell {
+  SweepPoint point;
+  std::uint64_t seed;
+};
+
+std::vector<SweepOutcome> run_grid(const std::vector<GridCell>& cells) {
+  return decompeval::util::parallel_map(
+      0, cells, [](const GridCell& cell, std::size_t) {
+        return run_point(cell.point, cell.seed);
+      });
+}
+
 void BM_SweepPoint(benchmark::State& state) {
   const SweepPoint point{0.5, 0.15};
   std::uint64_t seed = 0;
@@ -88,38 +104,33 @@ int main(int argc, char** argv) {
     using decompeval::util::format_fixed;
     std::cout << "Recovery-quality sweep (12 synthetic snippets per point, "
                  "3 replicated studies each):\n\n";
+    const auto print_sweep = [](const std::vector<double>& exacts,
+                                double misleading, std::uint64_t seed_base) {
+      std::vector<GridCell> cells;
+      for (const double exact : exacts)
+        for (std::uint64_t rep = 0; rep < 3; ++rep)
+          cells.push_back({{exact, misleading}, seed_base + rep});
+      const auto outcomes = run_grid(cells);
+      std::cout << "   exact | exact-match | Jaccard | correctness gap\n";
+      for (std::size_t p = 0; p < exacts.size(); ++p) {
+        SweepOutcome mean;
+        for (std::size_t rep = 0; rep < 3; ++rep) {
+          const auto& o = outcomes[p * 3 + rep];
+          mean.exact_match += o.exact_match / 3;
+          mean.mean_jaccard += o.mean_jaccard / 3;
+          mean.correctness_gap += o.correctness_gap / 3;
+        }
+        std::cout << "   " << format_fixed(exacts[p], 1) << "   | "
+                  << format_fixed(mean.exact_match, 2) << "        | "
+                  << format_fixed(mean.mean_jaccard, 2) << "    | "
+                  << (mean.correctness_gap >= 0 ? "+" : "")
+                  << format_fixed(mean.correctness_gap, 3) << '\n';
+      }
+    };
     std::cout << "A. Quality sweep with NO misleading annotations:\n";
-    std::cout << "   exact | exact-match | Jaccard | correctness gap\n";
-    for (const double exact : {0.1, 0.3, 0.5, 0.7, 0.9}) {
-      SweepOutcome mean;
-      for (std::uint64_t rep = 0; rep < 3; ++rep) {
-        const auto o = run_point({exact, 0.0}, 100 + rep);
-        mean.exact_match += o.exact_match / 3;
-        mean.mean_jaccard += o.mean_jaccard / 3;
-        mean.correctness_gap += o.correctness_gap / 3;
-      }
-      std::cout << "   " << format_fixed(exact, 1) << "   | "
-                << format_fixed(mean.exact_match, 2) << "        | "
-                << format_fixed(mean.mean_jaccard, 2) << "    | "
-                << (mean.correctness_gap >= 0 ? "+" : "")
-                << format_fixed(mean.correctness_gap, 3) << '\n';
-    }
+    print_sweep({0.1, 0.3, 0.5, 0.7, 0.9}, 0.0, 100);
     std::cout << "\nB. Same sweep with 25% misleading annotations:\n";
-    std::cout << "   exact | exact-match | Jaccard | correctness gap\n";
-    for (const double exact : {0.1, 0.3, 0.5, 0.7}) {
-      SweepOutcome mean;
-      for (std::uint64_t rep = 0; rep < 3; ++rep) {
-        const auto o = run_point({exact, 0.25}, 200 + rep);
-        mean.exact_match += o.exact_match / 3;
-        mean.mean_jaccard += o.mean_jaccard / 3;
-        mean.correctness_gap += o.correctness_gap / 3;
-      }
-      std::cout << "   " << format_fixed(exact, 1) << "   | "
-                << format_fixed(mean.exact_match, 2) << "        | "
-                << format_fixed(mean.mean_jaccard, 2) << "    | "
-                << (mean.correctness_gap >= 0 ? "+" : "")
-                << format_fixed(mean.correctness_gap, 3) << '\n';
-    }
+    print_sweep({0.1, 0.3, 0.5, 0.7}, 0.25, 200);
     std::cout << "\nExpected shape: intrinsic metrics rise with the exact "
                  "rate in both sweeps; the extrinsic correctness gap rises "
                  "only in sweep A and is flattened or negated in sweep B — "

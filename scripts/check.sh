@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full verification: regular build + ctest, then a ThreadSanitizer build
+# running the thread-pool / determinism tests (the parallel execution
+# layer's data-race budget is zero).
+#
+# Usage: scripts/check.sh [--tsan-only]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+if [[ "${1:-}" != "--tsan-only" ]]; then
+  echo "=== regular build + full test suite ==="
+  cmake -B build -S .
+  cmake --build build -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS"
+fi
+
+echo "=== ThreadSanitizer build + parallel tests ==="
+cmake -B build-tsan -S . -DDECOMPEVAL_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target test_parallel
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+  -R 'ThreadPool|ParallelDeterminism|RngSplit'
+echo "=== all checks passed ==="

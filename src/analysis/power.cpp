@@ -3,8 +3,20 @@
 #include "analysis/rq1_correctness.h"
 #include "mixed/glmm.h"
 #include "util/check.h"
+#include "util/parallel.h"
+#include "util/rng.h"
 
 namespace decompeval::analysis {
+
+namespace {
+
+struct ReplicateStats {
+  bool detected = false;
+  double estimate = 0.0;
+  double std_error = 0.0;
+};
+
+}  // namespace
 
 PowerResult estimate_power(const PowerConfig& config) {
   DE_EXPECTS(config.n_replicates > 0);
@@ -21,24 +33,38 @@ PowerResult estimate_power(const PowerConfig& config) {
     }
   }
 
+  // One independent seed stream per replicate, derived from the master
+  // seed without any arithmetic stride that could alias with the study
+  // engine's own seed usage.
+  const util::Rng master(config.seed);
+
+  std::vector<ReplicateStats> replicates(config.n_replicates);
+  util::parallel_for(
+      config.threads, config.n_replicates, [&](std::size_t rep) {
+        study::StudyConfig study_config;
+        study_config.seed = master.split_seed(rep);
+        study_config.cohort.n_students = config.n_students;
+        study_config.cohort.n_professionals = config.n_professionals;
+        study_config.response_model.global_trust_penalty = 0.0;
+        const study::StudyData data = study::run_study(study_config, pool);
+        const CorrectnessModelResult fit = analyze_correctness(data);
+        const mixed::Coefficient& treatment = fit.fit.coefficients[1];
+        replicates[rep] = {
+            treatment.p_value < config.alpha && treatment.estimate > 0.0,
+            treatment.estimate, treatment.std_error};
+      });
+
+  // Merge in replicate order so the sums are bit-identical serial vs
+  // parallel (floating-point addition is order-sensitive).
   PowerResult result;
   result.n_replicates = config.n_replicates;
   std::size_t detections = 0;
   double estimate_sum = 0.0;
   double se_sum = 0.0;
-  for (std::size_t rep = 0; rep < config.n_replicates; ++rep) {
-    study::StudyConfig study_config;
-    study_config.seed = config.seed + rep * 7919;  // decorrelate replicates
-    study_config.cohort.n_students = config.n_students;
-    study_config.cohort.n_professionals = config.n_professionals;
-    study_config.response_model.global_trust_penalty = 0.0;
-    const study::StudyData data = study::run_study(study_config, pool);
-    const CorrectnessModelResult fit = analyze_correctness(data);
-    const mixed::Coefficient& treatment = fit.fit.coefficients[1];
-    if (treatment.p_value < config.alpha && treatment.estimate > 0.0)
-      ++detections;
-    estimate_sum += treatment.estimate;
-    se_sum += treatment.std_error;
+  for (const ReplicateStats& r : replicates) {
+    if (r.detected) ++detections;
+    estimate_sum += r.estimate;
+    se_sum += r.std_error;
   }
   result.power =
       static_cast<double>(detections) / static_cast<double>(config.n_replicates);

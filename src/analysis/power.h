@@ -26,7 +26,14 @@ struct PowerConfig {
   std::vector<snippets::Snippet> pool;
   std::size_t n_replicates = 50;
   double alpha = 0.05;
+  /// Master seed. Each replicate runs on an independent RNG stream
+  /// derived via Rng::split(rep), so replicates are decorrelated and the
+  /// result does not depend on how replicates are scheduled.
   std::uint64_t seed = 1000;
+  /// Worker threads for the replicate loop; 0 = hardware concurrency.
+  /// The result is bit-identical for every thread count (per-replicate
+  /// statistics are merged in replicate order).
+  std::size_t threads = 0;
 };
 
 struct PowerResult {

@@ -1,19 +1,80 @@
 #include "analysis/robustness.h"
 
+#include <array>
+
 #include "analysis/figures.h"
 #include "analysis/rq1_correctness.h"
 #include "analysis/rq2_timing.h"
 #include "analysis/rq3_opinions.h"
 #include "analysis/rq4_perception.h"
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace decompeval::analysis {
 
+namespace {
+
+// Criterion names in tally order; the summary's `criteria` vector mirrors
+// this array, so a per-seed evaluation is just a bool per slot.
+constexpr std::array<const char*, 8> kCriterionNames = {
+    "RQ1 null",        "RQ2 null",      "names preferred", "types tied",
+    "postorder gap",   "RQ4 inversion", "trust direction", "AEEK slowdown",
+};
+
+using SeedOutcomes = std::array<bool, kCriterionNames.size()>;
+
+// One seed's study + analyses. Pure function of (seed, pool): safe to run
+// concurrently, and the summary is identical however seeds are scheduled.
+SeedOutcomes evaluate_seed(std::uint64_t seed,
+                           const std::vector<snippets::Snippet>& pool) {
+  study::StudyConfig study_config;
+  study_config.seed = seed;
+  const study::StudyData data = study::run_study(study_config, pool);
+
+  SeedOutcomes held{};
+  const auto table1 = analyze_correctness(data);
+  held[0] = table1.fit.coefficients[1].p_value > 0.05;  // RQ1 null
+  const auto table2 = analyze_timing(data);
+  held[1] = table2.fit.coefficients[1].p_value > 0.05;  // RQ2 null
+
+  const auto opinions = analyze_opinions(data, pool);
+  held[2] = opinions.name_test.p_value < 0.001;  // names preferred
+  held[3] = opinions.type_test.p_value > 0.05;   // types tied
+
+  for (const auto& q : analyze_correctness_by_question(data, pool)) {
+    if (q.question_id == "POSTORDER-Q2") {
+      held[4] = q.fisher().p_value < 0.05 &&  // postorder gap
+                q.rate_hexrays() > q.rate_dirty();
+    }
+  }
+
+  const auto perception = analyze_perception(data, pool);
+  held[5] = perception.type_rating_vs_correctness.estimate > 0;  // inversion
+  held[6] = perception.mean_rating_when_incorrect <  // trust direction
+            perception.mean_rating_when_correct;
+
+  try {
+    const auto aeek = analyze_time_to_correct(data, "AEEK-Q2");
+    held[7] = aeek.welch.mean_y > aeek.welch.mean_x;  // AEEK slowdown
+  } catch (const PreconditionError&) {
+    // Too few correct answers at this seed; counts as not held.
+  }
+  return held;
+}
+
+}  // namespace
+
 const RobustnessCriterion& RobustnessSummary::by_name(
     const std::string& name) const {
-  for (const auto& c : criteria)
-    if (c.name == name) return c;
-  throw PreconditionError("unknown robustness criterion: " + name);
+  if (name_index_.size() != criteria.size()) {
+    name_index_.clear();
+    for (std::size_t i = 0; i < criteria.size(); ++i)
+      name_index_.emplace(criteria[i].name, i);
+  }
+  const auto it = name_index_.find(name);
+  if (it == name_index_.end())
+    throw PreconditionError("unknown robustness criterion: " + name);
+  return criteria[it->second];
 }
 
 RobustnessSummary analyze_robustness(const RobustnessConfig& config) {
@@ -23,58 +84,23 @@ RobustnessSummary analyze_robustness(const RobustnessConfig& config) {
 
   RobustnessSummary summary;
   summary.n_seeds = config.n_seeds;
-  summary.criteria = {
-      {"RQ1 null", 0, 0},        {"RQ2 null", 0, 0},
-      {"names preferred", 0, 0}, {"types tied", 0, 0},
-      {"postorder gap", 0, 0},   {"RQ4 inversion", 0, 0},
-      {"trust direction", 0, 0}, {"AEEK slowdown", 0, 0},
-  };
-  const auto tally = [&summary](const std::string& name, bool held) {
-    for (auto& c : summary.criteria) {
-      if (c.name == name) {
-        ++c.total;
-        if (held) ++c.held;
-        return;
-      }
+  summary.criteria.reserve(kCriterionNames.size());
+  for (const char* name : kCriterionNames)
+    summary.criteria.push_back({name, 0, 0});
+
+  // Per-seed outcomes land in their slot; the tally merge below runs in
+  // seed order on this thread, so the summary is bit-identical at any
+  // thread count.
+  std::vector<SeedOutcomes> outcomes(config.n_seeds);
+  util::parallel_for(config.threads, config.n_seeds, [&](std::size_t i) {
+    outcomes[i] = evaluate_seed(config.first_seed + i, pool);
+  });
+
+  for (const SeedOutcomes& held : outcomes) {
+    for (std::size_t c = 0; c < summary.criteria.size(); ++c) {
+      ++summary.criteria[c].total;
+      if (held[c]) ++summary.criteria[c].held;
     }
-  };
-
-  for (std::size_t i = 0; i < config.n_seeds; ++i) {
-    study::StudyConfig study_config;
-    study_config.seed = config.first_seed + i;
-    const study::StudyData data = study::run_study(study_config, pool);
-
-    const auto table1 = analyze_correctness(data);
-    tally("RQ1 null", table1.fit.coefficients[1].p_value > 0.05);
-    const auto table2 = analyze_timing(data);
-    tally("RQ2 null", table2.fit.coefficients[1].p_value > 0.05);
-
-    const auto opinions = analyze_opinions(data, pool);
-    tally("names preferred", opinions.name_test.p_value < 0.001);
-    tally("types tied", opinions.type_test.p_value > 0.05);
-
-    bool postorder_held = false;
-    for (const auto& q : analyze_correctness_by_question(data, pool)) {
-      if (q.question_id == "POSTORDER-Q2") {
-        postorder_held = q.fisher().p_value < 0.05 &&
-                         q.rate_hexrays() > q.rate_dirty();
-      }
-    }
-    tally("postorder gap", postorder_held);
-
-    const auto perception = analyze_perception(data, pool);
-    tally("RQ4 inversion", perception.type_rating_vs_correctness.estimate > 0);
-    tally("trust direction", perception.mean_rating_when_incorrect <
-                                 perception.mean_rating_when_correct);
-
-    bool aeek_held = false;
-    try {
-      const auto aeek = analyze_time_to_correct(data, "AEEK-Q2");
-      aeek_held = aeek.welch.mean_y > aeek.welch.mean_x;
-    } catch (const PreconditionError&) {
-      // Too few correct answers at this seed; counts as not held.
-    }
-    tally("AEEK slowdown", aeek_held);
   }
   return summary;
 }

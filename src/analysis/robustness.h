@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "snippets/snippet.h"
@@ -31,7 +32,13 @@ struct RobustnessSummary {
   std::vector<RobustnessCriterion> criteria;
   std::size_t n_seeds = 0;
 
+  /// Indexed lookup; throws PreconditionError for an unknown name. The
+  /// name index is built lazily on first use and rebuilt if `criteria`
+  /// changed size since, so hand-assembled summaries work too.
   const RobustnessCriterion& by_name(const std::string& name) const;
+
+ private:
+  mutable std::unordered_map<std::string, std::size_t> name_index_;
 };
 
 struct RobustnessConfig {
@@ -39,6 +46,10 @@ struct RobustnessConfig {
   std::size_t n_seeds = 20;
   /// Snippet pool; empty = the four paper snippets.
   std::vector<snippets::Snippet> pool;
+  /// Worker threads for the per-seed sweep; 0 = hardware concurrency.
+  /// The summary is bit-identical for every thread count (each seed is an
+  /// independent task; tallies are merged in seed order).
+  std::size_t threads = 0;
 };
 
 /// Evaluated criteria (all on the non-embedding analyses, so a sweep stays

@@ -63,8 +63,11 @@ ReplicationReport run_replication(const ReplicationConfig& config) {
   os << report::render_rq4(report.rq4) << '\n';
 
   if (config.run_metrics) {
+    embed::EmbeddingOptions embed_options;
+    embed_options.threads = config.threads;
     const embed::EmbeddingModel model = embed::EmbeddingModel::train_default(
-        config.embedding_corpus_sentences, config.embedding_corpus_seed);
+        config.embedding_corpus_sentences, config.embedding_corpus_seed,
+        embed_options);
     report.metric_tables = analysis::analyze_metric_correlations(
         report.data, report.pool, model);
     os << report::render_table3(report.metric_tables) << '\n';

@@ -38,6 +38,10 @@ struct ReplicationConfig {
   std::size_t embedding_corpus_sentences = 20000;
   std::uint64_t embedding_corpus_seed = 42;
   std::uint64_t seed = 38;  ///< master seed, overrides study.seed
+  /// Worker threads for the parallelizable stages (currently embedding
+  /// training); 0 = hardware concurrency. Results are bit-identical for
+  /// every thread count.
+  std::size_t threads = 0;
 
   /// Which parts to run (all by default; benches switch pieces off).
   bool run_models = true;       ///< Tables I & II (mixed models)

@@ -1,10 +1,13 @@
 #include "embed/embedding.h"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "embed/corpus.h"
 #include "text/tokenize.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace decompeval::embed {
@@ -37,48 +40,97 @@ EmbeddingModel EmbeddingModel::train(
   EmbeddingModel model;
   model.options_ = options;
 
-  // Vocabulary and co-occurrence counts within the window.
+  // Vocabulary (serial: index assignment is insertion-order dependent).
   std::unordered_map<std::string, std::size_t> vocab;
-  for (const auto& sentence : sentences)
-    for (const auto& token : sentence)
-      vocab.emplace(token, vocab.size());
+  std::vector<const std::string*> token_by_index;
+  for (const auto& sentence : sentences) {
+    for (const auto& token : sentence) {
+      const auto [it, inserted] = vocab.emplace(token, vocab.size());
+      if (inserted) token_by_index.push_back(&it->first);
+    }
+  }
   const std::size_t v = vocab.size();
   DE_EXPECTS_MSG(v > 1, "corpus has fewer than two distinct tokens");
+
+  util::ThreadPool pool(options.threads);
+
+  // Windowed co-occurrence counts, sharded by contiguous sentence chunk.
+  // Counts are small integers, which doubles represent exactly, so the
+  // merged totals are bit-identical regardless of sharding or thread
+  // count. One shard per worker keeps the merge cost proportional to the
+  // parallelism, not to the corpus.
+  struct CoocShard {
+    std::vector<std::unordered_map<std::size_t, double>> cooc;
+    std::vector<double> token_count;
+    double total_pairs = 0.0;
+  };
+  const std::size_t n_shards =
+      std::min<std::size_t>(pool.thread_count(), std::max<std::size_t>(
+                                                     sentences.size(), 1));
+  std::vector<CoocShard> shards(n_shards);
+  pool.parallel_for(n_shards, [&](std::size_t shard_id) {
+    CoocShard& shard = shards[shard_id];
+    shard.cooc.resize(v);
+    shard.token_count.assign(v, 0.0);
+    const std::size_t chunk = (sentences.size() + n_shards - 1) / n_shards;
+    const std::size_t begin = shard_id * chunk;
+    const std::size_t end = std::min(sentences.size(), begin + chunk);
+    for (std::size_t s = begin; s < end; ++s) {
+      const auto& sentence = sentences[s];
+      for (std::size_t i = 0; i < sentence.size(); ++i) {
+        const std::size_t wi = vocab.at(sentence[i]);
+        const std::size_t lo = i >= options.window ? i - options.window : 0;
+        const std::size_t hi =
+            std::min(sentence.size(), i + options.window + 1);
+        for (std::size_t j = lo; j < hi; ++j) {
+          if (j == i) continue;
+          const std::size_t wj = vocab.at(sentence[j]);
+          shard.cooc[wi][wj] += 1.0;
+          shard.token_count[wi] += 1.0;
+          shard.total_pairs += 1.0;
+        }
+      }
+    }
+  });
 
   std::vector<std::unordered_map<std::size_t, double>> cooc(v);
   std::vector<double> token_count(v, 0.0);
   double total_pairs = 0.0;
-  for (const auto& sentence : sentences) {
-    for (std::size_t i = 0; i < sentence.size(); ++i) {
-      const std::size_t wi = vocab.at(sentence[i]);
-      const std::size_t lo = i >= options.window ? i - options.window : 0;
-      const std::size_t hi =
-          std::min(sentence.size(), i + options.window + 1);
-      for (std::size_t j = lo; j < hi; ++j) {
-        if (j == i) continue;
-        const std::size_t wj = vocab.at(sentence[j]);
-        cooc[wi][wj] += 1.0;
-        token_count[wi] += 1.0;
-        total_pairs += 1.0;
-      }
+  for (const CoocShard& shard : shards) {
+    for (std::size_t w = 0; w < v; ++w) {
+      for (const auto& [cj, count] : shard.cooc[w]) cooc[w][cj] += count;
+      token_count[w] += shard.token_count[w];
     }
+    total_pairs += shard.total_pairs;
   }
   DE_EXPECTS_MSG(total_pairs > 0.0, "no co-occurrence pairs in corpus");
 
-  // Seeded Gaussian random projection matrix: rows indexed by context word,
-  // generated lazily but deterministically from (word index, dim).
-  util::Rng proj_seed_rng(options.projection_seed);
+  // Flatten each row to a sparse vector sorted by context index. The PPMI
+  // accumulation below sums floating-point terms, so its order must not
+  // depend on unordered_map internals (which vary with shard count);
+  // sorted rows make the sum order a pure function of the counts.
+  std::vector<std::vector<std::pair<std::size_t, double>>> rows(v);
+  pool.parallel_for(v, [&](std::size_t w) {
+    rows[w].assign(cooc[w].begin(), cooc[w].end());
+    std::sort(rows[w].begin(), rows[w].end());
+  });
+
+  // Seeded Gaussian random projection matrix: rows indexed by context
+  // word, each generated from its own (projection_seed, word index)
+  // stream — independent of scheduling by construction.
   std::vector<std::vector<double>> projection(v);
-  for (std::size_t w = 0; w < v; ++w) {
+  pool.parallel_for(v, [&](std::size_t w) {
     util::Rng row_rng(options.projection_seed * 0x9E3779B97F4A7C15ULL + w);
     projection[w].resize(options.dimension);
     for (double& x : projection[w]) x = row_rng.normal();
-  }
+  });
 
-  // PPMI rows projected down: vec(w) = Σ_c ppmi(w, c) · proj(c).
-  for (const auto& [token, wi] : vocab) {
+  // PPMI rows projected down: vec(w) = Σ_c ppmi(w, c) · proj(c). Each
+  // word's vector is independent; the map insert stays serial.
+  std::vector<std::vector<double>> vectors(v);
+  pool.parallel_for(v, [&](std::size_t wi) {
     std::vector<double> vec(options.dimension, 0.0);
-    for (const auto& [cj, count] : cooc[wi]) {
+    for (const auto& [cj, count] : rows[wi]) {
       const double pmi =
           std::log(count * total_pairs /
                    (token_count[wi] * token_count[cj]));
@@ -87,14 +139,17 @@ EmbeddingModel EmbeddingModel::train(
         vec[d] += pmi * projection[cj][d];
     }
     normalize(vec);
-    model.vectors_.emplace(token, std::move(vec));
-  }
+    vectors[wi] = std::move(vec);
+  });
+  for (std::size_t wi = 0; wi < v; ++wi)
+    model.vectors_.emplace(*token_by_index[wi], std::move(vectors[wi]));
   return model;
 }
 
 EmbeddingModel EmbeddingModel::train_default(std::size_t corpus_sentences,
-                                             std::uint64_t corpus_seed) {
-  return train(generate_corpus(corpus_sentences, corpus_seed));
+                                             std::uint64_t corpus_seed,
+                                             const EmbeddingOptions& options) {
+  return train(generate_corpus(corpus_sentences, corpus_seed), options);
 }
 
 std::vector<double> EmbeddingModel::hash_fallback(

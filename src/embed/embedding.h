@@ -19,6 +19,12 @@ struct EmbeddingOptions {
   std::size_t dimension = 64;
   std::size_t window = 4;          ///< symmetric co-occurrence window
   std::uint64_t projection_seed = 17;
+  /// Worker threads for co-occurrence counting and the PPMI projection;
+  /// 0 = hardware concurrency. The trained model is bit-identical for
+  /// every thread count: co-occurrence counts are integers (exact in
+  /// doubles), sharded per task and merged in shard order, and each
+  /// word's vector is an independent pure function of the counts.
+  std::size_t threads = 0;
 };
 
 class EmbeddingModel {
@@ -33,7 +39,8 @@ class EmbeddingModel {
   /// Trains on the built-in concept corpus (the standard configuration used
   /// throughout the replication pipeline).
   static EmbeddingModel train_default(std::size_t corpus_sentences = 20000,
-                                      std::uint64_t corpus_seed = 42);
+                                      std::uint64_t corpus_seed = 42,
+                                      const EmbeddingOptions& options = {});
 
   /// Unit-norm vector for a subtoken. Out-of-vocabulary subtokens fall back
   /// to a deterministic char-trigram hash embedding, so every token

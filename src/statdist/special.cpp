@@ -83,7 +83,15 @@ double beta_cf(double a, double b, double x) {
 
 double log_gamma(double x) {
   DE_EXPECTS_MSG(x > 0.0, "log_gamma requires x > 0");
+#if defined(__GLIBC__) || defined(__APPLE__)
+  // lgamma() writes the process-global `signgam`, a data race when the
+  // task-parallel sweeps evaluate distributions concurrently; lgamma_r
+  // returns the same value through a local sign instead.
+  int sign = 0;
+  return lgamma_r(x, &sign);
+#else
   return std::lgamma(x);
+#endif
 }
 
 double reg_lower_inc_gamma(double a, double x) {

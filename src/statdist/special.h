@@ -6,7 +6,8 @@
 
 namespace decompeval::statdist {
 
-/// log Γ(x); thin wrapper around std::lgamma with domain check (x > 0).
+/// log Γ(x) with domain check (x > 0). Thread-safe: uses lgamma_r where
+/// available, avoiding lgamma's write to the process-global `signgam`.
 double log_gamma(double x);
 
 /// Regularized lower incomplete gamma P(a, x) for a > 0, x >= 0.

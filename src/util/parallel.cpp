@@ -1,0 +1,129 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace decompeval::util {
+
+std::size_t default_thread_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t resolve_thread_count(std::size_t threads) noexcept {
+  return threads == 0 ? default_thread_count() : threads;
+}
+
+// Workers sleep between batches; parallel_for publishes one batch
+// (fn, n, a fresh generation number), wakes everyone, joins the batch
+// itself, and waits for the last worker to check out.
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable batch_done;
+
+  // Batch state, guarded by `mutex` except where noted.
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t n = 0;
+  std::uint64_t generation = 0;
+  std::atomic<std::size_t> next_index{0};  // claimed lock-free by workers
+  std::size_t active_workers = 0;
+  std::exception_ptr first_error;
+  bool shutting_down = false;
+
+  std::vector<std::thread> workers;
+
+  void run_batch_slice() {
+    // Claim indices until the batch is exhausted. Keeps running after an
+    // error so the batch always drains (no orphaned indices).
+    for (;;) {
+      const std::size_t i = next_index.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] {
+          return shutting_down || generation != seen_generation;
+        });
+        if (shutting_down) return;
+        seen_generation = generation;
+        ++active_workers;
+      }
+      run_batch_slice();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        --active_workers;
+      }
+      batch_done.notify_one();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(resolve_thread_count(threads)) {
+  if (threads_ <= 1) return;  // serial mode: no workers, no Impl
+  impl_ = new Impl;
+  impl_->workers.reserve(threads_ - 1);
+  for (std::size_t i = 0; i + 1 < threads_; ++i)
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutting_down = true;
+  }
+  impl_->work_ready.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (!impl_) {
+    // Serial fallback: identical call sequence, calling thread, index order.
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->fn = &fn;
+    impl_->n = n;
+    impl_->next_index.store(0, std::memory_order_relaxed);
+    impl_->first_error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->work_ready.notify_all();
+  impl_->run_batch_slice();  // calling thread participates
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->batch_done.wait(lock, [&] { return impl_->active_workers == 0; });
+    impl_->fn = nullptr;
+    error = impl_->first_error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  ThreadPool pool(threads);
+  pool.parallel_for(n, fn);
+}
+
+}  // namespace decompeval::util

@@ -1,0 +1,90 @@
+// Deterministic task-parallel execution for the expensive sweeps.
+//
+// Every hot loop in the reproduction (per-seed robustness sweeps, power
+// replicates, recovery-sweep grid points, co-occurrence accumulation) is
+// embarrassingly parallel: each task is a pure function of its index, with
+// any randomness derived from an independent per-index RNG stream (see
+// Rng::split in util/rng.h). This module supplies the execution layer:
+// a fixed-size thread pool with order-preserving parallel_for/parallel_map
+// primitives. Tasks may run in any order on any worker, but results are
+// keyed by index and callers merge them in index order, so output is
+// bit-identical between serial and parallel execution — `threads <= 1`
+// runs the exact same code path inline on the calling thread.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace decompeval::util {
+
+/// Worker count used when a config's `threads` field is 0 ("auto"):
+/// std::thread::hardware_concurrency(), clamped to at least 1.
+std::size_t default_thread_count() noexcept;
+
+/// Resolves a config-level thread knob: 0 = auto, otherwise the value.
+std::size_t resolve_thread_count(std::size_t threads) noexcept;
+
+/// Fixed-size pool of worker threads executing indexed task batches.
+///
+/// One batch runs at a time (parallel_for blocks until the batch drains),
+/// so a pool is cheap to share across sequential parallel regions. The
+/// pool itself is not re-entrant: do not call parallel_for from inside a
+/// task of the same pool.
+class ThreadPool {
+ public:
+  /// Spawns `resolve_thread_count(threads) - 1` workers (the calling
+  /// thread participates in every batch, so `threads` is the total
+  /// parallelism). `threads <= 1` spawns no workers at all.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism including the calling thread; always >= 1.
+  std::size_t thread_count() const noexcept { return threads_; }
+
+  /// Runs fn(0), ..., fn(n-1), blocking until all calls complete. Indices
+  /// are claimed dynamically, so long and short tasks balance across
+  /// workers. With thread_count() == 1 the calls run serially in index
+  /// order on the calling thread. If any call throws, the first exception
+  /// (by completion time) is rethrown here after the batch drains; the
+  /// remaining indices still run.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Order-preserving map: result[i] = fn(items[i], i). Results land in
+  /// their slot regardless of which worker computes them.
+  template <typename T, typename Fn>
+  auto parallel_map(const std::vector<T>& items, Fn&& fn)
+      -> std::vector<std::decay_t<decltype(fn(items[0], std::size_t{0}))>> {
+    using R = std::decay_t<decltype(fn(items[0], std::size_t{0}))>;
+    std::vector<R> results(items.size());
+    parallel_for(items.size(),
+                 [&](std::size_t i) { results[i] = fn(items[i], i); });
+    return results;
+  }
+
+ private:
+  struct Impl;
+  Impl* impl_ = nullptr;  ///< null when thread_count() == 1 (serial mode)
+  std::size_t threads_ = 1;
+};
+
+/// One-shot convenience: runs the batch on a transient pool. Prefer a
+/// reusable ThreadPool when calling in a loop.
+void parallel_for(std::size_t threads, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// One-shot order-preserving map on a transient pool.
+template <typename T, typename Fn>
+auto parallel_map(std::size_t threads, const std::vector<T>& items, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(items[0], std::size_t{0}))>> {
+  ThreadPool pool(threads);
+  return pool.parallel_map(items, std::forward<Fn>(fn));
+}
+
+}  // namespace decompeval::util

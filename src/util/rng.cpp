@@ -150,6 +150,21 @@ std::size_t Rng::categorical(std::span<const double> weights) {
   return weights.size() - 1;
 }
 
+std::uint64_t Rng::split_seed(std::uint64_t stream_id) const noexcept {
+  // Two full splitmix64 rounds over (state hash, stream id): one round is
+  // enough to decorrelate sequential ids, two keep the mapping safe for
+  // adversarial patterns like ids that differ in a single high bit.
+  std::uint64_t sm = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^
+                     rotl(s_[3], 43);
+  sm = splitmix64(sm) ^ (stream_id * 0xD1B54A32D192ED03ULL);
+  const std::uint64_t first = splitmix64(sm);
+  return splitmix64(sm) ^ rotl(first, 31);
+}
+
+Rng Rng::split(std::uint64_t stream_id) const noexcept {
+  return Rng(split_seed(stream_id));
+}
+
 Rng Rng::fork(std::uint64_t label) noexcept {
   // Hash the current state with the label to derive a child seed.
   std::uint64_t mix = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^

@@ -78,6 +78,18 @@ class Rng {
   /// statistically independent of each other and of the parent.
   Rng fork(std::uint64_t label) noexcept;
 
+  /// Derives the `stream_id`-th independent child stream WITHOUT advancing
+  /// this generator: split(i) is a pure function of (current state, i), so
+  /// concurrent tasks can each take stream i for task index i and the
+  /// result is identical no matter how tasks are scheduled. Streams with
+  /// distinct ids are statistically independent of each other and of the
+  /// parent's continuation.
+  Rng split(std::uint64_t stream_id) const noexcept;
+
+  /// Seed value of the `stream_id`-th child stream — for APIs that take a
+  /// `uint64_t seed` rather than an Rng (e.g. StudyConfig::seed).
+  std::uint64_t split_seed(std::uint64_t stream_id) const noexcept;
+
  private:
   std::uint64_t s_[4];
   double spare_normal_ = 0.0;

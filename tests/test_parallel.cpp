@@ -1,0 +1,183 @@
+// Thread-pool unit tests and the serial-vs-parallel determinism contract:
+// every parallelized pipeline stage must produce bit-identical results at
+// threads = 1 and threads = 4.
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/power.h"
+#include "analysis/robustness.h"
+#include "embed/corpus.h"
+#include "embed/embedding.h"
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace decompeval;
+using decompeval::util::ThreadPool;
+
+TEST(ThreadPool, ResolvesThreadCounts) {
+  EXPECT_GE(util::default_thread_count(), 1u);
+  EXPECT_EQ(util::resolve_thread_count(0), util::default_thread_count());
+  EXPECT_EQ(util::resolve_thread_count(3), 3u);
+  EXPECT_EQ(ThreadPool(1).thread_count(), 1u);
+  EXPECT_EQ(ThreadPool(4).thread_count(), 4u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  for (auto& h : hits) h = 0;
+  pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyBatchIsANoop) {
+  ThreadPool pool(4);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelMapPreservesOrdering) {
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  ThreadPool pool(4);
+  const auto squares = pool.parallel_map(
+      items, [](int x, std::size_t) { return x * x; });
+  ASSERT_EQ(squares.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    EXPECT_EQ(squares[i], items[i] * items[i]);
+}
+
+TEST(ThreadPool, MapPassesTheItemIndex) {
+  const std::vector<int> items = {7, 7, 7};
+  const auto indexed = util::parallel_map(
+      2, items, [](int x, std::size_t i) { return x + static_cast<int>(i); });
+  EXPECT_EQ(indexed, (std::vector<int>{7, 8, 9}));
+}
+
+TEST(ThreadPool, PropagatesExceptionsAndDrainsTheBatch) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(64,
+                        [&](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("task 13");
+                          ++completed;
+                        }),
+      std::runtime_error);
+  EXPECT_EQ(completed.load(), 63);  // the failing index still drains the rest
+}
+
+TEST(ThreadPool, SerialModePropagatesExceptionsToo) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(
+                   4, [](std::size_t i) {
+                     if (i == 2) throw std::logic_error("serial");
+                   }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, UsableForConsecutiveBatches) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(round + 1, [&](std::size_t i) { sum += i; });
+    EXPECT_EQ(sum.load(),
+              static_cast<std::size_t>(round) * (round + 1) / 2);
+  }
+}
+
+TEST(ThreadPool, SerialFallbackRunsInIndexOrderOnCallingThread) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for(8, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  std::vector<std::size_t> expected(8);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(RngSplit, IsPureAndDoesNotAdvanceParent) {
+  util::Rng parent(21);
+  const std::uint64_t before = util::Rng(parent).next_u64();
+  util::Rng a = parent.split(5);
+  util::Rng b = parent.split(5);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_EQ(util::Rng(parent).next_u64(), before);  // parent untouched
+}
+
+TEST(RngSplit, DistinctStreamsDiverge) {
+  util::Rng parent(22);
+  util::Rng a = parent.split(0);
+  util::Rng b = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngSplit, SplitSeedMatchesSplit) {
+  const util::Rng parent(23);
+  util::Rng via_split = parent.split(9);
+  util::Rng via_seed{parent.split_seed(9)};
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(via_split.next_u64(), via_seed.next_u64());
+}
+
+// --- Determinism contracts: threads = 1 vs threads = 4 -------------------
+
+TEST(ParallelDeterminism, RobustnessSummaryIsThreadCountInvariant) {
+  analysis::RobustnessConfig config;
+  config.n_seeds = 4;
+  config.threads = 1;
+  const auto serial = analysis::analyze_robustness(config);
+  config.threads = 4;
+  const auto parallel = analysis::analyze_robustness(config);
+  ASSERT_EQ(serial.criteria.size(), parallel.criteria.size());
+  EXPECT_EQ(serial.n_seeds, parallel.n_seeds);
+  for (std::size_t i = 0; i < serial.criteria.size(); ++i) {
+    EXPECT_EQ(serial.criteria[i].name, parallel.criteria[i].name);
+    EXPECT_EQ(serial.criteria[i].held, parallel.criteria[i].held);
+    EXPECT_EQ(serial.criteria[i].total, parallel.criteria[i].total);
+  }
+}
+
+TEST(ParallelDeterminism, PowerResultIsThreadCountInvariant) {
+  analysis::PowerConfig config;
+  config.n_replicates = 6;
+  config.threads = 1;
+  const auto serial = analysis::estimate_power(config);
+  config.threads = 4;
+  const auto parallel = analysis::estimate_power(config);
+  EXPECT_EQ(serial.power, parallel.power);
+  EXPECT_EQ(serial.mean_estimate, parallel.mean_estimate);  // bit-identical
+  EXPECT_EQ(serial.mean_std_error, parallel.mean_std_error);
+}
+
+TEST(ParallelDeterminism, EmbeddingModelIsThreadCountInvariant) {
+  const auto corpus = embed::generate_corpus(600, 42);
+  embed::EmbeddingOptions options;
+  options.threads = 1;
+  const auto serial = embed::EmbeddingModel::train(corpus, options);
+  options.threads = 4;
+  const auto parallel = embed::EmbeddingModel::train(corpus, options);
+  ASSERT_EQ(serial.vocabulary_size(), parallel.vocabulary_size());
+  // Every in-vocabulary vector must match bit for bit.
+  for (const auto& sentence : corpus)
+    for (const auto& token : sentence)
+      EXPECT_EQ(serial.embed_token(token), parallel.embed_token(token))
+          << token;
+}
+
+}  // namespace

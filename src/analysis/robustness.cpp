@@ -64,17 +64,24 @@ SeedOutcomes evaluate_seed(std::uint64_t seed,
 
 }  // namespace
 
+void RobustnessSummary::index_criteria() {
+  name_index_.clear();
+  name_index_.reserve(criteria.size());
+  for (std::size_t i = 0; i < criteria.size(); ++i)
+    name_index_.emplace(criteria[i].name, i);
+}
+
 const RobustnessCriterion& RobustnessSummary::by_name(
     const std::string& name) const {
-  if (name_index_.size() != criteria.size()) {
-    name_index_.clear();
-    for (std::size_t i = 0; i < criteria.size(); ++i)
-      name_index_.emplace(criteria[i].name, i);
-  }
   const auto it = name_index_.find(name);
-  if (it == name_index_.end())
-    throw PreconditionError("unknown robustness criterion: " + name);
-  return criteria[it->second];
+  if (it != name_index_.end() && it->second < criteria.size() &&
+      criteria[it->second].name == name)
+    return criteria[it->second];
+  // Missing or stale index: scan instead of rebuilding, so a const summary
+  // shared across threads is never mutated here.
+  for (const auto& criterion : criteria)
+    if (criterion.name == name) return criterion;
+  throw PreconditionError("unknown robustness criterion: " + name);
 }
 
 RobustnessSummary analyze_robustness(const RobustnessConfig& config) {
@@ -87,6 +94,7 @@ RobustnessSummary analyze_robustness(const RobustnessConfig& config) {
   summary.criteria.reserve(kCriterionNames.size());
   for (const char* name : kCriterionNames)
     summary.criteria.push_back({name, 0, 0});
+  summary.index_criteria();
 
   // Per-seed outcomes land in their slot; the tally merge below runs in
   // seed order on this thread, so the summary is bit-identical at any

@@ -32,13 +32,20 @@ struct RobustnessSummary {
   std::vector<RobustnessCriterion> criteria;
   std::size_t n_seeds = 0;
 
-  /// Indexed lookup; throws PreconditionError for an unknown name. The
-  /// name index is built lazily on first use and rebuilt if `criteria`
-  /// changed size since, so hand-assembled summaries work too.
+  /// (Re)builds the name → slot index. analyze_robustness calls this once
+  /// after populating `criteria`; call it again after editing `criteria`
+  /// by hand to keep by_name() on the O(1) path.
+  void index_criteria();
+
+  /// Indexed lookup; throws PreconditionError for an unknown name. Safe to
+  /// call concurrently on a shared const summary: this never mutates the
+  /// index — each hit is verified against the criterion's actual name, and
+  /// a missing or stale index (hand-assembled summaries, `criteria`
+  /// replaced without re-indexing) falls back to a linear scan.
   const RobustnessCriterion& by_name(const std::string& name) const;
 
  private:
-  mutable std::unordered_map<std::string, std::size_t> name_index_;
+  std::unordered_map<std::string, std::size_t> name_index_;
 };
 
 struct RobustnessConfig {

@@ -3,6 +3,10 @@
 #include <cmath>
 #include <limits>
 
+#if defined(DECOMPEVAL_HAVE_LGAMMA_R)
+#include <math.h>  // lgamma_r: POSIX extension, availability probed by CMake
+#endif
+
 #include "util/check.h"
 
 namespace decompeval::statdist {
@@ -83,7 +87,7 @@ double beta_cf(double a, double b, double x) {
 
 double log_gamma(double x) {
   DE_EXPECTS_MSG(x > 0.0, "log_gamma requires x > 0");
-#if defined(__GLIBC__) || defined(__APPLE__)
+#if defined(DECOMPEVAL_HAVE_LGAMMA_R)
   // lgamma() writes the process-global `signgam`, a data race when the
   // task-parallel sweeps evaluate distributions concurrently; lgamma_r
   // returns the same value through a local sign instead.

@@ -17,32 +17,42 @@ std::size_t resolve_thread_count(std::size_t threads) noexcept {
 }
 
 // Workers sleep between batches; parallel_for publishes one batch
-// (fn, n, a fresh generation number), wakes everyone, joins the batch
-// itself, and waits for the last worker to check out.
+// (fn, n, a fresh generation number) under the mutex, wakes everyone,
+// joins the batch itself, and then waits until every worker has both
+// checked in for this generation (`arrived`) and checked out again
+// (`active_workers`). The positive acknowledgement is what makes the
+// handoff safe: a worker that is still asleep when the batch drains would
+// otherwise wake during the *next* publish and read fn/n concurrently
+// with the writer. Because no batch completes before all workers arrive,
+// a worker can never lag more than one generation behind, and every read
+// of the batch state happens under the mutex via the check-in snapshot.
 struct ThreadPool::Impl {
   std::mutex mutex;
   std::condition_variable work_ready;
   std::condition_variable batch_done;
 
-  // Batch state, guarded by `mutex` except where noted.
+  // Batch state, guarded by `mutex`. Workers snapshot fn/n at check-in;
+  // only `next_index` is claimed lock-free after that.
   const std::function<void(std::size_t)>* fn = nullptr;
   std::size_t n = 0;
   std::uint64_t generation = 0;
-  std::atomic<std::size_t> next_index{0};  // claimed lock-free by workers
+  std::size_t arrived = 0;  ///< workers checked in for `generation`
   std::size_t active_workers = 0;
+  std::atomic<std::size_t> next_index{0};
   std::exception_ptr first_error;
   bool shutting_down = false;
 
   std::vector<std::thread> workers;
 
-  void run_batch_slice() {
+  void run_batch_slice(const std::function<void(std::size_t)>& task,
+                       std::size_t count) {
     // Claim indices until the batch is exhausted. Keeps running after an
     // error so the batch always drains (no orphaned indices).
     for (;;) {
       const std::size_t i = next_index.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+      if (i >= count) return;
       try {
-        (*fn)(i);
+        task(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
         if (!first_error) first_error = std::current_exception();
@@ -53,6 +63,8 @@ struct ThreadPool::Impl {
   void worker_loop() {
     std::uint64_t seen_generation = 0;
     for (;;) {
+      const std::function<void(std::size_t)>* task = nullptr;
+      std::size_t count = 0;
       {
         std::unique_lock<std::mutex> lock(mutex);
         work_ready.wait(lock, [&] {
@@ -60,9 +72,12 @@ struct ThreadPool::Impl {
         });
         if (shutting_down) return;
         seen_generation = generation;
+        task = fn;
+        count = n;
+        ++arrived;
         ++active_workers;
       }
-      run_batch_slice();
+      run_batch_slice(*task, count);
       {
         std::lock_guard<std::mutex> lock(mutex);
         --active_workers;
@@ -106,14 +121,21 @@ void ThreadPool::parallel_for(std::size_t n,
     impl_->n = n;
     impl_->next_index.store(0, std::memory_order_relaxed);
     impl_->first_error = nullptr;
+    impl_->arrived = 0;
     ++impl_->generation;
   }
   impl_->work_ready.notify_all();
-  impl_->run_batch_slice();  // calling thread participates
+  impl_->run_batch_slice(fn, n);  // calling thread participates
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(impl_->mutex);
-    impl_->batch_done.wait(lock, [&] { return impl_->active_workers == 0; });
+    // Wait for every worker to acknowledge this generation, not just for
+    // the active count to hit zero: a worker that has not checked in yet
+    // must not be left behind to collide with the next batch's publish.
+    impl_->batch_done.wait(lock, [&] {
+      return impl_->arrived == impl_->workers.size() &&
+             impl_->active_workers == 0;
+    });
     impl_->fn = nullptr;
     error = impl_->first_error;
   }

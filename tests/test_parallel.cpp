@@ -85,6 +85,25 @@ TEST(ThreadPool, SerialModePropagatesExceptionsToo) {
                std::logic_error);
 }
 
+TEST(ThreadPool, LateWorkersCannotLeakIntoTheNextBatch) {
+  // Regression: a worker still asleep when a batch drained used to wake
+  // during the next publish and claim indices with the previous batch's
+  // (larger) n — out-of-range calls into the new fn. Alternating large and
+  // tiny batches back-to-back maximizes the chance of a late wakeup; every
+  // index of every batch must run exactly once, and never out of range.
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = (round % 2 == 0) ? 64 : 1;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h = 0;
+    pool.parallel_for(n, [&](std::size_t i) {
+      ASSERT_LT(i, n);
+      ++hits[i];
+    });
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
 TEST(ThreadPool, UsableForConsecutiveBatches) {
   ThreadPool pool(3);
   for (int round = 0; round < 20; ++round) {

@@ -62,6 +62,20 @@ TEST(Robustness, UnknownCriterionThrows) {
   EXPECT_THROW(s.by_name("nope"), decompeval::PreconditionError);
 }
 
+TEST(Robustness, ByNameSurvivesHandAssemblyAndCriteriaReplacement) {
+  RobustnessSummary s;
+  s.criteria = {{"alpha", 1, 2}, {"beta", 2, 2}};
+  // No index built yet: lookups fall back to a scan on the const summary.
+  EXPECT_EQ(&s.by_name("beta"), &s.criteria[1]);
+  s.index_criteria();
+  EXPECT_EQ(&s.by_name("alpha"), &s.criteria[0]);
+  // Replacing criteria with a same-size set must not return stale entries.
+  s.criteria = {{"gamma", 0, 1}, {"delta", 1, 1}};
+  EXPECT_EQ(&s.by_name("gamma"), &s.criteria[0]);
+  EXPECT_EQ(&s.by_name("delta"), &s.criteria[1]);
+  EXPECT_THROW(s.by_name("alpha"), decompeval::PreconditionError);
+}
+
 TEST(Robustness, RejectsZeroSeeds) {
   RobustnessConfig config;
   config.n_seeds = 0;

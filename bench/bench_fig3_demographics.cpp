@@ -10,7 +10,7 @@ using namespace decompeval;
 
 void BM_CohortGeneration(benchmark::State& state) {
   study::CohortConfig config;
-  config.seed = 38;
+  config.seed = 68;
   for (auto _ : state) {
     benchmark::DoNotOptimize(study::generate_cohort(config));
   }

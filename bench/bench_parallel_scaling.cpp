@@ -14,7 +14,10 @@
 #include "bench/bench_common.h"
 #include "analysis/power.h"
 #include "analysis/robustness.h"
+#include "analysis/rq1_correctness.h"
 #include "embed/corpus.h"
+#include "mixed/glmm.h"
+#include "study/engine.h"
 #include "util/parallel.h"
 #include "util/strings.h"
 
@@ -111,6 +114,46 @@ int main(int argc, char** argv) {
       }));
     }
 
+    // 4. Multi-start GLMM: the default 8-start Laplace fit, with a
+    //    bit-identity check of the winning deviance across thread counts.
+    const auto model_data = analysis::build_model_data(
+        bench::cached_study(), /*timing_model=*/false);
+    std::vector<double> glmm_ms;
+    double glmm_serial_deviance = 0.0;
+    bool glmm_identical = true;
+    for (const std::size_t threads : ladder) {
+      mixed::FitOptions options;
+      options.threads = threads;
+      mixed::GlmmFit fit;
+      glmm_ms.push_back(
+          time_ms([&] { fit = mixed::fit_logistic_glmm(model_data, options); }));
+      if (threads == 1)
+        glmm_serial_deviance = fit.deviance;
+      else
+        glmm_identical =
+            glmm_identical && fit.deviance == glmm_serial_deviance;
+    }
+
+    // 5. Sharded study simulation, bit-identity checked on the responses.
+    std::vector<double> study_ms;
+    study::StudyData serial_study;
+    bool study_identical = true;
+    for (const std::size_t threads : ladder) {
+      study::StudyConfig config;
+      config.threads = threads;
+      study::StudyData data;
+      study_ms.push_back(time_ms([&] { data = study::run_study(config); }));
+      if (threads == 1) {
+        serial_study = std::move(data);
+        continue;
+      }
+      bool same = data.responses.size() == serial_study.responses.size();
+      for (std::size_t i = 0; same && i < data.responses.size(); ++i)
+        same = data.responses[i].seconds == serial_study.responses[i].seconds &&
+               data.responses[i].correct == serial_study.responses[i].correct;
+      study_identical = study_identical && same;
+    }
+
     const auto print_row = [&](const char* label,
                                const std::vector<double>& ms) {
       std::cout << "  " << label << ":";
@@ -123,8 +166,14 @@ int main(int argc, char** argv) {
     print_row("robustness 10 seeds ", robustness_ms);
     print_row("power 12 replicates ", power_ms);
     print_row("embedding 8k corpus ", embed_ms);
+    print_row("glmm 8-start fit    ", glmm_ms);
+    print_row("study simulation    ", study_ms);
     std::cout << "  robustness summary bit-identical across thread counts: "
               << (robustness_identical ? "yes" : "NO — BUG") << "\n";
+    std::cout << "  glmm deviance bit-identical across thread counts:      "
+              << (glmm_identical ? "yes" : "NO — BUG") << "\n";
+    std::cout << "  study responses bit-identical across thread counts:    "
+              << (study_identical ? "yes" : "NO — BUG") << "\n";
 
     const auto json_ladder = [&](std::ostream& os,
                                  const std::vector<double>& ms) {
@@ -147,7 +196,14 @@ int main(int argc, char** argv) {
     json_ladder(json, power_ms);
     json << ",\n  \"embedding_8k_ms\": ";
     json_ladder(json, embed_ms);
-    json << "\n}\n";
+    json << ",\n  \"glmm_multistart_ms\": ";
+    json_ladder(json, glmm_ms);
+    json << ",\n  \"glmm_bit_identical\": "
+         << (glmm_identical ? "true" : "false")
+         << ",\n  \"run_study_ms\": ";
+    json_ladder(json, study_ms);
+    json << ",\n  \"run_study_bit_identical\": "
+         << (study_identical ? "true" : "false") << "\n}\n";
     std::cout << "\nWrote BENCH_parallel.json\n";
   });
 }

@@ -16,7 +16,7 @@ study::StudyData run_synthetic_study(std::size_t n_snippets) {
   decompiler::GeneratorConfig gen;
   gen.seed = 4242;
   study::StudyConfig config;
-  config.seed = 38;
+  config.seed = 68;
   return study::run_study(config, decompiler::generate_snippets(n_snippets, gen));
 }
 

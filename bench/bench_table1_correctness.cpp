@@ -11,7 +11,7 @@ using namespace decompeval;
 void BM_StudySimulation(benchmark::State& state) {
   for (auto _ : state) {
     study::StudyConfig config;
-    config.seed = 38;
+    config.seed = 68;
     benchmark::DoNotOptimize(study::run_study(config));
   }
 }

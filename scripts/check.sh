@@ -1,24 +1,34 @@
 #!/usr/bin/env bash
-# Full verification: regular build + ctest, then a ThreadSanitizer build
-# running the thread-pool / determinism tests (the parallel execution
-# layer's data-race budget is zero).
+# Full verification in one invocation:
+#   1. regular build + the complete test suite,
+#   2. ThreadSanitizer build + the tier-1 labeled tests,
+#   3. AddressSanitizer build + the tier-1 labeled tests.
+# The parallel execution layer's data-race budget is zero, and every new
+# parallel stage (sharded study, multi-start fits, metric fan-out) is
+# covered by tier-1 determinism contracts, so both sanitizers run the
+# whole tier-1 label rather than a hand-picked regex.
 #
-# Usage: scripts/check.sh [--tsan-only]
+# Usage: scripts/check.sh [--sanitizers-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-if [[ "${1:-}" != "--tsan-only" ]]; then
+if [[ "${1:-}" != "--sanitizers-only" ]]; then
   echo "=== regular build + full test suite ==="
   cmake -B build -S .
   cmake --build build -j "$JOBS"
   ctest --test-dir build --output-on-failure -j "$JOBS"
 fi
 
-echo "=== ThreadSanitizer build + parallel tests ==="
+echo "=== ThreadSanitizer build + tier-1 tests ==="
 cmake -B build-tsan -S . -DDECOMPEVAL_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target test_parallel
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-  -R 'ThreadPool|ParallelDeterminism|RngSplit'
+cmake --build build-tsan -j "$JOBS"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L tier1
+
+echo "=== AddressSanitizer build + tier-1 tests ==="
+cmake -B build-asan -S . -DDECOMPEVAL_SANITIZE=address
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L tier1
+
 echo "=== all checks passed ==="

@@ -38,16 +38,27 @@ PowerResult estimate_power(const PowerConfig& config) {
   // engine's own seed usage.
   const util::Rng master(config.seed);
 
+  // Inner stages run serially: the replicate loop already owns the pool's
+  // worth of parallelism, and the fit result is thread-count-invariant
+  // anyway. Replicate fits also keep the legacy single heuristic start —
+  // power aggregates significance over many replicates, where the
+  // multi-start criterion gap is noise, and 8x the fit cost would dominate
+  // the sweep.
+  mixed::FitOptions fit_options;
+  fit_options.threads = 1;
+  fit_options.n_starts = 1;
+
   std::vector<ReplicateStats> replicates(config.n_replicates);
   util::parallel_for(
       config.threads, config.n_replicates, [&](std::size_t rep) {
         study::StudyConfig study_config;
         study_config.seed = master.split_seed(rep);
+        study_config.threads = 1;
         study_config.cohort.n_students = config.n_students;
         study_config.cohort.n_professionals = config.n_professionals;
         study_config.response_model.global_trust_penalty = 0.0;
         const study::StudyData data = study::run_study(study_config, pool);
-        const CorrectnessModelResult fit = analyze_correctness(data);
+        const CorrectnessModelResult fit = analyze_correctness(data, fit_options);
         const mixed::Coefficient& treatment = fit.fit.coefficients[1];
         replicates[rep] = {
             treatment.p_value < config.alpha && treatment.estimate > 0.0,

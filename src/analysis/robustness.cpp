@@ -9,6 +9,7 @@
 #include "analysis/rq4_perception.h"
 #include "util/check.h"
 #include "util/parallel.h"
+#include "util/rng.h"
 
 namespace decompeval::analysis {
 
@@ -29,12 +30,21 @@ SeedOutcomes evaluate_seed(std::uint64_t seed,
                            const std::vector<snippets::Snippet>& pool) {
   study::StudyConfig study_config;
   study_config.seed = seed;
+  study_config.threads = 1;  // the sweep is already parallel across seeds
   const study::StudyData data = study::run_study(study_config, pool);
 
+  // Sweep-internal fits keep the legacy single heuristic start: the sweep
+  // parallelizes across seeds already, and the multi-start contract is
+  // covered by the headline pipeline, the oracle tests and its own bench
+  // ladder. Shape criteria are insensitive to the tiny criterion gap.
+  mixed::FitOptions fit_options;
+  fit_options.threads = 1;
+  fit_options.n_starts = 1;
+
   SeedOutcomes held{};
-  const auto table1 = analyze_correctness(data);
+  const auto table1 = analyze_correctness(data, fit_options);
   held[0] = table1.fit.coefficients[1].p_value > 0.05;  // RQ1 null
-  const auto table2 = analyze_timing(data);
+  const auto table2 = analyze_timing(data, fit_options);
   held[1] = table2.fit.coefficients[1].p_value > 0.05;  // RQ2 null
 
   const auto opinions = analyze_opinions(data, pool);
@@ -98,10 +108,13 @@ RobustnessSummary analyze_robustness(const RobustnessConfig& config) {
 
   // Per-seed outcomes land in their slot; the tally merge below runs in
   // seed order on this thread, so the summary is bit-identical at any
-  // thread count.
+  // thread count. Study seeds are independent split streams of first_seed
+  // rather than the old first_seed + i stride, which could alias with the
+  // engine's own seed arithmetic.
+  const util::Rng seed_base(config.first_seed);
   std::vector<SeedOutcomes> outcomes(config.n_seeds);
   util::parallel_for(config.threads, config.n_seeds, [&](std::size_t i) {
-    outcomes[i] = evaluate_seed(config.first_seed + i, pool);
+    outcomes[i] = evaluate_seed(seed_base.split_seed(i), pool);
   });
 
   for (const SeedOutcomes& held : outcomes) {

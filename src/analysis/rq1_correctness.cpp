@@ -51,13 +51,14 @@ mixed::MixedModelData build_model_data(
   return md;
 }
 
-CorrectnessModelResult analyze_correctness(const study::StudyData& data) {
+CorrectnessModelResult analyze_correctness(const study::StudyData& data,
+                                           const mixed::FitOptions& fit_options) {
   CorrectnessModelResult out;
   const mixed::MixedModelData md = build_model_data(data, /*timing_model=*/false);
   out.n_observations = md.n_observations();
   out.n_users = md.n_users;
   out.n_questions = md.n_questions;
-  out.fit = mixed::fit_logistic_glmm(md);
+  out.fit = mixed::fit_logistic_glmm(md, fit_options);
   return out;
 }
 

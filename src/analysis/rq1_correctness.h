@@ -21,7 +21,10 @@ struct CorrectnessModelResult {
 };
 
 /// Builds the model data (gradeable responses only) and fits the GLMM.
-CorrectnessModelResult analyze_correctness(const study::StudyData& data);
+/// `fit_options` controls the multi-start search (pass threads = 1 when the
+/// caller already parallelizes over studies, as robustness/power do).
+CorrectnessModelResult analyze_correctness(const study::StudyData& data,
+                                           const mixed::FitOptions& fit_options = {});
 
 /// Shared helper: the fixed-effects design of both Table models.
 /// Returns a dense user-index remapping as well.

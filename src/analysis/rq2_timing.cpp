@@ -4,13 +4,14 @@
 
 namespace decompeval::analysis {
 
-TimingModelResult analyze_timing(const study::StudyData& data) {
+TimingModelResult analyze_timing(const study::StudyData& data,
+                                 const mixed::FitOptions& fit_options) {
   TimingModelResult out;
   const mixed::MixedModelData md = build_model_data(data, /*timing_model=*/true);
   out.n_observations = md.n_observations();
   out.n_users = md.n_users;
   out.n_questions = md.n_questions;
-  out.fit = mixed::fit_lmm(md);
+  out.fit = mixed::fit_lmm(md, fit_options);
   return out;
 }
 

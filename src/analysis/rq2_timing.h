@@ -16,6 +16,9 @@ struct TimingModelResult {
   std::size_t n_questions = 0;
 };
 
-TimingModelResult analyze_timing(const study::StudyData& data);
+/// `fit_options` controls the multi-start search (pass threads = 1 when the
+/// caller already parallelizes over studies, as robustness does).
+TimingModelResult analyze_timing(const study::StudyData& data,
+                                 const mixed::FitOptions& fit_options = {});
 
 }  // namespace decompeval::analysis

@@ -1,45 +1,78 @@
 #include "analysis/rq5_metrics.h"
 
+#include <functional>
+#include <utility>
+
 #include "util/check.h"
+#include "util/parallel.h"
+#include "util/rng.h"
 
 namespace decompeval::analysis {
 
+namespace {
+
+// One snippet × variant cell of the metric fan-out. The full battery is
+// 3 independent tasks per snippet (intrinsic metrics, simulated variable
+// panel, simulated type panel), each a pure function of (snippet, stream).
+struct SnippetEval {
+  metrics::SnippetMetricScores scores;
+  double human_variable = 0.0;
+  double human_type = 0.0;
+};
+
+}  // namespace
+
 MetricAnalysis analyze_metric_correlations(
     const study::StudyData& data, const std::vector<snippets::Snippet>& pool,
-    const embed::EmbeddingModel& model) {
+    const embed::EmbeddingModel& model, const MetricAnalysisOptions& options) {
   MetricAnalysis out;
 
-  // ---- snippet-level metric scores ----
-  std::vector<metrics::SnippetMetricScores> scores_by_index(pool.size());
-  for (std::size_t i = 0; i < pool.size(); ++i) {
-    scores_by_index[i] =
-        metrics::compute_snippet_metrics(pool[i].metric_inputs(), model);
-    out.per_snippet[pool[i].id] = scores_by_index[i];
-  }
-
-  // ---- simulated human evaluation ----
-  std::vector<metrics::NamePair> pooled_pairs;
-  std::vector<double> human_var_by_index(pool.size(), 0.0);
-  std::vector<double> human_type_by_index(pool.size(), 0.0);
-  for (std::size_t i = 0; i < pool.size(); ++i) {
+  // ---- snippet-level metric scores + simulated human evaluation ----
+  // Fan out per snippet × variant on one pool: task 3i computes the
+  // intrinsic metric battery, tasks 3i+1 / 3i+2 the simulated variable and
+  // type panels. Human-eval seeds are independent split streams of the
+  // base seed (streams 2i and 2i+1; the pooled panel below takes stream
+  // 2·|pool|), so no variant's stream depends on pool order arithmetic.
+  const util::Rng eval_base(options.human_eval_seed);
+  util::ThreadPool pool_threads(options.threads);
+  std::vector<SnippetEval> evals(pool.size());
+  pool_threads.parallel_for(3 * pool.size(), [&](std::size_t task) {
+    const std::size_t i = task / 3;
     metrics::HumanEvalConfig cfg;
-    cfg.seed = 2025 + i;
-    const auto var_eval =
-        metrics::simulate_human_evaluation(pool[i].variable_alignment, model, cfg);
-    cfg.seed = 4025 + i;
-    const auto type_eval =
-        metrics::simulate_human_evaluation(pool[i].type_alignment, model, cfg);
-    human_var_by_index[i] = var_eval.mean_score;
-    human_type_by_index[i] = type_eval.mean_score;
-    out.human_variable_score[pool[i].id] = var_eval.mean_score;
-    out.human_type_score[pool[i].id] = type_eval.mean_score;
+    switch (task % 3) {
+      case 0:
+        evals[i].scores =
+            metrics::compute_snippet_metrics(pool[i].metric_inputs(), model);
+        break;
+      case 1:
+        cfg.seed = eval_base.split_seed(2 * i);
+        evals[i].human_variable =
+            metrics::simulate_human_evaluation(pool[i].variable_alignment,
+                                               model, cfg)
+                .mean_score;
+        break;
+      default:
+        cfg.seed = eval_base.split_seed(2 * i + 1);
+        evals[i].human_type =
+            metrics::simulate_human_evaluation(pool[i].type_alignment, model,
+                                               cfg)
+                .mean_score;
+        break;
+    }
+  });
+
+  std::vector<metrics::NamePair> pooled_pairs;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    out.per_snippet[pool[i].id] = evals[i].scores;
+    out.human_variable_score[pool[i].id] = evals[i].human_variable;
+    out.human_type_score[pool[i].id] = evals[i].human_type;
     pooled_pairs.insert(pooled_pairs.end(), pool[i].variable_alignment.begin(),
                         pool[i].variable_alignment.end());
     pooled_pairs.insert(pooled_pairs.end(), pool[i].type_alignment.begin(),
                         pool[i].type_alignment.end());
   }
   metrics::HumanEvalConfig pooled_cfg;
-  pooled_cfg.seed = 777;
+  pooled_cfg.seed = eval_base.split_seed(2 * pool.size());
   out.krippendorff_alpha =
       metrics::simulate_human_evaluation(pooled_pairs, model, pooled_cfg)
           .krippendorff_ordinal_alpha;
@@ -67,7 +100,7 @@ MetricAnalysis analyze_metric_correlations(
   }
   DE_EXPECTS_MSG(joined.size() >= 10, "too few DIRTY responses for RQ5");
 
-  const auto correlate = [&](auto metric_of) {
+  const auto correlate = [&](const std::function<double(std::size_t)>& metric_of) {
     MetricCorrelationRow row;
     std::vector<double> mx_t, my_t, mx_c, my_c;
     for (const Joined& j : joined) {
@@ -94,31 +127,42 @@ MetricAnalysis analyze_metric_correlations(
   out.n_time_observations = n_time;
   out.n_correctness_observations = n_correct;
 
-  const auto add_row = [&](const std::string& name, auto metric_of) {
-    MetricCorrelationRow row = correlate(metric_of);
-    row.metric = name;
-    out.rows.push_back(std::move(row));
+  // ---- one correlation task per metric (Tables III & IV rows) ----
+  struct MetricSpec {
+    const char* name;
+    std::function<double(std::size_t)> value_of;
   };
-  add_row("BLEU", [&](std::size_t i) { return scores_by_index[i].bleu; });
-  add_row("codeBLEU",
-          [&](std::size_t i) { return scores_by_index[i].code_bleu; });
-  add_row("Jaccard Similarity",
-          [&](std::size_t i) { return scores_by_index[i].jaccard; });
-  add_row("BERTScore F1",
-          [&](std::size_t i) { return scores_by_index[i].bertscore_f1; });
-  add_row("VarCLR", [&](std::size_t i) { return scores_by_index[i].varclr; });
-  add_row("Human Evaluation (Variables)",
-          [&](std::size_t i) { return human_var_by_index[i]; });
-  add_row("Human Evaluation (Types)",
-          [&](std::size_t i) { return human_type_by_index[i]; });
+  const std::vector<MetricSpec> specs = {
+      {"BLEU", [&](std::size_t i) { return evals[i].scores.bleu; }},
+      {"codeBLEU", [&](std::size_t i) { return evals[i].scores.code_bleu; }},
+      {"Jaccard Similarity",
+       [&](std::size_t i) { return evals[i].scores.jaccard; }},
+      {"BERTScore F1",
+       [&](std::size_t i) { return evals[i].scores.bertscore_f1; }},
+      {"VarCLR", [&](std::size_t i) { return evals[i].scores.varclr; }},
+      {"Human Evaluation (Variables)",
+       [&](std::size_t i) { return evals[i].human_variable; }},
+      {"Human Evaluation (Types)",
+       [&](std::size_t i) { return evals[i].human_type; }},
+      {"Levenshtein",
+       [&](std::size_t i) { return evals[i].scores.levenshtein; }},
+  };
+  std::vector<MetricCorrelationRow> rows = pool_threads.parallel_map(
+      specs, [&](const MetricSpec& spec, std::size_t) {
+        MetricCorrelationRow row = correlate(spec.value_of);
+        row.metric = spec.name;
+        return row;
+      });
 
-  out.levenshtein = correlate(
-      [&](std::size_t i) { return scores_by_index[i].levenshtein; });
-  out.levenshtein.metric = "Levenshtein";
+  // Rows in paper order; Levenshtein is reported separately.
+  out.levenshtein = std::move(rows.back());
+  rows.pop_back();
+  out.rows = std::move(rows);
+
   double lev_sum = 0.0, lev_norm_sum = 0.0;
   for (std::size_t i = 0; i < pool.size(); ++i) {
-    lev_sum += scores_by_index[i].levenshtein;
-    lev_norm_sum += scores_by_index[i].normalized_levenshtein;
+    lev_sum += evals[i].scores.levenshtein;
+    lev_norm_sum += evals[i].scores.normalized_levenshtein;
   }
   out.mean_raw_levenshtein = lev_sum / static_cast<double>(pool.size());
   out.mean_normalized_levenshtein =

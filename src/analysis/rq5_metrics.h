@@ -46,8 +46,20 @@ struct MetricAnalysis {
   std::size_t n_correctness_observations = 0;
 };
 
+struct MetricAnalysisOptions {
+  /// Worker threads for the snippet × variant metric fan-out and the
+  /// per-metric correlation rows; 0 = hardware concurrency. The analysis is
+  /// bit-identical at every thread count.
+  std::size_t threads = 0;
+  /// Base seed of the simulated human-evaluation panels. Each snippet's
+  /// variable and type panels draw from independent Rng::split streams of
+  /// this seed (no additive seed strides).
+  std::uint64_t human_eval_seed = 2025;
+};
+
 MetricAnalysis analyze_metric_correlations(
     const study::StudyData& data, const std::vector<snippets::Snippet>& pool,
-    const embed::EmbeddingModel& model);
+    const embed::EmbeddingModel& model,
+    const MetricAnalysisOptions& options = {});
 
 }  // namespace decompeval::analysis

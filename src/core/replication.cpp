@@ -16,6 +16,7 @@ ReplicationReport run_replication(const ReplicationConfig& config) {
 
   study::StudyConfig study_config = config.study;
   study_config.seed = config.seed;
+  study_config.threads = config.threads;
   report.data = study::run_study(study_config, report.pool);
 
   std::ostringstream os;
@@ -30,9 +31,11 @@ ReplicationReport run_replication(const ReplicationConfig& config) {
   os << report::render_figure3(report.figure3) << '\n';
 
   if (config.run_models) {
-    report.table1 = analysis::analyze_correctness(report.data);
+    mixed::FitOptions fit_options;
+    fit_options.threads = config.threads;
+    report.table1 = analysis::analyze_correctness(report.data, fit_options);
     os << report::render_table1(report.table1) << '\n';
-    report.table2 = analysis::analyze_timing(report.data);
+    report.table2 = analysis::analyze_timing(report.data, fit_options);
     os << report::render_table2(report.table2) << '\n';
   }
 
@@ -68,8 +71,10 @@ ReplicationReport run_replication(const ReplicationConfig& config) {
     const embed::EmbeddingModel model = embed::EmbeddingModel::train_default(
         config.embedding_corpus_sentences, config.embedding_corpus_seed,
         embed_options);
+    analysis::MetricAnalysisOptions metric_options;
+    metric_options.threads = config.threads;
     report.metric_tables = analysis::analyze_metric_correlations(
-        report.data, report.pool, model);
+        report.data, report.pool, model, metric_options);
     os << report::render_table3(report.metric_tables) << '\n';
     os << report::render_table4(report.metric_tables) << '\n';
   }

@@ -37,10 +37,11 @@ struct ReplicationConfig {
   /// Embedding corpus size for BERTScore/VarCLR (larger = slower, stabler).
   std::size_t embedding_corpus_sentences = 20000;
   std::uint64_t embedding_corpus_seed = 42;
-  std::uint64_t seed = 38;  ///< master seed, overrides study.seed
-  /// Worker threads for the parallelizable stages (currently embedding
-  /// training); 0 = hardware concurrency. Results are bit-identical for
-  /// every thread count.
+  std::uint64_t seed = 68;  ///< master seed, overrides study.seed
+  /// Worker threads for the parallelizable stages (study simulation
+  /// shards, multi-start mixed-model fits, embedding training, the RQ5
+  /// metric battery); 0 = hardware concurrency. Results are bit-identical
+  /// for every thread count.
   std::size_t threads = 0;
 
   /// Which parts to run (all by default; benches switch pieces off).

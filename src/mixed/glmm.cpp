@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numbers>
+#include <utility>
 
 #include "linalg/matrix.h"
 #include "mixed/nelder_mead.h"
@@ -130,7 +132,8 @@ PirlsResult pirls(const MixedModelData& d, const std::vector<double>& beta,
 
 }  // namespace
 
-GlmmFit fit_logistic_glmm(const MixedModelData& data) {
+GlmmFit fit_logistic_glmm(const MixedModelData& data,
+                          const FitOptions& options) {
   data.validate();
   for (const double v : data.y)
     DE_EXPECTS_MSG(v == 0.0 || v == 1.0, "GLMM response must be binary 0/1");
@@ -139,15 +142,19 @@ GlmmFit fit_logistic_glmm(const MixedModelData& data) {
   const std::size_t p = data.n_fixed_effects();
   const std::size_t q = data.n_users + data.n_questions;
 
-  // Outer parameter vector: [theta_u, theta_q, beta...].
-  linalg::Vector warm_u(q, 0.0);
-  const auto objective = [&](const std::vector<double>& v) {
-    const double theta_u = std::abs(v[0]);
-    const double theta_q = std::abs(v[1]);
-    const std::vector<double> beta(v.begin() + 2, v.end());
-    PirlsResult r = pirls(data, beta, theta_u, theta_q, warm_u);
-    warm_u = r.u;  // warm start speeds the outer optimization considerably
-    return r.laplace_deviance;
+  // Outer parameter vector: [theta_u, theta_q, beta...]. Each objective
+  // instance owns its PIRLS warm start (it speeds the outer optimization
+  // considerably), so concurrent multi-start simplices never share state.
+  const auto objective_factory = [&data, q]() {
+    auto warm_u = std::make_shared<linalg::Vector>(q, 0.0);
+    return [&data, warm_u](const std::vector<double>& v) {
+      const double theta_u = std::abs(v[0]);
+      const double theta_q = std::abs(v[1]);
+      const std::vector<double> beta(v.begin() + 2, v.end());
+      PirlsResult r = pirls(data, beta, theta_u, theta_q, *warm_u);
+      *warm_u = std::move(r.u);
+      return r.laplace_deviance;
+    };
   };
 
   std::vector<double> start(2 + p, 0.0);
@@ -163,7 +170,9 @@ GlmmFit fit_logistic_glmm(const MixedModelData& data) {
   opts.initial_step = 0.4;
   opts.tolerance = 1e-8;
   opts.max_evaluations = 40000;
-  const NelderMeadResult opt = nelder_mead(objective, start, opts);
+  MultiStartOutcome search = multi_start_nelder_mead(
+      objective_factory, start, /*n_theta=*/2, opts, options);
+  const NelderMeadResult& opt = search.best;
 
   const double theta_u = std::abs(opt.x[0]);
   const double theta_q = std::abs(opt.x[1]);
@@ -173,6 +182,7 @@ GlmmFit fit_logistic_glmm(const MixedModelData& data) {
 
   GlmmFit fit;
   fit.converged = opt.converged && final_fit.converged;
+  fit.multi_start = std::move(search.report);
   fit.n_observations = n;
   fit.deviance = final_fit.laplace_deviance;
   fit.sigma_user = theta_u;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mixed/model_data.h"
+#include "mixed/multi_start.h"
 
 namespace decompeval::mixed {
 
@@ -29,9 +30,15 @@ struct GlmmFit {
   std::vector<double> random_question;
   std::size_t n_observations = 0;
   bool converged = false;
+  /// Multi-start diagnostics (n_starts, winning start, per-start deviance).
+  MultiStartReport multi_start;
 };
 
 /// Fits the logistic GLMM. `data.y` must contain only 0.0 and 1.0.
-GlmmFit fit_logistic_glmm(const MixedModelData& data);
+/// The default options run a deterministic 8-start Nelder–Mead search whose
+/// deviance is never worse than the legacy single start
+/// (options.n_starts = 1); the result is identical at every thread count.
+GlmmFit fit_logistic_glmm(const MixedModelData& data,
+                          const FitOptions& options = {});
 
 }  // namespace decompeval::mixed

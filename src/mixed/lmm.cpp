@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <numbers>
+#include <utility>
 
 #include "linalg/matrix.h"
 #include "mixed/nelder_mead.h"
@@ -107,18 +108,23 @@ void MixedModelData::validate() const {
   for (const std::size_t q : question) DE_EXPECTS(q < n_questions);
 }
 
-LmmFit fit_lmm(const MixedModelData& data) {
+LmmFit fit_lmm(const MixedModelData& data, const FitOptions& options) {
   data.validate();
   const std::size_t n = data.n_observations();
   const std::size_t p = data.n_fixed_effects();
   DE_EXPECTS_MSG(n > p + 2, "too few observations for the model");
 
-  const auto objective = [&data](const std::vector<double>& t) {
-    return reml_criterion(data, std::abs(t[0]), std::abs(t[1]));
+  // The profiled criterion is stateless, so every start can share it.
+  const auto objective_factory = [&data]() {
+    return [&data](const std::vector<double>& t) {
+      return reml_criterion(data, std::abs(t[0]), std::abs(t[1]));
+    };
   };
   NelderMeadOptions opts;
   opts.initial_step = 0.5;
-  const NelderMeadResult opt = nelder_mead(objective, {1.0, 1.0}, opts);
+  MultiStartOutcome search = multi_start_nelder_mead(
+      objective_factory, {1.0, 1.0}, /*n_theta=*/2, opts, options);
+  const NelderMeadResult& opt = search.best;
 
   const double theta_u = std::abs(opt.x[0]);
   const double theta_q = std::abs(opt.x[1]);
@@ -126,6 +132,7 @@ LmmFit fit_lmm(const MixedModelData& data) {
 
   LmmFit fit;
   fit.converged = opt.converged;
+  fit.multi_start = std::move(search.report);
   fit.n_observations = n;
   fit.reml_criterion = opt.value;
   const double nmp = static_cast<double>(n - p);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mixed/model_data.h"
+#include "mixed/multi_start.h"
 
 namespace decompeval::mixed {
 
@@ -31,10 +32,15 @@ struct LmmFit {
   std::vector<double> random_question;  ///< BLUPs, length n_questions
   std::size_t n_observations = 0;
   bool converged = false;
+  /// Multi-start diagnostics (n_starts, winning start, per-start REML).
+  MultiStartReport multi_start;
 };
 
 /// Fits the LMM. Requires data.validate() to pass, n > p + 2, and at least
-/// two levels in each grouping factor.
-LmmFit fit_lmm(const MixedModelData& data);
+/// two levels in each grouping factor. The default options run a
+/// deterministic 8-start Nelder–Mead search over θ whose REML criterion is
+/// never worse than the legacy single start (options.n_starts = 1); the
+/// result is identical at every thread count.
+LmmFit fit_lmm(const MixedModelData& data, const FitOptions& options = {});
 
 }  // namespace decompeval::mixed

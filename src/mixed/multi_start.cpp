@@ -1,0 +1,102 @@
+#include "mixed/multi_start.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace decompeval::mixed {
+
+std::vector<std::vector<double>> multi_start_points(
+    const std::vector<double>& x0, std::size_t n_theta,
+    const FitOptions& options) {
+  DE_EXPECTS(!x0.empty());
+  DE_EXPECTS(n_theta <= x0.size());
+  DE_EXPECTS(options.n_starts >= 1);
+  DE_EXPECTS(options.theta_scale_min > 0.0);
+  DE_EXPECTS(options.theta_scale_max >= options.theta_scale_min);
+
+  std::vector<std::vector<double>> starts;
+  starts.reserve(static_cast<std::size_t>(options.n_starts));
+  starts.push_back(x0);
+  const std::size_t extra = static_cast<std::size_t>(options.n_starts) - 1;
+  if (extra == 0) return starts;
+
+  // One stratum permutation per theta dimension makes the scale factors a
+  // Latin hypercube: across the K−1 jittered starts every dimension visits
+  // every log-uniform stratum exactly once.
+  util::Rng base(options.seed);
+  std::vector<std::vector<std::size_t>> strata(n_theta);
+  for (std::size_t d = 0; d < n_theta; ++d) {
+    strata[d].resize(extra);
+    std::iota(strata[d].begin(), strata[d].end(), std::size_t{0});
+    base.shuffle(strata[d]);
+  }
+
+  const double log_lo = std::log(options.theta_scale_min);
+  const double log_hi = std::log(options.theta_scale_max);
+  for (std::size_t k = 0; k < extra; ++k) {
+    // Per-start stream: pure function of (seed, k), so the start list does
+    // not depend on how (or whether) other starts are generated.
+    util::Rng stream = base.split(k);
+    std::vector<double> x = x0;
+    for (std::size_t d = 0; d < n_theta; ++d) {
+      const double in_stratum = stream.uniform();
+      const double frac =
+          (static_cast<double>(strata[d][k]) + in_stratum) /
+          static_cast<double>(extra);
+      const double scale = std::exp(log_lo + frac * (log_hi - log_lo));
+      // Heuristic inits use theta = 1; if a caller ever passes 0, fall back
+      // to the scale itself rather than pinning the start at 0.
+      x[d] = x0[d] != 0.0 ? x0[d] * scale : scale;
+    }
+    for (std::size_t j = n_theta; j < x.size(); ++j)
+      x[j] = x0[j] + options.beta_jitter_sd * stream.normal();
+    starts.push_back(std::move(x));
+  }
+  return starts;
+}
+
+MultiStartOutcome multi_start_nelder_mead(
+    const std::function<
+        std::function<double(const std::vector<double>&)>()>& objective_factory,
+    const std::vector<double>& x0, std::size_t n_theta,
+    const NelderMeadOptions& nm_options, const FitOptions& options) {
+  const std::vector<std::vector<double>> starts =
+      multi_start_points(x0, n_theta, options);
+
+  // Each start gets a fresh objective instance: stateful objectives (the
+  // GLMM warm start) stay private to their simplex, which both avoids data
+  // races and keeps every start a pure function of its start vector.
+  const std::vector<NelderMeadResult> results = util::parallel_map(
+      options.threads, starts,
+      [&](const std::vector<double>& start, std::size_t) {
+        const auto objective = objective_factory();
+        return nelder_mead(objective, start, nm_options);
+      });
+
+  MultiStartOutcome out;
+  out.report.n_starts = results.size();
+  out.report.start_values.reserve(results.size());
+  std::size_t best = results.size();
+  double best_value = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    out.report.start_values.push_back(results[k].value);
+    if (std::isfinite(results[k].value) && results[k].value < best_value) {
+      best = k;
+      best_value = results[k].value;
+    }
+  }
+  // Every start diverging to a non-finite criterion means the model data is
+  // degenerate; surface that instead of returning garbage.
+  DE_EXPECTS_MSG(best < results.size(),
+                 "no Nelder-Mead start reached a finite criterion");
+  out.report.best_start = best;
+  out.best = results[best];
+  return out;
+}
+
+}  // namespace decompeval::mixed

@@ -1,0 +1,79 @@
+// Deterministic multi-start driver for the Nelder–Mead outer optimization
+// of both mixed-model fitters.
+//
+// The Laplace / REML criteria are not convex in the variance-component
+// parameters, and a simplex started at the single heuristic point can land
+// in a shallow local optimum — which would silently change the paper's
+// Table I/II coefficients. The driver therefore launches K independent
+// simplex searches: start 0 is exactly the legacy heuristic start (so the
+// multi-start winner can never be worse than the single-start fit), and
+// starts 1..K−1 jitter around it with a Latin-hypercube spread over the
+// variance-component scale plus small Gaussian noise on the fixed effects.
+//
+// Determinism contract: every start vector is a pure function of
+// (FitOptions::seed, start index) via Rng::split, starts are fitted as an
+// order-preserving parallel_map batch, and the winner is chosen by
+// (criterion value, start index) in index order on the calling thread —
+// so the fit is bit-identical at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mixed/nelder_mead.h"
+
+namespace decompeval::mixed {
+
+/// Knobs shared by fit_logistic_glmm and fit_lmm.
+struct FitOptions {
+  /// Total Nelder–Mead starts including the heuristic start 0. 1 reproduces
+  /// the legacy single-start fit exactly.
+  int n_starts = 8;
+  /// Worker threads for the start fan-out; 0 = hardware concurrency. The
+  /// result does not depend on this value.
+  std::size_t threads = 0;
+  /// Base seed of the start-jitter streams (start k draws from
+  /// Rng(seed).split(k)); independent of every simulation seed.
+  std::uint64_t seed = 0x5EEDBED5ULL;
+  /// Multiplicative Latin-hypercube envelope for the variance-component
+  /// coordinates: start k scales each theta by a stratified factor in
+  /// [theta_scale_min, theta_scale_max] (log-uniform strata).
+  double theta_scale_min = 0.15;
+  double theta_scale_max = 4.0;
+  /// SD of the additive Gaussian jitter on the non-theta (fixed-effect)
+  /// coordinates.
+  double beta_jitter_sd = 0.25;
+};
+
+/// Per-fit diagnostics of the multi-start search.
+struct MultiStartReport {
+  std::size_t n_starts = 1;
+  std::size_t best_start = 0;        ///< index of the winning start
+  std::vector<double> start_values;  ///< final criterion per start
+};
+
+struct MultiStartOutcome {
+  NelderMeadResult best;
+  MultiStartReport report;
+};
+
+/// Deterministic start points: element 0 is `x0` verbatim; the first
+/// `n_theta` coordinates of the others get the Latin-hypercube scale
+/// treatment, the rest Gaussian jitter. Pure function of (x0, options).
+std::vector<std::vector<double>> multi_start_points(
+    const std::vector<double>& x0, std::size_t n_theta,
+    const FitOptions& options);
+
+/// Minimizes from every start concurrently and returns the best result.
+/// `objective_factory` must produce an independent objective per call —
+/// objectives may keep internal state (e.g. the GLMM PIRLS warm start), so
+/// concurrent starts must never share one. Winner selection: smallest
+/// finite criterion, ties broken by the lower start index.
+MultiStartOutcome multi_start_nelder_mead(
+    const std::function<
+        std::function<double(const std::vector<double>&)>()>& objective_factory,
+    const std::vector<double>& x0, std::size_t n_theta,
+    const NelderMeadOptions& nm_options, const FitOptions& options);
+
+}  // namespace decompeval::mixed

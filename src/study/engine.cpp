@@ -5,6 +5,7 @@
 
 #include "stats/descriptive.h"
 #include "util/check.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace decompeval::study {
@@ -37,50 +38,69 @@ StudyData run_study(const StudyConfig& config,
   data.n_questions = 0;
   for (const auto& s : snippet_pool) data.n_questions += s.questions.size();
 
-  util::Rng rng(config.seed ^ 0x5EA51DEULL);
+  // Group the assignment table per participant (it is emitted in cohort
+  // order, but index it defensively) so each participant is one shard.
+  std::map<std::size_t, std::size_t> id_to_shard;
+  for (std::size_t i = 0; i < data.cohort.size(); ++i)
+    id_to_shard.emplace(data.cohort[i].id, i);
+  std::vector<std::vector<const Assignment*>> shard_assignments(
+      data.cohort.size());
+  for (const Assignment& a : data.assignments)
+    shard_assignments[id_to_shard.at(a.participant_id)].push_back(&a);
 
-  // First pass: simulate everything, keyed by participant so the quality
-  // check can look at each participant's full time profile.
-  std::map<std::size_t, std::vector<Response>> responses_by_participant;
-  std::map<std::size_t, std::vector<OpinionRecord>> opinions_by_participant;
-  for (const Assignment& a : data.assignments) {
-    const Participant& p = data.participant(a.participant_id);
-    const snippets::Snippet& snippet = snippet_pool[a.snippet_index];
-    bool any_answered = false;
-    for (std::size_t qi = 0; qi < snippet.questions.size(); ++qi) {
-      Response r = simulate_response(p, snippet, a.snippet_index, qi,
-                                     a.treatment, config.response_model, rng);
-      any_answered = any_answered || r.answered;
-      responses_by_participant[p.id].push_back(std::move(r));
+  // Per-participant simulation shards. Each shard draws from an
+  // independent split stream of the session RNG, so a participant's
+  // responses are a pure function of (seed, cohort index) — the sharded
+  // simulation scales across cores yet is bit-identical to the serial run,
+  // and the quality check can look at each participant's full time profile
+  // inside the shard.
+  struct Shard {
+    std::vector<Response> responses;
+    std::vector<OpinionRecord> opinions;
+    bool excluded = false;
+  };
+  const util::Rng session_rng(config.seed ^ 0x5EA51DEULL);
+  std::vector<Shard> shards(data.cohort.size());
+  util::parallel_for(config.threads, data.cohort.size(), [&](std::size_t pi) {
+    const Participant& p = data.cohort[pi];
+    util::Rng rng = session_rng.split(pi);
+    Shard& shard = shards[pi];
+    for (const Assignment* a : shard_assignments[pi]) {
+      const snippets::Snippet& snippet = snippet_pool[a->snippet_index];
+      bool any_answered = false;
+      for (std::size_t qi = 0; qi < snippet.questions.size(); ++qi) {
+        Response r = simulate_response(p, snippet, a->snippet_index, qi,
+                                       a->treatment, config.response_model,
+                                       rng);
+        any_answered = any_answered || r.answered;
+        shard.responses.push_back(std::move(r));
+      }
+      if (any_answered) {
+        shard.opinions.push_back(simulate_opinion(
+            p, snippet, a->snippet_index, a->treatment, config.response_model,
+            rng));
+      }
     }
-    if (any_answered) {
-      opinions_by_participant[p.id].push_back(simulate_opinion(
-          p, snippet, a.snippet_index, a.treatment, config.response_model,
-          rng));
-    }
-  }
-
-  // Quality check: median answered-question time must clear the reading
-  // threshold, otherwise the participant is removed from the study.
-  for (const Participant& p : data.cohort) {
-    const auto it = responses_by_participant.find(p.id);
-    if (it == responses_by_participant.end()) continue;
+    // Quality check: median answered-question time must clear the reading
+    // threshold, otherwise the participant is removed from the study.
     std::vector<double> times;
-    for (const Response& r : it->second)
+    for (const Response& r : shard.responses)
       if (r.answered) times.push_back(r.seconds);
-    if (!times.empty() &&
-        stats::median(times) < config.min_read_seconds) {
-      data.excluded_participants.insert(p.id);
-    }
-  }
+    shard.excluded =
+        !times.empty() && stats::median(times) < config.min_read_seconds;
+  });
 
-  for (auto& [pid, responses] : responses_by_participant) {
-    if (data.excluded_participants.count(pid) > 0) continue;
-    for (Response& r : responses) data.responses.push_back(std::move(r));
-  }
-  for (auto& [pid, opinions] : opinions_by_participant) {
-    if (data.excluded_participants.count(pid) > 0) continue;
-    for (OpinionRecord& o : opinions) data.opinions.push_back(std::move(o));
+  // Merge in cohort order on this thread, so the dataset layout does not
+  // depend on how shards were scheduled.
+  for (std::size_t pi = 0; pi < shards.size(); ++pi) {
+    Shard& shard = shards[pi];
+    if (shard.excluded) {
+      data.excluded_participants.insert(data.cohort[pi].id);
+      continue;
+    }
+    for (Response& r : shard.responses) data.responses.push_back(std::move(r));
+    for (OpinionRecord& o : shard.opinions)
+      data.opinions.push_back(std::move(o));
   }
   return data;
 }

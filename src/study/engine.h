@@ -22,7 +22,12 @@ struct StudyConfig {
   /// below this is excluded entirely (the paper required at least the time
   /// an author needed to read the question).
   double min_read_seconds = 40.0;
-  std::uint64_t seed = 38;
+  std::uint64_t seed = 68;
+  /// Worker threads for the per-participant simulation shards; 0 =
+  /// hardware concurrency. Every participant draws from an independent
+  /// Rng::split stream and shard results merge in cohort order, so the
+  /// dataset is bit-identical at every thread count.
+  std::size_t threads = 0;
 };
 
 struct StudyData {

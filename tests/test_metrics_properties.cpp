@@ -1,0 +1,217 @@
+// Property-based tests for the similarity metrics and the rank statistics
+// behind RQ5: identities every metric must satisfy regardless of input
+// (identity scores, symmetry, edit-distance monotonicity) and the
+// permutation/tie invariances the correlation machinery relies on when the
+// study fans analyses out across threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "metrics/codebleu.h"
+#include "stats/correlation.h"
+#include "stats/tests.h"
+#include "text/bleu.h"
+#include "text/similarity.h"
+
+namespace {
+
+using namespace decompeval;
+
+const std::vector<std::string> kTokensA = {"if", "(", "ptr", "==", "0",
+                                           ")",  "{", "return", "-1", ";",
+                                           "}"};
+const std::vector<std::string> kTokensB = {"if", "(", "buf", "!=", "0",
+                                           ")",  "{", "return", "0", ";",
+                                           "}"};
+
+// ---------------------------------------------------------------------------
+// Identity: a candidate compared with itself must score perfectly.
+// ---------------------------------------------------------------------------
+
+TEST(MetricIdentity, BleuOfIdenticalSequencesIsOne) {
+  EXPECT_DOUBLE_EQ(text::bleu(kTokensA, kTokensA).bleu, 1.0);
+  EXPECT_DOUBLE_EQ(text::corpus_bleu({kTokensA, kTokensB},
+                                     {kTokensA, kTokensB})
+                       .bleu,
+                   1.0);
+}
+
+TEST(MetricIdentity, CodeBleuOfIdenticalSourceIsOne) {
+  const char* src = "int clamp(int v) { if (v < 0) { return 0; } return v; }";
+  const metrics::CodeBleuScore score = metrics::code_bleu(src, src);
+  EXPECT_DOUBLE_EQ(score.total, 1.0);
+  EXPECT_DOUBLE_EQ(score.ast_match, 1.0);
+  EXPECT_DOUBLE_EQ(score.dataflow_match, 1.0);
+  EXPECT_DOUBLE_EQ(
+      metrics::code_bleu_line("size_t n = strlen(s);", "size_t n = strlen(s);"),
+      1.0);
+}
+
+TEST(MetricIdentity, JaccardAndLevenshteinIdentities) {
+  const std::vector<std::string> set = {"ssl", "ctx", "len"};
+  EXPECT_DOUBLE_EQ(text::jaccard(set, set), 1.0);
+  EXPECT_DOUBLE_EQ(text::jaccard({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(text::name_jaccard("buf_len", "buf_len"), 1.0);
+  EXPECT_EQ(text::levenshtein("postorder", "postorder"), 0u);
+  EXPECT_DOUBLE_EQ(text::normalized_levenshtein("postorder", "postorder"),
+                   0.0);
+  EXPECT_DOUBLE_EQ(text::normalized_levenshtein("", ""), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Symmetry: argument order must not matter where the math is symmetric.
+// ---------------------------------------------------------------------------
+
+TEST(MetricSymmetry, SymmetricMetricsCommute) {
+  EXPECT_EQ(text::levenshtein("dirty", "hexrays"),
+            text::levenshtein("hexrays", "dirty"));
+  EXPECT_DOUBLE_EQ(text::normalized_levenshtein("alpha", "beta"),
+                   text::normalized_levenshtein("beta", "alpha"));
+  const std::vector<std::string> a = {"x", "y", "z"};
+  const std::vector<std::string> b = {"y", "z", "w"};
+  EXPECT_DOUBLE_EQ(text::jaccard(a, b), text::jaccard(b, a));
+  EXPECT_DOUBLE_EQ(text::name_jaccard("num_bytes", "byte_count"),
+                   text::name_jaccard("byte_count", "num_bytes"));
+}
+
+// ---------------------------------------------------------------------------
+// Levenshtein monotonicity: each single edit moves the distance by at most
+// one, and k independent appends cost exactly k.
+// ---------------------------------------------------------------------------
+
+TEST(MetricMonotonicity, SingleEditsCostExactlyOne) {
+  const std::string s = "annotation";
+  std::string substituted = s;
+  substituted[3] = 'X';
+  EXPECT_EQ(text::levenshtein(s, substituted), 1u);
+  EXPECT_EQ(text::levenshtein(s, s + "s"), 1u);
+  EXPECT_EQ(text::levenshtein(s, s.substr(0, s.size() - 1)), 1u);
+}
+
+TEST(MetricMonotonicity, DistanceGrowsByOnePerAppendedCharacter) {
+  const std::string s = "decompile";
+  std::string grown = s;
+  for (std::size_t k = 1; k <= 6; ++k) {
+    grown.push_back('!');
+    EXPECT_EQ(text::levenshtein(s, grown), k);
+    // Normalized distance grows monotonically with the raw distance here
+    // because the denominator grows strictly slower than the numerator.
+    if (k >= 2) {
+      EXPECT_GT(text::normalized_levenshtein(s, grown),
+                text::normalized_levenshtein(s, grown.substr(0, grown.size() - 1)));
+    }
+  }
+}
+
+TEST(MetricMonotonicity, TriangleInequalityOnSampledTriples) {
+  const std::vector<std::string> strings = {"ssl_ctx", "ctx",     "s5l_ctx",
+                                            "buffer",  "buf_fer", ""};
+  for (const auto& a : strings)
+    for (const auto& b : strings)
+      for (const auto& c : strings) {
+        EXPECT_LE(text::levenshtein(a, c),
+                  text::levenshtein(a, b) + text::levenshtein(b, c));
+      }
+}
+
+// ---------------------------------------------------------------------------
+// Rank statistics: permutation and tie invariances.
+// ---------------------------------------------------------------------------
+
+std::vector<double> permuted(const std::vector<double>& v,
+                             const std::vector<std::size_t>& order) {
+  std::vector<double> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[order[i]];
+  return out;
+}
+
+TEST(RankInvariance, SpearmanIsInvariantUnderJointPermutation) {
+  // Includes ties in both vectors, the case the mid-rank path handles.
+  const std::vector<double> x = {1.0, 2.0, 2.0, 3.0, 5.0, 5.0, 7.0, 8.0};
+  const std::vector<double> y = {2.0, 1.0, 4.0, 4.0, 4.0, 6.0, 9.0, 9.0};
+  const stats::CorrelationResult base = stats::spearman(x, y);
+  const std::vector<std::vector<std::size_t>> orders = {
+      {7, 6, 5, 4, 3, 2, 1, 0},
+      {3, 0, 6, 2, 7, 5, 1, 4},
+      {1, 2, 0, 5, 4, 7, 6, 3}};
+  for (const auto& order : orders) {
+    const stats::CorrelationResult p =
+        stats::spearman(permuted(x, order), permuted(y, order));
+    EXPECT_NEAR(p.estimate, base.estimate, 1e-12);
+    EXPECT_NEAR(p.p_value, base.p_value, 1e-12);
+    EXPECT_EQ(p.n, base.n);
+  }
+}
+
+TEST(RankInvariance, SpearmanDependsOnlyOnRanks) {
+  const std::vector<double> x = {0.1, 0.4, 0.4, 1.2, 3.0, 9.9};
+  const std::vector<double> y = {5.0, 3.0, 8.0, 1.0, 2.0, 7.0};
+  // A strictly increasing transform of x preserves every (tied) rank.
+  std::vector<double> tx(x.size());
+  std::transform(x.begin(), x.end(), tx.begin(),
+                 [](double v) { return std::exp(v) + 100.0; });
+  const stats::CorrelationResult a = stats::spearman(x, y);
+  const stats::CorrelationResult b = stats::spearman(tx, y);
+  EXPECT_NEAR(a.estimate, b.estimate, 1e-12);
+  EXPECT_NEAR(a.p_value, b.p_value, 1e-12);
+}
+
+TEST(RankInvariance, SpearmanHitsPlusMinusOneOnMonotoneData) {
+  const std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  std::vector<double> up(x.size()), down(x.size());
+  std::transform(x.begin(), x.end(), up.begin(),
+                 [](double v) { return v * v; });
+  std::transform(x.begin(), x.end(), down.begin(),
+                 [](double v) { return -v * v * v; });
+  EXPECT_NEAR(stats::spearman(x, up).estimate, 1.0, 1e-12);
+  EXPECT_NEAR(stats::spearman(x, down).estimate, -1.0, 1e-12);
+}
+
+TEST(RankInvariance, WilcoxonIsInvariantUnderWithinSamplePermutation) {
+  const std::vector<double> x = {3.0, 3.0, 5.0, 1.0, 4.0, 4.0, 8.0};
+  const std::vector<double> y = {2.0, 6.0, 6.0, 2.0, 7.0};
+  const stats::WilcoxonResult base = stats::wilcoxon_rank_sum(x, y);
+  std::vector<double> xs = x, ys = y;
+  std::sort(xs.begin(), xs.end());
+  std::sort(ys.rbegin(), ys.rend());
+  const stats::WilcoxonResult shuffled = stats::wilcoxon_rank_sum(xs, ys);
+  EXPECT_NEAR(shuffled.w, base.w, 1e-12);
+  EXPECT_NEAR(shuffled.p_value, base.p_value, 1e-12);
+  EXPECT_NEAR(shuffled.location_shift, base.location_shift, 1e-12);
+}
+
+TEST(RankInvariance, WilcoxonSwapNegatesTheShift) {
+  const std::vector<double> x = {3.0, 5.0, 1.0, 4.0, 9.0};
+  const std::vector<double> y = {2.0, 6.0, 7.0, 2.5};
+  const stats::WilcoxonResult xy = stats::wilcoxon_rank_sum(x, y);
+  const stats::WilcoxonResult yx = stats::wilcoxon_rank_sum(y, x);
+  EXPECT_NEAR(xy.p_value, yx.p_value, 1e-12);
+  EXPECT_NEAR(xy.location_shift, -yx.location_shift, 1e-12);
+  EXPECT_NEAR(xy.z, -yx.z, 1e-12);
+}
+
+// Bounded ranges over assorted asymmetric pairs — the join in RQ5 assumes
+// every metric lives on a fixed scale.
+TEST(MetricRanges, ScoresStayInUnitInterval) {
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"int n = 0;", "size_t count = 0u;"},
+      {"return a1;", "return ssl_ctx;"},
+      {"", "nonempty"},
+      {"while (i < n) i++;", "for (;;) {}"}};
+  for (const auto& [a, b] : pairs) {
+    const double lev = text::normalized_levenshtein(a, b);
+    EXPECT_GE(lev, 0.0);
+    EXPECT_LE(lev, 1.0);
+    const double cb = metrics::code_bleu_line(a, b);
+    EXPECT_GE(cb, 0.0);
+    EXPECT_LE(cb, 1.0);
+  }
+  const double b = text::bleu(kTokensA, kTokensB).bleu;
+  EXPECT_GE(b, 0.0);
+  EXPECT_LT(b, 1.0);  // differing sequences must not score perfect
+}
+
+}  // namespace

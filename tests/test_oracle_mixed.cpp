@@ -1,0 +1,292 @@
+// Statistical oracle tests for the mixed-model fitters.
+//
+// Three independent lines of evidence pin the fitters down on embedded
+// fixed datasets:
+//
+//  1. Closed-form oracles computed inside the test from the same data:
+//     on a balanced crossed design the REML variance-component estimates
+//     equal the two-way ANOVA method-of-moments estimators (Searle,
+//     "Variance Components", ch. 4), and the GLS intercept equals the
+//     grand mean. For the GLMM, the Laplace criterion at theta = 0
+//     collapses to the pooled logistic GLM, so the fitted deviance can
+//     never exceed the GLM deviance computed by an in-test IRLS loop.
+//  2. Frozen reference fits (lme4-style summaries: coefficients, RE
+//     standard deviations, criterion, AIC/BIC, Nakagawa R2) recorded from
+//     a run that was validated against oracle (1). Tolerances are 1e-4
+//     absolute — two orders of magnitude above the Nelder-Mead
+//     convergence tolerance, so they absorb libm differences across
+//     platforms without masking real regressions.
+//  3. The multi-start contract: the default 8-start search must be no
+//     worse than the legacy single start on every dataset, and its report
+//     must be internally consistent.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "mixed/glmm.h"
+#include "mixed/lmm.h"
+
+namespace {
+
+using namespace decompeval;
+
+// Balanced 12-user x 6-question crossed design, one observation per cell,
+// simulated once from y = 10 + u_i + q_j + e with sigma_u = 2,
+// sigma_q = 1.5, sigma_e = 1 and frozen at 6 decimals.
+const double kLmmY[] = {
+    11.185543, 8.396325,  11.509528, 11.359862, 8.755835,  8.088605,   //
+    11.531000, 9.310785,  12.703083, 12.677416, 9.658219,  9.199898,   //
+    9.200120,  6.874107,  11.324032, 10.753992, 9.034318,  9.200305,   //
+    7.091923,  6.836987,  9.225961,  10.784208, 8.625975,  8.156661,   //
+    6.883262,  6.465807,  9.106826,  9.943932,  6.506054,  10.002345,  //
+    11.639396, 13.661886, 12.032395, 13.456016, 11.171522, 14.438308,  //
+    6.592289,  8.159711,  9.035716,  12.432420, 8.937861,  10.120575,  //
+    8.174565,  8.752105,  9.279687,  9.373161,  5.842529,  10.072198,  //
+    6.195385,  8.605105,  9.337052,  10.664394, 7.494853,  8.562142,   //
+    7.472897,  6.750877,  8.758410,  8.503736,  8.063108,  7.547753,   //
+    13.608559, 12.644246, 12.746332, 15.401578, 11.656378, 14.027883,  //
+    8.525879,  7.597093,  10.077544, 11.791228, 5.534642,  8.726937};
+constexpr std::size_t kLmmUsers = 12;
+constexpr std::size_t kLmmQuestions = 6;
+
+// 15-user x 6-question binary design with one centered covariate,
+// simulated once from logit(p) = 0.3 + 0.9 x1 + u_i + q_j with
+// sigma_u = 1, sigma_q = 0.8 and frozen at 6 decimals.
+const double kGlmmY[] = {
+    0, 1, 0, 1, 0, 0, 0, 1, 1, 0,  //
+    0, 1, 1, 1, 1, 1, 1, 1, 0, 0,  //
+    1, 1, 0, 1, 0, 0, 0, 0, 1, 1,  //
+    0, 0, 1, 0, 0, 0, 0, 0, 0, 1,  //
+    0, 0, 1, 1, 1, 1, 1, 1, 0, 1,  //
+    0, 1, 0, 0, 0, 0, 1, 1, 1, 1,  //
+    1, 1, 0, 0, 1, 0, 0, 1, 0, 0,  //
+    1, 0, 0, 1, 0, 1, 0, 0, 0, 1,  //
+    0, 1, 1, 0, 1, 1, 0, 0, 1, 1};
+const double kGlmmX1[] = {
+    0.691746,  0.696451,  0.954047,  -0.181284, -0.407819, 0.904631,   //
+    0.262114,  0.222058,  0.784995,  -0.364272, -0.686053, -0.225389,  //
+    -0.459609, -0.257429, -0.902491, 0.380239,  -0.323689, 0.908276,   //
+    -0.394923, -0.126654, 0.900835,  -0.913206, -0.271529, 0.414213,   //
+    -0.847912, -0.191727, 0.497387,  0.394441,  -0.005792, 0.118789,   //
+    -0.837562, 0.131869,  -0.019267, 0.428035,  0.477580,  0.872353,   //
+    -0.946755, 0.712832,  0.571454,  -0.286927, 0.949590,  -0.982072,  //
+    0.888191,  0.123045,  0.663133,  -0.957697, -0.159369, 0.487879,   //
+    -0.539882, -0.983309, 0.565606,  0.848880,  0.412375,  0.074229,   //
+    -0.726177, 0.096386,  0.972731,  0.870874,  0.246397,  -0.314501,  //
+    0.616258,  0.341250,  -0.807831, -0.624598, -0.180707, -0.535865,  //
+    -0.822595, 0.956203,  -0.577707, -0.823050, 0.328093,  -0.964885,  //
+    0.998712,  -0.579787, 0.194911,  -0.832242, -0.462571, 0.019165,   //
+    -0.270100, 0.560114,  -0.732665, 0.079747,  0.322874,  -0.165373,  //
+    0.651105,  -0.055350, 0.232435,  0.198773,  -0.024034, -0.460055};
+constexpr std::size_t kGlmmUsers = 15;
+constexpr std::size_t kGlmmQuestions = 6;
+
+mixed::MixedModelData balanced_lmm_data() {
+  mixed::MixedModelData d;
+  const std::size_t n = kLmmUsers * kLmmQuestions;
+  d.x = linalg::Matrix(n, 1);
+  d.fixed_effect_names = {"(Intercept)"};
+  d.y.assign(kLmmY, kLmmY + n);
+  for (std::size_t i = 0; i < kLmmUsers; ++i)
+    for (std::size_t j = 0; j < kLmmQuestions; ++j) {
+      d.x(i * kLmmQuestions + j, 0) = 1.0;
+      d.user.push_back(i);
+      d.question.push_back(j);
+    }
+  d.n_users = kLmmUsers;
+  d.n_questions = kLmmQuestions;
+  return d;
+}
+
+mixed::MixedModelData glmm_data() {
+  mixed::MixedModelData d;
+  const std::size_t n = kGlmmUsers * kGlmmQuestions;
+  d.x = linalg::Matrix(n, 2);
+  d.fixed_effect_names = {"(Intercept)", "x1"};
+  d.y.assign(kGlmmY, kGlmmY + n);
+  for (std::size_t i = 0; i < kGlmmUsers; ++i)
+    for (std::size_t j = 0; j < kGlmmQuestions; ++j) {
+      const std::size_t r = i * kGlmmQuestions + j;
+      d.x(r, 0) = 1.0;
+      d.x(r, 1) = kGlmmX1[r];
+      d.user.push_back(i);
+      d.question.push_back(j);
+    }
+  d.n_users = kGlmmUsers;
+  d.n_questions = kGlmmQuestions;
+  return d;
+}
+
+// Two-way crossed random-effects ANOVA decomposition of a balanced design.
+struct AnovaOracle {
+  double grand = 0.0;
+  double sigma_user = 0.0;
+  double sigma_question = 0.0;
+  double sigma_residual = 0.0;
+  double se_grand = 0.0;
+};
+
+AnovaOracle balanced_anova(const double* y, std::size_t a, std::size_t b) {
+  AnovaOracle o;
+  const double n = static_cast<double>(a * b);
+  for (std::size_t k = 0; k < a * b; ++k) o.grand += y[k];
+  o.grand /= n;
+  std::vector<double> row(a, 0.0), col(b, 0.0);
+  for (std::size_t i = 0; i < a; ++i)
+    for (std::size_t j = 0; j < b; ++j) {
+      row[i] += y[i * b + j] / static_cast<double>(b);
+      col[j] += y[i * b + j] / static_cast<double>(a);
+    }
+  double ssa = 0.0, ssb = 0.0, sse = 0.0;
+  for (std::size_t i = 0; i < a; ++i)
+    ssa += (row[i] - o.grand) * (row[i] - o.grand);
+  for (std::size_t j = 0; j < b; ++j)
+    ssb += (col[j] - o.grand) * (col[j] - o.grand);
+  for (std::size_t i = 0; i < a; ++i)
+    for (std::size_t j = 0; j < b; ++j) {
+      const double r = y[i * b + j] - row[i] - col[j] + o.grand;
+      sse += r * r;
+    }
+  const double msa = static_cast<double>(b) * ssa / static_cast<double>(a - 1);
+  const double msb = static_cast<double>(a) * ssb / static_cast<double>(b - 1);
+  const double mse = sse / static_cast<double>((a - 1) * (b - 1));
+  o.sigma_user = std::sqrt((msa - mse) / static_cast<double>(b));
+  o.sigma_question = std::sqrt((msb - mse) / static_cast<double>(a));
+  o.sigma_residual = std::sqrt(mse);
+  o.se_grand = std::sqrt((msa + msb - mse) / n);
+  return o;
+}
+
+// Pooled logistic regression (intercept + one covariate) by IRLS; returns
+// the GLM -2 log-likelihood, an upper bound on the Laplace GLMM deviance.
+double pooled_glm_deviance(const double* y, const double* x1, std::size_t n) {
+  double b0 = 0.0, b1 = 0.0;
+  for (int it = 0; it < 60; ++it) {
+    double g0 = 0, g1 = 0, h00 = 0, h01 = 0, h11 = 0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double mu = 1.0 / (1.0 + std::exp(-(b0 + b1 * x1[r])));
+      const double w = mu * (1.0 - mu);
+      g0 += y[r] - mu;
+      g1 += (y[r] - mu) * x1[r];
+      h00 += w;
+      h01 += w * x1[r];
+      h11 += w * x1[r] * x1[r];
+    }
+    const double det = h00 * h11 - h01 * h01;
+    b0 += (h11 * g0 - h01 * g1) / det;
+    b1 += (-h01 * g0 + h00 * g1) / det;
+  }
+  double dev = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const double mu = 1.0 / (1.0 + std::exp(-(b0 + b1 * x1[r])));
+    dev += -2.0 * (y[r] * std::log(mu) + (1.0 - y[r]) * std::log(1.0 - mu));
+  }
+  return dev;
+}
+
+void expect_report_consistent(const mixed::MultiStartReport& report,
+                              double winning_value) {
+  EXPECT_EQ(report.n_starts, 8u);
+  ASSERT_EQ(report.start_values.size(), 8u);
+  ASSERT_LT(report.best_start, 8u);
+  const double best = *std::min_element(report.start_values.begin(),
+                                        report.start_values.end());
+  EXPECT_DOUBLE_EQ(report.start_values[report.best_start], best);
+  EXPECT_NEAR(winning_value, best, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// LMM: balanced crossed design vs. the ANOVA closed forms.
+// ---------------------------------------------------------------------------
+
+TEST(OracleLmm, MatchesBalancedAnovaClosedForms) {
+  const auto data = balanced_lmm_data();
+  const AnovaOracle oracle =
+      balanced_anova(kLmmY, kLmmUsers, kLmmQuestions);
+  const mixed::LmmFit fit = mixed::fit_lmm(data);
+  ASSERT_TRUE(fit.converged);
+  // GLS intercept on a balanced design is exactly the grand mean.
+  EXPECT_NEAR(fit.coefficients[0].estimate, oracle.grand, 1e-7);
+  EXPECT_NEAR(fit.coefficients[0].std_error, oracle.se_grand, 1e-4);
+  // REML = ANOVA method-of-moments when the estimates are interior.
+  EXPECT_NEAR(fit.sigma_user, oracle.sigma_user, 1e-4);
+  EXPECT_NEAR(fit.sigma_question, oracle.sigma_question, 1e-4);
+  EXPECT_NEAR(fit.sigma_residual, oracle.sigma_residual, 1e-4);
+}
+
+TEST(OracleLmm, MatchesFrozenReferenceFit) {
+  const mixed::LmmFit fit = mixed::fit_lmm(balanced_lmm_data());
+  EXPECT_NEAR(fit.coefficients[0].estimate, 9.6369342, 1e-4);
+  EXPECT_NEAR(fit.coefficients[0].std_error, 0.6861493, 1e-4);
+  EXPECT_NEAR(fit.sigma_user, 1.7303263, 1e-4);
+  EXPECT_NEAR(fit.sigma_question, 1.1059181, 1e-4);
+  EXPECT_NEAR(fit.sigma_residual, 1.1210852, 1e-4);
+  EXPECT_NEAR(fit.reml_criterion, 264.6967861, 1e-4);
+  // AIC/BIC are exact functions of the criterion: p + 3 parameters.
+  const double n_params = 4.0;
+  EXPECT_NEAR(fit.aic, fit.reml_criterion + 2.0 * n_params, 1e-10);
+  EXPECT_NEAR(fit.bic,
+              fit.reml_criterion + std::log(72.0) * n_params, 1e-10);
+  // Intercept-only model: no fixed-effect variance.
+  EXPECT_NEAR(fit.r2_marginal, 0.0, 1e-12);
+  EXPECT_GT(fit.r2_conditional, 0.5);
+}
+
+TEST(OracleLmm, MultiStartNeverWorseThanSingleStart) {
+  const auto data = balanced_lmm_data();
+  mixed::FitOptions single;
+  single.n_starts = 1;
+  const mixed::LmmFit one = mixed::fit_lmm(data, single);
+  const mixed::LmmFit many = mixed::fit_lmm(data);
+  EXPECT_LE(many.reml_criterion, one.reml_criterion + 1e-9);
+  expect_report_consistent(many.multi_start, many.reml_criterion);
+  EXPECT_EQ(one.multi_start.n_starts, 1u);
+  EXPECT_EQ(one.multi_start.best_start, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// GLMM: pooled-GLM deviance bound plus the frozen reference fit.
+// ---------------------------------------------------------------------------
+
+TEST(OracleGlmm, DevianceBeatsPooledGlmBound) {
+  const auto data = glmm_data();
+  const double glm_dev =
+      pooled_glm_deviance(kGlmmY, kGlmmX1, kGlmmUsers * kGlmmQuestions);
+  EXPECT_NEAR(glm_dev, 122.3035855, 1e-4);  // frozen IRLS cross-check
+  const mixed::GlmmFit fit = mixed::fit_logistic_glmm(data);
+  ASSERT_TRUE(fit.converged);
+  // theta = 0 reduces the Laplace criterion to the pooled GLM, so the
+  // optimized deviance can never exceed it.
+  EXPECT_LE(fit.deviance, glm_dev + 1e-6);
+}
+
+TEST(OracleGlmm, MatchesFrozenReferenceFit) {
+  const mixed::GlmmFit fit = mixed::fit_logistic_glmm(glmm_data());
+  EXPECT_NEAR(fit.coefficients[0].estimate, -0.0616656, 1e-4);
+  EXPECT_NEAR(fit.coefficients[0].std_error, 0.3095390, 1e-4);
+  EXPECT_NEAR(fit.coefficients[1].estimate, 0.6546504, 1e-4);
+  EXPECT_NEAR(fit.coefficients[1].std_error, 0.3957224, 1e-4);
+  EXPECT_NEAR(fit.sigma_user, 0.7131655, 1e-4);
+  EXPECT_NEAR(fit.sigma_question, 0.2446279, 1e-4);
+  EXPECT_NEAR(fit.deviance, 120.4642740, 1e-4);
+  EXPECT_NEAR(fit.r2_marginal, 0.0380950, 1e-4);
+  EXPECT_NEAR(fit.r2_conditional, 0.1798130, 1e-4);
+  EXPECT_GT(fit.r2_conditional, fit.r2_marginal);
+  const double n_params = 4.0;  // 2 betas + 2 RE standard deviations
+  EXPECT_NEAR(fit.aic, fit.deviance + 2.0 * n_params, 1e-10);
+  EXPECT_NEAR(fit.bic, fit.deviance + std::log(90.0) * n_params, 1e-10);
+}
+
+TEST(OracleGlmm, MultiStartNeverWorseThanSingleStart) {
+  const auto data = glmm_data();
+  mixed::FitOptions single;
+  single.n_starts = 1;
+  const mixed::GlmmFit one = mixed::fit_logistic_glmm(data, single);
+  const mixed::GlmmFit many = mixed::fit_logistic_glmm(data);
+  EXPECT_LE(many.deviance, one.deviance + 1e-9);
+  expect_report_consistent(many.multi_start, many.deviance);
+}
+
+}  // namespace

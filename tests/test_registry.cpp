@@ -46,7 +46,7 @@ TEST_F(RegistryFixture, AllShapeCriteriaHoldAtDefaultSeed) {
 
 TEST_F(RegistryFixture, MarkdownRendersAllRecords) {
   const auto records = core::build_experiment_records(report());
-  const std::string md = core::render_experiments_markdown(records, 38);
+  const std::string md = core::render_experiments_markdown(records, 68);
   EXPECT_NE(md.find("# EXPERIMENTS"), std::string::npos);
   for (const auto& record : records)
     EXPECT_NE(md.find("## " + record.id), std::string::npos);

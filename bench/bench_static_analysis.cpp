@@ -1,0 +1,200 @@
+// Static-analysis throughput bench: lint (CFG + worklist dataflow +
+// artifact walk) and the static-complexity battery over growing synthetic
+// pools, on the 1/2/4/hardware thread ladder, with a bit-identity check
+// between the serial and parallel sweeps. Appends a "static_analysis"
+// section to BENCH_parallel.json (bench_parallel_scaling owns the rest of
+// the file), so the perf trajectory is tracked across PRs. On a
+// single-core host the speedups hover around 1x.
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "bench/bench_common.h"
+#include "decompiler/generator.h"
+#include "lang/lint.h"
+#include "lang/parser.h"
+#include "metrics/static_complexity.h"
+#include "snippets/corpus_verifier.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace decompeval;
+
+double time_ms(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+std::vector<std::size_t> thread_ladder() {
+  std::vector<std::size_t> ladder = {1, 2, 4};
+  const std::size_t hw = util::default_thread_count();
+  if (hw > 4) ladder.push_back(hw);
+  return ladder;
+}
+
+// Lints all three variants of one snippet; returns total diagnostic count
+// (the quantity bit-compared across thread counts).
+std::size_t lint_snippet(const snippets::Snippet& s) {
+  std::size_t total = 0;
+  for (const auto* source :
+       {&s.original_source, &s.hexrays_source, &s.dirty_source})
+    total +=
+        lang::lint_function(lang::parse_function(*source, s.parse_options))
+            .size();
+  return total;
+}
+
+void BM_LintOneSnippet(benchmark::State& state) {
+  const auto& pool = decompeval::bench::paper_pool();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lint_snippet(pool[i % pool.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_LintOneSnippet)->Unit(benchmark::kMicrosecond);
+
+void BM_StaticComplexityOneSnippet(benchmark::State& state) {
+  const auto& pool = decompeval::bench::paper_pool();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& s = pool[i % pool.size()];
+    benchmark::DoNotOptimize(
+        metrics::compute_static_complexity(s.dirty_source, s.parse_options));
+    ++i;
+  }
+}
+BENCHMARK(BM_StaticComplexityOneSnippet)->Unit(benchmark::kMicrosecond);
+
+// Rewrites BENCH_parallel.json with `section` replacing any previous
+// "static_analysis" entry; creates the file if bench_parallel_scaling has
+// not run yet.
+void append_section(const std::string& section) {
+  std::string existing;
+  {
+    std::ifstream in("BENCH_parallel.json");
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    existing = buffer.str();
+  }
+  // Drop a previous section (always the trailing key, so the erase also
+  // takes the file's closing brace with it); otherwise strip the closing
+  // brace so the new trailing key can be appended.
+  const std::size_t old_pos = existing.find(",\n  \"static_analysis\"");
+  if (old_pos != std::string::npos) {
+    existing.erase(old_pos);
+  } else {
+    const std::size_t brace = existing.find_last_of('}');
+    if (brace != std::string::npos) existing.erase(brace);
+  }
+  while (!existing.empty() &&
+         (existing.back() == '\n' || existing.back() == ' '))
+    existing.pop_back();
+
+  std::ofstream out("BENCH_parallel.json");
+  if (existing.empty())
+    out << "{\n  \"bench\": \"parallel_scaling\"";
+  else
+    out << existing;
+  out << ",\n  \"static_analysis\": " << section << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return decompeval::bench::run_bench_main(argc, argv, [] {
+    using decompeval::util::format_fixed;
+    const std::size_t hw = util::default_thread_count();
+    const auto ladder = thread_ladder();
+    const std::vector<std::size_t> pool_sizes = {50, 100, 200};
+
+    std::cout << "Static-analysis throughput (hardware_concurrency = " << hw
+              << "):\n\n";
+
+    std::ostringstream json;
+    json << "{\n    \"hardware_concurrency\": " << hw;
+
+    bool lint_identical = true;
+    bool verify_identical = true;
+    for (const std::size_t n : pool_sizes) {
+      decompiler::GeneratorConfig config;
+      const auto pool = decompiler::generate_snippets(n, config);
+
+      // Lint fan-out over the pool (three variants per snippet).
+      std::vector<double> lint_ms;
+      std::vector<std::size_t> serial_counts;
+      for (const std::size_t threads : ladder) {
+        util::ThreadPool tp(threads);
+        std::vector<std::size_t> counts;
+        lint_ms.push_back(time_ms([&] {
+          counts = tp.parallel_map(
+              pool, [](const snippets::Snippet& s, std::size_t) {
+                return lint_snippet(s);
+              });
+        }));
+        if (threads == 1)
+          serial_counts = counts;
+        else
+          lint_identical = lint_identical && counts == serial_counts;
+      }
+
+      // Full corpus verification (lint + alignment cross-checks).
+      std::vector<double> verify_ms;
+      std::string serial_report;
+      for (const std::size_t threads : ladder) {
+        snippets::CorpusVerifyOptions options;
+        options.threads = threads;
+        std::vector<snippets::SnippetVerification> results;
+        verify_ms.push_back(time_ms(
+            [&] { results = snippets::verify_corpus(pool, options); }));
+        const std::string report = snippets::verification_report(results);
+        if (threads == 1)
+          serial_report = report;
+        else
+          verify_identical = verify_identical && report == serial_report;
+      }
+
+      const auto print_row = [&](const char* label,
+                                 const std::vector<double>& ms) {
+        std::cout << "  " << label << " n=" << n << ":";
+        for (std::size_t i = 0; i < ladder.size(); ++i)
+          std::cout << "  t" << ladder[i] << "=" << format_fixed(ms[i], 1)
+                    << "ms";
+        std::cout << "  (speedup t" << ladder.back() << "/t1 = "
+                  << format_fixed(ms[0] / ms.back(), 2) << "x)\n";
+      };
+      print_row("lint pool  ", lint_ms);
+      print_row("verify pool", verify_ms);
+
+      const auto json_ladder = [&](const std::vector<double>& ms) {
+        std::ostringstream os;
+        os << "{";
+        for (std::size_t i = 0; i < ladder.size(); ++i)
+          os << (i ? ", " : "") << "\"" << ladder[i]
+             << "\": " << format_fixed(ms[i], 3);
+        os << "}";
+        return os.str();
+      };
+      json << ",\n    \"lint_pool" << n << "_ms\": " << json_ladder(lint_ms)
+           << ",\n    \"verify_pool" << n
+           << "_ms\": " << json_ladder(verify_ms);
+    }
+
+    std::cout << "  lint counts bit-identical across thread counts:    "
+              << (lint_identical ? "yes" : "NO — BUG") << "\n";
+    std::cout << "  verify reports bit-identical across thread counts: "
+              << (verify_identical ? "yes" : "NO — BUG") << "\n";
+
+    json << ",\n    \"lint_bit_identical\": "
+         << (lint_identical ? "true" : "false")
+         << ",\n    \"verify_bit_identical\": "
+         << (verify_identical ? "true" : "false") << "\n  }";
+    append_section(json.str());
+    std::cout << "\nAppended static_analysis section to BENCH_parallel.json\n";
+  });
+}

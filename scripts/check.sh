@@ -2,7 +2,8 @@
 # Full verification in one invocation:
 #   1. regular build + the complete test suite,
 #   2. ThreadSanitizer build + the tier-1 labeled tests,
-#   3. AddressSanitizer build + the tier-1 labeled tests.
+#   3. AddressSanitizer build + the tier-1 labeled tests,
+#   4. UndefinedBehaviorSanitizer build (recovery off) + tier-1 tests.
 # The parallel execution layer's data-race budget is zero, and every new
 # parallel stage (sharded study, multi-start fits, metric fan-out) is
 # covered by tier-1 determinism contracts, so both sanitizers run the
@@ -30,5 +31,10 @@ echo "=== AddressSanitizer build + tier-1 tests ==="
 cmake -B build-asan -S . -DDECOMPEVAL_SANITIZE=address
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L tier1
+
+echo "=== UndefinedBehaviorSanitizer build + tier-1 tests ==="
+cmake -B build-ubsan -S . -DDECOMPEVAL_SANITIZE=undefined
+cmake --build build-ubsan -j "$JOBS"
+ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -L tier1
 
 echo "=== all checks passed ==="

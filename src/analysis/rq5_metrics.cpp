@@ -1,6 +1,8 @@
 #include "analysis/rq5_metrics.h"
 
 #include <functional>
+#include <iterator>
+#include <limits>
 #include <utility>
 
 #include "util/check.h"
@@ -100,6 +102,26 @@ MetricAnalysis analyze_metric_correlations(
   }
   DE_EXPECTS_MSG(joined.size() >= 10, "too few DIRTY responses for RQ5");
 
+  // A constant metric column (e.g. dead-store density on a lint-clean
+  // 4-snippet pool) has no rank correlation; report NaN rather than throw,
+  // and the renderer prints "n/a" for such rows.
+  const auto guarded_spearman = [](const std::vector<double>& x,
+                                   const std::vector<double>& y) {
+    const auto constant = [](const std::vector<double>& v) {
+      for (const double d : v)
+        if (d != v.front()) return false;
+      return true;
+    };
+    if (x.size() < 3 || constant(x) || constant(y)) {
+      stats::CorrelationResult r;
+      r.estimate = std::numeric_limits<double>::quiet_NaN();
+      r.p_value = std::numeric_limits<double>::quiet_NaN();
+      r.n = x.size();
+      return r;
+    }
+    return stats::spearman(x, y);
+  };
+
   const auto correlate = [&](const std::function<double(std::size_t)>& metric_of) {
     MetricCorrelationRow row;
     std::vector<double> mx_t, my_t, mx_c, my_c;
@@ -114,8 +136,8 @@ MetricAnalysis analyze_metric_correlations(
         my_c.push_back(j.correct);
       }
     }
-    row.vs_time = stats::spearman(mx_t, my_t);
-    row.vs_correctness = stats::spearman(mx_c, my_c);
+    row.vs_time = guarded_spearman(mx_t, my_t);
+    row.vs_correctness = guarded_spearman(mx_c, my_c);
     return row;
   };
 
@@ -146,7 +168,20 @@ MetricAnalysis analyze_metric_correlations(
        [&](std::size_t i) { return evals[i].human_type; }},
       {"Levenshtein",
        [&](std::size_t i) { return evals[i].scores.levenshtein; }},
+      // Static-complexity family of the DIRTY variant (landing in
+      // static_rows, not the Table III/IV rows).
+      {"Cyclomatic Complexity",
+       [&](std::size_t i) { return evals[i].scores.cyclomatic; }},
+      {"Halstead Volume",
+       [&](std::size_t i) { return evals[i].scores.halstead_volume; }},
+      {"Halstead Difficulty",
+       [&](std::size_t i) { return evals[i].scores.halstead_difficulty; }},
+      {"Identifier Entropy",
+       [&](std::size_t i) { return evals[i].scores.identifier_entropy; }},
+      {"Dead-Store Density",
+       [&](std::size_t i) { return evals[i].scores.dead_store_density; }},
   };
+  const std::size_t n_static = metrics::static_metric_names().size();
   std::vector<MetricCorrelationRow> rows = pool_threads.parallel_map(
       specs, [&](const MetricSpec& spec, std::size_t) {
         MetricCorrelationRow row = correlate(spec.value_of);
@@ -154,7 +189,11 @@ MetricAnalysis analyze_metric_correlations(
         return row;
       });
 
-  // Rows in paper order; Levenshtein is reported separately.
+  // Rows in paper order; Levenshtein is reported separately, then the
+  // static-complexity family.
+  out.static_rows.assign(std::make_move_iterator(rows.end() - n_static),
+                         std::make_move_iterator(rows.end()));
+  rows.resize(rows.size() - n_static);
   out.levenshtein = std::move(rows.back());
   rows.pop_back();
   out.rows = std::move(rows);

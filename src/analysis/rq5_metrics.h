@@ -32,6 +32,11 @@ struct MetricAnalysis {
   /// Levenshtein is reported separately (the paper footnotes that raw
   /// distances exceeded the string lengths and judged it unsuitable).
   MetricCorrelationRow levenshtein;
+  /// Static-complexity family (metrics/static_complexity.h) of the DIRTY
+  /// variant, correlated against the same responses. Kept apart from
+  /// `rows` — these measure the read code itself, not its similarity to
+  /// the original, so they are not Table III/IV rows.
+  std::vector<MetricCorrelationRow> static_rows;
   double mean_raw_levenshtein = 0.0;
   double mean_normalized_levenshtein = 0.0;
 

@@ -1,0 +1,241 @@
+#include "lang/cfg.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace decompeval::lang {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+class CfgBuilder {
+ public:
+  Cfg build(const Function& fn) {
+    cfg_.entry = new_block();
+    cfg_.exit = new_block();  // virtual exit; every return edges here
+    current_ = cfg_.entry;
+    if (fn.body) walk(*fn.body);
+    // The dangling end of the body falls through to the exit.
+    if (current_ != kNone) link(current_, cfg_.exit);
+    for (std::size_t b = 0; b < cfg_.blocks.size(); ++b)
+      for (const std::size_t s : cfg_.blocks[b].succs)
+        cfg_.blocks[s].preds.push_back(b);
+    compute_reachability();
+    return std::move(cfg_);
+  }
+
+ private:
+  std::size_t new_block() {
+    cfg_.blocks.emplace_back();
+    return cfg_.blocks.size() - 1;
+  }
+
+  void link(std::size_t from, std::size_t to) {
+    cfg_.blocks[from].succs.push_back(to);
+  }
+
+  // Returns the block accepting the next item, materializing a fresh
+  // predecessor-less block after a return/break/continue so trailing dead
+  // code is still represented (and reported as unreachable).
+  std::size_t here() {
+    if (current_ == kNone) current_ = new_block();
+    return current_;
+  }
+
+  void append_expr(const Expr& e, int line) {
+    cfg_.blocks[here()].items.push_back(
+        {CfgItemKind::kExpr, nullptr, &e, line ? line : e.line});
+  }
+
+  // Ends the current block with a two-way branch on `cond` and returns the
+  // (true, false) successor pair.
+  std::pair<std::size_t, std::size_t> branch(const Expr& cond, int line) {
+    append_expr(cond, line);
+    const std::size_t b = here();
+    cfg_.blocks[b].condition = &cond;
+    const std::size_t on_true = new_block();
+    const std::size_t on_false = new_block();
+    link(b, on_true);
+    link(b, on_false);
+    return {on_true, on_false};
+  }
+
+  void walk(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        for (const auto& child : s.body)
+          if (child) walk(*child);
+        return;
+      case StmtKind::kEmpty:
+        return;
+      case StmtKind::kDecl:
+        for (const auto& d : s.decls)
+          cfg_.blocks[here()].items.push_back(
+              {CfgItemKind::kDecl, &d, nullptr, d.line ? d.line : s.line});
+        return;
+      case StmtKind::kExpr:
+        append_expr(*s.exprs[0], s.line);
+        return;
+      case StmtKind::kReturn:
+        cfg_.blocks[here()].items.push_back(
+            {CfgItemKind::kReturn, nullptr,
+             s.exprs.empty() ? nullptr : s.exprs[0].get(), s.line});
+        link(here(), cfg_.exit);
+        current_ = kNone;
+        return;
+      case StmtKind::kBreak:
+        DE_EXPECTS_MSG(!loops_.empty(), "break outside of a loop");
+        link(here(), loops_.back().break_target);
+        current_ = kNone;
+        return;
+      case StmtKind::kContinue:
+        DE_EXPECTS_MSG(!loops_.empty(), "continue outside of a loop");
+        link(here(), loops_.back().continue_target);
+        current_ = kNone;
+        return;
+      case StmtKind::kIf: {
+        const auto [then_block, else_block] = branch(*s.exprs[0], s.line);
+        const std::size_t join = new_block();
+        current_ = then_block;
+        if (s.body[0]) walk(*s.body[0]);
+        if (current_ != kNone) link(current_, join);
+        current_ = else_block;
+        if (s.body.size() > 1 && s.body[1]) walk(*s.body[1]);
+        if (current_ != kNone) link(current_, join);
+        current_ = join;
+        return;
+      }
+      case StmtKind::kWhile: {
+        const std::size_t header = new_block();
+        link(here(), header);
+        current_ = header;
+        const auto [body, after] = branch(*s.exprs[0], s.line);
+        loops_.push_back({header, after});
+        current_ = body;
+        if (s.body[0]) walk(*s.body[0]);
+        if (current_ != kNone) link(current_, header);
+        loops_.pop_back();
+        current_ = after;
+        return;
+      }
+      case StmtKind::kDoWhile: {
+        const std::size_t body = new_block();
+        link(here(), body);
+        // `continue` jumps to the condition, not the body top.
+        const std::size_t latch = new_block();
+        const std::size_t after = new_block();
+        loops_.push_back({latch, after});
+        current_ = body;
+        if (s.body[0]) walk(*s.body[0]);
+        if (current_ != kNone) link(current_, latch);
+        loops_.pop_back();
+        current_ = latch;
+        append_expr(*s.exprs[0], s.line);
+        cfg_.blocks[latch].condition = s.exprs[0].get();
+        link(latch, body);
+        link(latch, after);
+        current_ = after;
+        return;
+      }
+      case StmtKind::kFor: {
+        // exprs = {init?, cond?, step?}; decls may hold the init declaration.
+        for (const auto& d : s.decls)
+          cfg_.blocks[here()].items.push_back(
+              {CfgItemKind::kDecl, &d, nullptr, d.line ? d.line : s.line});
+        if (!s.exprs.empty() && s.exprs[0]) append_expr(*s.exprs[0], s.line);
+        const std::size_t header = new_block();
+        link(here(), header);
+        current_ = header;
+        std::size_t body, after;
+        if (s.exprs.size() > 1 && s.exprs[1]) {
+          std::tie(body, after) = branch(*s.exprs[1], s.line);
+        } else {
+          body = new_block();
+          after = new_block();
+          link(header, body);  // `for (;;)` never exits through the header
+        }
+        const std::size_t latch = new_block();
+        loops_.push_back({latch, after});
+        current_ = body;
+        if (s.body[0]) walk(*s.body[0]);
+        if (current_ != kNone) link(current_, latch);
+        loops_.pop_back();
+        current_ = latch;
+        if (s.exprs.size() > 2 && s.exprs[2]) append_expr(*s.exprs[2], s.line);
+        link(latch, header);
+        current_ = after;
+        return;
+      }
+    }
+  }
+
+  void compute_reachability() {
+    cfg_.reachable.assign(cfg_.blocks.size(), false);
+    std::vector<std::size_t> stack = {cfg_.entry};
+    cfg_.reachable[cfg_.entry] = true;
+    while (!stack.empty()) {
+      const std::size_t b = stack.back();
+      stack.pop_back();
+      for (const std::size_t s : cfg_.blocks[b].succs)
+        if (!cfg_.reachable[s]) {
+          cfg_.reachable[s] = true;
+          stack.push_back(s);
+        }
+    }
+  }
+
+  struct LoopContext {
+    std::size_t continue_target;
+    std::size_t break_target;
+  };
+
+  Cfg cfg_;
+  std::size_t current_ = kNone;
+  std::vector<LoopContext> loops_;
+};
+
+}  // namespace
+
+std::size_t Cfg::n_reachable_blocks() const {
+  std::size_t n = 0;
+  for (const bool r : reachable) n += r ? 1 : 0;
+  return n;
+}
+
+std::size_t Cfg::n_reachable_edges() const {
+  std::size_t n = 0;
+  for (std::size_t b = 0; b < blocks.size(); ++b)
+    if (reachable[b]) n += blocks[b].succs.size();
+  return n;
+}
+
+Cfg build_cfg(const Function& fn) { return CfgBuilder{}.build(fn); }
+
+std::size_t cyclomatic_complexity(const Cfg& cfg) {
+  return cfg.n_reachable_edges() - cfg.n_reachable_blocks() + 2;
+}
+
+std::vector<std::size_t> unreachable_code_blocks(const Cfg& cfg) {
+  std::vector<std::size_t> out;
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b)
+    if (!cfg.reachable[b] && !cfg.blocks[b].items.empty()) out.push_back(b);
+  return out;
+}
+
+std::string to_string(const Cfg& cfg) {
+  std::ostringstream os;
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    os << 'B' << b << '[' << cfg.blocks[b].items.size() << ']';
+    if (b == cfg.entry) os << " entry";
+    if (b == cfg.exit) os << " exit";
+    if (!cfg.reachable[b]) os << " unreachable";
+    os << " ->";
+    for (const std::size_t s : cfg.blocks[b].succs) os << " B" << s;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace decompeval::lang

@@ -1,0 +1,78 @@
+// Basic-block control-flow graphs over the mini-C AST.
+//
+// The straight-line def-use approximation in lang/analysis.h is what
+// codeBLEU compares, but it cannot answer path questions (is this use
+// guarded by an initializing branch? is this store ever observed?). The
+// CFG decomposes a Function into basic blocks of straight-line items —
+// declarations, expression statements, returns, branch conditions and
+// for-steps — connected by the edges the statement structure induces
+// (if/else joins, loop back edges, break/continue exits, early returns).
+// Worklist dataflow (lang/dataflow.h) and the annotation lint
+// (lang/lint.h) run on top of it.
+//
+// The graph borrows the AST: every CfgItem points into the Function it
+// was built from, which must outlive the Cfg.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace decompeval::lang {
+
+enum class CfgItemKind {
+  kDecl,    ///< one declarator (decl != nullptr; decl->init may be null)
+  kExpr,    ///< expression evaluated for value/effect: statement expression,
+            ///< branch condition, or for-step (expr != nullptr)
+  kReturn,  ///< return statement (expr = returned value, may be null)
+};
+
+/// One straight-line step inside a basic block, in evaluation order.
+struct CfgItem {
+  CfgItemKind kind{};
+  const Declarator* decl = nullptr;
+  const Expr* expr = nullptr;
+  int line = 0;
+};
+
+struct BasicBlock {
+  std::vector<CfgItem> items;
+  /// Branch condition terminating the block (null for fallthrough/return
+  /// blocks). When set, succs[0] is the true edge and succs[1] the false
+  /// edge. The condition expression also appears as the last kExpr item,
+  /// so dataflow sees its uses in order.
+  const Expr* condition = nullptr;
+  std::vector<std::size_t> succs;
+  std::vector<std::size_t> preds;
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;
+  std::size_t entry = 0;
+  std::size_t exit = 0;  ///< virtual exit; every return/fallthrough edges here
+  /// reachable[b]: block b is reachable from the entry.
+  std::vector<bool> reachable;
+
+  std::size_t n_reachable_edges() const;
+  std::size_t n_reachable_blocks() const;
+};
+
+/// Builds the CFG of a function body. Deterministic: block ids and edge
+/// order are a pure function of the AST.
+Cfg build_cfg(const Function& fn);
+
+/// McCabe cyclomatic complexity E - N + 2 over the reachable subgraph
+/// (1 for straight-line code, +1 per decision).
+std::size_t cyclomatic_complexity(const Cfg& cfg);
+
+/// Ids of unreachable blocks that carry at least one item (dead code, e.g.
+/// statements after an unconditional return). Empty synthetic join blocks
+/// are not reported.
+std::vector<std::size_t> unreachable_code_blocks(const Cfg& cfg);
+
+/// Debug rendering ("B0[2 items] -> B1, B2 ..."), stable across runs.
+std::string to_string(const Cfg& cfg);
+
+}  // namespace decompeval::lang

@@ -1,0 +1,347 @@
+#include "lang/dataflow.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/check.h"
+
+namespace decompeval::lang {
+
+namespace {
+
+// One ordered def/use event inside a block. `def_id` indexes the global
+// definition table for defs; -1 for uses.
+struct VarEvent {
+  std::size_t var = 0;
+  bool is_def = false;
+  bool is_uninit = false;      // synthetic marker of an uninitialized decl
+  bool is_storage = false;     // array declaration (def that is not a store)
+  int def_id = -1;
+  int line = 0;
+};
+
+class DataflowEngine {
+ public:
+  DataflowDiagnostics run(const Function& fn, const Cfg& cfg) {
+    collect_variables(fn, cfg);
+    collect_events(fn, cfg);
+    number_definitions();
+    reach_fixpoint(cfg);
+    live_fixpoint(cfg);
+    return emit(cfg);
+  }
+
+ private:
+  // ---- variable universe ---------------------------------------------------
+
+  void collect_variables(const Function& fn, const Cfg& cfg) {
+    for (const auto& p : fn.params)
+      if (!p.name.empty() && !var_ids_.count(p.name)) {
+        var_ids_[p.name] = names_.size();
+        names_.push_back(p.name);
+        is_param_.push_back(true);
+      }
+    for (const auto& block : cfg.blocks)
+      for (const auto& item : block.items)
+        if (item.kind == CfgItemKind::kDecl && !var_ids_.count(item.decl->name)) {
+          var_ids_[item.decl->name] = names_.size();
+          names_.push_back(item.decl->name);
+          is_param_.push_back(false);
+        }
+  }
+
+  int lookup(const std::string& name) const {
+    const auto it = var_ids_.find(name);
+    return it == var_ids_.end() ? -1 : static_cast<int>(it->second);
+  }
+
+  // ---- event extraction ----------------------------------------------------
+
+  void emit_use(const std::string& name, int line) {
+    const int v = lookup(name);
+    if (v < 0) return;  // globals, callees, NULL: not tracked
+    sink_->push_back(
+        {static_cast<std::size_t>(v), false, false, false, -1, line});
+  }
+
+  void emit_def(const std::string& name, int line, bool uninit = false,
+                bool storage = false) {
+    const int v = lookup(name);
+    if (v < 0) return;
+    sink_->push_back(
+        {static_cast<std::size_t>(v), true, uninit, storage, -1, line});
+  }
+
+  // Mirrors the straight-line walker in lang/analysis.cpp: assignment and
+  // ++/-- targets that are plain identifiers are definitions, stores
+  // through index/member/deref read the base, everything else is a use.
+  void walk_expr(const Expr& e, bool is_def_target) {
+    switch (e.kind) {
+      case ExprKind::kIdentifier:
+        if (is_def_target) emit_def(e.text, e.line);
+        else emit_use(e.text, e.line);
+        return;
+      case ExprKind::kBinary: {
+        const bool is_assign = !e.text.empty() && e.text.back() == '=' &&
+                               e.text != "==" && e.text != "!=" &&
+                               e.text != "<=" && e.text != ">=";
+        if (is_assign) {
+          if (e.text != "=") walk_expr(*e.children[0], false);
+          walk_expr(*e.children[1], false);  // RHS evaluated before the def
+          walk_expr(*e.children[0], true);
+          return;
+        }
+        walk_expr(*e.children[0], false);
+        walk_expr(*e.children[1], false);
+        return;
+      }
+      case ExprKind::kUnary: {
+        const bool is_incdec = e.text == "++" || e.text == "--" ||
+                               e.text == "post++" || e.text == "post--";
+        if (is_incdec) {
+          walk_expr(*e.children[0], false);  // read
+          walk_expr(*e.children[0], true);   // write
+          return;
+        }
+        walk_expr(*e.children[0], false);
+        return;
+      }
+      case ExprKind::kMember:
+      case ExprKind::kCast:
+        walk_expr(*e.children[0], false);
+        return;
+      case ExprKind::kIndex:
+        walk_expr(*e.children[0], false);
+        walk_expr(*e.children[1], false);
+        return;
+      case ExprKind::kCall:
+      case ExprKind::kTernary:
+        for (const auto& c : e.children)
+          if (c) walk_expr(*c, false);
+        return;
+      case ExprKind::kNumber:
+      case ExprKind::kString:
+      case ExprKind::kCharLiteral:
+        return;
+    }
+  }
+
+  void collect_events(const Function& fn, const Cfg& cfg) {
+    events_.resize(cfg.blocks.size());
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      sink_ = &events_[b];
+      if (b == cfg.entry)
+        for (const auto& p : fn.params)
+          if (!p.name.empty()) emit_def(p.name, 0);
+      for (const auto& item : cfg.blocks[b].items) {
+        switch (item.kind) {
+          case CfgItemKind::kDecl:
+            if (item.decl->init) {
+              walk_expr(*item.decl->init, false);
+              emit_def(item.decl->name, item.line);
+            } else if (item.decl->type_text.find('[') != std::string::npos) {
+              emit_def(item.decl->name, item.line, false, /*storage=*/true);
+            } else {
+              emit_def(item.decl->name, item.line, /*uninit=*/true);
+            }
+            break;
+          case CfgItemKind::kExpr:
+            walk_expr(*item.expr, false);
+            break;
+          case CfgItemKind::kReturn:
+            if (item.expr) walk_expr(*item.expr, false);
+            break;
+        }
+      }
+    }
+    sink_ = nullptr;
+  }
+
+  void number_definitions() {
+    for (auto& block : events_)
+      for (auto& ev : block)
+        if (ev.is_def) {
+          ev.def_id = static_cast<int>(defs_.size());
+          defs_.push_back(ev);
+        }
+  }
+
+  // ---- reaching definitions (forward, may) ---------------------------------
+
+  void reach_fixpoint(const Cfg& cfg) {
+    const std::size_t n_blocks = cfg.blocks.size();
+    const std::size_t n_defs = defs_.size();
+    std::vector<std::vector<bool>> gen(n_blocks,
+                                       std::vector<bool>(n_defs, false));
+    std::vector<std::vector<bool>> kills_var(
+        n_blocks, std::vector<bool>(names_.size(), false));
+    for (std::size_t b = 0; b < n_blocks; ++b)
+      for (const auto& ev : events_[b])
+        if (ev.is_def) {
+          // A later def of the same variable in this block overwrites.
+          for (std::size_t d = 0; d < n_defs; ++d)
+            if (gen[b][d] && defs_[d].var == ev.var) gen[b][d] = false;
+          gen[b][static_cast<std::size_t>(ev.def_id)] = true;
+          kills_var[b][ev.var] = true;
+        }
+
+    reach_in_.assign(n_blocks, std::vector<bool>(n_defs, false));
+    std::vector<std::vector<bool>> out(n_blocks,
+                                       std::vector<bool>(n_defs, false));
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        if (!cfg.reachable[b]) continue;
+        ++iterations_;
+        std::vector<bool>& in = reach_in_[b];
+        for (const std::size_t p : cfg.blocks[b].preds) {
+          if (!cfg.reachable[p]) continue;
+          for (std::size_t d = 0; d < n_defs; ++d)
+            if (out[p][d] && !in[d]) in[d] = true;
+        }
+        for (std::size_t d = 0; d < n_defs; ++d) {
+          const bool v =
+              gen[b][d] || (in[d] && !kills_var[b][defs_[d].var]);
+          if (v != out[b][d]) {
+            out[b][d] = v;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- live variables (backward, may) --------------------------------------
+
+  void live_fixpoint(const Cfg& cfg) {
+    const std::size_t n_blocks = cfg.blocks.size();
+    const std::size_t n_vars = names_.size();
+    std::vector<std::vector<bool>> use(n_blocks,
+                                       std::vector<bool>(n_vars, false));
+    std::vector<std::vector<bool>> def(n_blocks,
+                                       std::vector<bool>(n_vars, false));
+    for (std::size_t b = 0; b < n_blocks; ++b)
+      for (const auto& ev : events_[b]) {
+        if (!ev.is_def) {
+          if (!def[b][ev.var]) use[b][ev.var] = true;  // upward-exposed
+        } else if (!ev.is_uninit) {
+          def[b][ev.var] = true;
+        }
+      }
+
+    live_out_.assign(n_blocks, std::vector<bool>(n_vars, false));
+    std::vector<std::vector<bool>> in(n_blocks,
+                                      std::vector<bool>(n_vars, false));
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t b = n_blocks; b-- > 0;) {
+        if (!cfg.reachable[b]) continue;
+        ++iterations_;
+        std::vector<bool>& lo = live_out_[b];
+        for (const std::size_t s : cfg.blocks[b].succs)
+          for (std::size_t v = 0; v < n_vars; ++v)
+            if (in[s][v] && !lo[v]) lo[v] = true;
+        for (std::size_t v = 0; v < n_vars; ++v) {
+          const bool value = use[b][v] || (lo[v] && !def[b][v]);
+          if (value != in[b][v]) {
+            in[b][v] = value;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+
+  // ---- diagnostics ---------------------------------------------------------
+
+  DataflowDiagnostics emit(const Cfg& cfg) {
+    DataflowDiagnostics out;
+    out.worklist_iterations = iterations_;
+
+    std::vector<std::size_t> use_counts(names_.size(), 0);
+    for (const auto& block : events_)
+      for (const auto& ev : block)
+        if (!ev.is_def) ++use_counts[ev.var];
+
+    for (std::size_t v = 0; v < names_.size(); ++v)
+      if (use_counts[v] == 0)
+        (is_param_[v] ? out.unused_params : out.unused_locals)
+            .push_back(names_[v]);
+
+    std::set<std::pair<int, std::string>> ubi_seen;
+    std::set<std::pair<int, std::string>> dead_seen;
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      if (!cfg.reachable[b]) continue;
+
+      // Forward scan: a use while the variable's uninit marker reaches it.
+      std::vector<bool> may_uninit(names_.size(), false);
+      for (std::size_t d = 0; d < defs_.size(); ++d)
+        if (reach_in_[b][d] && defs_[d].is_uninit)
+          may_uninit[defs_[d].var] = true;
+      for (const auto& ev : events_[b]) {
+        if (ev.is_def) {
+          may_uninit[ev.var] = ev.is_uninit;
+        } else if (may_uninit[ev.var]) {
+          ubi_seen.insert({ev.line, names_[ev.var]});
+        }
+      }
+
+      // Backward scan: a store the variable is not live after.
+      std::vector<bool> live = live_out_[b];
+      for (std::size_t i = events_[b].size(); i-- > 0;) {
+        const VarEvent& ev = events_[b][i];
+        if (!ev.is_def) {
+          live[ev.var] = true;
+          continue;
+        }
+        if (ev.is_uninit) continue;
+        if (!live[ev.var] && !ev.is_storage && ev.line > 0 &&
+            use_counts[ev.var] > 0)
+          dead_seen.insert({ev.line, names_[ev.var]});
+        live[ev.var] = false;
+      }
+    }
+    for (const auto& [line, name] : ubi_seen)
+      out.uses_before_init.push_back({name, line});
+    for (const auto& [line, name] : dead_seen)
+      out.dead_stores.push_back({name, line});
+
+    for (const std::size_t b : unreachable_code_blocks(cfg))
+      out.unreachable_lines.push_back(cfg.blocks[b].items.front().line);
+    std::sort(out.unreachable_lines.begin(), out.unreachable_lines.end());
+
+    for (const auto& block : events_)
+      for (const auto& ev : block) {
+        if (ev.is_def && !ev.is_uninit && !ev.is_storage && ev.line > 0)
+          ++out.n_defs;
+        if (!ev.is_def) ++out.n_uses;
+      }
+    return out;
+  }
+
+  std::map<std::string, std::size_t> var_ids_;
+  std::vector<std::string> names_;
+  std::vector<bool> is_param_;
+  std::vector<std::vector<VarEvent>> events_;  // per block, in order
+  std::vector<VarEvent>* sink_ = nullptr;      // block receiving emitted events
+  std::vector<VarEvent> defs_;                 // def table, by def_id
+  std::vector<std::vector<bool>> reach_in_;
+  std::vector<std::vector<bool>> live_out_;
+  std::size_t iterations_ = 0;
+};
+
+}  // namespace
+
+DataflowDiagnostics analyze_dataflow(const Function& fn, const Cfg& cfg) {
+  return DataflowEngine{}.run(fn, cfg);
+}
+
+DataflowDiagnostics analyze_dataflow(const Function& fn) {
+  const Cfg cfg = build_cfg(fn);
+  return analyze_dataflow(fn, cfg);
+}
+
+}  // namespace decompeval::lang

@@ -1,0 +1,81 @@
+// Worklist dataflow over the basic-block CFG: reaching definitions
+// (forward, may) and live variables (backward, may), plus the diagnostics
+// the annotation lint derives from them — use-before-init on genuinely
+// unguarded paths, dead stores across branches, unused parameters and
+// locals, unreachable code.
+//
+// Tracked variables are the function's parameters and declared locals;
+// identifiers that are never declared (globals, callees, NULL) produce no
+// events. Stores through an index/member/dereference are uses of the base
+// pointer, never scalar definitions — consistent with the straight-line
+// walker in lang/analysis.h. An uninitialized scalar declaration
+// contributes a synthetic "uninit" definition, so a use is flagged exactly
+// when that marker reaches it (i.e. when some path from the declaration
+// carries no real definition). Declared arrays are storage, not scalars:
+// they are treated as defined at the declaration.
+//
+// All results are pure functions of the AST: block order, event order and
+// diagnostic order are deterministic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lang/cfg.h"
+
+namespace decompeval::lang {
+
+/// One scalar definition site.
+struct DefSite {
+  std::string name;
+  int line = 0;           ///< 0 for parameter bindings
+  bool is_param = false;  ///< binding of a parameter at function entry
+  bool is_uninit = false; ///< synthetic marker of an uninitialized decl
+};
+
+/// A use of a variable that an uninitialized declaration reaches: there is
+/// at least one path from the declaration to this use with no intervening
+/// assignment.
+struct UseBeforeInit {
+  std::string name;
+  int line = 0;
+};
+
+/// A definition whose value no path observes: the variable is not live
+/// immediately after the store (every path kills it before any use).
+struct DeadStore {
+  std::string name;
+  int line = 0;
+};
+
+struct DataflowDiagnostics {
+  std::vector<UseBeforeInit> uses_before_init;
+  std::vector<DeadStore> dead_stores;
+  /// Parameters / declared locals with no use anywhere in the body. A fully
+  /// unused local is reported here and suppressed from dead_stores.
+  std::vector<std::string> unused_params;
+  std::vector<std::string> unused_locals;
+  /// Source line of the first item of each unreachable nonempty block.
+  std::vector<int> unreachable_lines;
+
+  std::size_t n_defs = 0;  ///< real definitions (params and markers excluded)
+  std::size_t n_uses = 0;  ///< uses of tracked variables
+  /// Block-iterations until the two fixpoints converged (diagnostic only).
+  std::size_t worklist_iterations = 0;
+
+  bool clean() const {
+    return uses_before_init.empty() && dead_stores.empty() &&
+           unused_params.empty() && unused_locals.empty() &&
+           unreachable_lines.empty();
+  }
+};
+
+/// Runs both analyses over `cfg` (built from `fn`; the caller guarantees
+/// the pair matches — use the single-argument overload otherwise).
+DataflowDiagnostics analyze_dataflow(const Function& fn, const Cfg& cfg);
+
+/// Convenience overload building its own CFG.
+DataflowDiagnostics analyze_dataflow(const Function& fn);
+
+}  // namespace decompeval::lang

@@ -1,0 +1,118 @@
+#include "lang/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "lang/dataflow.h"
+
+namespace decompeval::lang {
+
+namespace {
+
+bool digits_from(const std::string& s, std::size_t pos) {
+  if (pos >= s.size()) return false;
+  for (std::size_t i = pos; i < s.size(); ++i)
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  return true;
+}
+
+// Appends artifact notes for a declared (name, type) pair.
+void check_declaration(const std::string& name, const std::string& type_text,
+                       int line, std::vector<LintDiagnostic>& out) {
+  if (is_placeholder_name(name))
+    out.push_back({"placeholder-name", LintSeverity::kNote, name, line,
+                   "'" + name + "' is a decompiler placeholder name"});
+  if (is_flat_type(type_text))
+    out.push_back({"flat-type-decl", LintSeverity::kNote, type_text, line,
+                   "'" + name + "' is declared with flat type '" + type_text +
+                       "'"});
+}
+
+void walk_expr_artifacts(const Expr& e, std::vector<LintDiagnostic>& out) {
+  if (e.kind == ExprKind::kCast && is_flat_type(e.type_text))
+    out.push_back({"flat-type-cast", LintSeverity::kNote, e.type_text, e.line,
+                   "cast through flat type '" + e.type_text + "'"});
+  for (const auto& c : e.children)
+    if (c) walk_expr_artifacts(*c, out);
+}
+
+void walk_stmt_artifacts(const Stmt& s, std::vector<LintDiagnostic>& out) {
+  for (const auto& d : s.decls) {
+    check_declaration(d.name, d.type_text, d.line ? d.line : s.line, out);
+    if (d.init) walk_expr_artifacts(*d.init, out);
+  }
+  for (const auto& e : s.exprs)
+    if (e) walk_expr_artifacts(*e, out);
+  for (const auto& b : s.body)
+    if (b) walk_stmt_artifacts(*b, out);
+}
+
+}  // namespace
+
+bool is_placeholder_name(const std::string& name) {
+  if (name.size() < 2) return false;
+  return (name[0] == 'a' || name[0] == 'v') && digits_from(name, 1);
+}
+
+bool is_flat_type(const std::string& type_text) {
+  for (const char* marker : {"_QWORD", "_DWORD", "_WORD", "_BYTE", "__int"})
+    if (type_text.find(marker) != std::string::npos) return true;
+  return false;
+}
+
+std::vector<LintDiagnostic> lint_function(const Function& fn,
+                                          const LintOptions& options) {
+  std::vector<LintDiagnostic> out;
+
+  if (options.dataflow_checks) {
+    const DataflowDiagnostics flow = analyze_dataflow(fn);
+    for (const auto& u : flow.uses_before_init)
+      out.push_back({"use-before-init", LintSeverity::kError, u.name, u.line,
+                     "'" + u.name +
+                         "' may be read before it is assigned on some path"});
+    for (const auto& d : flow.dead_stores)
+      out.push_back({"dead-store", LintSeverity::kWarning, d.name, d.line,
+                     "value assigned to '" + d.name + "' is never read"});
+    for (const auto& name : flow.unused_params)
+      out.push_back({"unused-param", LintSeverity::kWarning, name, 0,
+                     "parameter '" + name + "' is never used"});
+    for (const auto& name : flow.unused_locals)
+      out.push_back({"unused-local", LintSeverity::kWarning, name, 0,
+                     "local '" + name + "' is never used"});
+    for (const int line : flow.unreachable_lines)
+      out.push_back({"unreachable-code", LintSeverity::kWarning, "", line,
+                     "statement is unreachable"});
+  }
+
+  if (options.artifact_checks) {
+    for (const auto& p : fn.params) check_declaration(p.name, p.type_text, 0, out);
+    if (is_flat_type(fn.return_type))
+      out.push_back({"flat-type-decl", LintSeverity::kNote, fn.return_type, 0,
+                     "return type '" + fn.return_type + "' is flat"});
+    if (fn.body) walk_stmt_artifacts(*fn.body, out);
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const LintDiagnostic& a, const LintDiagnostic& b) {
+              return std::tie(a.line, a.code, a.symbol) <
+                     std::tie(b.line, b.code, b.symbol);
+            });
+  return out;
+}
+
+std::string to_string(const LintDiagnostic& d) {
+  std::ostringstream os;
+  if (d.line > 0) os << "line " << d.line << ": ";
+  os << d.code << ": " << d.message;
+  return os.str();
+}
+
+std::size_t artifact_count(const std::vector<LintDiagnostic>& diagnostics) {
+  std::size_t n = 0;
+  for (const auto& d : diagnostics)
+    if (d.severity == LintSeverity::kNote) ++n;
+  return n;
+}
+
+}  // namespace decompeval::lang

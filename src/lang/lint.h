@@ -1,0 +1,62 @@
+// Annotation lint over the mini-C AST: dataflow diagnostics (lang/
+// dataflow.h) plus detectors for the textual artifacts decompilers leave
+// behind — Hex-Rays placeholder names (a1, v5), machine-width "flat" types
+// (_QWORD, __int64) in declarations and casts.
+//
+// The corpus verifier (snippets/corpus_verifier.h) requires original study
+// sources to lint clean, while the Hex-Rays and DIRTY variants are
+// *expected* to carry artifact notes — that asymmetry is what lets the
+// verifier check that each variant is what its label claims.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.h"
+
+namespace decompeval::lang {
+
+enum class LintSeverity {
+  kError,    // use-before-init: reads an indeterminate value
+  kWarning,  // dead store, unused parameter/local, unreachable code
+  kNote,     // decompiler artifact markers (expected on decompiled variants)
+};
+
+struct LintDiagnostic {
+  std::string code;  ///< "use-before-init", "dead-store", "unused-param",
+                     ///< "unused-local", "unreachable-code",
+                     ///< "placeholder-name", "flat-type-decl",
+                     ///< "flat-type-cast"
+  LintSeverity severity{};
+  std::string symbol;  ///< variable / type text involved (may be empty)
+  int line = 0;        ///< 0 when no source line applies (parameters)
+  std::string message;
+
+  auto operator<=>(const LintDiagnostic&) const = default;
+};
+
+struct LintOptions {
+  bool dataflow_checks = true;  ///< CFG/dataflow-derived diagnostics
+  bool artifact_checks = true;  ///< placeholder-name / flat-type notes
+};
+
+/// Lints one function. Diagnostics are sorted by (line, code, symbol) and
+/// are a pure function of the AST.
+std::vector<LintDiagnostic> lint_function(const Function& fn,
+                                          const LintOptions& options = {});
+
+/// True if `name` follows the Hex-Rays placeholder convention: `a<N>` for
+/// arguments, `v<N>` for locals.
+bool is_placeholder_name(const std::string& name);
+
+/// True if the type text mentions a machine-width placeholder type
+/// (_QWORD/_DWORD/_WORD/_BYTE or an __int<N> spelling).
+bool is_flat_type(const std::string& type_text);
+
+/// "line 12: dead-store: value assigned to 'carry' is never read".
+std::string to_string(const LintDiagnostic& d);
+
+/// Number of kNote artifact diagnostics (placeholder/flat-type) in a run.
+std::size_t artifact_count(const std::vector<LintDiagnostic>& diagnostics);
+
+}  // namespace decompeval::lang

@@ -2,6 +2,7 @@
 
 #include "metrics/bertscore.h"
 #include "metrics/codebleu.h"
+#include "metrics/static_complexity.h"
 #include "text/bleu.h"
 #include "text/similarity.h"
 #include "text/tokenize.h"
@@ -85,12 +86,30 @@ SnippetMetricScores compute_snippet_metrics(const SnippetMetricInputs& inputs,
   scores.varclr = varclr_total / static_cast<double>(n_pairs);
   scores.exact_match = exact / static_cast<double>(n_pairs);
 
+  // Static-complexity family of the recovered source (the variant the
+  // participant read). Name-pair-only inputs carry no source; the fields
+  // stay at their zero defaults there.
+  if (!inputs.recovered_source.empty()) {
+    const StaticComplexity complexity = compute_static_complexity(
+        inputs.recovered_source, inputs.parse_options);
+    scores.cyclomatic = complexity.cyclomatic;
+    scores.halstead_volume = complexity.halstead_volume;
+    scores.halstead_difficulty = complexity.halstead_difficulty;
+    scores.identifier_entropy = complexity.identifier_entropy;
+    scores.dead_store_density = complexity.dead_store_density;
+  }
+
   return scores;
 }
 
 std::vector<std::string> similarity_metric_names() {
   return {"BLEU",         "codeBLEU", "Jaccard Similarity",
           "Levenshtein",  "BERTScore F1", "VarCLR"};
+}
+
+std::vector<std::string> static_metric_names() {
+  return {"Cyclomatic Complexity", "Halstead Volume", "Halstead Difficulty",
+          "Identifier Entropy", "Dead-Store Density"};
 }
 
 double metric_by_name(const SnippetMetricScores& scores,
@@ -102,6 +121,11 @@ double metric_by_name(const SnippetMetricScores& scores,
   if (name == "BERTScore F1") return scores.bertscore_f1;
   if (name == "VarCLR") return scores.varclr;
   if (name == "Exact Match") return scores.exact_match;
+  if (name == "Cyclomatic Complexity") return scores.cyclomatic;
+  if (name == "Halstead Volume") return scores.halstead_volume;
+  if (name == "Halstead Difficulty") return scores.halstead_difficulty;
+  if (name == "Identifier Entropy") return scores.identifier_entropy;
+  if (name == "Dead-Store Density") return scores.dead_store_density;
   throw PreconditionError("unknown metric name: " + name);
 }
 

@@ -45,6 +45,16 @@ struct SnippetMetricScores {
   double bertscore_f1 = 0.0;
   double varclr = 0.0;
   double exact_match = 0.0;  ///< fraction of names recovered verbatim
+
+  // ---- static-complexity family (metrics/static_complexity.h) ----
+  // Structural properties of the *recovered* source — the code the
+  // participant read — rather than its similarity to the original. Zero
+  // when the inputs carry no recovered source.
+  double cyclomatic = 0.0;
+  double halstead_volume = 0.0;
+  double halstead_difficulty = 0.0;
+  double identifier_entropy = 0.0;
+  double dead_store_density = 0.0;
 };
 
 /// Computes every metric for one snippet's alignment. Requires at least one
@@ -55,6 +65,10 @@ SnippetMetricScores compute_snippet_metrics(const SnippetMetricInputs& inputs,
 /// Canonical ordering/naming of the similarity metrics for the Tables
 /// III/IV reports.
 std::vector<std::string> similarity_metric_names();
+
+/// Canonical ordering/naming of the static-complexity metric family (the
+/// structural predictors appended to the RQ5 battery).
+std::vector<std::string> static_metric_names();
 
 /// Extracts the named metric value from a score set; name must be one of
 /// similarity_metric_names().

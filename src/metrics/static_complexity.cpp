@@ -1,0 +1,167 @@
+#include "metrics/static_complexity.h"
+
+#include <cmath>
+#include <map>
+
+#include "lang/analysis.h"
+#include "lang/cfg.h"
+#include "lang/dataflow.h"
+
+namespace decompeval::metrics {
+
+namespace {
+
+// Halstead token census: operators are the operation labels (one per
+// operator spelling, call, index, member access, cast and control
+// keyword), operands are identifiers and literals by spelling.
+class HalsteadCensus {
+ public:
+  void count_function(const lang::Function& fn) {
+    for (const auto& p : fn.params)
+      if (!p.name.empty()) operand(p.name);
+    if (fn.body) walk_stmt(*fn.body);
+  }
+
+  std::size_t n1() const { return operators_.size(); }
+  std::size_t n2() const { return operands_.size(); }
+  std::size_t N1() const { return total_operators_; }
+  std::size_t N2() const { return total_operands_; }
+
+ private:
+  void op(const std::string& label) {
+    ++operators_[label];
+    ++total_operators_;
+  }
+
+  void operand(const std::string& spelling) {
+    ++operands_[spelling];
+    ++total_operands_;
+  }
+
+  void walk_expr(const lang::Expr& e) {
+    using lang::ExprKind;
+    switch (e.kind) {
+      case ExprKind::kIdentifier:
+        operand(e.text);
+        break;
+      case ExprKind::kNumber:
+      case ExprKind::kString:
+      case ExprKind::kCharLiteral:
+        operand(e.text);
+        break;
+      case ExprKind::kUnary:
+        op("u" + e.text);
+        break;
+      case ExprKind::kBinary:
+        op(e.text);
+        break;
+      case ExprKind::kTernary:
+        op("?:");
+        break;
+      case ExprKind::kCall:
+        op("()");
+        break;
+      case ExprKind::kIndex:
+        op("[]");
+        break;
+      case ExprKind::kMember:
+        op(e.text);
+        operand(e.member_name);
+        break;
+      case ExprKind::kCast:
+        op("(" + e.type_text + ")");
+        break;
+    }
+    for (const auto& c : e.children)
+      if (c) walk_expr(*c);
+  }
+
+  void walk_stmt(const lang::Stmt& s) {
+    using lang::StmtKind;
+    switch (s.kind) {
+      case StmtKind::kIf: op("if"); break;
+      case StmtKind::kWhile: op("while"); break;
+      case StmtKind::kDoWhile: op("do"); break;
+      case StmtKind::kFor: op("for"); break;
+      case StmtKind::kReturn: op("return"); break;
+      case StmtKind::kBreak: op("break"); break;
+      case StmtKind::kContinue: op("continue"); break;
+      default: break;
+    }
+    for (const auto& d : s.decls) {
+      operand(d.name);
+      if (d.init) {
+        op("=");
+        walk_expr(*d.init);
+      }
+    }
+    for (const auto& e : s.exprs)
+      if (e) walk_expr(*e);
+    for (const auto& b : s.body)
+      if (b) walk_stmt(*b);
+  }
+
+  std::map<std::string, std::size_t> operators_;
+  std::map<std::string, std::size_t> operands_;
+  std::size_t total_operators_ = 0;
+  std::size_t total_operands_ = 0;
+};
+
+double shannon_entropy_bits(const std::map<std::string, std::size_t>& counts,
+                            std::size_t total) {
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const auto& [name, count] : counts) {
+    const double p = static_cast<double>(count) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+StaticComplexity compute_static_complexity(const lang::Function& fn) {
+  StaticComplexity out;
+
+  const lang::Cfg cfg = lang::build_cfg(fn);
+  out.cyclomatic = static_cast<double>(lang::cyclomatic_complexity(cfg));
+
+  HalsteadCensus census;
+  census.count_function(fn);
+  out.distinct_operators = census.n1();
+  out.distinct_operands = census.n2();
+  out.total_operators = census.N1();
+  out.total_operands = census.N2();
+  const double vocabulary =
+      static_cast<double>(census.n1() + census.n2());
+  const double length = static_cast<double>(census.N1() + census.N2());
+  out.halstead_volume =
+      vocabulary >= 2.0 ? length * std::log2(vocabulary) : 0.0;
+  out.halstead_difficulty =
+      census.n2() > 0 ? (static_cast<double>(census.n1()) / 2.0) *
+                            (static_cast<double>(census.N2()) /
+                             static_cast<double>(census.n2()))
+                      : 0.0;
+
+  std::map<std::string, std::size_t> name_counts;
+  std::size_t name_total = 0;
+  for (const std::string& name : lang::identifier_occurrences(fn)) {
+    ++name_counts[name];
+    ++name_total;
+  }
+  out.identifier_entropy = shannon_entropy_bits(name_counts, name_total);
+
+  const lang::DataflowDiagnostics flow = lang::analyze_dataflow(fn, cfg);
+  out.dead_store_density =
+      flow.n_defs > 0 ? static_cast<double>(flow.dead_stores.size()) /
+                            static_cast<double>(flow.n_defs)
+                      : 0.0;
+  return out;
+}
+
+StaticComplexity compute_static_complexity(const std::string& source,
+                                           const lang::ParseOptions& options) {
+  return compute_static_complexity(lang::parse_function(source, options));
+}
+
+}  // namespace decompeval::metrics

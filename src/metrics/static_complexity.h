@@ -1,0 +1,46 @@
+// Static-complexity metrics computed on one snippet variant's source.
+//
+// The paper's negative RQ5 result is that *similarity* metrics between the
+// DIRTY output and the original do not predict comprehension; the program-
+// comprehension literature points at *structural* properties instead. This
+// family measures them on the code the participant actually read:
+//  - cyclomatic complexity (decision count over the CFG),
+//  - Halstead volume / difficulty (operator/operand vocabulary),
+//  - identifier entropy (how concentrated the name distribution is —
+//    placeholder-heavy decompiler output reuses few distinct names),
+//  - dead-store density (stores per definition that no path reads, the
+//    dataflow residue decompilation leaves behind).
+// Registered as SnippetMetricScores fields (metrics/registry.h) and
+// correlated against comprehension outcomes in the RQ5 battery.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "lang/parser.h"
+
+namespace decompeval::metrics {
+
+struct StaticComplexity {
+  double cyclomatic = 1.0;
+  double halstead_volume = 0.0;
+  double halstead_difficulty = 0.0;
+  double identifier_entropy = 0.0;  ///< bits; 0 when one name dominates all
+  double dead_store_density = 0.0;  ///< dead stores / definitions, in [0, 1]
+
+  // Raw Halstead counts, exposed for the property tests.
+  std::size_t distinct_operators = 0;  ///< n1
+  std::size_t distinct_operands = 0;   ///< n2
+  std::size_t total_operators = 0;     ///< N1
+  std::size_t total_operands = 0;      ///< N2
+};
+
+/// Computes the family over a parsed function.
+StaticComplexity compute_static_complexity(const lang::Function& fn);
+
+/// Parses `source` with `options` first. Throws lang::ParseError on
+/// malformed input.
+StaticComplexity compute_static_complexity(const std::string& source,
+                                           const lang::ParseOptions& options);
+
+}  // namespace decompeval::metrics

@@ -1,5 +1,6 @@
 #include "report/render.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "report/table.h"
@@ -84,11 +85,22 @@ std::string render_metric_table(const analysis::MetricAnalysis& result,
   const auto add = [&](const analysis::MetricCorrelationRow& row) {
     const stats::CorrelationResult& c =
         vs_time ? row.vs_time : row.vs_correctness;
+    if (std::isnan(c.estimate)) {
+      // Constant metric column: rank correlation undefined.
+      t.add_row({row.metric, "-", "n/a", "n/a"});
+      return;
+    }
     t.add_row({row.metric, arrow(c.estimate), format_fixed(c.estimate, 4),
                format_p_value(c.p_value) + star(c.p_value)});
   };
   for (const auto& row : result.rows) add(row);
   add(result.levenshtein);
+  if (!result.static_rows.empty()) {
+    // Static-complexity family of the read (DIRTY) code — structural
+    // predictors, not similarity metrics, so set off below the rule.
+    t.add_separator();
+    for (const auto& row : result.static_rows) add(row);
+  }
   std::ostringstream note;
   note << "n(time) = " << result.n_time_observations
        << ", n(correctness) = " << result.n_correctness_observations

@@ -1,0 +1,244 @@
+#include "snippets/corpus_verifier.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "lang/analysis.h"
+#include "lang/parser.h"
+#include "util/parallel.h"
+
+namespace decompeval::snippets {
+
+namespace {
+
+// Qualifiers and punctuation dropped when comparing type spellings, so an
+// aligned "char *" matches a declared "const char *const".
+bool is_dropped_type_token(const std::string& token) {
+  static const std::set<std::string> kDropped = {
+      "const", "volatile", "restrict", "__restrict", "struct", "union",
+      "enum",  "static",   "register"};
+  return kDropped.count(token) > 0;
+}
+
+// Splits a type spelling into identifier tokens plus one "*" token per
+// pointer star; parentheses and commas (function-pointer syntax) vanish.
+std::vector<std::string> type_tokens(const std::string& type_text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  const auto flush = [&] {
+    if (!current.empty() && !is_dropped_type_token(current))
+      tokens.push_back(current);
+    current.clear();
+  };
+  for (const char c : type_text) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      current += c;
+    } else {
+      flush();
+      if (c == '*') tokens.emplace_back("*");
+    }
+  }
+  flush();
+  return tokens;
+}
+
+// Multiset containment: every token of `needle` occurs at least as often
+// in `haystack`.
+bool tokens_subset(const std::vector<std::string>& needle,
+                   const std::vector<std::string>& haystack) {
+  std::map<std::string, int> counts;
+  for (const auto& t : haystack) ++counts[t];
+  for (const auto& t : needle)
+    if (--counts[t] < 0) return false;
+  return true;
+}
+
+// Every name a variable-alignment entry could legitimately refer to:
+// parameters, declared locals, and identifier uses (callees included —
+// harmless, the alignment never names a callee that is not also a
+// variable elsewhere).
+struct FunctionNames {
+  std::set<std::string> names;
+  std::vector<std::string> param_names;  ///< in declaration order
+  std::vector<std::string> declared_types;
+};
+
+void collect_decls(const lang::Stmt& s, FunctionNames* out) {
+  for (const auto& d : s.decls) {
+    out->names.insert(d.name);
+    out->declared_types.push_back(d.type_text);
+  }
+  for (const auto& b : s.body)
+    if (b) collect_decls(*b, out);
+}
+
+FunctionNames collect_names(const lang::Function& fn) {
+  FunctionNames out;
+  for (const auto& p : fn.params) {
+    out.names.insert(p.name);
+    out.param_names.push_back(p.name);
+    out.declared_types.push_back(p.type_text);
+  }
+  out.declared_types.push_back(fn.return_type);
+  if (fn.body) collect_decls(*fn.body, &out);
+  for (const auto& id : lang::identifier_occurrences(fn)) out.names.insert(id);
+  return out;
+}
+
+// Position of `name` in the parameter list, or npos.
+std::size_t param_position(const FunctionNames& names,
+                           const std::string& name) {
+  const auto it = std::find(names.param_names.begin(),
+                            names.param_names.end(), name);
+  return it == names.param_names.end()
+             ? std::string::npos
+             : static_cast<std::size_t>(it - names.param_names.begin());
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  std::size_t e = s.find_last_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  return s.substr(b, e - b + 1);
+}
+
+// True when `line`, trimmed, is a substring of some line of `source`.
+bool contains_line(const std::string& source, const std::string& line) {
+  const std::string needle = trim(line);
+  if (needle.empty()) return true;
+  std::istringstream in(source);
+  std::string candidate;
+  while (std::getline(in, candidate))
+    if (candidate.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+SnippetVerification verify_snippet(const Snippet& s) {
+  SnippetVerification v;
+  v.snippet_id = s.id;
+
+  lang::Function original, hexrays, dirty;
+  try {
+    original = lang::parse_function(s.original_source, s.parse_options);
+    hexrays = lang::parse_function(s.hexrays_source, s.parse_options);
+    dirty = lang::parse_function(s.dirty_source, s.parse_options);
+  } catch (const lang::ParseError& e) {
+    v.alignment_issues.push_back(std::string("variant fails to parse: ") +
+                                 e.what());
+    return v;
+  }
+  v.parses = true;
+
+  const auto issue = [&v](const std::string& text) {
+    v.alignment_issues.push_back(text);
+  };
+
+  const FunctionNames orig_names = collect_names(original);
+  const FunctionNames dirty_names = collect_names(dirty);
+
+  // -- variable alignment: names must occur, targets must not collide ----
+  std::map<std::string, std::string> recovered_to_original;
+  for (const auto& p : s.variable_alignment) {
+    if (orig_names.names.count(p.original) == 0)
+      issue("aligned original variable `" + p.original +
+            "` does not occur in the original source");
+    if (dirty_names.names.count(p.recovered) == 0)
+      issue("aligned recovered variable `" + p.recovered +
+            "` does not occur in the DIRTY source");
+    const auto [it, inserted] =
+        recovered_to_original.emplace(p.recovered, p.original);
+    if (!inserted && it->second != p.original)
+      issue("recovered name `" + p.recovered + "` is the target of both `" +
+            it->second + "` and `" + p.original + "`");
+  }
+
+  // -- parameter lists: same arity, aligned params at the same slot ------
+  if (orig_names.param_names.size() != dirty_names.param_names.size()) {
+    issue("original and DIRTY variants disagree on parameter count");
+  } else {
+    for (const auto& p : s.variable_alignment) {
+      const std::size_t orig_pos = param_position(orig_names, p.original);
+      const std::size_t dirty_pos = param_position(dirty_names, p.recovered);
+      if (orig_pos != dirty_pos)
+        issue("aligned pair `" + p.original + "` -> `" + p.recovered +
+              "` sits at different parameter positions");
+    }
+  }
+
+  // -- type alignment ----------------------------------------------------
+  std::vector<std::vector<std::string>> declared_token_lists;
+  declared_token_lists.reserve(orig_names.declared_types.size());
+  for (const auto& t : orig_names.declared_types)
+    declared_token_lists.push_back(type_tokens(t));
+  for (const auto& p : s.type_alignment) {
+    const auto orig_tokens = type_tokens(p.original);
+    const bool declared =
+        std::any_of(declared_token_lists.begin(), declared_token_lists.end(),
+                    [&](const std::vector<std::string>& d) {
+                      return tokens_subset(orig_tokens, d);
+                    });
+    if (!declared)
+      issue("aligned original type `" + p.original +
+            "` matches no declared type in the original source");
+    for (const auto& token : type_tokens(p.recovered)) {
+      if (token == "*" || token == "unsigned" || token == "signed") continue;
+      if (!lang::is_type_like_name(token, s.parse_options.typedef_names))
+        issue("recovered type `" + p.recovered +
+              "` contains unrecognizable type name `" + token + "`");
+    }
+  }
+
+  // -- aligned lines must be verbatim lines of their variants ------------
+  for (const auto& [rec_line, orig_line] : s.aligned_lines) {
+    if (!contains_line(s.dirty_source, rec_line))
+      issue("aligned line `" + trim(rec_line) +
+            "` does not occur in the DIRTY source");
+    if (!contains_line(s.original_source, orig_line))
+      issue("aligned line `" + trim(orig_line) +
+            "` does not occur in the original source");
+  }
+
+  // -- lint: clean original, artifact-bearing Hex-Rays ------------------
+  for (const auto& d : lang::lint_function(original))
+    v.original_diagnostics.push_back(d);
+  v.hexrays_artifacts = lang::artifact_count(lang::lint_function(hexrays));
+  v.dirty_artifacts = lang::artifact_count(lang::lint_function(dirty));
+  if (v.hexrays_artifacts == 0)
+    issue("Hex-Rays variant shows zero decompiler artifacts");
+
+  return v;
+}
+
+}  // namespace
+
+std::vector<SnippetVerification> verify_corpus(
+    const std::vector<Snippet>& pool, const CorpusVerifyOptions& options) {
+  util::ThreadPool tp(options.threads);
+  return tp.parallel_map(pool, [](const Snippet& s, std::size_t) {
+    return verify_snippet(s);
+  });
+}
+
+std::string verification_report(
+    const std::vector<SnippetVerification>& results) {
+  std::ostringstream out;
+  std::size_t n_clean = 0;
+  for (const auto& v : results) {
+    if (v.clean()) {
+      ++n_clean;
+      continue;
+    }
+    out << v.snippet_id << ":\n";
+    if (!v.parses) out << "  variant fails to parse\n";
+    for (const auto& d : v.original_diagnostics)
+      out << "  original: " << lang::to_string(d) << "\n";
+    for (const auto& text : v.alignment_issues) out << "  " << text << "\n";
+  }
+  out << n_clean << "/" << results.size() << " snippets clean\n";
+  return out.str();
+}
+
+}  // namespace decompeval::snippets

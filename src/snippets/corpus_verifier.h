@@ -1,0 +1,71 @@
+// Corpus consistency verifier.
+//
+// The alignment tables (variable/type pairs, aligned lines) are manual
+// artifacts — in the paper they were produced by hand, here partly by the
+// synthetic generator — and every metric in the RQ5 battery silently
+// trusts them. This verifier cross-checks each snippet's alignment against
+// its three parsed variants and runs the dataflow linter (lang/lint.h)
+// over them, so a transcription slip (a name that never occurs, two
+// originals mapped to one recovered name, a misaligned line) fails a
+// tier-1 test instead of skewing a correlation. Checks:
+//  - all three variants parse,
+//  - aligned variable names occur in their respective variant,
+//  - no two original variables collapse onto one recovered name,
+//  - original/DIRTY parameter lists agree in arity, and aligned parameter
+//    names sit at the same position in both,
+//  - aligned original types match a declared type (token-subset, so
+//    "char *" matches "const char *const"), and recovered types are
+//    recognizable type spellings (typedefs and flat placeholders count),
+//  - aligned lines are verbatim (modulo indentation) lines of their
+//    variants,
+//  - the original variant is lint-clean (no dataflow diagnostics, zero
+//    decompiler artifacts) while the Hex-Rays variant shows artifacts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lang/lint.h"
+#include "snippets/snippet.h"
+
+namespace decompeval::snippets {
+
+/// Verification outcome for one snippet.
+struct SnippetVerification {
+  std::string snippet_id;
+  bool parses = false;  ///< all three variants parse
+
+  /// Dataflow + artifact diagnostics on the original variant (must be
+  /// empty for a clean corpus: the original is real, human-written code).
+  std::vector<lang::LintDiagnostic> original_diagnostics;
+  /// Human-readable alignment inconsistencies (empty = consistent).
+  std::vector<std::string> alignment_issues;
+
+  /// Artifact diagnostic counts per decompiled variant. A Hex-Rays
+  /// variant with zero artifacts is itself suspicious (flagged as an
+  /// alignment issue).
+  std::size_t hexrays_artifacts = 0;
+  std::size_t dirty_artifacts = 0;
+
+  bool clean() const {
+    return parses && original_diagnostics.empty() && alignment_issues.empty();
+  }
+};
+
+struct CorpusVerifyOptions {
+  /// Worker threads for the per-snippet fan-out; 0 = auto, 1 = serial.
+  /// Results are bit-identical at any thread count.
+  std::size_t threads = 1;
+};
+
+/// Verifies every snippet in `pool`. result[i] corresponds to pool[i].
+std::vector<SnippetVerification> verify_corpus(
+    const std::vector<Snippet>& pool, const CorpusVerifyOptions& options = {});
+
+/// Multi-line human-readable report; flags only unclean snippets and ends
+/// with a one-line summary.
+std::string verification_report(
+    const std::vector<SnippetVerification>& results);
+
+}  // namespace decompeval::snippets

@@ -5,15 +5,21 @@
 // scripts/check.sh picks both binaries up with one regex.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
 #include <vector>
 
 #include "analysis/rq1_correctness.h"
 #include "analysis/rq2_timing.h"
 #include "analysis/rq5_metrics.h"
+#include "decompiler/generator.h"
+#include "metrics/static_complexity.h"
 #include "mixed/glmm.h"
 #include "mixed/lmm.h"
 #include "mixed/multi_start.h"
+#include "snippets/corpus_verifier.h"
 #include "study/engine.h"
+#include "util/parallel.h"
 
 namespace {
 
@@ -157,6 +163,74 @@ TEST(ParallelDeterminism, MetricAnalysisIsThreadCountInvariant) {
     }
     EXPECT_EQ(serial.human_variable_score, parallel.human_variable_score);
     EXPECT_EQ(serial.human_type_score, parallel.human_type_score);
+    ASSERT_EQ(serial.static_rows.size(), parallel.static_rows.size());
+    // Compare bit patterns: a constant metric column (dead-store density
+    // on the lint-clean paper pool) yields NaN, and NaN != NaN under
+    // operator==.
+    const auto expect_same_bits = [](double a, double b) {
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(a), std::bit_cast<std::uint64_t>(b));
+    };
+    for (std::size_t i = 0; i < serial.static_rows.size(); ++i) {
+      EXPECT_EQ(serial.static_rows[i].metric, parallel.static_rows[i].metric);
+      expect_same_bits(serial.static_rows[i].vs_time.estimate,
+                       parallel.static_rows[i].vs_time.estimate);
+      expect_same_bits(serial.static_rows[i].vs_correctness.estimate,
+                       parallel.static_rows[i].vs_correctness.estimate);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, CorpusVerifierIsThreadCountInvariant) {
+  decompiler::GeneratorConfig config;
+  auto pool = snippets::study_snippets();
+  const auto synthetic = decompiler::generate_snippets(40, config);
+  pool.insert(pool.end(), synthetic.begin(), synthetic.end());
+
+  snippets::CorpusVerifyOptions options;
+  options.threads = 1;
+  const auto serial = snippets::verify_corpus(pool, options);
+  const std::string serial_report = snippets::verification_report(serial);
+  for (const std::size_t threads : {2u, 4u}) {
+    options.threads = threads;
+    const auto parallel = snippets::verify_corpus(pool, options);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].snippet_id, parallel[i].snippet_id);
+      EXPECT_EQ(serial[i].parses, parallel[i].parses);
+      EXPECT_EQ(serial[i].original_diagnostics,
+                parallel[i].original_diagnostics);
+      EXPECT_EQ(serial[i].alignment_issues, parallel[i].alignment_issues);
+      EXPECT_EQ(serial[i].hexrays_artifacts, parallel[i].hexrays_artifacts);
+      EXPECT_EQ(serial[i].dirty_artifacts, parallel[i].dirty_artifacts);
+    }
+    EXPECT_EQ(serial_report, snippets::verification_report(parallel));
+  }
+}
+
+TEST(ParallelDeterminism, StaticComplexityBatteryIsThreadCountInvariant) {
+  decompiler::GeneratorConfig config;
+  const auto pool = decompiler::generate_snippets(40, config);
+
+  const auto battery = [&pool](std::size_t threads) {
+    util::ThreadPool tp(threads);
+    return tp.parallel_map(
+        pool, [](const snippets::Snippet& s, std::size_t) {
+          return metrics::compute_static_complexity(s.dirty_source,
+                                                    s.parse_options);
+        });
+  };
+  const auto serial = battery(1);
+  for (const std::size_t threads : {2u, 4u}) {
+    const auto parallel = battery(threads);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].cyclomatic, parallel[i].cyclomatic);  // bitwise
+      EXPECT_EQ(serial[i].halstead_volume, parallel[i].halstead_volume);
+      EXPECT_EQ(serial[i].halstead_difficulty,
+                parallel[i].halstead_difficulty);
+      EXPECT_EQ(serial[i].identifier_entropy, parallel[i].identifier_entropy);
+      EXPECT_EQ(serial[i].dead_store_density, parallel[i].dead_store_density);
+    }
   }
 }
 

@@ -1,0 +1,181 @@
+// Annotation lint and corpus verification: artifact detectors, the
+// clean-original / artifact-bearing-decompilation asymmetry on the four
+// paper snippets, and the verifier contract over a ≥100-snippet synthetic
+// pool — including negative tests on deliberately corrupted snippets.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "decompiler/generator.h"
+#include "lang/lint.h"
+#include "lang/parser.h"
+#include "snippets/corpus_verifier.h"
+#include "snippets/snippet.h"
+
+namespace {
+
+using namespace decompeval;
+using namespace decompeval::lang;
+
+std::vector<LintDiagnostic> lint_source(const std::string& source,
+                                        const LintOptions& options = {}) {
+  return lint_function(parse_function(source), options);
+}
+
+bool has_code(const std::vector<LintDiagnostic>& diags,
+              const std::string& code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const LintDiagnostic& d) { return d.code == code; });
+}
+
+// ------------------------------------------------------------- detectors
+
+TEST(Lint, PlaceholderNameConvention) {
+  EXPECT_TRUE(is_placeholder_name("a1"));
+  EXPECT_TRUE(is_placeholder_name("v5"));
+  EXPECT_TRUE(is_placeholder_name("v12"));
+  EXPECT_FALSE(is_placeholder_name("a"));      // no digits
+  EXPECT_FALSE(is_placeholder_name("var1"));   // wrong prefix
+  EXPECT_FALSE(is_placeholder_name("a1b"));    // trailing non-digit
+  EXPECT_FALSE(is_placeholder_name("n"));
+  EXPECT_FALSE(is_placeholder_name(""));
+}
+
+TEST(Lint, FlatTypeSpellings) {
+  EXPECT_TRUE(is_flat_type("_QWORD"));
+  EXPECT_TRUE(is_flat_type("_DWORD *"));
+  EXPECT_TRUE(is_flat_type("unsigned __int64"));
+  EXPECT_TRUE(is_flat_type("_BYTE"));
+  EXPECT_FALSE(is_flat_type("int"));
+  EXPECT_FALSE(is_flat_type("char *"));
+  EXPECT_FALSE(is_flat_type("size_t"));
+}
+
+TEST(Lint, DecompiledStyleSourceGetsArtifactNotes) {
+  const auto diags = lint_source(
+      "__int64 sub_401000(__int64 a1, int a2) {"
+      "  int v3 = a2;"
+      "  return (_QWORD)a1 + v3; }");
+  EXPECT_TRUE(has_code(diags, "placeholder-name"));
+  EXPECT_TRUE(has_code(diags, "flat-type-decl"));
+  EXPECT_TRUE(has_code(diags, "flat-type-cast"));
+  EXPECT_GT(artifact_count(diags), 0u);
+}
+
+TEST(Lint, CleanSourceHasNoDiagnostics) {
+  const auto diags = lint_source(
+      "int sum(int n) { int total = 0;"
+      " for (int i = 0; i < n; i = i + 1) { total = total + i; }"
+      " return total; }");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(Lint, OptionsGateTheCheckFamilies) {
+  const std::string source =
+      "int f(int a1) { int v2; return a1 + v2; }";
+  LintOptions artifacts_only;
+  artifacts_only.dataflow_checks = false;
+  for (const auto& d : lint_source(source, artifacts_only))
+    EXPECT_EQ(d.severity, LintSeverity::kNote);
+  LintOptions dataflow_only;
+  dataflow_only.artifact_checks = false;
+  const auto flow = lint_source(source, dataflow_only);
+  EXPECT_TRUE(has_code(flow, "use-before-init"));
+  EXPECT_EQ(artifact_count(flow), 0u);
+}
+
+TEST(Lint, DiagnosticsAreSortedByLine) {
+  const auto diags = lint_source(
+      "int f(int a1) {\n  int v2;\n  int dead = a1;\n  return a1 + v2;\n}");
+  for (std::size_t i = 1; i < diags.size(); ++i)
+    EXPECT_LE(diags[i - 1].line, diags[i].line);
+}
+
+// ------------------------------------------------------- paper snippets
+
+TEST(CorpusVerifier, PaperSnippetsAreClean) {
+  const auto results = snippets::verify_corpus(snippets::study_snippets());
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& v : results) {
+    EXPECT_TRUE(v.clean()) << snippets::verification_report({v});
+    // The decompiled variants must actually look decompiled.
+    EXPECT_GT(v.hexrays_artifacts, 0u) << v.snippet_id;
+    // DIRTY renames placeholders but keeps some flat types, so it sits
+    // strictly between the original (0) and raw Hex-Rays output.
+    EXPECT_GT(v.dirty_artifacts, 0u) << v.snippet_id;
+    EXPECT_LT(v.dirty_artifacts, v.hexrays_artifacts) << v.snippet_id;
+  }
+}
+
+TEST(CorpusVerifier, OriginalVariantsLintClean) {
+  for (const auto& s : snippets::study_snippets()) {
+    const auto fn = parse_function(s.original_source, s.parse_options);
+    const auto diags = lint_function(fn);
+    EXPECT_TRUE(diags.empty())
+        << s.id << ": " << (diags.empty() ? "" : to_string(diags.front()));
+  }
+}
+
+// ------------------------------------------------------- synthetic pool
+
+TEST(CorpusVerifier, SyntheticPoolOfOneHundredIsClean) {
+  decompiler::GeneratorConfig config;
+  const auto pool = decompiler::generate_snippets(100, config);
+  ASSERT_EQ(pool.size(), 100u);
+  const auto results = snippets::verify_corpus(pool);
+  std::size_t n_clean = 0;
+  for (const auto& v : results) n_clean += v.clean() ? 1 : 0;
+  EXPECT_EQ(n_clean, results.size()) << snippets::verification_report(results);
+}
+
+TEST(CorpusVerifier, ReportSummarizesCleanCorpus) {
+  const auto results = snippets::verify_corpus(snippets::study_snippets());
+  EXPECT_EQ(snippets::verification_report(results), "4/4 snippets clean\n");
+}
+
+// -------------------------------------------------------- negative tests
+
+TEST(CorpusVerifier, DetectsAlignmentNamingCorruptions) {
+  auto s = snippets::snippet_by_id("AEEK");
+  ASSERT_FALSE(s.variable_alignment.empty());
+  s.variable_alignment[0].original = "no_such_variable_anywhere";
+  const auto v = snippets::verify_corpus({s}).at(0);
+  EXPECT_FALSE(v.clean());
+  EXPECT_FALSE(v.alignment_issues.empty());
+}
+
+TEST(CorpusVerifier, DetectsDuplicateRecoveredTargets) {
+  auto s = snippets::snippet_by_id("AEEK");
+  ASSERT_GE(s.variable_alignment.size(), 2u);
+  // Two distinct originals collapsing onto one recovered name.
+  s.variable_alignment[1].recovered = s.variable_alignment[0].recovered;
+  const auto v = snippets::verify_corpus({s}).at(0);
+  EXPECT_FALSE(v.clean());
+}
+
+TEST(CorpusVerifier, DetectsUnparseableVariant) {
+  auto s = snippets::snippet_by_id("BAPL");
+  s.dirty_source = "this is not C at all (";
+  const auto v = snippets::verify_corpus({s}).at(0);
+  EXPECT_FALSE(v.parses);
+  EXPECT_FALSE(v.clean());
+}
+
+TEST(CorpusVerifier, DetectsFabricatedAlignedLine) {
+  auto s = snippets::snippet_by_id("TC");
+  s.aligned_lines.emplace_back("made_up = line(that, never, was);",
+                               "original_line_that_does_not_exist();");
+  const auto v = snippets::verify_corpus({s}).at(0);
+  EXPECT_FALSE(v.clean());
+  EXPECT_GE(v.alignment_issues.size(), 2u);
+}
+
+TEST(CorpusVerifier, DetectsUnrecognizableRecoveredType) {
+  auto s = snippets::snippet_by_id("POSTORDER");
+  ASSERT_FALSE(s.type_alignment.empty());
+  s.type_alignment[0].recovered = "totally_bogus_typename";
+  const auto v = snippets::verify_corpus({s}).at(0);
+  EXPECT_FALSE(v.clean());
+}
+
+}  // namespace

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "metrics/codebleu.h"
+#include "metrics/static_complexity.h"
 #include "stats/correlation.h"
 #include "stats/tests.h"
 #include "text/bleu.h"
@@ -212,6 +213,74 @@ TEST(MetricRanges, ScoresStayInUnitInterval) {
   const double b = text::bleu(kTokensA, kTokensB).bleu;
   EXPECT_GE(b, 0.0);
   EXPECT_LT(b, 1.0);  // differing sequences must not score perfect
+}
+
+// ---- static-complexity family (metrics/static_complexity.h) ----
+
+// Inserting a decision adds exactly one to cyclomatic complexity;
+// inserting a straight-line statement adds none.
+TEST(StaticComplexityMonotonicity, CyclomaticCountsDecisionsExactly) {
+  const std::string flat =
+      "int f(int a) { int x = a; return x; }";
+  const std::string plus_stmt =
+      "int f(int a) { int x = a; x = x + 1; return x; }";
+  const std::string plus_branch =
+      "int f(int a) { int x = a; if (a > 0) { x = x + 1; } return x; }";
+  const std::string plus_two =
+      "int f(int a) { int x = a; if (a > 0) { x = x + 1; }"
+      " while (x > 9) { x = x - 1; } return x; }";
+  const auto cc = [](const std::string& s) {
+    return metrics::compute_static_complexity(s, {}).cyclomatic;
+  };
+  EXPECT_EQ(cc(flat), 1.0);
+  EXPECT_EQ(cc(plus_stmt), 1.0);
+  EXPECT_EQ(cc(plus_branch), 2.0);
+  EXPECT_EQ(cc(plus_two), 3.0);
+}
+
+// Halstead length/volume strictly grow when a statement is inserted (the
+// statement contributes at least one operator or operand), and volume is
+// monotone in the token census.
+TEST(StaticComplexityMonotonicity, HalsteadGrowsUnderStatementInsertion) {
+  const std::vector<std::string> nested = {
+      "int f(int a) { return a; }",
+      "int f(int a) { int x = a; return a; }",
+      "int f(int a) { int x = a; x = x * 2; return a; }",
+      "int f(int a) { int x = a; x = x * 2; if (x > 4) { x = 0; }"
+      " return a; }",
+  };
+  double prev_length = -1.0, prev_volume = -1.0;
+  for (const auto& source : nested) {
+    const auto c = metrics::compute_static_complexity(source, {});
+    const double length =
+        static_cast<double>(c.total_operators + c.total_operands);
+    EXPECT_GT(length, prev_length) << source;
+    EXPECT_GT(c.halstead_volume, prev_volume) << source;
+    prev_length = length;
+    prev_volume = c.halstead_volume;
+  }
+}
+
+TEST(StaticComplexityProperties, EntropyBoundsAndUniformCase) {
+  // Distinct single-occurrence names: entropy = log2(n) over identifier
+  // occurrences; repeated single name: entropy 0.
+  const auto repeated = metrics::compute_static_complexity(
+      "int f(int a) { a = a + a; return a; }", {});
+  EXPECT_EQ(repeated.identifier_entropy, 0.0);
+  const auto mixed = metrics::compute_static_complexity(
+      "int f(int a, int b) { return a + b; }", {});
+  EXPECT_GT(mixed.identifier_entropy, 0.0);
+  EXPECT_LE(mixed.identifier_entropy, 2.0);  // at most log2(#occurrences)
+}
+
+TEST(StaticComplexityProperties, DeadStoreDensityIsAFraction) {
+  const auto clean = metrics::compute_static_complexity(
+      "int f(int a) { int x = a + 1; return x; }", {});
+  EXPECT_EQ(clean.dead_store_density, 0.0);
+  const auto dead = metrics::compute_static_complexity(
+      "int f(int a) { int x = 5; x = a; return x; }", {});
+  EXPECT_GT(dead.dead_store_density, 0.0);
+  EXPECT_LE(dead.dead_store_density, 1.0);
 }
 
 }  // namespace

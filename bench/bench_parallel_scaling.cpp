@@ -6,10 +6,15 @@
 // tracked across PRs. On a single-core host the speedups hover around 1x
 // (there is no second core to run on); hardware_concurrency is recorded in
 // the JSON so readings are interpretable.
+#include <sys/utsname.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <fstream>
 #include <functional>
+#include <sstream>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "analysis/power.h"
@@ -50,6 +55,62 @@ std::vector<std::size_t> thread_ladder() {
   const std::size_t hw = util::default_thread_count();
   if (hw > 4) ladder.push_back(hw);
   return ladder;
+}
+
+// Stable identity of the machine the numbers were taken on: hostname,
+// kernel, and core count. Stored in the JSON so a perf trajectory mixing
+// hosts is visible instead of silently misleading.
+std::string host_fingerprint() {
+  char hostname[256] = "unknown";
+  ::gethostname(hostname, sizeof hostname - 1);
+  utsname uts{};
+  std::ostringstream os;
+  os << hostname;
+  if (::uname(&uts) == 0) os << "|" << uts.sysname << " " << uts.release;
+  os << "|" << util::default_thread_count() << " cores";
+  return os.str();
+}
+
+// Pulls a JSON string or number field out of the previous run's file with
+// plain string search — enough for the flat file this bench writes.
+std::string previous_field(const std::string& text, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t begin = at + needle.size();
+  std::size_t end;
+  if (text[begin] == '"') {
+    ++begin;
+    end = text.find('"', begin);
+  } else {
+    end = text.find_first_of(",\n}", begin);
+  }
+  return end == std::string::npos ? "" : text.substr(begin, end - begin);
+}
+
+// Compares this run's host against the BENCH_parallel.json already on
+// disk (the previous PR's reading) and warns when the speedup columns are
+// about to be compared across different machines or core counts.
+void warn_if_host_changed(std::size_t hw) {
+  std::ifstream previous("BENCH_parallel.json");
+  if (!previous) return;
+  std::stringstream buffer;
+  buffer << previous.rdbuf();
+  const std::string text = buffer.str();
+  const std::string prev_hw = previous_field(text, "hardware_concurrency");
+  const std::string prev_host = previous_field(text, "host_fingerprint");
+  if (!prev_hw.empty() && prev_hw != std::to_string(hw)) {
+    std::cout << "\nWARNING: previous BENCH_parallel.json was recorded with "
+              << "hardware_concurrency = " << prev_hw << ", this host has "
+              << hw << ".\n         Speedup columns are NOT comparable "
+              << "across core counts — on a 1-core container every\n"
+              << "         speedup collapses to ~1x regardless of the "
+              << "code's actual scaling.\n";
+  } else if (!prev_host.empty() && prev_host != host_fingerprint()) {
+    std::cout << "\nWARNING: previous BENCH_parallel.json came from a "
+              << "different host (" << prev_host << ");\n         absolute "
+              << "milliseconds are not comparable across machines.\n";
+  }
 }
 
 void BM_ThreadPoolBatchOverhead(benchmark::State& state) {
@@ -183,9 +244,12 @@ int main(int argc, char** argv) {
            << "\": " << format_fixed(ms[i], 3);
       os << "}";
     };
+    warn_if_host_changed(hw);
+
     std::ofstream json("BENCH_parallel.json");
     json << "{\n  \"bench\": \"parallel_scaling\",\n"
          << "  \"hardware_concurrency\": " << hw << ",\n"
+         << "  \"host_fingerprint\": \"" << host_fingerprint() << "\",\n"
          << "  \"robustness_10seed_ms\": ";
     json_ladder(json, robustness_ms);
     json << ",\n  \"robustness_speedup_t" << ladder.back() << "_vs_t1\": "

@@ -1,0 +1,46 @@
+// Long-lived replication service over a Unix-domain socket.
+//
+//   replication_server /tmp/decompeval.sock [workers] [watchdog_ms]
+//
+// Talk to it with line-delimited JSON, e.g.:
+//   printf '{"op":"ping"}\n' | nc -U /tmp/decompeval.sock
+//   printf '{"op":"run_replication","seed":7}\n' | nc -U /tmp/decompeval.sock
+//   printf '{"op":"shutdown"}\n' | nc -U /tmp/decompeval.sock
+//
+// See README.md ("Fault injection & replication service") for the full
+// protocol and status catalogue.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <thread>
+
+#include "service/server.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: replication_server <socket-path> [workers]"
+              << " [watchdog_ms]\n";
+    return 2;
+  }
+  decompeval::service::ServerOptions options;
+  options.socket_path = argv[1];
+  if (argc > 2) options.workers = static_cast<std::size_t>(std::atoi(argv[2]));
+  if (argc > 3)
+    options.watchdog_ms = static_cast<std::uint64_t>(std::atoll(argv[3]));
+
+  decompeval::service::ReplicationServer server(options);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "failed to start: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "replication server listening on " << server.socket_path()
+            << " (workers=" << options.workers
+            << ", watchdog_ms=" << options.watchdog_ms << ")\n";
+  // Runs until a client sends {"op":"shutdown"}.
+  while (server.running())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  std::cout << "server stopped\n";
+  return 0;
+}

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Full verification in one invocation:
 #   1. regular build + the complete test suite,
-#   2. ThreadSanitizer build + the tier-1 labeled tests,
-#   3. AddressSanitizer build + the tier-1 labeled tests,
+#   2. ThreadSanitizer build + the tier-1 and chaos labeled tests,
+#   3. AddressSanitizer build + the tier-1 and chaos labeled tests,
 #   4. UndefinedBehaviorSanitizer build (recovery off) + tier-1 tests.
 # The parallel execution layer's data-race budget is zero, and every new
 # parallel stage (sharded study, multi-start fits, metric fan-out) is
 # covered by tier-1 determinism contracts, so both sanitizers run the
-# whole tier-1 label rather than a hand-picked regex.
+# whole tier-1 label rather than a hand-picked regex. The chaos label
+# (deterministic fault-injection sweeps over the replication service) runs
+# under TSan and ASan too: fault paths exercise exception propagation
+# across threads, watchdog cancellation, and server shutdown — exactly
+# where races and lifetime bugs hide.
 #
 # Usage: scripts/check.sh [--sanitizers-only]
 set -euo pipefail
@@ -22,15 +26,15 @@ if [[ "${1:-}" != "--sanitizers-only" ]]; then
   ctest --test-dir build --output-on-failure -j "$JOBS"
 fi
 
-echo "=== ThreadSanitizer build + tier-1 tests ==="
+echo "=== ThreadSanitizer build + tier-1 + chaos tests ==="
 cmake -B build-tsan -S . -DDECOMPEVAL_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L tier1
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'tier1|chaos'
 
-echo "=== AddressSanitizer build + tier-1 tests ==="
+echo "=== AddressSanitizer build + tier-1 + chaos tests ==="
 cmake -B build-asan -S . -DDECOMPEVAL_SANITIZE=address
 cmake --build build-asan -j "$JOBS"
-ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L tier1
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'tier1|chaos'
 
 echo "=== UndefinedBehaviorSanitizer build + tier-1 tests ==="
 cmake -B build-ubsan -S . -DDECOMPEVAL_SANITIZE=undefined

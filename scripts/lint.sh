@@ -3,16 +3,27 @@
 # src/, using the compile_commands.json the CMake configure step exports.
 # Exits nonzero when clang-tidy reports any finding. When clang-tidy is
 # not installed (this container ships only the compiler), prints a notice
-# and exits 0 so check pipelines do not fail on a missing optional tool.
+# and exits 0 so check pipelines do not fail on a missing optional tool —
+# unless --require-tidy is passed, which turns the missing tool into a
+# hard failure (for CI environments that are supposed to have it).
 #
-# Usage: scripts/lint.sh [build-dir]   (default: build)
+# Usage: scripts/lint.sh [--require-tidy] [build-dir]   (default: build)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+REQUIRE_TIDY=0
+if [[ "${1:-}" == "--require-tidy" ]]; then
+  REQUIRE_TIDY=1
+  shift
+fi
 BUILD_DIR="${1:-build}"
 
 TIDY="$(command -v clang-tidy || true)"
 if [[ -z "$TIDY" ]]; then
+  if [[ "$REQUIRE_TIDY" -eq 1 ]]; then
+    echo "lint.sh: clang-tidy not found on PATH and --require-tidy was given"
+    exit 1
+  fi
   echo "lint.sh: clang-tidy not found on PATH; skipping (not a failure)"
   exit 0
 fi

@@ -389,6 +389,12 @@ std::string render_experiments_markdown(
   paper's two signature findings (postorder-Q2 Fisher gap, RQ4 inversion)
   appear and disappear with the mechanism, i.e. the reproduction is
   load-bearing on the modeled cause, not incidental calibration.
+- **Degraded results are never silently merged.** Under injected faults
+  (the `chaos` test label) a run that loses a study shard or a model
+  table carries an explicit `degraded` flag and per-loss notes, is
+  stamped `DEGRADED RESULT` in the rendered report, and is excluded from
+  the service's per-seed cache — so every number in this file comes from
+  a full-fidelity, fault-free run.
 )";
   return os.str();
 }

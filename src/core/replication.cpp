@@ -1,6 +1,9 @@
 #include "core/replication.h"
 
+#include <memory>
 #include <sstream>
+#include <string>
+#include <utility>
 
 #include "report/render.h"
 #include "util/check.h"
@@ -10,14 +13,26 @@ namespace decompeval::core {
 const char* version() { return "1.0.0"; }
 
 ReplicationReport run_replication(const ReplicationConfig& config) {
+  config.deadline.check("run_replication entry");
   ReplicationReport report;
   report.pool = config.snippet_pool.empty() ? snippets::study_snippets()
                                             : config.snippet_pool;
 
+  const auto degrade = [&report](std::string note) {
+    report.degraded = true;
+    report.degradation_notes.push_back(std::move(note));
+  };
+
   study::StudyConfig study_config = config.study;
   study_config.seed = config.seed;
   study_config.threads = config.threads;
+  study_config.faults = config.faults;
+  study_config.deadline = config.deadline;
   report.data = study::run_study(study_config, report.pool);
+  if (report.data.degraded) {
+    for (const std::string& note : report.data.degradation_notes)
+      degrade("study: " + note);
+  }
 
   std::ostringstream os;
   os << "decompeval " << version()
@@ -27,16 +42,40 @@ ReplicationReport run_replication(const ReplicationConfig& config) {
      << ", recruited = " << report.data.cohort.size() << ", excluded = "
      << report.data.excluded_participants.size() << "\n\n";
 
+  // When every shard was dropped there is nothing for any analysis to
+  // consume: return early with a fully-degraded (but structurally valid)
+  // report rather than feeding empty tables into the fitters.
+  if (report.data.responses.empty()) {
+    degrade("no responses survived the study stage; all analyses skipped");
+    os << "DEGRADED: no responses survived the study stage\n";
+    report.rendered = os.str();
+    return report;
+  }
+
   report.figure3 = analysis::analyze_demographics(report.data);
   os << report::render_figure3(report.figure3) << '\n';
 
   if (config.run_models) {
     mixed::FitOptions fit_options;
     fit_options.threads = config.threads;
-    report.table1 = analysis::analyze_correctness(report.data, fit_options);
-    os << report::render_table1(report.table1) << '\n';
-    report.table2 = analysis::analyze_timing(report.data, fit_options);
-    os << report::render_table2(report.table2) << '\n';
+    fit_options.faults = config.faults;
+    fit_options.deadline = config.deadline;
+    // Each table degrades independently: a fit whose every start was
+    // quarantined throws NumericalError, and the report notes the missing
+    // table instead of aborting the run. DeadlineExceeded still escapes —
+    // a timeout is an answer about the whole request, not one table.
+    try {
+      report.table1 = analysis::analyze_correctness(report.data, fit_options);
+      os << report::render_table1(report.table1) << '\n';
+    } catch (const NumericalError& e) {
+      degrade(std::string("Table I (correctness model) dropped: ") + e.what());
+    }
+    try {
+      report.table2 = analysis::analyze_timing(report.data, fit_options);
+      os << report::render_table2(report.table2) << '\n';
+    } catch (const NumericalError& e) {
+      degrade(std::string("Table II (timing model) dropped: ") + e.what());
+    }
   }
 
   report.figure5 =
@@ -66,17 +105,40 @@ ReplicationReport run_replication(const ReplicationConfig& config) {
   os << report::render_rq4(report.rq4) << '\n';
 
   if (config.run_metrics) {
-    embed::EmbeddingOptions embed_options;
-    embed_options.threads = config.threads;
-    const embed::EmbeddingModel model = embed::EmbeddingModel::train_default(
-        config.embedding_corpus_sentences, config.embedding_corpus_seed,
-        embed_options);
-    analysis::MetricAnalysisOptions metric_options;
-    metric_options.threads = config.threads;
-    report.metric_tables = analysis::analyze_metric_correlations(
-        report.data, report.pool, model, metric_options);
-    os << report::render_table3(report.metric_tables) << '\n';
-    os << report::render_table4(report.metric_tables) << '\n';
+    try {
+      config.deadline.check("metrics stage");
+      if (config.faults) config.faults->raise_if("replication.metrics", 0);
+      std::shared_ptr<const embed::EmbeddingModel> model =
+          config.embedding_model;
+      if (!model) {
+        embed::EmbeddingOptions embed_options;
+        embed_options.threads = config.threads;
+        model = std::make_shared<const embed::EmbeddingModel>(
+            embed::EmbeddingModel::train_default(
+                config.embedding_corpus_sentences, config.embedding_corpus_seed,
+                embed_options));
+      }
+      analysis::MetricAnalysisOptions metric_options;
+      metric_options.threads = config.threads;
+      report.metric_tables = analysis::analyze_metric_correlations(
+          report.data, report.pool, *model, metric_options);
+      os << report::render_table3(report.metric_tables) << '\n';
+      os << report::render_table4(report.metric_tables) << '\n';
+    } catch (const util::DeadlineExceeded&) {
+      throw;
+    } catch (const util::FaultError& e) {
+      degrade(std::string("Tables III/IV (metric battery) dropped: ") +
+              e.what());
+    } catch (const NumericalError& e) {
+      degrade(std::string("Tables III/IV (metric battery) dropped: ") +
+              e.what());
+    }
+  }
+
+  if (report.degraded) {
+    os << "DEGRADED RESULT - missing pieces:\n";
+    for (const std::string& note : report.degradation_notes)
+      os << "  - " << note << '\n';
   }
 
   report.rendered = os.str();

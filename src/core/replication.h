@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "embed/embedding.h"
 #include "snippets/snippet.h"
 #include "study/engine.h"
+#include "util/fault.h"
 
 namespace decompeval::core {
 
@@ -47,6 +49,21 @@ struct ReplicationConfig {
   /// Which parts to run (all by default; benches switch pieces off).
   bool run_models = true;       ///< Tables I & II (mixed models)
   bool run_metrics = true;      ///< Tables III & IV (needs embeddings)
+
+  /// Optional fault injector threaded through every stage. Sites:
+  /// "study.shard" (per-participant simulation), "mixed.start" (per
+  /// optimizer start), "replication.metrics" (Tables III/IV stage). A
+  /// firing fault degrades the affected stage — it never crashes the run
+  /// and never produces a partially-written report.
+  const util::FaultInjector* faults = nullptr;
+  /// Cooperative deadline, checked at stage boundaries and inside the
+  /// fitters' inner loops. Expiry throws DeadlineExceeded out of
+  /// run_replication; no partial report escapes.
+  util::Deadline deadline;
+  /// Pre-trained embedding model (e.g. a service-level per-seed cache).
+  /// When null and run_metrics is set, a model is trained from
+  /// embedding_corpus_{sentences,seed}.
+  std::shared_ptr<const embed::EmbeddingModel> embedding_model;
 };
 
 struct ReplicationReport {
@@ -65,6 +82,12 @@ struct ReplicationReport {
 
   /// Full text report (all tables/figures that were run).
   std::string rendered;
+
+  /// True when any stage was dropped or ran on a reduced cohort. Degraded
+  /// reports carry notes naming exactly what is missing and must never be
+  /// silently merged with non-degraded runs (see EXPERIMENTS.md).
+  bool degraded = false;
+  std::vector<std::string> degradation_notes;
 };
 
 /// Runs the pipeline. Deterministic in config.seed.

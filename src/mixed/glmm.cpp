@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "linalg/matrix.h"
+#include "mixed/moment_starts.h"
 #include "mixed/nelder_mead.h"
 #include "statdist/distributions.h"
 #include "util/check.h"
@@ -134,6 +135,9 @@ PirlsResult pirls(const MixedModelData& d, const std::vector<double>& beta,
 
 GlmmFit fit_logistic_glmm(const MixedModelData& data,
                           const FitOptions& options) {
+  // The deadline gate precedes validation so an already-expired service
+  // request costs nothing and touches no model state.
+  options.deadline.check("fit_logistic_glmm entry");
   data.validate();
   for (const double v : data.y)
     DE_EXPECTS_MSG(v == 0.0 || v == 1.0, "GLMM response must be binary 0/1");
@@ -170,8 +174,14 @@ GlmmFit fit_logistic_glmm(const MixedModelData& data,
   opts.initial_step = 0.4;
   opts.tolerance = 1e-8;
   opts.max_evaluations = 40000;
+  FitOptions search_options = options;
+  if (options.moment_starts && options.n_starts > 1) {
+    // Candidates n_starts and n_starts + 1: ANOVA method-of-moments thetas.
+    for (auto& theta : moment_theta_starts(data, /*binary_response=*/true))
+      search_options.extra_theta_starts.push_back(std::move(theta));
+  }
   MultiStartOutcome search = multi_start_nelder_mead(
-      objective_factory, start, /*n_theta=*/2, opts, options);
+      objective_factory, start, /*n_theta=*/2, opts, search_options);
   const NelderMeadResult& opt = search.best;
 
   const double theta_u = std::abs(opt.x[0]);

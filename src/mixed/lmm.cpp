@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "linalg/matrix.h"
+#include "mixed/moment_starts.h"
 #include "mixed/nelder_mead.h"
 #include "statdist/distributions.h"
 #include "util/check.h"
@@ -109,6 +110,9 @@ void MixedModelData::validate() const {
 }
 
 LmmFit fit_lmm(const MixedModelData& data, const FitOptions& options) {
+  // The deadline gate precedes validation so an already-expired service
+  // request costs nothing and touches no model state.
+  options.deadline.check("fit_lmm entry");
   data.validate();
   const std::size_t n = data.n_observations();
   const std::size_t p = data.n_fixed_effects();
@@ -122,8 +126,14 @@ LmmFit fit_lmm(const MixedModelData& data, const FitOptions& options) {
   };
   NelderMeadOptions opts;
   opts.initial_step = 0.5;
+  FitOptions search_options = options;
+  if (options.moment_starts && options.n_starts > 1) {
+    // Candidates n_starts and n_starts + 1: ANOVA method-of-moments thetas.
+    for (auto& theta : moment_theta_starts(data, /*binary_response=*/false))
+      search_options.extra_theta_starts.push_back(std::move(theta));
+  }
   MultiStartOutcome search = multi_start_nelder_mead(
-      objective_factory, {1.0, 1.0}, /*n_theta=*/2, opts, options);
+      objective_factory, {1.0, 1.0}, /*n_theta=*/2, opts, search_options);
   const NelderMeadResult& opt = search.best;
 
   const double theta_u = std::abs(opt.x[0]);

@@ -1,0 +1,158 @@
+#include "mixed/moment_starts.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/matrix.h"
+#include "util/check.h"
+
+namespace decompeval::mixed {
+
+namespace {
+
+constexpr double kThetaFloor = 0.05;
+constexpr double kThetaCeil = 20.0;
+
+double clamp_theta(double v) {
+  if (!std::isfinite(v)) return 1.0;
+  return std::clamp(v, kThetaFloor, kThetaCeil);
+}
+
+// OLS residuals of y on X, with a tiny ridge so a collinear design still
+// produces a usable (if slightly biased) adjustment.
+linalg::Vector ols_residuals(const MixedModelData& d) {
+  const std::size_t n = d.n_observations();
+  const std::size_t p = d.n_fixed_effects();
+  linalg::Matrix xtx(p, p);
+  linalg::Vector xty(p, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < p; ++j) {
+      const double xij = d.x(i, j);
+      xty[j] += xij * d.y[i];
+      for (std::size_t k = 0; k <= j; ++k) {
+        xtx(j, k) += xij * d.x(i, k);
+        if (k != j) xtx(k, j) += xij * d.x(i, k);
+      }
+    }
+  linalg::Vector beta;
+  try {
+    beta = linalg::Cholesky(xtx).solve(xty);
+  } catch (const NumericalError&) {
+    xtx.add_diagonal(1e-8 * (1.0 + xtx(0, 0)));
+    beta = linalg::Cholesky(xtx).solve(xty);
+  }
+  linalg::Vector r(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double fitted = 0.0;
+    for (std::size_t j = 0; j < p; ++j) fitted += d.x(i, j) * beta[j];
+    r[i] = d.y[i] - fitted;
+  }
+  return r;
+}
+
+struct VarianceComponents {
+  double var_user = 0.0;
+  double var_question = 0.0;
+  double var_residual = 1.0;
+};
+
+// Two-way unweighted-means ANOVA on the user x question cell-mean table.
+// With one observation per cell (the study design) this is exactly the
+// balanced decomposition; replicated or missing cells degrade it into an
+// approximation, which is all a starting point needs.
+VarianceComponents anova_components(const MixedModelData& d,
+                                    const linalg::Vector& r) {
+  const std::size_t a = d.n_users;
+  const std::size_t b = d.n_questions;
+  VarianceComponents out;
+  if (a < 2 || b < 2) return out;
+
+  // Cell means (sparse accumulation over observed cells).
+  std::vector<double> cell_sum(a * b, 0.0);
+  std::vector<double> cell_n(a * b, 0.0);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    const std::size_t c = d.user[i] * b + d.question[i];
+    cell_sum[c] += r[i];
+    cell_n[c] += 1.0;
+  }
+
+  std::vector<double> row_sum(a, 0.0), row_n(a, 0.0);
+  std::vector<double> col_sum(b, 0.0), col_n(b, 0.0);
+  double grand_sum = 0.0, grand_n = 0.0;
+  for (std::size_t i = 0; i < a; ++i)
+    for (std::size_t j = 0; j < b; ++j) {
+      const std::size_t c = i * b + j;
+      if (cell_n[c] == 0.0) continue;
+      const double mean = cell_sum[c] / cell_n[c];
+      row_sum[i] += mean;
+      row_n[i] += 1.0;
+      col_sum[j] += mean;
+      col_n[j] += 1.0;
+      grand_sum += mean;
+      grand_n += 1.0;
+    }
+  if (grand_n < 4.0) return out;
+  const double grand = grand_sum / grand_n;
+
+  std::vector<double> row_mean(a, grand), col_mean(b, grand);
+  for (std::size_t i = 0; i < a; ++i)
+    if (row_n[i] > 0.0) row_mean[i] = row_sum[i] / row_n[i];
+  for (std::size_t j = 0; j < b; ++j)
+    if (col_n[j] > 0.0) col_mean[j] = col_sum[j] / col_n[j];
+
+  double ssa = 0.0, ssb = 0.0, sse = 0.0;
+  for (std::size_t i = 0; i < a; ++i)
+    ssa += (row_mean[i] - grand) * (row_mean[i] - grand);
+  for (std::size_t j = 0; j < b; ++j)
+    ssb += (col_mean[j] - grand) * (col_mean[j] - grand);
+  for (std::size_t i = 0; i < a; ++i)
+    for (std::size_t j = 0; j < b; ++j) {
+      const std::size_t c = i * b + j;
+      if (cell_n[c] == 0.0) continue;
+      const double resid =
+          cell_sum[c] / cell_n[c] - row_mean[i] - col_mean[j] + grand;
+      sse += resid * resid;
+    }
+
+  const double da = static_cast<double>(a);
+  const double db = static_cast<double>(b);
+  const double msa = db * ssa / (da - 1.0);
+  const double msb = da * ssb / (db - 1.0);
+  const double mse = sse / ((da - 1.0) * (db - 1.0));
+
+  out.var_residual = std::max(mse, 1e-12);
+  out.var_user = std::max((msa - mse) / db, 0.0);
+  out.var_question = std::max((msb - mse) / da, 0.0);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> moment_theta_starts(
+    const MixedModelData& data, bool binary_response) {
+  const linalg::Vector r = ols_residuals(data);
+  const VarianceComponents vc = anova_components(data, r);
+
+  double theta_u, theta_q;
+  if (binary_response) {
+    // GLMM thetas live on the logit scale. The ANOVA ran on the 0/1
+    // probability scale, so rescale by the inverse logistic derivative at
+    // the marginal rate: d logit(p)/dp = 1 / (p (1 - p)).
+    double ybar = 0.0;
+    for (const double v : data.y) ybar += v;
+    ybar /= static_cast<double>(data.n_observations());
+    const double deriv = std::max(ybar * (1.0 - ybar), 0.05);
+    theta_u = clamp_theta(std::sqrt(vc.var_user) / deriv);
+    theta_q = clamp_theta(std::sqrt(vc.var_question) / deriv);
+  } else {
+    // LMM thetas are relative factors sigma_component / sigma_residual.
+    const double sigma_e = std::sqrt(vc.var_residual);
+    theta_u = clamp_theta(std::sqrt(vc.var_user) / sigma_e);
+    theta_q = clamp_theta(std::sqrt(vc.var_question) / sigma_e);
+  }
+
+  return {{theta_u, theta_q},
+          {clamp_theta(std::sqrt(theta_u)), clamp_theta(std::sqrt(theta_q))}};
+}
+
+}  // namespace decompeval::mixed

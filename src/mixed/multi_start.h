@@ -19,9 +19,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "mixed/nelder_mead.h"
+#include "util/fault.h"
 
 namespace decompeval::mixed {
 
@@ -44,6 +46,23 @@ struct FitOptions {
   /// SD of the additive Gaussian jitter on the non-theta (fixed-effect)
   /// coordinates.
   double beta_jitter_sd = 0.25;
+  /// Append method-of-moments theta starts (candidates n_starts and
+  /// n_starts + 1, computed by the fitters from a balanced-ANOVA
+  /// decomposition of the data — see mixed/moment_starts.h). Ignored when
+  /// n_starts == 1, which stays the exact legacy single-start fit.
+  bool moment_starts = true;
+  /// Extra deterministic starts appended after the jittered ones: each
+  /// entry supplies the first n_theta coordinates; the remaining (beta)
+  /// coordinates are copied from x0. The fitters fill this with the
+  /// moment-based candidates; callers may add their own.
+  std::vector<std::vector<double>> extra_theta_starts;
+  /// Optional chaos injection: fault site "mixed.start" is evaluated once
+  /// per start index. A firing start is quarantined, not fatal.
+  const util::FaultInjector* faults = nullptr;
+  /// Cooperative cancellation, checked at fit entry and once per
+  /// Nelder-Mead iteration. An expired deadline aborts with
+  /// DeadlineExceeded before any model state is produced.
+  util::Deadline deadline;
 };
 
 /// Per-fit diagnostics of the multi-start search.
@@ -51,6 +70,15 @@ struct MultiStartReport {
   std::size_t n_starts = 1;
   std::size_t best_start = 0;        ///< index of the winning start
   std::vector<double> start_values;  ///< final criterion per start
+  /// Nelder-Mead evaluation count per start (0 for quarantined starts).
+  std::vector<int> start_evaluations;
+  /// Starts removed from the search: a start is quarantined when its
+  /// simplex throws NumericalError, an injected FaultError fires, or the
+  /// final criterion is non-finite. The search then falls through to the
+  /// next candidate; only when every start is quarantined does the fit
+  /// fail (with NumericalError). Parallel arrays, ascending start index.
+  std::vector<std::size_t> quarantined;
+  std::vector<std::string> quarantine_notes;
 };
 
 struct MultiStartOutcome {
@@ -60,7 +88,10 @@ struct MultiStartOutcome {
 
 /// Deterministic start points: element 0 is `x0` verbatim; the first
 /// `n_theta` coordinates of the others get the Latin-hypercube scale
-/// treatment, the rest Gaussian jitter. Pure function of (x0, options).
+/// treatment, the rest Gaussian jitter. Entries of
+/// `options.extra_theta_starts` are appended after the jittered starts
+/// (theta coordinates from the entry, beta coordinates from x0). Pure
+/// function of (x0, options).
 std::vector<std::vector<double>> multi_start_points(
     const std::vector<double>& x0, std::size_t n_theta,
     const FitOptions& options);
@@ -69,7 +100,11 @@ std::vector<std::vector<double>> multi_start_points(
 /// `objective_factory` must produce an independent objective per call —
 /// objectives may keep internal state (e.g. the GLMM PIRLS warm start), so
 /// concurrent starts must never share one. Winner selection: smallest
-/// finite criterion, ties broken by the lower start index.
+/// finite criterion among non-quarantined starts, ties broken by the lower
+/// start index. A start that diverges (NumericalError, non-finite
+/// criterion) or is hit by an injected fault is quarantined and the search
+/// retries with the next candidate; DeadlineExceeded always propagates.
+/// Throws NumericalError when every start is quarantined.
 MultiStartOutcome multi_start_nelder_mead(
     const std::function<
         std::function<double(const std::vector<double>&)>()>& objective_factory,

@@ -11,6 +11,7 @@ NelderMeadResult nelder_mead(
     const std::function<double(const std::vector<double>&)>& f,
     std::vector<double> x0, const NelderMeadOptions& options) {
   DE_EXPECTS(!x0.empty());
+  options.deadline.check("nelder_mead entry");
   const std::size_t n = x0.size();
 
   struct Point {
@@ -35,6 +36,7 @@ NelderMeadResult nelder_mead(
   };
 
   while (result.evaluations < options.max_evaluations) {
+    options.deadline.check("nelder_mead");
     std::sort(simplex.begin(), simplex.end(), by_value);
     if (std::abs(simplex.back().value - simplex.front().value) <
         options.tolerance) {

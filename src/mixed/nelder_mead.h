@@ -6,12 +6,19 @@
 #include <functional>
 #include <vector>
 
+#include "util/fault.h"
+
 namespace decompeval::mixed {
 
 struct NelderMeadOptions {
   double initial_step = 0.5;
   double tolerance = 1e-9;     ///< convergence on criterion spread
   int max_evaluations = 20000;
+  /// Cooperative cancellation: checked once per simplex iteration, so a
+  /// service request with an expired deadline (or one cancelled by the
+  /// watchdog) aborts the fit with DeadlineExceeded within one iteration
+  /// instead of hanging until convergence.
+  util::Deadline deadline;
 };
 
 struct NelderMeadResult {

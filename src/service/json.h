@@ -1,0 +1,80 @@
+// Minimal JSON value type for the replication service's line-delimited
+// wire protocol. Deliberately small: null/bool/number/string/array/object,
+// insertion-ordered objects, and a deterministic dump() (every double is
+// printed with %.17g, so the same value always serializes to the same
+// bytes — the chaos suite compares service output digests bit-for-bit).
+// Not a general-purpose JSON library: no comments, no \uXXXX surrogate
+// pairs beyond the BMP, numbers parse via strtod.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace decompeval::service {
+
+/// Thrown by Json::parse on malformed input. The server maps it to a
+/// structured "bad_request" response, never a dropped connection.
+class JsonError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  ///< null
+
+  static Json boolean(bool v);
+  static Json number(double v);
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw JsonError on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;  ///< array elements
+
+  // -- object interface (insertion-ordered) ------------------------------
+  /// Sets `key` (replacing in place if present, appending otherwise).
+  void set(const std::string& key, Json value);
+  /// Pointer to the value at `key`, or nullptr. Object-typed values only.
+  const Json* get(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  // -- object lookup helpers with defaults (missing key => fallback) -----
+  double get_number(std::string_view key, double fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+  std::string get_string(std::string_view key, std::string fallback) const;
+
+  // -- array interface ---------------------------------------------------
+  void push_back(Json value);
+
+  /// Serializes to a single line (no embedded newlines; strings escape
+  /// control characters). Deterministic for a given value.
+  std::string dump() const;
+
+  /// Parses one JSON document; trailing whitespace allowed, trailing
+  /// garbage is an error.
+  static Json parse(std::string_view text);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> object_;
+};
+
+}  // namespace decompeval::service

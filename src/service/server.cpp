@@ -1,0 +1,333 @@
+#include "service/server.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace decompeval::service {
+
+namespace {
+
+// Writes the whole buffer, retrying on short writes/EINTR. Returns false
+// when the peer is gone (any other error) — callers just drop the
+// connection; the protocol has no half-written recovery.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Json overloaded_response(double retry_after_ms) {
+  Json r = Json::object();
+  r.set("status", Json::string("overloaded"));
+  r.set("error", Json::string("request queue is full"));
+  r.set("retry_after_ms", Json::number(retry_after_ms));
+  return r;
+}
+
+}  // namespace
+
+ReplicationServer::ReplicationServer(ServerOptions options)
+    : options_(std::move(options)), core_(options_.service) {}
+
+ReplicationServer::~ReplicationServer() { stop(); }
+
+void ReplicationServer::start() {
+  if (running_.load()) return;
+  if (options_.socket_path.empty())
+    throw std::runtime_error("ReplicationServer: socket_path is required");
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0)
+    throw std::runtime_error("ReplicationServer: socket() failed");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    throw std::runtime_error("ReplicationServer: socket path too long");
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof addr.sun_path - 1);
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw std::runtime_error("ReplicationServer: cannot bind " +
+                             options_.socket_path);
+  }
+  listen_fd_.store(fd);
+
+  running_.store(true);
+  {
+    const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = false;
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  worker_threads_.reserve(options_.workers);
+  for (std::size_t i = 0; i < std::max<std::size_t>(options_.workers, 1); ++i)
+    worker_threads_.emplace_back([this] { worker_loop(); });
+  if (options_.watchdog_ms > 0)
+    watchdog_thread_ = std::thread([this] { watchdog_loop(); });
+  stopper_thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(shutdown_mutex_);
+    shutdown_cv_.wait(lock, [this] { return shutdown_requested_; });
+    lock.unlock();
+    do_stop();
+  });
+}
+
+void ReplicationServer::request_stop() {
+  {
+    const std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    shutdown_requested_ = true;
+  }
+  shutdown_cv_.notify_all();
+}
+
+void ReplicationServer::stop() {
+  request_stop();
+  const std::lock_guard<std::mutex> lock(stopper_join_mutex_);
+  if (stopper_thread_.joinable()) stopper_thread_.join();
+}
+
+void ReplicationServer::do_stop() {
+  if (!running_.exchange(false)) return;
+
+  // Wake the accept loop, then every blocked reader and worker.
+  if (const int fd = listen_fd_.exchange(-1); fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  {
+    // Cancel in-flight work so stop() does not wait out a long fit; those
+    // requests answer with a structured deadline_exceeded, not silence.
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (const auto& pending : in_flight_)
+      pending->cancel->store(true, std::memory_order_relaxed);
+  }
+  queue_cv_.notify_all();
+
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& t : worker_threads_)
+    if (t.joinable()) t.join();
+  worker_threads_.clear();
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (std::thread& t : conn_threads_)
+      if (t.joinable()) t.join();
+    conn_threads_.clear();
+    for (const int fd : conn_fds_) ::close(fd);
+    conn_fds_.clear();
+  }
+
+  // Unanswered queued requests get a structured shutdown error so no
+  // client hangs on a promise that will never be fulfilled.
+  std::deque<std::shared_ptr<PendingRequest>> leftovers;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    leftovers.swap(queue_);
+  }
+  for (const auto& pending : leftovers) {
+    Json r = Json::object();
+    r.set("status", Json::string("error"));
+    r.set("error", Json::string("server shutting down"));
+    pending->reply.set_value(std::move(r));
+  }
+
+  ::unlink(options_.socket_path.c_str());
+}
+
+void ReplicationServer::accept_loop() {
+  while (running_.load()) {
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) break;  // already closed by do_stop()
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener closed by stop()
+    }
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    if (!running_.load()) {
+      ::close(fd);
+      break;
+    }
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void ReplicationServer::connection_loop(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (running_.load()) {
+    const std::size_t newline = buffer.find('\n');
+    if (newline == std::string::npos) {
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;  // peer closed (or stop() shut the socket down)
+      }
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    if (line.empty()) continue;
+
+    Json request;
+    try {
+      request = Json::parse(line);
+    } catch (const JsonError& e) {
+      Json r = Json::object();
+      r.set("status", Json::string("bad_request"));
+      r.set("error", Json::string(e.what()));
+      if (!write_all(fd, r.dump() + "\n")) break;
+      continue;
+    }
+
+    if (request.is_object() &&
+        request.get_string("op", "") == "shutdown") {
+      Json r = Json::object();
+      r.set("status", Json::string("ok"));
+      r.set("op", Json::string("shutdown"));
+      write_all(fd, r.dump() + "\n");
+      // Teardown joins this thread, so only signal the stopper here.
+      request_stop();
+      break;
+    }
+
+    auto pending = std::make_shared<PendingRequest>();
+    pending->request = std::move(request);
+    pending->cancel = std::make_shared<std::atomic<bool>>(false);
+    pending->started = std::chrono::steady_clock::now();
+    std::future<Json> reply = pending->reply.get_future();
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      if (queue_.size() >= options_.max_queue) {
+        // Backpressure: answer now instead of buffering unboundedly.
+        if (!write_all(fd, overloaded_response(options_.retry_after_ms).dump() +
+                               "\n"))
+          break;
+        continue;
+      }
+      queue_.push_back(pending);
+    }
+    queue_cv_.notify_one();
+    if (!write_all(fd, reply.get().dump() + "\n")) break;
+  }
+}
+
+void ReplicationServer::worker_loop() {
+  while (true) {
+    std::shared_ptr<PendingRequest> pending;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock,
+                     [this] { return !queue_.empty() || !running_.load(); });
+      if (queue_.empty()) {
+        if (!running_.load()) return;
+        continue;
+      }
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      in_flight_.push_back(pending);
+    }
+    Json response = core_.handle(pending->request, pending->cancel.get());
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      in_flight_.erase(
+          std::remove(in_flight_.begin(), in_flight_.end(), pending),
+          in_flight_.end());
+    }
+    pending->reply.set_value(std::move(response));
+  }
+}
+
+void ReplicationServer::watchdog_loop() {
+  const auto budget = std::chrono::milliseconds(options_.watchdog_ms);
+  const auto tick =
+      std::chrono::milliseconds(std::max<std::uint64_t>(options_.watchdog_ms / 4, 1));
+  while (running_.load()) {
+    std::this_thread::sleep_for(tick);
+    const auto now = std::chrono::steady_clock::now();
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    for (const auto& pending : in_flight_)
+      if (now - pending->started > budget)
+        pending->cancel->store(true, std::memory_order_relaxed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+ServiceClient::~ServiceClient() { close(); }
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ServiceClient::connect(const std::string& socket_path) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof addr.sun_path)
+    throw std::runtime_error("ServiceClient: socket path too long");
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
+
+  // The server may still be binding; retry connection briefly.
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("ServiceClient: socket() failed");
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0)
+      return;
+    ::close(fd_);
+    fd_ = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  throw std::runtime_error("ServiceClient: cannot connect to " + socket_path);
+}
+
+Json ServiceClient::call(const Json& request) {
+  if (fd_ < 0) throw std::runtime_error("ServiceClient: not connected");
+  if (!write_all(fd_, request.dump() + "\n"))
+    throw std::runtime_error("ServiceClient: write failed");
+  char chunk[4096];
+  while (true) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      const std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return Json::parse(line);
+    }
+    const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0)
+      throw std::runtime_error("ServiceClient: connection closed mid-reply");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace decompeval::service

@@ -1,0 +1,138 @@
+// Unix-domain-socket front-end for ServiceCore.
+//
+// Wire protocol: line-delimited JSON. Each request is one JSON object on
+// one line; the server answers with exactly one JSON object line per
+// request, in order, on the same connection. Malformed JSON gets a
+// "bad_request" response, never a dropped connection.
+//
+// Architecture:
+//   accept loop  — one thread; spawns a reader thread per connection
+//   request queue — bounded; a full queue answers immediately with
+//                   {"status":"overloaded","retry_after_ms":N} instead of
+//                   blocking the connection (backpressure, not buffering)
+//   workers      — options.workers threads popping the queue and calling
+//                  ServiceCore::handle
+//   watchdog     — one thread; flips the cancel flag of any request in
+//                  flight longer than watchdog_ms, which trips the
+//                  fitters' cooperative checkpoints and surfaces as a
+//                  structured "deadline_exceeded" response
+//
+// {"op":"shutdown"} answers {"status":"ok"} and then stops the server.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+
+namespace decompeval::service {
+
+struct ServerOptions {
+  std::string socket_path;        ///< required; unlinked on start and stop
+  std::size_t workers = 2;
+  std::size_t max_queue = 8;      ///< pending (unpopped) request cap
+  double retry_after_ms = 25.0;   ///< hint attached to overloaded responses
+  std::uint64_t watchdog_ms = 0;  ///< 0 = watchdog disabled
+  ServiceOptions service;
+};
+
+class ReplicationServer {
+ public:
+  explicit ReplicationServer(ServerOptions options);
+  ~ReplicationServer();
+
+  ReplicationServer(const ReplicationServer&) = delete;
+  ReplicationServer& operator=(const ReplicationServer&) = delete;
+
+  /// Binds, listens, and spawns the accept/worker/watchdog threads.
+  /// Throws std::runtime_error when the socket cannot be bound.
+  void start();
+  /// Graceful stop: closes the listener and every live connection, drains
+  /// workers, joins all threads. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(); }
+  const std::string& socket_path() const { return options_.socket_path; }
+  ServiceCore& core() { return core_; }
+
+ private:
+  struct PendingRequest {
+    Json request;
+    std::shared_ptr<std::atomic<bool>> cancel;
+    std::chrono::steady_clock::time_point started;
+    std::promise<Json> reply;
+  };
+
+  void accept_loop();
+  void connection_loop(int fd);
+  void worker_loop();
+  void watchdog_loop();
+  /// Signals the stopper thread; safe from any thread, including a
+  /// connection thread handling the shutdown op.
+  void request_stop();
+  /// The actual teardown; runs exactly once, on the stopper thread only,
+  /// so it can join every other thread without ever joining itself.
+  void do_stop();
+
+  ServerOptions options_;
+  ServiceCore core_;
+
+  std::atomic<bool> running_{false};
+  /// Atomic: the accept loop reads it concurrently with do_stop()'s close.
+  std::atomic<int> listen_fd_{-1};
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<std::shared_ptr<PendingRequest>> queue_;
+  /// Requests popped by a worker but not yet answered (watchdog scan set).
+  std::vector<std::shared_ptr<PendingRequest>> in_flight_;
+
+  std::mutex conn_mutex_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> worker_threads_;
+  std::thread watchdog_thread_;
+
+  /// Teardown runs on this thread (woken by request_stop) so the shutdown
+  /// op never detaches work that could outlive the server object; stop()
+  /// and the destructor join it.
+  std::mutex shutdown_mutex_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+  std::thread stopper_thread_;
+  std::mutex stopper_join_mutex_;
+};
+
+/// Minimal blocking client for the line protocol (tests and examples).
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Connects, retrying briefly while the server is still binding.
+  void connect(const std::string& socket_path);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// Sends one request line and blocks for the response line.
+  Json call(const Json& request);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last newline
+};
+
+}  // namespace decompeval::service

@@ -1,0 +1,333 @@
+#include "service/service.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "core/replication.h"
+#include "study/engine.h"
+#include "util/check.h"
+
+namespace decompeval::service {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Canonical digest of a study dataset: every field that analyses consume,
+// serialized deterministically (doubles by bit pattern). Two datasets with
+// equal digests are interchangeable inputs to the analysis layer, which is
+// what the chaos suite's service-vs-offline bit-identity check relies on.
+std::string study_digest(const study::StudyData& data) {
+  std::ostringstream os;
+  os << data.cohort.size() << '|' << data.n_questions << '|';
+  for (const std::size_t id : data.excluded_participants) os << id << ',';
+  os << '|';
+  for (const auto& r : data.responses) {
+    os << r.participant_id << ':' << r.snippet_index << ':'
+       << r.question_index << ':' << static_cast<int>(r.treatment) << ':'
+       << r.answered << r.gradeable << r.correct << ':';
+    os.write(reinterpret_cast<const char*>(&r.seconds), sizeof r.seconds);
+    os << ';';
+  }
+  os << '|';
+  for (const auto& o : data.opinions) {
+    os << o.participant_id << ':' << o.snippet_index << ':'
+       << static_cast<int>(o.treatment) << ':';
+    for (const int v : o.name_ratings) os << v << ',';
+    os << ':';
+    for (const int v : o.type_ratings) os << v << ',';
+    os << ';';
+  }
+  return hex64(fnv1a(os.str()));
+}
+
+Json bad_request(const std::string& message) {
+  Json r = Json::object();
+  r.set("status", Json::string("bad_request"));
+  r.set("error", Json::string(message));
+  return r;
+}
+
+Json error_response(const std::string& message) {
+  Json r = Json::object();
+  r.set("status", Json::string("error"));
+  r.set("error", Json::string(message));
+  return r;
+}
+
+}  // namespace
+
+ServiceCore::ServiceCore(ServiceOptions options)
+    : options_(std::move(options)), faults_(options_.fault_plan) {}
+
+ServiceStats ServiceCore::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void ServiceCore::note_status(const std::string& status) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (status == "ok") ++stats_.ok;
+  else if (status == "degraded") ++stats_.degraded;
+  else if (status == "deadline_exceeded") ++stats_.deadline_exceeded;
+  else if (status == "bad_request") ++stats_.bad_requests;
+  else ++stats_.errors;
+}
+
+Json ServiceCore::handle(const Json& request,
+                         const std::atomic<bool>* cancel) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+  }
+  Json response;
+  try {
+    response = dispatch(request, cancel);
+  } catch (const util::DeadlineExceeded& e) {
+    response = Json::object();
+    response.set("status", Json::string("deadline_exceeded"));
+    response.set("error", Json::string(e.what()));
+    response.set("cancelled", Json::boolean(e.cancelled()));
+  } catch (const JsonError& e) {
+    response = bad_request(e.what());
+  } catch (const std::exception& e) {
+    // Backstop: no exception ever reaches the server loop.
+    response = error_response(e.what());
+  }
+  if (request.is_object()) {
+    const Json* op = request.get("op");
+    if (op && op->type() == Json::Type::kString)
+      response.set("op", Json::string(op->as_string()));
+  }
+  note_status(response.get_string("status", "error"));
+  return response;
+}
+
+Json ServiceCore::dispatch(const Json& request,
+                           const std::atomic<bool>* cancel) {
+  if (!request.is_object()) return bad_request("request must be an object");
+  const Json* opv = request.get("op");
+  if (!opv || opv->type() != Json::Type::kString)
+    return bad_request("missing string field 'op'");
+  const std::string& op = opv->as_string();
+
+  // Per-request deadline with the watchdog cancel flag attached. The
+  // admission check makes an already-expired request cost nothing — it
+  // never touches pipeline state.
+  util::Deadline deadline;
+  const double deadline_ms = request.get_number(
+      "deadline_ms", static_cast<double>(options_.default_deadline_ms));
+  if (deadline_ms > 0.0)
+    deadline = util::Deadline::after(std::chrono::nanoseconds(
+        static_cast<std::int64_t>(deadline_ms * 1e6)));
+  deadline = deadline.with_cancel(cancel);
+  deadline.check("request admission");
+
+  if (op == "ping") {
+    Json r = Json::object();
+    r.set("status", Json::string("ok"));
+    r.set("version", Json::string(core::version()));
+    return r;
+  }
+  if (op == "stats") {
+    const ServiceStats s = stats();
+    Json r = Json::object();
+    r.set("status", Json::string("ok"));
+    r.set("requests", Json::number(static_cast<double>(s.requests)));
+    r.set("ok", Json::number(static_cast<double>(s.ok)));
+    r.set("degraded", Json::number(static_cast<double>(s.degraded)));
+    r.set("errors", Json::number(static_cast<double>(s.errors)));
+    r.set("bad_requests", Json::number(static_cast<double>(s.bad_requests)));
+    r.set("deadline_exceeded",
+          Json::number(static_cast<double>(s.deadline_exceeded)));
+    r.set("retries", Json::number(static_cast<double>(s.retries)));
+    r.set("cache_hits", Json::number(static_cast<double>(s.cache_hits)));
+    return r;
+  }
+  if (op != "run_study" && op != "run_replication")
+    return bad_request("unknown op '" + op + "'");
+
+  maybe_stall(deadline);
+
+  // Transient-fault retry loop with exponential backoff. Only FaultError
+  // is transient; degraded results and numerical failures are answers,
+  // not reasons to retry.
+  double backoff_ms = options_.backoff_initial_ms;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      faults_.raise_next("service.request");
+      return op == "run_study" ? run_study_op(request, deadline)
+                               : run_replication_op(request, deadline);
+    } catch (const util::FaultError& e) {
+      if (attempt + 1 >= options_.max_attempts) {
+        Json r = error_response(std::string("retry budget exhausted: ") +
+                                e.what());
+        r.set("attempts", Json::number(attempt + 1));
+        return r;
+      }
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.retries;
+      }
+      deadline.check("retry backoff");
+      if (backoff_ms > 0.0)
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+            backoff_ms));
+      backoff_ms *= 2.0;
+    }
+  }
+}
+
+void ServiceCore::maybe_stall(const util::Deadline& deadline) {
+  if (!faults_.fire_next("service.stall")) return;
+  // Simulated wedged worker: spin at a cooperative checkpoint until the
+  // watchdog or the deadline kills the request. stall_max_ms bounds the
+  // spin so a plan without a watchdog still terminates.
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(options_.stall_max_ms);
+  while (std::chrono::steady_clock::now() < until) {
+    deadline.check("service.stall");
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+Json ServiceCore::run_study_op(const Json& request,
+                               const util::Deadline& deadline) {
+  study::StudyConfig config;
+  config.seed = static_cast<std::uint64_t>(request.get_number("seed", 68));
+  config.threads = static_cast<std::size_t>(request.get_number(
+      "threads", static_cast<double>(options_.default_threads)));
+  config.faults = &faults_;
+  config.deadline = deadline;
+
+  const bool no_cache = request.get_bool("no_cache", false);
+  const std::string key = "run_study|seed=" + std::to_string(config.seed);
+  if (!no_cache) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = result_cache_.find(key);
+    if (it != result_cache_.end()) {
+      ++stats_.cache_hits;
+      return it->second;
+    }
+  }
+
+  const study::StudyData data = study::run_study(config);
+
+  Json r = Json::object();
+  r.set("status", Json::string(data.degraded ? "degraded" : "ok"));
+  r.set("digest", Json::string(study_digest(data)));
+  r.set("recruited", Json::number(static_cast<double>(data.cohort.size())));
+  r.set("responses", Json::number(static_cast<double>(data.responses.size())));
+  r.set("excluded",
+        Json::number(static_cast<double>(data.excluded_participants.size())));
+  if (data.degraded) {
+    Json notes = Json::array();
+    for (const std::string& n : data.degradation_notes)
+      notes.push_back(Json::string(n));
+    r.set("notes", notes);
+    Json failed = Json::array();
+    for (const std::size_t id : data.failed_shards)
+      failed.push_back(Json::number(static_cast<double>(id)));
+    r.set("failed_shards", failed);
+  } else if (!no_cache) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    result_cache_.emplace(key, r);
+  }
+  return r;
+}
+
+Json ServiceCore::run_replication_op(const Json& request,
+                                     const util::Deadline& deadline) {
+  core::ReplicationConfig config;
+  config.seed = static_cast<std::uint64_t>(request.get_number("seed", 68));
+  config.threads = static_cast<std::size_t>(request.get_number(
+      "threads", static_cast<double>(options_.default_threads)));
+  config.run_models = request.get_bool("run_models", true);
+  config.run_metrics = request.get_bool("run_metrics", false);
+  config.embedding_corpus_sentences = static_cast<std::size_t>(
+      request.get_number("corpus_sentences", 20000));
+  config.embedding_corpus_seed = static_cast<std::uint64_t>(
+      request.get_number("corpus_seed", 42));
+  config.faults = &faults_;
+  config.deadline = deadline;
+  if (config.run_metrics)
+    config.embedding_model =
+        embedding_for(config.embedding_corpus_sentences,
+                      config.embedding_corpus_seed, config.threads);
+
+  const bool no_cache = request.get_bool("no_cache", false);
+  const bool include_rendered = request.get_bool("include_rendered", false);
+  const std::string key =
+      "run_replication|seed=" + std::to_string(config.seed) +
+      "|models=" + std::to_string(config.run_models) +
+      "|metrics=" + std::to_string(config.run_metrics) +
+      "|corpus=" + std::to_string(config.embedding_corpus_sentences) +
+      "|corpus_seed=" + std::to_string(config.embedding_corpus_seed) +
+      "|rendered=" + std::to_string(include_rendered);
+  if (!no_cache) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = result_cache_.find(key);
+    if (it != result_cache_.end()) {
+      ++stats_.cache_hits;
+      return it->second;
+    }
+  }
+
+  const core::ReplicationReport report = core::run_replication(config);
+
+  Json r = Json::object();
+  r.set("status", Json::string(report.degraded ? "degraded" : "ok"));
+  r.set("digest", Json::string(hex64(fnv1a(report.rendered))));
+  r.set("rendered_bytes",
+        Json::number(static_cast<double>(report.rendered.size())));
+  r.set("recruited",
+        Json::number(static_cast<double>(report.data.cohort.size())));
+  r.set("excluded", Json::number(static_cast<double>(
+                        report.data.excluded_participants.size())));
+  if (include_rendered) r.set("rendered", Json::string(report.rendered));
+  if (report.degraded) {
+    Json notes = Json::array();
+    for (const std::string& n : report.degradation_notes)
+      notes.push_back(Json::string(n));
+    r.set("notes", notes);
+  } else if (!no_cache) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    result_cache_.emplace(key, r);
+  }
+  return r;
+}
+
+std::shared_ptr<const embed::EmbeddingModel> ServiceCore::embedding_for(
+    std::size_t sentences, std::uint64_t seed, std::size_t threads) {
+  const std::string key =
+      std::to_string(sentences) + "|" + std::to_string(seed);
+  const std::lock_guard<std::mutex> lock(embed_mutex_);
+  const auto it = embed_cache_.find(key);
+  if (it != embed_cache_.end()) return it->second;
+  embed::EmbeddingOptions options;
+  options.threads = threads;
+  auto model = std::make_shared<const embed::EmbeddingModel>(
+      embed::EmbeddingModel::train_default(sentences, seed, options));
+  embed_cache_.emplace(key, model);
+  return model;
+}
+
+}  // namespace decompeval::service

@@ -1,0 +1,107 @@
+// Replication service core: the in-process request handler behind the
+// Unix-domain-socket front-end (server.h). One call — handle() — takes a
+// JSON request object and returns a JSON response object, and *never
+// throws*: every failure mode maps to a structured status.
+//
+// Statuses:
+//   "ok"                the operation completed; payload fields attached
+//   "degraded"          completed on partial data; "notes" says what is
+//                       missing (degraded results are never cached and the
+//                       caller must never merge them with ok results)
+//   "deadline_exceeded" the per-request deadline or a watchdog cancel
+//                       tripped a cooperative checkpoint; no partial
+//                       payload is attached
+//   "error"             the request was well-formed but failed (e.g. its
+//                       retry budget ran out); "error" has the message
+//   "bad_request"       malformed request (unknown op, wrong types)
+//
+// Fault tolerance: requests that trip the "service.request" site are
+// retried with exponential backoff up to max_attempts. "service.stall"
+// simulates a wedged worker — the handler spins at a cooperative
+// checkpoint until the deadline/watchdog fires. Both sites are driven by
+// the same deterministic FaultPlan as the rest of the pipeline.
+//
+// Caching: ok (never degraded) run_study/run_replication responses are
+// cached per canonical request key — the key excludes the thread count,
+// because results are bit-identical at every thread count — and embedding
+// models are cached per (corpus_sentences, corpus_seed) so repeated
+// metric requests skip training.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "embed/embedding.h"
+#include "service/json.h"
+#include "util/fault.h"
+
+namespace decompeval::service {
+
+struct ServiceOptions {
+  /// Fault schedules for the chaos suite; empty = faults disabled.
+  util::FaultPlan fault_plan;
+  /// Total attempts (first try + retries) for transiently-faulted requests.
+  int max_attempts = 3;
+  /// First backoff pause; doubles per retry. 0 disables sleeping (tests).
+  double backoff_initial_ms = 2.0;
+  /// Deadline applied when a request carries no "deadline_ms"; 0 = none.
+  std::uint64_t default_deadline_ms = 0;
+  /// Worker threads for pipeline stages when the request does not say.
+  std::size_t default_threads = 1;
+  /// How long an injected "service.stall" spins waiting for the watchdog
+  /// before giving up and continuing (keeps fault runs bounded even
+  /// without a deadline).
+  std::uint64_t stall_max_ms = 250;
+};
+
+/// Monotonic counters, readable via the "stats" op.
+struct ServiceStats {
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t bad_requests = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+class ServiceCore {
+ public:
+  explicit ServiceCore(ServiceOptions options = {});
+
+  /// Handles one request. Never throws; see the status table above.
+  /// `cancel` is the watchdog flag for this request (may be null).
+  Json handle(const Json& request, const std::atomic<bool>* cancel = nullptr);
+
+  ServiceStats stats() const;
+  const util::FaultInjector& faults() const { return faults_; }
+
+ private:
+  Json dispatch(const Json& request, const std::atomic<bool>* cancel);
+  Json run_study_op(const Json& request, const util::Deadline& deadline);
+  Json run_replication_op(const Json& request, const util::Deadline& deadline);
+  std::shared_ptr<const embed::EmbeddingModel> embedding_for(
+      std::size_t sentences, std::uint64_t seed, std::size_t threads);
+  void maybe_stall(const util::Deadline& deadline);
+  void note_status(const std::string& status);
+
+  ServiceOptions options_;
+  util::FaultInjector faults_;
+
+  mutable std::mutex mutex_;
+  ServiceStats stats_;
+  /// ok-only response cache, keyed by canonical request key.
+  std::map<std::string, Json> result_cache_;
+  /// Embedding models keyed by "sentences|seed". Guarded separately so a
+  /// long training run does not block stats/caching on other workers.
+  std::mutex embed_mutex_;
+  std::map<std::string, std::shared_ptr<const embed::EmbeddingModel>>
+      embed_cache_;
+};
+
+}  // namespace decompeval::service

@@ -116,20 +116,42 @@ bool contains_line(const std::string& source, const std::string& line) {
   return false;
 }
 
-SnippetVerification verify_snippet(const Snippet& s) {
+SnippetVerification verify_snippet(const Snippet& s,
+                                   const util::FaultInjector* faults,
+                                   std::size_t pool_index) {
   SnippetVerification v;
   v.snippet_id = s.id;
 
-  lang::Function original, hexrays, dirty;
-  try {
-    original = lang::parse_function(s.original_source, s.parse_options);
-    hexrays = lang::parse_function(s.hexrays_source, s.parse_options);
-    dirty = lang::parse_function(s.dirty_source, s.parse_options);
-  } catch (const lang::ParseError& e) {
-    v.alignment_issues.push_back(std::string("variant fails to parse: ") +
-                                 e.what());
-    return v;
+  // An injected parse fault stands in for corrupted corpus input: it
+  // becomes a structured diagnostic on this snippet and nothing more.
+  if (faults) {
+    try {
+      faults->raise_if("snippets.parse", pool_index);
+    } catch (const util::FaultError& e) {
+      v.parse_errors.push_back({"injected", e.what()});
+      return v;
+    }
   }
+
+  // Parse each variant independently so a malformed one is reported by
+  // name while the others still get checked for parseability.
+  lang::Function original, hexrays, dirty;
+  const auto parse_variant = [&](const char* variant, const std::string& src,
+                                 lang::Function* out) {
+    try {
+      *out = lang::parse_function(src, s.parse_options);
+      return true;
+    } catch (const lang::ParseError& e) {
+      v.parse_errors.push_back({variant, e.what()});
+      v.alignment_issues.push_back(std::string(variant) +
+                                   " variant fails to parse: " + e.what());
+      return false;
+    }
+  };
+  const bool orig_ok = parse_variant("original", s.original_source, &original);
+  const bool hex_ok = parse_variant("hexrays", s.hexrays_source, &hexrays);
+  const bool dirty_ok = parse_variant("dirty", s.dirty_source, &dirty);
+  if (!orig_ok || !hex_ok || !dirty_ok) return v;
   v.parses = true;
 
   const auto issue = [&v](const std::string& text) {
@@ -217,8 +239,8 @@ SnippetVerification verify_snippet(const Snippet& s) {
 std::vector<SnippetVerification> verify_corpus(
     const std::vector<Snippet>& pool, const CorpusVerifyOptions& options) {
   util::ThreadPool tp(options.threads);
-  return tp.parallel_map(pool, [](const Snippet& s, std::size_t) {
-    return verify_snippet(s);
+  return tp.parallel_map(pool, [&options](const Snippet& s, std::size_t i) {
+    return verify_snippet(s, options.faults, i);
   });
 }
 
@@ -232,7 +254,8 @@ std::string verification_report(
       continue;
     }
     out << v.snippet_id << ":\n";
-    if (!v.parses) out << "  variant fails to parse\n";
+    for (const auto& pe : v.parse_errors)
+      out << "  parse error (" << pe.variant << "): " << pe.message << "\n";
     for (const auto& d : v.original_diagnostics)
       out << "  original: " << lang::to_string(d) << "\n";
     for (const auto& text : v.alignment_issues) out << "  " << text << "\n";

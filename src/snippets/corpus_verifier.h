@@ -28,14 +28,26 @@
 
 #include "lang/lint.h"
 #include "snippets/snippet.h"
+#include "util/fault.h"
 
 namespace decompeval::snippets {
+
+/// Structured diagnostic for one snippet variant that failed to parse.
+/// Malformed input never aborts verify_corpus — the failing snippet gets
+/// one of these and the rest of the pool is still verified.
+struct ParseDiagnostic {
+  std::string variant;  ///< "original", "hexrays", "dirty", or "injected"
+  std::string message;  ///< the lang::ParseError / fault description
+};
 
 /// Verification outcome for one snippet.
 struct SnippetVerification {
   std::string snippet_id;
   bool parses = false;  ///< all three variants parse
 
+  /// One entry per variant that failed to parse (including injected
+  /// "snippets.parse" faults, which simulate corrupted corpus input).
+  std::vector<ParseDiagnostic> parse_errors;
   /// Dataflow + artifact diagnostics on the original variant (must be
   /// empty for a clean corpus: the original is real, human-written code).
   std::vector<lang::LintDiagnostic> original_diagnostics;
@@ -49,7 +61,8 @@ struct SnippetVerification {
   std::size_t dirty_artifacts = 0;
 
   bool clean() const {
-    return parses && original_diagnostics.empty() && alignment_issues.empty();
+    return parses && parse_errors.empty() && original_diagnostics.empty() &&
+           alignment_issues.empty();
   }
 };
 
@@ -57,6 +70,10 @@ struct CorpusVerifyOptions {
   /// Worker threads for the per-snippet fan-out; 0 = auto, 1 = serial.
   /// Results are bit-identical at any thread count.
   std::size_t threads = 1;
+  /// Optional fault injector (site "snippets.parse", hit = pool index). A
+  /// firing fault is reported as a ParseDiagnostic on that snippet; the
+  /// rest of the pool still verifies.
+  const util::FaultInjector* faults = nullptr;
 };
 
 /// Verifies every snippet in `pool`. result[i] corresponds to pool[i].

@@ -58,6 +58,8 @@ StudyData run_study(const StudyConfig& config,
     std::vector<Response> responses;
     std::vector<OpinionRecord> opinions;
     bool excluded = false;
+    bool failed = false;
+    std::string failure;
   };
   const util::Rng session_rng(config.seed ^ 0x5EA51DEULL);
   std::vector<Shard> shards(data.cohort.size());
@@ -65,35 +67,61 @@ StudyData run_study(const StudyConfig& config,
     const Participant& p = data.cohort[pi];
     util::Rng rng = session_rng.split(pi);
     Shard& shard = shards[pi];
-    for (const Assignment* a : shard_assignments[pi]) {
-      const snippets::Snippet& snippet = snippet_pool[a->snippet_index];
-      bool any_answered = false;
-      for (std::size_t qi = 0; qi < snippet.questions.size(); ++qi) {
-        Response r = simulate_response(p, snippet, a->snippet_index, qi,
-                                       a->treatment, config.response_model,
-                                       rng);
-        any_answered = any_answered || r.answered;
-        shard.responses.push_back(std::move(r));
+    try {
+      config.deadline.check("study shard");
+      if (config.faults) config.faults->raise_if("study.shard", pi);
+      for (const Assignment* a : shard_assignments[pi]) {
+        const snippets::Snippet& snippet = snippet_pool[a->snippet_index];
+        bool any_answered = false;
+        for (std::size_t qi = 0; qi < snippet.questions.size(); ++qi) {
+          Response r = simulate_response(p, snippet, a->snippet_index, qi,
+                                         a->treatment, config.response_model,
+                                         rng);
+          any_answered = any_answered || r.answered;
+          shard.responses.push_back(std::move(r));
+        }
+        if (any_answered) {
+          shard.opinions.push_back(simulate_opinion(
+              p, snippet, a->snippet_index, a->treatment,
+              config.response_model, rng));
+        }
       }
-      if (any_answered) {
-        shard.opinions.push_back(simulate_opinion(
-            p, snippet, a->snippet_index, a->treatment, config.response_model,
-            rng));
-      }
+      // Quality check: median answered-question time must clear the reading
+      // threshold, otherwise the participant is removed from the study.
+      std::vector<double> times;
+      for (const Response& r : shard.responses)
+        if (r.answered) times.push_back(r.seconds);
+      shard.excluded =
+          !times.empty() && stats::median(times) < config.min_read_seconds;
+    } catch (const util::DeadlineExceeded&) {
+      // A timeout is not a degraded dataset: let parallel_for rethrow it
+      // so the caller gets a structured DeadlineExceeded, not partial data.
+      throw;
+    } catch (const std::exception& e) {
+      // Anything else (an injected FaultError, a numerical failure in the
+      // response model) drops just this shard; the study degrades instead
+      // of dying. Partial shard output is discarded below.
+      shard.failed = true;
+      shard.failure = e.what();
     }
-    // Quality check: median answered-question time must clear the reading
-    // threshold, otherwise the participant is removed from the study.
-    std::vector<double> times;
-    for (const Response& r : shard.responses)
-      if (r.answered) times.push_back(r.seconds);
-    shard.excluded =
-        !times.empty() && stats::median(times) < config.min_read_seconds;
   });
 
   // Merge in cohort order on this thread, so the dataset layout does not
   // depend on how shards were scheduled.
   for (std::size_t pi = 0; pi < shards.size(); ++pi) {
     Shard& shard = shards[pi];
+    if (shard.failed) {
+      const Participant& p = data.cohort[pi];
+      data.degraded = true;
+      data.failed_shards.push_back(p.id);
+      data.degradation_notes.push_back(
+          "participant " + std::to_string(p.id) + " (" +
+          to_string(p.occupation) + ") shard dropped: " + shard.failure);
+      // A failed shard is also excluded so responses/included() stay
+      // internally consistent over the surviving cohort.
+      data.excluded_participants.insert(p.id);
+      continue;
+    }
     if (shard.excluded) {
       data.excluded_participants.insert(data.cohort[pi].id);
       continue;

@@ -6,12 +6,14 @@
 
 #include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "snippets/snippet.h"
 #include "study/design.h"
 #include "study/participant.h"
 #include "study/response_model.h"
+#include "util/fault.h"
 
 namespace decompeval::study {
 
@@ -28,6 +30,13 @@ struct StudyConfig {
   /// Rng::split stream and shard results merge in cohort order, so the
   /// dataset is bit-identical at every thread count.
   std::size_t threads = 0;
+  /// Optional fault injector (site "study.shard", hit = cohort index). A
+  /// shard whose simulation throws is dropped — not retried — and the
+  /// result is flagged degraded with a note naming the lost participant.
+  const util::FaultInjector* faults = nullptr;
+  /// Cooperative deadline: checked once per shard. Expiry aborts the whole
+  /// study with DeadlineExceeded (a timeout is not a degraded dataset).
+  util::Deadline deadline;
 };
 
 struct StudyData {
@@ -37,6 +46,18 @@ struct StudyData {
   std::vector<OpinionRecord> opinions;  ///< post-exclusion
   std::set<std::size_t> excluded_participants;
   std::size_t n_questions = 0;  ///< number of distinct questions in the pool
+
+  /// True when at least one simulation shard was dropped. A degraded
+  /// dataset is complete and internally consistent over the surviving
+  /// participants (failed shards are also excluded, so `responses` and
+  /// `included()` never see partial data) but is NOT the full cohort and
+  /// must never be silently merged with non-degraded runs.
+  bool degraded = false;
+  /// Participant ids of dropped shards, in cohort order.
+  std::vector<std::size_t> failed_shards;
+  /// One human-readable note per dropped shard (participant, occupation,
+  /// and the error that killed the shard).
+  std::vector<std::string> degradation_notes;
 
   /// Participants that survived the quality check.
   std::vector<const Participant*> included() const;

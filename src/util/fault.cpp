@@ -1,0 +1,155 @@
+#include "util/fault.h"
+
+#include <sstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace decompeval::util {
+
+namespace {
+
+// FNV-1a, the site-name half of the probabilistic stream key. Stable across
+// platforms so fault plans replay identically everywhere.
+std::uint64_t fnv1a(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::every_nth(std::uint64_t n) {
+  DE_EXPECTS_MSG(n >= 1, "every_nth schedule needs n >= 1");
+  return {Kind::kEveryNth, n, 0.0};
+}
+
+FaultSpec FaultSpec::probability(double p) {
+  DE_EXPECTS_MSG(p >= 0.0 && p <= 1.0, "fault probability must be in [0, 1]");
+  return {Kind::kProbability, 0, p};
+}
+
+std::string FaultSpec::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case Kind::kNever: os << "never"; break;
+    case Kind::kOnce: os << "once@" << n; break;
+    case Kind::kEveryNth: os << "every" << n; break;
+    case Kind::kAlways: os << "always"; break;
+    case Kind::kProbability: os << "p=" << p; break;
+  }
+  return os.str();
+}
+
+FaultPlan& FaultPlan::set(std::string site, FaultSpec spec) {
+  DE_EXPECTS_MSG(!site.empty(), "fault site name must be non-empty");
+  sites_[std::move(site)] = spec;
+  return *this;
+}
+
+const FaultSpec* FaultPlan::find(std::string_view site) const {
+  const auto it = sites_.find(site);
+  return it == sites_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FaultPlan::sites() const {
+  std::vector<std::string> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, spec] : sites_) out.push_back(name);
+  return out;
+}
+
+FaultError::FaultError(std::string_view site, std::uint64_t hit)
+    : std::runtime_error("injected fault at site `" + std::string(site) +
+                         "` (hit " + std::to_string(hit) + ")"),
+      site_(site),
+      hit_(hit) {}
+
+bool FaultInjector::should_fire(std::string_view site,
+                                std::uint64_t hit) const {
+  const FaultSpec* spec = plan_.find(site);
+  if (spec == nullptr) return false;
+  switch (spec->kind) {
+    case FaultSpec::Kind::kNever:
+      return false;
+    case FaultSpec::Kind::kOnce:
+      return hit == spec->n;
+    case FaultSpec::Kind::kEveryNth:
+      return (hit + 1) % spec->n == 0;
+    case FaultSpec::Kind::kAlways:
+      return true;
+    case FaultSpec::Kind::kProbability: {
+      // Pure in (seed, site, hit): the stream never advances shared state.
+      Rng stream = Rng(plan_.seed() ^ fnv1a(site)).split(hit);
+      return stream.uniform() < spec->p;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::raise_if(std::string_view site, std::uint64_t hit) const {
+  if (should_fire(site, hit)) throw FaultError(site, hit);
+}
+
+std::uint64_t FaultInjector::take_hit(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(site);
+  if (it == counters_.end()) it = counters_.emplace(std::string(site), 0).first;
+  return it->second++;
+}
+
+bool FaultInjector::fire_next(std::string_view site) {
+  return should_fire(site, take_hit(site));
+}
+
+void FaultInjector::raise_next(std::string_view site) {
+  const std::uint64_t hit = take_hit(site);
+  if (should_fire(site, hit)) throw FaultError(site, hit);
+}
+
+std::uint64_t FaultInjector::hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(site);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+DeadlineExceeded::DeadlineExceeded(const std::string& where, bool cancelled)
+    : std::runtime_error((cancelled ? "request cancelled at " :
+                                      "deadline exceeded at ") + where),
+      cancelled_(cancelled) {}
+
+Deadline Deadline::after(std::chrono::nanoseconds budget) {
+  Deadline d;
+  d.has_deadline_ = true;
+  d.at_ = std::chrono::steady_clock::now() + budget;
+  return d;
+}
+
+Deadline Deadline::at(std::chrono::steady_clock::time_point when) {
+  Deadline d;
+  d.has_deadline_ = true;
+  d.at_ = when;
+  return d;
+}
+
+Deadline Deadline::with_cancel(const std::atomic<bool>* cancel) const {
+  Deadline d = *this;
+  d.cancel_ = cancel;
+  return d;
+}
+
+bool Deadline::expired() const {
+  if (cancelled()) return true;
+  return has_deadline_ && std::chrono::steady_clock::now() >= at_;
+}
+
+void Deadline::check(const char* where) const {
+  if (cancelled()) throw DeadlineExceeded(where, /*cancelled=*/true);
+  if (has_deadline_ && std::chrono::steady_clock::now() >= at_)
+    throw DeadlineExceeded(where);
+}
+
+}  // namespace decompeval::util

@@ -1,0 +1,166 @@
+// Deterministic fault injection for chaos testing the pipeline and the
+// replication service.
+//
+// Every layer that must survive failure (multi-start fits, study shards,
+// snippet parsing, service requests) declares named *fault sites*. A
+// FaultPlan maps site names to firing schedules, and whether a given hit
+// of a site fires is a pure function of (plan seed, site name, hit index)
+// — probabilistic schedules draw from an Rng::split stream keyed on the
+// site and hit, never from shared mutable state — so a chaos run is
+// replayable bit-for-bit regardless of thread scheduling. Call sites that
+// have a natural deterministic index (a start index, a participant shard,
+// a snippet slot) pass it explicitly via raise_if/should_fire; serial
+// call sites without one (service request arrivals) use the per-site
+// atomic counter variants (raise_next/fire_next), which are deterministic
+// whenever the call order is.
+//
+// The same header carries the cooperative-cancellation Deadline used by
+// the service layer: long-running fitters call Deadline::check() at loop
+// checkpoints, which throws DeadlineExceeded once the wall-clock budget
+// is spent or a watchdog has flipped the cancel flag.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decompeval::util {
+
+/// When a fault site fires, as a pure function of the hit index.
+struct FaultSpec {
+  enum class Kind {
+    kNever,
+    kOnce,         ///< fire exactly at hit index `n`
+    kEveryNth,     ///< fire at hit indices n-1, 2n-1, ... (every n-th hit)
+    kAlways,
+    kProbability,  ///< fire with probability p, deterministic in (seed, site, hit)
+  };
+  Kind kind = Kind::kNever;
+  std::uint64_t n = 0;
+  double p = 0.0;
+
+  static FaultSpec never() { return {}; }
+  static FaultSpec once(std::uint64_t hit = 0) {
+    return {Kind::kOnce, hit, 0.0};
+  }
+  static FaultSpec every_nth(std::uint64_t n);
+  static FaultSpec always() { return {Kind::kAlways, 0, 0.0}; }
+  static FaultSpec probability(double p);
+
+  /// Human-readable schedule name ("never", "once@3", "every3", ...).
+  std::string describe() const;
+};
+
+/// Named fault sites with their schedules plus the seed of the
+/// probabilistic streams. Value type; build once, share const.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::uint64_t seed) : seed_(seed) {}
+
+  FaultPlan& set(std::string site, FaultSpec spec);
+  /// Schedule for `site`, or nullptr when the site is unlisted (never fires).
+  const FaultSpec* find(std::string_view site) const;
+
+  std::uint64_t seed() const { return seed_; }
+  bool empty() const { return sites_.empty(); }
+  /// Site names in lexicographic order (for reports).
+  std::vector<std::string> sites() const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::map<std::string, FaultSpec, std::less<>> sites_;
+};
+
+/// Thrown by a firing fault site. Treated as a *transient* failure by the
+/// layers above: retried, quarantined, or degraded — never fatal.
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(std::string_view site, std::uint64_t hit);
+  const std::string& site() const { return site_; }
+  std::uint64_t hit() const { return hit_; }
+
+ private:
+  std::string site_;
+  std::uint64_t hit_;
+};
+
+/// Plan plus per-site hit counters. The explicit-index queries are const
+/// and thread-safe by construction (pure functions); the counter variants
+/// serialize on an internal mutex.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// Pure decision: does hit `hit` of `site` fire under the plan?
+  bool should_fire(std::string_view site, std::uint64_t hit) const;
+
+  /// Throws FaultError iff should_fire(site, hit).
+  void raise_if(std::string_view site, std::uint64_t hit) const;
+
+  /// Counter variants for call sites without a natural index: each call
+  /// consumes the site's next hit index.
+  bool fire_next(std::string_view site);
+  void raise_next(std::string_view site);
+
+  /// Hits consumed so far by the counter variants (observability).
+  std::uint64_t hits(std::string_view site) const;
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  std::uint64_t take_hit(std::string_view site);
+
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+/// Thrown when a cooperative checkpoint finds the deadline spent or the
+/// request cancelled by a watchdog.
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  explicit DeadlineExceeded(const std::string& where, bool cancelled = false);
+  bool cancelled() const { return cancelled_; }
+
+ private:
+  bool cancelled_ = false;
+};
+
+/// Cooperative wall-clock budget. Default-constructed deadlines never
+/// expire; an attached cancel flag (set by the service watchdog) trips the
+/// deadline immediately. Cheap to copy — checkpoints read a time_point and
+/// one relaxed atomic load.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  static Deadline after(std::chrono::nanoseconds budget);
+  static Deadline at(std::chrono::steady_clock::time_point when);
+
+  /// Returns *this with the watchdog cancel flag attached.
+  Deadline with_cancel(const std::atomic<bool>* cancel) const;
+
+  bool has_deadline() const { return has_deadline_ || cancel_ != nullptr; }
+  bool cancelled() const {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
+  bool expired() const;
+
+  /// Checkpoint: throws DeadlineExceeded when expired or cancelled.
+  /// `where` names the checkpoint for the structured error message.
+  void check(const char* where) const;
+
+ private:
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point at_{};
+  const std::atomic<bool>* cancel_ = nullptr;
+};
+
+}  // namespace decompeval::util

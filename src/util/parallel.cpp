@@ -39,7 +39,11 @@ struct ThreadPool::Impl {
   std::size_t arrived = 0;  ///< workers checked in for `generation`
   std::size_t active_workers = 0;
   std::atomic<std::size_t> next_index{0};
+  // Lowest-index failure of the batch. Keying on the task index (not
+  // completion time) makes the rethrown exception deterministic: the same
+  // inputs rethrow the same error no matter how workers are scheduled.
   std::exception_ptr first_error;
+  std::size_t first_error_index = 0;
   bool shutting_down = false;
 
   std::vector<std::thread> workers;
@@ -55,7 +59,10 @@ struct ThreadPool::Impl {
         task(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(mutex);
-        if (!first_error) first_error = std::current_exception();
+        if (!first_error || i < first_error_index) {
+          first_error = std::current_exception();
+          first_error_index = i;
+        }
       }
     }
   }
@@ -112,7 +119,18 @@ void ThreadPool::parallel_for(std::size_t n,
   if (n == 0) return;
   if (!impl_) {
     // Serial fallback: identical call sequence, calling thread, index order.
-    for (std::size_t i = 0; i < n; ++i) fn(i);
+    // Mirrors the parallel error contract: the batch drains past a throwing
+    // index and the first failure (which in index order is the lowest) is
+    // rethrown after the last task.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
     return;
   }
   {
@@ -121,6 +139,7 @@ void ThreadPool::parallel_for(std::size_t n,
     impl_->n = n;
     impl_->next_index.store(0, std::memory_order_relaxed);
     impl_->first_error = nullptr;
+    impl_->first_error_index = 0;
     impl_->arrived = 0;
     ++impl_->generation;
   }

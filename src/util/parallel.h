@@ -51,9 +51,11 @@ class ThreadPool {
   /// Runs fn(0), ..., fn(n-1), blocking until all calls complete. Indices
   /// are claimed dynamically, so long and short tasks balance across
   /// workers. With thread_count() == 1 the calls run serially in index
-  /// order on the calling thread. If any call throws, the first exception
-  /// (by completion time) is rethrown here after the batch drains; the
-  /// remaining indices still run.
+  /// order on the calling thread. If any call throws, the exception of the
+  /// *lowest failing index* is rethrown here after the batch drains — a
+  /// deterministic choice, independent of worker scheduling, identical in
+  /// serial and parallel mode. The remaining indices still run; a worker
+  /// exception can never escape onto a pool thread (no std::terminate).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Order-preserving map: result[i] = fn(items[i], i). Results land in

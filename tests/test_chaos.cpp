@@ -1,0 +1,241 @@
+// Chaos suite (CTest label: chaos).
+//
+// Sweeps deterministic fault plans over every named fault site and
+// asserts the two system-wide guarantees:
+//   1. Faults disabled: the service front-end is bit-identical to the
+//      offline pipeline at threads 1, 2, and 4.
+//   2. Faults enabled: every request either succeeds (possibly after
+//      retry) or returns a structured degraded/error/timeout response —
+//      never a crash, a hang, or a partial write. Fault firing is a pure
+//      function of (seed, site, hit), so every degraded outcome replays
+//      bit-for-bit regardless of thread count.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/replication.h"
+#include "service/json.h"
+#include "service/service.h"
+#include "snippets/corpus_verifier.h"
+#include "snippets/snippet.h"
+#include "util/fault.h"
+#include "util/parallel.h"
+
+namespace {
+
+using namespace decompeval;
+using service::Json;
+using service::ServiceCore;
+using service::ServiceOptions;
+using util::FaultPlan;
+using util::FaultSpec;
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+const std::vector<std::pair<std::string, FaultSpec>>& schedules() {
+  static const std::vector<std::pair<std::string, FaultSpec>> kSchedules = {
+      {"never", FaultSpec::never()},
+      {"once@0", FaultSpec::once(0)},
+      {"every2", FaultSpec::every_nth(2)},
+      {"always", FaultSpec::always()},
+  };
+  return kSchedules;
+}
+
+Json replication_request(double threads, bool metrics) {
+  Json req = Json::object();
+  req.set("op", Json::string("run_replication"));
+  req.set("seed", Json::number(7));
+  req.set("threads", Json::number(threads));
+  req.set("run_models", Json::boolean(true));
+  req.set("run_metrics", Json::boolean(metrics));
+  req.set("corpus_sentences", Json::number(300));
+  req.set("no_cache", Json::boolean(true));
+  return req;
+}
+
+TEST(Chaos, ServiceMatchesOfflinePipelineBitForBit) {
+  // Offline reference: the plain library call, no service in sight.
+  core::ReplicationConfig config;
+  config.seed = 7;
+  config.run_metrics = false;
+  const core::ReplicationReport offline = core::run_replication(config);
+  ASSERT_FALSE(offline.degraded);
+  char expected[20];
+  std::snprintf(expected, sizeof expected, "%016llx",
+                static_cast<unsigned long long>(fnv1a(offline.rendered)));
+
+  // The fault-free service must reproduce it exactly at every thread
+  // count — same digest of the same rendered bytes.
+  for (const double threads : {1.0, 2.0, 4.0}) {
+    ServiceCore core;
+    const Json r = core.handle(replication_request(threads, false));
+    ASSERT_EQ(r.get_string("status", ""), "ok") << "threads=" << threads;
+    EXPECT_EQ(r.get_string("digest", ""), expected) << "threads=" << threads;
+  }
+}
+
+TEST(Chaos, FaultPlanSweepNeverCrashesOrHangsTheService) {
+  struct SiteCase {
+    const char* site;
+    const char* op;          // request op exercising the site
+    bool metrics = false;
+  };
+  const std::vector<SiteCase> cases = {
+      {"study.shard", "run_study"},
+      {"mixed.start", "run_replication"},
+      {"service.request", "run_study"},
+      {"service.stall", "run_study"},
+      {"replication.metrics", "run_replication", true},
+  };
+
+  for (const SiteCase& c : cases) {
+    for (const auto& [schedule_name, spec] : schedules()) {
+      ServiceOptions options;
+      options.fault_plan.set(c.site, spec);
+      options.backoff_initial_ms = 0.0;
+      options.stall_max_ms = 20;  // keep unwatched stalls brief
+      ServiceCore core(options);
+      const std::string label =
+          std::string(c.site) + " x " + schedule_name;
+
+      for (int i = 0; i < 2; ++i) {
+        Json req;
+        if (std::string(c.op) == "run_study") {
+          req = Json::object();
+          req.set("op", Json::string("run_study"));
+          req.set("seed", Json::number(7));
+          req.set("no_cache", Json::boolean(true));
+        } else {
+          req = replication_request(1, c.metrics);
+        }
+        const Json r = core.handle(req);
+        const std::string status = r.get_string("status", "");
+        // Every outcome is structured; nothing crashes or hangs.
+        EXPECT_TRUE(status == "ok" || status == "degraded" ||
+                    status == "error" || status == "deadline_exceeded")
+            << label << " gave '" << status << "'";
+        if (status == "degraded") {
+          EXPECT_NE(r.get("notes"), nullptr) << label;
+        }
+        if (status == "error") {
+          EXPECT_FALSE(r.get_string("error", "").empty()) << label;
+        }
+      }
+      // The core answers control traffic after every plan.
+      Json ping = Json::object();
+      ping.set("op", Json::string("ping"));
+      EXPECT_EQ(core.handle(ping).get_string("status", ""), "ok") << label;
+    }
+  }
+}
+
+TEST(Chaos, DegradedStudyReplaysBitForBitAcrossThreadCounts) {
+  // Fault firing is keyed on the participant index, not on scheduling, so
+  // the same plan drops the same shards at every thread count.
+  FaultPlan plan(5);
+  plan.set("study.shard", FaultSpec::every_nth(5));
+  const util::FaultInjector faults(plan);
+
+  std::vector<std::vector<std::size_t>> failed;
+  std::vector<std::size_t> n_responses;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    study::StudyConfig config;
+    config.seed = 7;
+    config.threads = threads;
+    config.faults = &faults;
+    const study::StudyData data = study::run_study(config);
+    EXPECT_TRUE(data.degraded);
+    failed.push_back(data.failed_shards);
+    n_responses.push_back(data.responses.size());
+    ASSERT_EQ(data.failed_shards.size(), data.degradation_notes.size());
+  }
+  EXPECT_EQ(failed[0], failed[1]);
+  EXPECT_EQ(failed[0], failed[2]);
+  EXPECT_EQ(n_responses[0], n_responses[1]);
+  EXPECT_EQ(n_responses[0], n_responses[2]);
+}
+
+TEST(Chaos, SnippetParseFaultsBecomeStructuredDiagnostics) {
+  const std::vector<snippets::Snippet> pool = snippets::study_snippets();
+  for (const auto& [schedule_name, spec] : schedules()) {
+    FaultPlan plan;
+    plan.set("snippets.parse", spec);
+    const util::FaultInjector faults(plan);
+    for (const std::size_t threads : {1u, 2u}) {
+      snippets::CorpusVerifyOptions options;
+      options.threads = threads;
+      options.faults = &faults;
+      const auto results = snippets::verify_corpus(pool, options);
+      ASSERT_EQ(results.size(), pool.size());
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const bool should_fail = faults.should_fire("snippets.parse", i);
+        EXPECT_EQ(!results[i].parse_errors.empty(), should_fail)
+            << schedule_name << " snippet " << i;
+        if (should_fail) {
+          EXPECT_EQ(results[i].parse_errors[0].variant, "injected");
+          EXPECT_FALSE(results[i].clean());
+        } else {
+          EXPECT_TRUE(results[i].clean())
+              << schedule_name << " snippet " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(Chaos, ParallelTaskFaultsSurfaceLowestIndexFirst) {
+  // Worker exceptions (here: injected task faults) are captured and the
+  // lowest failing index is rethrown on the caller — deterministically,
+  // at every thread count, never via std::terminate.
+  FaultPlan plan;
+  plan.set("parallel.task", FaultSpec::every_nth(3));  // fires 2, 5, 8...
+  const util::FaultInjector faults(plan);
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    for (int round = 0; round < 10; ++round) {
+      try {
+        util::parallel_for(threads, 32, [&](std::size_t i) {
+          faults.raise_if("parallel.task", i);
+        });
+        FAIL() << "expected a FaultError";
+      } catch (const util::FaultError& e) {
+        EXPECT_EQ(e.site(), "parallel.task");
+        EXPECT_EQ(e.hit(), 2u) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(Chaos, AllStartsQuarantinedDegradesTheModelTables) {
+  ServiceOptions options;
+  options.fault_plan.set("mixed.start", FaultSpec::always());
+  ServiceCore core(options);
+  const Json r = core.handle(replication_request(1, false));
+  ASSERT_EQ(r.get_string("status", ""), "degraded");
+  const Json* notes = r.get("notes");
+  ASSERT_NE(notes, nullptr);
+  bool table1_dropped = false, table2_dropped = false;
+  for (const Json& n : notes->items()) {
+    table1_dropped = table1_dropped ||
+                     n.as_string().find("Table I ") != std::string::npos;
+    table2_dropped = table2_dropped ||
+                     n.as_string().find("Table II ") != std::string::npos;
+  }
+  EXPECT_TRUE(table1_dropped);
+  EXPECT_TRUE(table2_dropped);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Fault-injection substrate contracts: firing is a pure function of
+// (plan seed, site, hit index), schedules behave as documented, and the
+// cooperative Deadline trips on budget expiry and watchdog cancellation.
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/fault.h"
+
+namespace {
+
+using namespace decompeval::util;
+
+TEST(FaultSpec, DescribesSchedules) {
+  EXPECT_EQ(FaultSpec::never().describe(), "never");
+  EXPECT_EQ(FaultSpec::once(3).describe(), "once@3");
+  EXPECT_EQ(FaultSpec::every_nth(2).describe(), "every2");
+  EXPECT_EQ(FaultSpec::always().describe(), "always");
+}
+
+TEST(FaultPlan, UnlistedSitesNeverFire) {
+  FaultPlan plan(99);
+  plan.set("a.site", FaultSpec::always());
+  const FaultInjector inj(plan);
+  for (std::uint64_t hit = 0; hit < 20; ++hit) {
+    EXPECT_TRUE(inj.should_fire("a.site", hit));
+    EXPECT_FALSE(inj.should_fire("other.site", hit));
+  }
+}
+
+TEST(FaultInjector, OnceFiresExactlyAtItsHit) {
+  FaultPlan plan;
+  plan.set("s", FaultSpec::once(4));
+  const FaultInjector inj(plan);
+  for (std::uint64_t hit = 0; hit < 12; ++hit)
+    EXPECT_EQ(inj.should_fire("s", hit), hit == 4) << hit;
+}
+
+TEST(FaultInjector, EveryNthFiresOnTheNthHit) {
+  FaultPlan plan;
+  plan.set("s", FaultSpec::every_nth(3));
+  const FaultInjector inj(plan);
+  std::vector<std::uint64_t> fired;
+  for (std::uint64_t hit = 0; hit < 9; ++hit)
+    if (inj.should_fire("s", hit)) fired.push_back(hit);
+  EXPECT_EQ(fired, (std::vector<std::uint64_t>{2, 5, 8}));
+}
+
+TEST(FaultInjector, ProbabilityIsPureInSeedSiteAndHit) {
+  FaultPlan plan(1234);
+  plan.set("s", FaultSpec::probability(0.5));
+  const FaultInjector a(plan), b(plan);
+  int fired = 0;
+  for (std::uint64_t hit = 0; hit < 200; ++hit) {
+    EXPECT_EQ(a.should_fire("s", hit), b.should_fire("s", hit)) << hit;
+    fired += a.should_fire("s", hit) ? 1 : 0;
+  }
+  // Roughly half fire; exact count is fixed by the seed.
+  EXPECT_GT(fired, 60);
+  EXPECT_LT(fired, 140);
+
+  // A different plan seed reshuffles the firing pattern.
+  FaultPlan other(4321);
+  other.set("s", FaultSpec::probability(0.5));
+  const FaultInjector c(other);
+  bool any_difference = false;
+  for (std::uint64_t hit = 0; hit < 200; ++hit)
+    any_difference = any_difference ||
+                     (a.should_fire("s", hit) != c.should_fire("s", hit));
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultInjector, RaiseIfThrowsStructuredFaultError) {
+  FaultPlan plan;
+  plan.set("mixed.start", FaultSpec::once(1));
+  const FaultInjector inj(plan);
+  EXPECT_NO_THROW(inj.raise_if("mixed.start", 0));
+  try {
+    inj.raise_if("mixed.start", 1);
+    FAIL() << "expected FaultError";
+  } catch (const FaultError& e) {
+    EXPECT_EQ(e.site(), "mixed.start");
+    EXPECT_EQ(e.hit(), 1u);
+  }
+}
+
+TEST(FaultInjector, CounterVariantsConsumeSequentialHits) {
+  FaultPlan plan;
+  plan.set("s", FaultSpec::every_nth(2));
+  FaultInjector inj(plan);
+  EXPECT_FALSE(inj.fire_next("s"));  // hit 0
+  EXPECT_TRUE(inj.fire_next("s"));   // hit 1
+  EXPECT_FALSE(inj.fire_next("s"));  // hit 2
+  EXPECT_TRUE(inj.fire_next("s"));   // hit 3
+  EXPECT_EQ(inj.hits("s"), 4u);
+  EXPECT_EQ(inj.hits("unused"), 0u);
+}
+
+TEST(FaultInjector, CounterIsThreadSafe) {
+  FaultPlan plan;
+  plan.set("s", FaultSpec::every_nth(2));
+  FaultInjector inj(plan);
+  std::atomic<int> fired{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t)
+    threads.emplace_back([&] {
+      for (int i = 0; i < 250; ++i)
+        if (inj.fire_next("s")) ++fired;
+    });
+  for (auto& t : threads) t.join();
+  // 1000 hits, every 2nd fires: exactly 500 regardless of interleaving.
+  EXPECT_EQ(inj.hits("s"), 1000u);
+  EXPECT_EQ(fired.load(), 500);
+}
+
+TEST(Deadline, DefaultNeverExpires) {
+  const Deadline d;
+  EXPECT_FALSE(d.has_deadline());
+  EXPECT_FALSE(d.expired());
+  EXPECT_NO_THROW(d.check("anywhere"));
+}
+
+TEST(Deadline, ExpiresAfterItsBudget) {
+  const Deadline d = Deadline::after(std::chrono::nanoseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_TRUE(d.expired());
+  try {
+    d.check("unit test");
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_FALSE(e.cancelled());
+    EXPECT_NE(std::string(e.what()).find("unit test"), std::string::npos);
+  }
+}
+
+TEST(Deadline, GenerousBudgetDoesNotTrip) {
+  const Deadline d = Deadline::after(std::chrono::hours(1));
+  EXPECT_TRUE(d.has_deadline());
+  EXPECT_FALSE(d.expired());
+  EXPECT_NO_THROW(d.check("fast path"));
+}
+
+TEST(Deadline, WatchdogCancelTripsImmediately) {
+  std::atomic<bool> cancel{false};
+  const Deadline d =
+      Deadline::after(std::chrono::hours(1)).with_cancel(&cancel);
+  EXPECT_NO_THROW(d.check("before cancel"));
+  cancel.store(true);
+  try {
+    d.check("after cancel");
+    FAIL() << "expected DeadlineExceeded";
+  } catch (const DeadlineExceeded& e) {
+    EXPECT_TRUE(e.cancelled());
+  }
+}
+
+}  // namespace

@@ -27,6 +27,7 @@
 
 #include "mixed/glmm.h"
 #include "mixed/lmm.h"
+#include "mixed/moment_starts.h"
 
 namespace {
 
@@ -186,11 +187,17 @@ double pooled_glm_deviance(const double* y, const double* x1, std::size_t n) {
   return dev;
 }
 
+// The default search is 8 jittered candidates plus the two moment-based
+// ANOVA starts (candidates 8 and 9) appended by the fitters.
+constexpr std::size_t kDefaultStarts = 10;
+
 void expect_report_consistent(const mixed::MultiStartReport& report,
                               double winning_value) {
-  EXPECT_EQ(report.n_starts, 8u);
-  ASSERT_EQ(report.start_values.size(), 8u);
-  ASSERT_LT(report.best_start, 8u);
+  EXPECT_EQ(report.n_starts, kDefaultStarts);
+  ASSERT_EQ(report.start_values.size(), kDefaultStarts);
+  ASSERT_EQ(report.start_evaluations.size(), kDefaultStarts);
+  ASSERT_LT(report.best_start, kDefaultStarts);
+  EXPECT_TRUE(report.quarantined.empty());
   const double best = *std::min_element(report.start_values.begin(),
                                         report.start_values.end());
   EXPECT_DOUBLE_EQ(report.start_values[report.best_start], best);
@@ -287,6 +294,62 @@ TEST(OracleGlmm, MultiStartNeverWorseThanSingleStart) {
   const mixed::GlmmFit many = mixed::fit_logistic_glmm(data);
   EXPECT_LE(many.deviance, one.deviance + 1e-9);
   expect_report_consistent(many.multi_start, many.deviance);
+}
+
+// ---------------------------------------------------------------------------
+// Moment-based starts (candidates 8-9) vs. the same ANOVA closed forms.
+// ---------------------------------------------------------------------------
+
+TEST(MomentStarts, LmmCandidateMatchesBalancedAnovaClosedForms) {
+  const auto data = balanced_lmm_data();
+  const AnovaOracle oracle = balanced_anova(kLmmY, kLmmUsers, kLmmQuestions);
+  const auto starts = mixed::moment_theta_starts(data, false);
+  ASSERT_EQ(starts.size(), 2u);
+  ASSERT_EQ(starts[0].size(), 2u);
+  // On a balanced intercept-only design the cell-mean decomposition *is*
+  // the two-way ANOVA, so candidate 0 equals the closed-form theta ratios.
+  EXPECT_NEAR(starts[0][0], oracle.sigma_user / oracle.sigma_residual, 1e-8);
+  EXPECT_NEAR(starts[0][1],
+              oracle.sigma_question / oracle.sigma_residual, 1e-8);
+  // Candidate 1 is the geometric midpoint with the heuristic start (1, 1).
+  EXPECT_NEAR(starts[1][0], std::sqrt(starts[0][0]), 1e-12);
+  EXPECT_NEAR(starts[1][1], std::sqrt(starts[0][1]), 1e-12);
+}
+
+TEST(MomentStarts, LmmIterationCountsDoNotRegress) {
+  const auto data = balanced_lmm_data();
+  mixed::FitOptions without;
+  without.moment_starts = false;
+  const mixed::LmmFit base = mixed::fit_lmm(data, without);
+  const mixed::LmmFit with = mixed::fit_lmm(data);
+  // Adding candidates can only improve (or tie) the criterion ...
+  EXPECT_LE(with.reml_criterion, base.reml_criterion + 1e-9);
+  ASSERT_EQ(with.multi_start.start_evaluations.size(), kDefaultStarts);
+  ASSERT_EQ(base.multi_start.start_evaluations.size(), 8u);
+  // ... leaves the original candidates' searches untouched ...
+  for (std::size_t k = 0; k < 8; ++k)
+    EXPECT_EQ(with.multi_start.start_evaluations[k],
+              base.multi_start.start_evaluations[k]);
+  // ... and the moment start, sitting near the optimum, converges in
+  // about the evaluations of the heuristic start 0 or fewer (+5 absorbs
+  // simplex tie-breaking noise without masking a real regression).
+  EXPECT_LE(with.multi_start.start_evaluations[8],
+            with.multi_start.start_evaluations[0] + 5);
+}
+
+TEST(MomentStarts, GlmmIterationCountsDoNotRegress) {
+  const auto data = glmm_data();
+  mixed::FitOptions without;
+  without.moment_starts = false;
+  const mixed::GlmmFit base = mixed::fit_logistic_glmm(data, without);
+  const mixed::GlmmFit with = mixed::fit_logistic_glmm(data);
+  EXPECT_LE(with.deviance, base.deviance + 1e-9);
+  ASSERT_EQ(with.multi_start.start_evaluations.size(), kDefaultStarts);
+  for (std::size_t k = 0; k < 8; ++k)
+    EXPECT_EQ(with.multi_start.start_evaluations[k],
+              base.multi_start.start_evaluations[k]);
+  EXPECT_LE(with.multi_start.start_evaluations[8],
+            with.multi_start.start_evaluations[0] + 5);
 }
 
 }  // namespace

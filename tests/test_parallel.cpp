@@ -85,6 +85,47 @@ TEST(ThreadPool, SerialModePropagatesExceptionsToo) {
                std::logic_error);
 }
 
+TEST(ThreadPool, RethrowsTheLowestFailingIndexDeterministically) {
+  // Regression: with several failing tasks, whichever worker reported
+  // *first* used to win, so the surfaced exception depended on thread
+  // scheduling. The contract is now first-by-index: identical at every
+  // thread count, serial mode included.
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    for (int round = 0; round < 25; ++round) {
+      std::string surfaced;
+      try {
+        pool.parallel_for(64, [](std::size_t i) {
+          if (i == 7 || i == 8 || i == 40 || i == 63)
+            throw std::runtime_error("task " + std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+      } catch (const std::runtime_error& e) {
+        surfaced = e.what();
+      }
+      EXPECT_EQ(surfaced, "task 7") << "threads=" << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, SerialModeDrainsPastTheFailingIndex) {
+  // Serial mode must match the parallel drain contract: every index runs
+  // even after one throws, and the first failing index's exception wins.
+  ThreadPool pool(1);
+  std::vector<int> hits(6, 0);
+  std::string surfaced;
+  try {
+    pool.parallel_for(6, [&](std::size_t i) {
+      ++hits[i];
+      if (i == 1 || i == 4) throw std::runtime_error("idx " + std::to_string(i));
+    });
+  } catch (const std::runtime_error& e) {
+    surfaced = e.what();
+  }
+  EXPECT_EQ(surfaced, "idx 1");
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
 TEST(ThreadPool, LateWorkersCannotLeakIntoTheNextBatch) {
   // Regression: a worker still asleep when a batch drained used to wake
   // during the next publish and claim indices with the previous batch's

@@ -1,0 +1,302 @@
+// Service-layer tests: the JSON wire format, ServiceCore request handling
+// (statuses, retries, caching, deadlines), and the Unix-domain-socket
+// server round trip including watchdog cancellation and backpressure.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/replication.h"
+#include "service/json.h"
+#include "service/server.h"
+#include "service/service.h"
+#include "util/fault.h"
+
+namespace {
+
+using namespace decompeval;
+using service::Json;
+using service::ReplicationServer;
+using service::ServerOptions;
+using service::ServiceClient;
+using service::ServiceCore;
+using service::ServiceOptions;
+
+std::string unique_socket_path(const char* tag) {
+  // Short (sun_path is ~108 bytes) and unique per test process.
+  return "/tmp/decompeval-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+Json make_request(const char* op) {
+  Json r = Json::object();
+  r.set("op", Json::string(op));
+  return r;
+}
+
+// -- JSON ------------------------------------------------------------------
+
+TEST(Json, DumpParseRoundTrip) {
+  Json obj = Json::object();
+  obj.set("s", Json::string("line\n\"quoted\"\\"));
+  obj.set("n", Json::number(68));
+  obj.set("pi", Json::number(3.141592653589793));
+  obj.set("t", Json::boolean(true));
+  obj.set("z", Json());
+  Json arr = Json::array();
+  arr.push_back(Json::number(1));
+  arr.push_back(Json::string("two"));
+  obj.set("a", arr);
+
+  const std::string text = obj.dump();
+  EXPECT_EQ(text.find('\n'), std::string::npos);  // single line, always
+  const Json back = Json::parse(text);
+  EXPECT_EQ(back.get_string("s", ""), "line\n\"quoted\"\\");
+  EXPECT_EQ(back.get_number("n", 0), 68);
+  EXPECT_EQ(back.get_number("pi", 0), 3.141592653589793);
+  EXPECT_TRUE(back.get_bool("t", false));
+  EXPECT_TRUE(back.get("z")->is_null());
+  EXPECT_EQ(back.get("a")->items().size(), 2u);
+  // dump is deterministic: re-dumping the parse is byte-identical.
+  EXPECT_EQ(back.dump(), text);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), service::JsonError);
+  EXPECT_THROW(Json::parse("{"), service::JsonError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), service::JsonError);
+  EXPECT_THROW(Json::parse("[1,2,]"), service::JsonError);
+  EXPECT_THROW(Json::parse("\"unterminated"), service::JsonError);
+  EXPECT_THROW(Json::parse("1.5 garbage"), service::JsonError);
+  EXPECT_THROW(Json::parse("nul"), service::JsonError);
+}
+
+TEST(Json, ObjectSetReplacesInPlace) {
+  Json obj = Json::object();
+  obj.set("k", Json::number(1));
+  obj.set("other", Json::number(2));
+  obj.set("k", Json::number(3));
+  EXPECT_EQ(obj.get_number("k", 0), 3);
+  EXPECT_EQ(obj.members().size(), 2u);
+  EXPECT_EQ(obj.members()[0].first, "k");  // order preserved on replace
+}
+
+// -- ServiceCore -----------------------------------------------------------
+
+TEST(ServiceCore, PingAndStats) {
+  ServiceCore core;
+  const Json pong = core.handle(make_request("ping"));
+  EXPECT_EQ(pong.get_string("status", ""), "ok");
+  EXPECT_EQ(pong.get_string("op", ""), "ping");
+  EXPECT_EQ(pong.get_string("version", ""), core::version());
+
+  const Json stats = core.handle(make_request("stats"));
+  EXPECT_EQ(stats.get_string("status", ""), "ok");
+  EXPECT_EQ(stats.get_number("requests", 0), 2);  // ping + this stats call
+  EXPECT_EQ(stats.get_number("ok", 0), 1);        // the ping
+}
+
+TEST(ServiceCore, RejectsMalformedRequests) {
+  ServiceCore core;
+  EXPECT_EQ(core.handle(Json::number(5)).get_string("status", ""),
+            "bad_request");
+  EXPECT_EQ(core.handle(Json::object()).get_string("status", ""),
+            "bad_request");
+  const Json unknown = core.handle(make_request("fly_to_the_moon"));
+  EXPECT_EQ(unknown.get_string("status", ""), "bad_request");
+  EXPECT_NE(unknown.get_string("error", "").find("fly_to_the_moon"),
+            std::string::npos);
+}
+
+TEST(ServiceCore, RunStudyIsBitIdenticalAcrossThreadCounts) {
+  std::vector<std::string> digests;
+  for (const double threads : {1.0, 2.0, 4.0}) {
+    ServiceCore core;  // fresh core: no cache crossover between counts
+    Json req = make_request("run_study");
+    req.set("seed", Json::number(7));
+    req.set("threads", Json::number(threads));
+    const Json r = core.handle(req);
+    ASSERT_EQ(r.get_string("status", ""), "ok");
+    digests.push_back(r.get_string("digest", ""));
+    EXPECT_GT(r.get_number("responses", 0), 0);
+  }
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(digests[0], digests[2]);
+}
+
+TEST(ServiceCore, CachesOkResultsPerSeed) {
+  ServiceCore core;
+  Json req = make_request("run_study");
+  req.set("seed", Json::number(11));
+  const Json first = core.handle(req);
+  const Json second = core.handle(req);
+  EXPECT_EQ(first.get_string("digest", ""), second.get_string("digest", ""));
+  EXPECT_EQ(core.stats().cache_hits, 1u);
+
+  // A different seed is a different cache line.
+  req.set("seed", Json::number(12));
+  const Json third = core.handle(req);
+  EXPECT_EQ(core.stats().cache_hits, 1u);
+  EXPECT_NE(third.get_string("digest", ""), first.get_string("digest", ""));
+}
+
+TEST(ServiceCore, DegradedStudyCarriesNotesAndIsNeverCached) {
+  ServiceOptions options;
+  options.fault_plan.set("study.shard", util::FaultSpec::once(2));
+  ServiceCore core(options);
+  Json req = make_request("run_study");
+  req.set("seed", Json::number(7));
+  const Json r = core.handle(req);
+  EXPECT_EQ(r.get_string("status", ""), "degraded");
+  ASSERT_NE(r.get("notes"), nullptr);
+  ASSERT_EQ(r.get("failed_shards")->items().size(), 1u);
+  EXPECT_NE(r.get("notes")->items()[0].as_string().find("shard dropped"),
+            std::string::npos);
+
+  // Degraded results must be recomputed, never served from cache.
+  core.handle(req);
+  EXPECT_EQ(core.stats().cache_hits, 0u);
+  EXPECT_EQ(core.stats().degraded, 2u);
+}
+
+TEST(ServiceCore, TransientRequestFaultIsRetriedToSuccess) {
+  ServiceOptions options;
+  // every_nth(2) fires hits 1, 3, 5... Request 1 uses hit 0 (clean);
+  // request 2 faults on hit 1 and succeeds on the hit-2 retry.
+  options.fault_plan.set("service.request", util::FaultSpec::every_nth(2));
+  options.backoff_initial_ms = 0.0;
+  ServiceCore core(options);
+  Json req = make_request("run_study");
+  req.set("no_cache", Json::boolean(true));
+  EXPECT_EQ(core.handle(req).get_string("status", ""), "ok");
+  EXPECT_EQ(core.stats().retries, 0u);
+  EXPECT_EQ(core.handle(req).get_string("status", ""), "ok");
+  EXPECT_EQ(core.stats().retries, 1u);
+}
+
+TEST(ServiceCore, RetryBudgetExhaustionIsAStructuredError) {
+  ServiceOptions options;
+  options.fault_plan.set("service.request", util::FaultSpec::always());
+  options.backoff_initial_ms = 0.0;
+  options.max_attempts = 3;
+  ServiceCore core(options);
+  const Json r = core.handle(make_request("run_study"));
+  EXPECT_EQ(r.get_string("status", ""), "error");
+  EXPECT_EQ(r.get_number("attempts", 0), 3);
+  EXPECT_NE(r.get_string("error", "").find("retry budget exhausted"),
+            std::string::npos);
+  EXPECT_EQ(core.stats().retries, 2u);
+  // The core is still healthy for fault-free ops.
+  EXPECT_EQ(core.handle(make_request("ping")).get_string("status", ""), "ok");
+}
+
+// -- deadlines -------------------------------------------------------------
+
+TEST(Deadlines, ExpiredDeadlineRejectsWithoutTouchingModelState) {
+  // An already-expired deadline must be a pure rejection: run_replication
+  // throws at the entry checkpoint before any pipeline stage runs.
+  core::ReplicationConfig config;
+  config.deadline = util::Deadline::after(std::chrono::nanoseconds(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_THROW(core::run_replication(config), util::DeadlineExceeded);
+}
+
+TEST(Deadlines, MillisecondServiceDeadlineIsAStructuredTimeout) {
+  ServiceCore core;
+  Json req = make_request("run_replication");
+  req.set("deadline_ms", Json::number(1));
+  req.set("seed", Json::number(7));
+  const Json r = core.handle(req);
+  EXPECT_EQ(r.get_string("status", ""), "deadline_exceeded");
+  EXPECT_EQ(r.get("digest"), nullptr);  // no partial payload
+  // The core stays healthy afterwards.
+  EXPECT_EQ(core.handle(make_request("ping")).get_string("status", ""), "ok");
+  EXPECT_EQ(core.stats().deadline_exceeded, 1u);
+}
+
+// -- UDS server ------------------------------------------------------------
+
+TEST(ReplicationServerTest, RoundTripsRequestsOverTheSocket) {
+  ServerOptions options;
+  options.socket_path = unique_socket_path("rt");
+  ReplicationServer server(options);
+  server.start();
+
+  ServiceClient client;
+  client.connect(server.socket_path());
+  const Json pong = client.call(make_request("ping"));
+  EXPECT_EQ(pong.get_string("status", ""), "ok");
+
+  Json req = make_request("run_study");
+  req.set("seed", Json::number(7));
+  const Json study = client.call(req);
+  EXPECT_EQ(study.get_string("status", ""), "ok");
+  EXPECT_FALSE(study.get_string("digest", "").empty());
+
+  // The connection keeps serving after a pipeline request.
+  const Json after = client.call(make_request("ping"));
+  EXPECT_EQ(after.get_string("status", ""), "ok");
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ReplicationServerTest, ShutdownOpStopsTheServer) {
+  ServerOptions options;
+  options.socket_path = unique_socket_path("sd");
+  ReplicationServer server(options);
+  server.start();
+  ServiceClient client;
+  client.connect(server.socket_path());
+  const Json r = client.call(make_request("shutdown"));
+  EXPECT_EQ(r.get_string("status", ""), "ok");
+  for (int i = 0; i < 200 && server.running(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ReplicationServerTest, WatchdogCancelsStalledRequests) {
+  ServerOptions options;
+  options.socket_path = unique_socket_path("wd");
+  options.watchdog_ms = 30;
+  // Only the first pipeline request stalls; the follow-up is clean.
+  options.service.fault_plan.set("service.stall", util::FaultSpec::once(0));
+  options.service.stall_max_ms = 5000;  // far beyond the watchdog
+  ReplicationServer server(options);
+  server.start();
+
+  ServiceClient client;
+  client.connect(server.socket_path());
+  Json req = make_request("run_study");
+  req.set("seed", Json::number(7));
+  const Json stalled = client.call(req);
+  EXPECT_EQ(stalled.get_string("status", ""), "deadline_exceeded");
+  EXPECT_TRUE(stalled.get_bool("cancelled", false));
+
+  // The worker is free again: the same request now completes.
+  const Json clean = client.call(req);
+  EXPECT_EQ(clean.get_string("status", ""), "ok");
+  server.stop();
+}
+
+TEST(ReplicationServerTest, FullQueueAnswersOverloadedWithRetryHint) {
+  ServerOptions options;
+  options.socket_path = unique_socket_path("bp");
+  options.max_queue = 0;  // degenerate bound: every request is backpressured
+  options.retry_after_ms = 40;
+  ReplicationServer server(options);
+  server.start();
+  ServiceClient client;
+  client.connect(server.socket_path());
+  const Json r = client.call(make_request("ping"));
+  EXPECT_EQ(r.get_string("status", ""), "overloaded");
+  EXPECT_EQ(r.get_number("retry_after_ms", 0), 40);
+  server.stop();
+}
+
+}  // namespace

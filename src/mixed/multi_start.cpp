@@ -20,7 +20,6 @@ std::vector<std::vector<double>> multi_start_points(
   DE_EXPECTS(options.theta_scale_max >= options.theta_scale_min);
 
   std::vector<std::vector<double>> starts;
-  starts.reserve(static_cast<std::size_t>(options.n_starts));
   starts.reserve(static_cast<std::size_t>(options.n_starts) +
                  options.extra_theta_starts.size());
   starts.push_back(x0);

@@ -274,7 +274,20 @@ class Parser {
     }
   }
 
+  // Recursion guard: parse_value() recurses once per container level, so
+  // a hostile "[[[[..." line would otherwise overflow the stack instead of
+  // surfacing as bad_request.
+  static constexpr std::size_t kMaxDepth = 128;
+
   Json parse_value() {
+    if (depth_ >= kMaxDepth) fail("nesting too deep");
+    ++depth_;
+    Json v = parse_value_impl();
+    --depth_;
+    return v;
+  }
+
+  Json parse_value_impl() {
     skip_ws();
     const char c = peek();
     if (c == '{') {
@@ -345,6 +358,7 @@ class Parser {
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

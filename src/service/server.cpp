@@ -17,11 +17,14 @@ namespace {
 
 // Writes the whole buffer, retrying on short writes/EINTR. Returns false
 // when the peer is gone (any other error) — callers just drop the
-// connection; the protocol has no half-written recovery.
+// connection; the protocol has no half-written recovery. MSG_NOSIGNAL:
+// a peer that disconnected mid-request must surface as EPIPE here, not
+// as a process-killing SIGPIPE.
 bool write_all(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
-    const ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -38,6 +41,18 @@ Json overloaded_response(double retry_after_ms) {
   r.set("retry_after_ms", Json::number(retry_after_ms));
   return r;
 }
+
+Json shutdown_error_response() {
+  Json r = Json::object();
+  r.set("status", Json::string("error"));
+  r.set("error", Json::string("server shutting down"));
+  return r;
+}
+
+// A request line (and therefore the per-connection read buffer) may not
+// exceed this; a client streaming bytes without a newline gets a
+// bad_request instead of exhausting server memory.
+constexpr std::size_t kMaxLineBytes = 4u << 20;
 
 }  // namespace
 
@@ -118,19 +133,40 @@ void ReplicationServer::do_stop() {
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
   {
-    // Cancel in-flight work so stop() does not wait out a long fit; those
-    // requests answer with a structured deadline_exceeded, not silence.
+    // Cancel in-flight AND still-queued work so stop() does not wait out
+    // long fits; those requests answer with a structured
+    // deadline_exceeded, not silence. (Workers drain the queue before
+    // exiting, so queued items are processed — just instantly cancelled.)
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     for (const auto& pending : in_flight_)
       pending->cancel->store(true, std::memory_order_relaxed);
+    for (const auto& pending : queue_)
+      pending->cancel->store(true, std::memory_order_relaxed);
   }
   queue_cv_.notify_all();
+
+  // Unanswered queued requests get a structured shutdown error so no
+  // client hangs on a promise that will never be fulfilled.
+  const auto fail_queued = [this] {
+    std::deque<std::shared_ptr<PendingRequest>> leftovers;
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      leftovers.swap(queue_);
+    }
+    for (const auto& pending : leftovers)
+      pending->reply.set_value(shutdown_error_response());
+  };
 
   if (accept_thread_.joinable()) accept_thread_.join();
   for (std::thread& t : worker_threads_)
     if (t.joinable()) t.join();
   worker_threads_.clear();
   if (watchdog_thread_.joinable()) watchdog_thread_.join();
+  // Drain BEFORE joining connection threads: a connection blocked in
+  // reply.get() on a request the retired workers will never pop must be
+  // answered now, or the join below deadlocks. (New enqueues are already
+  // impossible — connection_loop re-checks running_ under queue_mutex_.)
+  fail_queued();
   {
     const std::lock_guard<std::mutex> lock(conn_mutex_);
     for (std::thread& t : conn_threads_)
@@ -139,20 +175,7 @@ void ReplicationServer::do_stop() {
     for (const int fd : conn_fds_) ::close(fd);
     conn_fds_.clear();
   }
-
-  // Unanswered queued requests get a structured shutdown error so no
-  // client hangs on a promise that will never be fulfilled.
-  std::deque<std::shared_ptr<PendingRequest>> leftovers;
-  {
-    const std::lock_guard<std::mutex> lock(queue_mutex_);
-    leftovers.swap(queue_);
-  }
-  for (const auto& pending : leftovers) {
-    Json r = Json::object();
-    r.set("status", Json::string("error"));
-    r.set("error", Json::string("server shutting down"));
-    pending->reply.set_value(std::move(r));
-  }
+  fail_queued();  // defensive: nothing can enqueue after the joins
 
   ::unlink(options_.socket_path.c_str());
 }
@@ -182,6 +205,13 @@ void ReplicationServer::connection_loop(int fd) {
   while (running_.load()) {
     const std::size_t newline = buffer.find('\n');
     if (newline == std::string::npos) {
+      if (buffer.size() > kMaxLineBytes) {
+        Json r = Json::object();
+        r.set("status", Json::string("bad_request"));
+        r.set("error", Json::string("request line exceeds size limit"));
+        write_all(fd, r.dump() + "\n");
+        break;  // no line framing left to recover; drop the connection
+      }
       const ssize_t n = ::read(fd, chunk, sizeof chunk);
       if (n <= 0) {
         if (n < 0 && errno == EINTR) continue;
@@ -221,20 +251,42 @@ void ReplicationServer::connection_loop(int fd) {
     pending->cancel = std::make_shared<std::atomic<bool>>(false);
     pending->started = std::chrono::steady_clock::now();
     std::future<Json> reply = pending->reply.get_future();
+    // Decide under the lock, write outside it: a slow client with a full
+    // socket buffer must never stall workers or other connections.
+    enum class Admission { kEnqueued, kOverloaded, kShuttingDown };
+    Admission admission;
     {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
-      if (queue_.size() >= options_.max_queue) {
+      if (!running_.load()) {
+        // do_stop() may already have drained the queue and retired the
+        // workers; enqueuing now would leave this promise unfulfilled
+        // forever and deadlock the join in do_stop(). Answer instead.
+        admission = Admission::kShuttingDown;
+      } else if (queue_.size() >= options_.max_queue) {
         // Backpressure: answer now instead of buffering unboundedly.
-        if (!write_all(fd, overloaded_response(options_.retry_after_ms).dump() +
-                               "\n"))
-          break;
-        continue;
+        admission = Admission::kOverloaded;
+      } else {
+        queue_.push_back(pending);
+        admission = Admission::kEnqueued;
       }
-      queue_.push_back(pending);
+    }
+    if (admission == Admission::kShuttingDown) {
+      write_all(fd, shutdown_error_response().dump() + "\n");
+      break;  // teardown is closing this connection anyway
+    }
+    if (admission == Admission::kOverloaded) {
+      if (!write_all(fd, overloaded_response(options_.retry_after_ms).dump() +
+                             "\n"))
+        break;
+      continue;
     }
     queue_cv_.notify_one();
     if (!write_all(fd, reply.get().dump() + "\n")) break;
   }
+  // This loop no longer reads: signal the peer instead of stranding it.
+  // Without this, a client mid-way through an oversized send blocks in
+  // write() forever (the fd itself is closed later, by do_stop()).
+  ::shutdown(fd, SHUT_RDWR);
 }
 
 void ReplicationServer::worker_loop() {

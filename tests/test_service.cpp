@@ -76,6 +76,18 @@ TEST(Json, ParseRejectsMalformedInput) {
   EXPECT_THROW(Json::parse("nul"), service::JsonError);
 }
 
+TEST(Json, DeepNestingIsRejectedNotAStackOverflow) {
+  // An unterminated bracket flood must surface as JsonError (→ the
+  // server's bad_request path), never recurse to a stack overflow.
+  EXPECT_THROW(Json::parse(std::string(100000, '[')), service::JsonError);
+  // A well-formed but absurdly deep document fails the same way.
+  EXPECT_THROW(Json::parse(std::string(1000, '[') + std::string(1000, ']')),
+               service::JsonError);
+  // Moderate nesting (well under the cap) still parses.
+  EXPECT_NO_THROW(
+      Json::parse(std::string(100, '[') + std::string(100, ']')));
+}
+
 TEST(Json, ObjectSetReplacesInPlace) {
   Json obj = Json::object();
   obj.set("k", Json::number(1));
@@ -297,6 +309,58 @@ TEST(ReplicationServerTest, FullQueueAnswersOverloadedWithRetryHint) {
   EXPECT_EQ(r.get_string("status", ""), "overloaded");
   EXPECT_EQ(r.get_number("retry_after_ms", 0), 40);
   server.stop();
+}
+
+TEST(ReplicationServerTest, OversizedRequestLineIsRejectedNotBuffered) {
+  ServerOptions options;
+  options.socket_path = unique_socket_path("big");
+  ReplicationServer server(options);
+  server.start();
+  ServiceClient client;
+  client.connect(server.socket_path());
+  // A single request line past the server's cap (4 MiB) must answer
+  // bad_request instead of growing the read buffer without bound.
+  Json req = make_request("ping");
+  req.set("pad", Json::string(std::string((4u << 20) + (16u << 10), 'a')));
+  const Json r = client.call(req);
+  EXPECT_EQ(r.get_string("status", ""), "bad_request");
+  EXPECT_NE(r.get_string("error", "").find("size limit"), std::string::npos);
+  server.stop();
+}
+
+TEST(ReplicationServerTest, StopWithQueuedAndInFlightRequestsDoesNotHang) {
+  ServerOptions options;
+  options.socket_path = unique_socket_path("sq");
+  options.workers = 1;
+  // Every pipeline request parks the lone worker at a cancellable
+  // checkpoint, so stop() races against real in-flight + queued work.
+  options.service.fault_plan.set("service.stall", util::FaultSpec::always());
+  options.service.stall_max_ms = 100;
+  ReplicationServer server(options);
+  server.start();
+
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 4; ++i)
+    clients.emplace_back([&server] {
+      try {
+        ServiceClient client;
+        client.connect(server.socket_path());
+        Json req = make_request("run_study");
+        req.set("no_cache", Json::boolean(true));
+        const Json r = client.call(req);
+        // Any structured answer is acceptable (ok / deadline_exceeded /
+        // "server shutting down" error); hanging or crashing is not.
+        EXPECT_FALSE(r.get_string("status", "").empty());
+      } catch (const std::exception&) {
+        // Connection torn down mid-reply by shutdown: also acceptable.
+      }
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Regression: stop() must not deadlock joining a connection thread
+  // blocked on a promise no retired worker will ever fulfil.
+  server.stop();
+  EXPECT_FALSE(server.running());
+  for (auto& t : clients) t.join();
 }
 
 }  // namespace

@@ -16,12 +16,20 @@
 #include <sstream>
 #include <string>
 
+#include <filesystem>
+#include <memory>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "analysis/power.h"
 #include "analysis/robustness.h"
 #include "analysis/rq1_correctness.h"
+#include "cluster/backend.h"
+#include "cluster/dispatcher.h"
+#include "core/replication.h"
 #include "embed/corpus.h"
 #include "mixed/glmm.h"
+#include "service/server.h"
 #include "study/engine.h"
 #include "util/parallel.h"
 #include "util/strings.h"
@@ -111,6 +119,74 @@ void warn_if_host_changed(std::size_t hw) {
               << "different host (" << prev_host << ");\n         absolute "
               << "milliseconds are not comparable across machines.\n";
   }
+}
+
+// One cluster throughput reading: `n_backends` socket-served backends
+// (each with a fresh disk cache) behind a dispatcher, driven with a
+// 12-seed run_study sweep. Returns {cold_rps, warm_rps, bit_identical}:
+// the cold pass computes everything, the warm pass is served from the
+// caches, and the responses must match byte for byte.
+struct ClusterReading {
+  double cold_rps = 0.0;
+  double warm_rps = 0.0;
+  bool bit_identical = true;
+};
+
+ClusterReading bench_cluster(std::size_t n_backends) {
+  using service::Json;
+  constexpr std::uint64_t kSeeds = 12;
+
+  std::vector<std::unique_ptr<cluster::ClusterBackend>> backends;
+  std::vector<std::unique_ptr<service::ReplicationServer>> servers;
+  std::vector<std::string> dirs;
+  cluster::DispatcherOptions dispatch;
+  for (std::size_t i = 0; i < n_backends; ++i) {
+    const std::string tag = std::to_string(n_backends) + "-" +
+                            std::to_string(i) + "-" +
+                            std::to_string(::getpid());
+    dirs.push_back("/tmp/decompeval-bench-cache-" + tag);
+    std::filesystem::remove_all(dirs.back());
+    cluster::ClusterBackendOptions backend_options;
+    backend_options.cache.directory = dirs.back();
+    backend_options.cache.version = core::version();
+    backends.push_back(
+        std::make_unique<cluster::ClusterBackend>(backend_options));
+    service::ServerOptions server_options;
+    server_options.socket_path = "/tmp/decompeval-bench-" + tag + ".sock";
+    server_options.workers = 2;
+    server_options.max_queue = 32;
+    server_options.handler = backends.back()->handler();
+    servers.push_back(
+        std::make_unique<service::ReplicationServer>(server_options));
+    servers.back()->start();
+    cluster::BackendEndpoint endpoint;
+    endpoint.id = "bench-backend-" + std::to_string(i);
+    endpoint.socket_path = server_options.socket_path;
+    dispatch.backends.push_back(endpoint);
+  }
+  cluster::Dispatcher dispatcher(dispatch);
+  dispatcher.start();
+
+  const auto sweep = [&](std::vector<std::string>* dumps) {
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      Json req = Json::object();
+      req.set("op", Json::string("run_study"));
+      req.set("seed", Json::number(static_cast<double>(seed)));
+      dumps->push_back(dispatcher.handle(req, nullptr).dump());
+    }
+  };
+  ClusterReading reading;
+  std::vector<std::string> cold, warm;
+  const double cold_ms = time_ms([&] { sweep(&cold); });
+  const double warm_ms = time_ms([&] { sweep(&warm); });
+  reading.cold_rps = kSeeds / (cold_ms / 1000.0);
+  reading.warm_rps = kSeeds / (warm_ms / 1000.0);
+  reading.bit_identical = cold == warm;
+
+  dispatcher.stop();
+  for (auto& server : servers) server->stop();
+  for (const std::string& dir : dirs) std::filesystem::remove_all(dir);
+  return reading;
 }
 
 void BM_ThreadPoolBatchOverhead(benchmark::State& state) {
@@ -215,6 +291,13 @@ int main(int argc, char** argv) {
       study_identical = study_identical && same;
     }
 
+    // 6. Cluster throughput: dispatcher + socket-served backends at
+    //    1/2/4 shards, cold (computing) vs warm (cache-served) req/sec.
+    const std::vector<std::size_t> backend_ladder = {1, 2, 4};
+    std::vector<ClusterReading> cluster_readings;
+    for (const std::size_t n : backend_ladder)
+      cluster_readings.push_back(bench_cluster(n));
+
     const auto print_row = [&](const char* label,
                                const std::vector<double>& ms) {
       std::cout << "  " << label << ":";
@@ -235,6 +318,19 @@ int main(int argc, char** argv) {
               << (glmm_identical ? "yes" : "NO — BUG") << "\n";
     std::cout << "  study responses bit-identical across thread counts:    "
               << (study_identical ? "yes" : "NO — BUG") << "\n";
+
+    bool cluster_identical = true;
+    std::cout << "\nCluster throughput (12-seed run_study sweep through the "
+                 "dispatcher):\n";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i) {
+      const ClusterReading& r = cluster_readings[i];
+      cluster_identical = cluster_identical && r.bit_identical;
+      std::cout << "  backends=" << backend_ladder[i] << ":  cold="
+                << format_fixed(r.cold_rps, 1) << " req/s  warm="
+                << format_fixed(r.warm_rps, 1) << " req/s\n";
+    }
+    std::cout << "  cold and warm responses bit-identical:                 "
+              << (cluster_identical ? "yes" : "NO — BUG") << "\n";
 
     const auto json_ladder = [&](std::ostream& os,
                                  const std::vector<double>& ms) {
@@ -267,7 +363,17 @@ int main(int argc, char** argv) {
          << ",\n  \"run_study_ms\": ";
     json_ladder(json, study_ms);
     json << ",\n  \"run_study_bit_identical\": "
-         << (study_identical ? "true" : "false") << "\n}\n";
+         << (study_identical ? "true" : "false");
+    json << ",\n  \"cluster_cold_rps\": {";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"" << backend_ladder[i]
+           << "\": " << format_fixed(cluster_readings[i].cold_rps, 3);
+    json << "},\n  \"cluster_warm_rps\": {";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"" << backend_ladder[i]
+           << "\": " << format_fixed(cluster_readings[i].warm_rps, 3);
+    json << "},\n  \"cluster_bit_identical\": "
+         << (cluster_identical ? "true" : "false") << "\n}\n";
     std::cout << "\nWrote BENCH_parallel.json\n";
   });
 }

@@ -13,6 +13,12 @@
 # across threads, watchdog cancellation, and server shutdown — exactly
 # where races and lifetime bugs hide.
 #
+# The cluster label (TCP/Unix transports, consistent-hash dispatcher,
+# disk cache) gets its own TSan and ASan stage instead of riding in the
+# main sweeps: those tests spin real listening sockets, client pools, and
+# multi-server topologies, so they are kept apart both for runtime and so
+# a cluster-layer failure is immediately attributable.
+#
 # Usage: scripts/check.sh [--sanitizers-only]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,12 +35,18 @@ fi
 echo "=== ThreadSanitizer build + tier-1 + chaos tests ==="
 cmake -B build-tsan -S . -DDECOMPEVAL_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'tier1|chaos'
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'tier1|chaos' -LE cluster
+
+echo "=== ThreadSanitizer: cluster tests (transports, dispatcher, cache) ==="
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L cluster
 
 echo "=== AddressSanitizer build + tier-1 + chaos tests ==="
 cmake -B build-asan -S . -DDECOMPEVAL_SANITIZE=address
 cmake --build build-asan -j "$JOBS"
-ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'tier1|chaos'
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'tier1|chaos' -LE cluster
+
+echo "=== AddressSanitizer: cluster tests (transports, dispatcher, cache) ==="
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L cluster
 
 echo "=== UndefinedBehaviorSanitizer build + tier-1 tests ==="
 cmake -B build-ubsan -S . -DDECOMPEVAL_SANITIZE=undefined

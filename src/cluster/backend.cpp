@@ -1,0 +1,59 @@
+#include "cluster/backend.h"
+
+namespace decompeval::cluster {
+
+namespace {
+
+bool cacheable_op(const service::Json& request) {
+  if (!request.is_object()) return false;
+  const std::string op = request.get_string("op", "");
+  return op == "run_study" || op == "run_replication";
+}
+
+}  // namespace
+
+ClusterBackend::ClusterBackend(ClusterBackendOptions options)
+    : core_(options.service), cache_(std::move(options.cache)) {}
+
+service::Json ClusterBackend::handle(const service::Json& request,
+                                     const std::atomic<bool>* cancel) {
+  if (request.is_object() && request.get_string("op", "") == "cache_stats") {
+    service::Json r = core_.handle(request, cancel);
+    const DiskCacheStats disk = cache_.stats();
+    r.set("disk_enabled", service::Json::boolean(cache_.enabled()));
+    r.set("disk_memory_hits",
+          service::Json::number(static_cast<double>(disk.memory_hits)));
+    r.set("disk_hits",
+          service::Json::number(static_cast<double>(disk.disk_hits)));
+    r.set("disk_misses",
+          service::Json::number(static_cast<double>(disk.misses)));
+    r.set("disk_stores",
+          service::Json::number(static_cast<double>(disk.stores)));
+    r.set("disk_store_failures",
+          service::Json::number(static_cast<double>(disk.store_failures)));
+    r.set("disk_invalid_files",
+          service::Json::number(static_cast<double>(disk.invalid_files)));
+    service::Json warnings = service::Json::array();
+    for (const std::string& w : cache_.warnings())
+      warnings.push_back(service::Json::string(w));
+    r.set("disk_warnings", warnings);
+    return r;
+  }
+
+  const bool no_cache =
+      request.is_object() && request.get_bool("no_cache", false);
+  const bool try_cache = cache_.enabled() && cacheable_op(request) && !no_cache;
+  std::string digest;
+  if (try_cache) {
+    digest = cache_.digest(request);
+    service::Json cached;
+    if (cache_.load(digest, &cached)) return cached;
+  }
+
+  service::Json response = core_.handle(request, cancel);
+  if (try_cache && response.get_string("status", "") == "ok")
+    cache_.store(digest, response);
+  return response;
+}
+
+}  // namespace decompeval::cluster

@@ -1,0 +1,56 @@
+// A cluster backend: ServiceCore wrapped with the persistent disk cache.
+//
+// handle() is a drop-in ReplicationServer handler. Cacheable ops
+// (run_study / run_replication) consult the disk cache first; clean "ok"
+// responses are stored after computation. Because a disk hit replays the
+// exact Json that handle() produced — and Json::dump is deterministic —
+// a cached response is bit-identical to recomputing it, which is what
+// the cold-restart identity test asserts. Degraded responses are never
+// stored (DiskCache::store refuses them too).
+//
+// The "cache_stats" op returns ServiceCore's in-memory numbers augmented
+// with disk_* fields (hits/misses/stores/failures/invalid files) and the
+// cache's recent structured warnings.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <utility>
+
+#include "cluster/disk_cache.h"
+#include "service/service.h"
+
+namespace decompeval::cluster {
+
+struct ClusterBackendOptions {
+  service::ServiceOptions service;
+  /// cache.directory empty → the backend runs with no disk cache.
+  DiskCacheOptions cache;
+};
+
+class ClusterBackend {
+ public:
+  explicit ClusterBackend(ClusterBackendOptions options);
+
+  /// Never throws (same contract as ServiceCore::handle).
+  service::Json handle(const service::Json& request,
+                       const std::atomic<bool>* cancel);
+
+  /// Handler to plug into ServerOptions::handler.
+  std::function<service::Json(const service::Json&, const std::atomic<bool>*)>
+  handler() {
+    return [this](const service::Json& request,
+                  const std::atomic<bool>* cancel) {
+      return handle(request, cancel);
+    };
+  }
+
+  service::ServiceCore& core() { return core_; }
+  DiskCache& cache() { return cache_; }
+
+ private:
+  service::ServiceCore core_;
+  DiskCache cache_;
+};
+
+}  // namespace decompeval::cluster

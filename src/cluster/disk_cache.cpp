@@ -1,0 +1,191 @@
+#include "cluster/disk_cache.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "cluster/hash_ring.h"
+
+namespace decompeval::cluster {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+// Request fields that never change the result bytes. "threads" because
+// every pipeline stage is bit-identical across thread counts (the
+// property the chaos suite proves); "no_cache" and "deadline_ms" because
+// they shape how the request is served, not what it computes.
+bool volatile_field(const std::string& key) {
+  return key == "threads" || key == "no_cache" || key == "deadline_ms";
+}
+
+constexpr std::size_t kMaxWarnings = 16;
+
+// mkdir -p: orchestrators hand each backend a nested directory
+// (<root>/backend-N) whose parent may not exist yet.
+void make_directories(const std::string& path) {
+  for (std::size_t pos = 1; pos <= path.size(); ++pos) {
+    if (pos != path.size() && path[pos] != '/') continue;
+    ::mkdir(path.substr(0, pos).c_str(), 0755);  // EEXIST is fine
+  }
+}
+
+}  // namespace
+
+DiskCache::DiskCache(DiskCacheOptions options)
+    : options_(std::move(options)), memory_(options_.memory_capacity) {
+  if (!options_.directory.empty()) make_directories(options_.directory);
+}
+
+std::string DiskCache::canonical_request_key(const service::Json& request) {
+  if (!request.is_object()) return request.dump();
+  std::vector<std::pair<std::string, std::string>> fields;
+  for (const auto& [key, value] : request.members())
+    if (!volatile_field(key)) fields.emplace_back(key, value.dump());
+  std::sort(fields.begin(), fields.end());
+  std::ostringstream os;
+  for (const auto& [key, dumped] : fields) os << key << '=' << dumped << ';';
+  return os.str();
+}
+
+std::string DiskCache::digest(const service::Json& request) const {
+  return hex64(HashRing::hash(canonical_request_key(request) +
+                              "|version=" + options_.version));
+}
+
+std::string DiskCache::path_for(const std::string& digest) const {
+  return options_.directory + "/" + digest + ".json";
+}
+
+void DiskCache::warn(std::string message) {
+  // Callers hold mutex_.
+  if (warnings_.size() >= kMaxWarnings)
+    warnings_.erase(warnings_.begin());
+  warnings_.push_back(std::move(message));
+}
+
+bool DiskCache::load(const std::string& digest, service::Json* response) {
+  if (!enabled()) return false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const service::Json* hit = memory_.find(digest)) {
+      ++stats_.memory_hits;
+      *response = *hit;
+      return true;
+    }
+  }
+  try {
+    if (options_.faults != nullptr) options_.faults->raise_next("cache.read");
+    std::ifstream in(path_for(digest));
+    if (!in.is_open()) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+      return false;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+
+    const service::Json envelope = service::Json::parse(content.str());
+    const service::Json* stored = envelope.get("response");
+    const std::string version = envelope.get_string("cache_version", "");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stored == nullptr || !stored->is_object() ||
+        version != options_.version) {
+      warn("cache file " + digest + ".json rejected: " +
+           (stored == nullptr || !stored->is_object()
+                ? "missing response object"
+                : "version '" + version + "' != '" + options_.version + "'"));
+      ++stats_.invalid_files;
+      ++stats_.misses;
+      return false;
+    }
+    ++stats_.disk_hits;
+    memory_.put(digest, *stored);
+    *response = *stored;
+    return true;
+  } catch (const util::FaultError& e) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    warn(std::string("cache read abandoned: ") + e.what());
+    ++stats_.misses;
+    return false;
+  } catch (const std::exception& e) {
+    // Torn, truncated, or non-JSON file: a miss, never a crash.
+    const std::lock_guard<std::mutex> lock(mutex_);
+    warn("cache file " + digest + ".json unreadable: " + e.what());
+    ++stats_.invalid_files;
+    ++stats_.misses;
+    return false;
+  }
+}
+
+bool DiskCache::store(const std::string& digest,
+                      const service::Json& response) {
+  if (!enabled()) return false;
+  // Only clean results are reusable artifacts; degraded/error responses
+  // describe one particular (possibly faulted) run.
+  if (response.get_string("status", "") != "ok") return false;
+
+  service::Json envelope = service::Json::object();
+  envelope.set("cache_version", service::Json::string(options_.version));
+  envelope.set("digest", service::Json::string(digest));
+  envelope.set("response", response);
+  const std::string bytes = envelope.dump() + "\n";
+
+  std::string temp_path;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    temp_path = options_.directory + "/." + digest + ".tmp." +
+                std::to_string(::getpid()) + "." +
+                std::to_string(temp_counter_++);
+  }
+  try {
+    {
+      std::ofstream out(temp_path, std::ios::trunc);
+      if (!out.is_open())
+        throw std::runtime_error("cannot open temp file " + temp_path);
+      out << bytes;
+      out.flush();
+      if (!out.good())
+        throw std::runtime_error("short write to " + temp_path);
+    }
+    // The injected write fault fires after the temp write and before the
+    // rename — the worst possible crash point — to prove no partial file
+    // can ever land at the final path.
+    if (options_.faults != nullptr) options_.faults->raise_next("cache.write");
+    if (std::rename(temp_path.c_str(), path_for(digest).c_str()) != 0)
+      throw std::runtime_error("rename into " + path_for(digest) + " failed");
+  } catch (const std::exception& e) {
+    std::remove(temp_path.c_str());
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.store_failures;
+    warn(std::string("cache store aborted: ") + e.what());
+    return false;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.stores;
+  memory_.put(digest, response);
+  return true;
+}
+
+DiskCacheStats DiskCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<std::string> DiskCache::warnings() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return warnings_;
+}
+
+}  // namespace decompeval::cluster

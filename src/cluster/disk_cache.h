@@ -1,0 +1,104 @@
+// Persistent, digest-keyed result cache for cluster backends.
+//
+// Key derivation: the canonical request key is the request's members
+// sorted by name with volatile fields removed ("threads" — results are
+// bit-identical at every thread count; "no_cache"; "deadline_ms").
+// The digest is FNV-1a over that key plus the binary version string, so
+// a new binary version can never serve a stale file: the old entry's
+// digest simply no longer matches and the old file is left untouched.
+// Each cache file also records the version and key it was written under
+// (defense in depth — a file is served only when both still match).
+//
+// Crash atomicity: entries are written to a unique temp name in the same
+// directory and rename(2)d into place, so readers only ever see absent
+// or complete files — never a torn write. Concurrent writers of the same
+// digest each rename their own temp file; the last rename wins and the
+// result is a valid file either way.
+//
+// Degraded responses are NEVER stored: a degraded result is an answer
+// about one faulted run, not a reusable artifact (store() refuses them).
+//
+// A small in-memory LRU fronts the disk so a hot digest costs no IO.
+// Corrupted or truncated files are a miss plus a structured warning
+// (readable via warnings()), never a crash.
+//
+// Fault sites (deterministic, serial-counter): "cache.read" — the load
+// is abandoned and counted as a miss; "cache.write" — the store aborts
+// cleanly, the temp file is removed, and no partial file remains.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "service/json.h"
+#include "util/fault.h"
+#include "util/lru.h"
+
+namespace decompeval::cluster {
+
+struct DiskCacheOptions {
+  /// Cache directory; created on construction. Empty disables the cache
+  /// (every load misses, every store is a no-op).
+  std::string directory;
+  /// Binary version folded into every digest (use core::version()).
+  std::string version;
+  /// In-memory LRU front capacity (entries; 0 keeps disk-only behavior).
+  std::size_t memory_capacity = 64;
+  /// Optional injector for the "cache.read" / "cache.write" sites
+  /// (non-const: these are serial-counter sites).
+  util::FaultInjector* faults = nullptr;
+};
+
+struct DiskCacheStats {
+  std::uint64_t memory_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t store_failures = 0;  ///< IO errors and injected write faults
+  std::uint64_t invalid_files = 0;   ///< corrupt/truncated/mismatched files
+};
+
+class DiskCache {
+ public:
+  explicit DiskCache(DiskCacheOptions options);
+
+  /// Canonical cache/routing key of a request (see file comment). Pure
+  /// function of the request; shared with the dispatcher so the cache key
+  /// and the ring placement always agree.
+  static std::string canonical_request_key(const service::Json& request);
+
+  /// Digest for a request under this cache's version string.
+  std::string digest(const service::Json& request) const;
+
+  /// Fills `response` and returns true on a hit. A corrupt, truncated,
+  /// or version/key-mismatched file is a miss (plus a warning); so is an
+  /// injected "cache.read" fault.
+  bool load(const std::string& digest, service::Json* response);
+
+  /// Writes the entry (temp + rename). Returns false — storing nothing,
+  /// leaving no partial file — when the cache is disabled, the response
+  /// is not status "ok", IO fails, or "cache.write" fires.
+  bool store(const std::string& digest, const service::Json& response);
+
+  bool enabled() const { return !options_.directory.empty(); }
+  const std::string& directory() const { return options_.directory; }
+  std::string path_for(const std::string& digest) const;
+
+  DiskCacheStats stats() const;
+  /// Most recent structured warnings (bounded; oldest dropped first).
+  std::vector<std::string> warnings() const;
+
+ private:
+  void warn(std::string message);
+
+  DiskCacheOptions options_;
+  mutable std::mutex mutex_;
+  util::LruCache<std::string, service::Json> memory_;
+  DiskCacheStats stats_;
+  std::vector<std::string> warnings_;
+  std::uint64_t temp_counter_ = 0;
+};
+
+}  // namespace decompeval::cluster

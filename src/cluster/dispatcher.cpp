@@ -1,0 +1,224 @@
+#include "cluster/dispatcher.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "cluster/disk_cache.h"
+#include "util/check.h"
+
+namespace decompeval::cluster {
+
+namespace {
+
+service::Json error_response(const std::string& message) {
+  service::Json r = service::Json::object();
+  r.set("status", service::Json::string("error"));
+  r.set("error", service::Json::string(message));
+  return r;
+}
+
+void echo_op(service::Json& response, const service::Json& request) {
+  if (!request.is_object()) return;
+  const service::Json* op = request.get("op");
+  if (op != nullptr && op->type() == service::Json::Type::kString)
+    response.set("op", service::Json::string(op->as_string()));
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(DispatcherOptions options)
+    : options_(std::move(options)),
+      faults_(options_.fault_plan),
+      ring_(options_.virtual_nodes) {
+  DE_EXPECTS_MSG(!options_.backends.empty(),
+                 "Dispatcher needs at least one backend");
+  for (const BackendEndpoint& endpoint : options_.backends) {
+    DE_EXPECTS_MSG(!endpoint.id.empty(), "backend id must be non-empty");
+    DE_EXPECTS_MSG(by_id_.count(endpoint.id) == 0,
+                   "duplicate backend id '" + endpoint.id + "'");
+    by_id_.emplace(endpoint.id, backends_.size());
+    auto state = std::make_unique<BackendState>();
+    state->endpoint = endpoint;
+    backends_.push_back(std::move(state));
+    ring_.add(endpoint.id);
+  }
+}
+
+Dispatcher::~Dispatcher() { stop(); }
+
+void Dispatcher::start() {
+  if (running_.exchange(true)) return;
+  if (options_.health_interval_ms > 0)
+    prober_thread_ = std::thread([this] { prober_loop(); });
+}
+
+void Dispatcher::stop() {
+  running_.store(false);
+  if (prober_thread_.joinable()) prober_thread_.join();
+  for (const auto& backend : backends_) {
+    const std::lock_guard<std::mutex> lock(backend->pool_mutex);
+    backend->idle.clear();
+  }
+}
+
+bool Dispatcher::backend_up(const std::string& id) const {
+  const auto it = by_id_.find(id);
+  return it != by_id_.end() && backends_[it->second]->up.load();
+}
+
+DispatcherStats Dispatcher::stats() const {
+  const std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+std::unique_ptr<service::ServiceClient> Dispatcher::acquire(
+    BackendState& backend, int connect_attempts) {
+  {
+    const std::lock_guard<std::mutex> lock(backend.pool_mutex);
+    if (!backend.idle.empty()) {
+      auto conn = std::move(backend.idle.back());
+      backend.idle.pop_back();
+      return conn;
+    }
+  }
+  auto conn = std::make_unique<service::ServiceClient>();
+  if (!backend.endpoint.socket_path.empty())
+    conn->connect(backend.endpoint.socket_path, connect_attempts);
+  else
+    conn->connect_tcp(backend.endpoint.host, backend.endpoint.port,
+                      connect_attempts);
+  conn->set_timeout_ms(options_.forward_timeout_ms);
+  return conn;
+}
+
+void Dispatcher::release(BackendState& backend,
+                         std::unique_ptr<service::ServiceClient> conn) {
+  const std::lock_guard<std::mutex> lock(backend.pool_mutex);
+  if (backend.idle.size() < options_.pool_capacity)
+    backend.idle.push_back(std::move(conn));
+  // else: drop it; the destructor closes the socket.
+}
+
+service::Json Dispatcher::handle(const service::Json& request,
+                                 const std::atomic<bool>* cancel) {
+  if (request.is_object() &&
+      request.get_string("op", "") == "cluster_stats") {
+    const DispatcherStats s = stats();
+    service::Json r = service::Json::object();
+    r.set("status", service::Json::string("ok"));
+    r.set("forwarded", service::Json::number(static_cast<double>(s.forwarded)));
+    r.set("failovers", service::Json::number(static_cast<double>(s.failovers)));
+    r.set("overloaded_retries",
+          service::Json::number(static_cast<double>(s.overloaded_retries)));
+    r.set("down_skips",
+          service::Json::number(static_cast<double>(s.down_skips)));
+    r.set("exhausted", service::Json::number(static_cast<double>(s.exhausted)));
+    service::Json nodes = service::Json::array();
+    for (const auto& backend : backends_) {
+      service::Json node = service::Json::object();
+      node.set("id", service::Json::string(backend->endpoint.id));
+      node.set("up", service::Json::boolean(backend->up.load()));
+      nodes.push_back(node);
+    }
+    r.set("backends", nodes);
+    echo_op(r, request);
+    return r;
+  }
+  service::Json response = forward(request, cancel);
+  return response;
+}
+
+service::Json Dispatcher::forward(const service::Json& request,
+                                  const std::atomic<bool>* cancel) {
+  const std::string key = DiskCache::canonical_request_key(request);
+  const std::vector<std::string> candidates =
+      ring_.route(key, backends_.size());
+  std::size_t tried = 0;
+  for (const std::string& id : candidates) {
+    if (cancel != nullptr && cancel->load()) {
+      service::Json r = service::Json::object();
+      r.set("status", service::Json::string("deadline_exceeded"));
+      r.set("error",
+            service::Json::string("request cancelled while dispatching"));
+      echo_op(r, request);
+      return r;
+    }
+    BackendState& backend = *backends_[by_id_.at(id)];
+    // Injected outage: indistinguishable from a failed health check. The
+    // prober restores the backend once its real ping succeeds.
+    if (faults_.fire_next("cluster.backend")) backend.up.store(false);
+    if (!backend.up.load()) {
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.down_skips;
+      continue;
+    }
+    ++tried;
+    std::unique_ptr<service::ServiceClient> conn;
+    try {
+      conn = acquire(backend, /*connect_attempts=*/10);
+      faults_.raise_next("cluster.forward");
+      service::Json response = conn->call(request);
+      if (response.get_string("status", "") == "overloaded") {
+        // The backend is alive, just saturated: keep it up, put the
+        // connection back, and spill to the next ring node.
+        release(backend, std::move(conn));
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.overloaded_retries;
+        continue;
+      }
+      release(backend, std::move(conn));
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.forwarded;
+      }
+      return response;  // verbatim — bit-identical to a direct call
+    } catch (const std::exception&) {
+      // Transport failure (connect/send/recv error, timeout) or injected
+      // forward fault: the connection may be mid-reply, so it is dropped,
+      // the backend is marked down, and the next ring node gets the
+      // request. FaultError intentionally takes the identical path.
+      backend.up.store(false);
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.failovers;
+    }
+  }
+  {
+    const std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.exhausted;
+  }
+  service::Json r =
+      error_response("no backend available (" + std::to_string(tried) + " of " +
+                     std::to_string(candidates.size()) + " candidates tried)");
+  r.set("attempted", service::Json::number(static_cast<double>(tried)));
+  echo_op(r, request);
+  return r;
+}
+
+void Dispatcher::prober_loop() {
+  const auto tick = std::chrono::milliseconds(options_.health_interval_ms);
+  while (running_.load()) {
+    std::this_thread::sleep_for(tick);
+    for (const auto& backend : backends_) {
+      if (!running_.load()) return;
+      if (backend->up.load()) continue;
+      try {
+        service::ServiceClient probe;
+        if (!backend->endpoint.socket_path.empty())
+          probe.connect(backend->endpoint.socket_path, /*attempts=*/1);
+        else
+          probe.connect_tcp(backend->endpoint.host, backend->endpoint.port,
+                            /*attempts=*/1);
+        probe.set_timeout_ms(1000.0);
+        service::Json ping = service::Json::object();
+        ping.set("op", service::Json::string("ping"));
+        if (probe.call(ping).get_string("status", "") == "ok")
+          backend->up.store(true);
+      } catch (const std::exception&) {
+        // Still down; try again next tick.
+      }
+    }
+  }
+}
+
+}  // namespace decompeval::cluster

@@ -1,0 +1,134 @@
+// Cluster dispatcher: routes requests to backends over a consistent-hash
+// ring, with failover, connection pooling, and health probing.
+//
+// Routing: the request's canonical key (DiskCache::canonical_request_key —
+// the same key the disk cache digests) hashes onto the ring, so a given
+// logical request always lands on the same backend and therefore always
+// warms the same caches. The ring walk order is the failover order: a
+// backend that is down, faulted, or overloaded is skipped and the next
+// ring node is tried; only when every backend has been tried does the
+// dispatcher answer {"status":"error","error":"no backend available"}.
+//
+// A backend is marked down on any transport failure (connect/send/recv
+// error or timeout) and skipped until the health prober's ping succeeds
+// again. Forwarded responses are returned verbatim — byte-identical to
+// asking the backend directly, which the bit-identity tests assert.
+//
+// handle() plugs into ServerOptions::handler, so the dispatcher front-end
+// reuses ReplicationServer's bounded queue, backpressure, watchdog, and
+// clean-shutdown machinery unchanged. The front server intercepts the
+// "shutdown" op itself; backends are shut down by their own operators
+// (see examples/replication_cluster.cpp).
+//
+// Fault sites (serial-counter, from DispatcherOptions::fault_plan):
+//   "cluster.backend"  the candidate is treated as down (health-skip path)
+//   "cluster.forward"  the forward attempt fails in transit (failover path)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "service/server.h"
+#include "util/fault.h"
+
+namespace decompeval::cluster {
+
+struct BackendEndpoint {
+  std::string id;           ///< ring identity; unique and non-empty
+  std::string socket_path;  ///< Unix-domain endpoint (used when non-empty)
+  std::string host = "127.0.0.1";  ///< TCP endpoint otherwise
+  int port = -1;
+};
+
+struct DispatcherOptions {
+  std::vector<BackendEndpoint> backends;
+  std::size_t virtual_nodes = 64;
+  /// Idle pooled connections kept per backend.
+  std::size_t pool_capacity = 2;
+  /// Per-attempt send/recv bound. A backend killed mid-request surfaces
+  /// as a timeout here and the dispatcher fails over instead of hanging.
+  double forward_timeout_ms = 30000.0;
+  /// Down-backend reprobe cadence; 0 disables the prober thread.
+  std::uint64_t health_interval_ms = 100;
+  /// Schedules for the "cluster.forward" / "cluster.backend" sites.
+  util::FaultPlan fault_plan;
+};
+
+/// Monotonic counters (see the "cluster_stats" op).
+struct DispatcherStats {
+  std::uint64_t forwarded = 0;         ///< responses returned from a backend
+  std::uint64_t failovers = 0;         ///< transport failures → next node
+  std::uint64_t overloaded_retries = 0;
+  std::uint64_t down_skips = 0;
+  std::uint64_t exhausted = 0;         ///< no backend could answer
+};
+
+class Dispatcher {
+ public:
+  explicit Dispatcher(DispatcherOptions options);
+  ~Dispatcher();
+
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  /// Starts the health prober (no-op when health_interval_ms is 0).
+  void start();
+  /// Stops the prober and drops every pooled connection. Idempotent.
+  void stop();
+
+  /// Routes one request. Never throws. The "cluster_stats" op is answered
+  /// locally; everything else is forwarded along the ring.
+  service::Json handle(const service::Json& request,
+                       const std::atomic<bool>* cancel);
+
+  /// Handler to plug into ServerOptions::handler.
+  std::function<service::Json(const service::Json&, const std::atomic<bool>*)>
+  handler() {
+    return [this](const service::Json& request,
+                  const std::atomic<bool>* cancel) {
+      return handle(request, cancel);
+    };
+  }
+
+  const HashRing& ring() const { return ring_; }
+  bool backend_up(const std::string& id) const;
+  DispatcherStats stats() const;
+
+ private:
+  struct BackendState {
+    BackendEndpoint endpoint;
+    std::atomic<bool> up{true};
+    std::mutex pool_mutex;
+    std::vector<std::unique_ptr<service::ServiceClient>> idle;
+  };
+
+  service::Json forward(const service::Json& request,
+                        const std::atomic<bool>* cancel);
+  std::unique_ptr<service::ServiceClient> acquire(BackendState& backend,
+                                                  int connect_attempts);
+  void release(BackendState& backend,
+               std::unique_ptr<service::ServiceClient> conn);
+  void prober_loop();
+
+  DispatcherOptions options_;
+  util::FaultInjector faults_;
+  HashRing ring_;
+  std::vector<std::unique_ptr<BackendState>> backends_;
+  std::unordered_map<std::string, std::size_t> by_id_;
+
+  std::atomic<bool> running_{false};
+  std::thread prober_thread_;
+
+  mutable std::mutex stats_mutex_;
+  DispatcherStats stats_;
+};
+
+}  // namespace decompeval::cluster

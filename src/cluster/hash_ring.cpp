@@ -1,0 +1,76 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace decompeval::cluster {
+
+std::uint64_t HashRing::hash(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+namespace {
+
+// FNV-1a hashes of short keys differing only in a trailing character
+// land within a few bits of each other — fine for digests, useless for
+// spreading keys over a 2^64 ring. The splitmix64 finalizer avalanches
+// every input bit across the word before a hash becomes a ring position.
+std::uint64_t ring_position(std::uint64_t h) {
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace
+
+HashRing::HashRing(std::size_t virtual_nodes)
+    : virtual_nodes_(virtual_nodes) {
+  DE_EXPECTS_MSG(virtual_nodes_ > 0, "HashRing needs at least 1 virtual node");
+}
+
+void HashRing::add(const std::string& backend_id) {
+  for (const std::string& existing : backends_)
+    if (existing == backend_id) return;
+  const std::size_t index = backends_.size();
+  backends_.push_back(backend_id);
+  points_.reserve(points_.size() + virtual_nodes_);
+  for (std::size_t k = 0; k < virtual_nodes_; ++k)
+    points_.emplace_back(
+        ring_position(hash(backend_id + "#" + std::to_string(k))), index);
+  std::sort(points_.begin(), points_.end());
+}
+
+std::vector<std::string> HashRing::route(const std::string& key,
+                                         std::size_t max_candidates) const {
+  std::vector<std::string> out;
+  if (points_.empty() || max_candidates == 0) return out;
+  const std::uint64_t h = ring_position(hash(key));
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(h, std::size_t{0}));
+  std::vector<bool> seen(backends_.size(), false);
+  const std::size_t want = std::min(max_candidates, backends_.size());
+  for (std::size_t step = 0; step < points_.size() && out.size() < want;
+       ++step, ++it) {
+    if (it == points_.end()) it = points_.begin();  // wrap the ring
+    if (seen[it->second]) continue;
+    seen[it->second] = true;
+    out.push_back(backends_[it->second]);
+  }
+  return out;
+}
+
+std::string HashRing::primary(const std::string& key) const {
+  const auto r = route(key, 1);
+  return r.empty() ? std::string() : r.front();
+}
+
+}  // namespace decompeval::cluster

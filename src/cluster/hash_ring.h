@@ -1,0 +1,48 @@
+// Consistent-hash ring over named backends.
+//
+// Each backend contributes `virtual_nodes` points on a 64-bit ring
+// (FNV-1a of "id#k"); a request key hashes to a point and walks the ring
+// clockwise collecting distinct backends. The walk order doubles as the
+// failover order: when the primary is down or overloaded the dispatcher
+// tries the next ring node, so a given key's retry sequence is as stable
+// as its primary assignment. Routing is a pure function of (backend ids,
+// virtual_nodes, key) — no RNG, no clock — which keeps cluster placement
+// replayable in tests and chaos runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace decompeval::cluster {
+
+class HashRing {
+ public:
+  explicit HashRing(std::size_t virtual_nodes = 64);
+
+  /// Adds a backend (idempotent; re-adding an id is a no-op).
+  void add(const std::string& backend_id);
+
+  /// Up to `max_candidates` distinct backend ids in ring order starting
+  /// at hash(key): the primary first, then its failover successors.
+  std::vector<std::string> route(const std::string& key,
+                                 std::size_t max_candidates) const;
+
+  /// Convenience: route(key, 1)[0]. Empty ring returns "".
+  std::string primary(const std::string& key) const;
+
+  std::size_t backend_count() const { return backends_.size(); }
+  const std::vector<std::string>& backends() const { return backends_; }
+
+  /// FNV-1a 64-bit — the same hash every digest in the repo uses.
+  static std::uint64_t hash(const std::string& text);
+
+ private:
+  std::size_t virtual_nodes_;
+  std::vector<std::string> backends_;
+  /// (point hash, backend index), sorted by hash then index so ties
+  /// break identically on every platform.
+  std::vector<std::pair<std::uint64_t, std::size_t>> points_;
+};
+
+}  // namespace decompeval::cluster

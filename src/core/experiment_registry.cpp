@@ -395,6 +395,13 @@ std::string render_experiments_markdown(
   stamped `DEGRADED RESULT` in the rendered report, and is excluded from
   the service's per-seed cache — so every number in this file comes from
   a full-fidelity, fault-free run.
+- **Serving does not perturb the numbers.** A result served through the
+  sharded cluster — routed by the consistent-hashing dispatcher to any
+  backend, over TCP or a Unix socket, computed fresh or replayed from
+  the persistent disk cache after a full process restart — is
+  byte-for-byte identical to the offline pipeline at every thread count
+  (`tests/test_cluster.cpp`), so this file is indifferent to how a run
+  was obtained.
 )";
   return os.str();
 }

@@ -23,6 +23,25 @@ ReplicationReport run_replication(const ReplicationConfig& config) {
     report.degradation_notes.push_back(std::move(note));
   };
 
+  // Every table/figure paragraph goes through this gate. Site
+  // "report.render" (hit = attempted-section counter) drops just that
+  // section: a placeholder line marks the hole, the run is flagged
+  // degraded, and rendering continues with the next section. The counter
+  // advances per *attempted* section, so for a fixed fault plan the same
+  // sections drop at every thread count.
+  std::ostringstream os;
+  std::size_t render_hit = 0;
+  const auto render_section = [&](const char* name, auto&& render_fn) {
+    const std::size_t hit = render_hit++;
+    try {
+      if (config.faults != nullptr) config.faults->raise_if("report.render", hit);
+      os << render_fn() << '\n';
+    } catch (const util::FaultError& e) {
+      degrade(std::string(name) + " section dropped from render: " + e.what());
+      os << "[" << name << " section dropped: renderer fault]\n\n";
+    }
+  };
+
   study::StudyConfig study_config = config.study;
   study_config.seed = config.seed;
   study_config.threads = config.threads;
@@ -34,7 +53,6 @@ ReplicationReport run_replication(const ReplicationConfig& config) {
       degrade("study: " + note);
   }
 
-  std::ostringstream os;
   os << "decompeval " << version()
      << " - replication of 'A Human Study of Automatically Generated "
         "Decompiler Annotations' (DSN 2025)\n";
@@ -53,7 +71,8 @@ ReplicationReport run_replication(const ReplicationConfig& config) {
   }
 
   report.figure3 = analysis::analyze_demographics(report.data);
-  os << report::render_figure3(report.figure3) << '\n';
+  render_section("Figure 3",
+                 [&] { return report::render_figure3(report.figure3); });
 
   if (config.run_models) {
     mixed::FitOptions fit_options;
@@ -66,13 +85,15 @@ ReplicationReport run_replication(const ReplicationConfig& config) {
     // a timeout is an answer about the whole request, not one table.
     try {
       report.table1 = analysis::analyze_correctness(report.data, fit_options);
-      os << report::render_table1(report.table1) << '\n';
+      render_section("Table I",
+                     [&] { return report::render_table1(report.table1); });
     } catch (const NumericalError& e) {
       degrade(std::string("Table I (correctness model) dropped: ") + e.what());
     }
     try {
       report.table2 = analysis::analyze_timing(report.data, fit_options);
-      os << report::render_table2(report.table2) << '\n';
+      render_section("Table II",
+                     [&] { return report::render_table2(report.table2); });
     } catch (const NumericalError& e) {
       degrade(std::string("Table II (timing model) dropped: ") + e.what());
     }
@@ -80,7 +101,8 @@ ReplicationReport run_replication(const ReplicationConfig& config) {
 
   report.figure5 =
       analysis::analyze_correctness_by_question(report.data, report.pool);
-  os << report::render_figure5(report.figure5) << '\n';
+  render_section("Figure 5",
+                 [&] { return report::render_figure5(report.figure5); });
 
   // Figures 6 and 7 exist only when the paper's snippets are in the pool.
   bool has_bapl = false, has_aeek = false;
@@ -91,18 +113,21 @@ ReplicationReport run_replication(const ReplicationConfig& config) {
   if (has_bapl) {
     report.figure6 =
         analysis::analyze_snippet_timing(report.data, report.pool, "BAPL");
-    os << report::render_figure6(report.figure6) << '\n';
+    render_section("Figure 6",
+                   [&] { return report::render_figure6(report.figure6); });
   }
   if (has_aeek) {
     report.figure7 = analysis::analyze_time_to_correct(report.data, "AEEK-Q2");
-    os << report::render_figure7(report.figure7) << '\n';
+    render_section("Figure 7",
+                   [&] { return report::render_figure7(report.figure7); });
   }
 
   report.figure8 = analysis::analyze_opinions(report.data, report.pool);
-  os << report::render_figure8(report.figure8) << '\n';
+  render_section("Figure 8",
+                 [&] { return report::render_figure8(report.figure8); });
 
   report.rq4 = analysis::analyze_perception(report.data, report.pool);
-  os << report::render_rq4(report.rq4) << '\n';
+  render_section("RQ4", [&] { return report::render_rq4(report.rq4); });
 
   if (config.run_metrics) {
     try {
@@ -113,17 +138,26 @@ ReplicationReport run_replication(const ReplicationConfig& config) {
       if (!model) {
         embed::EmbeddingOptions embed_options;
         embed_options.threads = config.threads;
+        embed_options.faults = config.faults;
         model = std::make_shared<const embed::EmbeddingModel>(
             embed::EmbeddingModel::train_default(
                 config.embedding_corpus_sentences, config.embedding_corpus_seed,
                 embed_options));
       }
+      // A model with quarantined trainer blocks is still usable, but the
+      // metric tables it feeds are computed from partial counts: mark the
+      // run degraded so the result is never cached or silently merged.
+      if (model->degraded())
+        for (const std::string& note : model->degradation_notes())
+          degrade("embedding: " + note);
       analysis::MetricAnalysisOptions metric_options;
       metric_options.threads = config.threads;
       report.metric_tables = analysis::analyze_metric_correlations(
           report.data, report.pool, *model, metric_options);
-      os << report::render_table3(report.metric_tables) << '\n';
-      os << report::render_table4(report.metric_tables) << '\n';
+      render_section("Table III",
+                     [&] { return report::render_table3(report.metric_tables); });
+      render_section("Table IV",
+                     [&] { return report::render_table4(report.metric_tables); });
     } catch (const util::DeadlineExceeded&) {
       throw;
     } catch (const util::FaultError& e) {

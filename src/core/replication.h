@@ -52,9 +52,11 @@ struct ReplicationConfig {
 
   /// Optional fault injector threaded through every stage. Sites:
   /// "study.shard" (per-participant simulation), "mixed.start" (per
-  /// optimizer start), "replication.metrics" (Tables III/IV stage). A
-  /// firing fault degrades the affected stage — it never crashes the run
-  /// and never produces a partially-written report.
+  /// optimizer start), "replication.metrics" (Tables III/IV stage),
+  /// "embed.train" (per embedding trainer block → block quarantined),
+  /// "report.render" (per rendered section → section dropped, render
+  /// continues). A firing fault degrades the affected stage — it never
+  /// crashes the run and never produces a partially-written report.
   const util::FaultInjector* faults = nullptr;
   /// Cooperative deadline, checked at stage boundaries and inside the
   /// fitters' inner loops. Expiry throws DeadlineExceeded out of

@@ -54,27 +54,36 @@ EmbeddingModel EmbeddingModel::train(
 
   util::ThreadPool pool(options.threads);
 
-  // Windowed co-occurrence counts, sharded by contiguous sentence chunk.
+  // Windowed co-occurrence counts, sharded by *fixed* sentence block —
+  // options.block_sentences per block, independent of the thread count.
   // Counts are small integers, which doubles represent exactly, so the
-  // merged totals are bit-identical regardless of sharding or thread
-  // count. One shard per worker keeps the merge cost proportional to the
-  // parallelism, not to the corpus.
+  // merged totals are bit-identical regardless of scheduling; and because
+  // the block layout never changes, an injected "embed.train" fault
+  // quarantines the same sentences at every thread count, keeping chaos
+  // outcomes replayable.
   struct CoocShard {
-    std::vector<std::unordered_map<std::size_t, double>> cooc;
-    std::vector<double> token_count;
+    std::unordered_map<std::size_t,
+                       std::unordered_map<std::size_t, double>> cooc;
+    std::unordered_map<std::size_t, double> token_count;
     double total_pairs = 0.0;
+    bool quarantined = false;
   };
-  const std::size_t n_shards =
-      std::min<std::size_t>(pool.thread_count(), std::max<std::size_t>(
-                                                     sentences.size(), 1));
-  std::vector<CoocShard> shards(n_shards);
-  pool.parallel_for(n_shards, [&](std::size_t shard_id) {
-    CoocShard& shard = shards[shard_id];
-    shard.cooc.resize(v);
-    shard.token_count.assign(v, 0.0);
-    const std::size_t chunk = (sentences.size() + n_shards - 1) / n_shards;
-    const std::size_t begin = shard_id * chunk;
-    const std::size_t end = std::min(sentences.size(), begin + chunk);
+  DE_EXPECTS_MSG(options.block_sentences > 0,
+                 "embedding block_sentences must be >= 1");
+  const std::size_t n_blocks =
+      (std::max<std::size_t>(sentences.size(), 1) + options.block_sentences -
+       1) / options.block_sentences;
+  std::vector<CoocShard> shards(n_blocks);
+  pool.parallel_for(n_blocks, [&](std::size_t block_id) {
+    CoocShard& shard = shards[block_id];
+    if (options.faults != nullptr &&
+        options.faults->should_fire("embed.train", block_id)) {
+      shard.quarantined = true;
+      return;
+    }
+    const std::size_t begin = block_id * options.block_sentences;
+    const std::size_t end =
+        std::min(sentences.size(), begin + options.block_sentences);
     for (std::size_t s = begin; s < end; ++s) {
       const auto& sentence = sentences[s];
       for (std::size_t i = 0; i < sentence.size(); ++i) {
@@ -96,13 +105,28 @@ EmbeddingModel EmbeddingModel::train(
   std::vector<std::unordered_map<std::size_t, double>> cooc(v);
   std::vector<double> token_count(v, 0.0);
   double total_pairs = 0.0;
-  for (const CoocShard& shard : shards) {
-    for (std::size_t w = 0; w < v; ++w) {
-      for (const auto& [cj, count] : shard.cooc[w]) cooc[w][cj] += count;
-      token_count[w] += shard.token_count[w];
+  for (std::size_t block_id = 0; block_id < n_blocks; ++block_id) {
+    const CoocShard& shard = shards[block_id];
+    if (shard.quarantined) {
+      const std::size_t begin = block_id * options.block_sentences;
+      const std::size_t end =
+          std::min(sentences.size(), begin + options.block_sentences);
+      model.degraded_ = true;
+      model.degradation_notes_.push_back(
+          "embedding trainer block " + std::to_string(block_id) + "/" +
+          std::to_string(n_blocks) + " quarantined (sentences " +
+          std::to_string(begin) + ".." + std::to_string(end) + " dropped)");
+      continue;
     }
+    for (const auto& [wi, row] : shard.cooc)
+      for (const auto& [cj, count] : row) cooc[wi][cj] += count;
+    for (const auto& [wi, count] : shard.token_count)
+      token_count[wi] += count;
     total_pairs += shard.total_pairs;
   }
+  if (model.degraded_ && total_pairs <= 0.0)
+    throw NumericalError(
+        "every embedding trainer block was quarantined; no counts survive");
   DE_EXPECTS_MSG(total_pairs > 0.0, "no co-occurrence pairs in corpus");
 
   // Flatten each row to a sparse vector sorted by context index. The PPMI

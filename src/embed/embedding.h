@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/fault.h"
+
 namespace decompeval::embed {
 
 struct EmbeddingOptions {
@@ -22,9 +24,20 @@ struct EmbeddingOptions {
   /// Worker threads for co-occurrence counting and the PPMI projection;
   /// 0 = hardware concurrency. The trained model is bit-identical for
   /// every thread count: co-occurrence counts are integers (exact in
-  /// doubles), sharded per task and merged in shard order, and each
-  /// word's vector is an independent pure function of the counts.
+  /// doubles), sharded per fixed sentence block and merged in block
+  /// order, and each word's vector is an independent pure function of
+  /// the counts.
   std::size_t threads = 0;
+  /// Sentences per co-occurrence counting block. Blocks — not worker
+  /// threads — are the unit of parallelism AND of fault quarantine, so
+  /// both the trained model and any injected "embed.train" outcome are
+  /// pure functions of the corpus, never of the thread count.
+  std::size_t block_sentences = 2048;
+  /// Optional fault injector (site "embed.train", hit = block index). A
+  /// block whose counting pass faults is quarantined — its sentences are
+  /// dropped from the counts — and the model is flagged degraded with a
+  /// note naming the lost block. Every block quarantined → NumericalError.
+  const util::FaultInjector* faults = nullptr;
 };
 
 class EmbeddingModel {
@@ -63,9 +76,20 @@ class EmbeddingModel {
     return vectors_.count(token) > 0;
   }
 
+  /// True when at least one trainer block was quarantined by a fault.
+  /// Degraded models are computed from partial counts: still usable, but
+  /// callers must mark their results degraded and never cache them.
+  bool degraded() const { return degraded_; }
+  /// One note per quarantined block (block index and sentence range).
+  const std::vector<std::string>& degradation_notes() const {
+    return degradation_notes_;
+  }
+
  private:
   EmbeddingOptions options_;
   std::unordered_map<std::string, std::vector<double>> vectors_;
+  bool degraded_ = false;
+  std::vector<std::string> degradation_notes_;
 
   std::vector<double> hash_fallback(const std::string& token) const;
 };

@@ -1,6 +1,9 @@
 #include "service/server.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -63,36 +66,84 @@ ReplicationServer::~ReplicationServer() { stop(); }
 
 void ReplicationServer::start() {
   if (running_.load()) return;
-  if (options_.socket_path.empty())
-    throw std::runtime_error("ReplicationServer: socket_path is required");
+  if (options_.socket_path.empty() && options_.tcp_port < 0)
+    throw std::runtime_error(
+        "ReplicationServer: no listener configured (socket_path empty and "
+        "tcp_port disabled)");
 
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0)
-    throw std::runtime_error("ReplicationServer: socket() failed");
+  if (!options_.socket_path.empty()) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+      throw std::runtime_error("ReplicationServer: socket() failed");
 
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (options_.socket_path.size() >= sizeof addr.sun_path) {
-    ::close(fd);
-    throw std::runtime_error("ReplicationServer: socket path too long");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.socket_path.size() >= sizeof addr.sun_path) {
+      ::close(fd);
+      throw std::runtime_error("ReplicationServer: socket path too long");
+    }
+    std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+                 sizeof addr.sun_path - 1);
+    ::unlink(options_.socket_path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+            0 ||
+        ::listen(fd, 16) != 0) {
+      ::close(fd);
+      throw std::runtime_error("ReplicationServer: cannot bind " +
+                               options_.socket_path);
+    }
+    listen_fd_.store(fd);
   }
-  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
-               sizeof addr.sun_path - 1);
-  ::unlink(options_.socket_path.c_str());
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0 ||
-      ::listen(fd, 16) != 0) {
-    ::close(fd);
-    throw std::runtime_error("ReplicationServer: cannot bind " +
-                             options_.socket_path);
+
+  if (options_.tcp_port >= 0) {
+    const auto fail = [this](const std::string& what) {
+      if (const int ufd = listen_fd_.exchange(-1); ufd >= 0) ::close(ufd);
+      if (!options_.socket_path.empty())
+        ::unlink(options_.socket_path.c_str());
+      throw std::runtime_error("ReplicationServer: " + what);
+    };
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) fail("TCP socket() failed");
+    // Restarts must not trip over lingering TIME_WAIT sockets from the
+    // previous incarnation.
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::inet_pton(AF_INET, options_.tcp_host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      fail("bad tcp_host " + options_.tcp_host);
+    }
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+            0 ||
+        ::listen(fd, 16) != 0) {
+      ::close(fd);
+      fail("cannot bind " + options_.tcp_host + ":" +
+           std::to_string(options_.tcp_port));
+    }
+    // Port 0 asks the kernel for an ephemeral port; read the actual one
+    // back so tests and the cluster can address this listener.
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+        0) {
+      ::close(fd);
+      fail("getsockname() failed");
+    }
+    tcp_listen_fd_.store(fd);
+    tcp_port_.store(static_cast<int>(ntohs(bound.sin_port)));
   }
-  listen_fd_.store(fd);
 
   running_.store(true);
   {
     const std::lock_guard<std::mutex> lock(shutdown_mutex_);
     shutdown_requested_ = false;
   }
-  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (listen_fd_.load() >= 0)
+    accept_thread_ = std::thread([this] { accept_loop(&listen_fd_); });
+  if (tcp_listen_fd_.load() >= 0)
+    tcp_accept_thread_ = std::thread([this] { accept_loop(&tcp_listen_fd_); });
   worker_threads_.reserve(options_.workers);
   for (std::size_t i = 0; i < std::max<std::size_t>(options_.workers, 1); ++i)
     worker_threads_.emplace_back([this] { worker_loop(); });
@@ -123,11 +174,16 @@ void ReplicationServer::stop() {
 void ReplicationServer::do_stop() {
   if (!running_.exchange(false)) return;
 
-  // Wake the accept loop, then every blocked reader and worker.
+  // Wake both accept loops, then every blocked reader and worker.
   if (const int fd = listen_fd_.exchange(-1); fd >= 0) {
     ::shutdown(fd, SHUT_RDWR);
     ::close(fd);
   }
+  if (const int fd = tcp_listen_fd_.exchange(-1); fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+  tcp_port_.store(-1);
   {
     const std::lock_guard<std::mutex> lock(conn_mutex_);
     for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
@@ -158,6 +214,7 @@ void ReplicationServer::do_stop() {
   };
 
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (tcp_accept_thread_.joinable()) tcp_accept_thread_.join();
   for (std::thread& t : worker_threads_)
     if (t.joinable()) t.join();
   worker_threads_.clear();
@@ -177,12 +234,13 @@ void ReplicationServer::do_stop() {
   }
   fail_queued();  // defensive: nothing can enqueue after the joins
 
-  ::unlink(options_.socket_path.c_str());
+  if (!options_.socket_path.empty())
+    ::unlink(options_.socket_path.c_str());
 }
 
-void ReplicationServer::accept_loop() {
+void ReplicationServer::accept_loop(std::atomic<int>* listen_fd_slot) {
   while (running_.load()) {
-    const int listen_fd = listen_fd_.load();
+    const int listen_fd = listen_fd_slot->load();
     if (listen_fd < 0) break;  // already closed by do_stop()
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
@@ -304,7 +362,10 @@ void ReplicationServer::worker_loop() {
       queue_.pop_front();
       in_flight_.push_back(pending);
     }
-    Json response = core_.handle(pending->request, pending->cancel.get());
+    Json response = options_.handler
+                        ? options_.handler(pending->request,
+                                           pending->cancel.get())
+                        : core_.handle(pending->request, pending->cancel.get());
     {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
       in_flight_.erase(
@@ -340,7 +401,7 @@ void ServiceClient::close() {
   }
 }
 
-void ServiceClient::connect(const std::string& socket_path) {
+void ServiceClient::connect(const std::string& socket_path, int attempts) {
   close();
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
@@ -349,7 +410,7 @@ void ServiceClient::connect(const std::string& socket_path) {
   std::strncpy(addr.sun_path, socket_path.c_str(), sizeof addr.sun_path - 1);
 
   // The server may still be binding; retry connection briefly.
-  for (int attempt = 0; attempt < 100; ++attempt) {
+  for (int attempt = 0; attempt < attempts; ++attempt) {
     fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd_ < 0) throw std::runtime_error("ServiceClient: socket() failed");
     if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
@@ -360,6 +421,39 @@ void ServiceClient::connect(const std::string& socket_path) {
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   throw std::runtime_error("ServiceClient: cannot connect to " + socket_path);
+}
+
+void ServiceClient::connect_tcp(const std::string& host, int port,
+                                int attempts) {
+  close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("ServiceClient: bad host " + host);
+
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw std::runtime_error("ServiceClient: socket() failed");
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0)
+      return;
+    ::close(fd_);
+    fd_ = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  throw std::runtime_error("ServiceClient: cannot connect to " + host + ":" +
+                           std::to_string(port));
+}
+
+void ServiceClient::set_timeout_ms(double ms) {
+  if (fd_ < 0 || ms <= 0.0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }
 
 Json ServiceClient::call(const Json& request) {
@@ -376,6 +470,8 @@ Json ServiceClient::call(const Json& request) {
     }
     const ssize_t n = ::read(fd_, chunk, sizeof chunk);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      throw std::runtime_error("ServiceClient: read timed out");
     if (n <= 0)
       throw std::runtime_error("ServiceClient: connection closed mid-reply");
     buffer_.append(chunk, static_cast<std::size_t>(n));

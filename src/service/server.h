@@ -1,4 +1,6 @@
-// Unix-domain-socket front-end for ServiceCore.
+// Socket front-end for ServiceCore: a Unix-domain listener, a TCP
+// listener (loopback-bound by default, SO_REUSEADDR), or both at once —
+// same wire protocol on either transport.
 //
 // Wire protocol: line-delimited JSON. Each request is one JSON object on
 // one line; the server answers with exactly one JSON object line per
@@ -6,12 +8,14 @@
 // "bad_request" response, never a dropped connection.
 //
 // Architecture:
-//   accept loop  — one thread; spawns a reader thread per connection
+//   accept loops — one thread per listener; spawns a reader thread per
+//                  connection
 //   request queue — bounded; a full queue answers immediately with
 //                   {"status":"overloaded","retry_after_ms":N} instead of
 //                   blocking the connection (backpressure, not buffering)
 //   workers      — options.workers threads popping the queue and calling
-//                  ServiceCore::handle
+//                  the handler (ServiceCore::handle by default; the
+//                  cluster dispatcher plugs in a forwarding handler)
 //   watchdog     — one thread; flips the cancel flag of any request in
 //                  flight longer than watchdog_ms, which trips the
 //                  fitters' cooperative checkpoints and surfaces as a
@@ -24,6 +28,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -36,12 +41,26 @@
 namespace decompeval::service {
 
 struct ServerOptions {
-  std::string socket_path;        ///< required; unlinked on start and stop
+  /// Unix-domain listener path (unlinked on start and stop). Empty
+  /// disables the Unix listener; at least one listener must be enabled.
+  std::string socket_path;
+  /// TCP listener port: -1 disables (default), 0 binds an ephemeral port
+  /// (read it back with ReplicationServer::tcp_port() — how tests and the
+  /// cluster bench avoid port collisions), >0 binds that port. The socket
+  /// sets SO_REUSEADDR so restarts do not trip over TIME_WAIT.
+  int tcp_port = -1;
+  /// TCP bind address. Loopback by default: exposing the service beyond
+  /// the machine is an explicit operator decision, never an accident.
+  std::string tcp_host = "127.0.0.1";
   std::size_t workers = 2;
   std::size_t max_queue = 8;      ///< pending (unpopped) request cap
   double retry_after_ms = 25.0;   ///< hint attached to overloaded responses
   std::uint64_t watchdog_ms = 0;  ///< 0 = watchdog disabled
   ServiceOptions service;
+  /// Request handler run by the workers. Default (empty): the server's
+  /// own ServiceCore. The cluster dispatcher substitutes its forwarding
+  /// logic here, reusing the queue/backpressure/shutdown machinery.
+  std::function<Json(const Json&, const std::atomic<bool>*)> handler;
 };
 
 class ReplicationServer {
@@ -53,14 +72,17 @@ class ReplicationServer {
   ReplicationServer& operator=(const ReplicationServer&) = delete;
 
   /// Binds, listens, and spawns the accept/worker/watchdog threads.
-  /// Throws std::runtime_error when the socket cannot be bound.
+  /// Throws std::runtime_error when no listener can be bound.
   void start();
-  /// Graceful stop: closes the listener and every live connection, drains
+  /// Graceful stop: closes the listeners and every live connection, drains
   /// workers, joins all threads. Idempotent.
   void stop();
 
   bool running() const { return running_.load(); }
   const std::string& socket_path() const { return options_.socket_path; }
+  /// Bound TCP port (resolves ephemeral binds); -1 when TCP is disabled
+  /// or the server has not started.
+  int tcp_port() const { return tcp_port_.load(); }
   ServiceCore& core() { return core_; }
 
  private:
@@ -71,7 +93,7 @@ class ReplicationServer {
     std::promise<Json> reply;
   };
 
-  void accept_loop();
+  void accept_loop(std::atomic<int>* listen_fd);
   void connection_loop(int fd);
   void worker_loop();
   void watchdog_loop();
@@ -86,8 +108,11 @@ class ReplicationServer {
   ServiceCore core_;
 
   std::atomic<bool> running_{false};
-  /// Atomic: the accept loop reads it concurrently with do_stop()'s close.
+  /// Atomic: the accept loops read these concurrently with do_stop()'s
+  /// close. One slot per listener (Unix-domain, TCP).
   std::atomic<int> listen_fd_{-1};
+  std::atomic<int> tcp_listen_fd_{-1};
+  std::atomic<int> tcp_port_{-1};
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
@@ -100,6 +125,7 @@ class ReplicationServer {
   std::vector<std::thread> conn_threads_;
 
   std::thread accept_thread_;
+  std::thread tcp_accept_thread_;
   std::vector<std::thread> worker_threads_;
   std::thread watchdog_thread_;
 
@@ -122,8 +148,16 @@ class ServiceClient {
   ServiceClient(const ServiceClient&) = delete;
   ServiceClient& operator=(const ServiceClient&) = delete;
 
-  /// Connects, retrying briefly while the server is still binding.
-  void connect(const std::string& socket_path);
+  /// Connects to a Unix-domain socket, retrying `attempts` times at 10 ms
+  /// spacing (covers the window where the server is still binding). The
+  /// cluster health prober passes attempts=1 for a cheap liveness poke.
+  void connect(const std::string& socket_path, int attempts = 100);
+  /// Connects to a TCP endpoint (same retry behavior).
+  void connect_tcp(const std::string& host, int port, int attempts = 100);
+  /// Bounds every later send/recv on this connection (SO_SNDTIMEO /
+  /// SO_RCVTIMEO). Call after connect; 0 disables. After a timeout the
+  /// connection may hold a half-read reply — close it, don't reuse it.
+  void set_timeout_ms(double ms);
   bool connected() const { return fd_ >= 0; }
   void close();
 

@@ -76,7 +76,10 @@ Json error_response(const std::string& message) {
 }  // namespace
 
 ServiceCore::ServiceCore(ServiceOptions options)
-    : options_(std::move(options)), faults_(options_.fault_plan) {}
+    : options_(std::move(options)),
+      faults_(options_.fault_plan),
+      result_cache_(options_.result_cache_capacity),
+      embed_cache_(options_.embed_cache_capacity) {}
 
 ServiceStats ServiceCore::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -162,6 +165,30 @@ Json ServiceCore::dispatch(const Json& request,
     r.set("cache_hits", Json::number(static_cast<double>(s.cache_hits)));
     return r;
   }
+  if (op == "cache_stats") {
+    Json r = Json::object();
+    r.set("status", Json::string("ok"));
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      r.set("result_cache_size",
+            Json::number(static_cast<double>(result_cache_.size())));
+      r.set("result_cache_capacity",
+            Json::number(static_cast<double>(result_cache_.capacity())));
+      r.set("result_cache_evictions",
+            Json::number(static_cast<double>(result_cache_.evictions())));
+      r.set("cache_hits", Json::number(static_cast<double>(stats_.cache_hits)));
+    }
+    {
+      const std::lock_guard<std::mutex> lock(embed_mutex_);
+      r.set("embed_cache_size",
+            Json::number(static_cast<double>(embed_cache_.size())));
+      r.set("embed_cache_capacity",
+            Json::number(static_cast<double>(embed_cache_.capacity())));
+      r.set("embed_cache_evictions",
+            Json::number(static_cast<double>(embed_cache_.evictions())));
+    }
+    return r;
+  }
   if (op != "run_study" && op != "run_replication")
     return bad_request("unknown op '" + op + "'");
 
@@ -222,10 +249,9 @@ Json ServiceCore::run_study_op(const Json& request,
   const std::string key = "run_study|seed=" + std::to_string(config.seed);
   if (!no_cache) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = result_cache_.find(key);
-    if (it != result_cache_.end()) {
+    if (const Json* hit = result_cache_.find(key)) {
       ++stats_.cache_hits;
-      return it->second;
+      return *hit;
     }
   }
 
@@ -249,7 +275,7 @@ Json ServiceCore::run_study_op(const Json& request,
     r.set("failed_shards", failed);
   } else if (!no_cache) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    result_cache_.emplace(key, r);
+    result_cache_.put(key, r);
   }
   return r;
 }
@@ -284,10 +310,9 @@ Json ServiceCore::run_replication_op(const Json& request,
       "|rendered=" + std::to_string(include_rendered);
   if (!no_cache) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = result_cache_.find(key);
-    if (it != result_cache_.end()) {
+    if (const Json* hit = result_cache_.find(key)) {
       ++stats_.cache_hits;
-      return it->second;
+      return *hit;
     }
   }
 
@@ -310,7 +335,7 @@ Json ServiceCore::run_replication_op(const Json& request,
     r.set("notes", notes);
   } else if (!no_cache) {
     const std::lock_guard<std::mutex> lock(mutex_);
-    result_cache_.emplace(key, r);
+    result_cache_.put(key, r);
   }
   return r;
 }
@@ -320,13 +345,15 @@ std::shared_ptr<const embed::EmbeddingModel> ServiceCore::embedding_for(
   const std::string key =
       std::to_string(sentences) + "|" + std::to_string(seed);
   const std::lock_guard<std::mutex> lock(embed_mutex_);
-  const auto it = embed_cache_.find(key);
-  if (it != embed_cache_.end()) return it->second;
+  if (const auto* hit = embed_cache_.find(key)) return *hit;
   embed::EmbeddingOptions options;
   options.threads = threads;
+  options.faults = &faults_;
   auto model = std::make_shared<const embed::EmbeddingModel>(
       embed::EmbeddingModel::train_default(sentences, seed, options));
-  embed_cache_.emplace(key, model);
+  // A model with quarantined trainer shards is an answer for this request
+  // (the response will be marked degraded) but is never cached.
+  if (!model->degraded()) embed_cache_.put(key, model);
   return model;
 }
 

@@ -25,12 +25,14 @@
 // cached per canonical request key — the key excludes the thread count,
 // because results are bit-identical at every thread count — and embedding
 // models are cached per (corpus_sentences, corpus_seed) so repeated
-// metric requests skip training.
+// metric requests skip training. Both caches are LRU-bounded
+// (ServiceOptions::{result,embed}_cache_capacity) so a long-lived backend
+// under a seed sweep cannot grow without limit; the "cache_stats" op
+// reports size/capacity/evictions.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -38,6 +40,7 @@
 #include "embed/embedding.h"
 #include "service/json.h"
 #include "util/fault.h"
+#include "util/lru.h"
 
 namespace decompeval::service {
 
@@ -56,6 +59,11 @@ struct ServiceOptions {
   /// before giving up and continuing (keeps fault runs bounded even
   /// without a deadline).
   std::uint64_t stall_max_ms = 250;
+  /// LRU bound on the per-seed result cache (entries; 0 disables caching).
+  std::size_t result_cache_capacity = 256;
+  /// LRU bound on the trained-embedding cache. Models are large, so the
+  /// default keeps only a handful of (corpus, seed) configurations warm.
+  std::size_t embed_cache_capacity = 4;
 };
 
 /// Monotonic counters, readable via the "stats" op.
@@ -95,12 +103,13 @@ class ServiceCore {
 
   mutable std::mutex mutex_;
   ServiceStats stats_;
-  /// ok-only response cache, keyed by canonical request key.
-  std::map<std::string, Json> result_cache_;
+  /// ok-only response cache, keyed by canonical request key; LRU-bounded.
+  util::LruCache<std::string, Json> result_cache_;
   /// Embedding models keyed by "sentences|seed". Guarded separately so a
   /// long training run does not block stats/caching on other workers.
+  /// Degraded models (quarantined trainer shards) are never cached.
   std::mutex embed_mutex_;
-  std::map<std::string, std::shared_ptr<const embed::EmbeddingModel>>
+  util::LruCache<std::string, std::shared_ptr<const embed::EmbeddingModel>>
       embed_cache_;
 };
 

@@ -100,6 +100,8 @@ TEST(Chaos, FaultPlanSweepNeverCrashesOrHangsTheService) {
       {"service.request", "run_study"},
       {"service.stall", "run_study"},
       {"replication.metrics", "run_replication", true},
+      {"embed.train", "run_replication", true},
+      {"report.render", "run_replication"},
   };
 
   for (const SiteCase& c : cases) {
@@ -217,6 +219,73 @@ TEST(Chaos, ParallelTaskFaultsSurfaceLowestIndexFirst) {
       }
     }
   }
+}
+
+TEST(Chaos, EmbedTrainQuarantineIsThreadCountInvariant) {
+  // Quarantine is keyed on the fixed sentence-block index, so the same
+  // blocks drop — and the same degraded vectors come out — at every
+  // thread count.
+  FaultPlan plan;
+  plan.set("embed.train", FaultSpec::every_nth(3));
+  const util::FaultInjector faults(plan);
+
+  std::vector<std::vector<std::string>> notes;
+  std::vector<double> similarity;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    embed::EmbeddingOptions options;
+    options.threads = threads;
+    options.block_sentences = 32;  // 300 sentences -> 10 blocks
+    options.faults = &faults;
+    const auto model = embed::EmbeddingModel::train_default(300, 42, options);
+    EXPECT_TRUE(model.degraded());
+    notes.push_back(model.degradation_notes());
+    similarity.push_back(model.name_similarity("parseHeader", "read_header"));
+  }
+  EXPECT_EQ(notes[0], notes[1]);
+  EXPECT_EQ(notes[0], notes[2]);
+  EXPECT_EQ(similarity[0], similarity[1]);  // bit-identical, not approx
+  EXPECT_EQ(similarity[0], similarity[2]);
+  ASSERT_FALSE(notes[0].empty());
+  EXPECT_NE(notes[0][0].find("quarantined"), std::string::npos);
+}
+
+TEST(Chaos, EveryBlockQuarantinedIsAStructuredFailure) {
+  FaultPlan plan;
+  plan.set("embed.train", FaultSpec::always());
+  const util::FaultInjector faults(plan);
+  embed::EmbeddingOptions options;
+  options.block_sentences = 32;
+  options.faults = &faults;
+  EXPECT_THROW(embed::EmbeddingModel::train_default(300, 42, options),
+               NumericalError);
+}
+
+TEST(Chaos, ReportRenderFaultDropsOneSectionAndKeepsTheRest) {
+  // Section 0 is Figure 3; dropping it must leave a marked hole and
+  // every later section intact, with the run flagged degraded.
+  FaultPlan plan;
+  plan.set("report.render", FaultSpec::once(0));
+  const util::FaultInjector faults(plan);
+  core::ReplicationConfig config;
+  config.seed = 7;
+  config.run_metrics = false;
+  config.faults = &faults;
+  const core::ReplicationReport report = core::run_replication(config);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_NE(report.rendered.find("[Figure 3 section dropped"),
+            std::string::npos);
+  EXPECT_NE(report.rendered.find("TABLE I:"), std::string::npos);
+  EXPECT_NE(report.rendered.find("FIGURE 5:"), std::string::npos);
+  bool noted = false;
+  for (const std::string& note : report.degradation_notes)
+    noted = noted || note.find("section dropped from render") !=
+                         std::string::npos;
+  EXPECT_TRUE(noted);
+
+  // The dropped-section pattern is thread-count invariant.
+  core::ReplicationConfig threaded = config;
+  threaded.threads = 4;
+  EXPECT_EQ(core::run_replication(threaded).rendered, report.rendered);
 }
 
 TEST(Chaos, AllStartsQuarantinedDegradesTheModelTables) {

@@ -1,0 +1,534 @@
+// Sharded-cluster contract suite (CTest labels: tier1, cluster).
+//
+// Covers the consistent-hash ring, the persistent disk cache (round
+// trips, version invalidation, corruption tolerance, concurrent
+// writers), the TCP transport, and the dispatcher end-to-end: a request
+// served through the dispatcher is bit-identical to asking a backend
+// directly, to the offline pipeline, and to a cold-restart disk-cache
+// hit.
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/backend.h"
+#include "cluster/disk_cache.h"
+#include "cluster/dispatcher.h"
+#include "cluster/hash_ring.h"
+#include "core/replication.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace decompeval;
+using cluster::ClusterBackend;
+using cluster::ClusterBackendOptions;
+using cluster::DiskCache;
+using cluster::DiskCacheOptions;
+using cluster::Dispatcher;
+using cluster::DispatcherOptions;
+using cluster::HashRing;
+using service::Json;
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string unique_socket_path(const std::string& tag) {
+  return "/tmp/decompeval-" + tag + "-" + std::to_string(::getpid()) + ".sock";
+}
+
+// Fresh (empty) per-test cache directory under /tmp.
+std::string fresh_cache_dir(const std::string& tag) {
+  const std::string dir =
+      "/tmp/decompeval-cache-" + tag + "-" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+Json study_request(std::uint64_t seed) {
+  Json req = Json::object();
+  req.set("op", Json::string("run_study"));
+  req.set("seed", Json::number(static_cast<double>(seed)));
+  return req;
+}
+
+Json replication_request(double threads) {
+  Json req = Json::object();
+  req.set("op", Json::string("run_replication"));
+  req.set("seed", Json::number(7));
+  req.set("threads", Json::number(threads));
+  req.set("run_models", Json::boolean(true));
+  req.set("run_metrics", Json::boolean(false));
+  return req;
+}
+
+DiskCacheOptions cache_options(const std::string& dir) {
+  DiskCacheOptions o;
+  o.directory = dir;
+  o.version = core::version();
+  return o;
+}
+
+TEST(HashRingTest, RoutingIsDeterministicAndFailoverOrderIsStable) {
+  HashRing a(32), b(32);
+  for (const char* id : {"alpha", "beta", "gamma"}) {
+    a.add(id);
+    b.add(id);
+  }
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const auto route_a = a.route(key, 3);
+    ASSERT_EQ(route_a.size(), 3u) << key;
+    EXPECT_EQ(route_a, b.route(key, 3)) << key;
+    // Distinct candidates, primary first.
+    const std::set<std::string> distinct(route_a.begin(), route_a.end());
+    EXPECT_EQ(distinct.size(), 3u) << key;
+    EXPECT_EQ(a.primary(key), route_a.front()) << key;
+  }
+}
+
+TEST(HashRingTest, KeysSpreadAcrossAllBackends) {
+  HashRing ring(64);
+  for (const char* id : {"alpha", "beta", "gamma", "delta"}) ring.add(id);
+  std::set<std::string> primaries;
+  for (int i = 0; i < 200; ++i)
+    primaries.insert(ring.primary("seed=" + std::to_string(i)));
+  EXPECT_EQ(primaries.size(), 4u);
+}
+
+TEST(HashRingTest, ReAddingABackendIsANoOp) {
+  HashRing ring(16);
+  ring.add("alpha");
+  ring.add("alpha");
+  EXPECT_EQ(ring.backend_count(), 1u);
+}
+
+TEST(DiskCacheTest, StoreThenLoadRoundTripsAcrossInstances) {
+  const std::string dir = fresh_cache_dir("roundtrip");
+  Json response = Json::object();
+  response.set("status", Json::string("ok"));
+  response.set("digest", Json::string("abc123"));
+
+  const Json request = study_request(7);
+  std::string digest;
+  {
+    DiskCache cache(cache_options(dir));
+    digest = cache.digest(request);
+    ASSERT_TRUE(cache.store(digest, response));
+    Json loaded;
+    ASSERT_TRUE(cache.load(digest, &loaded));  // memory front
+    EXPECT_EQ(loaded.dump(), response.dump());
+    EXPECT_EQ(cache.stats().memory_hits, 1u);
+  }
+  // A fresh instance (cold restart) reads the same bytes from disk.
+  DiskCache cold(cache_options(dir));
+  Json loaded;
+  ASSERT_TRUE(cold.load(digest, &loaded));
+  EXPECT_EQ(loaded.dump(), response.dump());
+  EXPECT_EQ(cold.stats().disk_hits, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskCacheTest, CanonicalKeyIgnoresVolatileFieldsAndOrder) {
+  Json a = Json::object();
+  a.set("op", Json::string("run_study"));
+  a.set("seed", Json::number(7));
+  a.set("threads", Json::number(4));
+  a.set("no_cache", Json::boolean(true));
+  a.set("deadline_ms", Json::number(500));
+  Json b = Json::object();
+  b.set("seed", Json::number(7));
+  b.set("op", Json::string("run_study"));
+  EXPECT_EQ(DiskCache::canonical_request_key(a),
+            DiskCache::canonical_request_key(b));
+  Json c = Json::object();
+  c.set("op", Json::string("run_study"));
+  c.set("seed", Json::number(8));
+  EXPECT_NE(DiskCache::canonical_request_key(a),
+            DiskCache::canonical_request_key(c));
+}
+
+TEST(DiskCacheTest, BinaryVersionMismatchMissesAndLeavesTheFileAlone) {
+  const std::string dir = fresh_cache_dir("version");
+  Json response = Json::object();
+  response.set("status", Json::string("ok"));
+  const Json request = study_request(7);
+
+  DiskCacheOptions v1 = cache_options(dir);
+  v1.version = "1.0.0-test";
+  DiskCache old_cache(v1);
+  const std::string old_digest = old_cache.digest(request);
+  ASSERT_TRUE(old_cache.store(old_digest, response));
+
+  DiskCacheOptions v2 = cache_options(dir);
+  v2.version = "2.0.0-test";
+  DiskCache new_cache(v2);
+  // The digest itself changes with the version, so the old entry can
+  // never be addressed by the new binary...
+  EXPECT_NE(new_cache.digest(request), old_digest);
+  Json loaded;
+  EXPECT_FALSE(new_cache.load(new_cache.digest(request), &loaded));
+  // ...and even a forced lookup of the old digest is rejected by the
+  // envelope's recorded version (defense in depth), with a warning.
+  EXPECT_FALSE(new_cache.load(old_digest, &loaded));
+  EXPECT_EQ(new_cache.stats().invalid_files, 1u);
+  ASSERT_FALSE(new_cache.warnings().empty());
+  // The old file is untouched — the old binary still hits it.
+  Json still_there;
+  DiskCache old_again(v1);
+  EXPECT_TRUE(old_again.load(old_digest, &still_there));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskCacheTest, CorruptedAndTruncatedFilesAreMissesWithWarnings) {
+  const std::string dir = fresh_cache_dir("corrupt");
+  DiskCache cache(cache_options(dir));
+  const Json request = study_request(7);
+  const std::string digest = cache.digest(request);
+
+  for (const std::string garbage :
+       {std::string("not json at all"),
+        std::string("{\"cache_version\":\"x\",\"resp"),  // truncated
+        std::string("")}) {
+    {
+      std::ofstream out(cache.path_for(digest), std::ios::trunc);
+      out << garbage;
+    }
+    DiskCache fresh(cache_options(dir));  // bypass the memory front
+    Json loaded;
+    EXPECT_FALSE(fresh.load(digest, &loaded)) << "garbage: " << garbage;
+    EXPECT_EQ(fresh.stats().invalid_files, 1u);
+    ASSERT_FALSE(fresh.warnings().empty());
+    EXPECT_NE(fresh.warnings().back().find(digest), std::string::npos);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskCacheTest, ConcurrentWritersOfTheSameDigestLeaveOneValidFile) {
+  const std::string dir = fresh_cache_dir("writers");
+  DiskCache cache(cache_options(dir));
+  const Json request = study_request(7);
+  const std::string digest = cache.digest(request);
+  Json response = Json::object();
+  response.set("status", Json::string("ok"));
+  response.set("payload", Json::string("identical-for-every-writer"));
+
+  std::vector<std::thread> writers;
+  for (int i = 0; i < 8; ++i)
+    writers.emplace_back([&] { cache.store(digest, response); });
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(cache.stats().stores, 8u);
+  EXPECT_EQ(cache.stats().store_failures, 0u);
+
+  // Exactly one final file, fully valid; no temp litter.
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().extension(), ".json") << entry.path();
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+  DiskCache fresh(cache_options(dir));
+  Json loaded;
+  ASSERT_TRUE(fresh.load(digest, &loaded));
+  EXPECT_EQ(loaded.dump(), response.dump());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskCacheTest, DegradedResponsesAreNeverStored) {
+  const std::string dir = fresh_cache_dir("degraded");
+  DiskCache cache(cache_options(dir));
+  Json degraded = Json::object();
+  degraded.set("status", Json::string("degraded"));
+  EXPECT_FALSE(cache.store("deadbeef", degraded));
+  EXPECT_FALSE(std::filesystem::exists(cache.path_for("deadbeef")));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ClusterTest, TcpTransportAnswersIdenticallyToUnix) {
+  service::ServerOptions options;
+  options.socket_path = unique_socket_path("tcpunix");
+  options.tcp_port = 0;  // ephemeral
+  options.workers = 2;
+  service::ReplicationServer server(options);
+  server.start();
+  ASSERT_GT(server.tcp_port(), 0);
+
+  service::ServiceClient unix_client, tcp_client;
+  unix_client.connect(options.socket_path);
+  tcp_client.connect_tcp("127.0.0.1", server.tcp_port());
+
+  const Json req = study_request(7);
+  const Json via_unix = unix_client.call(req);
+  const Json via_tcp = tcp_client.call(req);
+  ASSERT_EQ(via_unix.get_string("status", ""), "ok");
+  EXPECT_EQ(via_unix.dump(), via_tcp.dump());
+  server.stop();
+}
+
+TEST(ClusterTest, TcpOnlyServerNeedsNoSocketPath) {
+  service::ServerOptions options;
+  options.tcp_port = 0;
+  service::ReplicationServer server(options);
+  server.start();
+  service::ServiceClient client;
+  client.connect_tcp("127.0.0.1", server.tcp_port());
+  Json ping = Json::object();
+  ping.set("op", Json::string("ping"));
+  EXPECT_EQ(client.call(ping).get_string("status", ""), "ok");
+  server.stop();
+}
+
+TEST(ClusterTest, ServerWithNoListenerRefusesToStart) {
+  service::ServerOptions options;  // no socket_path, tcp disabled
+  service::ReplicationServer server(options);
+  EXPECT_THROW(server.start(), std::runtime_error);
+}
+
+TEST(ClusterTest, ColdRestartServesBitIdenticalResultFromDisk) {
+  const std::string dir = fresh_cache_dir("restart");
+  const Json request = study_request(11);
+  std::string first;
+  {
+    ClusterBackendOptions options;
+    options.cache = cache_options(dir);
+    ClusterBackend backend(options);
+    first = backend.handle(request, nullptr).dump();
+    EXPECT_EQ(backend.cache().stats().stores, 1u);
+  }
+  // "Restart": a brand-new process image would rebuild exactly this
+  // state — fresh core, fresh memory cache, same directory.
+  ClusterBackendOptions options;
+  options.cache = cache_options(dir);
+  ClusterBackend restarted(options);
+  const Json again = restarted.handle(request, nullptr);
+  EXPECT_EQ(again.dump(), first);
+  EXPECT_EQ(restarted.cache().stats().disk_hits, 1u);
+  EXPECT_EQ(restarted.core().stats().requests, 0u);  // never recomputed
+
+  // cache_stats reports the disk layer on top of the core's counters.
+  Json stats_req = Json::object();
+  stats_req.set("op", Json::string("cache_stats"));
+  const Json stats = restarted.handle(stats_req, nullptr);
+  EXPECT_EQ(stats.get_string("status", ""), "ok");
+  EXPECT_EQ(stats.get_number("disk_hits", -1), 1.0);
+  EXPECT_EQ(stats.get_bool("disk_enabled", false), true);
+  std::filesystem::remove_all(dir);
+}
+
+// Spins up `n` backends (Unix sockets, each with its own disk cache dir)
+// plus a dispatcher front server, and hands everything back ready to use.
+struct TestCluster {
+  std::vector<std::unique_ptr<ClusterBackend>> backends;
+  std::vector<std::unique_ptr<service::ReplicationServer>> servers;
+  std::unique_ptr<Dispatcher> dispatcher;
+  std::unique_ptr<service::ReplicationServer> front;
+  std::vector<std::string> cache_dirs;
+  std::string front_socket;
+
+  explicit TestCluster(const std::string& tag, std::size_t n,
+                       util::FaultPlan dispatcher_faults = {}) {
+    DispatcherOptions dispatch;
+    dispatch.fault_plan = std::move(dispatcher_faults);
+    dispatch.health_interval_ms = 20;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::string id = tag + "-backend-" + std::to_string(i);
+      cache_dirs.push_back(fresh_cache_dir(id));
+      ClusterBackendOptions backend_options;
+      backend_options.cache = cache_options(cache_dirs.back());
+      backends.push_back(std::make_unique<ClusterBackend>(backend_options));
+
+      service::ServerOptions server_options;
+      server_options.socket_path = unique_socket_path(id);
+      server_options.workers = 2;
+      server_options.handler = backends.back()->handler();
+      servers.push_back(
+          std::make_unique<service::ReplicationServer>(server_options));
+      servers.back()->start();
+
+      cluster::BackendEndpoint endpoint;
+      endpoint.id = id;
+      endpoint.socket_path = server_options.socket_path;
+      dispatch.backends.push_back(endpoint);
+    }
+    dispatcher = std::make_unique<Dispatcher>(dispatch);
+    dispatcher->start();
+
+    service::ServerOptions front_options;
+    front_socket = unique_socket_path(tag + "-front");
+    front_options.socket_path = front_socket;
+    front_options.workers = 2;
+    front_options.max_queue = 16;
+    front_options.handler = dispatcher->handler();
+    front = std::make_unique<service::ReplicationServer>(front_options);
+    front->start();
+  }
+
+  ~TestCluster() {
+    if (front) front->stop();
+    if (dispatcher) dispatcher->stop();
+    for (auto& server : servers) server->stop();
+    for (const std::string& dir : cache_dirs)
+      std::filesystem::remove_all(dir);
+  }
+};
+
+TEST(ClusterTest, DispatcherMatchesDirectBackendAndOfflineBitForBit) {
+  // Offline reference digest.
+  core::ReplicationConfig config;
+  config.seed = 7;
+  config.run_metrics = false;
+  const core::ReplicationReport offline = core::run_replication(config);
+  ASSERT_FALSE(offline.degraded);
+  char expected[20];
+  std::snprintf(expected, sizeof expected, "%016llx",
+                static_cast<unsigned long long>(fnv1a(offline.rendered)));
+
+  TestCluster cluster("identity", 2);
+  service::ServiceClient client;
+  client.connect(cluster.front_socket);
+
+  // Dispatcher-served result at every thread count == offline digest.
+  std::string dispatcher_dump;
+  for (const double threads : {1.0, 2.0, 4.0}) {
+    const Json r = client.call(replication_request(threads));
+    ASSERT_EQ(r.get_string("status", ""), "ok") << "threads=" << threads;
+    EXPECT_EQ(r.get_string("digest", ""), expected) << "threads=" << threads;
+    if (dispatcher_dump.empty()) dispatcher_dump = r.dump();
+    EXPECT_EQ(r.dump(), dispatcher_dump) << "threads=" << threads;
+  }
+
+  // Direct call to whichever backend owns the key: identical bytes.
+  const std::string key =
+      DiskCache::canonical_request_key(replication_request(1));
+  const std::string owner = cluster.dispatcher->ring().primary(key);
+  for (std::size_t i = 0; i < cluster.backends.size(); ++i) {
+    if (cluster.servers[i]->socket_path().find(owner) == std::string::npos)
+      continue;
+    service::ServiceClient direct;
+    direct.connect(cluster.servers[i]->socket_path());
+    EXPECT_EQ(direct.call(replication_request(1)).dump(), dispatcher_dump);
+  }
+}
+
+TEST(ClusterTest, FailoverToNextRingNodeWhenABackendDies) {
+  TestCluster cluster("failover", 2);
+  service::ServiceClient client;
+  client.connect(cluster.front_socket);
+
+  // Kill backend 0 outright. Every seed — including those whose primary
+  // was the dead backend — must still be answered by the survivor.
+  cluster.servers[0]->stop();
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Json r = client.call(study_request(seed));
+    EXPECT_EQ(r.get_string("status", ""), "ok") << "seed=" << seed;
+  }
+  const cluster::DispatcherStats stats = cluster.dispatcher->stats();
+  EXPECT_EQ(stats.exhausted, 0u);
+  EXPECT_GT(stats.forwarded, 0u);
+}
+
+TEST(ClusterTest, HealthProberRestoresARecoveredBackend) {
+  TestCluster cluster("recover", 2);
+  const std::string dead_id = cluster.dispatcher->ring().backends()[0];
+  const std::string dead_socket = cluster.servers[0]->socket_path();
+  cluster.servers[0]->stop();
+
+  service::ServiceClient client;
+  client.connect(cluster.front_socket);
+  // Drive requests until the dispatcher notices the outage.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed)
+    client.call(study_request(seed));
+  ASSERT_FALSE(cluster.dispatcher->backend_up(dead_id));
+
+  // Revive on the same socket; the prober should mark it up again.
+  service::ServerOptions revived_options;
+  revived_options.socket_path = dead_socket;
+  revived_options.handler = cluster.backends[0]->handler();
+  service::ReplicationServer revived(revived_options);
+  revived.start();
+  for (int i = 0; i < 200 && !cluster.dispatcher->backend_up(dead_id); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_TRUE(cluster.dispatcher->backend_up(dead_id));
+  revived.stop();
+}
+
+TEST(ClusterTest, DispatcherShutdownWithQueuedAndInFlightNeverDeadlocks) {
+  // Backends that stall every request, a single front worker, and more
+  // clients than queue slots: stopping the front server mid-burst must
+  // answer or close every connection — never deadlock.
+  util::FaultPlan stall_plan;
+  stall_plan.set("service.stall", util::FaultSpec::always());
+
+  std::vector<std::unique_ptr<ClusterBackend>> backends;
+  std::vector<std::unique_ptr<service::ReplicationServer>> servers;
+  DispatcherOptions dispatch;
+  for (int i = 0; i < 2; ++i) {
+    const std::string id = "stall-backend-" + std::to_string(i);
+    ClusterBackendOptions backend_options;
+    backend_options.service.fault_plan = stall_plan;
+    backend_options.service.stall_max_ms = 100;
+    backends.push_back(std::make_unique<ClusterBackend>(backend_options));
+    service::ServerOptions server_options;
+    server_options.socket_path = unique_socket_path(id);
+    server_options.handler = backends.back()->handler();
+    servers.push_back(
+        std::make_unique<service::ReplicationServer>(server_options));
+    servers.back()->start();
+    cluster::BackendEndpoint endpoint;
+    endpoint.id = id;
+    endpoint.socket_path = server_options.socket_path;
+    dispatch.backends.push_back(endpoint);
+  }
+  Dispatcher dispatcher(dispatch);
+  dispatcher.start();
+
+  service::ServerOptions front_options;
+  front_options.socket_path = unique_socket_path("stall-front");
+  front_options.workers = 1;
+  front_options.max_queue = 2;
+  front_options.handler = dispatcher.handler();
+  service::ReplicationServer front(front_options);
+  front.start();
+
+  std::atomic<int> structured{0}, closed{0};
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 4; ++i) {
+    clients.emplace_back([&, i] {
+      try {
+        service::ServiceClient c;
+        c.connect(front_options.socket_path);
+        const Json r = c.call(study_request(100 + i));
+        if (!r.get_string("status", "").empty()) ++structured;
+      } catch (const std::exception&) {
+        ++closed;  // connection torn down by shutdown — acceptable
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  front.stop();  // must return; the test hanging here is the failure
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(structured.load() + closed.load(), 4);
+  dispatcher.stop();
+  for (auto& server : servers) server->stop();
+}
+
+}  // namespace

@@ -1,0 +1,245 @@
+// Cluster chaos suite (CTest labels: chaos, cluster).
+//
+// Extends the deterministic fault sweeps to the cluster's four sites —
+// "cluster.forward", "cluster.backend", "cache.read", "cache.write" —
+// plus a real backend-kill/ring-failover scenario. The invariants:
+// every request ends in a structured ok/degraded/error/timeout response
+// (no crash, no hang), no stale or partial cache file is ever left on
+// disk, and a degraded result is never cached.
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/backend.h"
+#include "cluster/disk_cache.h"
+#include "cluster/dispatcher.h"
+#include "core/replication.h"
+#include "service/server.h"
+
+namespace {
+
+using namespace decompeval;
+using cluster::ClusterBackend;
+using cluster::ClusterBackendOptions;
+using cluster::DiskCache;
+using cluster::DiskCacheOptions;
+using cluster::Dispatcher;
+using cluster::DispatcherOptions;
+using service::Json;
+using util::FaultPlan;
+using util::FaultSpec;
+
+const std::vector<std::pair<std::string, FaultSpec>>& schedules() {
+  static const std::vector<std::pair<std::string, FaultSpec>> kSchedules = {
+      {"never", FaultSpec::never()},
+      {"once@0", FaultSpec::once(0)},
+      {"every2", FaultSpec::every_nth(2)},
+      {"always", FaultSpec::always()},
+  };
+  return kSchedules;
+}
+
+std::string unique_socket_path(const std::string& tag) {
+  return "/tmp/decompeval-" + tag + "-" + std::to_string(::getpid()) + ".sock";
+}
+
+std::string fresh_cache_dir(const std::string& tag) {
+  const std::string dir =
+      "/tmp/decompeval-cchaos-" + tag + "-" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+Json study_request(std::uint64_t seed) {
+  Json req = Json::object();
+  req.set("op", Json::string("run_study"));
+  req.set("seed", Json::number(static_cast<double>(seed)));
+  return req;
+}
+
+bool structured_status(const std::string& status) {
+  return status == "ok" || status == "degraded" || status == "error" ||
+         status == "deadline_exceeded" || status == "overloaded";
+}
+
+// Every entry in `dir` must be a complete, parseable cache file whose
+// payload is a clean "ok" response — no temp litter, no torn writes,
+// no cached degradation.
+void assert_cache_dir_clean(const std::string& dir) {
+  if (!std::filesystem::exists(dir)) return;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ASSERT_EQ(entry.path().extension(), ".json")
+        << "temp/partial file left behind: " << entry.path();
+    std::ifstream in(entry.path());
+    std::ostringstream content;
+    content << in.rdbuf();
+    Json envelope;
+    ASSERT_NO_THROW(envelope = Json::parse(content.str())) << entry.path();
+    const Json* response = envelope.get("response");
+    ASSERT_NE(response, nullptr) << entry.path();
+    EXPECT_EQ(response->get_string("status", ""), "ok") << entry.path();
+  }
+}
+
+TEST(ClusterChaos, CacheFaultSweepNeverCrashesOrPoisonsTheCache) {
+  for (const char* site : {"cache.read", "cache.write"}) {
+    for (const auto& [schedule_name, spec] : schedules()) {
+      const std::string label = std::string(site) + " x " + schedule_name;
+      const std::string dir = fresh_cache_dir("sweep");
+
+      FaultPlan plan;
+      plan.set(site, spec);
+      util::FaultInjector faults(plan);
+      ClusterBackendOptions options;
+      options.cache.directory = dir;
+      options.cache.version = core::version();
+      options.cache.faults = &faults;
+      ClusterBackend backend(options);
+
+      // Two seeds, twice each: the repeat exercises whatever mix of
+      // hits/misses the schedule produces.
+      for (int round = 0; round < 2; ++round)
+        for (const std::uint64_t seed : {3u, 4u}) {
+          const Json r = backend.handle(study_request(seed), nullptr);
+          // Cache faults only cost reuse, never correctness.
+          EXPECT_EQ(r.get_string("status", ""), "ok")
+              << label << " seed=" << seed;
+        }
+      assert_cache_dir_clean(dir);
+
+      // A write fault must abort the store outright: with "always", no
+      // entry may ever appear.
+      if (std::string(site) == "cache.write" && schedule_name == "always") {
+        EXPECT_TRUE(!std::filesystem::exists(dir) ||
+                    std::filesystem::is_empty(dir))
+            << label;
+        EXPECT_GT(backend.cache().stats().store_failures, 0u) << label;
+      }
+      std::filesystem::remove_all(dir);
+    }
+  }
+}
+
+TEST(ClusterChaos, DispatcherFaultSweepAlwaysAnswersStructured) {
+  for (const char* site : {"cluster.forward", "cluster.backend"}) {
+    for (const auto& [schedule_name, spec] : schedules()) {
+      const std::string label = std::string(site) + " x " + schedule_name;
+
+      std::vector<std::unique_ptr<ClusterBackend>> backends;
+      std::vector<std::unique_ptr<service::ReplicationServer>> servers;
+      DispatcherOptions dispatch;
+      dispatch.health_interval_ms = 10;  // heal fast under "always"
+      dispatch.fault_plan.set(site, spec);
+      for (int i = 0; i < 2; ++i) {
+        const std::string id =
+            "chaos-" + std::string(site) + "-" + std::to_string(i);
+        backends.push_back(
+            std::make_unique<ClusterBackend>(ClusterBackendOptions{}));
+        service::ServerOptions server_options;
+        server_options.socket_path = unique_socket_path(id + schedule_name);
+        server_options.handler = backends.back()->handler();
+        servers.push_back(
+            std::make_unique<service::ReplicationServer>(server_options));
+        servers.back()->start();
+        cluster::BackendEndpoint endpoint;
+        endpoint.id = id;
+        endpoint.socket_path = server_options.socket_path;
+        dispatch.backends.push_back(endpoint);
+      }
+      Dispatcher dispatcher(dispatch);
+      dispatcher.start();
+
+      for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        const Json r = dispatcher.handle(study_request(seed), nullptr);
+        const std::string status = r.get_string("status", "");
+        EXPECT_TRUE(structured_status(status))
+            << label << " seed=" << seed << " gave '" << status << "'";
+        if (status == "error")
+          EXPECT_FALSE(r.get_string("error", "").empty()) << label;
+      }
+      // The dispatcher still answers control traffic after the sweep.
+      Json stats_req = Json::object();
+      stats_req.set("op", Json::string("cluster_stats"));
+      EXPECT_EQ(dispatcher.handle(stats_req, nullptr).get_string("status", ""),
+                "ok")
+          << label;
+      dispatcher.stop();
+      for (auto& server : servers) server->stop();
+    }
+  }
+}
+
+TEST(ClusterChaos, BackendKillMidStreamFailsOverWithoutStaleCacheFiles) {
+  std::vector<std::unique_ptr<ClusterBackend>> backends;
+  std::vector<std::unique_ptr<service::ReplicationServer>> servers;
+  std::vector<std::string> dirs;
+  DispatcherOptions dispatch;
+  dispatch.health_interval_ms = 20;
+  for (int i = 0; i < 3; ++i) {
+    const std::string id = "kill-" + std::to_string(i);
+    dirs.push_back(fresh_cache_dir(id));
+    ClusterBackendOptions backend_options;
+    backend_options.cache.directory = dirs.back();
+    backend_options.cache.version = core::version();
+    backends.push_back(std::make_unique<ClusterBackend>(backend_options));
+    service::ServerOptions server_options;
+    server_options.socket_path = unique_socket_path(id);
+    server_options.handler = backends.back()->handler();
+    servers.push_back(
+        std::make_unique<service::ReplicationServer>(server_options));
+    servers.back()->start();
+    cluster::BackendEndpoint endpoint;
+    endpoint.id = id;
+    endpoint.socket_path = server_options.socket_path;
+    dispatch.backends.push_back(endpoint);
+  }
+  Dispatcher dispatcher(dispatch);
+  dispatcher.start();
+
+  // Warm half the keys, kill a backend, then hit both the warm and cold
+  // halves. Everything must still answer ok via the ring.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    ASSERT_EQ(dispatcher.handle(study_request(seed), nullptr)
+                  .get_string("status", ""),
+              "ok");
+  servers[1]->stop();
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Json r = dispatcher.handle(study_request(seed), nullptr);
+    EXPECT_EQ(r.get_string("status", ""), "ok") << "seed=" << seed;
+  }
+  EXPECT_EQ(dispatcher.stats().exhausted, 0u);
+  for (const std::string& dir : dirs) assert_cache_dir_clean(dir);
+
+  dispatcher.stop();
+  for (auto& server : servers) server->stop();
+  for (const std::string& dir : dirs) std::filesystem::remove_all(dir);
+}
+
+TEST(ClusterChaos, DegradedBackendResultsAreNeverWrittenToDisk) {
+  const std::string dir = fresh_cache_dir("degraded");
+  ClusterBackendOptions options;
+  options.cache.directory = dir;
+  options.cache.version = core::version();
+  options.service.fault_plan.set("study.shard", FaultSpec::always());
+  options.service.backoff_initial_ms = 0.0;
+  ClusterBackend backend(options);
+
+  const Json r = backend.handle(study_request(5), nullptr);
+  const std::string status = r.get_string("status", "");
+  EXPECT_TRUE(status == "degraded" || status == "error") << status;
+  EXPECT_TRUE(!std::filesystem::exists(dir) || std::filesystem::is_empty(dir));
+  EXPECT_EQ(backend.cache().stats().stores, 0u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace

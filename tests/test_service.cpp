@@ -363,4 +363,43 @@ TEST(ReplicationServerTest, StopWithQueuedAndInFlightRequestsDoesNotHang) {
   for (auto& t : clients) t.join();
 }
 
+TEST(ServiceCoreTest, ResultCacheIsLruBounded) {
+  ServiceOptions options;
+  options.result_cache_capacity = 2;
+  ServiceCore core(options);
+
+  // Three distinct seeds through a 2-entry cache: the oldest line (seed
+  // 1) is evicted, the newer two stay warm.
+  for (const double seed : {1.0, 2.0, 3.0}) {
+    Json req = make_request("run_study");
+    req.set("seed", Json::number(seed));
+    ASSERT_EQ(core.handle(req).get_string("status", ""), "ok");
+  }
+  Json stats = core.handle(make_request("cache_stats"));
+  ASSERT_EQ(stats.get_string("status", ""), "ok");
+  EXPECT_EQ(stats.get_number("result_cache_size", -1), 2.0);
+  EXPECT_EQ(stats.get_number("result_cache_capacity", -1), 2.0);
+  EXPECT_EQ(stats.get_number("result_cache_evictions", -1), 1.0);
+
+  // Seed 3 is still cached; seed 1 was evicted and recomputes.
+  Json warm = make_request("run_study");
+  warm.set("seed", Json::number(3));
+  core.handle(warm);
+  EXPECT_EQ(core.stats().cache_hits, 1u);
+  Json cold = make_request("run_study");
+  cold.set("seed", Json::number(1));
+  core.handle(cold);
+  EXPECT_EQ(core.stats().cache_hits, 1u);  // recomputed, not served
+
+  // Capacity 0 disables caching entirely.
+  ServiceOptions disabled;
+  disabled.result_cache_capacity = 0;
+  ServiceCore uncached(disabled);
+  Json req = make_request("run_study");
+  req.set("seed", Json::number(1));
+  uncached.handle(req);
+  uncached.handle(req);
+  EXPECT_EQ(uncached.stats().cache_hits, 0u);
+}
+
 }  // namespace

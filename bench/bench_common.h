@@ -5,10 +5,15 @@
 #pragma once
 
 #include <benchmark/benchmark.h>
+#include <sys/utsname.h>
+#include <unistd.h>
 
 #include <iostream>
+#include <sstream>
+#include <string>
 
 #include "core/replication.h"
+#include "util/parallel.h"
 
 namespace decompeval::bench {
 
@@ -25,6 +30,21 @@ inline const embed::EmbeddingModel& cached_embeddings() {
   static const embed::EmbeddingModel kModel =
       embed::EmbeddingModel::train_default(8000, 42);
   return kModel;
+}
+
+/// Stable identity of the machine the numbers were taken on: hostname,
+/// kernel, and core count. Stored in every BENCH_*.json this harness
+/// writes so a perf trajectory mixing hosts is visible instead of
+/// silently misleading.
+inline std::string host_fingerprint() {
+  char hostname[256] = "unknown";
+  ::gethostname(hostname, sizeof hostname - 1);
+  utsname uts{};
+  std::ostringstream os;
+  os << hostname;
+  if (::uname(&uts) == 0) os << "|" << uts.sysname << " " << uts.release;
+  os << "|" << util::default_thread_count() << " cores";
+  return os.str();
 }
 
 /// Runs registered benchmarks, then the reproduction printer.

@@ -52,6 +52,9 @@ Json study_request(std::uint64_t seed) {
   options.socket_path = socket_path;
   options.workers = 2;
   options.handler = backend.handler();
+  // Warm repeats are answered on the connection thread from the backend's
+  // rendered-line cache, skipping the queue and both worker handoffs.
+  options.fast_path = backend.fast_path();
   service::ReplicationServer server(options);
   server.start();
   while (server.running())
@@ -93,6 +96,9 @@ int main(int argc, char** argv) {
   }
 
   // --- dispatcher front-end on TCP --------------------------------------
+  // Opt into the dispatcher's rendered-response cache: warm repeats are
+  // answered at the front door without any forwarding.
+  dispatch.response_cache_capacity = 256;
   cluster::Dispatcher dispatcher(dispatch);
   dispatcher.start();
   service::ServerOptions front_options;
@@ -100,6 +106,7 @@ int main(int argc, char** argv) {
   front_options.workers = 4;
   front_options.max_queue = 32;
   front_options.handler = dispatcher.handler();
+  front_options.fast_path = dispatcher.fast_path();
   service::ReplicationServer front(front_options);
   front.start();
   std::cout << "dispatcher listening on 127.0.0.1:" << front.tcp_port()

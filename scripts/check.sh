@@ -53,4 +53,13 @@ cmake -B build-ubsan -S . -DDECOMPEVAL_SANITIZE=undefined
 cmake --build build-ubsan -j "$JOBS"
 ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -L tier1
 
+echo "=== UBSan kernel differentials, forced-scalar (-DDECOMPEVAL_NO_SIMD) ==="
+# The tier-1 sweep above already ran the kernel differential tests with
+# the fast kernels on; this stage rebuilds just that binary with the
+# escape hatch engaged so the reference fallbacks also run UB-clean.
+cmake -B build-ubsan-nosimd -S . -DDECOMPEVAL_SANITIZE=undefined \
+  -DDECOMPEVAL_NO_SIMD=ON
+cmake --build build-ubsan-nosimd -j "$JOBS" --target test_kernels
+./build-ubsan-nosimd/tests/test_kernels
+
 echo "=== all checks passed ==="

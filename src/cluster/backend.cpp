@@ -1,5 +1,7 @@
 #include "cluster/backend.h"
 
+#include <vector>
+
 namespace decompeval::cluster {
 
 namespace {
@@ -13,7 +15,69 @@ bool cacheable_op(const service::Json& request) {
 }  // namespace
 
 ClusterBackend::ClusterBackend(ClusterBackendOptions options)
-    : core_(options.service), cache_(std::move(options.cache)) {}
+    : core_(options.service),
+      cache_(std::move(options.cache)),
+      // Any active fault injection disables the rendered-line fast lane:
+      // serving from it would skip service/cache fault sites and shift
+      // their deterministic hit sequences. (Reading options.cache.faults
+      // after the move above is fine — moving the struct copies the raw
+      // pointer member.)
+      line_cache_(options.service.fault_plan.empty() &&
+                          options.cache.faults == nullptr
+                      ? options.line_cache_capacity
+                      : 0) {}
+
+bool ClusterBackend::try_serve_cached_line(const service::Json& request,
+                                           std::string& out) {
+  if (line_cache_.capacity() == 0 || !cacheable_op(request) ||
+      request.get_bool("no_cache", false))
+    return false;
+  thread_local std::string key;
+  key.clear();
+  service::canonical_request_key(request, key);
+  const std::lock_guard<std::mutex> lock(line_mutex_);
+  const std::string_view* hit = line_cache_.find(key);
+  if (hit == nullptr) return false;
+  out.append(hit->data(), hit->size());
+  return true;
+}
+
+void ClusterBackend::store_line(const service::Json& request,
+                                const service::Json& response) {
+  if (line_cache_.capacity() == 0) return;
+  thread_local std::string key;
+  thread_local std::string rendered;
+  key.clear();
+  rendered.clear();
+  service::canonical_request_key(request, key);
+  response.dump_to(rendered);
+  const std::lock_guard<std::mutex> lock(line_mutex_);
+  line_cache_.put(key, line_arena_.intern(rendered));
+  maybe_compact_lines();
+}
+
+void ClusterBackend::maybe_compact_lines() {
+  // Same dead-byte compaction as ServiceCore's line cache: once evicted
+  // and replaced lines dominate the arena, re-intern the survivors onto
+  // the rewound arena in LRU order.
+  if (line_arena_.live_bytes() < (256u << 10)) return;
+  std::size_t live = 0;
+  line_cache_.for_each(
+      [&live](const std::string&, const std::string_view& v) {
+        live += v.size();
+      });
+  if (line_arena_.live_bytes() < live * 2 + (64u << 10)) return;
+  std::vector<std::pair<std::string, std::string>> survivors;
+  survivors.reserve(line_cache_.size());
+  line_cache_.for_each(
+      [&survivors](const std::string& k, const std::string_view& v) {
+        survivors.emplace_back(k, std::string(v));
+      });
+  line_cache_.clear();
+  line_arena_.reset();
+  for (auto it = survivors.rbegin(); it != survivors.rend(); ++it)
+    line_cache_.put(it->first, line_arena_.intern(it->second));
+}
 
 service::Json ClusterBackend::handle(const service::Json& request,
                                      const std::atomic<bool>* cancel) {
@@ -47,12 +111,17 @@ service::Json ClusterBackend::handle(const service::Json& request,
   if (try_cache) {
     digest = cache_.digest(request);
     service::Json cached;
-    if (cache_.load(digest, &cached)) return cached;
+    if (cache_.load(digest, &cached)) {
+      store_line(request, cached);
+      return cached;
+    }
   }
 
   service::Json response = core_.handle(request, cancel);
-  if (try_cache && response.get_string("status", "") == "ok")
-    cache_.store(digest, response);
+  if (response.get_string("status", "") == "ok") {
+    if (try_cache) cache_.store(digest, response);
+    if (cacheable_op(request) && !no_cache) store_line(request, response);
+  }
   return response;
 }
 

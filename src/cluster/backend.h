@@ -15,10 +15,15 @@
 
 #include <atomic>
 #include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
 #include <utility>
 
 #include "cluster/disk_cache.h"
 #include "service/service.h"
+#include "util/arena.h"
+#include "util/lru.h"
 
 namespace decompeval::cluster {
 
@@ -26,6 +31,10 @@ struct ClusterBackendOptions {
   service::ServiceOptions service;
   /// cache.directory empty → the backend runs with no disk cache.
   DiskCacheOptions cache;
+  /// LRU bound on the rendered-line cache behind try_serve_cached_line
+  /// (0 disables). Forced to 0 whenever a fault plan or cache fault
+  /// injector is active, so chaos runs keep their exact hit sequences.
+  std::size_t line_cache_capacity = 256;
 };
 
 class ClusterBackend {
@@ -36,6 +45,11 @@ class ClusterBackend {
   service::Json handle(const service::Json& request,
                        const std::atomic<bool>* cancel);
 
+  /// Warm-path fast lane for ReplicationServer::fast_path: appends the
+  /// cached rendered response line for an identical earlier "ok" request
+  /// and returns true. Byte-identical to what handle()+dump would produce.
+  bool try_serve_cached_line(const service::Json& request, std::string& out);
+
   /// Handler to plug into ServerOptions::handler.
   std::function<service::Json(const service::Json&, const std::atomic<bool>*)>
   handler() {
@@ -45,12 +59,28 @@ class ClusterBackend {
     };
   }
 
+  /// Fast path to plug into ServerOptions::fast_path alongside handler().
+  std::function<bool(const service::Json&, std::string&)> fast_path() {
+    return [this](const service::Json& request, std::string& out) {
+      return try_serve_cached_line(request, out);
+    };
+  }
+
   service::ServiceCore& core() { return core_; }
   DiskCache& cache() { return cache_; }
 
  private:
+  void store_line(const service::Json& request,
+                  const service::Json& response);
+  void maybe_compact_lines();  ///< caller holds line_mutex_
+
   service::ServiceCore core_;
   DiskCache cache_;
+  /// Rendered "ok" response lines keyed by canonical request key; values
+  /// are views into line_arena_.
+  std::mutex line_mutex_;
+  util::Arena line_arena_;
+  util::LruCache<std::string, std::string_view> line_cache_;
 };
 
 }  // namespace decompeval::cluster

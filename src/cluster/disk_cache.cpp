@@ -22,14 +22,6 @@ std::string hex64(std::uint64_t v) {
   return buf;
 }
 
-// Request fields that never change the result bytes. "threads" because
-// every pipeline stage is bit-identical across thread counts (the
-// property the chaos suite proves); "no_cache" and "deadline_ms" because
-// they shape how the request is served, not what it computes.
-bool volatile_field(const std::string& key) {
-  return key == "threads" || key == "no_cache" || key == "deadline_ms";
-}
-
 constexpr std::size_t kMaxWarnings = 16;
 
 // mkdir -p: orchestrators hand each backend a nested directory
@@ -49,14 +41,9 @@ DiskCache::DiskCache(DiskCacheOptions options)
 }
 
 std::string DiskCache::canonical_request_key(const service::Json& request) {
-  if (!request.is_object()) return request.dump();
-  std::vector<std::pair<std::string, std::string>> fields;
-  for (const auto& [key, value] : request.members())
-    if (!volatile_field(key)) fields.emplace_back(key, value.dump());
-  std::sort(fields.begin(), fields.end());
-  std::ostringstream os;
-  for (const auto& [key, dumped] : fields) os << key << '=' << dumped << ';';
-  return os.str();
+  // Shared with the dispatcher's routing and every rendered-line cache;
+  // the format (and therefore every stored digest) is unchanged.
+  return service::canonical_request_key(request);
 }
 
 std::string DiskCache::digest(const service::Json& request) const {

@@ -4,7 +4,6 @@
 #include <stdexcept>
 #include <utility>
 
-#include "cluster/disk_cache.h"
 #include "util/check.h"
 
 namespace decompeval::cluster {
@@ -30,7 +29,13 @@ void echo_op(service::Json& response, const service::Json& request) {
 Dispatcher::Dispatcher(DispatcherOptions options)
     : options_(std::move(options)),
       faults_(options_.fault_plan),
-      ring_(options_.virtual_nodes) {
+      ring_(options_.virtual_nodes),
+      // A fault plan disables the response fast lane: a cached answer
+      // would skip "cluster.backend"/"cluster.forward" hits and shift
+      // their deterministic sequences.
+      line_cache_(options_.fault_plan.empty()
+                      ? options_.response_cache_capacity
+                      : 0) {
   DE_EXPECTS_MSG(!options_.backends.empty(),
                  "Dispatcher needs at least one backend");
   for (const BackendEndpoint& endpoint : options_.backends) {
@@ -114,6 +119,8 @@ service::Json Dispatcher::handle(const service::Json& request,
     r.set("down_skips",
           service::Json::number(static_cast<double>(s.down_skips)));
     r.set("exhausted", service::Json::number(static_cast<double>(s.exhausted)));
+    r.set("response_cache_hits",
+          service::Json::number(static_cast<double>(s.response_cache_hits)));
     service::Json nodes = service::Json::array();
     for (const auto& backend : backends_) {
       service::Json node = service::Json::object();
@@ -129,13 +136,106 @@ service::Json Dispatcher::handle(const service::Json& request,
   return response;
 }
 
+bool Dispatcher::line_cacheable(const service::Json& request) const {
+  if (line_cache_.capacity() == 0 || !request.is_object()) return false;
+  const service::Json* op = request.get("op");
+  if (op == nullptr || op->type() != service::Json::Type::kString)
+    return false;
+  const auto& name = op->as_string();
+  if (name != "run_study" && name != "run_replication") return false;
+  return !request.get_bool("no_cache", false);
+}
+
+bool Dispatcher::try_serve_cached_line(const service::Json& request,
+                                       std::string& out) {
+  if (!line_cacheable(request)) return false;
+  thread_local std::string key;
+  key.clear();
+  service::canonical_request_key(request, key);
+  const std::lock_guard<std::mutex> lock(line_mutex_);
+  const std::string_view* hit = line_cache_.find(key);
+  if (hit == nullptr) return false;
+  out.append(hit->data(), hit->size());
+  {
+    const std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.response_cache_hits;
+  }
+  return true;
+}
+
+void Dispatcher::handle_line(const service::Json& request,
+                             const std::atomic<bool>* cancel,
+                             std::string& out) {
+  if ((cancel == nullptr || !cancel->load(std::memory_order_relaxed)) &&
+      try_serve_cached_line(request, out))
+    return;
+  const service::Json response = handle(request, cancel);
+  const std::size_t start = out.size();
+  response.dump_to(out);
+  if (line_cacheable(request) && response.get_string("status", "") == "ok")
+    store_line(request,
+               std::string_view(out.data() + start, out.size() - start));
+}
+
+void Dispatcher::maybe_store_response(const service::Json& request,
+                                      const service::Json& response) {
+  if (!line_cacheable(request) || response.get_string("status", "") != "ok")
+    return;
+  // One extra render per cold cacheable request — trivial next to the
+  // forwarding round-trip it lets every warm repeat skip. Json::dump is
+  // deterministic, so the stored line is byte-identical to what the
+  // server sends for this response.
+  thread_local std::string line;
+  line.clear();
+  response.dump_to(line);
+  store_line(request, line);
+}
+
+void Dispatcher::store_line(const service::Json& request,
+                            std::string_view line) {
+  thread_local std::string key;
+  key.clear();
+  service::canonical_request_key(request, key);
+  const std::lock_guard<std::mutex> lock(line_mutex_);
+  line_cache_.put(key, line_arena_.intern(line));
+  maybe_compact_lines();
+}
+
+void Dispatcher::maybe_compact_lines() {
+  // Same dead-byte compaction as the other rendered-line caches.
+  if (line_arena_.live_bytes() < (256u << 10)) return;
+  std::size_t live = 0;
+  line_cache_.for_each(
+      [&live](const std::string&, const std::string_view& v) {
+        live += v.size();
+      });
+  if (line_arena_.live_bytes() < live * 2 + (64u << 10)) return;
+  std::vector<std::pair<std::string, std::string>> survivors;
+  survivors.reserve(line_cache_.size());
+  line_cache_.for_each(
+      [&survivors](const std::string& k, const std::string_view& v) {
+        survivors.emplace_back(k, std::string(v));
+      });
+  line_cache_.clear();
+  line_arena_.reset();
+  for (auto it = survivors.rbegin(); it != survivors.rend(); ++it)
+    line_cache_.put(it->first, line_arena_.intern(it->second));
+}
+
 service::Json Dispatcher::forward(const service::Json& request,
                                   const std::atomic<bool>* cancel) {
-  const std::string key = DiskCache::canonical_request_key(request);
-  const std::vector<std::string> candidates =
-      ring_.route(key, backends_.size());
+  // Routing scratch is thread-local: forward() runs on every server
+  // worker concurrently, and the warm path should not allocate.
+  thread_local std::string key;
+  thread_local std::vector<std::size_t> candidates;
+  thread_local std::vector<char> seen;
+  key.clear();
+  service::canonical_request_key(request, key);
+  // Ring indices equal backends_ indices: the constructor add()s ids to
+  // the ring in backends_ insertion order.
+  ring_.route_into(key, backends_.size(), candidates, seen);
   std::size_t tried = 0;
-  for (const std::string& id : candidates) {
+  for (const std::size_t backend_index : candidates) {
     if (cancel != nullptr && cancel->load()) {
       service::Json r = service::Json::object();
       r.set("status", service::Json::string("deadline_exceeded"));
@@ -144,7 +244,7 @@ service::Json Dispatcher::forward(const service::Json& request,
       echo_op(r, request);
       return r;
     }
-    BackendState& backend = *backends_[by_id_.at(id)];
+    BackendState& backend = *backends_[backend_index];
     // Injected outage: indistinguishable from a failed health check. The
     // prober restores the backend once its real ping succeeds.
     if (faults_.fire_next("cluster.backend")) backend.up.store(false);

@@ -31,13 +31,16 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/hash_ring.h"
 #include "service/server.h"
+#include "util/arena.h"
 #include "util/fault.h"
+#include "util/lru.h"
 
 namespace decompeval::cluster {
 
@@ -60,6 +63,11 @@ struct DispatcherOptions {
   std::uint64_t health_interval_ms = 100;
   /// Schedules for the "cluster.forward" / "cluster.backend" sites.
   util::FaultPlan fault_plan;
+  /// LRU bound on the dispatcher-side rendered-response cache behind
+  /// try_serve_cached_line (entries). Opt-in: 0 (the default) disables
+  /// it, so every request exercises real forwarding — kill/failover tests
+  /// rely on that. Forced to 0 when a fault plan is active.
+  std::size_t response_cache_capacity = 0;
 };
 
 /// Monotonic counters (see the "cluster_stats" op).
@@ -69,6 +77,7 @@ struct DispatcherStats {
   std::uint64_t overloaded_retries = 0;
   std::uint64_t down_skips = 0;
   std::uint64_t exhausted = 0;         ///< no backend could answer
+  std::uint64_t response_cache_hits = 0;  ///< answered without forwarding
 };
 
 class Dispatcher {
@@ -89,12 +98,36 @@ class Dispatcher {
   service::Json handle(const service::Json& request,
                        const std::atomic<bool>* cancel);
 
-  /// Handler to plug into ServerOptions::handler.
+  /// Warm-path fast lane (only when response_cache_capacity > 0): appends
+  /// the cached rendered response of an identical earlier "ok" request —
+  /// byte-identical to forwarding again, since backends are bit-identical
+  /// and Json::dump is deterministic — and returns true.
+  bool try_serve_cached_line(const service::Json& request, std::string& out);
+
+  /// handle() plus rendering into `out`, serving from and populating the
+  /// response cache when enabled.
+  void handle_line(const service::Json& request,
+                   const std::atomic<bool>* cancel, std::string& out);
+
+  /// Handler to plug into ServerOptions::handler. Populates the response
+  /// cache on cacheable "ok" responses so the companion fast_path() can
+  /// answer the warm repeat on the connection thread — without this the
+  /// cache would only fill through handle_line(), which a real server
+  /// front-end never calls.
   std::function<service::Json(const service::Json&, const std::atomic<bool>*)>
   handler() {
     return [this](const service::Json& request,
                   const std::atomic<bool>* cancel) {
-      return handle(request, cancel);
+      service::Json response = handle(request, cancel);
+      maybe_store_response(request, response);
+      return response;
+    };
+  }
+
+  /// Fast path to plug into ServerOptions::fast_path alongside handler().
+  std::function<bool(const service::Json&, std::string&)> fast_path() {
+    return [this](const service::Json& request, std::string& out) {
+      return try_serve_cached_line(request, out);
     };
   }
 
@@ -117,6 +150,11 @@ class Dispatcher {
   void release(BackendState& backend,
                std::unique_ptr<service::ServiceClient> conn);
   void prober_loop();
+  bool line_cacheable(const service::Json& request) const;
+  void maybe_store_response(const service::Json& request,
+                            const service::Json& response);
+  void store_line(const service::Json& request, std::string_view line);
+  void maybe_compact_lines();  ///< caller holds line_mutex_
 
   DispatcherOptions options_;
   util::FaultInjector faults_;
@@ -129,6 +167,12 @@ class Dispatcher {
 
   mutable std::mutex stats_mutex_;
   DispatcherStats stats_;
+
+  /// Rendered "ok" response lines keyed by canonical request key; values
+  /// are views into line_arena_.
+  std::mutex line_mutex_;
+  util::Arena line_arena_;
+  util::LruCache<std::string, std::string_view> line_cache_;
 };
 
 }  // namespace decompeval::cluster

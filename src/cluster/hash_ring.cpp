@@ -6,7 +6,7 @@
 
 namespace decompeval::cluster {
 
-std::uint64_t HashRing::hash(const std::string& text) {
+std::uint64_t HashRing::hash(std::string_view text) {
   std::uint64_t h = 1469598103934665603ULL;
   for (const char c : text) {
     h ^= static_cast<unsigned char>(c);
@@ -66,6 +66,25 @@ std::vector<std::string> HashRing::route(const std::string& key,
     out.push_back(backends_[it->second]);
   }
   return out;
+}
+
+void HashRing::route_into(std::string_view key, std::size_t max_candidates,
+                          std::vector<std::size_t>& out,
+                          std::vector<char>& seen) const {
+  out.clear();
+  if (points_.empty() || max_candidates == 0) return;
+  const std::uint64_t h = ring_position(hash(key));
+  auto it = std::lower_bound(points_.begin(), points_.end(),
+                             std::make_pair(h, std::size_t{0}));
+  seen.assign(backends_.size(), 0);
+  const std::size_t want = std::min(max_candidates, backends_.size());
+  for (std::size_t step = 0; step < points_.size() && out.size() < want;
+       ++step, ++it) {
+    if (it == points_.end()) it = points_.begin();  // wrap the ring
+    if (seen[it->second]) continue;
+    seen[it->second] = 1;
+    out.push_back(it->second);
+  }
 }
 
 std::string HashRing::primary(const std::string& key) const {

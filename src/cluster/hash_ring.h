@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace decompeval::cluster {
@@ -28,6 +29,15 @@ class HashRing {
   std::vector<std::string> route(const std::string& key,
                                  std::size_t max_candidates) const;
 
+  /// Allocation-free route: appends up to `max_candidates` distinct
+  /// backend *indices* (add() order) to `out`, reusing its capacity.
+  /// `seen` is caller-owned scratch, resized and cleared here. Same walk,
+  /// same order as route() — the dispatcher's hot path keeps both vectors
+  /// thread-local and never allocates after warmup.
+  void route_into(std::string_view key, std::size_t max_candidates,
+                  std::vector<std::size_t>& out,
+                  std::vector<char>& seen) const;
+
   /// Convenience: route(key, 1)[0]. Empty ring returns "".
   std::string primary(const std::string& key) const;
 
@@ -35,7 +45,7 @@ class HashRing {
   const std::vector<std::string>& backends() const { return backends_; }
 
   /// FNV-1a 64-bit — the same hash every digest in the repo uses.
-  static std::uint64_t hash(const std::string& text);
+  static std::uint64_t hash(std::string_view text);
 
  private:
   std::size_t virtual_nodes_;

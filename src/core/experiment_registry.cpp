@@ -402,6 +402,14 @@ std::string render_experiments_markdown(
   byte-for-byte identical to the offline pipeline at every thread count
   (`tests/test_cluster.cpp`), so this file is indifferent to how a run
   was obtained.
+- **The hot-path kernel rewrites change no metric value.** The
+  bit-parallel Levenshtein, hashed n-gram BLEU/codeBLEU, matrix
+  BERTScore, and blocked PPMI-projection kernels each retain their
+  original implementation as a `*_reference` sibling, and
+  `tests/test_kernels.cpp` proves the fast and reference paths bitwise
+  identical on randomized inputs and edge cases (also under
+  `-DDECOMPEVAL_NO_SIMD`, which forces the reference path). Every number
+  in this file is therefore unchanged by the performance work.
 )";
   return os.str();
 }

@@ -14,13 +14,15 @@ namespace decompeval::embed {
 
 namespace {
 
-void normalize(std::vector<double>& v) {
+void normalize(double* v, std::size_t n) {
   double norm = 0.0;
-  for (const double x : v) norm += x * x;
+  for (std::size_t i = 0; i < n; ++i) norm += v[i] * v[i];
   norm = std::sqrt(norm);
   if (norm > 0.0)
-    for (double& x : v) x /= norm;
+    for (std::size_t i = 0; i < n; ++i) v[i] /= norm;
 }
+
+void normalize(std::vector<double>& v) { normalize(v.data(), v.size()); }
 
 std::uint64_t fnv1a(const std::string& s, std::uint64_t seed) {
   std::uint64_t h = 1469598103934665603ULL ^ seed;
@@ -139,28 +141,71 @@ EmbeddingModel EmbeddingModel::train(
     std::sort(rows[w].begin(), rows[w].end());
   });
 
-  // Seeded Gaussian random projection matrix: rows indexed by context
-  // word, each generated from its own (projection_seed, word index)
-  // stream — independent of scheduling by construction.
-  std::vector<std::vector<double>> projection(v);
+  // Seeded Gaussian random projection matrix, one contiguous row-major
+  // block (rows indexed by context word). Each row is generated from its
+  // own (projection_seed, word index) stream — independent of scheduling
+  // by construction, and the values are identical to the old
+  // vector-of-vectors layout; only the storage changed.
+  const std::size_t dim = options.dimension;
+  std::vector<double> projection(v * dim);
   pool.parallel_for(v, [&](std::size_t w) {
     util::Rng row_rng(options.projection_seed * 0x9E3779B97F4A7C15ULL + w);
-    projection[w].resize(options.dimension);
-    for (double& x : projection[w]) x = row_rng.normal();
+    double* row = projection.data() + w * dim;
+    for (std::size_t d = 0; d < dim; ++d) row[d] = row_rng.normal();
   });
 
+  const bool reference_kernel =
+#ifdef DECOMPEVAL_NO_SIMD
+      true;
+#else
+      options.reference_kernel;
+#endif
+
   // PPMI rows projected down: vec(w) = Σ_c ppmi(w, c) · proj(c). Each
-  // word's vector is independent; the map insert stays serial.
+  // word's vector is independent; the map insert stays serial. The blocked
+  // kernel streams four context rows per pass over vec, but for any fixed
+  // element vec[d] the contributions still land one += at a time in sorted
+  // context order — exactly the reference sequence — so the trained model
+  // is bit-identical (differential-tested via reference_kernel).
   std::vector<std::vector<double>> vectors(v);
   pool.parallel_for(v, [&](std::size_t wi) {
-    std::vector<double> vec(options.dimension, 0.0);
+    std::vector<double> vec(dim, 0.0);
+    // Surviving (ppmi weight, projection row) terms, in sorted row order.
+    thread_local std::vector<std::pair<double, const double*>> terms;
+    terms.clear();
     for (const auto& [cj, count] : rows[wi]) {
       const double pmi =
           std::log(count * total_pairs /
                    (token_count[wi] * token_count[cj]));
       if (pmi <= 0.0) continue;  // positive PMI only
-      for (std::size_t d = 0; d < options.dimension; ++d)
-        vec[d] += pmi * projection[cj][d];
+      terms.emplace_back(pmi, projection.data() + cj * dim);
+    }
+    if (reference_kernel) {
+      for (const auto& [pmi, row] : terms)
+        for (std::size_t d = 0; d < dim; ++d) vec[d] += pmi * row[d];
+    } else {
+      std::size_t t = 0;
+      for (; t + 4 <= terms.size(); t += 4) {
+        const double w0 = terms[t].first, w1 = terms[t + 1].first;
+        const double w2 = terms[t + 2].first, w3 = terms[t + 3].first;
+        const double* r0 = terms[t].second;
+        const double* r1 = terms[t + 1].second;
+        const double* r2 = terms[t + 2].second;
+        const double* r3 = terms[t + 3].second;
+        for (std::size_t d = 0; d < dim; ++d) {
+          double x = vec[d];
+          x += w0 * r0[d];
+          x += w1 * r1[d];
+          x += w2 * r2[d];
+          x += w3 * r3[d];
+          vec[d] = x;
+        }
+      }
+      for (; t < terms.size(); ++t) {
+        const double wt = terms[t].first;
+        const double* rt = terms[t].second;
+        for (std::size_t d = 0; d < dim; ++d) vec[d] += wt * rt[d];
+      }
     }
     normalize(vec);
     vectors[wi] = std::move(vec);
@@ -176,23 +221,30 @@ EmbeddingModel EmbeddingModel::train_default(std::size_t corpus_sentences,
   return train(generate_corpus(corpus_sentences, corpus_seed), options);
 }
 
-std::vector<double> EmbeddingModel::hash_fallback(
-    const std::string& token) const {
-  std::vector<double> vec(options_.dimension, 0.0);
+void EmbeddingModel::hash_fallback_into(const std::string& token,
+                                        double* out) const {
+  const std::size_t dim = options_.dimension;
+  std::fill(out, out + dim, 0.0);
   const std::string padded = "^" + token + "$";
   const auto trigrams = text::char_ngrams(padded, 3);
   if (trigrams.empty()) {
     // Single/double-char token: hash the token itself.
     util::Rng rng(fnv1a(padded, 7));
-    for (double& x : vec) x = rng.normal();
-    normalize(vec);
-    return vec;
+    for (std::size_t d = 0; d < dim; ++d) out[d] = rng.normal();
+    normalize(out, dim);
+    return;
   }
   for (const auto& tri : trigrams) {
     util::Rng rng(fnv1a(tri, 7));
-    for (double& x : vec) x += rng.normal();
+    for (std::size_t d = 0; d < dim; ++d) out[d] += rng.normal();
   }
-  normalize(vec);
+  normalize(out, dim);
+}
+
+std::vector<double> EmbeddingModel::hash_fallback(
+    const std::string& token) const {
+  std::vector<double> vec(options_.dimension, 0.0);
+  hash_fallback_into(token, vec.data());
   return vec;
 }
 
@@ -200,6 +252,16 @@ std::vector<double> EmbeddingModel::embed_token(const std::string& token) const 
   const auto it = vectors_.find(token);
   if (it != vectors_.end()) return it->second;
   return hash_fallback(token);
+}
+
+void EmbeddingModel::embed_token_into(const std::string& token,
+                                      double* out) const {
+  const auto it = vectors_.find(token);
+  if (it != vectors_.end()) {
+    std::copy(it->second.begin(), it->second.end(), out);
+    return;
+  }
+  hash_fallback_into(token, out);
 }
 
 std::vector<double> EmbeddingModel::embed_name(

@@ -38,6 +38,12 @@ struct EmbeddingOptions {
   /// dropped from the counts — and the model is flagged degraded with a
   /// note naming the lost block. Every block quarantined → NumericalError.
   const util::FaultInjector* faults = nullptr;
+  /// Forces the original one-context-at-a-time PPMI accumulation loop
+  /// instead of the blocked kernel. The two are bit-identical (the blocked
+  /// kernel lands the same += sequence on every vector element); this flag
+  /// exists so the differential tests can prove it, and is implied by
+  /// -DDECOMPEVAL_NO_SIMD.
+  bool reference_kernel = false;
 };
 
 class EmbeddingModel {
@@ -59,6 +65,10 @@ class EmbeddingModel {
   /// to a deterministic char-trigram hash embedding, so every token
   /// compares consistently across calls.
   std::vector<double> embed_token(const std::string& token) const;
+
+  /// Same vector written into out[0, dimension()) — the allocation-free
+  /// form BERTScore uses to fill its contiguous token matrices.
+  void embed_token_into(const std::string& token, double* out) const;
 
   /// Mean of subtoken vectors of an identifier (split on case/underscores),
   /// re-normalized — the composition VarCLR uses for multiword names.
@@ -92,6 +102,7 @@ class EmbeddingModel {
   std::vector<std::string> degradation_notes_;
 
   std::vector<double> hash_fallback(const std::string& token) const;
+  void hash_fallback_into(const std::string& token, double* out) const;
 };
 
 }  // namespace decompeval::embed

@@ -1,14 +1,50 @@
 #include "metrics/bertscore.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "text/tokenize.h"
 
 namespace decompeval::metrics {
 
-BertScore bert_score(const std::vector<std::string>& candidate_tokens,
-                     const std::vector<std::string>& reference_tokens,
-                     const embed::EmbeddingModel& model) {
+namespace {
+
+#ifndef DECOMPEVAL_NO_SIMD
+
+// Cosine over two rows with precomputed squared norms. Matches
+// EmbeddingModel::cosine exactly: the dot product accumulates in the same
+// element order, the norms were accumulated in the same order up front,
+// and the zero-norm guard and final expression are unchanged.
+double row_cosine(const double* a, const double* b, std::size_t dim,
+                  double na, double nb) {
+  double num = 0.0;
+  for (std::size_t d = 0; d < dim; ++d) num += a[d] * b[d];
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return num / std::sqrt(na * nb);
+}
+
+void embed_matrix(const std::vector<std::string>& tokens,
+                  const embed::EmbeddingModel& model, std::vector<double>& mat,
+                  std::vector<double>& norm_sq) {
+  const std::size_t dim = model.dimension();
+  mat.resize(tokens.size() * dim);
+  norm_sq.resize(tokens.size());
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    double* row = mat.data() + i * dim;
+    model.embed_token_into(tokens[i], row);
+    double n = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) n += row[d] * row[d];
+    norm_sq[i] = n;
+  }
+}
+
+#endif  // DECOMPEVAL_NO_SIMD
+
+}  // namespace
+
+BertScore bert_score_reference(const std::vector<std::string>& candidate_tokens,
+                               const std::vector<std::string>& reference_tokens,
+                               const embed::EmbeddingModel& model) {
   BertScore score;
   if (candidate_tokens.empty() && reference_tokens.empty()) {
     score.precision = score.recall = score.f1 = 1.0;
@@ -41,6 +77,52 @@ BertScore bert_score(const std::vector<std::string>& candidate_tokens,
   const double denom = score.precision + score.recall;
   score.f1 = denom > 0.0 ? 2.0 * score.precision * score.recall / denom : 0.0;
   return score;
+}
+
+BertScore bert_score(const std::vector<std::string>& candidate_tokens,
+                     const std::vector<std::string>& reference_tokens,
+                     const embed::EmbeddingModel& model) {
+#ifdef DECOMPEVAL_NO_SIMD
+  return bert_score_reference(candidate_tokens, reference_tokens, model);
+#else
+  BertScore score;
+  if (candidate_tokens.empty() && reference_tokens.empty()) {
+    score.precision = score.recall = score.f1 = 1.0;
+    return score;
+  }
+  if (candidate_tokens.empty() || reference_tokens.empty()) return score;
+
+  const std::size_t dim = model.dimension();
+  thread_local std::vector<double> cand_mat, ref_mat, cand_norm, ref_norm;
+  embed_matrix(candidate_tokens, model, cand_mat, cand_norm);
+  embed_matrix(reference_tokens, model, ref_mat, ref_norm);
+  const std::size_t n_cand = candidate_tokens.size();
+  const std::size_t n_ref = reference_tokens.size();
+
+  double precision_sum = 0.0;
+  for (std::size_t i = 0; i < n_cand; ++i) {
+    const double* cv = cand_mat.data() + i * dim;
+    double best = -1.0;
+    for (std::size_t j = 0; j < n_ref; ++j)
+      best = std::max(best, row_cosine(cv, ref_mat.data() + j * dim, dim,
+                                       cand_norm[i], ref_norm[j]));
+    precision_sum += best;
+  }
+  double recall_sum = 0.0;
+  for (std::size_t j = 0; j < n_ref; ++j) {
+    const double* rv = ref_mat.data() + j * dim;
+    double best = -1.0;
+    for (std::size_t i = 0; i < n_cand; ++i)
+      best = std::max(best, row_cosine(cand_mat.data() + i * dim, rv, dim,
+                                       cand_norm[i], ref_norm[j]));
+    recall_sum += best;
+  }
+  score.precision = precision_sum / static_cast<double>(n_cand);
+  score.recall = recall_sum / static_cast<double>(n_ref);
+  const double denom = score.precision + score.recall;
+  score.f1 = denom > 0.0 ? 2.0 * score.precision * score.recall / denom : 0.0;
+  return score;
+#endif
 }
 
 BertScore bert_score_names(const std::string& candidate_names,

@@ -23,9 +23,21 @@ struct BertScore {
 
 /// BERTScore over two token sequences. Empty sequences give all-zero
 /// scores (and F1 = 1 when both are empty — nothing to miss).
+///
+/// Kernel: token vectors are embedded once into contiguous row-major
+/// matrices and the squared norms precomputed, so the greedy-matching
+/// inner loop is a plain dot product over adjacent rows. Every
+/// floating-point accumulation keeps the reference order, so the scores
+/// are bit-identical; `-DDECOMPEVAL_NO_SIMD` forces the reference path.
 BertScore bert_score(const std::vector<std::string>& candidate_tokens,
                      const std::vector<std::string>& reference_tokens,
                      const embed::EmbeddingModel& model);
+
+/// The original pairwise-cosine implementation, kept as the oracle for the
+/// differential tests (and as the forced-scalar fallback).
+BertScore bert_score_reference(const std::vector<std::string>& candidate_tokens,
+                               const std::vector<std::string>& reference_tokens,
+                               const embed::EmbeddingModel& model);
 
 /// Convenience: splits two name-concatenation strings into identifier
 /// subtokens and scores them.

@@ -1,8 +1,10 @@
 #include "metrics/codebleu.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
-#include <set>
+#include <cstdint>
+#include <limits>
 #include <unordered_map>
 
 #include "lang/analysis.h"
@@ -14,38 +16,78 @@ namespace decompeval::metrics {
 
 namespace {
 
-const std::set<std::string>& c_keywords() {
-  static const std::set<std::string> kKeywords = {
-      "if",     "else",   "while",  "for",    "do",      "return", "break",
-      "continue", "switch", "case",  "default", "goto",   "sizeof", "struct",
-      "union",  "enum",   "typedef", "static", "const",  "void",   "int",
-      "char",   "long",   "short",  "unsigned", "signed", "float",  "double"};
-  return kKeywords;
+// The 28 C keywords codeBLEU up-weights, sorted for binary search.
+constexpr std::array<std::string_view, 28> kKeywords = {
+    "break",  "case",     "char",   "const",  "continue", "default", "do",
+    "double", "else",     "enum",   "float",  "for",      "goto",    "if",
+    "int",    "long",     "return", "short",  "signed",   "sizeof",  "static",
+    "struct", "switch",   "typedef", "union", "unsigned", "void",    "while"};
+
+double keyword_weight(const std::string& token) {
+  return std::binary_search(kKeywords.begin(), kKeywords.end(),
+                            std::string_view(token))
+             ? 4.0
+             : 1.0;
 }
 
-// Keyword-weighted unigram precision: keywords carry weight 4, other tokens
-// weight 1 (codeBLEU's weighted n-gram match with a keyword emphasis).
-double weighted_unigram_match(const std::vector<std::string>& cand,
-                              const std::vector<std::string>& ref) {
-  if (cand.empty()) return 0.0;
-  std::unordered_map<std::string, int> ref_counts;
-  for (const auto& t : ref) ++ref_counts[t];
-  const auto weight_of = [](const std::string& t) {
-    return c_keywords().count(t) > 0 ? 4.0 : 1.0;
-  };
-  double matched = 0.0, total = 0.0;
-  std::unordered_map<std::string, int> used;
-  for (const auto& t : cand) {
-    const double w = weight_of(t);
-    total += w;
-    auto it = ref_counts.find(t);
-    if (it != ref_counts.end() && used[t] < it->second) {
-      ++used[t];
-      matched += w;
+#ifndef DECOMPEVAL_NO_SIMD
+std::uint32_t fnv1a32(const std::string& s) {
+  std::uint32_t h = 2166136261u;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 16777619u;
+  }
+  return h;
+}
+
+// One distinct token's clip-count state. Collision resolution is exact: a
+// slot matches only on hash *and* full string equality.
+struct TokenSlot {
+  std::uint32_t gen = 0;
+  std::uint32_t hash = 0;
+  const std::string* token = nullptr;
+  int ref_count = 0;
+  int used = 0;
+};
+
+// Generation-stamped open-addressing table reused across calls: bumping
+// `gen` invalidates every live slot in O(1), so the hot path never clears
+// or allocates (same idiom as the BLEU n-gram workspace).
+struct WeightedWorkspace {
+  std::vector<TokenSlot> slots;
+  std::uint32_t gen = 0;
+  std::size_t mask = 0;
+
+  void prepare(std::size_t entries) {
+    std::size_t wanted = 16;
+    while (wanted < 2 * entries) wanted <<= 1;
+    if (wanted > slots.size() ||
+        gen == std::numeric_limits<std::uint32_t>::max()) {
+      slots.assign(std::max(wanted, slots.size()), TokenSlot{});
+      gen = 0;
+    }
+    mask = slots.size() - 1;
+    ++gen;
+  }
+
+  TokenSlot& find(const std::string& token, std::uint32_t hash) {
+    std::size_t i = hash & mask;
+    for (;;) {
+      TokenSlot& slot = slots[i];
+      if (slot.gen != gen) {  // empty at this generation: claim it
+        slot.gen = gen;
+        slot.hash = hash;
+        slot.token = &token;
+        slot.ref_count = 0;
+        slot.used = 0;
+        return slot;
+      }
+      if (slot.hash == hash && *slot.token == token) return slot;
+      i = (i + 1) & mask;
     }
   }
-  return total > 0.0 ? matched / total : 0.0;
-}
+};
+#endif  // DECOMPEVAL_NO_SIMD
 
 // Fraction of candidate AST subtrees found in the reference (clipped
 // multiset intersection over normalized subtree signatures).
@@ -78,6 +120,55 @@ double dataflow_match(const lang::Function& cand, const lang::Function& ref) {
 }
 
 }  // namespace
+
+double weighted_unigram_match_reference(const std::vector<std::string>& cand,
+                                        const std::vector<std::string>& ref) {
+  if (cand.empty()) return 0.0;
+  std::unordered_map<std::string, int> ref_counts;
+  for (const auto& t : ref) ++ref_counts[t];
+  double matched = 0.0, total = 0.0;
+  std::unordered_map<std::string, int> used;
+  for (const auto& t : cand) {
+    const double w = keyword_weight(t);
+    total += w;
+    auto it = ref_counts.find(t);
+    if (it != ref_counts.end() && used[t] < it->second) {
+      ++used[t];
+      matched += w;
+    }
+  }
+  return total > 0.0 ? matched / total : 0.0;
+}
+
+// Keyword-weighted unigram precision: keywords carry weight 4, other tokens
+// weight 1 (codeBLEU's weighted n-gram match with a keyword emphasis).
+// Candidate tokens are scanned in the same order as the reference
+// implementation and each contributes the same weight, so the matched/total
+// accumulations — and the returned ratio — are bit-identical; only the
+// clipped-count bookkeeping changed (one reused open-addressing table
+// instead of two freshly allocated hash maps per call).
+double weighted_unigram_match(const std::vector<std::string>& cand,
+                              const std::vector<std::string>& ref) {
+#ifdef DECOMPEVAL_NO_SIMD
+  return weighted_unigram_match_reference(cand, ref);
+#else
+  if (cand.empty()) return 0.0;
+  thread_local WeightedWorkspace workspace;
+  workspace.prepare(ref.size() + cand.size());
+  for (const auto& t : ref) ++workspace.find(t, fnv1a32(t)).ref_count;
+  double matched = 0.0, total = 0.0;
+  for (const auto& t : cand) {
+    const double w = keyword_weight(t);
+    total += w;
+    TokenSlot& slot = workspace.find(t, fnv1a32(t));
+    if (slot.used < slot.ref_count) {
+      ++slot.used;
+      matched += w;
+    }
+  }
+  return total > 0.0 ? matched / total : 0.0;
+#endif
+}
 
 CodeBleuScore code_bleu(std::string_view candidate, std::string_view reference,
                         const lang::ParseOptions& parse_options,

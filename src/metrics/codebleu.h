@@ -9,6 +9,7 @@
 
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "lang/parser.h"
 
@@ -41,5 +42,15 @@ CodeBleuScore code_bleu(std::string_view candidate, std::string_view reference,
 /// AST/dataflow components fall back to the token n-gram score.
 double code_bleu_line(std::string_view candidate_line,
                       std::string_view reference_line);
+
+/// Keyword-weighted unigram precision (codeBLEU's weighted n-gram match,
+/// keywords carry weight 4). Exposed for the kernel differential tests;
+/// the fast path sorts reference-token pointers instead of building
+/// per-call hash maps, the reference version is the original map-based
+/// implementation. Both produce identical doubles.
+double weighted_unigram_match(const std::vector<std::string>& cand,
+                              const std::vector<std::string>& ref);
+double weighted_unigram_match_reference(const std::vector<std::string>& cand,
+                                        const std::vector<std::string>& ref);
 
 }  // namespace decompeval::metrics

@@ -1,5 +1,6 @@
 #include "service/json.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -21,21 +22,21 @@ Json Json::number(double v) {
   return j;
 }
 
-Json Json::string(std::string v) {
-  Json j;
+Json Json::string(std::string_view v, std::pmr::memory_resource* mr) {
+  Json j(allocator_type(mr ? mr : std::pmr::get_default_resource()));
   j.type_ = Type::kString;
-  j.string_ = std::move(v);
+  j.string_.assign(v.data(), v.size());
   return j;
 }
 
-Json Json::array() {
-  Json j;
+Json Json::array(std::pmr::memory_resource* mr) {
+  Json j(allocator_type(mr ? mr : std::pmr::get_default_resource()));
   j.type_ = Type::kArray;
   return j;
 }
 
-Json Json::object() {
-  Json j;
+Json Json::object(std::pmr::memory_resource* mr) {
+  Json j(allocator_type(mr ? mr : std::pmr::get_default_resource()));
   j.type_ = Type::kObject;
   return j;
 }
@@ -50,23 +51,25 @@ double Json::as_number() const {
   return number_;
 }
 
-const std::string& Json::as_string() const {
+const Json::String& Json::as_string() const {
   if (type_ != Type::kString) throw JsonError("not a string");
   return string_;
 }
 
-const std::vector<Json>& Json::items() const {
+const std::pmr::vector<Json>& Json::items() const {
   if (type_ != Type::kArray) throw JsonError("not an array");
   return array_;
 }
 
-void Json::set(const std::string& key, Json value) {
+void Json::set(std::string_view key, Json value) {
   if (type_ != Type::kObject) throw JsonError("not an object");
   for (auto& [k, v] : object_)
     if (k == key) {
       v = std::move(value);
       return;
     }
+  // polymorphic_allocator's uses-allocator construction lands both the key
+  // string and the value on this object's resource.
   object_.emplace_back(key, std::move(value));
 }
 
@@ -77,7 +80,7 @@ const Json* Json::get(std::string_view key) const {
   return nullptr;
 }
 
-const std::vector<std::pair<std::string, Json>>& Json::members() const {
+const std::pmr::vector<Json::Member>& Json::members() const {
   if (type_ != Type::kObject) throw JsonError("not an object");
   return object_;
 }
@@ -94,7 +97,9 @@ bool Json::get_bool(std::string_view key, bool fallback) const {
 
 std::string Json::get_string(std::string_view key, std::string fallback) const {
   const Json* v = get(key);
-  return v && v->type_ == Type::kString ? v->string_ : fallback;
+  if (v && v->type_ == Type::kString)
+    return std::string(v->string_.data(), v->string_.size());
+  return fallback;
 }
 
 void Json::push_back(Json value) {
@@ -104,77 +109,81 @@ void Json::push_back(Json value) {
 
 namespace {
 
-void dump_string(const std::string& s, std::string* out) {
-  out->push_back('"');
+void dump_string(std::string_view s, std::string& out) {
+  out.push_back('"');
   for (const char c : s) {
     switch (c) {
-      case '"': *out += "\\\""; break;
-      case '\\': *out += "\\\\"; break;
-      case '\n': *out += "\\n"; break;
-      case '\r': *out += "\\r"; break;
-      case '\t': *out += "\\t"; break;
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
           std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          *out += buf;
+          out += buf;
         } else {
-          out->push_back(c);
+          out.push_back(c);
         }
     }
   }
-  out->push_back('"');
+  out.push_back('"');
 }
 
 }  // namespace
 
-std::string Json::dump() const {
-  std::string out;
+void Json::dump_to(std::string& out) const {
   switch (type_) {
     case Type::kNull:
-      out = "null";
+      out += "null";
       break;
     case Type::kBool:
-      out = bool_ ? "true" : "false";
+      out += bool_ ? "true" : "false";
       break;
     case Type::kNumber: {
       if (!std::isfinite(number_)) {
-        out = "null";  // JSON has no Inf/NaN; null is the least-wrong spelling
+        out += "null";  // JSON has no Inf/NaN; null is the least-wrong spelling
         break;
       }
       char buf[40];
       // %.17g round-trips every double and is deterministic, which keeps
       // service responses byte-identical across runs.
       std::snprintf(buf, sizeof buf, "%.17g", number_);
-      out = buf;
+      out += buf;
       break;
     }
     case Type::kString:
-      dump_string(string_, &out);
+      dump_string(string_, out);
       break;
     case Type::kArray: {
-      out = "[";
+      out.push_back('[');
       for (std::size_t i = 0; i < array_.size(); ++i) {
-        if (i) out += ",";
-        out += array_[i].dump();
+        if (i) out.push_back(',');
+        array_[i].dump_to(out);
       }
-      out += "]";
+      out.push_back(']');
       break;
     }
     case Type::kObject: {
-      out = "{";
+      out.push_back('{');
       bool first = true;
       for (const auto& [k, v] : object_) {
-        if (!first) out += ",";
+        if (!first) out.push_back(',');
         first = false;
-        dump_string(k, &out);
-        out += ":";
-        out += v.dump();
+        dump_string(k, out);
+        out.push_back(':');
+        v.dump_to(out);
       }
-      out += "}";
+      out.push_back('}');
       break;
     }
   }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
   return out;
 }
 
@@ -182,7 +191,8 @@ namespace {
 
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, std::pmr::memory_resource* mr)
+      : text_(text), mr_(mr) {}
 
   Json parse_document() {
     Json v = parse_value();
@@ -219,28 +229,44 @@ class Parser {
     return true;
   }
 
-  std::string parse_string_body() {
+  // Parses a string body into a view. Escape-free strings — the entire
+  // wire protocol in practice — are returned as a slice of the input with
+  // no copy; strings with escapes decode into `scratch_`, which is reused
+  // for the whole document. The view is only valid until the next call.
+  std::string_view parse_string_body() {
     expect('"');
-    std::string out;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        std::string_view body = text_.substr(start, pos_ - start);
+        ++pos_;
+        return body;
+      }
+      if (c == '\\') break;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    scratch_.assign(text_.data() + start, pos_ - start);
     while (true) {
       if (pos_ >= text_.size()) fail("unterminated string");
       const char c = text_[pos_++];
-      if (c == '"') return out;
+      if (c == '"') return scratch_;
       if (c != '\\') {
-        out.push_back(c);
+        scratch_.push_back(c);
         continue;
       }
       if (pos_ >= text_.size()) fail("unterminated escape");
       const char esc = text_[pos_++];
       switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
+        case '"': scratch_.push_back('"'); break;
+        case '\\': scratch_.push_back('\\'); break;
+        case '/': scratch_.push_back('/'); break;
+        case 'b': scratch_.push_back('\b'); break;
+        case 'f': scratch_.push_back('\f'); break;
+        case 'n': scratch_.push_back('\n'); break;
+        case 'r': scratch_.push_back('\r'); break;
+        case 't': scratch_.push_back('\t'); break;
         case 'u': {
           if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
           unsigned code = 0;
@@ -257,14 +283,14 @@ class Parser {
           }
           // UTF-8 encode (BMP only; the wire protocol is ASCII in practice).
           if (code < 0x80) {
-            out.push_back(static_cast<char>(code));
+            scratch_.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
-            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            scratch_.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            scratch_.push_back(static_cast<char>(0x80 | (code & 0x3F)));
           } else {
-            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
-            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            scratch_.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            scratch_.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            scratch_.push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }
           break;
         }
@@ -292,7 +318,7 @@ class Parser {
     const char c = peek();
     if (c == '{') {
       ++pos_;
-      Json obj = Json::object();
+      Json obj = Json::object(mr_);
       skip_ws();
       if (peek() == '}') {
         ++pos_;
@@ -300,10 +326,14 @@ class Parser {
       }
       while (true) {
         skip_ws();
-        std::string key = parse_string_body();
+        // The key view may point into scratch_, which the nested
+        // parse_value() overwrites — copy it out first. Key strings are
+        // short, so this almost always stays in the SSO buffer.
+        key_stack_.emplace_back(parse_string_body());
         skip_ws();
         expect(':');
-        obj.set(key, parse_value());
+        obj.set(key_stack_.back(), parse_value());
+        key_stack_.pop_back();
         skip_ws();
         if (peek() == ',') {
           ++pos_;
@@ -315,7 +345,7 @@ class Parser {
     }
     if (c == '[') {
       ++pos_;
-      Json arr = Json::array();
+      Json arr = Json::array(mr_);
       skip_ws();
       if (peek() == ']') {
         ++pos_;
@@ -332,39 +362,93 @@ class Parser {
         return arr;
       }
     }
-    if (c == '"') return Json::string(parse_string_body());
+    if (c == '"') return Json::string(parse_string_body(), mr_);
     if (consume_literal("true")) return Json::boolean(true);
     if (consume_literal("false")) return Json::boolean(false);
     if (consume_literal("null")) return Json();
     // Number. Copy the token out first: the view need not be
-    // null-terminated, so strtod cannot run on it directly.
-    std::string token;
-    while (pos_ < text_.size()) {
+    // null-terminated, so strtod cannot run on it directly. Tokens longer
+    // than the stack buffer are malformed by construction (no valid double
+    // needs 63 characters) but still diagnosed through strtod.
+    char token[64];
+    std::size_t len = 0;
+    while (pos_ < text_.size() && len + 1 < sizeof token) {
       const char n = text_[pos_];
       if ((n >= '0' && n <= '9') || n == '+' || n == '-' || n == '.' ||
           n == 'e' || n == 'E') {
-        token.push_back(n);
+        token[len++] = n;
         ++pos_;
       } else {
         break;
       }
     }
-    if (token.empty()) fail("expected a JSON value");
+    if (len == 0) fail("expected a JSON value");
+    if (len + 1 >= sizeof token) fail("numeric token too long");
+    token[len] = '\0';
     char* end = nullptr;
-    const double v = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) fail("malformed number");
+    const double v = std::strtod(token, &end);
+    if (end != token + len) fail("malformed number");
     return Json::number(v);
   }
 
   std::string_view text_;
+  std::pmr::memory_resource* mr_;
   std::size_t pos_ = 0;
   std::size_t depth_ = 0;
+  std::string scratch_;  ///< escape-decoding buffer, reused per document
+  /// Object keys in flight, one slot per open object level.
+  std::vector<std::string> key_stack_;
 };
 
 }  // namespace
 
-Json Json::parse(std::string_view text) {
-  return Parser(text).parse_document();
+Json Json::parse(std::string_view text, std::pmr::memory_resource* mr) {
+  return Parser(text, mr).parse_document();
+}
+
+// Request fields that never change the result bytes. "threads" because
+// every pipeline stage is bit-identical across thread counts (the
+// property the chaos suite proves); "no_cache" and "deadline_ms" because
+// they shape how the request is served, not what it computes.
+static bool volatile_field(std::string_view key) {
+  return key == "threads" || key == "no_cache" || key == "deadline_ms";
+}
+
+void canonical_request_key(const Json& request, std::string& out) {
+  if (!request.is_object()) {
+    request.dump_to(out);
+    return;
+  }
+  // Json objects cannot hold duplicate keys (set() replaces), so sorting
+  // the member pointers by key reproduces the historical sort of
+  // (key, dump) pairs byte for byte — without a dump per field up front.
+  const auto& members = request.members();
+  std::size_t order[32];
+  std::vector<std::size_t> order_overflow;
+  std::size_t* idx = order;
+  std::size_t n = 0;
+  if (members.size() > 32) {
+    order_overflow.resize(members.size());
+    idx = order_overflow.data();
+  }
+  for (std::size_t i = 0; i < members.size(); ++i)
+    if (!volatile_field(members[i].first)) idx[n++] = i;
+  std::sort(idx, idx + n, [&](std::size_t a, std::size_t b) {
+    return members[a].first < members[b].first;
+  });
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& [key, value] = members[idx[i]];
+    out.append(key.data(), key.size());
+    out.push_back('=');
+    value.dump_to(out);
+    out.push_back(';');
+  }
+}
+
+std::string canonical_request_key(const Json& request) {
+  std::string out;
+  canonical_request_key(request, out);
+  return out;
 }
 
 }  // namespace decompeval::service

@@ -5,9 +5,26 @@
 // bytes — the chaos suite compares service output digests bit-for-bit).
 // Not a general-purpose JSON library: no comments, no \uXXXX surrogate
 // pairs beyond the BMP, numbers parse via strtod.
+//
+// Allocation model: Json is pmr-backed. By default every node and string
+// lives on the global heap exactly as before, but parse() and the
+// object()/array()/string() factories accept a std::pmr::memory_resource
+// (in practice a util::Arena), and then the entire tree — nodes, element
+// vectors, keys, string payloads — is bump-allocated on it. The service
+// hot path parses each request into a per-connection scratch arena and
+// resets it after the response is written, so a warm request does nearly
+// zero heap traffic. pmr's non-propagating semantics keep that safe:
+//   Json copy  = deep copy onto the *destination's* resource (a bare
+//                `Json b = a;` lands on the heap, so caching a response
+//                automatically copies it off the scratch arena);
+//   Json move  = steals storage only within one resource; across
+//                resources it degrades to element-wise moves.
+// Rendering appends into a caller-owned buffer via dump_to(), so a
+// connection reuses one output string for its whole lifetime.
 #pragma once
 
 #include <cstddef>
+#include <memory_resource>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -27,13 +44,46 @@ class Json {
  public:
   enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
 
-  Json() = default;  ///< null
+  using allocator_type = std::pmr::polymorphic_allocator<std::byte>;
+  using String = std::pmr::string;
+  using Member = std::pair<String, Json>;
+
+  Json() noexcept = default;  ///< null, heap-backed
+  /// Allocator-extended constructors: pmr containers use these to
+  /// propagate an arena to nested values (uses-allocator construction).
+  explicit Json(allocator_type alloc) noexcept
+      : string_(alloc), array_(alloc), object_(alloc) {}
+  Json(const Json& other, allocator_type alloc)
+      : type_(other.type_),
+        bool_(other.bool_),
+        number_(other.number_),
+        string_(other.string_, alloc),
+        array_(other.array_, alloc),
+        object_(other.object_, alloc) {}
+  Json(Json&& other, allocator_type alloc)
+      : type_(other.type_),
+        bool_(other.bool_),
+        number_(other.number_),
+        string_(std::move(other.string_), alloc),
+        array_(std::move(other.array_), alloc),
+        object_(std::move(other.object_), alloc) {}
+
+  /// Plain copies deep-copy onto the default (heap) resource; plain moves
+  /// keep the source's resource. Assignment keeps the destination's
+  /// resource (pmr allocators do not propagate), so assigning an
+  /// arena-backed value into a heap-backed slot deep-copies it off the
+  /// arena — exactly what the result caches rely on.
+  Json(const Json&) = default;
+  Json(Json&&) noexcept = default;
+  Json& operator=(const Json&) = default;
+  Json& operator=(Json&&) = default;
 
   static Json boolean(bool v);
   static Json number(double v);
-  static Json string(std::string v);
-  static Json array();
-  static Json object();
+  static Json string(std::string_view v,
+                     std::pmr::memory_resource* mr = nullptr);
+  static Json array(std::pmr::memory_resource* mr = nullptr);
+  static Json object(std::pmr::memory_resource* mr = nullptr);
 
   Type type() const { return type_; }
   bool is_null() const { return type_ == Type::kNull; }
@@ -42,15 +92,15 @@ class Json {
   /// Typed accessors; throw JsonError on type mismatch.
   bool as_bool() const;
   double as_number() const;
-  const std::string& as_string() const;
-  const std::vector<Json>& items() const;  ///< array elements
+  const String& as_string() const;
+  const std::pmr::vector<Json>& items() const;  ///< array elements
 
   // -- object interface (insertion-ordered) ------------------------------
   /// Sets `key` (replacing in place if present, appending otherwise).
-  void set(const std::string& key, Json value);
+  void set(std::string_view key, Json value);
   /// Pointer to the value at `key`, or nullptr. Object-typed values only.
   const Json* get(std::string_view key) const;
-  const std::vector<std::pair<std::string, Json>>& members() const;
+  const std::pmr::vector<Member>& members() const;
 
   // -- object lookup helpers with defaults (missing key => fallback) -----
   double get_number(std::string_view key, double fallback) const;
@@ -63,18 +113,34 @@ class Json {
   /// Serializes to a single line (no embedded newlines; strings escape
   /// control characters). Deterministic for a given value.
   std::string dump() const;
+  /// Appends the serialization to `out` — the hot path's form: one
+  /// reusable buffer per connection instead of a string per node.
+  void dump_to(std::string& out) const;
 
   /// Parses one JSON document; trailing whitespace allowed, trailing
-  /// garbage is an error.
-  static Json parse(std::string_view text);
+  /// garbage is an error. With `mr`, the whole tree is allocated on it
+  /// (nodes, keys, strings); nullptr means the global heap.
+  static Json parse(std::string_view text,
+                    std::pmr::memory_resource* mr = nullptr);
 
  private:
   Type type_ = Type::kNull;
   bool bool_ = false;
   double number_ = 0.0;
-  std::string string_;
-  std::vector<Json> array_;
-  std::vector<std::pair<std::string, Json>> object_;
+  String string_;
+  std::pmr::vector<Json> array_;
+  std::pmr::vector<Member> object_;
 };
+
+/// Canonical request key: the request's non-volatile fields ("threads",
+/// "no_cache", and "deadline_ms" are excluded — they shape how a request
+/// is served, never what it computes), sorted by key, rendered as
+/// `key=value;...`. Routing, the disk cache, and the in-memory rendered
+/// response caches all key on this, so a logical request always lands on
+/// the same backend and the same cache slots. The append form reuses the
+/// caller's buffer; the hot path calls it with a per-connection scratch
+/// string.
+void canonical_request_key(const Json& request, std::string& out);
+std::string canonical_request_key(const Json& request);
 
 }  // namespace decompeval::service

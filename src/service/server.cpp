@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <string_view>
 #include <utility>
 
 namespace decompeval::service {
@@ -259,6 +260,11 @@ void ReplicationServer::accept_loop(std::atomic<int>* listen_fd_slot) {
 
 void ReplicationServer::connection_loop(int fd) {
   std::string buffer;
+  // Per-connection scratch arena (backs each request's parse tree, rewound
+  // after every response) and reusable write buffer: a warm request is
+  // served with no heap allocation on this thread.
+  util::Arena arena;
+  std::string out;
   char chunk[4096];
   while (running_.load()) {
     const std::size_t newline = buffer.find('\n');
@@ -278,73 +284,103 @@ void ReplicationServer::connection_loop(int fd) {
       buffer.append(chunk, static_cast<std::size_t>(n));
       continue;
     }
-    const std::string line = buffer.substr(0, newline);
+    const std::string_view line(buffer.data(), newline);
+    bool keep = true;
+    if (!line.empty()) keep = handle_request_line(fd, line, arena, out);
+    // The parse tree is dead (handle_request_line's locals are gone);
+    // rewind its memory before the next request.
+    arena.reset();
     buffer.erase(0, newline + 1);
-    if (line.empty()) continue;
-
-    Json request;
-    try {
-      request = Json::parse(line);
-    } catch (const JsonError& e) {
-      Json r = Json::object();
-      r.set("status", Json::string("bad_request"));
-      r.set("error", Json::string(e.what()));
-      if (!write_all(fd, r.dump() + "\n")) break;
-      continue;
-    }
-
-    if (request.is_object() &&
-        request.get_string("op", "") == "shutdown") {
-      Json r = Json::object();
-      r.set("status", Json::string("ok"));
-      r.set("op", Json::string("shutdown"));
-      write_all(fd, r.dump() + "\n");
-      // Teardown joins this thread, so only signal the stopper here.
-      request_stop();
-      break;
-    }
-
-    auto pending = std::make_shared<PendingRequest>();
-    pending->request = std::move(request);
-    pending->cancel = std::make_shared<std::atomic<bool>>(false);
-    pending->started = std::chrono::steady_clock::now();
-    std::future<Json> reply = pending->reply.get_future();
-    // Decide under the lock, write outside it: a slow client with a full
-    // socket buffer must never stall workers or other connections.
-    enum class Admission { kEnqueued, kOverloaded, kShuttingDown };
-    Admission admission;
-    {
-      const std::lock_guard<std::mutex> lock(queue_mutex_);
-      if (!running_.load()) {
-        // do_stop() may already have drained the queue and retired the
-        // workers; enqueuing now would leave this promise unfulfilled
-        // forever and deadlock the join in do_stop(). Answer instead.
-        admission = Admission::kShuttingDown;
-      } else if (queue_.size() >= options_.max_queue) {
-        // Backpressure: answer now instead of buffering unboundedly.
-        admission = Admission::kOverloaded;
-      } else {
-        queue_.push_back(pending);
-        admission = Admission::kEnqueued;
-      }
-    }
-    if (admission == Admission::kShuttingDown) {
-      write_all(fd, shutdown_error_response().dump() + "\n");
-      break;  // teardown is closing this connection anyway
-    }
-    if (admission == Admission::kOverloaded) {
-      if (!write_all(fd, overloaded_response(options_.retry_after_ms).dump() +
-                             "\n"))
-        break;
-      continue;
-    }
-    queue_cv_.notify_one();
-    if (!write_all(fd, reply.get().dump() + "\n")) break;
+    if (!keep) break;
   }
   // This loop no longer reads: signal the peer instead of stranding it.
   // Without this, a client mid-way through an oversized send blocks in
   // write() forever (the fd itself is closed later, by do_stop()).
   ::shutdown(fd, SHUT_RDWR);
+}
+
+bool ReplicationServer::handle_request_line(int fd, std::string_view line,
+                                            util::Arena& arena,
+                                            std::string& out) {
+  out.clear();
+  Json request{Json::allocator_type(&arena)};
+  try {
+    request = Json::parse(line, &arena);
+  } catch (const JsonError& e) {
+    Json r = Json::object();
+    r.set("status", Json::string("bad_request"));
+    r.set("error", Json::string(e.what()));
+    r.dump_to(out);
+    out.push_back('\n');
+    return write_all(fd, out);
+  }
+
+  if (request.is_object() && request.get_string("op", "") == "shutdown") {
+    Json r = Json::object();
+    r.set("status", Json::string("ok"));
+    r.set("op", Json::string("shutdown"));
+    r.dump_to(out);
+    out.push_back('\n');
+    write_all(fd, out);
+    // Teardown joins this thread, so only signal the stopper here.
+    request_stop();
+    return false;
+  }
+
+  // Fast path: answered on this thread, skipping the queue and both
+  // worker handoffs. Only ever serves rendered cache hits, so it cannot
+  // block the connection.
+  const bool fast = options_.fast_path
+                        ? options_.fast_path(request, out)
+                        : (!options_.handler &&
+                           core_.try_serve_cached_line(request, out));
+  if (fast) {
+    out.push_back('\n');
+    return write_all(fd, out);
+  }
+
+  auto pending = std::make_shared<PendingRequest>();
+  // Deep copy onto the heap: the queued request outlives this stack frame
+  // (workers, watchdog, shutdown drain all hold it), so it must not point
+  // into the connection arena. pmr non-propagation makes plain assignment
+  // do exactly that.
+  pending->request = request;
+  pending->cancel = std::make_shared<std::atomic<bool>>(false);
+  pending->started = std::chrono::steady_clock::now();
+  std::future<Json> reply = pending->reply.get_future();
+  // Decide under the lock, write outside it: a slow client with a full
+  // socket buffer must never stall workers or other connections.
+  enum class Admission { kEnqueued, kOverloaded, kShuttingDown };
+  Admission admission;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (!running_.load()) {
+      // do_stop() may already have drained the queue and retired the
+      // workers; enqueuing now would leave this promise unfulfilled
+      // forever and deadlock the join in do_stop(). Answer instead.
+      admission = Admission::kShuttingDown;
+    } else if (queue_.size() >= options_.max_queue) {
+      // Backpressure: answer now instead of buffering unboundedly.
+      admission = Admission::kOverloaded;
+    } else {
+      queue_.push_back(pending);
+      admission = Admission::kEnqueued;
+    }
+  }
+  if (admission == Admission::kShuttingDown) {
+    write_all(fd, shutdown_error_response().dump() + "\n");
+    return false;  // teardown is closing this connection anyway
+  }
+  if (admission == Admission::kOverloaded) {
+    return write_all(fd,
+                     overloaded_response(options_.retry_after_ms).dump() +
+                         "\n");
+  }
+  queue_cv_.notify_one();
+  out.clear();
+  reply.get().dump_to(out);
+  out.push_back('\n');
+  return write_all(fd, out);
 }
 
 void ReplicationServer::worker_loop() {
@@ -458,7 +494,10 @@ void ServiceClient::set_timeout_ms(double ms) {
 
 Json ServiceClient::call(const Json& request) {
   if (fd_ < 0) throw std::runtime_error("ServiceClient: not connected");
-  if (!write_all(fd_, request.dump() + "\n"))
+  request_buf_.clear();
+  request.dump_to(request_buf_);
+  request_buf_.push_back('\n');
+  if (!write_all(fd_, request_buf_))
     throw std::runtime_error("ServiceClient: write failed");
   char chunk[4096];
   while (true) {

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "service/service.h"
+#include "util/arena.h"
 
 namespace decompeval::service {
 
@@ -61,6 +62,13 @@ struct ServerOptions {
   /// own ServiceCore. The cluster dispatcher substitutes its forwarding
   /// logic here, reusing the queue/backpressure/shutdown machinery.
   std::function<Json(const Json&, const std::atomic<bool>*)> handler;
+  /// Connection-thread fast path, tried before a request is queued: when
+  /// it returns true it must have appended one full response line (no
+  /// newline) to the string. Cache hits answered here skip two thread
+  /// handoffs and the queue entirely. Default (empty): the core's
+  /// rendered-line cache when no custom handler is set; a custom handler
+  /// (dispatcher, cluster backend) supplies its own or none.
+  std::function<bool(const Json&, std::string&)> fast_path;
 };
 
 class ReplicationServer {
@@ -95,6 +103,12 @@ class ReplicationServer {
 
   void accept_loop(std::atomic<int>* listen_fd);
   void connection_loop(int fd);
+  /// Handles one framed request line on the connection thread. `arena`
+  /// backs the parse tree for the duration of the call only (the caller
+  /// resets it afterwards); `out` is the connection's reusable write
+  /// buffer. Returns false when the connection must close.
+  bool handle_request_line(int fd, std::string_view line, util::Arena& arena,
+                           std::string& out);
   void worker_loop();
   void watchdog_loop();
   /// Signals the stopper thread; safe from any thread, including a
@@ -166,7 +180,8 @@ class ServiceClient {
 
  private:
   int fd_ = -1;
-  std::string buffer_;  ///< bytes read past the last newline
+  std::string buffer_;       ///< bytes read past the last newline
+  std::string request_buf_;  ///< reused per-call request render buffer
 };
 
 }  // namespace decompeval::service

@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "core/replication.h"
 #include "study/engine.h"
@@ -79,6 +81,11 @@ ServiceCore::ServiceCore(ServiceOptions options)
     : options_(std::move(options)),
       faults_(options_.fault_plan),
       result_cache_(options_.result_cache_capacity),
+      // A fault plan disables the line fast lane outright: skipping the
+      // queue would skip "service.request"/"service.stall" hits and shift
+      // every chaos run's deterministic fault sequence.
+      line_cache_(options_.fault_plan.empty() ? options_.line_cache_capacity
+                                              : 0),
       embed_cache_(options_.embed_cache_capacity) {}
 
 ServiceStats ServiceCore::stats() const {
@@ -124,13 +131,87 @@ Json ServiceCore::handle(const Json& request,
   return response;
 }
 
+bool ServiceCore::line_cacheable(const Json& request) const {
+  if (line_cache_.capacity() == 0 || !request.is_object()) return false;
+  const Json* op = request.get("op");
+  if (op == nullptr || op->type() != Json::Type::kString) return false;
+  const auto& name = op->as_string();
+  if (name != "run_study" && name != "run_replication") return false;
+  return !request.get_bool("no_cache", false);
+}
+
+bool ServiceCore::try_serve_cached_line(const Json& request, std::string& out) {
+  if (!line_cacheable(request)) return false;
+  // A cancelled request must produce deadline_exceeded, not a stale hit.
+  thread_local std::string key;
+  key.clear();
+  canonical_request_key(request, key);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::string_view* hit = line_cache_.find(key);
+  if (hit == nullptr) return false;
+  ++stats_.requests;
+  ++stats_.ok;
+  ++stats_.cache_hits;
+  out.append(hit->data(), hit->size());
+  return true;
+}
+
+void ServiceCore::handle_line(const Json& request,
+                              const std::atomic<bool>* cancel,
+                              std::string& out) {
+  if ((cancel == nullptr || !cancel->load(std::memory_order_relaxed)) &&
+      try_serve_cached_line(request, out))
+    return;
+  const Json response = handle(request, cancel);
+  const std::size_t start = out.size();
+  response.dump_to(out);
+  if (line_cacheable(request) && response.get_string("status", "") == "ok")
+    store_line(request,
+               std::string_view(out.data() + start, out.size() - start));
+}
+
+void ServiceCore::store_line(const Json& request, std::string_view line) {
+  thread_local std::string key;
+  key.clear();
+  canonical_request_key(request, key);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  line_cache_.put(key, line_arena_.intern(line));
+  maybe_compact_lines();
+}
+
+void ServiceCore::maybe_compact_lines() {
+  // Replaced and evicted lines strand dead bytes on the arena (bump
+  // allocators never free). Once the arena holds noticeably more than the
+  // cache's live bytes, copy the survivors to the rewound arena — LRU
+  // order preserved.
+  if (line_arena_.live_bytes() < (256u << 10)) return;
+  std::size_t live = 0;
+  line_cache_.for_each(
+      [&live](const std::string&, const std::string_view& v) {
+        live += v.size();
+      });
+  if (line_arena_.live_bytes() < live * 2 + (64u << 10)) return;
+  std::vector<std::pair<std::string, std::string>> survivors;
+  survivors.reserve(line_cache_.size());
+  line_cache_.for_each(
+      [&survivors](const std::string& k, const std::string_view& v) {
+        survivors.emplace_back(k, std::string(v));
+      });
+  line_cache_.clear();
+  line_arena_.reset();
+  // for_each walked most- to least-recent; reinsert in reverse so the
+  // most recent entry lands back at the front.
+  for (auto it = survivors.rbegin(); it != survivors.rend(); ++it)
+    line_cache_.put(it->first, line_arena_.intern(it->second));
+}
+
 Json ServiceCore::dispatch(const Json& request,
                            const std::atomic<bool>* cancel) {
   if (!request.is_object()) return bad_request("request must be an object");
   const Json* opv = request.get("op");
   if (!opv || opv->type() != Json::Type::kString)
     return bad_request("missing string field 'op'");
-  const std::string& op = opv->as_string();
+  const std::string op(opv->as_string());
 
   // Per-request deadline with the watchdog cancel flag attached. The
   // admission check makes an already-expired request cost nothing — it

@@ -39,6 +39,7 @@
 
 #include "embed/embedding.h"
 #include "service/json.h"
+#include "util/arena.h"
 #include "util/fault.h"
 #include "util/lru.h"
 
@@ -64,6 +65,10 @@ struct ServiceOptions {
   /// LRU bound on the trained-embedding cache. Models are large, so the
   /// default keeps only a handful of (corpus, seed) configurations warm.
   std::size_t embed_cache_capacity = 4;
+  /// LRU bound on the rendered-line cache behind try_serve_cached_line
+  /// (entries; 0 disables it). Lines live on a permanent arena that is
+  /// compacted when evictions strand too many dead bytes.
+  std::size_t line_cache_capacity = 256;
 };
 
 /// Monotonic counters, readable via the "stats" op.
@@ -86,6 +91,21 @@ class ServiceCore {
   /// `cancel` is the watchdog flag for this request (may be null).
   Json handle(const Json& request, const std::atomic<bool>* cancel = nullptr);
 
+  /// Warm-path fast lane: when an identical cacheable request (canonical
+  /// key; "threads"/"deadline_ms" don't count) was answered "ok" before,
+  /// appends the cached rendered response line (no newline) to `out` and
+  /// returns true. The server calls this on the connection thread, before
+  /// a request ever touches the queue/worker machinery. Disabled whenever
+  /// a fault plan is active so chaos runs keep their exact per-site hit
+  /// sequences. Hits count toward requests/ok/cache_hits.
+  bool try_serve_cached_line(const Json& request, std::string& out);
+
+  /// handle() plus rendering: serves from the line cache when possible,
+  /// otherwise dispatches and appends the rendered response to `out`
+  /// (populating the line cache for "ok" cacheable responses).
+  void handle_line(const Json& request, const std::atomic<bool>* cancel,
+                   std::string& out);
+
   ServiceStats stats() const;
   const util::FaultInjector& faults() const { return faults_; }
 
@@ -97,6 +117,9 @@ class ServiceCore {
       std::size_t sentences, std::uint64_t seed, std::size_t threads);
   void maybe_stall(const util::Deadline& deadline);
   void note_status(const std::string& status);
+  bool line_cacheable(const Json& request) const;
+  void store_line(const Json& request, std::string_view line);
+  void maybe_compact_lines();  ///< caller holds mutex_
 
   ServiceOptions options_;
   util::FaultInjector faults_;
@@ -105,6 +128,12 @@ class ServiceCore {
   ServiceStats stats_;
   /// ok-only response cache, keyed by canonical request key; LRU-bounded.
   util::LruCache<std::string, Json> result_cache_;
+  /// Rendered "ok" response lines keyed by canonical request key. Values
+  /// are views into line_arena_ (the permanent arena of the dual-arena
+  /// split — request parse trees live on per-connection scratch arenas in
+  /// the server). Guarded by mutex_.
+  util::Arena line_arena_;
+  util::LruCache<std::string, std::string_view> line_cache_;
   /// Embedding models keyed by "sentences|seed". Guarded separately so a
   /// long training run does not block stats/caching on other workers.
   /// Degraded models (quarantined trainer shards) are never cached.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <string_view>
 #include <unordered_map>
 
 #include "text/tokenize.h"
@@ -17,9 +19,9 @@ struct OrderCounts {
   double total = 0.0;
 };
 
-void accumulate_order(const std::vector<std::string>& candidate,
-                      const std::vector<std::string>& reference,
-                      std::size_t order, OrderCounts& counts) {
+void accumulate_order_reference(const std::vector<std::string>& candidate,
+                                const std::vector<std::string>& reference,
+                                std::size_t order, OrderCounts& counts) {
   const auto cand_grams = ngrams(candidate, order);
   if (cand_grams.empty()) return;
   std::unordered_map<std::string, int> ref_counts;
@@ -72,22 +74,189 @@ BleuScore finish(const std::vector<OrderCounts>& counts,
   return score;
 }
 
+#ifndef DECOMPEVAL_NO_SIMD
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t gram_hash(const std::uint32_t* ids, std::size_t order) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < order; ++i) {
+    h ^= ids[i];
+    h *= 1099511628211ull;
+  }
+  // Finalize: FNV alone clusters badly for power-of-two masks.
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return h;
+}
+
+std::size_t table_size_for(std::size_t entries) {
+  std::size_t size = 16;
+  while (size < entries * 2) size <<= 1;
+  return size;
+}
+
+// Reusable scratch for the hashed n-gram kernel. Slots are generation
+// stamped so reuse across calls is O(live entries), never a full clear.
+struct BleuWorkspace {
+  struct TokenSlot {
+    std::uint32_t gen = 0;
+    std::uint32_t id = 0;
+    std::uint64_t hash = 0;
+    const std::string* token = nullptr;
+  };
+  struct GramSlot {
+    std::uint32_t gen = 0;
+    std::uint32_t pos = 0;  // gram start within cand_ids or ref_ids
+    std::uint32_t cand = 0;
+    std::uint32_t ref = 0;
+    std::uint8_t from_ref = 0;
+    std::uint64_t hash = 0;
+  };
+
+  std::vector<TokenSlot> token_slots;
+  std::uint32_t token_gen = 0;
+  std::vector<std::uint32_t> cand_ids;
+  std::vector<std::uint32_t> ref_ids;
+
+  std::vector<GramSlot> gram_slots;
+  std::uint32_t gram_gen = 0;
+  std::vector<std::uint32_t> occupied;  // gram slots used this order
+
+  // Interns candidate + reference tokens of one segment pair to dense ids
+  // (consistent within the pair, which is all gram equality needs).
+  void intern_pair(const std::vector<std::string>& candidate,
+                   const std::vector<std::string>& reference) {
+    const std::size_t wanted = table_size_for(candidate.size() +
+                                              reference.size());
+    if (token_slots.size() < wanted || token_gen ==
+                                           std::numeric_limits<
+                                               std::uint32_t>::max()) {
+      token_slots.assign(std::max(wanted, token_slots.size()), TokenSlot{});
+      token_gen = 0;
+    }
+    ++token_gen;
+    std::uint32_t next_id = 0;
+    const std::uint64_t mask = token_slots.size() - 1;
+    const auto intern = [&](const std::vector<std::string>& tokens,
+                            std::vector<std::uint32_t>& ids) {
+      ids.clear();
+      for (const std::string& token : tokens) {
+        const std::uint64_t h = fnv1a(token);
+        std::size_t idx = h & mask;
+        for (;;) {
+          TokenSlot& slot = token_slots[idx];
+          if (slot.gen != token_gen) {
+            slot.gen = token_gen;
+            slot.id = next_id++;
+            slot.hash = h;
+            slot.token = &token;
+            ids.push_back(slot.id);
+            break;
+          }
+          if (slot.hash == h && *slot.token == token) {
+            ids.push_back(slot.id);
+            break;
+          }
+          idx = (idx + 1) & mask;
+        }
+      }
+    };
+    intern(candidate, cand_ids);
+    intern(reference, ref_ids);
+  }
+
+  void accumulate_order(std::size_t order, OrderCounts& counts) {
+    if (cand_ids.size() < order) return;
+    const std::size_t n_cand = cand_ids.size() - order + 1;
+    const std::size_t n_ref =
+        ref_ids.size() >= order ? ref_ids.size() - order + 1 : 0;
+    const std::size_t wanted = table_size_for(n_cand + n_ref);
+    if (gram_slots.size() < wanted ||
+        gram_gen == std::numeric_limits<std::uint32_t>::max()) {
+      gram_slots.assign(std::max(wanted, gram_slots.size()), GramSlot{});
+      gram_gen = 0;
+    }
+    ++gram_gen;
+    occupied.clear();
+    const std::uint64_t mask = gram_slots.size() - 1;
+    const auto bump = [&](const std::vector<std::uint32_t>& ids,
+                          std::uint32_t pos, bool from_ref) {
+      const std::uint32_t* gram = ids.data() + pos;
+      const std::uint64_t h = gram_hash(gram, order);
+      std::size_t idx = h & mask;
+      for (;;) {
+        GramSlot& slot = gram_slots[idx];
+        if (slot.gen != gram_gen) {
+          slot.gen = gram_gen;
+          slot.pos = pos;
+          slot.cand = 0;
+          slot.ref = 0;
+          slot.from_ref = from_ref ? 1 : 0;
+          slot.hash = h;
+          occupied.push_back(static_cast<std::uint32_t>(idx));
+        } else if (slot.hash != h ||
+                   !std::equal(gram, gram + order,
+                               (slot.from_ref ? ref_ids.data()
+                                              : cand_ids.data()) +
+                                   slot.pos)) {
+          idx = (idx + 1) & mask;
+          continue;
+        }
+        if (from_ref)
+          ++slot.ref;
+        else
+          ++slot.cand;
+        return;
+      }
+    };
+    for (std::size_t i = 0; i < n_ref; ++i)
+      bump(ref_ids, static_cast<std::uint32_t>(i), /*from_ref=*/true);
+    for (std::size_t i = 0; i < n_cand; ++i)
+      bump(cand_ids, static_cast<std::uint32_t>(i), /*from_ref=*/false);
+    double matched = 0.0;
+    for (const std::uint32_t idx : occupied) {
+      const GramSlot& slot = gram_slots[idx];
+      if (slot.cand > 0 && slot.ref > 0)
+        matched += std::min(slot.cand, slot.ref);  // clipped counts
+    }
+    counts.matched += matched;
+    counts.total += static_cast<double>(n_cand);
+  }
+};
+
+BleuWorkspace& workspace() {
+  thread_local BleuWorkspace ws;
+  return ws;
+}
+
+#endif  // DECOMPEVAL_NO_SIMD
+
 }  // namespace
 
-BleuScore bleu(const std::vector<std::string>& candidate,
-               const std::vector<std::string>& reference,
-               const BleuOptions& options) {
+BleuScore bleu_reference(const std::vector<std::string>& candidate,
+                         const std::vector<std::string>& reference,
+                         const BleuOptions& options) {
   DE_EXPECTS(options.max_order >= 1);
   std::vector<OrderCounts> counts(options.max_order);
   for (std::size_t k = 0; k < options.max_order; ++k)
-    accumulate_order(candidate, reference, k + 1, counts[k]);
+    accumulate_order_reference(candidate, reference, k + 1, counts[k]);
   return finish(counts, static_cast<double>(candidate.size()),
                 static_cast<double>(reference.size()), options);
 }
 
-BleuScore corpus_bleu(const std::vector<std::vector<std::string>>& candidates,
-                      const std::vector<std::vector<std::string>>& references,
-                      const BleuOptions& options) {
+BleuScore corpus_bleu_reference(
+    const std::vector<std::vector<std::string>>& candidates,
+    const std::vector<std::vector<std::string>>& references,
+    const BleuOptions& options) {
   DE_EXPECTS(options.max_order >= 1);
   DE_EXPECTS(candidates.size() == references.size());
   DE_EXPECTS(!candidates.empty());
@@ -95,11 +264,52 @@ BleuScore corpus_bleu(const std::vector<std::vector<std::string>>& candidates,
   double cand_len = 0.0, ref_len = 0.0;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     for (std::size_t k = 0; k < options.max_order; ++k)
-      accumulate_order(candidates[i], references[i], k + 1, counts[k]);
+      accumulate_order_reference(candidates[i], references[i], k + 1,
+                                 counts[k]);
     cand_len += static_cast<double>(candidates[i].size());
     ref_len += static_cast<double>(references[i].size());
   }
   return finish(counts, cand_len, ref_len, options);
+}
+
+BleuScore bleu(const std::vector<std::string>& candidate,
+               const std::vector<std::string>& reference,
+               const BleuOptions& options) {
+#ifdef DECOMPEVAL_NO_SIMD
+  return bleu_reference(candidate, reference, options);
+#else
+  DE_EXPECTS(options.max_order >= 1);
+  BleuWorkspace& ws = workspace();
+  ws.intern_pair(candidate, reference);
+  std::vector<OrderCounts> counts(options.max_order);
+  for (std::size_t k = 0; k < options.max_order; ++k)
+    ws.accumulate_order(k + 1, counts[k]);
+  return finish(counts, static_cast<double>(candidate.size()),
+                static_cast<double>(reference.size()), options);
+#endif
+}
+
+BleuScore corpus_bleu(const std::vector<std::vector<std::string>>& candidates,
+                      const std::vector<std::vector<std::string>>& references,
+                      const BleuOptions& options) {
+#ifdef DECOMPEVAL_NO_SIMD
+  return corpus_bleu_reference(candidates, references, options);
+#else
+  DE_EXPECTS(options.max_order >= 1);
+  DE_EXPECTS(candidates.size() == references.size());
+  DE_EXPECTS(!candidates.empty());
+  BleuWorkspace& ws = workspace();
+  std::vector<OrderCounts> counts(options.max_order);
+  double cand_len = 0.0, ref_len = 0.0;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    ws.intern_pair(candidates[i], references[i]);
+    for (std::size_t k = 0; k < options.max_order; ++k)
+      ws.accumulate_order(k + 1, counts[k]);
+    cand_len += static_cast<double>(candidates[i].size());
+    ref_len += static_cast<double>(references[i].size());
+  }
+  return finish(counts, cand_len, ref_len, options);
+#endif
 }
 
 }  // namespace decompeval::text

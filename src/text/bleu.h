@@ -22,6 +22,13 @@ struct BleuScore {
 };
 
 /// Sentence-level BLEU of `candidate` against a single `reference`.
+///
+/// Kernel: tokens are interned to integer ids and n-grams counted in a
+/// preallocated open-addressing table (thread-local, reused across calls)
+/// instead of per-call string-keyed maps. Collisions fall back to full
+/// id-sequence comparison, so the clipped counts — and therefore every
+/// score — are identical to the reference implementation bit for bit.
+/// `-DDECOMPEVAL_NO_SIMD` forces the reference path.
 BleuScore bleu(const std::vector<std::string>& candidate,
                const std::vector<std::string>& reference,
                const BleuOptions& options = {});
@@ -31,5 +38,15 @@ BleuScore bleu(const std::vector<std::string>& candidate,
 BleuScore corpus_bleu(const std::vector<std::vector<std::string>>& candidates,
                       const std::vector<std::vector<std::string>>& references,
                       const BleuOptions& options = {});
+
+/// The original string-keyed implementations, kept as oracles for the
+/// differential tests (and as the forced-scalar fallback).
+BleuScore bleu_reference(const std::vector<std::string>& candidate,
+                         const std::vector<std::string>& reference,
+                         const BleuOptions& options = {});
+BleuScore corpus_bleu_reference(
+    const std::vector<std::vector<std::string>>& candidates,
+    const std::vector<std::vector<std::string>>& references,
+    const BleuOptions& options = {});
 
 }  // namespace decompeval::text

@@ -1,6 +1,7 @@
 #include "text/similarity.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <unordered_set>
 
 #include "text/tokenize.h"
@@ -8,7 +9,95 @@
 
 namespace decompeval::text {
 
-std::size_t levenshtein(std::string_view a, std::string_view b) {
+namespace {
+
+#ifndef DECOMPEVAL_NO_SIMD
+
+// Myers' bit-parallel edit distance, single-word variant (pattern fits in
+// one 64-bit word). The DP column is encoded as vertical delta bit vectors
+// (pv/mv); each text character advances the whole column in O(1) word ops.
+// Exact integer algorithm — identical output to the dynamic program.
+std::size_t myers64(std::string_view pattern, std::string_view text) {
+  std::uint64_t peq[256] = {};
+  for (std::size_t i = 0; i < pattern.size(); ++i)
+    peq[static_cast<unsigned char>(pattern[i])] |= std::uint64_t{1} << i;
+  const std::uint64_t last = std::uint64_t{1} << (pattern.size() - 1);
+  std::uint64_t pv = ~std::uint64_t{0};
+  std::uint64_t mv = 0;
+  std::size_t score = pattern.size();
+  for (const char tc : text) {
+    const std::uint64_t eq = peq[static_cast<unsigned char>(tc)];
+    const std::uint64_t xv = eq | mv;
+    const std::uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    std::uint64_t ph = mv | ~(xh | pv);
+    std::uint64_t mh = pv & xh;
+    if (ph & last) ++score;
+    if (mh & last) --score;
+    ph = (ph << 1) | 1;
+    mh <<= 1;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+  }
+  return score;
+}
+
+// Hyyrö's blocked variant for patterns longer than one word: the column is
+// split into 64-row blocks; the horizontal delta at each block boundary
+// (hin/hout in {-1, 0, +1}) is carried bottom-up through the chain. The
+// score is tracked at the last row, i.e. the hout of the top block.
+std::size_t myers_blocked(std::string_view pattern, std::string_view text) {
+  const std::size_t m = pattern.size();
+  const std::size_t words = (m + 63) / 64;
+  thread_local std::vector<std::uint64_t> peq;  // words x 256, block-major
+  thread_local std::vector<std::uint64_t> pv;
+  thread_local std::vector<std::uint64_t> mv;
+  peq.assign(words * 256, 0);
+  for (std::size_t i = 0; i < m; ++i)
+    peq[(i / 64) * 256 + static_cast<unsigned char>(pattern[i])] |=
+        std::uint64_t{1} << (i % 64);
+  pv.assign(words, ~std::uint64_t{0});
+  mv.assign(words, 0);
+  std::size_t score = m;
+  for (const char tc : text) {
+    const unsigned char c = static_cast<unsigned char>(tc);
+    int hin = 1;  // row 0 of the DP table grows by one per column
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t last = w + 1 == words
+                                     ? std::uint64_t{1} << ((m - 1) % 64)
+                                     : std::uint64_t{1} << 63;
+      std::uint64_t eq = peq[w * 256 + c];
+      const std::uint64_t pb = pv[w];
+      const std::uint64_t mb = mv[w];
+      const std::uint64_t xv = eq | mb;
+      if (hin < 0) eq |= 1;  // a negative boundary delta acts like a match
+      const std::uint64_t xh = (((eq & pb) + pb) ^ pb) | eq;
+      std::uint64_t ph = mb | ~(xh | pb);
+      std::uint64_t mh = pb & xh;
+      int hout = 0;
+      if (ph & last)
+        hout = 1;
+      else if (mh & last)
+        hout = -1;
+      ph <<= 1;
+      mh <<= 1;
+      if (hin > 0)
+        ph |= 1;
+      else if (hin < 0)
+        mh |= 1;
+      pv[w] = mh | ~(xv | ph);
+      mv[w] = ph & xv;
+      hin = hout;
+    }
+    score = static_cast<std::size_t>(static_cast<long long>(score) + hin);
+  }
+  return score;
+}
+
+#endif  // DECOMPEVAL_NO_SIMD
+
+}  // namespace
+
+std::size_t levenshtein_reference(std::string_view a, std::string_view b) {
   if (a.empty()) return b.size();
   if (b.empty()) return a.size();
   // Two-row dynamic program.
@@ -23,6 +112,28 @@ std::size_t levenshtein(std::string_view a, std::string_view b) {
     std::swap(prev, curr);
   }
   return prev[b.size()];
+}
+
+std::size_t levenshtein(std::string_view a, std::string_view b) {
+#ifdef DECOMPEVAL_NO_SIMD
+  return levenshtein_reference(a, b);
+#else
+  // A shared prefix or suffix never contributes to the distance.
+  while (!a.empty() && !b.empty() && a.front() == b.front()) {
+    a.remove_prefix(1);
+    b.remove_prefix(1);
+  }
+  while (!a.empty() && !b.empty() && a.back() == b.back()) {
+    a.remove_suffix(1);
+    b.remove_suffix(1);
+  }
+  if (a.empty()) return b.size();
+  if (b.empty()) return a.size();
+  const std::string_view pattern = a.size() <= b.size() ? a : b;
+  const std::string_view text = a.size() <= b.size() ? b : a;
+  return pattern.size() <= 64 ? myers64(pattern, text)
+                              : myers_blocked(pattern, text);
+#endif
 }
 
 double normalized_levenshtein(std::string_view a, std::string_view b) {

@@ -11,7 +11,17 @@
 namespace decompeval::text {
 
 /// Classic edit distance (insert/delete/substitute, unit costs).
+///
+/// Kernel: common prefix/suffix trimming, then Myers' bit-parallel
+/// algorithm — one 64-bit word when the shorter string fits, Hyyrö's
+/// blocked variant above that. Exact (integer) algorithm, so results are
+/// identical to the dynamic program bit for bit; `-DDECOMPEVAL_NO_SIMD`
+/// forces the reference implementation instead.
 std::size_t levenshtein(std::string_view a, std::string_view b);
+
+/// The original two-row dynamic program, kept as the oracle for the
+/// differential tests (and as the forced-scalar fallback).
+std::size_t levenshtein_reference(std::string_view a, std::string_view b);
 
 /// Normalized edit distance in [0, 1]: distance / max(|a|, |b|); 0 for two
 /// empty strings.

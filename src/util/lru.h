@@ -51,6 +51,14 @@ class LruCache {
     }
   }
 
+  /// Visits every entry, most- to least-recently-used, without touching
+  /// recency. The service layer's arena compaction walks the cache to
+  /// re-intern surviving values.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [key, value] : entries_) fn(key, value);
+  }
+
   std::size_t size() const { return entries_.size(); }
   std::size_t capacity() const { return capacity_; }
   /// Entries dropped by the size bound since construction (observability:

@@ -345,10 +345,12 @@ struct TestCluster {
   std::string front_socket;
 
   explicit TestCluster(const std::string& tag, std::size_t n,
-                       util::FaultPlan dispatcher_faults = {}) {
+                       util::FaultPlan dispatcher_faults = {},
+                       std::size_t response_cache_capacity = 0) {
     DispatcherOptions dispatch;
     dispatch.fault_plan = std::move(dispatcher_faults);
     dispatch.health_interval_ms = 20;
+    dispatch.response_cache_capacity = response_cache_capacity;
     for (std::size_t i = 0; i < n; ++i) {
       const std::string id = tag + "-backend-" + std::to_string(i);
       cache_dirs.push_back(fresh_cache_dir(id));
@@ -378,6 +380,8 @@ struct TestCluster {
     front_options.workers = 2;
     front_options.max_queue = 16;
     front_options.handler = dispatcher->handler();
+    if (response_cache_capacity > 0)
+      front_options.fast_path = dispatcher->fast_path();
     front = std::make_unique<service::ReplicationServer>(front_options);
     front->start();
   }
@@ -427,6 +431,26 @@ TEST(ClusterTest, DispatcherMatchesDirectBackendAndOfflineBitForBit) {
     direct.connect(cluster.servers[i]->socket_path());
     EXPECT_EQ(direct.call(replication_request(1)).dump(), dispatcher_dump);
   }
+}
+
+TEST(ClusterTest, FrontServerWarmRepeatHitsDispatcherResponseCache) {
+  // The dispatcher's response cache must fill through the handler() a real
+  // server front-end runs — not only through handle_line(), which only
+  // in-process callers use. Regression: the cache used to be populated
+  // exclusively by handle_line(), so fast_path() behind a ReplicationServer
+  // never hit and every warm repeat was forwarded again.
+  TestCluster cluster("warmfront", 2, {}, /*response_cache_capacity=*/64);
+  service::ServiceClient client;
+  client.connect(cluster.front_socket);
+
+  const Json cold = client.call(replication_request(1));
+  ASSERT_EQ(cold.get_string("status", ""), "ok");
+  const Json warm = client.call(replication_request(1));
+  EXPECT_EQ(warm.dump(), cold.dump());  // byte-identical to forwarding
+
+  const cluster::DispatcherStats stats = cluster.dispatcher->stats();
+  EXPECT_EQ(stats.response_cache_hits, 1u);
+  EXPECT_EQ(stats.forwarded, 1u);  // only the cold request reached a backend
 }
 
 TEST(ClusterTest, FailoverToNextRingNodeWhenABackendDies) {

@@ -1,0 +1,360 @@
+// Differential tests for the hot-path metric kernels: every rewritten
+// kernel (bit-parallel Levenshtein, hashed n-gram BLEU, sorted-range
+// weighted unigram match, matrix BERTScore, blocked PPMI projection) is
+// pitted against its retained reference implementation on randomized
+// inputs and the documented edge cases, demanding *bitwise* equality —
+// the service-layer caches and the disk cache both depend on responses
+// being byte-identical across kernel generations. Also covers the arena
+// reuse-after-reset contract and the canonical request key.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "embed/embedding.h"
+#include "metrics/bertscore.h"
+#include "metrics/codebleu.h"
+#include "service/json.h"
+#include "text/bleu.h"
+#include "text/similarity.h"
+#include "util/arena.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace decompeval;
+
+std::string random_string(util::Rng& rng, std::size_t length,
+                          std::string_view alphabet) {
+  std::string s;
+  s.reserve(length);
+  for (std::size_t i = 0; i < length; ++i)
+    s.push_back(alphabet[rng.uniform_index(alphabet.size())]);
+  return s;
+}
+
+std::vector<std::string> random_tokens(util::Rng& rng, std::size_t length,
+                                       const std::vector<std::string>& vocab) {
+  std::vector<std::string> tokens;
+  tokens.reserve(length);
+  for (std::size_t i = 0; i < length; ++i)
+    tokens.push_back(vocab[rng.uniform_index(vocab.size())]);
+  return tokens;
+}
+
+// -- Levenshtein -----------------------------------------------------------
+
+TEST(LevenshteinKernel, EdgeCases) {
+  EXPECT_EQ(text::levenshtein("", ""), 0u);
+  EXPECT_EQ(text::levenshtein("", "abc"), 3u);
+  EXPECT_EQ(text::levenshtein("abc", ""), 3u);
+  EXPECT_EQ(text::levenshtein("a", "a"), 0u);
+  EXPECT_EQ(text::levenshtein("kitten", "sitting"), 3u);
+  const std::string long_equal(700, 'x');
+  EXPECT_EQ(text::levenshtein(long_equal, long_equal), 0u);
+  // One substitution at the front, middle, and back of a >64-char string
+  // (exercises the trimming paths around the bit-parallel kernel).
+  std::string base(130, 'a');
+  for (const std::size_t pos : {std::size_t{0}, base.size() / 2,
+                                base.size() - 1}) {
+    std::string mutated = base;
+    mutated[pos] = 'b';
+    EXPECT_EQ(text::levenshtein(base, mutated), 1u);
+  }
+}
+
+TEST(LevenshteinKernel, MatchesReferenceOnRandomInputs) {
+  const util::Rng root(20260808);
+  const std::size_t lengths[] = {0, 1, 2, 3, 7, 15, 31, 63, 64,
+                                 65, 100, 127, 128, 129, 200, 321};
+  std::uint64_t stream = 0;
+  for (const std::string_view alphabet :
+       {std::string_view("ab"), std::string_view("abcdefgh"),
+        std::string_view(
+            "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+            "_*+-/(){}[]<>.,;: \t\x01\x7f")}) {
+    for (const std::size_t la : lengths) {
+      for (const std::size_t lb : lengths) {
+        util::Rng rng = root.split(stream++);
+        const std::string a = random_string(rng, la, alphabet);
+        const std::string b = random_string(rng, lb, alphabet);
+        ASSERT_EQ(text::levenshtein(a, b), text::levenshtein_reference(a, b))
+            << "alphabet size " << alphabet.size() << " lengths " << la
+            << "/" << lb;
+      }
+    }
+  }
+}
+
+TEST(LevenshteinKernel, LongStringsCrossManyWordBoundaries) {
+  const util::Rng root(77);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    util::Rng rng = root.split(i);
+    const std::string a = random_string(rng, 512 + i * 97, "abcd");
+    const std::string b = random_string(rng, 700 - i * 41, "abcd");
+    ASSERT_EQ(text::levenshtein(a, b), text::levenshtein_reference(a, b));
+  }
+}
+
+// -- BLEU ------------------------------------------------------------------
+
+void expect_same_bleu(const text::BleuScore& fast,
+                      const text::BleuScore& ref) {
+  EXPECT_EQ(fast.bleu, ref.bleu);
+  EXPECT_EQ(fast.brevity_penalty, ref.brevity_penalty);
+  ASSERT_EQ(fast.precisions.size(), ref.precisions.size());
+  for (std::size_t k = 0; k < fast.precisions.size(); ++k)
+    EXPECT_EQ(fast.precisions[k], ref.precisions[k]) << "order " << k + 1;
+}
+
+TEST(BleuKernel, MatchesReferenceBitwise) {
+  const std::vector<std::string> vocab = {"int",  "x",   "=",  "0",  ";",
+                                          "if",   "(",   ")",  "{",  "}",
+                                          "loop", "ptr"};
+  const util::Rng root(4242);
+  std::uint64_t stream = 0;
+  for (const std::size_t lc : {0u, 1u, 2u, 3u, 4u, 9u, 17u, 40u}) {
+    for (const std::size_t lr : {0u, 1u, 3u, 5u, 12u, 33u}) {
+      util::Rng rng = root.split(stream++);
+      const auto cand = random_tokens(rng, lc, vocab);
+      const auto ref = random_tokens(rng, lr, vocab);
+      expect_same_bleu(text::bleu(cand, ref), text::bleu_reference(cand, ref));
+      // Unsmoothed and short-order variants hit different finish paths.
+      const text::BleuOptions unsmoothed{.max_order = 4, .smooth = false};
+      expect_same_bleu(text::bleu(cand, ref, unsmoothed),
+                       text::bleu_reference(cand, ref, unsmoothed));
+      const text::BleuOptions unigram{.max_order = 1, .smooth = true};
+      expect_same_bleu(text::bleu(cand, ref, unigram),
+                       text::bleu_reference(cand, ref, unigram));
+    }
+  }
+  // All-equal and single-token edges.
+  const std::vector<std::string> one = {"x"};
+  expect_same_bleu(text::bleu(one, one), text::bleu_reference(one, one));
+  const std::vector<std::string> rep(20, "x");
+  expect_same_bleu(text::bleu(rep, rep), text::bleu_reference(rep, rep));
+  expect_same_bleu(text::bleu(rep, one), text::bleu_reference(rep, one));
+}
+
+TEST(BleuKernel, CorpusMatchesReferenceBitwise) {
+  const std::vector<std::string> vocab = {"a", "b", "c", "d", "e"};
+  const util::Rng root(99);
+  std::vector<std::vector<std::string>> cands, refs;
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    util::Rng rng = root.split(i);
+    cands.push_back(random_tokens(rng, rng.uniform_index(20), vocab));
+    refs.push_back(random_tokens(rng, rng.uniform_index(20), vocab));
+  }
+  expect_same_bleu(text::corpus_bleu(cands, refs),
+                   text::corpus_bleu_reference(cands, refs));
+}
+
+// -- codeBLEU weighted unigram match ---------------------------------------
+
+TEST(WeightedUnigramKernel, MatchesReferenceBitwise) {
+  const std::vector<std::string> vocab = {
+      "if",  "else", "return", "int",  "unsigned", "while", "x",
+      "buf", "i",    "n",      "tmp",  "(",        ")",     ";"};
+  const util::Rng root(31337);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    util::Rng rng = root.split(i);
+    const auto cand = random_tokens(rng, rng.uniform_index(30), vocab);
+    const auto ref = random_tokens(rng, rng.uniform_index(30), vocab);
+    ASSERT_EQ(metrics::weighted_unigram_match(cand, ref),
+              metrics::weighted_unigram_match_reference(cand, ref));
+  }
+  const std::vector<std::string> empty;
+  EXPECT_EQ(metrics::weighted_unigram_match(empty, empty),
+            metrics::weighted_unigram_match_reference(empty, empty));
+  EXPECT_EQ(metrics::weighted_unigram_match({"if"}, empty),
+            metrics::weighted_unigram_match_reference({"if"}, empty));
+}
+
+// -- BERTScore -------------------------------------------------------------
+
+TEST(BertScoreKernel, MatchesReferenceBitwise) {
+  std::vector<std::vector<std::string>> sentences;
+  const std::vector<std::string> vocab = {"alpha", "beta",  "gamma", "delta",
+                                          "count", "index", "value", "node"};
+  const util::Rng corpus_rng(7);
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    util::Rng rng = corpus_rng.split(i);
+    sentences.push_back(random_tokens(rng, 3 + rng.uniform_index(6), vocab));
+  }
+  embed::EmbeddingOptions opts;
+  opts.dimension = 16;
+  opts.window = 2;
+  opts.threads = 1;
+  const auto model = embed::EmbeddingModel::train(sentences, opts);
+
+  const std::vector<std::string> oov = {"zzz_unseen", "qq"};
+  const util::Rng root(555);
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    util::Rng rng = root.split(i);
+    auto cand = random_tokens(rng, rng.uniform_index(8), vocab);
+    auto ref = random_tokens(rng, rng.uniform_index(8), vocab);
+    if (i % 3 == 0) cand.push_back(oov[i % 2]);  // OOV hash-fallback path
+    if (i % 4 == 0) ref.push_back(oov[(i + 1) % 2]);
+    const auto fast = metrics::bert_score(cand, ref, model);
+    const auto slow = metrics::bert_score_reference(cand, ref, model);
+    ASSERT_EQ(fast.precision, slow.precision);
+    ASSERT_EQ(fast.recall, slow.recall);
+    ASSERT_EQ(fast.f1, slow.f1);
+  }
+  // Empty edges.
+  const std::vector<std::string> none;
+  const auto both = metrics::bert_score(none, none, model);
+  EXPECT_EQ(both.f1, 1.0);
+  const auto half = metrics::bert_score(none, {"alpha"}, model);
+  EXPECT_EQ(half.f1, 0.0);
+}
+
+// -- Embedding PPMI projection ---------------------------------------------
+
+TEST(EmbeddingKernel, BlockedMatchesReferenceBitwise) {
+  std::vector<std::vector<std::string>> sentences;
+  std::vector<std::string> vocab;
+  for (int i = 0; i < 40; ++i) vocab.push_back("tok" + std::to_string(i));
+  const util::Rng corpus_rng(1234);
+  for (std::uint64_t i = 0; i < 120; ++i) {
+    util::Rng rng = corpus_rng.split(i);
+    sentences.push_back(random_tokens(rng, 4 + rng.uniform_index(10), vocab));
+  }
+  embed::EmbeddingOptions blocked;
+  blocked.dimension = 24;
+  blocked.window = 3;
+  blocked.threads = 2;
+  embed::EmbeddingOptions reference = blocked;
+  reference.reference_kernel = true;
+
+  const auto fast_model = embed::EmbeddingModel::train(sentences, blocked);
+  const auto ref_model = embed::EmbeddingModel::train(sentences, reference);
+  ASSERT_EQ(fast_model.vocabulary_size(), ref_model.vocabulary_size());
+  for (const auto& token : vocab) {
+    const auto fast_vec = fast_model.embed_token(token);
+    const auto ref_vec = ref_model.embed_token(token);
+    ASSERT_EQ(fast_vec.size(), ref_vec.size());
+    ASSERT_EQ(std::memcmp(fast_vec.data(), ref_vec.data(),
+                          fast_vec.size() * sizeof(double)),
+              0)
+        << "token " << token;
+  }
+}
+
+TEST(EmbeddingKernel, BlockedKernelThreadCountInvariant) {
+  std::vector<std::vector<std::string>> sentences;
+  std::vector<std::string> vocab;
+  for (int i = 0; i < 25; ++i) vocab.push_back("w" + std::to_string(i));
+  const util::Rng corpus_rng(88);
+  for (std::uint64_t i = 0; i < 80; ++i) {
+    util::Rng rng = corpus_rng.split(i);
+    sentences.push_back(random_tokens(rng, 5 + rng.uniform_index(8), vocab));
+  }
+  embed::EmbeddingOptions opts;
+  opts.dimension = 16;
+  opts.block_sentences = 16;
+  std::vector<embed::EmbeddingModel> models;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    opts.threads = threads;
+    models.push_back(embed::EmbeddingModel::train(sentences, opts));
+  }
+  for (const auto& token : vocab) {
+    const auto base = models[0].embed_token(token);
+    for (std::size_t m = 1; m < models.size(); ++m) {
+      const auto other = models[m].embed_token(token);
+      ASSERT_EQ(std::memcmp(base.data(), other.data(),
+                            base.size() * sizeof(double)),
+                0)
+          << "token " << token << " threads index " << m;
+    }
+  }
+}
+
+// -- embed_token_into ------------------------------------------------------
+
+TEST(EmbeddingKernel, EmbedTokenIntoMatchesEmbedToken) {
+  std::vector<std::vector<std::string>> sentences = {
+      {"aa", "bb", "cc", "dd"}, {"bb", "cc", "dd", "ee"},
+      {"cc", "dd", "ee", "aa"}};
+  embed::EmbeddingOptions opts;
+  opts.dimension = 8;
+  opts.threads = 1;
+  const auto model = embed::EmbeddingModel::train(sentences, opts);
+  for (const std::string token : {"aa", "bb", "zz_not_in_vocab", "q"}) {
+    const auto via_copy = model.embed_token(token);
+    std::vector<double> via_into(model.dimension(), -1.0);
+    model.embed_token_into(token, via_into.data());
+    ASSERT_EQ(std::memcmp(via_copy.data(), via_into.data(),
+                          via_copy.size() * sizeof(double)),
+              0)
+        << token;
+  }
+}
+
+// -- Arena reuse -----------------------------------------------------------
+
+TEST(ArenaKernel, ReuseAfterResetDoesNotGrow) {
+  util::Arena arena;
+  std::size_t settled = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    // ~96 KiB of varied allocations per cycle.
+    for (int i = 0; i < 96; ++i) {
+      const std::string_view interned =
+          arena.intern(std::string(1024, static_cast<char>('a' + i % 26)));
+      ASSERT_EQ(interned.size(), 1024u);
+      ASSERT_EQ(interned[0], static_cast<char>('a' + i % 26));
+    }
+    EXPECT_GE(arena.live_bytes(), 96u * 1024u);
+    arena.reset();
+    EXPECT_EQ(arena.live_bytes(), 0u);
+    if (cycle == 1) settled = arena.reserved_bytes();
+    if (cycle > 1) {
+      EXPECT_EQ(arena.reserved_bytes(), settled)
+          << "arena kept growing on cycle " << cycle;
+    }
+  }
+}
+
+TEST(ArenaKernel, JsonParseAfterResetIsStable) {
+  util::Arena arena;
+  const std::string doc =
+      R"({"op":"run_study","seed":7,"nested":{"a":[1,2,3],"s":"x\ny"}})";
+  std::string first_dump;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    const service::Json parsed = service::Json::parse(doc, &arena);
+    const std::string dump = parsed.dump();
+    if (cycle == 0)
+      first_dump = dump;
+    else
+      ASSERT_EQ(dump, first_dump) << "cycle " << cycle;
+    arena.reset();
+  }
+}
+
+// -- Canonical request key -------------------------------------------------
+
+TEST(CanonicalKey, OrderInsensitiveAndVolatileFieldsExcluded) {
+  service::Json a = service::Json::object();
+  a.set("op", service::Json::string("run_study"));
+  a.set("seed", service::Json::number(7));
+  a.set("threads", service::Json::number(4));
+  a.set("no_cache", service::Json::boolean(false));
+  a.set("deadline_ms", service::Json::number(500));
+
+  service::Json b = service::Json::object();
+  b.set("seed", service::Json::number(7));
+  b.set("op", service::Json::string("run_study"));
+  b.set("threads", service::Json::number(1));  // volatile: must not matter
+
+  EXPECT_EQ(service::canonical_request_key(a),
+            service::canonical_request_key(b));
+
+  service::Json c = service::Json::object();
+  c.set("op", service::Json::string("run_study"));
+  c.set("seed", service::Json::number(8));
+  EXPECT_NE(service::canonical_request_key(a),
+            service::canonical_request_key(c));
+}
+
+}  // namespace

@@ -142,7 +142,8 @@ struct ClusterReading {
   bool bit_identical = true;
 };
 
-ClusterReading bench_cluster(std::size_t n_backends) {
+ClusterReading bench_cluster(std::size_t n_backends,
+                             std::size_t replication_factor = 1) {
   using service::Json;
   constexpr std::uint64_t kSeeds = 12;
   constexpr std::size_t kWarmPasses = 200;
@@ -152,8 +153,10 @@ ClusterReading bench_cluster(std::size_t n_backends) {
   std::vector<std::string> dirs;
   cluster::DispatcherOptions dispatch;
   dispatch.response_cache_capacity = 256;
+  dispatch.replication_factor = replication_factor;
   for (std::size_t i = 0; i < n_backends; ++i) {
-    const std::string tag = std::to_string(n_backends) + "-" +
+    const std::string tag = std::to_string(n_backends) + "-r" +
+                            std::to_string(replication_factor) + "-" +
                             std::to_string(i) + "-" +
                             std::to_string(::getpid());
     dirs.push_back("/tmp/decompeval-bench-cache-" + tag);
@@ -435,6 +438,16 @@ int main(int argc, char** argv) {
     for (const std::size_t n : backend_ladder)
       cluster_readings.push_back(bench_cluster(n));
 
+    // 6b. Replication ladder: the same 3-backend cluster at R=1 vs R=2.
+    //     R=2 pays a synchronous, hedge-free cache_install on the second
+    //     ring replica for every computed (cold) and forwarded (warm)
+    //     "ok" response — this measures exactly that overhead, which is
+    //     the price of surviving a kill -9 with zero lost requests.
+    const std::vector<std::size_t> replication_ladder = {1, 2};
+    std::vector<ClusterReading> replication_readings;
+    for (const std::size_t r : replication_ladder)
+      replication_readings.push_back(bench_cluster(3, r));
+
     // 7. Cold metric battery, rewritten kernels vs retained references.
     const BatteryReading battery = bench_metric_battery();
 
@@ -475,6 +488,22 @@ int main(int argc, char** argv) {
     }
     std::cout << "  cold and warm responses bit-identical:                 "
               << (cluster_identical ? "yes" : "NO — BUG") << "\n";
+
+    bool replication_identical = true;
+    std::cout << "\nReplication overhead (3 backends, R=1 vs R=2):\n";
+    for (std::size_t i = 0; i < replication_ladder.size(); ++i) {
+      const ClusterReading& r = replication_readings[i];
+      replication_identical = replication_identical && r.bit_identical;
+      std::cout << "  R=" << replication_ladder[i] << ":  cold="
+                << format_fixed(r.cold_rps, 1) << " req/s  warm="
+                << format_fixed(r.warm_rps, 1) << " req/s  warm-forwarded="
+                << format_fixed(r.warm_forwarded_rps, 1)
+                << " req/s  p50/p95/p99=" << format_fixed(r.warm_p50_us, 1)
+                << "/" << format_fixed(r.warm_p95_us, 1) << "/"
+                << format_fixed(r.warm_p99_us, 1) << " us\n";
+    }
+    std::cout << "  replicated responses bit-identical:                    "
+              << (replication_identical ? "yes" : "NO — BUG") << "\n";
     if (hw < backend_ladder.back()) {
       std::cout << "  NOTE: " << hw << "-core host — the forwarded ladder "
                 << "measures thread contention, not sharding; see the "
@@ -542,7 +571,17 @@ int main(int argc, char** argv) {
            << ", \"p99\": "
            << format_fixed(cluster_readings[i].warm_p99_us, 3) << "}";
     json << "},\n  \"cluster_bit_identical\": "
-         << (cluster_identical ? "true" : "false")
+         << (cluster_identical ? "true" : "false");
+    json << ",\n  \"cluster_replication_cold_rps\": {";
+    for (std::size_t i = 0; i < replication_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"r" << replication_ladder[i] << "\": "
+           << format_fixed(replication_readings[i].cold_rps, 3);
+    json << "},\n  \"cluster_replication_warm_forwarded_rps\": {";
+    for (std::size_t i = 0; i < replication_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"r" << replication_ladder[i] << "\": "
+           << format_fixed(replication_readings[i].warm_forwarded_rps, 3);
+    json << "},\n  \"cluster_replication_bit_identical\": "
+         << (replication_identical ? "true" : "false")
          << ",\n  \"metric_battery_fast_ms\": "
          << format_fixed(battery.fast_ms, 3)
          << ",\n  \"metric_battery_reference_ms\": "

@@ -1,30 +1,33 @@
-// Sharded replication cluster, end to end in one binary.
+// Sharded, replicated cluster with supervised backend processes.
 //
 //   ./replication_cluster [n_backends] [cache_dir]
 //
-// Forks `n_backends` (default 3) backend processes, each serving
-// ServiceCore + the persistent disk cache on its own Unix socket (all
-// sharing one cache directory tree, one subdirectory per backend), then
-// runs a consistent-hashing dispatcher in front on a TCP port. Demo
-// traffic goes through the dispatcher: a seed sweep (cold), the same
-// sweep again (served from cache), and the cluster/cache introspection
-// ops. Finally every backend gets a "shutdown" op and is reaped.
+// A Supervisor fork/execs `n_backends` (default 3) cluster_backend
+// processes — each serving ServiceCore + disk cache + command journal on
+// its own Unix socket — and watches them: any child that dies is
+// restarted with backoff and re-warmed from its journal. A
+// consistent-hashing dispatcher with replication_factor=2 fronts the
+// shards on TCP: every computed result is installed on its ring replica,
+// so killing a primary mid-demo loses nothing.
+//
+// Demo traffic: a cold seed sweep, kill -9 of one backend, the same
+// sweep again (replicas + supervisor make it whole), cluster/cache
+// introspection, and a cache_gc pass. Ctrl-C at any point is safe:
+// install_signal_cleanup() guarantees no orphaned backend survives an
+// abnormal dispatcher exit.
 //
 // Run it twice with the same cache_dir to watch the cold pass turn into
 // disk hits across a process restart.
-#include <sys/wait.h>
+#include <signal.h>
 #include <unistd.h>
 
-#include <csignal>
 #include <cstdint>
 #include <iostream>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "cluster/backend.h"
 #include "cluster/dispatcher.h"
-#include "core/replication.h"
+#include "cluster/supervisor.h"
 #include "service/server.h"
 
 using namespace decompeval;
@@ -39,28 +42,14 @@ Json study_request(std::uint64_t seed) {
   return req;
 }
 
-// Child process body: serve one backend until its socket receives a
-// "shutdown" op. Never returns.
-[[noreturn]] void run_backend(const std::string& socket_path,
-                              const std::string& cache_dir) {
-  cluster::ClusterBackendOptions backend_options;
-  backend_options.cache.directory = cache_dir;
-  backend_options.cache.version = core::version();
-  cluster::ClusterBackend backend(backend_options);
-
-  service::ServerOptions options;
-  options.socket_path = socket_path;
-  options.workers = 2;
-  options.handler = backend.handler();
-  // Warm repeats are answered on the connection thread from the backend's
-  // rendered-line cache, skipping the queue and both worker handoffs.
-  options.fast_path = backend.fast_path();
-  service::ReplicationServer server(options);
-  server.start();
-  while (server.running())
-    ::usleep(20 * 1000);  // the shutdown op stops the server
-  server.stop();
-  std::_Exit(0);
+// The exec'd backend binary lives next to this one.
+std::string backend_binary() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n <= 0) return "./cluster_backend";
+  std::string self(buf, static_cast<std::size_t>(n));
+  const std::size_t slash = self.rfind('/');
+  return self.substr(0, slash + 1) + "cluster_backend";
 }
 
 }  // namespace
@@ -71,34 +60,50 @@ int main(int argc, char** argv) {
       argc > 2 ? argv[2]
                : "/tmp/decompeval-cluster-" + std::to_string(::getpid());
 
-  // --- spawn the backend shard processes --------------------------------
+  // --- supervised backend shard processes --------------------------------
+  // Even if this process dies abnormally (Ctrl-C, SIGTERM), every child
+  // is SIGKILLed from the signal handler — no orphans, ever.
+  cluster::Supervisor::install_signal_cleanup();
+
+  cluster::SupervisorOptions supervise;
   cluster::DispatcherOptions dispatch;
-  std::vector<pid_t> children;
   std::vector<std::string> sockets;
   for (int i = 0; i < n_backends; ++i) {
-    const std::string socket_path = cache_root + "-backend-" +
-                                    std::to_string(i) + ".sock";
-    const std::string cache_dir = cache_root + "/backend-" + std::to_string(i);
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      std::cerr << "fork failed\n";
-      return 1;
-    }
-    if (pid == 0) run_backend(socket_path, cache_dir);  // child; never returns
-    children.push_back(pid);
+    const std::string id = "backend-" + std::to_string(i);
+    const std::string socket_path =
+        cache_root + "-" + id + ".sock";
+    const std::string shard_dir = cache_root + "/" + id;
+    cluster::SupervisedBackend spec;
+    spec.id = id;
+    spec.socket_path = socket_path;
+    // The journal sits next to the cache directory (never inside it —
+    // the cache janitor sweeps stale non-.json files in its directory).
+    spec.argv = {backend_binary(),
+                 "--socket",    socket_path,
+                 "--cache-dir", shard_dir,
+                 "--journal",   shard_dir + ".journal",
+                 "--id",        id};
+    supervise.backends.push_back(spec);
     sockets.push_back(socket_path);
     cluster::BackendEndpoint endpoint;
-    endpoint.id = "backend-" + std::to_string(i);
+    endpoint.id = id;
     endpoint.socket_path = socket_path;
     dispatch.backends.push_back(endpoint);
-    std::cout << "spawned backend-" << i << " pid=" << pid << " socket="
-              << socket_path << "\n";
+  }
+  cluster::Supervisor supervisor(supervise);
+  supervisor.start();
+  for (int i = 0; i < n_backends; ++i) {
+    const std::string id = "backend-" + std::to_string(i);
+    if (!supervisor.wait_until_serving(id, 10000)) {
+      std::cerr << id << " never came up\n";
+      return 1;
+    }
+    std::cout << "serving " << id << " pid=" << supervisor.pid_of(id)
+              << " socket=" << sockets[i] << "\n";
   }
 
-  // --- dispatcher front-end on TCP --------------------------------------
-  // Opt into the dispatcher's rendered-response cache: warm repeats are
-  // answered at the front door without any forwarding.
-  dispatch.response_cache_capacity = 256;
+  // --- replicated dispatcher front-end on TCP ----------------------------
+  dispatch.replication_factor = 2;
   cluster::Dispatcher dispatcher(dispatch);
   dispatcher.start();
   service::ServerOptions front_options;
@@ -106,61 +111,68 @@ int main(int argc, char** argv) {
   front_options.workers = 4;
   front_options.max_queue = 32;
   front_options.handler = dispatcher.handler();
-  front_options.fast_path = dispatcher.fast_path();
   service::ReplicationServer front(front_options);
   front.start();
-  std::cout << "dispatcher listening on 127.0.0.1:" << front.tcp_port()
+  std::cout << "dispatcher (R=2) listening on 127.0.0.1:" << front.tcp_port()
             << "\n\n";
 
   service::ServiceClient client;
   client.connect_tcp("127.0.0.1", front.tcp_port());
 
   // --- demo traffic ------------------------------------------------------
-  for (const char* pass : {"cold", "warm"}) {
-    std::cout << "--- " << pass << " pass (seeds 1..6 via dispatcher) ---\n";
-    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-      const Json r = client.call(study_request(seed));
-      std::cout << "  seed " << seed << ": " << r.get_string("status", "?")
-                << " digest=" << r.get_string("digest", "?") << "\n";
-    }
+  std::cout << "--- cold pass (seeds 1..6 via dispatcher) ---\n";
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Json r = client.call(study_request(seed));
+    std::cout << "  seed " << seed << ": " << r.get_string("status", "?")
+              << " digest=" << r.get_string("digest", "?") << "\n";
   }
+
+  std::cout << "\n--- kill -9 backend-0, then the same sweep ---\n";
+  supervisor.kill_backend("backend-0", SIGKILL);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Json r = client.call(study_request(seed));
+    std::cout << "  seed " << seed << ": " << r.get_string("status", "?")
+              << " digest=" << r.get_string("digest", "?") << "\n";
+  }
+  supervisor.wait_until_serving("backend-0", 10000);
+  // The supervisor runs its own serving check + re-warm just after ours
+  // succeeds; give its bookkeeping a moment before reading the counter.
+  for (int i = 0; i < 500 && supervisor.restarts_of("backend-0") == 0; ++i)
+    ::usleep(10 * 1000);
+  std::cout << "  backend-0 restarted (restarts="
+            << supervisor.restarts_of("backend-0") << ") and re-warmed\n";
 
   std::cout << "\n--- cluster_stats ---\n";
   Json stats_req = Json::object();
   stats_req.set("op", Json::string("cluster_stats"));
   std::cout << client.call(stats_req).dump() << "\n";
 
-  std::cout << "\n--- per-backend cache_stats ---\n";
+  std::cout << "\n--- per-backend cache_stats + cache_gc ---\n";
   Json cache_req = Json::object();
   cache_req.set("op", Json::string("cache_stats"));
+  Json gc_req = Json::object();
+  gc_req.set("op", Json::string("cache_gc"));
+  gc_req.set("max_bytes", Json::number(256.0 * 1024.0));
   for (int i = 0; i < n_backends; ++i) {
-    service::ServiceClient direct;
-    direct.connect(sockets[i]);
-    const Json s = direct.call(cache_req);
-    std::cout << "  backend-" << i << ": disk_stores="
-              << s.get_number("disk_stores", 0) << " disk_hits="
-              << s.get_number("disk_hits", 0) << " memory_hits="
-              << s.get_number("disk_memory_hits", 0) << "\n";
+    try {
+      service::ServiceClient direct;
+      direct.connect(sockets[i]);
+      const Json s = direct.call(cache_req);
+      const Json g = direct.call(gc_req);
+      std::cout << "  backend-" << i << ": disk_stores="
+                << s.get_number("disk_stores", 0) << " disk_hits="
+                << s.get_number("disk_hits", 0) << " disk_bytes="
+                << s.get_number("disk_bytes", 0) << " gc_deleted="
+                << g.get_number("files_deleted", 0) << "\n";
+    } catch (const std::exception& e) {
+      std::cout << "  backend-" << i << ": unreachable (" << e.what() << ")\n";
+    }
   }
 
   // --- orderly teardown --------------------------------------------------
   front.stop();
   dispatcher.stop();
-  Json shutdown = Json::object();
-  shutdown.set("op", Json::string("shutdown"));
-  for (int i = 0; i < n_backends; ++i) {
-    try {
-      service::ServiceClient direct;
-      direct.connect(sockets[i]);
-      direct.call(shutdown);
-    } catch (const std::exception&) {
-      // Backend already gone; the waitpid below still reaps it.
-    }
-  }
-  for (const pid_t pid : children) {
-    int status = 0;
-    ::waitpid(pid, &status, 0);
-  }
+  supervisor.stop();  // shutdown op → SIGTERM → SIGKILL; reaps every child
   std::cout << "\nall backends shut down; cache persists in " << cache_root
             << "\n";
   return 0;

@@ -14,44 +14,83 @@
 # where races and lifetime bugs hide.
 #
 # The cluster label (TCP/Unix transports, consistent-hash dispatcher,
-# disk cache) gets its own TSan and ASan stage instead of riding in the
-# main sweeps: those tests spin real listening sockets, client pools, and
-# multi-server topologies, so they are kept apart both for runtime and so
-# a cluster-layer failure is immediately attributable.
+# disk cache, supervised backend processes) gets its own TSan and ASan
+# stage instead of riding in the main sweeps: those tests spin real
+# listening sockets, client pools, and fork/exec'd child processes, so
+# they are kept apart both for runtime and so a cluster-layer failure is
+# immediately attributable.
 #
-# Usage: scripts/check.sh [--sanitizers-only]
+# The soak label (20x kill/restart endurance loop under load) is excluded
+# from every default sweep; opt in with --soak.
+#
+# Several suites fork/exec real cluster_backend processes. Leaking one
+# would poison every later stage (port/socket collisions, stray writes
+# to /tmp caches), so after each stage that runs them we fail fast if
+# any orphaned backend survived.
+#
+# Usage: scripts/check.sh [--sanitizers-only] [--soak]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-if [[ "${1:-}" != "--sanitizers-only" ]]; then
+RUN_SOAK=0
+RUN_REGULAR=1
+for arg in "$@"; do
+  case "$arg" in
+    --sanitizers-only) RUN_REGULAR=0 ;;
+    --soak) RUN_SOAK=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+# Fail fast on orphaned backend processes: a supervisor or test that
+# exits without reaping its fork/exec'd children leaves cluster_backend
+# processes behind, and every later stage inherits the mess.
+assert_no_orphaned_backends() {
+  if pgrep -f '[c]luster_backend --socket' >/dev/null 2>&1; then
+    echo "FATAL: orphaned cluster_backend process(es) after $1:" >&2
+    pgrep -af '[c]luster_backend --socket' >&2
+    exit 1
+  fi
+}
+
+if [[ "$RUN_REGULAR" == 1 ]]; then
   echo "=== regular build + full test suite ==="
   cmake -B build -S .
   cmake --build build -j "$JOBS"
-  ctest --test-dir build --output-on-failure -j "$JOBS"
+  ctest --test-dir build --output-on-failure -j "$JOBS" -LE soak
+  assert_no_orphaned_backends "the regular test suite"
+
+  if [[ "$RUN_SOAK" == 1 ]]; then
+    echo "=== soak: restart endurance loop under load (label: soak) ==="
+    ctest --test-dir build --output-on-failure -L soak
+    assert_no_orphaned_backends "the soak stage"
+  fi
 fi
 
 echo "=== ThreadSanitizer build + tier-1 + chaos tests ==="
 cmake -B build-tsan -S . -DDECOMPEVAL_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'tier1|chaos' -LE cluster
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'tier1|chaos' -LE 'cluster|soak'
 
 echo "=== ThreadSanitizer: cluster tests (transports, dispatcher, cache) ==="
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L cluster
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L cluster -LE soak
+assert_no_orphaned_backends "the TSan cluster stage"
 
 echo "=== AddressSanitizer build + tier-1 + chaos tests ==="
 cmake -B build-asan -S . -DDECOMPEVAL_SANITIZE=address
 cmake --build build-asan -j "$JOBS"
-ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'tier1|chaos' -LE cluster
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'tier1|chaos' -LE 'cluster|soak'
 
 echo "=== AddressSanitizer: cluster tests (transports, dispatcher, cache) ==="
-ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L cluster
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L cluster -LE soak
+assert_no_orphaned_backends "the ASan cluster stage"
 
 echo "=== UndefinedBehaviorSanitizer build + tier-1 tests ==="
 cmake -B build-ubsan -S . -DDECOMPEVAL_SANITIZE=undefined
 cmake --build build-ubsan -j "$JOBS"
-ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -L tier1
+ctest --test-dir build-ubsan --output-on-failure -j "$JOBS" -L tier1 -LE soak
 
 echo "=== UBSan kernel differentials, forced-scalar (-DDECOMPEVAL_NO_SIMD) ==="
 # The tier-1 sweep above already ran the kernel differential tests with

@@ -1,5 +1,7 @@
 #include "cluster/backend.h"
 
+#include <unistd.h>
+
 #include <vector>
 
 namespace decompeval::cluster {
@@ -12,19 +14,33 @@ bool cacheable_op(const service::Json& request) {
   return op == "run_study" || op == "run_replication";
 }
 
+service::Json bad_request(const std::string& message) {
+  service::Json r = service::Json::object();
+  r.set("status", service::Json::string("bad_request"));
+  r.set("error", service::Json::string(message));
+  return r;
+}
+
+void set_count(service::Json& r, const char* key, std::uint64_t v) {
+  r.set(key, service::Json::number(static_cast<double>(v)));
+}
+
+constexpr std::size_t kMaxJournalWarnings = 16;
+
 }  // namespace
 
 ClusterBackend::ClusterBackend(ClusterBackendOptions options)
-    : core_(options.service),
-      cache_(std::move(options.cache)),
+    : options_(std::move(options)),
+      core_(options_.service),
+      cache_(options_.cache),
+      journal_(options_.journal),
       // Any active fault injection disables the rendered-line fast lane:
-      // serving from it would skip service/cache fault sites and shift
-      // their deterministic hit sequences. (Reading options.cache.faults
-      // after the move above is fine — moving the struct copies the raw
-      // pointer member.)
-      line_cache_(options.service.fault_plan.empty() &&
-                          options.cache.faults == nullptr
-                      ? options.line_cache_capacity
+      // serving from it would skip service/cache/journal fault sites and
+      // shift their deterministic hit sequences.
+      line_cache_(options_.service.fault_plan.empty() &&
+                          options_.cache.faults == nullptr &&
+                          options_.journal.faults == nullptr
+                      ? options_.line_cache_capacity
                       : 0) {}
 
 bool ClusterBackend::try_serve_cached_line(const service::Json& request,
@@ -79,36 +95,216 @@ void ClusterBackend::maybe_compact_lines() {
     line_cache_.put(it->first, line_arena_.intern(it->second));
 }
 
+void ClusterBackend::journal_command(const service::Json& request) {
+  if (!journal_.enabled() || replaying_.load(std::memory_order_acquire))
+    return;
+  // The durable command form: volatile fields stripped, so the record
+  // replays to the same canonical key (and bit-identical result) at any
+  // thread count. Json objects are insertion-ordered and dump() is
+  // deterministic, so identical logical commands journal identically.
+  const service::Json command = service::strip_volatile_fields(request);
+  if (!journal_.append(command.dump())) {
+    const std::lock_guard<std::mutex> lock(journal_warn_mutex_);
+    if (journal_warnings_.size() >= kMaxJournalWarnings)
+      journal_warnings_.erase(journal_warnings_.begin());
+    journal_warnings_.push_back(
+        "journal append failed for key '" +
+        service::canonical_request_key(request) +
+        "': command served but not durable until cached");
+  }
+}
+
+std::vector<std::string> ClusterBackend::journal_warnings() const {
+  const std::lock_guard<std::mutex> lock(journal_warn_mutex_);
+  return journal_warnings_;
+}
+
+JournalReplayReport ClusterBackend::replay_journal(
+    const std::atomic<bool>* cancel) {
+  JournalReplayReport report;
+  if (!journal_.enabled()) return report;
+  journal_.flush();
+  const ReplayedJournal scanned =
+      Journal::replay(journal_.path(), options_.journal.faults);
+  report.records = scanned.records.size();
+  report.clean = scanned.clean;
+  report.warning = scanned.warning;
+
+  // Replays must not re-journal: every command below is already in the
+  // journal. Requests arriving concurrently skip journaling for the
+  // duration too — a bounded durability window during a re-warm.
+  replaying_.store(true, std::memory_order_release);
+  std::vector<std::string> seen_keys;
+  for (const std::string& record : scanned.records) {
+    if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) break;
+    service::Json command;
+    try {
+      command = service::Json::parse(record);
+    } catch (const std::exception&) {
+      ++report.failures;
+      continue;
+    }
+    std::string key = service::canonical_request_key(command);
+    bool duplicate = false;
+    for (const std::string& k : seen_keys)
+      if (k == key) {
+        duplicate = true;
+        break;
+      }
+    if (duplicate) continue;
+    seen_keys.push_back(std::move(key));
+    ++report.replayed;
+    const service::Json response = handle(command, cancel);
+    if (response.get_string("status", "") == "ok")
+      ++report.ok;
+    else
+      ++report.failures;
+  }
+  replaying_.store(false, std::memory_order_release);
+  return report;
+}
+
+std::size_t ClusterBackend::compact_journal() {
+  if (!journal_.enabled()) return 0;
+  // A record is snapshot-covered once its result file exists on disk;
+  // unparseable records can never replay, so they are dropped too.
+  return journal_.compact([this](std::string_view record) {
+    if (!cache_.enabled()) return true;  // no snapshot: keep everything
+    try {
+      const service::Json command = service::Json::parse(record);
+      return ::access(cache_.path_for(cache_.digest(command)).c_str(),
+                      F_OK) != 0;
+    } catch (const std::exception&) {
+      return false;
+    }
+  });
+}
+
+service::Json ClusterBackend::cache_install_op(const service::Json& request) {
+  const service::Json* installed = request.get("request");
+  const service::Json* response = request.get("response");
+  if (installed == nullptr || !installed->is_object())
+    return bad_request("cache_install needs an object field 'request'");
+  if (response == nullptr || !response->is_object())
+    return bad_request("cache_install needs an object field 'response'");
+  if (response->get_string("status", "") != "ok")
+    return bad_request("cache_install only accepts status \"ok\" responses");
+  if (!cacheable_op(*installed))
+    return bad_request("cache_install only accepts cacheable ops");
+  const std::string key = service::canonical_request_key(*installed);
+  const bool stored = cache_.store(cache_.digest(*installed), *response, key);
+  // Warm the rendered-line lane too: the replica can then answer a
+  // failover read on the connection thread.
+  if (stored) store_line(*installed, *response);
+  service::Json r = service::Json::object();
+  r.set("status", service::Json::string("ok"));
+  r.set("op", service::Json::string("cache_install"));
+  r.set("stored", service::Json::boolean(stored));
+  return r;
+}
+
+service::Json ClusterBackend::cache_gc_op(const service::Json& request) {
+  CacheGcOptions bounds;
+  bounds.max_bytes =
+      static_cast<std::uint64_t>(request.get_number("max_bytes", 0.0));
+  bounds.max_age_ms =
+      static_cast<std::uint64_t>(request.get_number("max_age_ms", 0.0));
+  const CacheGcReport report = cache_.gc(bounds);
+  service::Json r = service::Json::object();
+  r.set("status", service::Json::string("ok"));
+  r.set("op", service::Json::string("cache_gc"));
+  set_count(r, "files_scanned", report.files_scanned);
+  set_count(r, "files_deleted", report.files_deleted);
+  set_count(r, "temp_files_deleted", report.temp_files_deleted);
+  set_count(r, "bytes_before", report.bytes_before);
+  set_count(r, "bytes_after", report.bytes_after);
+  set_count(r, "newest_kept", report.newest_kept);
+  return r;
+}
+
+service::Json ClusterBackend::journal_stats_op() {
+  const JournalStats s = journal_.stats();
+  service::Json r = service::Json::object();
+  r.set("status", service::Json::string("ok"));
+  r.set("op", service::Json::string("journal_stats"));
+  r.set("enabled", service::Json::boolean(journal_.enabled()));
+  set_count(r, "appends", s.appends);
+  set_count(r, "append_failures", s.append_failures);
+  set_count(r, "fsyncs", s.fsyncs);
+  set_count(r, "compactions", s.compactions);
+  set_count(r, "records_dropped", s.records_dropped);
+  set_count(r, "bytes", s.bytes);
+  service::Json warnings = service::Json::array();
+  for (const std::string& w : journal_warnings())
+    warnings.push_back(service::Json::string(w));
+  r.set("warnings", warnings);
+  return r;
+}
+
+service::Json ClusterBackend::journal_replay_op(
+    const std::atomic<bool>* cancel) {
+  const JournalReplayReport report = replay_journal(cancel);
+  service::Json r = service::Json::object();
+  r.set("status", service::Json::string("ok"));
+  r.set("op", service::Json::string("journal_replay"));
+  set_count(r, "records", report.records);
+  set_count(r, "replayed", report.replayed);
+  set_count(r, "replay_ok", report.ok);
+  set_count(r, "failures", report.failures);
+  r.set("clean", service::Json::boolean(report.clean));
+  if (!report.warning.empty())
+    r.set("warning", service::Json::string(report.warning));
+  return r;
+}
+
+service::Json ClusterBackend::journal_compact_op() {
+  const std::size_t kept = compact_journal();
+  service::Json r = service::Json::object();
+  r.set("status", service::Json::string("ok"));
+  r.set("op", service::Json::string("journal_compact"));
+  set_count(r, "records_kept", kept);
+  set_count(r, "bytes", journal_.stats().bytes);
+  return r;
+}
+
 service::Json ClusterBackend::handle(const service::Json& request,
                                      const std::atomic<bool>* cancel) {
-  if (request.is_object() && request.get_string("op", "") == "cache_stats") {
-    service::Json r = core_.handle(request, cancel);
-    const DiskCacheStats disk = cache_.stats();
-    r.set("disk_enabled", service::Json::boolean(cache_.enabled()));
-    r.set("disk_memory_hits",
-          service::Json::number(static_cast<double>(disk.memory_hits)));
-    r.set("disk_hits",
-          service::Json::number(static_cast<double>(disk.disk_hits)));
-    r.set("disk_misses",
-          service::Json::number(static_cast<double>(disk.misses)));
-    r.set("disk_stores",
-          service::Json::number(static_cast<double>(disk.stores)));
-    r.set("disk_store_failures",
-          service::Json::number(static_cast<double>(disk.store_failures)));
-    r.set("disk_invalid_files",
-          service::Json::number(static_cast<double>(disk.invalid_files)));
-    service::Json warnings = service::Json::array();
-    for (const std::string& w : cache_.warnings())
-      warnings.push_back(service::Json::string(w));
-    r.set("disk_warnings", warnings);
-    return r;
+  if (request.is_object()) {
+    const std::string op = request.get_string("op", "");
+    if (op == "cache_stats") {
+      service::Json r = core_.handle(request, cancel);
+      const DiskCacheStats disk = cache_.stats();
+      r.set("disk_enabled", service::Json::boolean(cache_.enabled()));
+      set_count(r, "disk_memory_hits", disk.memory_hits);
+      set_count(r, "disk_hits", disk.disk_hits);
+      set_count(r, "disk_misses", disk.misses);
+      set_count(r, "disk_stores", disk.stores);
+      set_count(r, "disk_store_failures", disk.store_failures);
+      set_count(r, "disk_invalid_files", disk.invalid_files);
+      set_count(r, "disk_growth_refusals", disk.growth_refusals);
+      set_count(r, "disk_gc_runs", disk.gc_runs);
+      set_count(r, "disk_bytes", disk.bytes);
+      set_count(r, "disk_max_bytes", cache_.max_bytes());
+      service::Json warnings = service::Json::array();
+      for (const std::string& w : cache_.warnings())
+        warnings.push_back(service::Json::string(w));
+      r.set("disk_warnings", warnings);
+      return r;
+    }
+    if (op == "cache_install") return cache_install_op(request);
+    if (op == "cache_gc") return cache_gc_op(request);
+    if (op == "journal_stats") return journal_stats_op();
+    if (op == "journal_replay") return journal_replay_op(cancel);
+    if (op == "journal_compact") return journal_compact_op();
   }
 
   const bool no_cache =
       request.is_object() && request.get_bool("no_cache", false);
   const bool try_cache = cache_.enabled() && cacheable_op(request) && !no_cache;
   std::string digest;
+  std::string key;
   if (try_cache) {
+    key = service::canonical_request_key(request);
     digest = cache_.digest(request);
     service::Json cached;
     if (cache_.load(digest, &cached)) {
@@ -117,9 +313,18 @@ service::Json ClusterBackend::handle(const service::Json& request,
     }
   }
 
+  // In-flight from here until the disk store lands: journal the command
+  // so a crash mid-computation can be replayed.
+  if (cacheable_op(request)) journal_command(request);
+
   service::Json response = core_.handle(request, cancel);
   if (response.get_string("status", "") == "ok") {
-    if (try_cache) cache_.store(digest, response);
+    if (try_cache) {
+      cache_.store(digest, response, key);
+      if (options_.journal_compact_bytes > 0 && journal_.enabled() &&
+          journal_.stats().bytes > options_.journal_compact_bytes)
+        compact_journal();
+    }
     if (cacheable_op(request) && !no_cache) store_line(request, response);
   }
   return response;

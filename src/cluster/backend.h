@@ -1,4 +1,5 @@
-// A cluster backend: ServiceCore wrapped with the persistent disk cache.
+// A cluster backend: ServiceCore wrapped with the persistent disk cache
+// and the append-only command journal.
 //
 // handle() is a drop-in ReplicationServer handler. Cacheable ops
 // (run_study / run_replication) consult the disk cache first; clean "ok"
@@ -8,19 +9,40 @@
 // the cold-restart identity test asserts. Degraded responses are never
 // stored (DiskCache::store refuses them too).
 //
-// The "cache_stats" op returns ServiceCore's in-memory numbers augmented
-// with disk_* fields (hits/misses/stores/failures/invalid files) and the
-// cache's recent structured warnings.
+// Durability: a cacheable request that misses the disk cache is
+// *in-flight work* — its durable command form (volatile fields stripped)
+// is appended to the journal before computation, and once the result
+// reaches the disk cache it is *permanent state* (snapshot-covered), so
+// compaction drops its journal record. replay_journal() re-issues every
+// journaled command through handle(): snapshot-covered commands become
+// disk hits, in-flight ones recompute bit-identically — this is how a
+// supervisor re-warms a restarted backend (the "journal_replay" op).
+// A journal append failure degrades durability, never availability: the
+// request is still served and the failure surfaces as a structured
+// warning in "journal_stats".
+//
+// Cluster ops beyond ServiceCore's:
+//   "cache_stats"     core stats + disk_* fields (incl. byte totals)
+//   "cache_install"   store a replicated {request, response} pair (the
+//                     dispatcher's write fan-out; never journaled — the
+//                     disk write IS the durability)
+//   "cache_gc"        run the janitor (params "max_bytes", "max_age_ms")
+//   "journal_stats"   journal counters + structured warnings
+//   "journal_replay"  re-warm from the journal (returns replay counts)
+//   "journal_compact" drop snapshot-covered records now
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "cluster/disk_cache.h"
+#include "cluster/journal.h"
 #include "service/service.h"
 #include "util/arena.h"
 #include "util/lru.h"
@@ -31,10 +53,27 @@ struct ClusterBackendOptions {
   service::ServiceOptions service;
   /// cache.directory empty → the backend runs with no disk cache.
   DiskCacheOptions cache;
+  /// journal.path empty → no journal (no durability for in-flight work).
+  JournalOptions journal;
+  /// Auto-compact the journal when it outgrows this many bytes (checked
+  /// after each store; 0 disables — compaction then only runs via the
+  /// "journal_compact" op).
+  std::uint64_t journal_compact_bytes = 64u << 10;
   /// LRU bound on the rendered-line cache behind try_serve_cached_line
-  /// (0 disables). Forced to 0 whenever a fault plan or cache fault
-  /// injector is active, so chaos runs keep their exact hit sequences.
+  /// (0 disables). Forced to 0 whenever a fault plan or cache/journal
+  /// fault injector is active, so chaos runs keep their exact hit
+  /// sequences.
   std::size_t line_cache_capacity = 256;
+};
+
+/// Outcome of one replay_journal() pass (the "journal_replay" op).
+struct JournalReplayReport {
+  std::uint64_t records = 0;    ///< valid records found in the journal
+  std::uint64_t replayed = 0;   ///< distinct commands re-issued
+  std::uint64_t ok = 0;         ///< replays that answered "ok"
+  std::uint64_t failures = 0;   ///< unparseable records + non-ok replays
+  bool clean = true;            ///< journal scanned to EOF without damage
+  std::string warning;          ///< why the scan stopped, when !clean
 };
 
 class ClusterBackend {
@@ -44,6 +83,15 @@ class ClusterBackend {
   /// Never throws (same contract as ServiceCore::handle).
   service::Json handle(const service::Json& request,
                        const std::atomic<bool>* cancel);
+
+  /// Re-issues every journaled command through handle() (deduplicated by
+  /// canonical key, original order). Appends are suppressed while the
+  /// replay runs so records are not re-journaled.
+  JournalReplayReport replay_journal(const std::atomic<bool>* cancel);
+
+  /// Compacts the journal down to records not yet covered by the disk
+  /// cache snapshot. Returns the number of records kept.
+  std::size_t compact_journal();
 
   /// Warm-path fast lane for ReplicationServer::fast_path: appends the
   /// cached rendered response line for an identical earlier "ok" request
@@ -68,14 +116,28 @@ class ClusterBackend {
 
   service::ServiceCore& core() { return core_; }
   DiskCache& cache() { return cache_; }
+  Journal& journal() { return journal_; }
+  /// Recent journal-append warnings (bounded; oldest dropped first).
+  std::vector<std::string> journal_warnings() const;
 
  private:
+  void journal_command(const service::Json& request);
   void store_line(const service::Json& request,
                   const service::Json& response);
   void maybe_compact_lines();  ///< caller holds line_mutex_
+  service::Json cache_install_op(const service::Json& request);
+  service::Json cache_gc_op(const service::Json& request);
+  service::Json journal_stats_op();
+  service::Json journal_replay_op(const std::atomic<bool>* cancel);
+  service::Json journal_compact_op();
 
+  ClusterBackendOptions options_;
   service::ServiceCore core_;
   DiskCache cache_;
+  Journal journal_;
+  std::atomic<bool> replaying_{false};
+  mutable std::mutex journal_warn_mutex_;
+  std::vector<std::string> journal_warnings_;
   /// Rendered "ok" response lines keyed by canonical request key; values
   /// are views into line_arena_.
   std::mutex line_mutex_;

@@ -121,6 +121,13 @@ service::Json Dispatcher::handle(const service::Json& request,
     r.set("exhausted", service::Json::number(static_cast<double>(s.exhausted)));
     r.set("response_cache_hits",
           service::Json::number(static_cast<double>(s.response_cache_hits)));
+    r.set("replication_factor",
+          service::Json::number(
+              static_cast<double>(options_.replication_factor)));
+    r.set("replicated",
+          service::Json::number(static_cast<double>(s.replicated)));
+    r.set("replication_failures",
+          service::Json::number(static_cast<double>(s.replication_failures)));
     service::Json nodes = service::Json::array();
     for (const auto& backend : backends_) {
       service::Json node = service::Json::object();
@@ -144,6 +151,61 @@ bool Dispatcher::line_cacheable(const service::Json& request) const {
   const auto& name = op->as_string();
   if (name != "run_study" && name != "run_replication") return false;
   return !request.get_bool("no_cache", false);
+}
+
+bool Dispatcher::replicable(const service::Json& request) const {
+  if (options_.replication_factor < 2 || !request.is_object()) return false;
+  const service::Json* op = request.get("op");
+  if (op == nullptr || op->type() != service::Json::Type::kString)
+    return false;
+  const auto& name = op->as_string();
+  if (name != "run_study" && name != "run_replication") return false;
+  return !request.get_bool("no_cache", false);
+}
+
+void Dispatcher::replicate(const service::Json& request,
+                           const service::Json& response,
+                           const std::vector<std::size_t>& walk,
+                           std::size_t served_index) {
+  // The walk is replicas_for(key, R) extended with the failover tail, so
+  // the write set is its first R entries. The durable command form
+  // (volatile fields stripped) ships with the response: replicas journal
+  // nothing for installs — the disk write IS the durability — but they
+  // need the canonical key for the cache envelope.
+  service::Json install = service::Json::object();
+  install.set("op", service::Json::string("cache_install"));
+  install.set("request", service::strip_volatile_fields(request));
+  install.set("response", response);
+  const std::size_t r = std::min(options_.replication_factor, walk.size());
+  for (std::size_t i = 0; i < r; ++i) {
+    const std::size_t backend_index = walk[i];
+    if (backend_index == served_index) continue;
+    BackendState& backend = *backends_[backend_index];
+    if (!backend.up.load()) {
+      // Down replicas are not an error: the journal on the serving
+      // backend (and its disk cache) still covers the result, and the
+      // restarted replica re-warms from there. Hedge-free by design.
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.replication_failures;
+      continue;
+    }
+    try {
+      auto conn = acquire(backend, /*connect_attempts=*/10);
+      const service::Json reply = conn->call(install);
+      release(backend, std::move(conn));
+      const bool stored = reply.get_string("status", "") == "ok" &&
+                          reply.get_bool("stored", false);
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (stored)
+        ++stats_.replicated;
+      else
+        ++stats_.replication_failures;
+    } catch (const std::exception&) {
+      backend.up.store(false);
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.replication_failures;
+    }
+  }
 }
 
 bool Dispatcher::try_serve_cached_line(const service::Json& request,
@@ -272,6 +334,8 @@ service::Json Dispatcher::forward(const service::Json& request,
         const std::lock_guard<std::mutex> lock(stats_mutex_);
         ++stats_.forwarded;
       }
+      if (response.get_string("status", "") == "ok" && replicable(request))
+        replicate(request, response, candidates, backend_index);
       return response;  // verbatim — bit-identical to a direct call
     } catch (const std::exception&) {
       // Transport failure (connect/send/recv error, timeout) or injected

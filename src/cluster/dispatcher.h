@@ -14,6 +14,16 @@
 // again. Forwarded responses are returned verbatim — byte-identical to
 // asking the backend directly, which the bit-identity tests assert.
 //
+// Replication (replication_factor = R > 1): a computed result is the
+// "write" of this system, so after a cacheable request answers "ok" the
+// dispatcher installs {stripped request, response} on the remaining live
+// members of HashRing::replicas_for(key, R) via the "cache_install" op —
+// synchronously and hedge-free, so one run leaves a deterministic set of
+// warm replicas. Reads keep the full ring walk: the first live walk
+// candidate serves (deterministic preference order), and because the
+// walk is a prefix-stable extension of the replica set, killing the
+// primary lands the retry exactly on the replica that holds the result.
+//
 // handle() plugs into ServerOptions::handler, so the dispatcher front-end
 // reuses ReplicationServer's bounded queue, backpressure, watchdog, and
 // clean-shutdown machinery unchanged. The front server intercepts the
@@ -61,6 +71,9 @@ struct DispatcherOptions {
   double forward_timeout_ms = 30000.0;
   /// Down-backend reprobe cadence; 0 disables the prober thread.
   std::uint64_t health_interval_ms = 100;
+  /// Ring replicas each cacheable "ok" result is installed on (first R
+  /// nodes of the ring walk). 1 = no replication.
+  std::size_t replication_factor = 1;
   /// Schedules for the "cluster.forward" / "cluster.backend" sites.
   util::FaultPlan fault_plan;
   /// LRU bound on the dispatcher-side rendered-response cache behind
@@ -78,6 +91,8 @@ struct DispatcherStats {
   std::uint64_t down_skips = 0;
   std::uint64_t exhausted = 0;         ///< no backend could answer
   std::uint64_t response_cache_hits = 0;  ///< answered without forwarding
+  std::uint64_t replicated = 0;            ///< successful replica installs
+  std::uint64_t replication_failures = 0;  ///< installs refused or lost
 };
 
 class Dispatcher {
@@ -150,7 +165,12 @@ class Dispatcher {
   void release(BackendState& backend,
                std::unique_ptr<service::ServiceClient> conn);
   void prober_loop();
+  /// Fan an "ok" result out to the remaining first-R ring replicas.
+  void replicate(const service::Json& request, const service::Json& response,
+                 const std::vector<std::size_t>& walk,
+                 std::size_t served_index);
   bool line_cacheable(const service::Json& request) const;
+  bool replicable(const service::Json& request) const;
   void maybe_store_response(const service::Json& request,
                             const service::Json& response);
   void store_line(const service::Json& request, std::string_view line);

@@ -87,6 +87,14 @@ void HashRing::route_into(std::string_view key, std::size_t max_candidates,
   }
 }
 
+std::vector<std::string> HashRing::replicas_for(const std::string& key,
+                                                std::size_t r) const {
+  // Deliberately the same walk as route(): the replica set IS the first r
+  // steps of the failover order, which is what makes replication
+  // prefix-stable with failover.
+  return route(key, r);
+}
+
 std::string HashRing::primary(const std::string& key) const {
   const auto r = route(key, 1);
   return r.empty() ? std::string() : r.front();

@@ -38,6 +38,16 @@ class HashRing {
                   std::vector<std::size_t>& out,
                   std::vector<char>& seen) const;
 
+  /// Replica set for `key` at replication factor `r`: the first `r`
+  /// distinct backends of the ring walk, primary first. By construction a
+  /// prefix of the failover order — replicas_for(key, r) ==
+  /// route(key, n)[0..r) for every n >= r — so fanning writes to the
+  /// replica set and reading from the walk always agree on who holds a
+  /// key, and removing a backend only promotes walk successors (the
+  /// rebalance property the replication tests pin down).
+  std::vector<std::string> replicas_for(const std::string& key,
+                                        std::size_t r) const;
+
   /// Convenience: route(key, 1)[0]. Empty ring returns "".
   std::string primary(const std::string& key) const;
 

@@ -1,0 +1,129 @@
+// Append-only command journal: the replay half of the durability story.
+//
+// The snapshot/replay split follows the permanent-state vs in-flight-work
+// line: results that made it into the DiskCache are *permanent state*
+// (the snapshot — they survive a crash as complete, digest-verified
+// files), while commands whose results are not yet on disk are
+// *in-flight work* and live here as replayable records. A restarted
+// backend is re-warmed by replaying the journal: snapshot-covered
+// commands turn into disk hits, in-flight ones recompute — and because
+// every pipeline stage is bit-identical at any thread count, replay
+// reproduces the exact pre-crash responses.
+//
+// Record format (little-endian, fixed):
+//   [u32 payload length][u64 FNV-1a checksum of payload][payload bytes]
+// A record is valid only when the length is sane (<= kMaxRecordBytes and
+// within the file) and the checksum matches. replay() scans from the
+// start and stops at the first invalid record, returning every record
+// before it plus a structured warning — a torn tail (the expected shape
+// of a crash mid-append) costs the tail, never the journal.
+//
+// Durability batching: append() buffers nothing (each record is one
+// write(2) to an O_APPEND fd) but fsync(2) is batched — every
+// `fsync_every` appends, plus on flush() and close. A crash can
+// therefore lose at most the last fsync_every-1 records; fsync_every=1
+// gives per-record durability.
+//
+// Compaction rewrites the journal keeping only records the caller still
+// wants (in practice: records whose digest is NOT yet in the disk
+// cache), via temp-file + rename(2) so a crash mid-compaction leaves the
+// old journal intact.
+//
+// Fault sites (serial-counter, from JournalOptions::faults):
+//   "journal.append"  the append fails cleanly (no bytes written); the
+//                     command is served but not durable — callers degrade
+//                     to a structured warning, never an error
+//   "journal.replay"  replay treats the next record as corrupt and stops
+//                     there (simulates a read error mid-replay)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/fault.h"
+
+namespace decompeval::cluster {
+
+struct JournalOptions {
+  /// Journal file path. Empty disables the journal (append() is a no-op
+  /// returning false, stats stay zero).
+  std::string path;
+  /// fsync after this many appends (1 = every append). flush() and the
+  /// destructor always sync outstanding records.
+  std::size_t fsync_every = 8;
+  /// Optional injector for the "journal.append" site.
+  util::FaultInjector* faults = nullptr;
+};
+
+struct JournalStats {
+  std::uint64_t appends = 0;
+  std::uint64_t append_failures = 0;  ///< IO errors and injected faults
+  std::uint64_t fsyncs = 0;
+  std::uint64_t compactions = 0;
+  std::uint64_t records_dropped = 0;  ///< by compaction
+  std::uint64_t bytes = 0;            ///< current journal file size
+};
+
+/// Result of scanning a journal file. `clean` is false when the scan
+/// stopped before end-of-file (torn tail, corrupt record, flipped byte,
+/// injected replay fault); `warning` then says where and why.
+struct ReplayedJournal {
+  std::vector<std::string> records;
+  bool clean = true;
+  std::uint64_t bytes_scanned = 0;  ///< offset of the first invalid byte
+  std::string warning;
+};
+
+class Journal {
+ public:
+  explicit Journal(JournalOptions options);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  bool enabled() const { return !options_.path.empty(); }
+  const std::string& path() const { return options_.path; }
+
+  /// Appends one record (single write(2); length-prefixed + checksummed).
+  /// Returns false — leaving the journal exactly as it was — when the
+  /// journal is disabled, IO fails, or "journal.append" fires.
+  bool append(std::string_view payload);
+
+  /// fsyncs outstanding records now. No-op when everything is synced.
+  void flush();
+
+  /// Scans `path` and returns every valid record up to the first invalid
+  /// one (see ReplayedJournal). Never throws; a missing file is an empty
+  /// clean replay. `faults` drives the "journal.replay" site.
+  static ReplayedJournal replay(const std::string& path,
+                                util::FaultInjector* faults = nullptr);
+
+  /// Rewrites the journal keeping only records for which keep() returns
+  /// true (temp + rename; the old journal survives any failure). Returns
+  /// the number of records kept. Also drops any torn tail.
+  std::size_t compact(const std::function<bool(std::string_view)>& keep);
+
+  JournalStats stats() const;
+
+  /// Hard cap on a single record; longer appends fail, longer lengths in
+  /// a file mark the record (and everything after it) invalid.
+  static constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+
+ private:
+  bool open_for_append();        ///< caller holds mutex_
+  bool write_record(int fd, std::string_view payload);
+  void sync_locked();            ///< caller holds mutex_
+
+  JournalOptions options_;
+  mutable std::mutex mutex_;
+  int fd_ = -1;
+  std::size_t unsynced_ = 0;
+  JournalStats stats_;
+};
+
+}  // namespace decompeval::cluster

@@ -451,4 +451,13 @@ std::string canonical_request_key(const Json& request) {
   return out;
 }
 
+Json strip_volatile_fields(const Json& request) {
+  if (!request.is_object()) return request;
+  Json out = Json::object();
+  for (const auto& [key, value] : request.members())
+    if (!volatile_field(std::string_view(key.data(), key.size())))
+      out.set(std::string_view(key.data(), key.size()), value);
+  return out;
+}
+
 }  // namespace decompeval::service

@@ -143,4 +143,12 @@ class Json {
 void canonical_request_key(const Json& request, std::string& out);
 std::string canonical_request_key(const Json& request);
 
+/// Copy of `request` with the volatile fields removed (same exclusion
+/// set as canonical_request_key) — the *durable command form* the
+/// cluster layer journals and replicates. Re-issuing it on any backend,
+/// at any thread count, recomputes the same canonical key and a
+/// bit-identical result, which is what makes journal replay and replica
+/// installs equivalent to the original request. Non-objects copy as-is.
+Json strip_volatile_fields(const Json& request);
+
 }  // namespace decompeval::service

@@ -6,9 +6,12 @@
 // served through the dispatcher is bit-identical to asking a backend
 // directly, to the offline pipeline, and to a cold-restart disk-cache
 // hit.
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -346,11 +349,13 @@ struct TestCluster {
 
   explicit TestCluster(const std::string& tag, std::size_t n,
                        util::FaultPlan dispatcher_faults = {},
-                       std::size_t response_cache_capacity = 0) {
+                       std::size_t response_cache_capacity = 0,
+                       std::size_t replication_factor = 1) {
     DispatcherOptions dispatch;
     dispatch.fault_plan = std::move(dispatcher_faults);
     dispatch.health_interval_ms = 20;
     dispatch.response_cache_capacity = response_cache_capacity;
+    dispatch.replication_factor = replication_factor;
     for (std::size_t i = 0; i < n; ++i) {
       const std::string id = tag + "-backend-" + std::to_string(i);
       cache_dirs.push_back(fresh_cache_dir(id));
@@ -553,6 +558,295 @@ TEST(ClusterTest, DispatcherShutdownWithQueuedAndInFlightNeverDeadlocks) {
   EXPECT_EQ(structured.load() + closed.load(), 4);
   dispatcher.stop();
   for (auto& server : servers) server->stop();
+}
+
+// --- replication: ring invariants -----------------------------------------
+
+TEST(HashRingTest, ReplicasForIsTheDistinctPrefixOfTheFailoverWalk) {
+  HashRing ring(64);
+  const std::vector<std::string> ids = {"a", "b", "c", "d", "e"};
+  for (const std::string& id : ids) ring.add(id);
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const auto walk = ring.route(key, ids.size());
+    ASSERT_EQ(walk.size(), ids.size()) << key;
+    for (std::size_t r = 1; r <= ids.size(); ++r) {
+      const auto replicas = ring.replicas_for(key, r);
+      ASSERT_EQ(replicas.size(), r) << key << " r=" << r;
+      // R distinct backends, and exactly the first R of the walk — so the
+      // write set and the read/failover order always agree.
+      const std::set<std::string> distinct(replicas.begin(), replicas.end());
+      EXPECT_EQ(distinct.size(), r) << key << " r=" << r;
+      for (std::size_t j = 0; j < r; ++j)
+        EXPECT_EQ(replicas[j], walk[j]) << key << " r=" << r << " j=" << j;
+    }
+    EXPECT_EQ(ring.replicas_for(key, 1).front(), ring.primary(key)) << key;
+  }
+}
+
+TEST(HashRingTest, RemovingABackendOnlyPromotesWalkSuccessors) {
+  // Property test over 10k keys: when one backend leaves, a key's replica
+  // set changes only by promoting the next walk candidate — survivors
+  // keep their spot — and only keys that replicated onto the departed
+  // backend move at all (expected fraction R/N; assert 2R/N for slack).
+  constexpr std::size_t kKeys = 10000;
+  constexpr std::size_t kR = 2;
+  const std::vector<std::string> ids = {"n0", "n1", "n2", "n3",
+                                        "n4", "n5", "n6", "n7"};
+  const std::string departed = "n3";
+  HashRing before(64), after(64);
+  for (const std::string& id : ids) {
+    before.add(id);
+    if (id != departed) after.add(id);
+  }
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const auto replicas_before = before.replicas_for(key, kR);
+    const auto replicas_after = after.replicas_for(key, kR);
+    // The departed backend's points vanish; every other point keeps its
+    // position, so the after-walk is the before-walk with `departed`
+    // deleted. Its prefix is therefore exactly:
+    const auto full_walk = before.route(key, ids.size());
+    std::vector<std::string> expected;
+    for (const std::string& id : full_walk) {
+      if (id == departed) continue;
+      expected.push_back(id);
+      if (expected.size() == kR) break;
+    }
+    ASSERT_EQ(replicas_after, expected) << key;
+    if (replicas_after != replicas_before) {
+      ++changed;
+      // Only keys that actually held data on the departed backend move.
+      EXPECT_NE(std::find(replicas_before.begin(), replicas_before.end(),
+                          departed),
+                replicas_before.end())
+          << key;
+    }
+  }
+  EXPECT_LE(changed, kKeys * 2 * kR / ids.size())
+      << "removing one of " << ids.size() << " backends rebalanced "
+      << changed << " of " << kKeys << " keys";
+  EXPECT_GT(changed, 0u);  // the property test actually exercised moves
+}
+
+// --- replication: dispatcher fan-out --------------------------------------
+
+TEST(ClusterTest, ReplicatedWriteWarmsTheReplicaAndSurvivesPrimaryDeath) {
+  TestCluster cluster("replfan", 3, {}, /*response_cache_capacity=*/0,
+                      /*replication_factor=*/2);
+  service::ServiceClient client;
+  client.connect(cluster.front_socket);
+
+  const Json request = study_request(21);
+  const Json cold = client.call(request);
+  ASSERT_EQ(cold.get_string("status", ""), "ok");
+  cluster::DispatcherStats stats = cluster.dispatcher->stats();
+  EXPECT_EQ(stats.replicated, 1u);
+  EXPECT_EQ(stats.replication_failures, 0u);
+
+  // Both members of the replica set now hold the result on disk: the
+  // primary stored its computation, the secondary got a cache_install.
+  const std::string key = DiskCache::canonical_request_key(request);
+  const auto replicas = cluster.dispatcher->ring().replicas_for(key, 2);
+  ASSERT_EQ(replicas.size(), 2u);
+  std::size_t replica_stores = 0;
+  for (std::size_t i = 0; i < cluster.backends.size(); ++i) {
+    const std::string id = "replfan-backend-" + std::to_string(i);
+    const bool in_set =
+        std::find(replicas.begin(), replicas.end(), id) != replicas.end();
+    const std::uint64_t stores = cluster.backends[i]->cache().stats().stores;
+    EXPECT_EQ(stores, in_set ? 1u : 0u) << id;
+    if (in_set) replica_stores += stores;
+  }
+  EXPECT_EQ(replica_stores, 2u);
+
+  // Kill the primary: the walk lands the retry on the replica, which
+  // serves the installed bytes — zero lost requests, bit-identical.
+  for (std::size_t i = 0; i < cluster.backends.size(); ++i)
+    if ("replfan-backend-" + std::to_string(i) == replicas[0])
+      cluster.servers[i]->stop();
+  const Json failover = client.call(request);
+  EXPECT_EQ(failover.dump(), cold.dump());
+  EXPECT_EQ(cluster.dispatcher->stats().exhausted, 0u);
+}
+
+// --- disk cache: growth bound ---------------------------------------------
+
+TEST(DiskCacheTest, MaxBytesRefusesGrowthExactlyAtTheBoundary) {
+  // Learn the two entries' exact on-disk sizes in an unbounded cache.
+  const std::string probe_dir = fresh_cache_dir("maxbytes-probe");
+  Json response_a = Json::object();
+  response_a.set("status", Json::string("ok"));
+  response_a.set("payload", Json::string("aaaaaaaaaaaaaaaa"));
+  Json response_b = Json::object();
+  response_b.set("status", Json::string("ok"));
+  response_b.set("payload", Json::string("bbbbbbbbbbbbbbbbbbbbbbbb"));
+  std::uint64_t size_a = 0, size_b = 0;
+  {
+    DiskCache probe(cache_options(probe_dir));
+    ASSERT_TRUE(probe.store("digest-a", response_a, "key-a"));
+    size_a = probe.stats().bytes;
+    ASSERT_TRUE(probe.store("digest-b", response_b, "key-b"));
+    size_b = probe.stats().bytes - size_a;
+  }
+  std::filesystem::remove_all(probe_dir);
+
+  // Exactly enough for both: the boundary store succeeds.
+  const std::string dir = fresh_cache_dir("maxbytes");
+  {
+    DiskCacheOptions options = cache_options(dir);
+    options.max_bytes = size_a + size_b;
+    DiskCache cache(options);
+    EXPECT_TRUE(cache.store("digest-a", response_a, "key-a"));
+    EXPECT_TRUE(cache.store("digest-b", response_b, "key-b"));
+    EXPECT_EQ(cache.stats().growth_refusals, 0u);
+    // Overwriting an entry frees its bytes first: a same-size replace
+    // always fits even with the cache exactly full.
+    EXPECT_TRUE(cache.store("digest-a", response_a, "key-a"));
+  }
+  std::filesystem::remove_all(dir);
+
+  // One byte short: the second store is refused with a structured
+  // warning, leaves no file behind, and the first entry is untouched.
+  const std::string tight_dir = fresh_cache_dir("maxbytes-tight");
+  DiskCacheOptions options = cache_options(tight_dir);
+  options.max_bytes = size_a + size_b - 1;
+  DiskCache cache(options);
+  ASSERT_TRUE(cache.store("digest-a", response_a, "key-a"));
+  EXPECT_FALSE(cache.store("digest-b", response_b, "key-b"));
+  EXPECT_EQ(cache.stats().growth_refusals, 1u);
+  EXPECT_EQ(cache.stats().store_failures, 1u);
+  EXPECT_EQ(cache.stats().bytes, size_a);
+  ASSERT_FALSE(cache.warnings().empty());
+  EXPECT_NE(cache.warnings().back().find("max_bytes"), std::string::npos);
+  EXPECT_FALSE(std::filesystem::exists(cache.path_for("digest-b")));
+  Json loaded;
+  EXPECT_TRUE(cache.load("digest-a", &loaded));
+  std::filesystem::remove_all(tight_dir);
+}
+
+TEST(ClusterTest, BackendSurfacesGrowthRefusalsThroughCacheStats) {
+  const std::string dir = fresh_cache_dir("refusal");
+  ClusterBackendOptions options;
+  options.cache = cache_options(dir);
+  options.cache.max_bytes = 16;  // far too small for any real response
+  ClusterBackend backend(options);
+
+  // The request is still served — the bound degrades reuse, never
+  // availability — and the refusal surfaces as a counter plus warning.
+  const Json r = backend.handle(study_request(9), nullptr);
+  EXPECT_EQ(r.get_string("status", ""), "ok");
+  Json stats_req = Json::object();
+  stats_req.set("op", Json::string("cache_stats"));
+  const Json stats = backend.handle(stats_req, nullptr);
+  EXPECT_EQ(stats.get_number("disk_growth_refusals", 0), 1.0);
+  EXPECT_EQ(stats.get_number("disk_max_bytes", 0), 16.0);
+  const Json* warnings = stats.get("disk_warnings");
+  ASSERT_NE(warnings, nullptr);
+  ASSERT_FALSE(warnings->items().empty());
+  EXPECT_NE(std::string(warnings->items().front().as_string())
+                .find("max_bytes"),
+            std::string::npos);
+  std::filesystem::remove_all(dir);
+}
+
+// --- disk cache: janitor ---------------------------------------------------
+
+void set_mtime_ms_ago(const std::string& path, std::int64_t ms_ago) {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const std::int64_t target_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count() -
+      ms_ago;
+  struct timespec times[2];
+  times[0].tv_sec = target_ms / 1000;
+  times[0].tv_nsec = (target_ms % 1000) * 1'000'000;
+  times[1] = times[0];
+  ASSERT_EQ(::utimensat(AT_FDCWD, path.c_str(), times, 0), 0) << path;
+}
+
+TEST(DiskCacheTest, GcEvictsLruButNeverTheNewestVersionOfAKey) {
+  const std::string dir = fresh_cache_dir("gc");
+  DiskCache cache(cache_options(dir));
+  Json response = Json::object();
+  response.set("status", Json::string("ok"));
+  response.set("payload", Json::string("payload-payload-payload"));
+  ASSERT_TRUE(cache.store("d1", response, "key-1"));
+  ASSERT_TRUE(cache.store("d2", response, "key-2"));
+  ASSERT_TRUE(cache.store("d3", response, "key-3"));
+
+  // An old *version* of key-1 (same recorded key, different digest file)
+  // and stale temp litter from a crashed writer.
+  std::filesystem::copy_file(cache.path_for("d1"), cache.path_for("0ld"));
+  set_mtime_ms_ago(cache.path_for("0ld"), 600'000);
+  {
+    std::ofstream litter(dir + "/.orphan.tmp.1234.0");
+    litter << "torn";
+  }
+  set_mtime_ms_ago(dir + "/.orphan.tmp.1234.0", 600'000);
+  // Stage distinct ages so LRU order is deterministic: d1 oldest.
+  set_mtime_ms_ago(cache.path_for("d1"), 300'000);
+  set_mtime_ms_ago(cache.path_for("d2"), 200'000);
+  set_mtime_ms_ago(cache.path_for("d3"), 100'000);
+
+  // Size pass: ask for an impossible bound. The old version and the
+  // litter go; the newest file of each key survives — the size pass
+  // never deletes the freshest copy of a live entry.
+  cluster::CacheGcOptions bounds;
+  bounds.max_bytes = 1;
+  const cluster::CacheGcReport report = cache.gc(bounds);
+  EXPECT_EQ(report.temp_files_deleted, 1u);
+  EXPECT_EQ(report.files_deleted, 1u);  // only the old version of key-1
+  EXPECT_EQ(report.newest_kept, 3u);
+  EXPECT_FALSE(std::filesystem::exists(cache.path_for("0ld")));
+  EXPECT_TRUE(std::filesystem::exists(cache.path_for("d1")));
+  EXPECT_TRUE(std::filesystem::exists(cache.path_for("d2")));
+  EXPECT_TRUE(std::filesystem::exists(cache.path_for("d3")));
+
+  // Byte totals are exact after gc.
+  std::uint64_t on_disk = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    on_disk += std::filesystem::file_size(entry.path());
+  EXPECT_EQ(cache.stats().bytes, on_disk);
+
+  // Age pass: the TTL overrides newest-of-key immunity, so a full cache
+  // of live keys can still free space.
+  cluster::CacheGcOptions ttl;
+  ttl.max_age_ms = 150'000;  // d1 (300s) and d2 (200s) are too old
+  const cluster::CacheGcReport aged = cache.gc(ttl);
+  EXPECT_EQ(aged.files_deleted, 2u);
+  EXPECT_FALSE(std::filesystem::exists(cache.path_for("d1")));
+  EXPECT_FALSE(std::filesystem::exists(cache.path_for("d2")));
+  EXPECT_TRUE(std::filesystem::exists(cache.path_for("d3")));
+  EXPECT_EQ(cache.stats().gc_runs, 2u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ClusterTest, DiskHitsRefreshMtimeSoGcOrderIsLruNotFifo) {
+  const std::string dir = fresh_cache_dir("lru");
+  DiskCache cache(cache_options(dir));
+  Json response = Json::object();
+  response.set("status", Json::string("ok"));
+  ASSERT_TRUE(cache.store("old-but-hot", response, "key-hot"));
+  ASSERT_TRUE(cache.store("young-but-cold", response, "key-cold"));
+  set_mtime_ms_ago(cache.path_for("old-but-hot"), 500'000);
+  set_mtime_ms_ago(cache.path_for("young-but-cold"), 400'000);
+
+  // A disk hit touches the entry: use a fresh instance so the in-memory
+  // LRU front cannot short-circuit the disk read.
+  DiskCache reader(cache_options(dir));
+  Json loaded;
+  ASSERT_TRUE(reader.load("old-but-hot", &loaded));
+
+  // TTL at 300s: without the touch, "old-but-hot" (500s ago) would be
+  // deleted. With LRU semantics it was just used, so only the genuinely
+  // cold entry (400s ago) goes.
+  cluster::CacheGcOptions ttl;
+  ttl.max_age_ms = 300'000;
+  reader.gc(ttl);
+  EXPECT_TRUE(std::filesystem::exists(reader.path_for("old-but-hot")));
+  EXPECT_FALSE(std::filesystem::exists(reader.path_for("young-but-cold")));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

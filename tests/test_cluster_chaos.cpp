@@ -2,19 +2,29 @@
 //
 // Extends the deterministic fault sweeps to the cluster's four sites —
 // "cluster.forward", "cluster.backend", "cache.read", "cache.write" —
-// plus a real backend-kill/ring-failover scenario. The invariants:
-// every request ends in a structured ok/degraded/error/timeout response
-// (no crash, no hang), no stale or partial cache file is ever left on
-// disk, and a degraded result is never cached.
+// plus real backend-kill scenarios: ring failover with in-process
+// backends, and kill -9 of supervised fork/exec'd backend processes
+// mid-stream at replication_factor=2. The invariants: every request
+// ends in a structured ok/degraded/error/timeout response (no crash,
+// no hang), zero requests are lost at R=2, no stale or partial cache
+// file is ever left on disk, a degraded result is never cached, and a
+// surviving journal replays bit-identically at any thread count.
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -23,6 +33,8 @@
 #include "cluster/backend.h"
 #include "cluster/disk_cache.h"
 #include "cluster/dispatcher.h"
+#include "cluster/journal.h"
+#include "cluster/supervisor.h"
 #include "core/replication.h"
 #include "service/server.h"
 
@@ -223,6 +235,202 @@ TEST(ClusterChaos, BackendKillMidStreamFailsOverWithoutStaleCacheFiles) {
   dispatcher.stop();
   for (auto& server : servers) server->stop();
   for (const std::string& dir : dirs) std::filesystem::remove_all(dir);
+}
+
+// --- supervised-process chaos: kill -9 real backends mid-stream ------------
+
+// The exec'd backend binary lives in build/examples, next to this test's
+// build/tests. DECOMPEVAL_BACKEND_BIN overrides for odd layouts.
+std::string backend_binary() {
+  if (const char* env = std::getenv("DECOMPEVAL_BACKEND_BIN")) return env;
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  EXPECT_GT(n, 0);
+  std::string self(buf, static_cast<std::size_t>(n));
+  return self.substr(0, self.rfind('/')) + "/../examples/cluster_backend";
+}
+
+cluster::SupervisedBackend supervised_spec(
+    const std::string& id, const std::string& socket_path,
+    const std::string& shard_dir, std::vector<std::string> extra_args = {}) {
+  cluster::SupervisedBackend spec;
+  spec.id = id;
+  spec.socket_path = socket_path;
+  // The journal lives NEXT TO the cache directory, not inside it: the
+  // cache janitor sweeps stale non-.json files in its directory.
+  spec.argv = {backend_binary(), "--socket", socket_path,
+               "--cache-dir", shard_dir,
+               "--journal", shard_dir + ".journal",
+               "--id", id};
+  for (std::string& arg : extra_args) spec.argv.push_back(std::move(arg));
+  return spec;
+}
+
+void cleanup_shard(const std::string& shard_dir) {
+  std::filesystem::remove_all(shard_dir);
+  std::remove((shard_dir + ".journal").c_str());
+}
+
+// True once no child of this process remains (everything reaped).
+bool no_children_left() {
+  const pid_t r = ::waitpid(-1, nullptr, WNOHANG);
+  return r == -1 && errno == ECHILD;
+}
+
+bool wait_for(const std::function<bool()>& done, std::uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return done();
+}
+
+// Replays every record of `journal_path` through a fresh, cache-less
+// in-process backend at the given thread count and returns the
+// concatenated response dumps. The chaos acceptance bar: this string is
+// identical for threads 1, 2, and 4.
+std::string replay_dump_at_threads(const std::string& journal_path,
+                                   int threads) {
+  const cluster::ReplayedJournal replayed =
+      cluster::Journal::replay(journal_path);
+  EXPECT_TRUE(replayed.clean) << journal_path << ": " << replayed.warning;
+  ClusterBackend local{ClusterBackendOptions{}};
+  std::string dumps;
+  for (const std::string& record : replayed.records) {
+    Json command = Json::parse(record);
+    command.set("threads", Json::number(static_cast<double>(threads)));
+    dumps += local.handle(command, nullptr).dump();
+    dumps += '\n';
+  }
+  return dumps;
+}
+
+TEST(ClusterChaos, SupervisedKill9MidStreamLosesNothingAtR2) {
+  constexpr int kBackends = 3;
+  cluster::SupervisorOptions supervise;
+  DispatcherOptions dispatch;
+  std::vector<std::string> shard_dirs;
+  for (int i = 0; i < kBackends; ++i) {
+    const std::string id = "sk9-" + std::to_string(i);
+    shard_dirs.push_back(fresh_cache_dir(id));
+    cleanup_shard(shard_dirs.back());
+    const std::string socket_path = unique_socket_path(id);
+    supervise.backends.push_back(
+        supervised_spec(id, socket_path, shard_dirs.back()));
+    cluster::BackendEndpoint endpoint;
+    endpoint.id = id;
+    endpoint.socket_path = socket_path;
+    dispatch.backends.push_back(endpoint);
+  }
+  cluster::Supervisor supervisor(supervise);
+  supervisor.start();
+  for (const auto& spec : supervise.backends)
+    ASSERT_TRUE(supervisor.wait_until_serving(spec.id, 15000)) << spec.id;
+
+  dispatch.replication_factor = 2;
+  dispatch.health_interval_ms = 20;
+  Dispatcher dispatcher(dispatch);
+  dispatcher.start();
+
+  // Cold pass: every result is computed, cached on its primary, and
+  // installed on its second ring replica. Record the reference dumps.
+  std::vector<std::string> reference;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Json r = dispatcher.handle(study_request(seed), nullptr);
+    ASSERT_EQ(r.get_string("status", ""), "ok") << "seed=" << seed;
+    reference.push_back(r.dump());
+  }
+
+  // Kill -9 a backend MID-stream: three requests in, the process dies,
+  // the remaining three (plus a re-ask of the first three) must still
+  // answer bit-identically from the surviving replicas.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed)
+    EXPECT_EQ(dispatcher.handle(study_request(seed), nullptr).dump(),
+              reference[seed - 1]);
+  supervisor.kill_backend("sk9-0", SIGKILL);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed)
+    EXPECT_EQ(dispatcher.handle(study_request(seed), nullptr).dump(),
+              reference[seed - 1])
+        << "request lost after kill -9, seed=" << seed;
+  EXPECT_EQ(dispatcher.stats().exhausted, 0u);
+
+  // The supervisor restarts and re-warms the victim; once it is back,
+  // the stream stays whole and bit-identical through another full pass.
+  ASSERT_TRUE(wait_for([&] { return supervisor.restarts_of("sk9-0") >= 1; },
+                       20000));
+  ASSERT_TRUE(supervisor.wait_until_serving("sk9-0", 15000));
+  for (std::uint64_t seed = 1; seed <= 6; ++seed)
+    EXPECT_EQ(dispatcher.handle(study_request(seed), nullptr).dump(),
+              reference[seed - 1]);
+  EXPECT_EQ(dispatcher.stats().exhausted, 0u);
+
+  dispatcher.stop();
+  supervisor.stop();
+  EXPECT_TRUE(no_children_left());
+
+  // Post-mortem on what the kill left on disk: every cache directory is
+  // parseable with only clean "ok" entries, and every surviving journal
+  // replays bit-identically at threads 1, 2, and 4.
+  for (const std::string& dir : shard_dirs) {
+    assert_cache_dir_clean(dir);
+    const std::string journal_path = dir + ".journal";
+    const std::string at1 = replay_dump_at_threads(journal_path, 1);
+    EXPECT_EQ(replay_dump_at_threads(journal_path, 2), at1) << journal_path;
+    EXPECT_EQ(replay_dump_at_threads(journal_path, 4), at1) << journal_path;
+    cleanup_shard(dir);
+  }
+}
+
+TEST(ClusterChaos, CrashLoopingBackendKeepsTheStreamWhole) {
+  // One backend _Exit(9)s on every second work request it sees; its
+  // partner is healthy. At R=2 with supervision, a stream of requests
+  // never loses one: an in-flight death fails over to the replica, and
+  // the supervisor keeps resurrecting the crash-looper.
+  const std::string dir_a = fresh_cache_dir("loop-a");
+  const std::string dir_b = fresh_cache_dir("loop-b");
+  cleanup_shard(dir_a);
+  cleanup_shard(dir_b);
+  const std::string socket_a = unique_socket_path("loop-a");
+  const std::string socket_b = unique_socket_path("loop-b");
+  cluster::SupervisorOptions supervise;
+  supervise.backends = {
+      supervised_spec("loop-a", socket_a, dir_a,
+                      {"--exit-after-requests", "2"}),
+      supervised_spec("loop-b", socket_b, dir_b)};
+  cluster::Supervisor supervisor(supervise);
+  supervisor.start();
+  ASSERT_TRUE(supervisor.wait_until_serving("loop-a", 15000));
+  ASSERT_TRUE(supervisor.wait_until_serving("loop-b", 15000));
+
+  DispatcherOptions dispatch;
+  dispatch.replication_factor = 2;
+  dispatch.health_interval_ms = 20;
+  const std::vector<std::pair<std::string, std::string>> endpoints = {
+      {"loop-a", socket_a}, {"loop-b", socket_b}};
+  for (const auto& [id, socket_path] : endpoints) {
+    cluster::BackendEndpoint endpoint;
+    endpoint.id = id;
+    endpoint.socket_path = socket_path;
+    dispatch.backends.push_back(endpoint);
+  }
+  Dispatcher dispatcher(dispatch);
+  dispatcher.start();
+
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Json r = dispatcher.handle(study_request(seed), nullptr);
+    EXPECT_EQ(r.get_string("status", ""), "ok") << "seed=" << seed;
+  }
+  EXPECT_EQ(dispatcher.stats().exhausted, 0u);
+
+  dispatcher.stop();
+  supervisor.stop();
+  EXPECT_TRUE(no_children_left());
+  assert_cache_dir_clean(dir_a);
+  assert_cache_dir_clean(dir_b);
+  cleanup_shard(dir_a);
+  cleanup_shard(dir_b);
 }
 
 TEST(ClusterChaos, DegradedBackendResultsAreNeverWrittenToDisk) {

@@ -20,6 +20,7 @@
 
 #include <filesystem>
 #include <memory>
+#include <numeric>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -34,6 +35,7 @@
 #include "metrics/codebleu.h"
 #include "mixed/glmm.h"
 #include "service/server.h"
+#include "service/service.h"
 #include "text/bleu.h"
 #include "text/similarity.h"
 #include "util/rng.h"
@@ -142,46 +144,65 @@ struct ClusterReading {
   bool bit_identical = true;
 };
 
+// Socket-served backends behind a dispatcher, spun up and torn down per
+// reading. Shared by the run_study throughput ladder and the annotate
+// latency ladder.
+struct BenchCluster {
+  std::vector<std::unique_ptr<cluster::ClusterBackend>> backends;
+  std::vector<std::unique_ptr<service::ReplicationServer>> servers;
+  std::vector<std::string> dirs;
+  std::unique_ptr<cluster::Dispatcher> dispatcher;
+
+  BenchCluster(const std::string& prefix, std::size_t n_backends,
+               std::size_t replication_factor) {
+    cluster::DispatcherOptions dispatch;
+    dispatch.response_cache_capacity = 256;
+    dispatch.replication_factor = replication_factor;
+    for (std::size_t i = 0; i < n_backends; ++i) {
+      const std::string tag = prefix + "-" + std::to_string(n_backends) +
+                              "-r" + std::to_string(replication_factor) +
+                              "-" + std::to_string(i) + "-" +
+                              std::to_string(::getpid());
+      dirs.push_back("/tmp/decompeval-bench-cache-" + tag);
+      std::filesystem::remove_all(dirs.back());
+      cluster::ClusterBackendOptions backend_options;
+      backend_options.cache.directory = dirs.back();
+      backend_options.cache.version = core::version();
+      backends.push_back(
+          std::make_unique<cluster::ClusterBackend>(backend_options));
+      service::ServerOptions server_options;
+      server_options.socket_path = "/tmp/decompeval-bench-" + tag + ".sock";
+      server_options.workers = 2;
+      server_options.max_queue = 32;
+      server_options.handler = backends.back()->handler();
+      server_options.fast_path = backends.back()->fast_path();
+      servers.push_back(
+          std::make_unique<service::ReplicationServer>(server_options));
+      servers.back()->start();
+      cluster::BackendEndpoint endpoint;
+      endpoint.id = "bench-backend-" + std::to_string(i);
+      endpoint.socket_path = server_options.socket_path;
+      dispatch.backends.push_back(endpoint);
+    }
+    dispatcher = std::make_unique<cluster::Dispatcher>(dispatch);
+    dispatcher->start();
+  }
+
+  ~BenchCluster() {
+    dispatcher->stop();
+    for (auto& server : servers) server->stop();
+    for (const std::string& dir : dirs) std::filesystem::remove_all(dir);
+  }
+};
+
 ClusterReading bench_cluster(std::size_t n_backends,
                              std::size_t replication_factor = 1) {
   using service::Json;
   constexpr std::uint64_t kSeeds = 12;
   constexpr std::size_t kWarmPasses = 200;
 
-  std::vector<std::unique_ptr<cluster::ClusterBackend>> backends;
-  std::vector<std::unique_ptr<service::ReplicationServer>> servers;
-  std::vector<std::string> dirs;
-  cluster::DispatcherOptions dispatch;
-  dispatch.response_cache_capacity = 256;
-  dispatch.replication_factor = replication_factor;
-  for (std::size_t i = 0; i < n_backends; ++i) {
-    const std::string tag = std::to_string(n_backends) + "-r" +
-                            std::to_string(replication_factor) + "-" +
-                            std::to_string(i) + "-" +
-                            std::to_string(::getpid());
-    dirs.push_back("/tmp/decompeval-bench-cache-" + tag);
-    std::filesystem::remove_all(dirs.back());
-    cluster::ClusterBackendOptions backend_options;
-    backend_options.cache.directory = dirs.back();
-    backend_options.cache.version = core::version();
-    backends.push_back(
-        std::make_unique<cluster::ClusterBackend>(backend_options));
-    service::ServerOptions server_options;
-    server_options.socket_path = "/tmp/decompeval-bench-" + tag + ".sock";
-    server_options.workers = 2;
-    server_options.max_queue = 32;
-    server_options.handler = backends.back()->handler();
-    server_options.fast_path = backends.back()->fast_path();
-    servers.push_back(
-        std::make_unique<service::ReplicationServer>(server_options));
-    servers.back()->start();
-    cluster::BackendEndpoint endpoint;
-    endpoint.id = "bench-backend-" + std::to_string(i);
-    endpoint.socket_path = server_options.socket_path;
-    dispatch.backends.push_back(endpoint);
-  }
-  cluster::Dispatcher dispatcher(dispatch);
-  dispatcher.start();
+  BenchCluster bench("study", n_backends, replication_factor);
+  cluster::Dispatcher& dispatcher = *bench.dispatcher;
 
   std::vector<Json> requests;
   for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
@@ -247,9 +268,139 @@ ClusterReading bench_cluster(std::size_t n_backends,
   });
   reading.warm_forwarded_rps = (kSeeds * kForwardPasses) / (fwd_ms / 1000.0);
 
-  dispatcher.stop();
-  for (auto& server : servers) server->stop();
-  for (const std::string& dir : dirs) std::filesystem::remove_all(dir);
+  return reading;
+}
+
+// Annotate small-request ladder: the interactive RE-tool workload. Cold
+// documents have never been seen by any annotation engine; warm requests
+// are single-function edits of a fixed session anchor, carrying it as
+// `baseline` so the dispatcher routes every edit to the backend whose
+// engine already holds the anchor's slices. The incremental responses
+// must be byte-identical to a from-scratch core annotating the same text.
+struct AnnotateReading {
+  double cold_rps = 0.0;
+  double warm_rps = 0.0;
+  double cold_p50_us = 0.0;
+  double cold_p95_us = 0.0;
+  double cold_p99_us = 0.0;
+  double warm_p50_us = 0.0;
+  double warm_p95_us = 0.0;
+  double warm_p99_us = 0.0;
+  bool bit_identical = true;
+};
+
+// One top-level function; `version` perturbs a constant so edits
+// regenerate exactly one function's text.
+std::string annotate_function(std::size_t index, std::uint64_t version) {
+  return "int fn_" + std::to_string(index) +
+         "(int a1, int count) {\n  int v5 = 0;\n"
+         "  for (int i = 0; i < count; i = i + 1) { v5 = v5 + a1; }\n"
+         "  return v5 + " + std::to_string(version) + ";\n}\n\n";
+}
+
+std::string annotate_document(const std::vector<std::uint64_t>& versions) {
+  std::string source;
+  for (std::size_t i = 0; i < versions.size(); ++i)
+    source += annotate_function(i, versions[i]);
+  return source;
+}
+
+AnnotateReading bench_annotate(std::size_t n_backends) {
+  using service::Json;
+  constexpr std::size_t kFunctions = 8;
+  constexpr std::size_t kColdDocs = 48;
+  constexpr std::size_t kEdits = 96;
+
+  BenchCluster bench("annotate", n_backends, /*replication_factor=*/1);
+  cluster::Dispatcher& dispatcher = *bench.dispatcher;
+
+  const auto request = [](const std::string& source) {
+    Json req = Json::object();
+    req.set("op", Json::string("annotate"));
+    req.set("source", Json::string(source));
+    req.set("threads", Json::number(1));
+    return req;
+  };
+  const auto percentile = [](std::vector<double>& sorted, double p) {
+    const std::size_t rank = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size() - 1));
+    return sorted[rank];
+  };
+
+  AnnotateReading reading;
+  std::string out;
+
+  // Cold: every document is new to every engine (unique constants), and
+  // documents spread across the ring like independent sessions would.
+  std::vector<double> cold_us;
+  cold_us.reserve(kColdDocs);
+  for (std::size_t doc = 0; doc < kColdDocs; ++doc) {
+    std::vector<std::uint64_t> versions(kFunctions);
+    for (std::size_t i = 0; i < kFunctions; ++i)
+      versions[i] = 1'000'000 + doc * 100 + i;
+    const Json req = request(annotate_document(versions));
+    out.clear();
+    const auto t0 = std::chrono::steady_clock::now();
+    dispatcher.handle_line(req, nullptr, out);
+    const auto t1 = std::chrono::steady_clock::now();
+    cold_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+  }
+  // Throughput is derived from the per-request samples so document
+  // generation and identity bookkeeping never dilute it.
+  reading.cold_rps =
+      kColdDocs /
+      (std::accumulate(cold_us.begin(), cold_us.end(), 0.0) / 1e6);
+  std::sort(cold_us.begin(), cold_us.end());
+  reading.cold_p50_us = percentile(cold_us, 0.50);
+  reading.cold_p95_us = percentile(cold_us, 0.95);
+  reading.cold_p99_us = percentile(cold_us, 0.99);
+
+  // Warm: annotate the session anchor once, then stream single-function
+  // edits against it. Every edited source is new bytes — no response
+  // cache can answer it — so the latency measured is the incremental
+  // engine path: one slice recomputed, the rest served from its cache.
+  const std::vector<std::uint64_t> anchor_versions(kFunctions, 1);
+  const std::string anchor = annotate_document(anchor_versions);
+  out.clear();
+  dispatcher.handle_line(request(anchor), nullptr, out);
+
+  std::vector<double> warm_us;
+  warm_us.reserve(kEdits);
+  std::vector<std::string> edited_sources;
+  std::vector<std::string> incremental_dumps;
+  for (std::size_t edit = 0; edit < kEdits; ++edit) {
+    std::vector<std::uint64_t> versions = anchor_versions;
+    versions[edit % kFunctions] = 2 + edit;
+    edited_sources.push_back(annotate_document(versions));
+    Json req = request(edited_sources.back());
+    req.set("baseline", Json::string(anchor));
+    out.clear();
+    const auto t0 = std::chrono::steady_clock::now();
+    dispatcher.handle_line(req, nullptr, out);
+    const auto t1 = std::chrono::steady_clock::now();
+    warm_us.push_back(
+        std::chrono::duration<double, std::micro>(t1 - t0).count());
+    incremental_dumps.push_back(dispatcher.handle(req, nullptr).dump());
+  }
+  reading.warm_rps =
+      kEdits /
+      (std::accumulate(warm_us.begin(), warm_us.end(), 0.0) / 1e6);
+  std::sort(warm_us.begin(), warm_us.end());
+  reading.warm_p50_us = percentile(warm_us, 0.50);
+  reading.warm_p95_us = percentile(warm_us, 0.95);
+  reading.warm_p99_us = percentile(warm_us, 0.99);
+
+  // Bit-identity: every incremental response equals a from-scratch core
+  // annotating the same text (no baseline, no warm slices).
+  for (std::size_t edit = 0; edit < kEdits; ++edit) {
+    service::ServiceCore scratch;
+    reading.bit_identical =
+        reading.bit_identical &&
+        scratch.handle(request(edited_sources[edit])).dump() ==
+            incremental_dumps[edit];
+  }
+
   return reading;
 }
 
@@ -448,6 +599,13 @@ int main(int argc, char** argv) {
     for (const std::size_t r : replication_ladder)
       replication_readings.push_back(bench_cluster(3, r));
 
+    // 6c. Annotate small-request ladder: cold documents vs incremental
+    //     edits of a baseline-routed session anchor, per-request
+    //     p50/p95/p99 through the dispatcher at 1/2/4 backends.
+    std::vector<AnnotateReading> annotate_readings;
+    for (const std::size_t n : backend_ladder)
+      annotate_readings.push_back(bench_annotate(n));
+
     // 7. Cold metric battery, rewritten kernels vs retained references.
     const BatteryReading battery = bench_metric_battery();
 
@@ -504,6 +662,25 @@ int main(int argc, char** argv) {
     }
     std::cout << "  replicated responses bit-identical:                    "
               << (replication_identical ? "yes" : "NO — BUG") << "\n";
+
+    bool annotate_identical = true;
+    std::cout << "\nAnnotate latency (8-function documents through the "
+                 "dispatcher):\n";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i) {
+      const AnnotateReading& r = annotate_readings[i];
+      annotate_identical = annotate_identical && r.bit_identical;
+      std::cout << "  backends=" << backend_ladder[i]
+                << ":  cold p50/p95/p99=" << format_fixed(r.cold_p50_us, 1)
+                << "/" << format_fixed(r.cold_p95_us, 1) << "/"
+                << format_fixed(r.cold_p99_us, 1) << " us ("
+                << format_fixed(r.cold_rps, 1) << " req/s)  warm-incremental"
+                << " p50/p95/p99=" << format_fixed(r.warm_p50_us, 1) << "/"
+                << format_fixed(r.warm_p95_us, 1) << "/"
+                << format_fixed(r.warm_p99_us, 1) << " us ("
+                << format_fixed(r.warm_rps, 1) << " req/s)\n";
+    }
+    std::cout << "  incremental responses bit-identical to from-scratch:   "
+              << (annotate_identical ? "yes" : "NO — BUG") << "\n";
     if (hw < backend_ladder.back()) {
       std::cout << "  NOTE: " << hw << "-core host — the forwarded ladder "
                 << "measures thread contention, not sharding; see the "
@@ -581,7 +758,33 @@ int main(int argc, char** argv) {
       json << (i ? ", " : "") << "\"r" << replication_ladder[i] << "\": "
            << format_fixed(replication_readings[i].warm_forwarded_rps, 3);
     json << "},\n  \"cluster_replication_bit_identical\": "
-         << (replication_identical ? "true" : "false")
+         << (replication_identical ? "true" : "false");
+    json << ",\n  \"annotate_cold_latency_us\": {";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"" << backend_ladder[i] << "\": {\"p50\": "
+           << format_fixed(annotate_readings[i].cold_p50_us, 3)
+           << ", \"p95\": "
+           << format_fixed(annotate_readings[i].cold_p95_us, 3)
+           << ", \"p99\": "
+           << format_fixed(annotate_readings[i].cold_p99_us, 3) << "}";
+    json << "},\n  \"annotate_warm_incremental_latency_us\": {";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"" << backend_ladder[i] << "\": {\"p50\": "
+           << format_fixed(annotate_readings[i].warm_p50_us, 3)
+           << ", \"p95\": "
+           << format_fixed(annotate_readings[i].warm_p95_us, 3)
+           << ", \"p99\": "
+           << format_fixed(annotate_readings[i].warm_p99_us, 3) << "}";
+    json << "},\n  \"annotate_cold_rps\": {";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"" << backend_ladder[i]
+           << "\": " << format_fixed(annotate_readings[i].cold_rps, 3);
+    json << "},\n  \"annotate_warm_incremental_rps\": {";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"" << backend_ladder[i]
+           << "\": " << format_fixed(annotate_readings[i].warm_rps, 3);
+    json << "},\n  \"annotate_bit_identical\": "
+         << (annotate_identical ? "true" : "false")
          << ",\n  \"metric_battery_fast_ms\": "
          << format_fixed(battery.fast_ms, 3)
          << ",\n  \"metric_battery_reference_ms\": "

@@ -101,4 +101,15 @@ cmake -B build-ubsan-nosimd -S . -DDECOMPEVAL_SANITIZE=undefined \
 cmake --build build-ubsan-nosimd -j "$JOBS" --target test_kernels
 ./build-ubsan-nosimd/tests/test_kernels
 
+echo "=== UBSan annotate differentials, forced-scalar ==="
+# The annotate op carries its own differential contracts — served
+# responses bit-identical to offline lint at every thread count, warm
+# (incremental) bit-identical to cold (from-scratch) — so the suites
+# that enforce them run against the forced-scalar build too, proving
+# the annotation engine's sliced-parallel path UB-clean on both kernel
+# configurations.
+cmake --build build-ubsan-nosimd -j "$JOBS" --target test_annotate test_spans
+./build-ubsan-nosimd/tests/test_annotate
+./build-ubsan-nosimd/tests/test_spans
+
 echo "=== all checks passed ==="

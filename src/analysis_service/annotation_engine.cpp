@@ -1,0 +1,318 @@
+#include "analysis_service/annotation_engine.h"
+
+#include <cstdio>
+#include <exception>
+#include <utility>
+
+#include "decompiler/dirty_model.h"
+#include "embed/corpus.h"
+#include "lang/ast.h"
+#include "lang/lexer.h"
+#include "lang/lint.h"
+#include "lang/source_map.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace decompeval::analysis_service {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void collect_placeholder_decls(
+    const lang::Stmt& s,
+    std::vector<std::pair<std::string, lang::SourceSpan>>* out) {
+  for (const auto& d : s.decls)
+    if (lang::is_placeholder_name(d.name))
+      out->emplace_back(d.name, d.name_span.valid() ? d.name_span : d.span);
+  for (const auto& b : s.body)
+    if (b) collect_placeholder_decls(*b, out);
+}
+
+/// Placeholder-named variables in declaration order: parameters first,
+/// then locals in statement order — the order the model consumes its RNG
+/// stream in, so suggestions are a pure function of the slice text.
+std::vector<std::pair<std::string, lang::SourceSpan>> placeholder_vars(
+    const lang::Function& fn) {
+  std::vector<std::pair<std::string, lang::SourceSpan>> out;
+  for (const auto& p : fn.params)
+    if (lang::is_placeholder_name(p.name))
+      out.emplace_back(p.name, p.name_span.valid() ? p.name_span : p.span);
+  if (fn.body) collect_placeholder_decls(*fn.body, &out);
+  return out;
+}
+
+}  // namespace
+
+struct AnnotationEngine::Slice {
+  std::size_t begin = 0;  ///< absolute byte offset of the slice start
+  std::size_t end = 0;    ///< one past the closing brace
+  int line = 1;           ///< 1-based position of `begin` in the source
+  int col = 1;
+};
+
+struct AnnotationEngine::CachedFunction {
+  std::string name;
+  bool parsed = false;
+  std::string note;
+  /// Slice-relative spans; rebased to absolute at serve time.
+  std::vector<AnnotationSpan> annotations;
+};
+
+namespace {
+
+/// Rebases a slice-relative span to the submitted source. Slices may
+/// start mid-line (two functions on one line), so columns on the slice's
+/// first line shift by the slice column.
+lang::SourceSpan rebase_span(const lang::SourceSpan& rel, std::size_t begin,
+                             int line, int col) {
+  if (!rel.valid()) return {};
+  lang::SourceSpan out;
+  out.begin = begin + rel.begin;
+  out.end = begin + rel.end;
+  out.line = line + rel.line - 1;
+  out.col = rel.line == 1 ? col + rel.col - 1 : rel.col;
+  return out;
+}
+
+/// Top-level function slices by brace matching. Each slice runs from the
+/// start of the line holding the function's first token (clamped past the
+/// previous slice, so back-to-back functions on one line do not overlap)
+/// through its closing brace. Stray top-level semicolons between
+/// functions belong to no slice.
+std::vector<AnnotationEngine::Slice> slice_functions(
+    const std::vector<lang::Token>& tokens, const lang::SourceMap& map) {
+  std::vector<AnnotationEngine::Slice> out;
+  constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+  std::size_t open = kNone;  // index of the slice's first token
+  std::size_t prev_end = 0;
+  int depth = 0;
+  std::size_t last_end = 0;
+  for (const auto& t : tokens) {
+    if (t.is(lang::TokenKind::kEndOfFile)) break;
+    last_end = t.span.end;
+    if (open == kNone) {
+      if (t.is_punct(";")) continue;
+      open = 1;  // any non-EOF marker; the span below is what matters
+      AnnotationEngine::Slice s;
+      const std::size_t line_start = map.to_offset(t.span.line, 1);
+      s.begin = line_start > prev_end ? line_start : prev_end;
+      const lang::LineCol at = map.to_line_col(s.begin);
+      s.line = at.line;
+      s.col = at.col;
+      out.push_back(s);
+    }
+    if (t.is_punct("{")) {
+      ++depth;
+    } else if (t.is_punct("}")) {
+      if (--depth <= 0) {
+        depth = 0;
+        out.back().end = t.span.end;
+        prev_end = t.span.end;
+        open = kNone;
+      }
+    }
+  }
+  if (open != kNone) {
+    // Unbalanced tail: close at the last token so the parse error is
+    // reported on a concrete slice.
+    out.back().end = last_end > out.back().begin ? last_end
+                                                 : out.back().begin;
+    prev_end = out.back().end;
+  }
+  return out;
+}
+
+}  // namespace
+
+AnnotationEngine::AnnotationEngine(std::size_t cache_capacity)
+    : cache_(cache_capacity) {}
+
+AnnotationEngine::CacheStats AnnotationEngine::cache_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats s;
+  s.size = cache_.size();
+  s.capacity = cache_.capacity();
+  s.evictions = cache_.evictions();
+  s.hits = hits_;
+  s.misses = misses_;
+  return s;
+}
+
+namespace {
+
+/// Full (parse + lint + name suggestions) analysis of one slice. Pure:
+/// depends only on the slice text and the parse options.
+AnnotationEngine::CachedFunction* analyze_slice_into(
+    std::string_view text, const lang::ParseOptions& parse_options,
+    AnnotationEngine::CachedFunction* cf) {
+  lang::Function fn;
+  try {
+    fn = lang::parse_function(text, parse_options);
+  } catch (const std::exception& e) {
+    cf->parsed = false;
+    cf->note = e.what();
+    return cf;
+  }
+  cf->parsed = true;
+  cf->name = fn.name;
+
+  for (const auto& d : lang::lint_function(fn)) {
+    AnnotationSpan a;
+    a.kind = d.severity == lang::LintSeverity::kNote ? "artifact"
+                                                     : "diagnostic";
+    a.code = d.code;
+    a.symbol = d.symbol;
+    a.span = d.span;
+    a.message = d.message;
+    cf->annotations.push_back(std::move(a));
+  }
+
+  // Recovered-name suggestions: for every placeholder-named variable the
+  // DIRTY-like model proposes a name. The model needs a ground-truth name
+  // to aim at and an interactive request has none, so one is drawn from
+  // the concept-cluster lexicon with an RNG seeded by the slice digest —
+  // suggestions are stable across repeats and across cache state.
+  const auto vars = placeholder_vars(fn);
+  if (!vars.empty()) {
+    const std::uint64_t seed = fnv1a(text);
+    util::Rng pick(seed);
+    decompiler::DirtyModel model({}, pick.split_seed(1));
+    const auto& clusters = embed::concept_clusters();
+    for (const auto& [name, span] : vars) {
+      if (clusters.empty()) break;
+      const auto& cluster = clusters[pick.uniform_index(clusters.size())];
+      if (cluster.members.empty()) continue;
+      const std::string& target =
+          cluster.members[pick.uniform_index(cluster.members.size())];
+      const decompiler::RecoveredName rec = model.recover_name(target, name);
+      AnnotationSpan a;
+      a.kind = "name-suggestion";
+      a.code = decompiler::to_string(rec.outcome);
+      a.symbol = name;
+      a.span = span;
+      a.message = rec.recovered == name
+                      ? "model keeps placeholder '" + name + "'"
+                      : "model suggests '" + rec.recovered +
+                            "' for placeholder '" + name + "'";
+      cf->annotations.push_back(std::move(a));
+    }
+  }
+  return cf;
+}
+
+std::string typedef_tag(const lang::ParseOptions& options) {
+  std::string tag;
+  for (const auto& name : options.typedef_names) {
+    tag += '|';
+    tag += name;
+  }
+  return tag;
+}
+
+}  // namespace
+
+FunctionAnnotations AnnotationEngine::annotate_slice(
+    std::string_view source, const Slice& s, std::uint64_t fault_hit,
+    const AnnotateOptions& options) {
+  FunctionAnnotations out;
+  out.span = {s.begin, s.end, s.line, s.col};
+  const std::string_view text = source.substr(s.begin, s.end - s.begin);
+  out.digest = hex64(fnv1a(text));
+
+  // Faults degrade this one function and bypass the cache entirely —
+  // whether the slice was warm must not change which hits fire.
+  if (options.faults != nullptr) {
+    try {
+      options.faults->raise_if("annotate.parse", fault_hit);
+      options.faults->raise_if("annotate.pass", fault_hit);
+    } catch (const util::FaultError& e) {
+      out.degraded = true;
+      out.note = e.what();
+      return out;
+    }
+  }
+
+  // Typedef names change parse results, so they qualify the cache key;
+  // the response's digest field stays a pure content digest.
+  const std::string key = out.digest + typedef_tag(options.parse_options);
+  std::shared_ptr<const CachedFunction> entry;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto* hit = cache_.find(key)) {
+      entry = *hit;
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+  }
+  if (entry == nullptr) {
+    auto computed = std::make_shared<CachedFunction>();
+    analyze_slice_into(text, options.parse_options, computed.get());
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      cache_.put(key, computed);
+    }
+    entry = std::move(computed);
+  }
+
+  out.name = entry->name;
+  out.parsed = entry->parsed;
+  out.note = entry->note;
+  out.annotations.reserve(entry->annotations.size());
+  for (const auto& a : entry->annotations) {
+    AnnotationSpan abs = a;
+    abs.span = rebase_span(a.span, s.begin, s.line, s.col);
+    out.annotations.push_back(std::move(abs));
+  }
+  return out;
+}
+
+AnnotationResult AnnotationEngine::annotate(std::string_view source,
+                                            const AnnotateOptions& options) {
+  AnnotationResult result;
+  std::vector<lang::Token> tokens;
+  try {
+    tokens = lang::lex(source);
+  } catch (const std::exception& e) {
+    FunctionAnnotations f;
+    f.digest = hex64(fnv1a(source));
+    f.span = {0, source.size(), 1, 1};
+    f.note = std::string("lex error: ") + e.what();
+    result.functions.push_back(std::move(f));
+    return result;
+  }
+  const lang::SourceMap map(source);
+  std::vector<Slice> slices = slice_functions(tokens, map);
+  if (slices.empty()) {
+    // No braced function at all; let the parser report it on one slice.
+    Slice whole;
+    whole.end = source.size();
+    slices.push_back(whole);
+  }
+  // One fault-hit index per slice, claimed up front: the mapping from
+  // (request order, slice index) to hit is fixed before any thread runs.
+  const std::uint64_t fault_base = fault_hits_.fetch_add(slices.size());
+  result.functions = util::parallel_map(
+      options.threads, slices, [&](const Slice& s, std::size_t i) {
+        return annotate_slice(source, s, fault_base + i, options);
+      });
+  for (const auto& f : result.functions)
+    if (f.degraded) result.degraded = true;
+  return result;
+}
+
+}  // namespace decompeval::analysis_service

@@ -1,0 +1,135 @@
+// Function-granular incremental annotation engine.
+//
+// The served "annotate" op (service/service.h) takes one snippet source —
+// possibly several top-level functions — and returns offset-mapped
+// annotation spans: lint diagnostics (lang/lint.h, dataflow + SCCP/
+// copy-chain/type-flow passes), decompiler-artifact notes, and
+// recovered-name suggestions from the DIRTY-like model for placeholder
+// variables. This engine is the compute layer behind it.
+//
+// Incrementality is function-granular: the source is sliced into
+// top-level function definitions by brace-matching the token stream, each
+// slice is digested (FNV-1a over its raw text), and analysis results are
+// cached per digest in an LRU. A single-function edit therefore recomputes
+// exactly one slice; every untouched function is served from cache and
+// *rebased* — cached annotation spans are slice-relative, so a function
+// that merely moved (an edit above it shifted its offsets and lines)
+// still hits.
+//
+// Determinism contract: the annotation payload is a pure function of
+// (source, parse options). Cache state and thread count change only
+// latency and the hit/miss counters — which are exposed through
+// cache_stats() and deliberately never placed in the payload — so a warm
+// incremental pass is bit-identical to a cold from-scratch pass.
+//
+// Fault sites (per function index within the request):
+//   "annotate.parse", "annotate.pass" — degrade that one function (its
+//   entry is marked degraded with an explanatory note and carries no
+//   annotations); the remaining functions still annotate normally.
+//   Degraded entries never touch the cache.
+#pragma once
+
+#include <atomic>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/parser.h"
+#include "lang/source_span.h"
+#include "util/fault.h"
+#include "util/lru.h"
+
+namespace decompeval::analysis_service {
+
+/// One offset-mapped annotation. Spans are absolute byte ranges into the
+/// submitted source (with 1-based line/col of the span start).
+struct AnnotationSpan {
+  std::string kind;    ///< "diagnostic", "artifact", or "name-suggestion"
+  std::string code;    ///< lint code, or the recovery-outcome label
+  std::string symbol;  ///< variable / type text involved (may be empty)
+  lang::SourceSpan span;
+  std::string message;
+
+  auto operator<=>(const AnnotationSpan&) const = default;
+};
+
+/// Annotation outcome for one top-level function slice.
+struct FunctionAnnotations {
+  std::string name;       ///< parsed function name; empty when unparsed
+  std::string digest;     ///< hex FNV-1a of the slice text
+  lang::SourceSpan span;  ///< slice span, absolute in the submitted source
+  bool parsed = false;
+  bool degraded = false;  ///< an annotate.* fault hit this function
+  std::string note;       ///< parse-error / fault description when not ok
+  std::vector<AnnotationSpan> annotations;
+
+  auto operator<=>(const FunctionAnnotations&) const = default;
+};
+
+struct AnnotationResult {
+  std::vector<FunctionAnnotations> functions;
+  bool degraded = false;  ///< any function degraded
+
+  auto operator<=>(const AnnotationResult&) const = default;
+};
+
+struct AnnotateOptions {
+  /// Worker threads for the per-function fan-out; 0 = auto, 1 = serial.
+  /// The payload is bit-identical at any thread count.
+  std::size_t threads = 1;
+  /// Typedef names forwarded to the parser.
+  lang::ParseOptions parse_options;
+  /// Optional fault injector (sites "annotate.parse"/"annotate.pass",
+  /// hit = function index within this request).
+  const util::FaultInjector* faults = nullptr;
+};
+
+class AnnotationEngine {
+ public:
+  /// `cache_capacity` bounds the per-digest LRU (entries; 0 disables
+  /// caching — every call recomputes every slice).
+  explicit AnnotationEngine(std::size_t cache_capacity = 256);
+
+  /// Annotates every top-level function of `source`. result.functions[i]
+  /// is the i-th function in source order. A source that fails to lex (or
+  /// contains no braced function) yields a single unparsed entry covering
+  /// the whole source — still deterministic, never an exception.
+  AnnotationResult annotate(std::string_view source,
+                            const AnnotateOptions& options = {});
+
+  struct CacheStats {
+    std::size_t size = 0;
+    std::size_t capacity = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  CacheStats cache_stats() const;
+
+  /// Implementation types, public so the .cpp's file-local helpers can
+  /// name them; not part of the API surface.
+  struct Slice;
+  struct CachedFunction;  ///< per-digest analysis, slice-relative spans
+
+ private:
+  FunctionAnnotations annotate_slice(std::string_view source, const Slice& s,
+                                     std::uint64_t fault_hit,
+                                     const AnnotateOptions& options);
+
+  mutable std::mutex mutex_;
+  /// Monotone fault-hit base: each annotate() call claims one hit index
+  /// per slice, so annotate.* schedules advance across requests (a
+  /// once(n) fault fires on exactly one slice of one request) yet stay
+  /// independent of thread scheduling and cache warmth.
+  std::atomic<std::uint64_t> fault_hits_{0};
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  util::LruCache<std::string, std::shared_ptr<const CachedFunction>> cache_;
+};
+
+}  // namespace decompeval::analysis_service

@@ -11,7 +11,7 @@ namespace {
 bool cacheable_op(const service::Json& request) {
   if (!request.is_object()) return false;
   const std::string op = request.get_string("op", "");
-  return op == "run_study" || op == "run_replication";
+  return op == "run_study" || op == "run_replication" || op == "annotate";
 }
 
 service::Json bad_request(const std::string& message) {

@@ -149,7 +149,8 @@ bool Dispatcher::line_cacheable(const service::Json& request) const {
   if (op == nullptr || op->type() != service::Json::Type::kString)
     return false;
   const auto& name = op->as_string();
-  if (name != "run_study" && name != "run_replication") return false;
+  if (name != "run_study" && name != "run_replication" && name != "annotate")
+    return false;
   return !request.get_bool("no_cache", false);
 }
 
@@ -159,7 +160,8 @@ bool Dispatcher::replicable(const service::Json& request) const {
   if (op == nullptr || op->type() != service::Json::Type::kString)
     return false;
   const auto& name = op->as_string();
-  if (name != "run_study" && name != "run_replication") return false;
+  if (name != "run_study" && name != "run_replication" && name != "annotate")
+    return false;
   return !request.get_bool("no_cache", false);
 }
 
@@ -292,7 +294,9 @@ service::Json Dispatcher::forward(const service::Json& request,
   thread_local std::vector<std::size_t> candidates;
   thread_local std::vector<char> seen;
   key.clear();
-  service::canonical_request_key(request, key);
+  // Routing (not caching) uses the baseline-aware key, so incremental
+  // annotate requests follow their document's original placement.
+  service::routing_key(request, key);
   // Ring indices equal backends_ indices: the constructor add()s ids to
   // the ring in backends_ insertion order.
   ring_.route_into(key, backends_.size(), candidates, seen);

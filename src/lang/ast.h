@@ -3,12 +3,16 @@
 // The tree is deliberately compact: expressions and statements are tagged
 // unions over child vectors rather than a class hierarchy, which keeps
 // subtree serialization (codeBLEU) and traversal (dataflow, beacons)
-// uniform.
+// uniform. Every node carries the byte span of the source text it was
+// parsed from (see source_span.h); annotation consumers highlight
+// `source.substr(span.begin, span.length())`.
 #pragma once
 
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "lang/source_span.h"
 
 namespace decompeval::lang {
 
@@ -36,7 +40,7 @@ struct Expr {
   std::string member_name;  // kMember only
   std::string type_text;    // kCast only
   std::vector<ExprPtr> children;
-  int line = 0;
+  SourceSpan span;
 };
 
 enum class StmtKind {
@@ -57,8 +61,9 @@ enum class StmtKind {
 struct Declarator {
   std::string type_text;
   std::string name;
-  ExprPtr init;  // may be null
-  int line = 0;
+  ExprPtr init;   // may be null
+  SourceSpan span;       // stars + name + array suffix + initializer
+  SourceSpan name_span;  // just the declared identifier
 };
 
 struct Stmt;
@@ -69,12 +74,14 @@ struct Stmt {
   std::vector<StmtPtr> body;
   std::vector<ExprPtr> exprs;  // entries may be null where noted above
   std::vector<Declarator> decls;
-  int line = 0;
+  SourceSpan span;
 };
 
 struct Parameter {
   std::string type_text;
   std::string name;
+  SourceSpan span;       // full declarator: type + stars + name
+  SourceSpan name_span;  // just the parameter identifier (invalid if unnamed)
 };
 
 /// A parsed function definition — the unit every snippet consists of.
@@ -83,6 +90,8 @@ struct Function {
   std::string name;
   std::vector<Parameter> params;
   StmtPtr body;
+  SourceSpan span;       // return type through closing brace
+  SourceSpan name_span;  // the function identifier
 };
 
 /// Deep copy helpers (the AST is move-only by default).

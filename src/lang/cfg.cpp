@@ -44,15 +44,15 @@ class CfgBuilder {
     return current_;
   }
 
-  void append_expr(const Expr& e, int line) {
-    cfg_.blocks[here()].items.push_back(
-        {CfgItemKind::kExpr, nullptr, &e, line ? line : e.line});
+  void append_expr(const Expr& e) {
+    cfg_.blocks[here()].items.push_back({CfgItemKind::kExpr, nullptr, &e,
+                                         e.span});
   }
 
   // Ends the current block with a two-way branch on `cond` and returns the
   // (true, false) successor pair.
-  std::pair<std::size_t, std::size_t> branch(const Expr& cond, int line) {
-    append_expr(cond, line);
+  std::pair<std::size_t, std::size_t> branch(const Expr& cond) {
+    append_expr(cond);
     const std::size_t b = here();
     cfg_.blocks[b].condition = &cond;
     const std::size_t on_true = new_block();
@@ -73,15 +73,16 @@ class CfgBuilder {
       case StmtKind::kDecl:
         for (const auto& d : s.decls)
           cfg_.blocks[here()].items.push_back(
-              {CfgItemKind::kDecl, &d, nullptr, d.line ? d.line : s.line});
+              {CfgItemKind::kDecl, &d, nullptr,
+               d.span.valid() ? d.span : s.span});
         return;
       case StmtKind::kExpr:
-        append_expr(*s.exprs[0], s.line);
+        append_expr(*s.exprs[0]);
         return;
       case StmtKind::kReturn:
         cfg_.blocks[here()].items.push_back(
             {CfgItemKind::kReturn, nullptr,
-             s.exprs.empty() ? nullptr : s.exprs[0].get(), s.line});
+             s.exprs.empty() ? nullptr : s.exprs[0].get(), s.span});
         link(here(), cfg_.exit);
         current_ = kNone;
         return;
@@ -96,7 +97,7 @@ class CfgBuilder {
         current_ = kNone;
         return;
       case StmtKind::kIf: {
-        const auto [then_block, else_block] = branch(*s.exprs[0], s.line);
+        const auto [then_block, else_block] = branch(*s.exprs[0]);
         const std::size_t join = new_block();
         current_ = then_block;
         if (s.body[0]) walk(*s.body[0]);
@@ -111,7 +112,7 @@ class CfgBuilder {
         const std::size_t header = new_block();
         link(here(), header);
         current_ = header;
-        const auto [body, after] = branch(*s.exprs[0], s.line);
+        const auto [body, after] = branch(*s.exprs[0]);
         loops_.push_back({header, after});
         current_ = body;
         if (s.body[0]) walk(*s.body[0]);
@@ -132,7 +133,7 @@ class CfgBuilder {
         if (current_ != kNone) link(current_, latch);
         loops_.pop_back();
         current_ = latch;
-        append_expr(*s.exprs[0], s.line);
+        append_expr(*s.exprs[0]);
         cfg_.blocks[latch].condition = s.exprs[0].get();
         link(latch, body);
         link(latch, after);
@@ -143,14 +144,15 @@ class CfgBuilder {
         // exprs = {init?, cond?, step?}; decls may hold the init declaration.
         for (const auto& d : s.decls)
           cfg_.blocks[here()].items.push_back(
-              {CfgItemKind::kDecl, &d, nullptr, d.line ? d.line : s.line});
-        if (!s.exprs.empty() && s.exprs[0]) append_expr(*s.exprs[0], s.line);
+              {CfgItemKind::kDecl, &d, nullptr,
+               d.span.valid() ? d.span : s.span});
+        if (!s.exprs.empty() && s.exprs[0]) append_expr(*s.exprs[0]);
         const std::size_t header = new_block();
         link(here(), header);
         current_ = header;
         std::size_t body, after;
         if (s.exprs.size() > 1 && s.exprs[1]) {
-          std::tie(body, after) = branch(*s.exprs[1], s.line);
+          std::tie(body, after) = branch(*s.exprs[1]);
         } else {
           body = new_block();
           after = new_block();
@@ -163,7 +165,7 @@ class CfgBuilder {
         if (current_ != kNone) link(current_, latch);
         loops_.pop_back();
         current_ = latch;
-        if (s.exprs.size() > 2 && s.exprs[2]) append_expr(*s.exprs[2], s.line);
+        if (s.exprs.size() > 2 && s.exprs[2]) append_expr(*s.exprs[2]);
         link(latch, header);
         current_ = after;
         return;

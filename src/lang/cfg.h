@@ -34,7 +34,7 @@ struct CfgItem {
   CfgItemKind kind{};
   const Declarator* decl = nullptr;
   const Expr* expr = nullptr;
-  int line = 0;
+  SourceSpan span;  // declarator span, expression span, or statement span
 };
 
 struct BasicBlock {

@@ -17,8 +17,9 @@ struct VarEvent {
   bool is_def = false;
   bool is_uninit = false;      // synthetic marker of an uninitialized decl
   bool is_storage = false;     // array declaration (def that is not a store)
+  bool is_param = false;       // parameter binding at function entry
   int def_id = -1;
-  int line = 0;
+  SourceSpan span;
 };
 
 class DataflowEngine {
@@ -41,6 +42,7 @@ class DataflowEngine {
         var_ids_[p.name] = names_.size();
         names_.push_back(p.name);
         is_param_.push_back(true);
+        decl_spans_.push_back(p.span);
       }
     for (const auto& block : cfg.blocks)
       for (const auto& item : block.items)
@@ -48,6 +50,7 @@ class DataflowEngine {
           var_ids_[item.decl->name] = names_.size();
           names_.push_back(item.decl->name);
           is_param_.push_back(false);
+          decl_spans_.push_back(item.decl->span);
         }
   }
 
@@ -58,19 +61,19 @@ class DataflowEngine {
 
   // ---- event extraction ----------------------------------------------------
 
-  void emit_use(const std::string& name, int line) {
+  void emit_use(const std::string& name, SourceSpan span) {
     const int v = lookup(name);
     if (v < 0) return;  // globals, callees, NULL: not tracked
     sink_->push_back(
-        {static_cast<std::size_t>(v), false, false, false, -1, line});
+        {static_cast<std::size_t>(v), false, false, false, false, -1, span});
   }
 
-  void emit_def(const std::string& name, int line, bool uninit = false,
-                bool storage = false) {
+  void emit_def(const std::string& name, SourceSpan span, bool uninit = false,
+                bool storage = false, bool param = false) {
     const int v = lookup(name);
     if (v < 0) return;
     sink_->push_back(
-        {static_cast<std::size_t>(v), true, uninit, storage, -1, line});
+        {static_cast<std::size_t>(v), true, uninit, storage, param, -1, span});
   }
 
   // Mirrors the straight-line walker in lang/analysis.cpp: assignment and
@@ -79,8 +82,8 @@ class DataflowEngine {
   void walk_expr(const Expr& e, bool is_def_target) {
     switch (e.kind) {
       case ExprKind::kIdentifier:
-        if (is_def_target) emit_def(e.text, e.line);
-        else emit_use(e.text, e.line);
+        if (is_def_target) emit_def(e.text, e.span);
+        else emit_use(e.text, e.span);
         return;
       case ExprKind::kBinary: {
         const bool is_assign = !e.text.empty() && e.text.back() == '=' &&
@@ -133,17 +136,18 @@ class DataflowEngine {
       sink_ = &events_[b];
       if (b == cfg.entry)
         for (const auto& p : fn.params)
-          if (!p.name.empty()) emit_def(p.name, 0);
+          if (!p.name.empty())
+            emit_def(p.name, p.span, false, false, /*param=*/true);
       for (const auto& item : cfg.blocks[b].items) {
         switch (item.kind) {
           case CfgItemKind::kDecl:
             if (item.decl->init) {
               walk_expr(*item.decl->init, false);
-              emit_def(item.decl->name, item.line);
+              emit_def(item.decl->name, item.span);
             } else if (item.decl->type_text.find('[') != std::string::npos) {
-              emit_def(item.decl->name, item.line, false, /*storage=*/true);
+              emit_def(item.decl->name, item.span, false, /*storage=*/true);
             } else {
-              emit_def(item.decl->name, item.line, /*uninit=*/true);
+              emit_def(item.decl->name, item.span, /*uninit=*/true);
             }
             break;
           case CfgItemKind::kExpr:
@@ -269,10 +273,10 @@ class DataflowEngine {
     for (std::size_t v = 0; v < names_.size(); ++v)
       if (use_counts[v] == 0)
         (is_param_[v] ? out.unused_params : out.unused_locals)
-            .push_back(names_[v]);
+            .push_back({names_[v], decl_spans_[v]});
 
-    std::set<std::pair<int, std::string>> ubi_seen;
-    std::set<std::pair<int, std::string>> dead_seen;
+    std::set<std::pair<SourceSpan, std::string>> ubi_seen;
+    std::set<std::pair<SourceSpan, std::string>> dead_seen;
     for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
       if (!cfg.reachable[b]) continue;
 
@@ -285,11 +289,12 @@ class DataflowEngine {
         if (ev.is_def) {
           may_uninit[ev.var] = ev.is_uninit;
         } else if (may_uninit[ev.var]) {
-          ubi_seen.insert({ev.line, names_[ev.var]});
+          ubi_seen.insert({ev.span, names_[ev.var]});
         }
       }
 
-      // Backward scan: a store the variable is not live after.
+      // Backward scan: a store the variable is not live after. Parameter
+      // bindings are never stores the programmer wrote.
       std::vector<bool> live = live_out_[b];
       for (std::size_t i = events_[b].size(); i-- > 0;) {
         const VarEvent& ev = events_[b][i];
@@ -298,24 +303,24 @@ class DataflowEngine {
           continue;
         }
         if (ev.is_uninit) continue;
-        if (!live[ev.var] && !ev.is_storage && ev.line > 0 &&
+        if (!live[ev.var] && !ev.is_storage && !ev.is_param &&
             use_counts[ev.var] > 0)
-          dead_seen.insert({ev.line, names_[ev.var]});
+          dead_seen.insert({ev.span, names_[ev.var]});
         live[ev.var] = false;
       }
     }
-    for (const auto& [line, name] : ubi_seen)
-      out.uses_before_init.push_back({name, line});
-    for (const auto& [line, name] : dead_seen)
-      out.dead_stores.push_back({name, line});
+    for (const auto& [span, name] : ubi_seen)
+      out.uses_before_init.push_back({name, span});
+    for (const auto& [span, name] : dead_seen)
+      out.dead_stores.push_back({name, span});
 
     for (const std::size_t b : unreachable_code_blocks(cfg))
-      out.unreachable_lines.push_back(cfg.blocks[b].items.front().line);
-    std::sort(out.unreachable_lines.begin(), out.unreachable_lines.end());
+      out.unreachable_spans.push_back(cfg.blocks[b].items.front().span);
+    std::sort(out.unreachable_spans.begin(), out.unreachable_spans.end());
 
     for (const auto& block : events_)
       for (const auto& ev : block) {
-        if (ev.is_def && !ev.is_uninit && !ev.is_storage && ev.line > 0)
+        if (ev.is_def && !ev.is_uninit && !ev.is_storage && !ev.is_param)
           ++out.n_defs;
         if (!ev.is_def) ++out.n_uses;
       }
@@ -325,6 +330,7 @@ class DataflowEngine {
   std::map<std::string, std::size_t> var_ids_;
   std::vector<std::string> names_;
   std::vector<bool> is_param_;
+  std::vector<SourceSpan> decl_spans_;         // declarator span per variable
   std::vector<std::vector<VarEvent>> events_;  // per block, in order
   std::vector<VarEvent>* sink_ = nullptr;      // block receiving emitted events
   std::vector<VarEvent> defs_;                 // def table, by def_id

@@ -14,6 +14,10 @@
 // carries no real definition). Declared arrays are storage, not scalars:
 // they are treated as defined at the declaration.
 //
+// Every fact carries the source span of the construct it is about:
+// parameter facts span the parameter declarator (there is no "line 0"
+// sentinel — parameter bindings are distinguished by `is_param`).
+//
 // All results are pure functions of the AST: block order, event order and
 // diagnostic order are deterministic.
 #pragma once
@@ -29,7 +33,7 @@ namespace decompeval::lang {
 /// One scalar definition site.
 struct DefSite {
   std::string name;
-  int line = 0;           ///< 0 for parameter bindings
+  SourceSpan span;        ///< parameter declarator span for entry bindings
   bool is_param = false;  ///< binding of a parameter at function entry
   bool is_uninit = false; ///< synthetic marker of an uninitialized decl
 };
@@ -39,14 +43,21 @@ struct DefSite {
 /// assignment.
 struct UseBeforeInit {
   std::string name;
-  int line = 0;
+  SourceSpan span;
 };
 
 /// A definition whose value no path observes: the variable is not live
 /// immediately after the store (every path kills it before any use).
 struct DeadStore {
   std::string name;
-  int line = 0;
+  SourceSpan span;
+};
+
+/// A parameter or local with no use anywhere in the body; the span covers
+/// its declarator.
+struct UnusedVar {
+  std::string name;
+  SourceSpan span;
 };
 
 struct DataflowDiagnostics {
@@ -54,10 +65,10 @@ struct DataflowDiagnostics {
   std::vector<DeadStore> dead_stores;
   /// Parameters / declared locals with no use anywhere in the body. A fully
   /// unused local is reported here and suppressed from dead_stores.
-  std::vector<std::string> unused_params;
-  std::vector<std::string> unused_locals;
-  /// Source line of the first item of each unreachable nonempty block.
-  std::vector<int> unreachable_lines;
+  std::vector<UnusedVar> unused_params;
+  std::vector<UnusedVar> unused_locals;
+  /// Span of the first item of each unreachable nonempty block.
+  std::vector<SourceSpan> unreachable_spans;
 
   std::size_t n_defs = 0;  ///< real definitions (params and markers excluded)
   std::size_t n_uses = 0;  ///< uses of tracked variables
@@ -67,7 +78,7 @@ struct DataflowDiagnostics {
   bool clean() const {
     return uses_before_init.empty() && dead_stores.empty() &&
            unused_params.empty() && unused_locals.empty() &&
-           unreachable_lines.empty();
+           unreachable_spans.empty();
   }
 };
 

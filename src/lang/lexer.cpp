@@ -18,14 +18,32 @@ bool ident_char(char c) {
 std::vector<Token> lex(std::string_view source) {
   std::vector<Token> out;
   int line = 1;
+  std::size_t line_start = 0;  // offset of the first byte of `line`
   std::size_t i = 0;
   const std::size_t n = source.size();
+
+  // Span over [start, i) anchored at the line/column tracked when the
+  // token began. Columns are 1-based byte counts within the line.
+  const auto span_from = [&](std::size_t start, int start_line,
+                             std::size_t start_line_start) {
+    SourceSpan s;
+    s.begin = start;
+    s.end = i;
+    s.line = start_line;
+    s.col = static_cast<int>(start - start_line_start) + 1;
+    return s;
+  };
+  const auto emit = [&](TokenKind kind, std::size_t start) {
+    out.push_back({kind, std::string(source.substr(start, i - start)),
+                   span_from(start, line, line_start)});
+  };
 
   while (i < n) {
     const char c = source[i];
     if (c == '\n') {
       ++line;
       ++i;
+      line_start = i;
       continue;
     }
     if (std::isspace(static_cast<unsigned char>(c))) {
@@ -41,7 +59,10 @@ std::vector<Token> lex(std::string_view source) {
       i += 2;
       bool closed = false;
       while (i + 1 < n) {
-        if (source[i] == '\n') ++line;
+        if (source[i] == '\n') {
+          ++line;
+          line_start = i + 1;
+        }
         if (source[i] == '*' && source[i + 1] == '/') {
           i += 2;
           closed = true;
@@ -54,15 +75,14 @@ std::vector<Token> lex(std::string_view source) {
     }
     // Identifiers / keywords (treated uniformly; parser decides).
     if (ident_start(c)) {
-      std::size_t start = i;
+      const std::size_t start = i;
       while (i < n && ident_char(source[i])) ++i;
-      out.push_back({TokenKind::kIdentifier,
-                     std::string(source.substr(start, i - start)), line});
+      emit(TokenKind::kIdentifier, start);
       continue;
     }
     // Numbers, incl. hex and suffixes like 0xffLL, 8LL, 1u.
     if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t start = i;
+      const std::size_t start = i;
       if (c == '0' && i + 1 < n && (source[i + 1] == 'x' || source[i + 1] == 'X')) {
         i += 2;
         while (i < n && std::isxdigit(static_cast<unsigned char>(source[i]))) ++i;
@@ -74,33 +94,31 @@ std::vector<Token> lex(std::string_view source) {
       while (i < n && (source[i] == 'L' || source[i] == 'l' || source[i] == 'U' ||
                        source[i] == 'u' || source[i] == 'f' || source[i] == 'F'))
         ++i;
-      out.push_back({TokenKind::kNumber,
-                     std::string(source.substr(start, i - start)), line});
+      emit(TokenKind::kNumber, start);
       continue;
     }
-    // String literals.
+    // String literals. The grammar keeps them single-line, so the line
+    // counter never advances inside one.
     if (c == '"') {
-      std::size_t start = i++;
+      const std::size_t start = i++;
       while (i < n && source[i] != '"') {
         if (source[i] == '\\' && i + 1 < n) ++i;
         ++i;
       }
       DE_EXPECTS_MSG(i < n, "unterminated string literal");
       ++i;
-      out.push_back({TokenKind::kString,
-                     std::string(source.substr(start, i - start)), line});
+      emit(TokenKind::kString, start);
       continue;
     }
     if (c == '\'') {
-      std::size_t start = i++;
+      const std::size_t start = i++;
       while (i < n && source[i] != '\'') {
         if (source[i] == '\\' && i + 1 < n) ++i;
         ++i;
       }
       DE_EXPECTS_MSG(i < n, "unterminated char literal");
       ++i;
-      out.push_back({TokenKind::kCharLiteral,
-                     std::string(source.substr(start, i - start)), line});
+      emit(TokenKind::kCharLiteral, start);
       continue;
     }
     // Punctuation / operators, longest match first.
@@ -113,8 +131,9 @@ std::vector<Token> lex(std::string_view source) {
       const std::string_view triple = source.substr(i, 3);
       for (const std::string_view op : three_char) {
         if (triple == op) {
-          out.push_back({TokenKind::kPunct, std::string(op), line});
+          const std::size_t start = i;
           i += 3;
+          emit(TokenKind::kPunct, start);
           matched = true;
           break;
         }
@@ -124,19 +143,26 @@ std::vector<Token> lex(std::string_view source) {
       const std::string_view pair = source.substr(i, 2);
       for (const std::string_view op : two_char) {
         if (pair == op) {
-          out.push_back({TokenKind::kPunct, std::string(op), line});
+          const std::size_t start = i;
           i += 2;
+          emit(TokenKind::kPunct, start);
           matched = true;
           break;
         }
       }
     }
     if (!matched) {
-      out.push_back({TokenKind::kPunct, std::string(1, c), line});
+      const std::size_t start = i;
       ++i;
+      emit(TokenKind::kPunct, start);
     }
   }
-  out.push_back({TokenKind::kEndOfFile, "", line});
+  SourceSpan eof;
+  eof.begin = n;
+  eof.end = n;
+  eof.line = line;
+  eof.col = static_cast<int>(n - line_start) + 1;
+  out.push_back({TokenKind::kEndOfFile, "", eof});
   return out;
 }
 

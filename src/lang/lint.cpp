@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "lang/dataflow.h"
+#include "lang/passes.h"
 
 namespace decompeval::lang {
 
@@ -19,19 +20,19 @@ bool digits_from(const std::string& s, std::size_t pos) {
 
 // Appends artifact notes for a declared (name, type) pair.
 void check_declaration(const std::string& name, const std::string& type_text,
-                       int line, std::vector<LintDiagnostic>& out) {
+                       SourceSpan span, std::vector<LintDiagnostic>& out) {
   if (is_placeholder_name(name))
-    out.push_back({"placeholder-name", LintSeverity::kNote, name, line,
+    out.push_back({"placeholder-name", LintSeverity::kNote, name, span,
                    "'" + name + "' is a decompiler placeholder name"});
   if (is_flat_type(type_text))
-    out.push_back({"flat-type-decl", LintSeverity::kNote, type_text, line,
+    out.push_back({"flat-type-decl", LintSeverity::kNote, type_text, span,
                    "'" + name + "' is declared with flat type '" + type_text +
                        "'"});
 }
 
 void walk_expr_artifacts(const Expr& e, std::vector<LintDiagnostic>& out) {
   if (e.kind == ExprKind::kCast && is_flat_type(e.type_text))
-    out.push_back({"flat-type-cast", LintSeverity::kNote, e.type_text, e.line,
+    out.push_back({"flat-type-cast", LintSeverity::kNote, e.type_text, e.span,
                    "cast through flat type '" + e.type_text + "'"});
   for (const auto& c : e.children)
     if (c) walk_expr_artifacts(*c, out);
@@ -39,7 +40,8 @@ void walk_expr_artifacts(const Expr& e, std::vector<LintDiagnostic>& out) {
 
 void walk_stmt_artifacts(const Stmt& s, std::vector<LintDiagnostic>& out) {
   for (const auto& d : s.decls) {
-    check_declaration(d.name, d.type_text, d.line ? d.line : s.line, out);
+    check_declaration(d.name, d.type_text,
+                      d.span.valid() ? d.span : s.span, out);
     if (d.init) walk_expr_artifacts(*d.init, out);
   }
   for (const auto& e : s.exprs)
@@ -65,45 +67,58 @@ std::vector<LintDiagnostic> lint_function(const Function& fn,
                                           const LintOptions& options) {
   std::vector<LintDiagnostic> out;
 
+  const bool needs_cfg = options.dataflow_checks || options.pass_checks;
+  const Cfg cfg = needs_cfg ? build_cfg(fn) : Cfg{};
+
   if (options.dataflow_checks) {
-    const DataflowDiagnostics flow = analyze_dataflow(fn);
+    const DataflowDiagnostics flow = analyze_dataflow(fn, cfg);
     for (const auto& u : flow.uses_before_init)
-      out.push_back({"use-before-init", LintSeverity::kError, u.name, u.line,
+      out.push_back({"use-before-init", LintSeverity::kError, u.name, u.span,
                      "'" + u.name +
                          "' may be read before it is assigned on some path"});
     for (const auto& d : flow.dead_stores)
-      out.push_back({"dead-store", LintSeverity::kWarning, d.name, d.line,
+      out.push_back({"dead-store", LintSeverity::kWarning, d.name, d.span,
                      "value assigned to '" + d.name + "' is never read"});
-    for (const auto& name : flow.unused_params)
-      out.push_back({"unused-param", LintSeverity::kWarning, name, 0,
-                     "parameter '" + name + "' is never used"});
-    for (const auto& name : flow.unused_locals)
-      out.push_back({"unused-local", LintSeverity::kWarning, name, 0,
-                     "local '" + name + "' is never used"});
-    for (const int line : flow.unreachable_lines)
-      out.push_back({"unreachable-code", LintSeverity::kWarning, "", line,
+    for (const auto& p : flow.unused_params)
+      out.push_back({"unused-param", LintSeverity::kWarning, p.name, p.span,
+                     "parameter '" + p.name + "' is never used"});
+    for (const auto& l : flow.unused_locals)
+      out.push_back({"unused-local", LintSeverity::kWarning, l.name, l.span,
+                     "local '" + l.name + "' is never used"});
+    for (const SourceSpan& span : flow.unreachable_spans)
+      out.push_back({"unreachable-code", LintSeverity::kWarning, "", span,
                      "statement is unreachable"});
   }
 
+  if (options.pass_checks) {
+    for (auto& d : constant_branch_diagnostics(fn, cfg))
+      out.push_back(std::move(d));
+    for (auto& d : copy_chain_diagnostics(fn)) out.push_back(std::move(d));
+    for (auto& d : type_flow_diagnostics(fn)) out.push_back(std::move(d));
+  }
+
   if (options.artifact_checks) {
-    for (const auto& p : fn.params) check_declaration(p.name, p.type_text, 0, out);
+    for (const auto& p : fn.params)
+      check_declaration(p.name, p.type_text, p.span, out);
     if (is_flat_type(fn.return_type))
-      out.push_back({"flat-type-decl", LintSeverity::kNote, fn.return_type, 0,
+      out.push_back({"flat-type-decl", LintSeverity::kNote, fn.return_type,
+                     fn.name_span,
                      "return type '" + fn.return_type + "' is flat"});
     if (fn.body) walk_stmt_artifacts(*fn.body, out);
   }
 
   std::sort(out.begin(), out.end(),
             [](const LintDiagnostic& a, const LintDiagnostic& b) {
-              return std::tie(a.line, a.code, a.symbol) <
-                     std::tie(b.line, b.code, b.symbol);
+              return std::tie(a.span, a.code, a.symbol) <
+                     std::tie(b.span, b.code, b.symbol);
             });
   return out;
 }
 
 std::string to_string(const LintDiagnostic& d) {
   std::ostringstream os;
-  if (d.line > 0) os << "line " << d.line << ": ";
+  if (d.span.valid())
+    os << "line " << d.span.line << ":" << d.span.col << ": ";
   os << d.code << ": " << d.message;
   return os.str();
 }

@@ -1,7 +1,13 @@
 // Annotation lint over the mini-C AST: dataflow diagnostics (lang/
-// dataflow.h) plus detectors for the textual artifacts decompilers leave
-// behind — Hex-Rays placeholder names (a1, v5), machine-width "flat" types
-// (_QWORD, __int64) in declarations and casts.
+// dataflow.h), pass-derived diagnostics (lang/passes.h — constant
+// branches, degenerate loops, placeholder copy chains, collapsible flat
+// types), plus detectors for the textual artifacts decompilers leave
+// behind — Hex-Rays placeholder names (a1, v5), machine-width "flat"
+// types (_QWORD, __int64) in declarations and casts.
+//
+// Every diagnostic carries the byte span of the construct it is about;
+// parameter diagnostics span the parameter declarator (there is no
+// "line 0 means no line" sentinel).
 //
 // The corpus verifier (snippets/corpus_verifier.h) requires original study
 // sources to lint clean, while the Hex-Rays and DIRTY variants are
@@ -18,18 +24,22 @@ namespace decompeval::lang {
 
 enum class LintSeverity {
   kError,    // use-before-init: reads an indeterminate value
-  kWarning,  // dead store, unused parameter/local, unreachable code
+  kWarning,  // dead store, unused parameter/local, unreachable code,
+             // constant branch, degenerate loop
   kNote,     // decompiler artifact markers (expected on decompiled variants)
 };
 
 struct LintDiagnostic {
   std::string code;  ///< "use-before-init", "dead-store", "unused-param",
                      ///< "unused-local", "unreachable-code",
-                     ///< "placeholder-name", "flat-type-decl",
-                     ///< "flat-type-cast"
+                     ///< "branch-always-true", "branch-always-false",
+                     ///< "degenerate-loop", "placeholder-name",
+                     ///< "placeholder-copy-chain", "flat-type-decl",
+                     ///< "flat-type-cast", "collapsible-flat-cast",
+                     ///< "collapsible-flat-decl"
   LintSeverity severity{};
   std::string symbol;  ///< variable / type text involved (may be empty)
-  int line = 0;        ///< 0 when no source line applies (parameters)
+  SourceSpan span;     ///< byte span of the offending construct
   std::string message;
 
   auto operator<=>(const LintDiagnostic&) const = default;
@@ -38,9 +48,10 @@ struct LintDiagnostic {
 struct LintOptions {
   bool dataflow_checks = true;  ///< CFG/dataflow-derived diagnostics
   bool artifact_checks = true;  ///< placeholder-name / flat-type notes
+  bool pass_checks = true;      ///< SCCP / copy-chain / type-flow diagnostics
 };
 
-/// Lints one function. Diagnostics are sorted by (line, code, symbol) and
+/// Lints one function. Diagnostics are sorted by (span, code, symbol) and
 /// are a pure function of the AST.
 std::vector<LintDiagnostic> lint_function(const Function& fn,
                                           const LintOptions& options = {});
@@ -53,7 +64,7 @@ bool is_placeholder_name(const std::string& name);
 /// (_QWORD/_DWORD/_WORD/_BYTE or an __int<N> spelling).
 bool is_flat_type(const std::string& type_text);
 
-/// "line 12: dead-store: value assigned to 'carry' is never read".
+/// "line 12:3: dead-store: value assigned to 'carry' is never read".
 std::string to_string(const LintDiagnostic& d);
 
 /// Number of kNote artifact diagnostics (placeholder/flat-type) in a run.

@@ -57,8 +57,11 @@ class Parser {
 
   Function parse() {
     Function fn;
+    const SourceSpan start = peek().span;
     fn.return_type = parse_type_tokens();
-    fn.name = expect_identifier("function name");
+    const Token& name_tok = expect_identifier("function name");
+    fn.name = name_tok.text;
+    fn.name_span = name_tok.span;
     expect_punct("(");
     if (!peek().is_punct(")")) {
       // `void` alone means an empty parameter list.
@@ -77,6 +80,7 @@ class Parser {
     }
     expect_punct(")");
     fn.body = parse_block();
+    fn.span = cover(start, prev_span());
     if (!peek().is(TokenKind::kEndOfFile))
       fail("trailing tokens after function body");
     return fn;
@@ -85,8 +89,8 @@ class Parser {
  private:
   [[noreturn]] void fail(const std::string& message) const {
     std::ostringstream os;
-    os << "parse error at line " << peek().line << " near '" << peek().text
-       << "': " << message;
+    os << "parse error at line " << peek().span.line << ":" << peek().span.col
+       << " near '" << peek().text << "': " << message;
     throw ParseError(os.str());
   }
 
@@ -99,16 +103,21 @@ class Parser {
     if (pos_ + 1 < tokens_.size()) ++pos_;
     return t;
   }
+  /// Span of the most recently consumed token — the end anchor for any
+  /// construct that just finished parsing.
+  SourceSpan prev_span() const {
+    return pos_ > 0 ? tokens_[pos_ - 1].span : tokens_[0].span;
+  }
   void expect_punct(const char* spelling) {
     if (!peek().is_punct(spelling)) {
       fail(std::string("expected '") + spelling + "'");
     }
     advance();
   }
-  std::string expect_identifier(const char* what) {
+  const Token& expect_identifier(const char* what) {
     if (!peek().is(TokenKind::kIdentifier))
       fail(std::string("expected ") + what);
-    return advance().text;
+    return advance();
   }
 
   bool at_type_start() const {
@@ -167,6 +176,7 @@ class Parser {
 
   Parameter parse_parameter() {
     Parameter p;
+    const SourceSpan start = peek().span;
     p.type_text = parse_type_tokens();
     // Function-pointer declarator: type ( [conv] * name ) ( params ).
     if (peek().is_punct("(")) {
@@ -180,7 +190,11 @@ class Parser {
         advance();
         stars += "*";
       }
-      if (peek().is(TokenKind::kIdentifier)) p.name = advance().text;
+      if (peek().is(TokenKind::kIdentifier)) {
+        const Token& name_tok = advance();
+        p.name = name_tok.text;
+        p.name_span = name_tok.span;
+      }
       expect_punct(")");
       expect_punct("(");
       std::vector<std::string> arg_types;
@@ -199,9 +213,14 @@ class Parser {
       }
       expect_punct(")");
       p.type_text += " (" + stars + ")(" + util::join(arg_types, ", ") + ")";
+      p.span = cover(start, prev_span());
       return p;
     }
-    if (peek().is(TokenKind::kIdentifier)) p.name = advance().text;
+    if (peek().is(TokenKind::kIdentifier)) {
+      const Token& name_tok = advance();
+      p.name = name_tok.text;
+      p.name_span = name_tok.span;
+    }
     // Array suffix folds into the type text.
     while (peek().is_punct("[")) {
       advance();
@@ -210,19 +229,21 @@ class Parser {
       expect_punct("]");
       p.type_text += "[" + dim + "]";
     }
+    p.span = cover(start, prev_span());
     return p;
   }
 
   StmtPtr parse_block() {
     auto block = std::make_unique<Stmt>();
     block->kind = StmtKind::kBlock;
-    block->line = peek().line;
+    const SourceSpan start = peek().span;
     expect_punct("{");
     while (!peek().is_punct("}")) {
       if (peek().is(TokenKind::kEndOfFile)) fail("unterminated block");
       block->body.push_back(parse_statement());
     }
     expect_punct("}");
+    block->span = cover(start, prev_span());
     return block;
   }
 
@@ -232,7 +253,7 @@ class Parser {
     if (t.is_punct(";")) {
       auto s = std::make_unique<Stmt>();
       s->kind = StmtKind::kEmpty;
-      s->line = advance().line;
+      s->span = advance().span;
       return s;
     }
     if (t.is(TokenKind::kIdentifier)) {
@@ -244,34 +265,38 @@ class Parser {
       if (t.text == "break" || t.text == "continue") {
         auto s = std::make_unique<Stmt>();
         s->kind = t.text == "break" ? StmtKind::kBreak : StmtKind::kContinue;
-        s->line = advance().line;
+        const SourceSpan start = advance().span;
         expect_punct(";");
+        s->span = cover(start, prev_span());
         return s;
       }
       if (at_type_start()) return parse_declaration();
     }
     auto s = std::make_unique<Stmt>();
     s->kind = StmtKind::kExpr;
-    s->line = t.line;
+    const SourceSpan start = t.span;
     s->exprs.push_back(parse_expression());
     expect_punct(";");
+    s->span = cover(start, prev_span());
     return s;
   }
 
   StmtPtr parse_declaration() {
     auto s = std::make_unique<Stmt>();
     s->kind = StmtKind::kDecl;
-    s->line = peek().line;
+    const SourceSpan start = peek().span;
     const std::string base_type = parse_type_tokens();
     for (;;) {
       Declarator d;
-      d.line = peek().line;
+      const SourceSpan decl_start = peek().span;
       d.type_text = base_type;
       while (peek().is_punct("*")) {
         advance();
         d.type_text += " *";
       }
-      d.name = expect_identifier("declarator name");
+      const Token& name_tok = expect_identifier("declarator name");
+      d.name = name_tok.text;
+      d.name_span = name_tok.span;
       while (peek().is_punct("[")) {
         advance();
         std::string dim;
@@ -283,6 +308,7 @@ class Parser {
         advance();
         d.init = parse_assignment();
       }
+      d.span = cover(decl_start, prev_span());
       s->decls.push_back(std::move(d));
       if (peek().is_punct(",")) {
         advance();
@@ -291,13 +317,14 @@ class Parser {
       break;
     }
     expect_punct(";");
+    s->span = cover(start, prev_span());
     return s;
   }
 
   StmtPtr parse_if() {
     auto s = std::make_unique<Stmt>();
     s->kind = StmtKind::kIf;
-    s->line = advance().line;  // 'if'
+    const SourceSpan start = advance().span;  // 'if'
     expect_punct("(");
     s->exprs.push_back(parse_expression());
     expect_punct(")");
@@ -306,24 +333,26 @@ class Parser {
       advance();
       s->body.push_back(parse_statement());
     }
+    s->span = cover(start, prev_span());
     return s;
   }
 
   StmtPtr parse_while() {
     auto s = std::make_unique<Stmt>();
     s->kind = StmtKind::kWhile;
-    s->line = advance().line;  // 'while'
+    const SourceSpan start = advance().span;  // 'while'
     expect_punct("(");
     s->exprs.push_back(parse_expression());
     expect_punct(")");
     s->body.push_back(parse_statement());
+    s->span = cover(start, prev_span());
     return s;
   }
 
   StmtPtr parse_do_while() {
     auto s = std::make_unique<Stmt>();
     s->kind = StmtKind::kDoWhile;
-    s->line = advance().line;  // 'do'
+    const SourceSpan start = advance().span;  // 'do'
     s->body.push_back(parse_statement());
     if (!peek().is_identifier("while")) fail("expected 'while' after do-body");
     advance();
@@ -331,13 +360,14 @@ class Parser {
     s->exprs.push_back(parse_expression());
     expect_punct(")");
     expect_punct(";");
+    s->span = cover(start, prev_span());
     return s;
   }
 
   StmtPtr parse_for() {
     auto s = std::make_unique<Stmt>();
     s->kind = StmtKind::kFor;
-    s->line = advance().line;  // 'for'
+    const SourceSpan start = advance().span;  // 'for'
     expect_punct("(");
     // Init clause: declaration, expression, or empty.
     if (peek().is_punct(";")) {
@@ -367,29 +397,34 @@ class Parser {
     }
     expect_punct(")");
     s->body.push_back(parse_statement());
+    s->span = cover(start, prev_span());
     return s;
   }
 
   StmtPtr parse_return() {
     auto s = std::make_unique<Stmt>();
     s->kind = StmtKind::kReturn;
-    s->line = advance().line;  // 'return'
+    const SourceSpan start = advance().span;  // 'return'
     if (peek().is_punct(";")) {
       s->exprs.push_back(nullptr);
     } else {
       s->exprs.push_back(parse_expression());
     }
     expect_punct(";");
+    s->span = cover(start, prev_span());
     return s;
   }
 
   // ---- Expressions ------------------------------------------------------
+  //
+  // Expression spans build bottom-up: leaves take their token's span, and
+  // every interior node covers its operator token plus all children.
 
-  ExprPtr make_expr(ExprKind kind, std::string text, int line) {
+  ExprPtr make_expr(ExprKind kind, std::string text, SourceSpan span) {
     auto e = std::make_unique<Expr>();
     e->kind = kind;
     e->text = std::move(text);
-    e->line = line;
+    e->span = span;
     return e;
   }
 
@@ -402,9 +437,10 @@ class Parser {
                                        "&=", "|=", "^=", "<<=", ">>="};
     for (const char* op : kAssignOps) {
       if (t.is_punct(op)) {
-        const int line = advance().line;
+        const SourceSpan op_span = advance().span;
         ExprPtr rhs = parse_assignment();  // right associative
-        ExprPtr e = make_expr(ExprKind::kBinary, op, line);
+        ExprPtr e = make_expr(ExprKind::kBinary, op,
+                              cover(cover(lhs->span, op_span), rhs->span));
         e->children.push_back(std::move(lhs));
         e->children.push_back(std::move(rhs));
         return e;
@@ -416,11 +452,12 @@ class Parser {
   ExprPtr parse_ternary() {
     ExprPtr cond = parse_binary(0);
     if (!peek().is_punct("?")) return cond;
-    const int line = advance().line;
+    advance();  // '?'
     ExprPtr then_e = parse_expression();
     expect_punct(":");
     ExprPtr else_e = parse_assignment();
-    ExprPtr e = make_expr(ExprKind::kTernary, "?:", line);
+    ExprPtr e = make_expr(ExprKind::kTernary, "?:",
+                          cover(cond->span, else_e->span));
     e->children.push_back(std::move(cond));
     e->children.push_back(std::move(then_e));
     e->children.push_back(std::move(else_e));
@@ -450,9 +487,10 @@ class Parser {
       const int prec = binary_precedence(peek());
       if (prec < min_precedence) return lhs;
       const std::string op = peek().text;
-      const int line = advance().line;
+      advance();
       ExprPtr rhs = parse_binary(prec + 1);
-      ExprPtr e = make_expr(ExprKind::kBinary, op, line);
+      ExprPtr e = make_expr(ExprKind::kBinary, op,
+                            cover(lhs->span, rhs->span));
       e->children.push_back(std::move(lhs));
       e->children.push_back(std::move(rhs));
       lhs = std::move(e);
@@ -513,33 +551,38 @@ class Parser {
     static const char* kPrefixOps[] = {"!", "~", "-", "+", "*", "&", "++", "--"};
     for (const char* op : kPrefixOps) {
       if (t.is_punct(op)) {
-        const int line = advance().line;
-        ExprPtr e = make_expr(ExprKind::kUnary, op, line);
-        e->children.push_back(parse_unary());
+        const SourceSpan op_span = advance().span;
+        ExprPtr operand = parse_unary();
+        ExprPtr e =
+            make_expr(ExprKind::kUnary, op, cover(op_span, operand->span));
+        e->children.push_back(std::move(operand));
         return e;
       }
     }
     if (t.is_identifier("sizeof")) {
-      const int line = advance().line;
-      ExprPtr e = make_expr(ExprKind::kUnary, "sizeof", line);
+      const SourceSpan op_span = advance().span;
+      ExprPtr e = make_expr(ExprKind::kUnary, "sizeof", op_span);
       if (peek().is_punct("(") && looks_like_cast()) {
-        advance();
+        const SourceSpan open_span = advance().span;
         std::string type_text = parse_type_tokens();
         expect_punct(")");
-        ExprPtr type_ref =
-            make_expr(ExprKind::kIdentifier, std::move(type_text), line);
+        ExprPtr type_ref = make_expr(ExprKind::kIdentifier,
+                                     std::move(type_text),
+                                     cover(open_span, prev_span()));
         e->children.push_back(std::move(type_ref));
       } else {
         e->children.push_back(parse_unary());
       }
+      e->span = cover(op_span, e->children[0]->span);
       return e;
     }
     if (t.is_punct("(") && looks_like_cast()) {
-      const int line = advance().line;  // '('
-      ExprPtr e = make_expr(ExprKind::kCast, "", line);
+      const SourceSpan open_span = advance().span;  // '('
+      ExprPtr e = make_expr(ExprKind::kCast, "", open_span);
       e->type_text = parse_cast_type();
       expect_punct(")");
       e->children.push_back(parse_unary());
+      e->span = cover(open_span, e->children[0]->span);
       return e;
     }
     return parse_postfix();
@@ -581,8 +624,8 @@ class Parser {
     for (;;) {
       const Token& t = peek();
       if (t.is_punct("(")) {
-        const int line = advance().line;
-        ExprPtr call = make_expr(ExprKind::kCall, "", line);
+        advance();
+        ExprPtr call = make_expr(ExprKind::kCall, "", e->span);
         call->children.push_back(std::move(e));
         if (!peek().is_punct(")")) {
           for (;;) {
@@ -595,31 +638,36 @@ class Parser {
           }
         }
         expect_punct(")");
+        call->span = cover(call->span, prev_span());
         e = std::move(call);
         continue;
       }
       if (t.is_punct("[")) {
-        const int line = advance().line;
-        ExprPtr idx = make_expr(ExprKind::kIndex, "", line);
+        advance();
+        ExprPtr idx = make_expr(ExprKind::kIndex, "", e->span);
         idx->children.push_back(std::move(e));
         idx->children.push_back(parse_expression());
         expect_punct("]");
+        idx->span = cover(idx->span, prev_span());
         e = std::move(idx);
         continue;
       }
       if (t.is_punct(".") || t.is_punct("->")) {
         const std::string op = t.text;
-        const int line = advance().line;
-        ExprPtr mem = make_expr(ExprKind::kMember, op, line);
-        mem->member_name = expect_identifier("member name");
+        advance();
+        ExprPtr mem = make_expr(ExprKind::kMember, op, e->span);
+        const Token& member_tok = expect_identifier("member name");
+        mem->member_name = member_tok.text;
+        mem->span = cover(mem->span, member_tok.span);
         mem->children.push_back(std::move(e));
         e = std::move(mem);
         continue;
       }
       if (t.is_punct("++") || t.is_punct("--")) {
         const std::string op = "post" + t.text;
-        const int line = advance().line;
-        ExprPtr post = make_expr(ExprKind::kUnary, op, line);
+        const SourceSpan op_span = advance().span;
+        ExprPtr post =
+            make_expr(ExprKind::kUnary, op, cover(e->span, op_span));
         post->children.push_back(std::move(e));
         e = std::move(post);
         continue;
@@ -632,13 +680,13 @@ class Parser {
     const Token& t = peek();
     switch (t.kind) {
       case TokenKind::kIdentifier:
-        return make_expr(ExprKind::kIdentifier, advance().text, t.line);
+        return make_expr(ExprKind::kIdentifier, advance().text, t.span);
       case TokenKind::kNumber:
-        return make_expr(ExprKind::kNumber, advance().text, t.line);
+        return make_expr(ExprKind::kNumber, advance().text, t.span);
       case TokenKind::kString:
-        return make_expr(ExprKind::kString, advance().text, t.line);
+        return make_expr(ExprKind::kString, advance().text, t.span);
       case TokenKind::kCharLiteral:
-        return make_expr(ExprKind::kCharLiteral, advance().text, t.line);
+        return make_expr(ExprKind::kCharLiteral, advance().text, t.span);
       case TokenKind::kPunct:
         if (t.is_punct("(")) {
           advance();
@@ -671,7 +719,7 @@ ExprPtr clone(const Expr& e) {
   out->text = e.text;
   out->member_name = e.member_name;
   out->type_text = e.type_text;
-  out->line = e.line;
+  out->span = e.span;
   out->children.reserve(e.children.size());
   for (const auto& c : e.children)
     out->children.push_back(c ? clone(*c) : nullptr);
@@ -681,7 +729,7 @@ ExprPtr clone(const Expr& e) {
 StmtPtr clone(const Stmt& s) {
   auto out = std::make_unique<Stmt>();
   out->kind = s.kind;
-  out->line = s.line;
+  out->span = s.span;
   out->body.reserve(s.body.size());
   for (const auto& b : s.body) out->body.push_back(b ? clone(*b) : nullptr);
   out->exprs.reserve(s.exprs.size());
@@ -691,7 +739,8 @@ StmtPtr clone(const Stmt& s) {
     Declarator nd;
     nd.type_text = d.type_text;
     nd.name = d.name;
-    nd.line = d.line;
+    nd.span = d.span;
+    nd.name_span = d.name_span;
     nd.init = d.init ? clone(*d.init) : nullptr;
     out->decls.push_back(std::move(nd));
   }

@@ -1,0 +1,800 @@
+#include "lang/passes.h"
+
+#include <algorithm>
+#include <climits>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace decompeval::lang {
+
+namespace {
+
+// Reverse postorder over the blocks reachable from the entry.
+std::vector<std::size_t> reverse_postorder(const Cfg& cfg) {
+  std::vector<std::size_t> order;
+  std::vector<char> seen(cfg.blocks.size(), 0);
+  struct Frame {
+    std::size_t block;
+    std::size_t next_succ;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({cfg.entry, 0});
+  seen[cfg.entry] = 1;
+  while (!stack.empty()) {
+    const Frame f = stack.back();
+    const auto& succs = cfg.blocks[f.block].succs;
+    if (f.next_succ < succs.size()) {
+      ++stack.back().next_succ;
+      const std::size_t s = succs[f.next_succ];
+      if (!seen[s]) {
+        seen[s] = 1;
+        stack.push_back({s, 0});
+      }
+    } else {
+      order.push_back(f.block);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+bool DominatorTree::dominates(std::size_t a, std::size_t b) const {
+  if (a >= idom.size() || b >= idom.size()) return false;
+  if (depth[a] < 0 || depth[b] < 0) return false;
+  while (depth[b] > depth[a]) b = idom[b];
+  return a == b;
+}
+
+DominatorTree compute_dominators(const Cfg& cfg) {
+  DominatorTree tree;
+  const std::size_t n = cfg.blocks.size();
+  tree.idom.assign(n, kNoBlock);
+  tree.depth.assign(n, -1);
+  if (n == 0) return tree;
+
+  const std::vector<std::size_t> rpo = reverse_postorder(cfg);
+  std::vector<std::size_t> rpo_num(n, kNoBlock);
+  for (std::size_t i = 0; i < rpo.size(); ++i) rpo_num[rpo[i]] = i;
+
+  tree.idom[cfg.entry] = cfg.entry;
+  const auto intersect = [&](std::size_t a, std::size_t b) {
+    while (a != b) {
+      while (rpo_num[a] > rpo_num[b]) a = tree.idom[a];
+      while (rpo_num[b] > rpo_num[a]) b = tree.idom[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::size_t b : rpo) {
+      if (b == cfg.entry) continue;
+      std::size_t new_idom = kNoBlock;
+      for (const std::size_t p : cfg.blocks[b].preds) {
+        if (rpo_num[p] == kNoBlock) continue;          // unreachable pred
+        if (tree.idom[p] == kNoBlock) continue;        // not yet processed
+        new_idom = new_idom == kNoBlock ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kNoBlock && tree.idom[b] != new_idom) {
+        tree.idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+
+  tree.depth[cfg.entry] = 0;
+  for (const std::size_t b : rpo) {
+    if (b == cfg.entry) continue;
+    if (tree.idom[b] != kNoBlock) tree.depth[b] = tree.depth[tree.idom[b]] + 1;
+    tree.height = std::max(tree.height, tree.depth[b]);
+  }
+  return tree;
+}
+
+std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg,
+                                            const DominatorTree& dom) {
+  std::vector<NaturalLoop> loops;
+  for (std::size_t t = 0; t < cfg.blocks.size(); ++t) {
+    if (t < cfg.reachable.size() && !cfg.reachable[t]) continue;
+    for (const std::size_t h : cfg.blocks[t].succs) {
+      if (!dom.dominates(h, t)) continue;  // not a back edge
+      NaturalLoop loop;
+      loop.header = h;
+      loop.latch = t;
+      std::set<std::size_t> body = {h};
+      std::vector<std::size_t> work;
+      if (body.insert(t).second || t == h) work.push_back(t);
+      while (!work.empty()) {
+        const std::size_t b = work.back();
+        work.pop_back();
+        if (b == h) continue;
+        for (const std::size_t p : cfg.blocks[b].preds) {
+          if (p < cfg.reachable.size() && !cfg.reachable[p]) continue;
+          if (body.insert(p).second) work.push_back(p);
+        }
+      }
+      loop.blocks.assign(body.begin(), body.end());
+      loops.push_back(std::move(loop));
+    }
+  }
+  std::sort(loops.begin(), loops.end(),
+            [](const NaturalLoop& a, const NaturalLoop& b) {
+              return std::tie(a.header, a.latch) < std::tie(b.header, b.latch);
+            });
+  return loops;
+}
+
+// ---- SCCP -----------------------------------------------------------------
+
+namespace {
+
+struct LatticeValue {
+  enum Kind { kTop, kConst, kBottom } kind = kTop;
+  long long value = 0;
+
+  static LatticeValue top() { return {}; }
+  static LatticeValue constant(long long v) { return {kConst, v}; }
+  static LatticeValue bottom() { return {kBottom, 0}; }
+  bool is_const() const { return kind == kConst; }
+
+  bool operator==(const LatticeValue&) const = default;
+};
+
+LatticeValue join(const LatticeValue& a, const LatticeValue& b) {
+  if (a.kind == LatticeValue::kTop) return b;
+  if (b.kind == LatticeValue::kTop) return a;
+  if (a.kind == LatticeValue::kConst && b.kind == LatticeValue::kConst &&
+      a.value == b.value)
+    return a;
+  return LatticeValue::bottom();
+}
+
+std::optional<long long> parse_int_literal(const std::string& text) {
+  if (text.empty()) return std::nullopt;
+  if (text.find('.') != std::string::npos) return std::nullopt;  // float
+  std::string digits = text;
+  while (!digits.empty()) {
+    const char c = digits.back();
+    if (c == 'l' || c == 'L' || c == 'u' || c == 'U' || c == 'f' || c == 'F') {
+      // 'f'/'F' are valid hex digits; only strip them as suffixes of
+      // decimal spellings.
+      if ((c == 'f' || c == 'F') &&
+          digits.size() > 1 && (digits[1] == 'x' || digits[1] == 'X'))
+        break;
+      digits.pop_back();
+      continue;
+    }
+    break;
+  }
+  if (digits.empty()) return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(digits.c_str(), &end, 0);
+  if (errno != 0 || end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+// Wrap-safe signed arithmetic via unsigned intermediates.
+long long wrap_add(long long a, long long b) {
+  return static_cast<long long>(static_cast<unsigned long long>(a) +
+                                static_cast<unsigned long long>(b));
+}
+long long wrap_sub(long long a, long long b) {
+  return static_cast<long long>(static_cast<unsigned long long>(a) -
+                                static_cast<unsigned long long>(b));
+}
+long long wrap_mul(long long a, long long b) {
+  return static_cast<long long>(static_cast<unsigned long long>(a) *
+                                static_cast<unsigned long long>(b));
+}
+long long wrap_neg(long long a) {
+  return static_cast<long long>(-static_cast<unsigned long long>(a));
+}
+
+class SccpEngine {
+ public:
+  SccpResult run(const Function& fn, const Cfg& cfg) {
+    collect_variables(fn, cfg);
+    const std::size_t n_blocks = cfg.blocks.size();
+    edge_exec_.resize(n_blocks);
+    for (std::size_t b = 0; b < n_blocks; ++b)
+      edge_exec_[b].assign(cfg.blocks[b].succs.size(), false);
+    out_env_.assign(n_blocks, Env(names_.size(), LatticeValue::top()));
+
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (std::size_t b = 0; b < n_blocks; ++b) {
+        if (!block_executable(cfg, b)) continue;
+        Env in = entry_env(cfg, b);
+        LatticeValue cond_value = LatticeValue::bottom();
+        transfer(cfg, b, in, &cond_value);
+        if (in != out_env_[b]) {
+          out_env_[b] = in;
+          changed = true;
+        }
+        changed |= update_edges(cfg, b, cond_value);
+      }
+    }
+
+    SccpResult result;
+    result.executable.assign(n_blocks, false);
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      if (!block_executable(cfg, b)) continue;
+      result.executable[b] = true;
+      const Expr* cond = cfg.blocks[b].condition;
+      if (cond == nullptr) continue;
+      Env in = entry_env(cfg, b);
+      LatticeValue cond_value = LatticeValue::bottom();
+      transfer(cfg, b, in, &cond_value);
+      if (cond_value.is_const()) {
+        const bool literal = cond->kind == ExprKind::kNumber ||
+                             cond->kind == ExprKind::kCharLiteral;
+        result.constant_branches.push_back(
+            {b, cond, cond_value.value != 0, literal});
+      }
+    }
+    return result;
+  }
+
+ private:
+  using Env = std::vector<LatticeValue>;
+
+  void collect_variables(const Function& fn, const Cfg& cfg) {
+    // Address-taken variables can change behind SCCP's back: never track.
+    std::set<std::string> address_taken;
+    collect_address_taken(fn, address_taken);
+    const auto add = [&](const std::string& name, bool param) {
+      if (name.empty() || var_ids_.count(name)) return;
+      if (address_taken.count(name)) return;
+      var_ids_[name] = names_.size();
+      names_.push_back(name);
+      is_param_.push_back(param);
+    };
+    for (const auto& p : fn.params) add(p.name, true);
+    for (const auto& block : cfg.blocks)
+      for (const auto& item : block.items)
+        if (item.kind == CfgItemKind::kDecl) add(item.decl->name, false);
+  }
+
+  static void collect_address_taken_expr(const Expr& e,
+                                         std::set<std::string>& out) {
+    if (e.kind == ExprKind::kUnary && e.text == "&" &&
+        e.children[0]->kind == ExprKind::kIdentifier)
+      out.insert(e.children[0]->text);
+    for (const auto& c : e.children)
+      if (c) collect_address_taken_expr(*c, out);
+  }
+  static void collect_address_taken_stmt(const Stmt& s,
+                                         std::set<std::string>& out) {
+    for (const auto& d : s.decls)
+      if (d.init) collect_address_taken_expr(*d.init, out);
+    for (const auto& e : s.exprs)
+      if (e) collect_address_taken_expr(*e, out);
+    for (const auto& b : s.body)
+      if (b) collect_address_taken_stmt(*b, out);
+  }
+  static void collect_address_taken(const Function& fn,
+                                    std::set<std::string>& out) {
+    if (fn.body) collect_address_taken_stmt(*fn.body, out);
+  }
+
+  int lookup(const std::string& name) const {
+    const auto it = var_ids_.find(name);
+    return it == var_ids_.end() ? -1 : static_cast<int>(it->second);
+  }
+
+  bool block_executable(const Cfg& cfg, std::size_t b) const {
+    if (b == cfg.entry) return true;
+    for (const std::size_t p : cfg.blocks[b].preds)
+      for (std::size_t k = 0; k < cfg.blocks[p].succs.size(); ++k)
+        if (cfg.blocks[p].succs[k] == b && edge_exec_[p][k]) return true;
+    return false;
+  }
+
+  Env entry_env(const Cfg& cfg, std::size_t b) const {
+    Env env(names_.size(), LatticeValue::top());
+    if (b == cfg.entry) {
+      for (std::size_t v = 0; v < names_.size(); ++v)
+        if (is_param_[v]) env[v] = LatticeValue::bottom();
+      return env;
+    }
+    for (const std::size_t p : cfg.blocks[b].preds)
+      for (std::size_t k = 0; k < cfg.blocks[p].succs.size(); ++k)
+        if (cfg.blocks[p].succs[k] == b && edge_exec_[p][k])
+          for (std::size_t v = 0; v < names_.size(); ++v)
+            env[v] = join(env[v], out_env_[p][v]);
+    return env;
+  }
+
+  void transfer(const Cfg& cfg, std::size_t b, Env& env,
+                LatticeValue* cond_value) const {
+    const BasicBlock& block = cfg.blocks[b];
+    for (const auto& item : block.items) {
+      switch (item.kind) {
+        case CfgItemKind::kDecl: {
+          LatticeValue v = LatticeValue::bottom();
+          if (item.decl->init) v = eval(*item.decl->init, env, false);
+          if (!item.decl->init ||
+              item.decl->type_text.find('[') != std::string::npos)
+            v = LatticeValue::bottom();
+          assign(item.decl->name, v, env, false);
+          break;
+        }
+        case CfgItemKind::kExpr: {
+          const LatticeValue v = eval(*item.expr, env, false);
+          if (item.expr == block.condition) *cond_value = v;
+          break;
+        }
+        case CfgItemKind::kReturn:
+          if (item.expr) eval(*item.expr, env, false);
+          break;
+      }
+    }
+  }
+
+  bool update_edges(const Cfg& cfg, std::size_t b,
+                    const LatticeValue& cond_value) {
+    const BasicBlock& block = cfg.blocks[b];
+    bool changed = false;
+    const auto mark = [&](std::size_t k) {
+      if (!edge_exec_[b][k]) {
+        edge_exec_[b][k] = true;
+        changed = true;
+      }
+    };
+    if (block.condition != nullptr && block.succs.size() == 2 &&
+        cond_value.is_const()) {
+      mark(cond_value.value != 0 ? 0 : 1);
+      return changed;
+    }
+    for (std::size_t k = 0; k < block.succs.size(); ++k) mark(k);
+    return changed;
+  }
+
+  void assign(const std::string& name, const LatticeValue& v, Env& env,
+              bool maybe) const {
+    const int idx = lookup(name);
+    if (idx < 0) return;
+    env[static_cast<std::size_t>(idx)] =
+        maybe ? join(env[static_cast<std::size_t>(idx)], v) : v;
+  }
+
+  // Evaluates `e` against `env`, applying assignment side effects. With
+  // `maybe` set the subexpression may not execute at runtime (short-circuit
+  // RHS, ternary arms), so definitions join with the incoming value.
+  LatticeValue eval(const Expr& e, Env& env, bool maybe) const {
+    switch (e.kind) {
+      case ExprKind::kNumber: {
+        const auto v = parse_int_literal(e.text);
+        return v ? LatticeValue::constant(*v) : LatticeValue::bottom();
+      }
+      case ExprKind::kString:
+      case ExprKind::kCharLiteral:
+        return LatticeValue::bottom();
+      case ExprKind::kIdentifier: {
+        const int idx = lookup(e.text);
+        if (idx < 0) return LatticeValue::bottom();
+        return env[static_cast<std::size_t>(idx)];
+      }
+      case ExprKind::kUnary:
+        return eval_unary(e, env, maybe);
+      case ExprKind::kBinary:
+        return eval_binary(e, env, maybe);
+      case ExprKind::kTernary: {
+        const LatticeValue c = eval(*e.children[0], env, maybe);
+        if (c.is_const())
+          return eval(*e.children[c.value != 0 ? 1 : 2], env, maybe);
+        const LatticeValue a = eval(*e.children[1], env, true);
+        const LatticeValue b = eval(*e.children[2], env, true);
+        return join(join(a, b), LatticeValue::bottom());
+      }
+      case ExprKind::kCall:
+      case ExprKind::kIndex:
+      case ExprKind::kMember:
+        for (const auto& c : e.children)
+          if (c) eval(*c, env, maybe);
+        return LatticeValue::bottom();
+      case ExprKind::kCast:
+        // Conservative: a narrowing cast changes the value, and the
+        // mini-C type system cannot prove otherwise.
+        eval(*e.children[0], env, maybe);
+        return LatticeValue::bottom();
+    }
+    return LatticeValue::bottom();
+  }
+
+  LatticeValue eval_unary(const Expr& e, Env& env, bool maybe) const {
+    const std::string& op = e.text;
+    if (op == "++" || op == "--" || op == "post++" || op == "post--") {
+      const Expr& target = *e.children[0];
+      if (target.kind != ExprKind::kIdentifier) {
+        eval(target, env, maybe);
+        return LatticeValue::bottom();
+      }
+      const LatticeValue old = eval(target, env, maybe);
+      const bool inc = op == "++" || op == "post++";
+      const LatticeValue updated =
+          old.is_const()
+              ? LatticeValue::constant(inc ? wrap_add(old.value, 1)
+                                           : wrap_sub(old.value, 1))
+              : LatticeValue::bottom();
+      assign(target.text, updated, env, maybe);
+      return op[0] == 'p' ? old : updated;
+    }
+    if (op == "sizeof" || op == "*" || op == "&") {
+      if (op != "sizeof") eval(*e.children[0], env, maybe);
+      return LatticeValue::bottom();
+    }
+    const LatticeValue v = eval(*e.children[0], env, maybe);
+    if (!v.is_const()) return LatticeValue::bottom();
+    if (op == "!") return LatticeValue::constant(v.value == 0 ? 1 : 0);
+    if (op == "~") return LatticeValue::constant(~v.value);
+    if (op == "-") return LatticeValue::constant(wrap_neg(v.value));
+    if (op == "+") return v;
+    return LatticeValue::bottom();
+  }
+
+  LatticeValue eval_binary(const Expr& e, Env& env, bool maybe) const {
+    const std::string& op = e.text;
+    const bool is_assign = !op.empty() && op.back() == '=' && op != "==" &&
+                           op != "!=" && op != "<=" && op != ">=";
+    if (is_assign) {
+      const Expr& lhs = *e.children[0];
+      if (lhs.kind != ExprKind::kIdentifier) {
+        eval(lhs, env, maybe);  // nested side effects in a[i] / *p targets
+        eval(*e.children[1], env, maybe);
+        return LatticeValue::bottom();
+      }
+      LatticeValue result;
+      if (op == "=") {
+        result = eval(*e.children[1], env, maybe);
+      } else {
+        const LatticeValue lv = eval(lhs, env, maybe);
+        const LatticeValue rv = eval(*e.children[1], env, maybe);
+        result = apply_arith(op.substr(0, op.size() - 1), lv, rv);
+      }
+      assign(lhs.text, result, env, maybe);
+      return result;
+    }
+    if (op == "&&" || op == "||") {
+      const LatticeValue lv = eval(*e.children[0], env, maybe);
+      if (lv.is_const()) {
+        const bool lt = lv.value != 0;
+        // Short circuit: the RHS never runs, so skip its side effects too.
+        if (op == "&&" && !lt) return LatticeValue::constant(0);
+        if (op == "||" && lt) return LatticeValue::constant(1);
+        const LatticeValue rv = eval(*e.children[1], env, maybe);
+        if (rv.is_const())
+          return LatticeValue::constant(rv.value != 0 ? 1 : 0);
+        return LatticeValue::bottom();
+      }
+      eval(*e.children[1], env, true);  // may or may not execute
+      return LatticeValue::bottom();
+    }
+    const LatticeValue lv = eval(*e.children[0], env, maybe);
+    const LatticeValue rv = eval(*e.children[1], env, maybe);
+    return apply_arith(op, lv, rv);
+  }
+
+  static LatticeValue apply_arith(const std::string& op,
+                                  const LatticeValue& lv,
+                                  const LatticeValue& rv) {
+    if (!lv.is_const() || !rv.is_const()) return LatticeValue::bottom();
+    const long long a = lv.value, b = rv.value;
+    if (op == "+") return LatticeValue::constant(wrap_add(a, b));
+    if (op == "-") return LatticeValue::constant(wrap_sub(a, b));
+    if (op == "*") return LatticeValue::constant(wrap_mul(a, b));
+    if (op == "/" || op == "%") {
+      if (b == 0 || (a == LLONG_MIN && b == -1)) return LatticeValue::bottom();
+      return LatticeValue::constant(op == "/" ? a / b : a % b);
+    }
+    if (op == "<<" || op == ">>") {
+      if (b < 0 || b >= 64 || a < 0) return LatticeValue::bottom();
+      return LatticeValue::constant(op == "<<" ? static_cast<long long>(
+                                                     static_cast<unsigned long long>(a)
+                                                     << b)
+                                               : (a >> b));
+    }
+    if (op == "&") return LatticeValue::constant(a & b);
+    if (op == "|") return LatticeValue::constant(a | b);
+    if (op == "^") return LatticeValue::constant(a ^ b);
+    if (op == "==") return LatticeValue::constant(a == b ? 1 : 0);
+    if (op == "!=") return LatticeValue::constant(a != b ? 1 : 0);
+    if (op == "<") return LatticeValue::constant(a < b ? 1 : 0);
+    if (op == ">") return LatticeValue::constant(a > b ? 1 : 0);
+    if (op == "<=") return LatticeValue::constant(a <= b ? 1 : 0);
+    if (op == ">=") return LatticeValue::constant(a >= b ? 1 : 0);
+    return LatticeValue::bottom();
+  }
+
+  std::map<std::string, std::size_t> var_ids_;
+  std::vector<std::string> names_;
+  std::vector<bool> is_param_;
+  std::vector<std::vector<bool>> edge_exec_;  // [block][succ index]
+  std::vector<Env> out_env_;
+};
+
+}  // namespace
+
+SccpResult run_sccp(const Function& fn, const Cfg& cfg) {
+  return SccpEngine{}.run(fn, cfg);
+}
+
+std::vector<LintDiagnostic> constant_branch_diagnostics(const Function& fn,
+                                                        const Cfg& cfg) {
+  std::vector<LintDiagnostic> out;
+  const SccpResult sccp = run_sccp(fn, cfg);
+  if (sccp.constant_branches.empty()) return out;
+  const DominatorTree dom = compute_dominators(cfg);
+  const std::vector<NaturalLoop> loops = find_natural_loops(cfg, dom);
+
+  for (const ConstantBranch& cb : sccp.constant_branches) {
+    // `while (1)` / `do {...} while (0)` are deliberate idiom; only a
+    // condition that *folds* to a constant is worth a diagnostic.
+    if (cb.is_literal) continue;
+    const auto& succs = cfg.blocks[cb.block].succs;
+    if (succs.size() != 2) continue;
+    const std::size_t live = succs[cb.value ? 0 : 1];
+    const std::size_t dead = succs[cb.value ? 1 : 0];
+
+    // Innermost natural loop containing the branch block.
+    const NaturalLoop* loop = nullptr;
+    for (const NaturalLoop& l : loops) {
+      if (!std::binary_search(l.blocks.begin(), l.blocks.end(), cb.block))
+        continue;
+      if (loop == nullptr || l.blocks.size() < loop->blocks.size()) loop = &l;
+    }
+
+    std::string code = cb.value ? "branch-always-true" : "branch-always-false";
+    std::string message =
+        cb.value ? "condition is always true" : "condition is always false";
+    if (loop != nullptr) {
+      const auto in_loop = [&](std::size_t b) {
+        return std::binary_search(loop->blocks.begin(), loop->blocks.end(), b);
+      };
+      if (cb.block == loop->header && in_loop(dead)) {
+        // The edge into the loop body is dead: the body never runs.
+        code = "degenerate-loop";
+        message = "loop body never executes";
+      } else if (in_loop(live) && !in_loop(dead)) {
+        // The only way out of the loop is the edge this condition kills.
+        bool other_exit = false;
+        for (const std::size_t b : loop->blocks)
+          for (const std::size_t s : cfg.blocks[b].succs)
+            if (!in_loop(s) && !(b == cb.block && s == dead))
+              other_exit = true;
+        if (!other_exit) {
+          code = "degenerate-loop";
+          message = "loop never terminates";
+        }
+      }
+    }
+    out.push_back({std::move(code), LintSeverity::kWarning, "",
+                   cb.condition->span, std::move(message)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LintDiagnostic& a, const LintDiagnostic& b) {
+              return std::tie(a.span, a.code) < std::tie(b.span, b.code);
+            });
+  return out;
+}
+
+// ---- copy chains ----------------------------------------------------------
+
+namespace {
+
+struct VarFlow {
+  std::size_t n_defs = 0;
+  std::string copy_source;  // non-empty if the single def copies a variable
+  SourceSpan def_span;
+  std::vector<SourceSpan> use_spans;
+  bool is_param = false;
+  bool declared = false;
+};
+
+class FlowCollector {
+ public:
+  std::map<std::string, VarFlow> collect(const Function& fn) {
+    for (const auto& p : fn.params)
+      if (!p.name.empty()) {
+        vars_[p.name].is_param = true;
+        vars_[p.name].declared = true;
+      }
+    if (fn.body) walk_stmt(*fn.body);
+    return std::move(vars_);
+  }
+
+ private:
+  void record_def(const std::string& name, SourceSpan span,
+                  const Expr* source) {
+    VarFlow& v = vars_[name];
+    ++v.n_defs;
+    v.def_span = span;
+    v.copy_source = (v.n_defs == 1 && source != nullptr &&
+                     source->kind == ExprKind::kIdentifier)
+                        ? source->text
+                        : std::string();
+  }
+
+  void walk_expr(const Expr& e, bool is_def_target) {
+    switch (e.kind) {
+      case ExprKind::kIdentifier:
+        if (!is_def_target) vars_[e.text].use_spans.push_back(e.span);
+        return;
+      case ExprKind::kBinary: {
+        const bool is_assign = !e.text.empty() && e.text.back() == '=' &&
+                               e.text != "==" && e.text != "!=" &&
+                               e.text != "<=" && e.text != ">=";
+        if (is_assign && e.children[0]->kind == ExprKind::kIdentifier) {
+          if (e.text != "=") walk_expr(*e.children[0], false);
+          walk_expr(*e.children[1], false);
+          record_def(e.children[0]->text, e.span,
+                     e.text == "=" ? e.children[1].get() : nullptr);
+          return;
+        }
+        walk_expr(*e.children[0], false);
+        walk_expr(*e.children[1], false);
+        return;
+      }
+      case ExprKind::kUnary: {
+        const bool is_incdec = e.text == "++" || e.text == "--" ||
+                               e.text == "post++" || e.text == "post--";
+        if (is_incdec && e.children[0]->kind == ExprKind::kIdentifier) {
+          walk_expr(*e.children[0], false);
+          record_def(e.children[0]->text, e.span, nullptr);
+          return;
+        }
+        walk_expr(*e.children[0], false);
+        return;
+      }
+      default:
+        for (const auto& c : e.children)
+          if (c) walk_expr(*c, false);
+        return;
+    }
+  }
+
+  void walk_stmt(const Stmt& s) {
+    for (const auto& d : s.decls) {
+      vars_[d.name].declared = true;
+      if (d.init) {
+        walk_expr(*d.init, false);
+        record_def(d.name, d.span, d.init.get());
+      }
+    }
+    for (const auto& e : s.exprs)
+      if (e) walk_expr(*e, false);
+    for (const auto& b : s.body)
+      if (b) walk_stmt(*b);
+  }
+
+  std::map<std::string, VarFlow> vars_;
+};
+
+}  // namespace
+
+std::vector<LintDiagnostic> copy_chain_diagnostics(const Function& fn) {
+  std::vector<LintDiagnostic> out;
+  const std::map<std::string, VarFlow> vars = FlowCollector{}.collect(fn);
+  for (const auto& [name, flow] : vars) {
+    if (!is_placeholder_name(name)) continue;
+    if (flow.is_param || !flow.declared) continue;
+    if (flow.n_defs != 1 || flow.copy_source.empty()) continue;
+    if (flow.use_spans.empty()) continue;
+    SourceSpan span = flow.def_span;
+    for (const SourceSpan& u : flow.use_spans) span = cover(span, u);
+    out.push_back({"placeholder-copy-chain", LintSeverity::kNote, name, span,
+                   "'" + name + "' and its uses are a copy chain of '" +
+                       flow.copy_source + "'"});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const LintDiagnostic& a, const LintDiagnostic& b) {
+              return std::tie(a.span, a.symbol) < std::tie(b.span, b.symbol);
+            });
+  return out;
+}
+
+// ---- type flow ------------------------------------------------------------
+
+namespace {
+
+class TypeFlowScanner {
+ public:
+  std::vector<LintDiagnostic> scan(const Function& fn) {
+    for (const auto& p : fn.params)
+      if (!p.name.empty()) declare(p.name, p.type_text);
+    if (fn.body) collect_decls(*fn.body);
+    if (fn.body) walk_stmt(*fn.body);
+    std::sort(out_.begin(), out_.end(),
+              [](const LintDiagnostic& a, const LintDiagnostic& b) {
+                return std::tie(a.span, a.code) < std::tie(b.span, b.code);
+              });
+    return std::move(out_);
+  }
+
+ private:
+  void declare(const std::string& name, const std::string& type) {
+    types_.emplace(name, type);  // first declaration wins
+  }
+
+  void collect_decls(const Stmt& s) {
+    for (const auto& d : s.decls) declare(d.name, d.type_text);
+    for (const auto& b : s.body)
+      if (b) collect_decls(*b);
+  }
+
+  // Declared concrete (non-flat) type of a plain identifier, or nullptr.
+  const std::string* concrete_type_of(const Expr& e) const {
+    if (e.kind != ExprKind::kIdentifier) return nullptr;
+    const auto it = types_.find(e.text);
+    if (it == types_.end()) return nullptr;
+    if (is_flat_type(it->second)) return nullptr;
+    return &it->second;
+  }
+
+  void walk_expr(const Expr& e) {
+    if (e.kind == ExprKind::kCast && is_flat_type(e.type_text)) {
+      if (const std::string* concrete = concrete_type_of(*e.children[0])) {
+        out_.push_back({"collapsible-flat-cast", LintSeverity::kNote,
+                        e.type_text, e.span,
+                        "cast of '" + e.children[0]->text + "' through '" +
+                            e.type_text + "' collapses to declared type '" +
+                            *concrete + "'"});
+      }
+    }
+    for (const auto& c : e.children)
+      if (c) walk_expr(*c);
+  }
+
+  void walk_stmt(const Stmt& s) {
+    for (const auto& d : s.decls) {
+      if (is_flat_type(d.type_text) && d.init) {
+        const Expr* src = d.init.get();
+        // Look through a flat cast over the initializer: the Hex-Rays
+        // idiom is `__int64 v5 = (__int64)len;`.
+        while (src->kind == ExprKind::kCast && is_flat_type(src->type_text))
+          src = src->children[0].get();
+        if (const std::string* concrete = concrete_type_of(*src)) {
+          out_.push_back({"collapsible-flat-decl", LintSeverity::kNote,
+                          d.type_text, d.span,
+                          "'" + d.name + "' declared as '" + d.type_text +
+                              "' but provably holds '" + *concrete + "' ('" +
+                              src->text + "')"});
+        }
+      }
+      if (d.init) walk_expr(*d.init);
+    }
+    for (const auto& e : s.exprs)
+      if (e) walk_expr(*e);
+    for (const auto& b : s.body)
+      if (b) walk_stmt(*b);
+  }
+
+  std::map<std::string, std::string> types_;
+  std::vector<LintDiagnostic> out_;
+};
+
+}  // namespace
+
+std::vector<LintDiagnostic> type_flow_diagnostics(const Function& fn) {
+  return TypeFlowScanner{}.scan(fn);
+}
+
+PassSummary summarize_passes(const Function& fn, const Cfg& cfg) {
+  PassSummary summary;
+  const DominatorTree dom = compute_dominators(cfg);
+  summary.dominator_height = dom.height;
+  summary.n_natural_loops = find_natural_loops(cfg, dom).size();
+  summary.n_constant_branches = run_sccp(fn, cfg).constant_branches.size();
+  return summary;
+}
+
+}  // namespace decompeval::lang

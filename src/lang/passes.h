@@ -1,0 +1,104 @@
+// Structural and value-flow passes over the basic-block CFG, feeding the
+// annotation lint (lang/lint.h) and the static-complexity metric family
+// (metrics/static_complexity.h):
+//
+//  * dominator tree (iterative, RPO) + natural-loop detection via back
+//    edges whose head dominates their tail;
+//  * sparse conditional constant propagation (SCCP) over the function's
+//    tracked scalars, with edge executability — provably constant branch
+//    conditions become "branch-always-true"/"branch-always-false"
+//    warnings, and loops whose condition folds to a constant become
+//    "degenerate-loop" warnings (body never executes / never terminates);
+//  * copy-chain detection strengthening the Hex-Rays artifact detectors:
+//    a placeholder variable whose only definition copies another variable
+//    (`v5 = a1; use(v5)`) flags the whole chain, not just the decl;
+//  * type-flow collapse: a `_QWORD`/`__int64` cast or declaration whose
+//    operand's declared type is concrete provably collapses to that type.
+//
+// Everything here is a pure function of the AST/CFG: block order, loop
+// order and diagnostic order are deterministic at any thread count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lang/cfg.h"
+#include "lang/lint.h"
+
+namespace decompeval::lang {
+
+constexpr std::size_t kNoBlock = static_cast<std::size_t>(-1);
+
+struct DominatorTree {
+  /// idom[b] = immediate dominator of b; the entry dominates itself;
+  /// kNoBlock for blocks unreachable from the entry.
+  std::vector<std::size_t> idom;
+  /// depth[b] = distance from the entry in the dominator tree (-1 when
+  /// unreachable).
+  std::vector<int> depth;
+  /// Maximum depth over reachable blocks.
+  int height = 0;
+
+  /// True if `a` dominates `b` (reflexive). False when either side is
+  /// unreachable.
+  bool dominates(std::size_t a, std::size_t b) const;
+};
+
+/// Cooper–Harvey–Kennedy iterative dominator computation over the
+/// reachable subgraph.
+DominatorTree compute_dominators(const Cfg& cfg);
+
+/// One natural loop: the target of a back edge plus every block that can
+/// reach the back edge's source without passing through the header.
+struct NaturalLoop {
+  std::size_t header = 0;
+  std::size_t latch = 0;             ///< source of the back edge
+  std::vector<std::size_t> blocks;   ///< sorted, includes header and latch
+};
+
+/// Natural loops of `cfg`, ordered by (header, latch). Irreducible edges
+/// (tail not dominated by head) are ignored.
+std::vector<NaturalLoop> find_natural_loops(const Cfg& cfg,
+                                            const DominatorTree& dom);
+
+/// A branch condition SCCP proved constant.
+struct ConstantBranch {
+  std::size_t block = 0;           ///< block whose terminator is the branch
+  const Expr* condition = nullptr;
+  bool value = false;              ///< the branch always goes this way
+  bool is_literal = false;         ///< condition is a bare literal (while(1))
+};
+
+struct SccpResult {
+  std::vector<ConstantBranch> constant_branches;  ///< by block id
+  /// executable[b]: SCCP found an executable path from the entry to b.
+  std::vector<bool> executable;
+};
+
+/// Sparse conditional constant propagation. Conservative: casts, calls,
+/// address-taken variables and non-integer literals are never constant.
+SccpResult run_sccp(const Function& fn, const Cfg& cfg);
+
+/// Branch/loop diagnostics derived from SCCP + natural loops. Bare
+/// literal conditions (`while (1)`) are deliberate idiom and are skipped.
+std::vector<LintDiagnostic> constant_branch_diagnostics(const Function& fn,
+                                                        const Cfg& cfg);
+
+/// Copy-chain notes: a placeholder variable whose single definition is a
+/// copy of another variable. The span covers definition through last use.
+std::vector<LintDiagnostic> copy_chain_diagnostics(const Function& fn);
+
+/// Type-flow notes: flat casts/declarations whose operand has a concrete
+/// declared type.
+std::vector<LintDiagnostic> type_flow_diagnostics(const Function& fn);
+
+/// Aggregates the passes for the static-complexity metric family.
+struct PassSummary {
+  std::size_t n_natural_loops = 0;
+  int dominator_height = 0;
+  std::size_t n_constant_branches = 0;  ///< literal conditions included
+};
+
+PassSummary summarize_passes(const Function& fn, const Cfg& cfg);
+
+}  // namespace decompeval::lang

@@ -1,0 +1,49 @@
+#include "lang/source_map.h"
+
+#include <algorithm>
+
+namespace decompeval::lang {
+
+SourceMap::SourceMap(std::string_view source) : source_(source) {
+  line_starts_.push_back(0);
+  for (std::size_t i = 0; i < source_.size(); ++i) {
+    if (source_[i] == '\n') line_starts_.push_back(i + 1);
+  }
+}
+
+LineCol SourceMap::to_line_col(std::size_t offset) const {
+  offset = std::min(offset, source_.size());
+  const auto it = std::upper_bound(line_starts_.begin(), line_starts_.end(),
+                                   offset);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - line_starts_.begin()) - 1;
+  LineCol out;
+  out.line = static_cast<int>(idx) + 1;
+  out.col = static_cast<int>(offset - line_starts_[idx]) + 1;
+  return out;
+}
+
+std::size_t SourceMap::to_offset(int line, int col) const {
+  if (line < 1) line = 1;
+  if (line > line_count()) line = line_count();
+  const std::size_t idx = static_cast<std::size_t>(line - 1);
+  const std::size_t start = line_starts_[idx];
+  const std::size_t stop = idx + 1 < line_starts_.size()
+                               ? line_starts_[idx + 1] - 1  // the newline
+                               : source_.size();
+  if (col < 1) col = 1;
+  const std::size_t offset = start + static_cast<std::size_t>(col - 1);
+  return std::min(offset, stop);
+}
+
+std::string_view SourceMap::line_text(int line) const {
+  if (line < 1 || line > line_count()) return {};
+  const std::size_t idx = static_cast<std::size_t>(line - 1);
+  const std::size_t start = line_starts_[idx];
+  const std::size_t stop = idx + 1 < line_starts_.size()
+                               ? line_starts_[idx + 1] - 1
+                               : source_.size();
+  return std::string_view(source_).substr(start, stop - start);
+}
+
+}  // namespace decompeval::lang

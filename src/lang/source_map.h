@@ -1,0 +1,43 @@
+// Bidirectional offset <-> (line, col) mapper over a snippet source.
+//
+// Built once per source string (O(n)); lookups are O(log lines) for
+// offset -> position and O(1) for position -> offset. Lines and columns
+// are 1-based; columns count bytes, matching the lexer.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace decompeval::lang {
+
+struct LineCol {
+  int line = 1;
+  int col = 1;
+};
+
+class SourceMap {
+ public:
+  explicit SourceMap(std::string_view source);
+
+  /// (line, col) of the byte at `offset`. Offsets past the end clamp to
+  /// one past the last byte.
+  LineCol to_line_col(std::size_t offset) const;
+
+  /// Byte offset of (line, col). Out-of-range lines clamp to the last
+  /// line; columns past the end of a line clamp to its newline (or EOF).
+  std::size_t to_offset(int line, int col) const;
+
+  /// Text of `line` (1-based), without the trailing newline.
+  std::string_view line_text(int line) const;
+
+  int line_count() const { return static_cast<int>(line_starts_.size()); }
+  std::size_t size() const { return source_.size(); }
+
+ private:
+  std::string source_;
+  std::vector<std::size_t> line_starts_;  // line_starts_[i] = offset of line i+1
+};
+
+}  // namespace decompeval::lang

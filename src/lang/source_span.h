@@ -1,0 +1,40 @@
+// Byte-offset source spans.
+//
+// Every position the language layer reports — token positions, AST node
+// extents, CFG items, dataflow facts, lint diagnostics — is a half-open
+// byte range [begin, end) into the snippet source, paired with the
+// 1-based (line, col) of the first byte. Offsets are the ground truth
+// (an annotation front-end highlights `source.substr(begin, end-begin)`);
+// line/col are carried alongside so human-facing messages never need a
+// lookup table. `SourceMap` (source_map.h) converts between the two.
+#pragma once
+
+#include <algorithm>
+#include <compare>
+#include <cstddef>
+
+namespace decompeval::lang {
+
+struct SourceSpan {
+  std::size_t begin = 0;  // byte offset of the first character
+  std::size_t end = 0;    // one past the last character
+  int line = 0;           // 1-based line of `begin` (0 = unknown/empty)
+  int col = 0;            // 1-based column of `begin` (0 = unknown/empty)
+
+  std::size_t length() const { return end > begin ? end - begin : 0; }
+  bool valid() const { return line > 0; }
+
+  friend auto operator<=>(const SourceSpan&, const SourceSpan&) = default;
+};
+
+/// Smallest span covering both inputs. An invalid (default) operand is
+/// ignored so parsers can fold over optional children.
+inline SourceSpan cover(const SourceSpan& a, const SourceSpan& b) {
+  if (!a.valid()) return b;
+  if (!b.valid()) return a;
+  SourceSpan out = a.begin <= b.begin ? a : b;
+  out.end = std::max(a.end, b.end);
+  return out;
+}
+
+}  // namespace decompeval::lang

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "lang/source_span.h"
+
 namespace decompeval::lang {
 
 enum class TokenKind {
@@ -18,7 +20,7 @@ enum class TokenKind {
 struct Token {
   TokenKind kind = TokenKind::kEndOfFile;
   std::string text;
-  int line = 0;
+  SourceSpan span;  // [begin, end) byte range + 1-based line/col of begin
 
   bool is(TokenKind k) const { return kind == k; }
   bool is_punct(const char* spelling) const {

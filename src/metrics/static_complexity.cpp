@@ -6,6 +6,7 @@
 #include "lang/analysis.h"
 #include "lang/cfg.h"
 #include "lang/dataflow.h"
+#include "lang/passes.h"
 
 namespace decompeval::metrics {
 
@@ -156,6 +157,12 @@ StaticComplexity compute_static_complexity(const lang::Function& fn) {
       flow.n_defs > 0 ? static_cast<double>(flow.dead_stores.size()) /
                             static_cast<double>(flow.n_defs)
                       : 0.0;
+
+  const lang::PassSummary passes = lang::summarize_passes(fn, cfg);
+  out.natural_loops = passes.n_natural_loops;
+  out.dominator_height = static_cast<std::size_t>(
+      passes.dominator_height < 0 ? 0 : passes.dominator_height);
+  out.constant_branches = passes.n_constant_branches;
   return out;
 }
 

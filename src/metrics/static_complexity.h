@@ -33,6 +33,12 @@ struct StaticComplexity {
   std::size_t distinct_operands = 0;   ///< n2
   std::size_t total_operators = 0;     ///< N1
   std::size_t total_operands = 0;      ///< N2
+
+  // Structural pass summary (lang/passes.h). Not registered as RQ5 metric
+  // rows — the registry values predate these passes and stay byte-stable.
+  std::size_t natural_loops = 0;       ///< back edges whose head dominates
+  std::size_t dominator_height = 0;    ///< depth of the dominator tree
+  std::size_t constant_branches = 0;   ///< SCCP-proven constant conditions
 };
 
 /// Computes the family over a parsed function.

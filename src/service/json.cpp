@@ -409,9 +409,12 @@ Json Json::parse(std::string_view text, std::pmr::memory_resource* mr) {
 // Request fields that never change the result bytes. "threads" because
 // every pipeline stage is bit-identical across thread counts (the
 // property the chaos suite proves); "no_cache" and "deadline_ms" because
-// they shape how the request is served, not what it computes.
+// they shape how the request is served, not what it computes; "baseline"
+// because an annotate edit baseline only steers cluster routing — the
+// annotation payload is a pure function of "source".
 static bool volatile_field(std::string_view key) {
-  return key == "threads" || key == "no_cache" || key == "deadline_ms";
+  return key == "threads" || key == "no_cache" || key == "deadline_ms" ||
+         key == "baseline";
 }
 
 void canonical_request_key(const Json& request, std::string& out) {
@@ -449,6 +452,27 @@ std::string canonical_request_key(const Json& request) {
   std::string out;
   canonical_request_key(request, out);
   return out;
+}
+
+void routing_key(const Json& request, std::string& out) {
+  // An annotate request editing a known document names the pre-edit
+  // source as "baseline"; routing on a request whose source *is* that
+  // baseline produces the same key, so the edited request lands on the
+  // backend whose engine already holds the unchanged functions warm. The
+  // caches themselves still key on the canonical (source-derived) key.
+  if (request.is_object()) {
+    const Json* op = request.get("op");
+    const Json* baseline = request.get("baseline");
+    if (op != nullptr && op->type() == Json::Type::kString &&
+        op->as_string() == "annotate" && baseline != nullptr &&
+        baseline->type() == Json::Type::kString) {
+      Json surrogate = strip_volatile_fields(request);
+      surrogate.set("source", *baseline);
+      canonical_request_key(surrogate, out);
+      return;
+    }
+  }
+  canonical_request_key(request, out);
 }
 
 Json strip_volatile_fields(const Json& request) {

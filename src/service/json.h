@@ -143,6 +143,14 @@ class Json {
 void canonical_request_key(const Json& request, std::string& out);
 std::string canonical_request_key(const Json& request);
 
+/// Cluster routing key. Identical to canonical_request_key except for
+/// "annotate" requests carrying a string "baseline" (the pre-edit source
+/// of the document being re-annotated): those route as if their source
+/// were the baseline, so incremental edits of one document keep landing
+/// on the backend whose annotation engine is warm for it. Caches always
+/// use the canonical key — the baseline shapes placement, never results.
+void routing_key(const Json& request, std::string& out);
+
 /// Copy of `request` with the volatile fields removed (same exclusion
 /// set as canonical_request_key) — the *durable command form* the
 /// cluster layer journals and replicates. Re-issuing it on any backend,

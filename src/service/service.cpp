@@ -86,7 +86,8 @@ ServiceCore::ServiceCore(ServiceOptions options)
       // every chaos run's deterministic fault sequence.
       line_cache_(options_.fault_plan.empty() ? options_.line_cache_capacity
                                               : 0),
-      embed_cache_(options_.embed_cache_capacity) {}
+      embed_cache_(options_.embed_cache_capacity),
+      annotate_engine_(options_.annotate_cache_capacity) {}
 
 ServiceStats ServiceCore::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -136,7 +137,8 @@ bool ServiceCore::line_cacheable(const Json& request) const {
   const Json* op = request.get("op");
   if (op == nullptr || op->type() != Json::Type::kString) return false;
   const auto& name = op->as_string();
-  if (name != "run_study" && name != "run_replication") return false;
+  if (name != "run_study" && name != "run_replication" && name != "annotate")
+    return false;
   return !request.get_bool("no_cache", false);
 }
 
@@ -268,9 +270,23 @@ Json ServiceCore::dispatch(const Json& request,
       r.set("embed_cache_evictions",
             Json::number(static_cast<double>(embed_cache_.evictions())));
     }
+    {
+      // Engine hit/miss counters live here and only here: placing them in
+      // annotate responses would break warm-vs-cold bit-identity.
+      const auto s = annotate_engine_.cache_stats();
+      r.set("annotate_cache_size", Json::number(static_cast<double>(s.size)));
+      r.set("annotate_cache_capacity",
+            Json::number(static_cast<double>(s.capacity)));
+      r.set("annotate_cache_evictions",
+            Json::number(static_cast<double>(s.evictions)));
+      r.set("annotate_cache_hits",
+            Json::number(static_cast<double>(s.hits)));
+      r.set("annotate_cache_misses",
+            Json::number(static_cast<double>(s.misses)));
+    }
     return r;
   }
-  if (op != "run_study" && op != "run_replication")
+  if (op != "run_study" && op != "run_replication" && op != "annotate")
     return bad_request("unknown op '" + op + "'");
 
   maybe_stall(deadline);
@@ -282,6 +298,7 @@ Json ServiceCore::dispatch(const Json& request,
   for (int attempt = 0;; ++attempt) {
     try {
       faults_.raise_next("service.request");
+      if (op == "annotate") return annotate_op(request, deadline);
       return op == "run_study" ? run_study_op(request, deadline)
                                : run_replication_op(request, deadline);
     } catch (const util::FaultError& e) {
@@ -414,6 +431,97 @@ Json ServiceCore::run_replication_op(const Json& request,
     for (const std::string& n : report.degradation_notes)
       notes.push_back(Json::string(n));
     r.set("notes", notes);
+  } else if (!no_cache) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    result_cache_.put(key, r);
+  }
+  return r;
+}
+
+Json ServiceCore::annotate_op(const Json& request,
+                              const util::Deadline& deadline) {
+  const Json* src = request.get("source");
+  if (src == nullptr || src->type() != Json::Type::kString)
+    return bad_request("annotate requires string field 'source'");
+  const std::string source(src->as_string());
+
+  analysis_service::AnnotateOptions opts;
+  opts.threads = static_cast<std::size_t>(request.get_number(
+      "threads", static_cast<double>(options_.default_threads)));
+  opts.faults = &faults_;
+  if (const Json* typedefs = request.get("typedefs");
+      typedefs != nullptr && typedefs->type() == Json::Type::kArray) {
+    for (const Json& t : typedefs->items())
+      if (t.type() == Json::Type::kString)
+        opts.parse_options.typedef_names.insert(std::string(t.as_string()));
+  }
+
+  // The canonical key already strips the volatile fields ("threads",
+  // "baseline", ...), so two annotates of the same source share a slot no
+  // matter which baseline routed them here. Genuine parse errors are
+  // deterministic properties of the source and cache like any ok result;
+  // only injected-fault degradation is excluded.
+  const bool no_cache = request.get_bool("no_cache", false);
+  const std::string key = "annotate|" + canonical_request_key(request);
+  if (!no_cache) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const Json* hit = result_cache_.find(key)) {
+      ++stats_.cache_hits;
+      return *hit;
+    }
+  }
+
+  deadline.check("annotate");
+  const analysis_service::AnnotationResult result =
+      annotate_engine_.annotate(source, opts);
+
+  const auto span_json = [](const lang::SourceSpan& s) {
+    Json o = Json::object();
+    o.set("begin", Json::number(static_cast<double>(s.begin)));
+    o.set("end", Json::number(static_cast<double>(s.end)));
+    o.set("line", Json::number(s.line));
+    o.set("col", Json::number(s.col));
+    return o;
+  };
+
+  Json r = Json::object();
+  r.set("status", Json::string(result.degraded ? "degraded" : "ok"));
+  r.set("digest", Json::string(hex64(fnv1a(source))));
+  Json functions = Json::array();
+  std::size_t n_annotations = 0;
+  Json notes = Json::array();
+  for (const auto& f : result.functions) {
+    Json fo = Json::object();
+    fo.set("name", Json::string(f.name));
+    fo.set("digest", Json::string(f.digest));
+    fo.set("parsed", Json::boolean(f.parsed));
+    fo.set("span", span_json(f.span));
+    if (f.degraded) fo.set("degraded", Json::boolean(true));
+    if (!f.note.empty()) fo.set("note", Json::string(f.note));
+    Json annotations = Json::array();
+    for (const auto& a : f.annotations) {
+      Json ao = Json::object();
+      ao.set("kind", Json::string(a.kind));
+      ao.set("code", Json::string(a.code));
+      if (!a.symbol.empty()) ao.set("symbol", Json::string(a.symbol));
+      ao.set("span", span_json(a.span));
+      ao.set("message", Json::string(a.message));
+      annotations.push_back(std::move(ao));
+      ++n_annotations;
+    }
+    fo.set("annotations", std::move(annotations));
+    functions.push_back(std::move(fo));
+    if (f.degraded)
+      notes.push_back(Json::string("function #" +
+                                   std::to_string(&f - result.functions.data()) +
+                                   " degraded: " + f.note));
+  }
+  r.set("n_functions",
+        Json::number(static_cast<double>(result.functions.size())));
+  r.set("n_annotations", Json::number(static_cast<double>(n_annotations)));
+  r.set("functions", std::move(functions));
+  if (result.degraded) {
+    r.set("notes", std::move(notes));
   } else if (!no_cache) {
     const std::lock_guard<std::mutex> lock(mutex_);
     result_cache_.put(key, r);

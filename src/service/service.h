@@ -21,9 +21,11 @@
 // checkpoint until the deadline/watchdog fires. Both sites are driven by
 // the same deterministic FaultPlan as the rest of the pipeline.
 //
-// Caching: ok (never degraded) run_study/run_replication responses are
-// cached per canonical request key — the key excludes the thread count,
-// because results are bit-identical at every thread count — and embedding
+// Caching: ok (never degraded) run_study/run_replication/annotate
+// responses are cached per canonical request key — the key excludes the
+// thread count, because results are bit-identical at every thread count
+// (and, for annotate, the edit baseline, which only steers cluster
+// routing) — and embedding
 // models are cached per (corpus_sentences, corpus_seed) so repeated
 // metric requests skip training. Both caches are LRU-bounded
 // (ServiceOptions::{result,embed}_cache_capacity) so a long-lived backend
@@ -37,6 +39,7 @@
 #include <mutex>
 #include <string>
 
+#include "analysis_service/annotation_engine.h"
 #include "embed/embedding.h"
 #include "service/json.h"
 #include "util/arena.h"
@@ -69,6 +72,10 @@ struct ServiceOptions {
   /// (entries; 0 disables it). Lines live on a permanent arena that is
   /// compacted when evictions strand too many dead bytes.
   std::size_t line_cache_capacity = 256;
+  /// LRU bound on the annotation engine's per-function digest cache — the
+  /// incremental lane of the "annotate" op (entries; 0 recomputes every
+  /// function on every request).
+  std::size_t annotate_cache_capacity = 256;
 };
 
 /// Monotonic counters, readable via the "stats" op.
@@ -113,6 +120,7 @@ class ServiceCore {
   Json dispatch(const Json& request, const std::atomic<bool>* cancel);
   Json run_study_op(const Json& request, const util::Deadline& deadline);
   Json run_replication_op(const Json& request, const util::Deadline& deadline);
+  Json annotate_op(const Json& request, const util::Deadline& deadline);
   std::shared_ptr<const embed::EmbeddingModel> embedding_for(
       std::size_t sentences, std::uint64_t seed, std::size_t threads);
   void maybe_stall(const util::Deadline& deadline);
@@ -140,6 +148,10 @@ class ServiceCore {
   std::mutex embed_mutex_;
   util::LruCache<std::string, std::shared_ptr<const embed::EmbeddingModel>>
       embed_cache_;
+  /// Incremental annotation engine behind the "annotate" op. Internally
+  /// synchronized; its per-function digest cache is what makes a repeat
+  /// annotate of an edited document recompute only the edited function.
+  analysis_service::AnnotationEngine annotate_engine_;
 };
 
 }  // namespace decompeval::service

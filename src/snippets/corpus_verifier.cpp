@@ -105,6 +105,24 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
+// Collapses whitespace runs and truncates long span excerpts so one
+// diagnostic stays on one report line.
+std::string excerpt(const std::string& text) {
+  std::string out;
+  bool in_ws = false;
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      in_ws = true;
+      continue;
+    }
+    if (in_ws && !out.empty()) out += ' ';
+    in_ws = false;
+    out += c;
+  }
+  if (out.size() > 60) out = out.substr(0, 57) + "...";
+  return out;
+}
+
 // True when `line`, trimmed, is a substring of some line of `source`.
 bool contains_line(const std::string& source, const std::string& line) {
   const std::string needle = trim(line);
@@ -224,8 +242,13 @@ SnippetVerification verify_snippet(const Snippet& s,
   }
 
   // -- lint: clean original, artifact-bearing Hex-Rays ------------------
-  for (const auto& d : lang::lint_function(original))
+  for (const auto& d : lang::lint_function(original)) {
     v.original_diagnostics.push_back(d);
+    v.original_diagnostic_spans.push_back(
+        d.span.valid() && d.span.end <= s.original_source.size()
+            ? s.original_source.substr(d.span.begin, d.span.length())
+            : std::string());
+  }
   v.hexrays_artifacts = lang::artifact_count(lang::lint_function(hexrays));
   v.dirty_artifacts = lang::artifact_count(lang::lint_function(dirty));
   if (v.hexrays_artifacts == 0)
@@ -256,8 +279,13 @@ std::string verification_report(
     out << v.snippet_id << ":\n";
     for (const auto& pe : v.parse_errors)
       out << "  parse error (" << pe.variant << "): " << pe.message << "\n";
-    for (const auto& d : v.original_diagnostics)
-      out << "  original: " << lang::to_string(d) << "\n";
+    for (std::size_t i = 0; i < v.original_diagnostics.size(); ++i) {
+      out << "  original: " << lang::to_string(v.original_diagnostics[i]);
+      if (i < v.original_diagnostic_spans.size() &&
+          !v.original_diagnostic_spans[i].empty())
+        out << " `" << excerpt(v.original_diagnostic_spans[i]) << "`";
+      out << "\n";
+    }
     for (const auto& text : v.alignment_issues) out << "  " << text << "\n";
   }
   out << n_clean << "/" << results.size() << " snippets clean\n";

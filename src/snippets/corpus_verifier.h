@@ -51,6 +51,10 @@ struct SnippetVerification {
   /// Dataflow + artifact diagnostics on the original variant (must be
   /// empty for a clean corpus: the original is real, human-written code).
   std::vector<lang::LintDiagnostic> original_diagnostics;
+  /// Source text under each diagnostic's span (aligned with
+  /// original_diagnostics), so report lines show the offending code, not
+  /// just its position.
+  std::vector<std::string> original_diagnostic_spans;
   /// Human-readable alignment inconsistencies (empty = consistent).
   std::vector<std::string> alignment_issues;
 

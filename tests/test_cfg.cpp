@@ -192,22 +192,23 @@ TEST(Dataflow, UnusedParameterAndLocalAreReported) {
   const auto d = flow_of(
       "int f(int a, int b) { int unused_tmp; return a; }");
   ASSERT_EQ(d.unused_params.size(), 1u);
-  EXPECT_EQ(d.unused_params[0], "b");
+  EXPECT_EQ(d.unused_params[0].name, "b");
+  EXPECT_TRUE(d.unused_params[0].span.valid());
   ASSERT_EQ(d.unused_locals.size(), 1u);
-  EXPECT_EQ(d.unused_locals[0], "unused_tmp");
+  EXPECT_EQ(d.unused_locals[0].name, "unused_tmp");
 }
 
 TEST(Dataflow, FullyUnusedLocalIsNotAlsoADeadStore) {
   const auto d = flow_of("int f(int a) { int x = a; return a; }");
   ASSERT_EQ(d.unused_locals.size(), 1u);
-  EXPECT_EQ(d.unused_locals[0], "x");
+  EXPECT_EQ(d.unused_locals[0].name, "x");
   EXPECT_TRUE(d.dead_stores.empty());
 }
 
-TEST(Dataflow, UnreachableLinesReported) {
+TEST(Dataflow, UnreachableSpansReported) {
   const auto d = flow_of("int f(int a) {\n  return a;\n  a = 2;\n}");
-  ASSERT_EQ(d.unreachable_lines.size(), 1u);
-  EXPECT_EQ(d.unreachable_lines[0], 3);
+  ASSERT_EQ(d.unreachable_spans.size(), 1u);
+  EXPECT_EQ(d.unreachable_spans[0].line, 3);
 }
 
 TEST(Dataflow, CleanFunctionIsClean) {

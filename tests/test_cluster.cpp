@@ -33,6 +33,7 @@
 #include "cluster/hash_ring.h"
 #include "core/replication.h"
 #include "service/server.h"
+#include "service/service.h"
 
 namespace {
 
@@ -456,6 +457,50 @@ TEST(ClusterTest, FrontServerWarmRepeatHitsDispatcherResponseCache) {
   const cluster::DispatcherStats stats = cluster.dispatcher->stats();
   EXPECT_EQ(stats.response_cache_hits, 1u);
   EXPECT_EQ(stats.forwarded, 1u);  // only the cold request reached a backend
+}
+
+TEST(ClusterTest, AnnotateThroughDispatcherMatchesDirectCoreBitForBit) {
+  const std::string source =
+      "int first(int a1) { int v5; v5 = a1; return v5 + v5; }\n"
+      "\n"
+      "int second(int a2) {\n  int dead = a2;\n  return a2;\n}\n";
+  const auto annotate_request = [&](double threads) {
+    Json req = Json::object();
+    req.set("op", Json::string("annotate"));
+    req.set("source", Json::string(source));
+    req.set("threads", Json::number(threads));
+    return req;
+  };
+
+  // Offline reference: a standalone core answering the same request.
+  service::ServiceCore reference;
+  const Json offline = reference.handle(annotate_request(1));
+  ASSERT_EQ(offline.get_string("status", ""), "ok");
+  const std::string expected = offline.dump();
+
+  TestCluster cluster("annotate", 2);
+  service::ServiceClient client;
+  client.connect(cluster.front_socket);
+  for (const double threads : {1.0, 2.0, 4.0}) {
+    const Json r = client.call(annotate_request(threads));
+    EXPECT_EQ(r.dump(), expected) << "threads=" << threads;
+  }
+
+  // Incremental serving: the baseline steers routing but never leaks into
+  // the payload, so a baseline-carrying edit equals its from-scratch twin.
+  std::string edited = source;
+  const std::size_t at = edited.find("v5 + v5");
+  ASSERT_NE(at, std::string::npos);
+  edited.replace(at, 7, "v5 * v5");
+  Json incremental = Json::object();
+  incremental.set("op", Json::string("annotate"));
+  incremental.set("source", Json::string(edited));
+  incremental.set("baseline", Json::string(source));
+  Json scratch = Json::object();
+  scratch.set("op", Json::string("annotate"));
+  scratch.set("source", Json::string(edited));
+  EXPECT_EQ(client.call(incremental).dump(),
+            reference.handle(scratch).dump());
 }
 
 TEST(ClusterTest, FailoverToNextRingNodeWhenABackendDies) {

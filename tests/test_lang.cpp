@@ -22,7 +22,8 @@ TEST(Lexer, TokenKindsAndLines) {
   EXPECT_EQ(tokens[3].kind, TokenKind::kNumber);
   EXPECT_EQ(tokens[3].text, "0x1fLL");
   EXPECT_EQ(tokens[5].kind, TokenKind::kString);
-  EXPECT_EQ(tokens[5].line, 2);
+  EXPECT_EQ(tokens[5].span.line, 2);
+  EXPECT_EQ(tokens[5].span.col, 1);
   EXPECT_EQ(tokens[6].kind, TokenKind::kCharLiteral);
   EXPECT_TRUE(tokens[7].is_punct("->"));
   EXPECT_EQ(tokens.back().kind, TokenKind::kEndOfFile);

@@ -84,11 +84,11 @@ TEST(Lint, OptionsGateTheCheckFamilies) {
   EXPECT_EQ(artifact_count(flow), 0u);
 }
 
-TEST(Lint, DiagnosticsAreSortedByLine) {
+TEST(Lint, DiagnosticsAreSortedBySpan) {
   const auto diags = lint_source(
       "int f(int a1) {\n  int v2;\n  int dead = a1;\n  return a1 + v2;\n}");
   for (std::size_t i = 1; i < diags.size(); ++i)
-    EXPECT_LE(diags[i - 1].line, diags[i].line);
+    EXPECT_LE(diags[i - 1].span.begin, diags[i].span.begin);
 }
 
 // ------------------------------------------------------- paper snippets

@@ -1,0 +1,292 @@
+// Structural/value-flow pass tests (lang/passes.h): dominator tree,
+// natural-loop detection, SCCP constant-branch and degenerate-loop
+// diagnostics, placeholder copy chains, and type-flow collapse.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lang/cfg.h"
+#include "lang/lint.h"
+#include "lang/parser.h"
+#include "lang/passes.h"
+
+namespace {
+
+using namespace decompeval::lang;
+
+struct Analysis {
+  Function fn;
+  Cfg cfg;
+};
+
+Analysis analyze(const std::string& source) {
+  Analysis a;
+  a.fn = parse_function(source);
+  a.cfg = build_cfg(a.fn);
+  return a;
+}
+
+bool has_code(const std::vector<LintDiagnostic>& diags,
+              const std::string& code) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const LintDiagnostic& d) { return d.code == code; });
+}
+
+std::vector<LintDiagnostic> all_pass_diags(const Analysis& a) {
+  std::vector<LintDiagnostic> out = constant_branch_diagnostics(a.fn, a.cfg);
+  for (auto& d : copy_chain_diagnostics(a.fn)) out.push_back(d);
+  for (auto& d : type_flow_diagnostics(a.fn)) out.push_back(d);
+  return out;
+}
+
+// ------------------------------------------------------------- dominators
+
+TEST(Dominators, EntryDominatesEverythingReachable) {
+  const auto a = analyze(
+      "int f(int x) { if (x) { x = 1; } else { x = 2; } return x; }");
+  const DominatorTree dom = compute_dominators(a.cfg);
+  for (std::size_t b = 0; b < a.cfg.blocks.size(); ++b)
+    if (a.cfg.reachable[b]) {
+      EXPECT_TRUE(dom.dominates(a.cfg.entry, b)) << "block " << b;
+      EXPECT_TRUE(dom.dominates(b, b)) << "block " << b;  // reflexive
+    }
+  EXPECT_GE(dom.height, 1);
+}
+
+TEST(Dominators, BranchArmsDoNotDominateEachOther) {
+  const auto a = analyze(
+      "int f(int x) { int y; if (x) { y = 1; } else { y = 2; } return y; }");
+  const DominatorTree dom = compute_dominators(a.cfg);
+  // Find the two single-assignment arm blocks via their idoms: both arms
+  // share the branch block as immediate dominator and neither dominates
+  // the join.
+  std::vector<std::size_t> arms;
+  for (std::size_t b = 0; b < a.cfg.blocks.size(); ++b) {
+    if (!a.cfg.reachable[b] || b == a.cfg.entry || b == a.cfg.exit) continue;
+    if (a.cfg.blocks[b].preds.size() == 1 && a.cfg.blocks[b].succs.size() == 1)
+      arms.push_back(b);
+  }
+  ASSERT_GE(arms.size(), 2u);
+  EXPECT_FALSE(dom.dominates(arms[0], arms[1]));
+  EXPECT_FALSE(dom.dominates(arms[1], arms[0]));
+}
+
+TEST(Dominators, UnreachableBlocksHaveNoIdom) {
+  const auto a = analyze("int f(int x) { return x; x = 2; return x; }");
+  const DominatorTree dom = compute_dominators(a.cfg);
+  bool saw_unreachable = false;
+  for (std::size_t b = 0; b < a.cfg.blocks.size(); ++b)
+    if (!a.cfg.reachable[b]) {
+      saw_unreachable = true;
+      EXPECT_EQ(dom.idom[b], kNoBlock);
+      EXPECT_EQ(dom.depth[b], -1);
+    }
+  EXPECT_TRUE(saw_unreachable);
+}
+
+// ----------------------------------------------------------- natural loops
+
+TEST(NaturalLoops, StraightLineCodeHasNone) {
+  const auto a = analyze("int f(int x) { if (x) { x = 1; } return x; }");
+  const auto loops = find_natural_loops(a.cfg, compute_dominators(a.cfg));
+  EXPECT_TRUE(loops.empty());
+}
+
+TEST(NaturalLoops, WhileLoopIsDetected) {
+  const auto a = analyze(
+      "int f(int n) { int s = 0; int i = 0;"
+      " while (i < n) { s = s + i; i = i + 1; } return s; }");
+  const auto loops = find_natural_loops(a.cfg, compute_dominators(a.cfg));
+  ASSERT_EQ(loops.size(), 1u);
+  const NaturalLoop& loop = loops[0];
+  EXPECT_TRUE(std::binary_search(loop.blocks.begin(), loop.blocks.end(),
+                                 loop.header));
+  EXPECT_TRUE(std::binary_search(loop.blocks.begin(), loop.blocks.end(),
+                                 loop.latch));
+}
+
+TEST(NaturalLoops, NestedLoopsAreBothFound) {
+  const auto a = analyze(
+      "int f(int n) { int s = 0;"
+      " for (int i = 0; i < n; i = i + 1)"
+      "   for (int j = 0; j < i; j = j + 1) { s = s + j; }"
+      " return s; }");
+  const DominatorTree dom = compute_dominators(a.cfg);
+  const auto loops = find_natural_loops(a.cfg, dom);
+  ASSERT_EQ(loops.size(), 2u);
+  // One loop's block set contains the other's header (nesting).
+  const bool nested =
+      std::binary_search(loops[0].blocks.begin(), loops[0].blocks.end(),
+                         loops[1].header) ||
+      std::binary_search(loops[1].blocks.begin(), loops[1].blocks.end(),
+                         loops[0].header);
+  EXPECT_TRUE(nested);
+  EXPECT_EQ(summarize_passes(a.fn, a.cfg).n_natural_loops, 2u);
+}
+
+// ------------------------------------------------------------------- SCCP
+
+TEST(Sccp, ConstantTrueBranchIsFlagged) {
+  const auto a = analyze(
+      "int f(int n) { int flag = 1; if (flag) { return n; } return 0; }");
+  const auto diags = constant_branch_diagnostics(a.fn, a.cfg);
+  EXPECT_TRUE(has_code(diags, "branch-always-true"));
+  EXPECT_FALSE(has_code(diags, "branch-always-false"));
+}
+
+TEST(Sccp, ConstantFalseBranchIsFlagged) {
+  const auto a = analyze(
+      "int f(int n) { int flag = 3 - 3; if (flag) { n = n + 1; } return n; }");
+  EXPECT_TRUE(
+      has_code(constant_branch_diagnostics(a.fn, a.cfg), "branch-always-false"));
+}
+
+TEST(Sccp, DataDependentBranchIsNotFlagged) {
+  const auto a = analyze(
+      "int f(int n) { if (n > 3) { return 1; } return 0; }");
+  EXPECT_TRUE(constant_branch_diagnostics(a.fn, a.cfg).empty());
+}
+
+TEST(Sccp, BareLiteralLoopIdiomIsSkipped) {
+  const auto a = analyze(
+      "int f(int n) { while (1) { n = n - 1; if (n < 0) { break; } }"
+      " return n; }");
+  // `while (1)` is deliberate idiom, not a decompilation artifact.
+  EXPECT_TRUE(constant_branch_diagnostics(a.fn, a.cfg).empty());
+}
+
+TEST(Sccp, ValueFlowsThroughReassignment) {
+  const auto a = analyze(
+      "int f(int n) { int x = 2; int y = x * 3; if (y == 6) { return n; }"
+      " return 0; }");
+  EXPECT_TRUE(
+      has_code(constant_branch_diagnostics(a.fn, a.cfg), "branch-always-true"));
+}
+
+TEST(Sccp, CallResultsAreNeverConstant) {
+  const auto a = analyze(
+      "int f(int n) { int x = g(); if (x) { return n; } return 0; }");
+  EXPECT_TRUE(constant_branch_diagnostics(a.fn, a.cfg).empty());
+}
+
+TEST(Sccp, DegenerateLoopBodyNeverExecutes) {
+  const auto a = analyze(
+      "int f(int n) { int stop = 0; while (stop) { n = n + 1; } return n; }");
+  const auto diags = constant_branch_diagnostics(a.fn, a.cfg);
+  ASSERT_TRUE(has_code(diags, "degenerate-loop"));
+  for (const auto& d : diags) {
+    if (d.code == "degenerate-loop") {
+      EXPECT_NE(d.message.find("never executes"), std::string::npos)
+          << d.message;
+    }
+  }
+}
+
+TEST(Sccp, DegenerateLoopNeverTerminates) {
+  const auto a = analyze(
+      "int f(int n) { int go = 1; int s = 0; while (go) { s = s + 1; }"
+      " return s; }");
+  const auto diags = constant_branch_diagnostics(a.fn, a.cfg);
+  ASSERT_TRUE(has_code(diags, "degenerate-loop"));
+  for (const auto& d : diags) {
+    if (d.code == "degenerate-loop") {
+      EXPECT_NE(d.message.find("never terminates"), std::string::npos)
+          << d.message;
+    }
+  }
+}
+
+// ------------------------------------------------------------ copy chains
+
+TEST(CopyChains, PlaceholderCopyOfVariableFlagsWholeChain) {
+  const std::string source =
+      "int f(int a1) { int v5; v5 = a1; return v5 + v5; }";
+  const auto a = analyze(source);
+  const auto diags = copy_chain_diagnostics(a.fn);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, "placeholder-copy-chain");
+  EXPECT_EQ(diags[0].symbol, "v5");
+  // The span covers the definition through the last use.
+  const std::string covered =
+      source.substr(diags[0].span.begin, diags[0].span.length());
+  EXPECT_NE(covered.find("v5 = a1"), std::string::npos) << covered;
+  EXPECT_GE(diags[0].span.end, source.rfind("v5"));
+}
+
+TEST(CopyChains, NonPlaceholderNamesAreNotFlagged) {
+  const auto a = analyze(
+      "int f(int a1) { int len; len = a1; return len + len; }");
+  EXPECT_TRUE(copy_chain_diagnostics(a.fn).empty());
+}
+
+TEST(CopyChains, MultiplyDefinedPlaceholderIsNotAChain) {
+  const auto a = analyze(
+      "int f(int a1) { int v5; v5 = a1; v5 = v5 + 1; return v5; }");
+  EXPECT_TRUE(copy_chain_diagnostics(a.fn).empty());
+}
+
+// -------------------------------------------------------------- type flow
+
+TEST(TypeFlow, FlatCastOfConcreteVariableCollapses) {
+  const auto a = analyze(
+      "int f(int n) { __int64 v5 = (__int64)n; return (int)v5; }");
+  const auto diags = type_flow_diagnostics(a.fn);
+  EXPECT_TRUE(has_code(diags, "collapsible-flat-cast"));
+  EXPECT_TRUE(has_code(diags, "collapsible-flat-decl"));
+}
+
+TEST(TypeFlow, ConcreteCastsAreLeftAlone) {
+  const auto a = analyze(
+      "int f(int n) { long v = (long)n; return (int)v; }");
+  EXPECT_TRUE(type_flow_diagnostics(a.fn).empty());
+}
+
+TEST(TypeFlow, FlatCastOfFlatVariableIsNotCollapsible) {
+  const auto a = analyze(
+      "int f(__int64 a1) { return (int)(_QWORD)a1; }");
+  // a1's declared type is itself flat — nothing concrete to collapse to.
+  EXPECT_FALSE(has_code(type_flow_diagnostics(a.fn), "collapsible-flat-cast"));
+}
+
+// ------------------------------------------------- lint integration & misc
+
+TEST(Passes, LintSurfacesPassDiagnostics) {
+  const auto diags = lint_function(parse_function(
+      "int f(int a1) { int v5; int one = 1; v5 = a1;"
+      " if (one) { return v5; } return 0; }"));
+  EXPECT_TRUE(has_code(diags, "branch-always-true"));
+  EXPECT_TRUE(has_code(diags, "placeholder-copy-chain"));
+  LintOptions no_passes;
+  no_passes.pass_checks = false;
+  const auto without = lint_function(
+      parse_function("int f(int a1) { int v5; int one = 1; v5 = a1;"
+                     " if (one) { return v5; } return 0; }"),
+      no_passes);
+  EXPECT_FALSE(has_code(without, "branch-always-true"));
+  EXPECT_FALSE(has_code(without, "placeholder-copy-chain"));
+}
+
+TEST(Passes, DiagnosticsAreDeterministic) {
+  const std::string source =
+      "int f(int a1, int a2) { int v5; int v6 = 0; v5 = a1;"
+      " while (v6) { a2 = a2 + 1; } __int64 v7 = (__int64)a2;"
+      " return v5 + (int)v7; }";
+  const auto a = analyze(source);
+  const auto b = analyze(source);
+  EXPECT_EQ(all_pass_diags(a), all_pass_diags(b));
+}
+
+TEST(Passes, SummaryCountsMatchPasses) {
+  const auto a = analyze(
+      "int f(int n) { int go = 1; int s = 0;"
+      " for (int i = 0; i < n; i = i + 1) { s = s + i; }"
+      " if (go) { s = s + 1; } return s; }");
+  const PassSummary s = summarize_passes(a.fn, a.cfg);
+  EXPECT_EQ(s.n_natural_loops, 1u);
+  EXPECT_GE(s.dominator_height, 2);
+  EXPECT_GE(s.n_constant_branches, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// Span-fidelity property suite: offset <-> (line, col) round trips
+// through lang::SourceMap, token spans that reproduce their lexeme byte
+// for byte, lint-diagnostic spans that land inside their source, and the
+// annotation engine's incremental == from-scratch bit-identity under
+// randomized single-function edits at several thread counts.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis_service/annotation_engine.h"
+#include "decompiler/generator.h"
+#include "lang/lexer.h"
+#include "lang/lint.h"
+#include "lang/parser.h"
+#include "lang/source_map.h"
+#include "snippets/snippet.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace decompeval;
+using analysis_service::AnnotateOptions;
+using analysis_service::AnnotationEngine;
+using analysis_service::AnnotationResult;
+using lang::SourceMap;
+
+/// Paper snippets plus a generated synthetic pool: the same corpus the
+/// verifier gates, so span properties hold on everything we annotate.
+std::vector<snippets::Snippet> corpus_snippets() {
+  std::vector<snippets::Snippet> all = snippets::study_snippets();
+  for (auto& s : decompiler::generate_snippets(20, {}))
+    all.push_back(std::move(s));
+  return all;
+}
+
+/// All sources the properties sweep: every variant of every corpus
+/// snippet plus a few synthetic shapes the corpus does not cover.
+std::vector<std::string> property_sources() {
+  std::vector<std::string> out;
+  for (const auto& s : corpus_snippets()) {
+    out.push_back(s.original_source);
+    out.push_back(s.hexrays_source);
+    out.push_back(s.dirty_source);
+  }
+  out.push_back("");
+  out.push_back("\n\n\n");
+  out.push_back("int f(int a) { return a; }\n");
+  out.push_back("int f(int a) {\r\n  return a;\r\n}\r\n");
+  out.push_back("int f() { const char *s = \"two\\nlines\"; return s[0]; }");
+  return out;
+}
+
+TEST(SourceMapProperty, OffsetLineColRoundTripsAtEveryByte) {
+  for (const auto& source : property_sources()) {
+    const SourceMap map(source);
+    for (std::size_t offset = 0; offset <= source.size(); ++offset) {
+      const lang::LineCol at = map.to_line_col(offset);
+      ASSERT_GE(at.line, 1);
+      ASSERT_GE(at.col, 1);
+      ASSERT_EQ(map.to_offset(at.line, at.col), offset)
+          << "offset " << offset << " in source of " << source.size()
+          << " bytes";
+    }
+  }
+}
+
+TEST(SourceMapProperty, LineTextNeverContainsNewlines) {
+  for (const auto& source : property_sources()) {
+    const SourceMap map(source);
+    for (int line = 1; line <= map.line_count(); ++line) {
+      const std::string_view text = map.line_text(line);
+      EXPECT_EQ(text.find('\n'), std::string_view::npos);
+      // Every line's text is what sits at its start offset.
+      const std::size_t start = map.to_offset(line, 1);
+      EXPECT_EQ(std::string_view(source).substr(start, text.size()), text);
+    }
+  }
+}
+
+TEST(TokenSpanProperty, EveryTokenSpanReproducesItsLexeme) {
+  for (const auto& source : property_sources()) {
+    const SourceMap map(source);
+    for (const auto& tok : lang::lex(source)) {
+      if (tok.is(lang::TokenKind::kEndOfFile)) {
+        EXPECT_EQ(tok.span.begin, source.size());
+        continue;
+      }
+      ASSERT_LE(tok.span.end, source.size());
+      EXPECT_EQ(source.substr(tok.span.begin, tok.span.length()), tok.text);
+      // The span's (line, col) agrees with the offset mapper.
+      const lang::LineCol at = map.to_line_col(tok.span.begin);
+      EXPECT_EQ(at.line, tok.span.line);
+      EXPECT_EQ(at.col, tok.span.col);
+    }
+  }
+}
+
+TEST(LintSpanProperty, DiagnosticSpansLandInsideTheirSource) {
+  for (const auto& s : corpus_snippets()) {
+    for (const std::string* source :
+         {&s.original_source, &s.hexrays_source, &s.dirty_source}) {
+      const SourceMap map(*source);
+      const auto fn = lang::parse_function(*source, s.parse_options);
+      for (const auto& d : lang::lint_function(fn)) {
+        ASSERT_TRUE(d.span.valid()) << d.code << " " << d.symbol;
+        ASSERT_LE(d.span.begin, d.span.end);
+        ASSERT_LE(d.span.end, source->size());
+        const lang::LineCol at = map.to_line_col(d.span.begin);
+        EXPECT_EQ(at.line, d.span.line) << d.code;
+        EXPECT_EQ(at.col, d.span.col) << d.code;
+        // A variable-naming diagnostic's span covers that variable. (Type
+        // artifacts are excluded: their symbol is the normalized type
+        // spelling, which need not match the source bytes.)
+        const bool names_variable =
+            d.code == "use-before-init" || d.code == "dead-store" ||
+            d.code == "unused-param" || d.code == "unused-local" ||
+            d.code == "placeholder-name" || d.code == "placeholder-copy-chain";
+        if (names_variable) {
+          EXPECT_NE(source->substr(d.span.begin, d.span.length())
+                        .find(d.symbol),
+                    std::string::npos)
+              << d.code << " " << d.symbol;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------- incremental == from-scratch
+
+/// Deterministic synthetic function: `version` perturbs a constant so an
+/// "edit" regenerates one function's text without touching the others.
+std::string synth_function(std::size_t index, std::uint64_t version) {
+  const std::string n = std::to_string(index);
+  const std::string v = std::to_string(1 + version % 7);
+  switch (index % 3) {
+    case 0:
+      return "int sum_" + n + "(int a1, int count) {\n  int v5 = 0;\n"
+             "  for (int i = 0; i < count; i = i + 1) { v5 = v5 + a1; }\n"
+             "  return v5 + " + v + ";\n}\n";
+    case 1:
+      return "int scale_" + n + "(int a1) {\n  int v3;\n  v3 = a1;\n"
+             "  __int64 v4 = (__int64)v3;\n  return (int)(v4 * " + v +
+             ");\n}\n";
+    default:
+      return "int pick_" + n + "(int a1, int a2) {\n  int flag = " + v +
+             ";\n  if (flag) { return a1; }\n  return a2;\n}\n";
+  }
+}
+
+std::string assemble(const std::vector<std::uint64_t>& versions) {
+  std::string source;
+  for (std::size_t i = 0; i < versions.size(); ++i)
+    source += synth_function(i, versions[i]) + "\n";
+  return source;
+}
+
+TEST(IncrementalProperty, WarmEqualsColdUnderRandomSingleFunctionEdits) {
+  constexpr std::size_t kFunctions = 6;
+  constexpr int kEdits = 12;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    util::Rng rng(0xBEEF + threads);
+    std::vector<std::uint64_t> versions(kFunctions, 0);
+    AnnotationEngine warm(128);
+    AnnotateOptions options;
+    options.threads = threads;
+    for (int edit = 0; edit <= kEdits; ++edit) {
+      const std::string source = assemble(versions);
+      const AnnotationResult incremental = warm.annotate(source, options);
+      // A fresh engine has never seen any slice: pure from-scratch.
+      AnnotationEngine cold(128);
+      const AnnotationResult scratch = cold.annotate(source, options);
+      ASSERT_EQ(incremental, scratch) << "edit " << edit << " at threads "
+                                      << threads;
+      ASSERT_EQ(incremental.functions.size(), kFunctions);
+      for (const auto& f : incremental.functions) {
+        EXPECT_TRUE(f.parsed) << f.note;
+        // Rebased spans must reproduce the function's slice text.
+        EXPECT_EQ(source.substr(f.span.begin, f.span.end - f.span.begin)
+                      .find("int "),
+                  0u);
+      }
+      // Edit exactly one randomly chosen function and go again.
+      versions[rng.uniform_index(kFunctions)] += 1;
+    }
+    // The warm engine must have actually reused slices: after the first
+    // pass each edit recomputes one function, not all of them.
+    const auto stats = warm.cache_stats();
+    EXPECT_LE(stats.misses,
+              kFunctions + static_cast<std::uint64_t>(kEdits) + 2);
+    EXPECT_GT(stats.hits, 0u);
+  }
+}
+
+TEST(IncrementalProperty, EditShiftsLaterFunctionsButHitsTheirCache) {
+  AnnotationEngine engine(64);
+  AnnotateOptions options;
+  const std::string before =
+      "int f(int a) { return a; }\n\nint g(int v5) { int v6; v6 = v5;"
+      " return v6; }\n";
+  const std::string after =
+      "int f(int a) {\n  int pad = 1;\n  return a + pad; }\n\n"
+      "int g(int v5) { int v6; v6 = v5; return v6; }\n";
+  const AnnotationResult r1 = engine.annotate(before, options);
+  const AnnotationResult r2 = engine.annotate(after, options);
+  ASSERT_EQ(r1.functions.size(), 2u);
+  ASSERT_EQ(r2.functions.size(), 2u);
+  // g's digest is unchanged (same slice text), its spans are rebased.
+  EXPECT_EQ(r1.functions[1].digest, r2.functions[1].digest);
+  EXPECT_GT(r2.functions[1].span.begin, r1.functions[1].span.begin);
+  ASSERT_EQ(r1.functions[1].annotations.size(),
+            r2.functions[1].annotations.size());
+  for (std::size_t i = 0; i < r1.functions[1].annotations.size(); ++i) {
+    const auto& a1 = r1.functions[1].annotations[i];
+    const auto& a2 = r2.functions[1].annotations[i];
+    EXPECT_EQ(before.substr(a1.span.begin, a1.span.length()),
+              after.substr(a2.span.begin, a2.span.length()));
+    EXPECT_EQ(a1.message, a2.message);
+  }
+  const auto stats = engine.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);    // g on the second pass
+  EXPECT_EQ(stats.misses, 3u);  // f, g, edited f
+}
+
+}  // namespace

@@ -16,6 +16,7 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include <filesystem>
@@ -154,10 +155,12 @@ struct BenchCluster {
   std::unique_ptr<cluster::Dispatcher> dispatcher;
 
   BenchCluster(const std::string& prefix, std::size_t n_backends,
-               std::size_t replication_factor) {
+               std::size_t replication_factor, double hedge_delay_ms = 0.0,
+               std::size_t response_cache_capacity = 256) {
     cluster::DispatcherOptions dispatch;
-    dispatch.response_cache_capacity = 256;
+    dispatch.response_cache_capacity = response_cache_capacity;
     dispatch.replication_factor = replication_factor;
+    dispatch.hedge_delay_ms = hedge_delay_ms;
     for (std::size_t i = 0; i < n_backends; ++i) {
       const std::string tag = prefix + "-" + std::to_string(n_backends) +
                               "-r" + std::to_string(replication_factor) +
@@ -404,6 +407,94 @@ AnnotateReading bench_annotate(std::size_t n_backends) {
   return reading;
 }
 
+// Fixed-offered-load ladder: four open-loop clients each fire a warm
+// run_study request every 10 ms (400 req/s offered in total, independent
+// of how fast responses come back), for one second, against 1/2/4
+// socket-served backends — once with hedging off and once with a 5 ms
+// hedge delay armed. The dispatcher's own response cache is disabled so
+// every request crosses a socket; the comparison isolates what arming
+// hedged reads costs on an all-healthy cluster (it should be ~nothing:
+// warm forwards answer far inside the hedge delay, so hedges rarely
+// fire) while the chaos suite proves what hedging buys when a peer
+// stalls.
+struct OfferedLoadReading {
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double achieved_rps = 0.0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+};
+
+OfferedLoadReading bench_offered_load(std::size_t n_backends, bool hedging) {
+  using service::Json;
+  constexpr std::uint64_t kSeeds = 12;
+  constexpr std::size_t kClients = 4;
+  constexpr auto kSendInterval = std::chrono::milliseconds(10);
+  constexpr auto kWindow = std::chrono::milliseconds(1000);
+
+  BenchCluster bench("offered", n_backends, /*replication_factor=*/1,
+                     /*hedge_delay_ms=*/hedging ? 5.0 : 0.0,
+                     /*response_cache_capacity=*/0);
+  cluster::Dispatcher& dispatcher = *bench.dispatcher;
+
+  std::vector<Json> requests;
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    Json req = Json::object();
+    req.set("op", Json::string("run_study"));
+    req.set("seed", Json::number(static_cast<double>(seed)));
+    requests.push_back(std::move(req));
+  }
+  // Pre-warm every backend cache so the window measures serving, not
+  // first-time computation.
+  for (const Json& req : requests)
+    benchmark::DoNotOptimize(dispatcher.handle(req, nullptr));
+
+  std::vector<std::vector<double>> per_client(kClients);
+  std::vector<std::thread> clients;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto next_send = start;
+      std::size_t i = c;  // stagger which seed each client cycles from
+      while (true) {
+        next_send += kSendInterval;
+        if (next_send - start > kWindow) break;
+        std::this_thread::sleep_until(next_send);
+        const Json& req = requests[i++ % requests.size()];
+        const auto t0 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(dispatcher.handle(req, nullptr));
+        per_client[c].push_back(std::chrono::duration<double, std::micro>(
+                                    std::chrono::steady_clock::now() - t0)
+                                    .count());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  const double elapsed_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+
+  std::vector<double> latencies;
+  for (const auto& lane : per_client)
+    latencies.insert(latencies.end(), lane.begin(), lane.end());
+  std::sort(latencies.begin(), latencies.end());
+  const auto percentile = [&](double p) {
+    const std::size_t rank = static_cast<std::size_t>(
+        p * static_cast<double>(latencies.size() - 1));
+    return latencies[rank];
+  };
+  OfferedLoadReading reading;
+  reading.p50_us = percentile(0.50);
+  reading.p95_us = percentile(0.95);
+  reading.p99_us = percentile(0.99);
+  reading.achieved_rps = static_cast<double>(latencies.size()) / elapsed_s;
+  const cluster::DispatcherStats stats = dispatcher.stats();
+  reading.hedges = stats.hedges;
+  reading.hedge_wins = stats.hedge_wins;
+  return reading;
+}
+
 // Cold metric battery: the four metric kernels over a fixed randomized
 // workload, timed with the rewritten kernels and again with the retained
 // reference implementations, results compared for exact equality. The
@@ -606,6 +697,15 @@ int main(int argc, char** argv) {
     for (const std::size_t n : backend_ladder)
       annotate_readings.push_back(bench_annotate(n));
 
+    // 6d. Fixed-offered-load ladder (400 req/s, warm forwards) at 1/2/4
+    //     backends, hedging off vs armed — the cost of carrying hedged
+    //     reads on a healthy cluster.
+    std::vector<OfferedLoadReading> unhedged_readings, hedged_readings;
+    for (const std::size_t n : backend_ladder) {
+      unhedged_readings.push_back(bench_offered_load(n, /*hedging=*/false));
+      hedged_readings.push_back(bench_offered_load(n, /*hedging=*/true));
+    }
+
     // 7. Cold metric battery, rewritten kernels vs retained references.
     const BatteryReading battery = bench_metric_battery();
 
@@ -685,6 +785,23 @@ int main(int argc, char** argv) {
       std::cout << "  NOTE: " << hw << "-core host — the forwarded ladder "
                 << "measures thread contention, not sharding; see the "
                 << "comment above bench_cluster.\n";
+    }
+
+    std::cout << "\nFixed offered load (400 req/s warm forwards, hedging "
+                 "off vs 5ms hedge):\n";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i) {
+      const OfferedLoadReading& off = unhedged_readings[i];
+      const OfferedLoadReading& on = hedged_readings[i];
+      std::cout << "  backends=" << backend_ladder[i]
+                << ":  unhedged p50/p95/p99=" << format_fixed(off.p50_us, 1)
+                << "/" << format_fixed(off.p95_us, 1) << "/"
+                << format_fixed(off.p99_us, 1) << " us ("
+                << format_fixed(off.achieved_rps, 1) << " req/s)  hedged"
+                << " p50/p95/p99=" << format_fixed(on.p50_us, 1) << "/"
+                << format_fixed(on.p95_us, 1) << "/"
+                << format_fixed(on.p99_us, 1) << " us ("
+                << format_fixed(on.achieved_rps, 1) << " req/s, hedges="
+                << on.hedges << ", wins=" << on.hedge_wins << ")\n";
     }
 
     std::cout << "\nCold metric battery (kernels vs retained references):\n"
@@ -783,6 +900,30 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < backend_ladder.size(); ++i)
       json << (i ? ", " : "") << "\"" << backend_ladder[i]
            << "\": " << format_fixed(annotate_readings[i].warm_rps, 3);
+    json << "},\n  \"offered_load_target_rps\": 400";
+    json << ",\n  \"offered_load_unhedged_latency_us\": {";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"" << backend_ladder[i] << "\": {\"p50\": "
+           << format_fixed(unhedged_readings[i].p50_us, 3) << ", \"p95\": "
+           << format_fixed(unhedged_readings[i].p95_us, 3) << ", \"p99\": "
+           << format_fixed(unhedged_readings[i].p99_us, 3) << "}";
+    json << "},\n  \"offered_load_hedged_latency_us\": {";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"" << backend_ladder[i] << "\": {\"p50\": "
+           << format_fixed(hedged_readings[i].p50_us, 3) << ", \"p95\": "
+           << format_fixed(hedged_readings[i].p95_us, 3) << ", \"p99\": "
+           << format_fixed(hedged_readings[i].p99_us, 3) << "}";
+    json << "},\n  \"offered_load_achieved_rps\": {";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"" << backend_ladder[i]
+           << "\": {\"unhedged\": "
+           << format_fixed(unhedged_readings[i].achieved_rps, 3)
+           << ", \"hedged\": "
+           << format_fixed(hedged_readings[i].achieved_rps, 3) << "}";
+    json << "},\n  \"offered_load_hedges\": {";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"" << backend_ladder[i] << "\": "
+           << hedged_readings[i].hedges;
     json << "},\n  \"annotate_bit_identical\": "
          << (annotate_identical ? "true" : "false")
          << ",\n  \"metric_battery_fast_ms\": "

@@ -104,6 +104,19 @@ int main(int argc, char** argv) {
 
   // --- replicated dispatcher front-end on TCP ----------------------------
   dispatch.replication_factor = 2;
+  // Overload controls, tuned for a demo: requests arriving with less than
+  // 5ms of deadline budget are refused up front, retries spend from a
+  // per-backend token bucket (half a token earned per success), three
+  // consecutive failures open a backend's circuit breaker for 2s, a
+  // backend whose p95 drifts 4x past its peers is ejected, and a primary
+  // quiet past the p95 forward latency (floored at 10ms) gets a hedged
+  // second attempt on its ring replica.
+  dispatch.deadline_floor_ms = 5.0;
+  dispatch.retry_budget_ratio = 0.5;
+  dispatch.breaker_failure_threshold = 3;
+  dispatch.breaker_cooldown_ms = 2000;
+  dispatch.breaker_latency_window = 64;
+  dispatch.hedge_delay_ms = 10.0;
   cluster::Dispatcher dispatcher(dispatch);
   dispatcher.start();
   service::ServerOptions front_options;
@@ -145,7 +158,17 @@ int main(int argc, char** argv) {
   std::cout << "\n--- cluster_stats ---\n";
   Json stats_req = Json::object();
   stats_req.set("op", Json::string("cluster_stats"));
-  std::cout << client.call(stats_req).dump() << "\n";
+  const Json stats = client.call(stats_req);
+  std::cout << stats.dump() << "\n";
+  std::cout << "  overload controls: deadline_refusals="
+            << stats.get_number("deadline_refusals", 0)
+            << " retries_suppressed="
+            << stats.get_number("retries_suppressed", 0)
+            << " breaker_opens=" << stats.get_number("breaker_opens", 0)
+            << " slow_peer_ejections="
+            << stats.get_number("slow_peer_ejections", 0)
+            << " hedges=" << stats.get_number("hedges", 0) << " hedge_wins="
+            << stats.get_number("hedge_wins", 0) << "\n";
 
   std::cout << "\n--- per-backend cache_stats + cache_gc ---\n";
   Json cache_req = Json::object();

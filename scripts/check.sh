@@ -20,6 +20,12 @@
 # they are kept apart both for runtime and so a cluster-layer failure is
 # immediately attributable.
 #
+# The overload label (two-lane admission, deadline propagation, retry
+# budgets, circuit breakers, hedged reads, net.* transport chaos) also
+# gets dedicated TSan and ASan stages: hedged attempts race a cancel
+# path against a blocked read by construction, which is precisely the
+# code a data-race or use-after-free detector must see under load.
+#
 # The soak label (20x kill/restart endurance loop under load) is excluded
 # from every default sweep; opt in with --soak.
 #
@@ -48,9 +54,17 @@ done
 # exits without reaping its fork/exec'd children leaves cluster_backend
 # processes behind, and every later stage inherits the mess.
 assert_no_orphaned_backends() {
-  if pgrep -f '[c]luster_backend --socket' >/dev/null 2>&1; then
+  # Any cluster_backend invocation counts, not only '--socket' ones —
+  # new spawn styles must not slip past the check — and a leaked test
+  # binary still serving sockets is the same poison with a different name.
+  if pgrep -f '[c]luster_backend' >/dev/null 2>&1; then
     echo "FATAL: orphaned cluster_backend process(es) after $1:" >&2
-    pgrep -af '[c]luster_backend --socket' >&2
+    pgrep -af '[c]luster_backend' >&2
+    exit 1
+  fi
+  if pgrep -f '[t]est_(cluster_chaos|supervisor|soak|overload_chaos)' >/dev/null 2>&1; then
+    echo "FATAL: orphaned test process(es) after $1:" >&2
+    pgrep -af '[t]est_(cluster_chaos|supervisor|soak|overload_chaos)' >&2
     exit 1
   fi
 }
@@ -78,6 +92,10 @@ echo "=== ThreadSanitizer: cluster tests (transports, dispatcher, cache) ==="
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L cluster -LE soak
 assert_no_orphaned_backends "the TSan cluster stage"
 
+echo "=== ThreadSanitizer: overload suite (lanes, breakers, hedged reads) ==="
+ctest --test-dir build-tsan --output-on-failure -L overload
+assert_no_orphaned_backends "the TSan overload stage"
+
 echo "=== AddressSanitizer build + tier-1 + chaos tests ==="
 cmake -B build-asan -S . -DDECOMPEVAL_SANITIZE=address
 cmake --build build-asan -j "$JOBS"
@@ -86,6 +104,10 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'tier1|chaos' -LE 
 echo "=== AddressSanitizer: cluster tests (transports, dispatcher, cache) ==="
 ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L cluster -LE soak
 assert_no_orphaned_backends "the ASan cluster stage"
+
+echo "=== AddressSanitizer: overload suite (lanes, breakers, hedged reads) ==="
+ctest --test-dir build-asan --output-on-failure -L overload
+assert_no_orphaned_backends "the ASan overload stage"
 
 echo "=== UndefinedBehaviorSanitizer build + tier-1 tests ==="
 cmake -B build-ubsan -S . -DDECOMPEVAL_SANITIZE=undefined

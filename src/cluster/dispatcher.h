@@ -30,6 +30,35 @@
 // "shutdown" op itself; backends are shut down by their own operators
 // (see examples/replication_cluster.cpp).
 //
+// Overload resilience (all opt-in; the zero-value defaults reproduce the
+// historical dispatcher exactly):
+//   deadline propagation — a request carrying "deadline_ms" is forwarded
+//     with the budget decremented by the dispatch time already spent, so
+//     a backend never burns cycles on work whose client has given up;
+//     when the remaining budget falls below deadline_floor_ms the
+//     dispatcher answers a structured "deadline_exceeded" itself instead
+//     of forwarding at all.
+//   retry budgets — each backend holds a token bucket: a success earns
+//     retry_budget_ratio tokens, a failover/spill retry onto the backend
+//     spends one. An empty bucket suppresses the retry (the walk moves
+//     on), so a retry storm cannot multiply offered load onto survivors.
+//   circuit breakers — breaker_failure_threshold consecutive failures
+//     (transport or overloaded) open the backend's breaker: attempts are
+//     refused without a connection until breaker_cooldown_ms passes, then
+//     exactly one half-open probe request is admitted; its success closes
+//     the breaker, its failure re-opens it. Distinct from the up/prober
+//     state, which tracks transport reachability only. All timing runs on
+//     the injectable now_ms clock so tests replay deterministically.
+//   slow-peer ejection — per-backend latency windows; a backend whose p95
+//     is breaker_latency_outlier_factor times the median of its peers'
+//     medians has its breaker opened even though it still answers.
+//   hedged reads — cacheable reads fire a second attempt at the next ring
+//     replica once the primary has been quiet for a delay derived from
+//     its own hedge_quantile latency (hedge_delay_ms until enough samples
+//     exist); first response wins and the loser is cancelled with a
+//     socket shutdown. Hedging is forced off whenever the dispatcher's
+//     own fault plan is armed, keeping chaos hit sequences exact.
+//
 // Fault sites (serial-counter, from DispatcherOptions::fault_plan):
 //   "cluster.backend"  the candidate is treated as down (health-skip path)
 //   "cluster.forward"  the forward attempt fails in transit (failover path)
@@ -81,6 +110,47 @@ struct DispatcherOptions {
   /// it, so every request exercises real forwarding — kill/failover tests
   /// rely on that. Forced to 0 when a fault plan is active.
   std::size_t response_cache_capacity = 0;
+
+  // --- overload resilience (defaults reproduce historical behavior) ----
+  /// Minimum remaining "deadline_ms" budget worth forwarding: below it the
+  /// dispatcher answers deadline_exceeded itself. Requests without a
+  /// deadline are never refused. 0 disables the floor (budgets still
+  /// propagate decremented).
+  double deadline_floor_ms = 0.0;
+  /// Retry-budget token bucket per backend: a success earns this many
+  /// tokens (capped), a retry spends 1.0. <= 0 disables budgets.
+  double retry_budget_ratio = 0.0;
+  double retry_budget_initial = 10.0;
+  double retry_budget_cap = 100.0;
+  /// Consecutive failures (transport or overloaded) that open a backend's
+  /// circuit breaker. 0 disables breakers entirely.
+  int breaker_failure_threshold = 0;
+  /// How long an open breaker refuses attempts before admitting the
+  /// single half-open probe.
+  std::uint64_t breaker_cooldown_ms = 1000;
+  /// Latency samples kept per backend for slow-peer ejection and adaptive
+  /// hedge delays. 0 disables both.
+  std::size_t breaker_latency_window = 0;
+  /// A backend whose windowed p95 exceeds this factor times the median of
+  /// its peers' median latencies is ejected (breaker opened).
+  double breaker_latency_outlier_factor = 4.0;
+  /// Minimum samples in a backend's window before ejection math runs.
+  std::size_t breaker_min_latency_samples = 16;
+  /// Hedged reads: the fallback delay before the second ring replica is
+  /// tried. <= 0 disables hedging. With breaker_latency_window samples
+  /// available the delay adapts to the primary's hedge_quantile latency.
+  double hedge_delay_ms = 0.0;
+  double hedge_quantile = 0.95;
+  /// Per-probe connect + ping bound for the health prober.
+  double probe_timeout_ms = 1000.0;
+  /// Consecutive transport failures before a backend is marked down for
+  /// the prober (1 = historical immediate down-marking).
+  int down_after_failures = 1;
+  /// Injectable monotonic clock (milliseconds). Breaker cooldowns,
+  /// deadline budgets, latency windows, and probe timestamps all read it,
+  /// so a test can drive breaker state transitions deterministically.
+  /// Empty = std::chrono::steady_clock.
+  std::function<std::uint64_t()> now_ms;
 };
 
 /// Monotonic counters (see the "cluster_stats" op).
@@ -93,6 +163,13 @@ struct DispatcherStats {
   std::uint64_t response_cache_hits = 0;  ///< answered without forwarding
   std::uint64_t replicated = 0;            ///< successful replica installs
   std::uint64_t replication_failures = 0;  ///< installs refused or lost
+  std::uint64_t deadline_refusals = 0;  ///< refused below deadline_floor_ms
+  std::uint64_t retries_suppressed = 0;  ///< retries an empty bucket blocked
+  std::uint64_t breaker_skips = 0;  ///< attempts an open breaker refused
+  std::uint64_t breaker_opens = 0;  ///< closed/half-open → open transitions
+  std::uint64_t slow_peer_ejections = 0;  ///< breaker opens from p95 outliers
+  std::uint64_t hedges = 0;      ///< secondary hedge attempts launched
+  std::uint64_t hedge_wins = 0;  ///< hedges that answered before the primary
 };
 
 class Dispatcher {
@@ -156,7 +233,27 @@ class Dispatcher {
     std::atomic<bool> up{true};
     std::mutex pool_mutex;
     std::vector<std::unique_ptr<service::ServiceClient>> idle;
+
+    /// Circuit breaker + retry budget + latency window; all guarded by
+    /// robust_mutex (never held across I/O).
+    enum class Breaker { kClosed, kOpen, kHalfOpen };
+    std::mutex robust_mutex;
+    Breaker breaker = Breaker::kClosed;
+    int consecutive_failures = 0;  ///< breaker trip counter
+    int transport_failures = 0;    ///< down-marking counter
+    std::uint64_t breaker_opened_ms = 0;
+    bool half_open_probe_in_flight = false;
+    double retry_tokens = 0.0;
+    std::vector<double> latency_window;  ///< ring buffer, newest overwrites
+    std::size_t latency_next = 0;
+    std::uint64_t latency_count = 0;  ///< total samples ever recorded
+    /// Wall/injected-clock timestamp of the prober's last attempt on this
+    /// backend (0 = never probed). Surfaced in cluster_stats.
+    std::atomic<std::uint64_t> last_probe_ms{0};
   };
+
+  /// Admission verdict for one forward attempt against one backend.
+  enum class Admit { kOk, kBreakerOpen, kBudgetSpent };
 
   service::Json forward(const service::Json& request,
                         const std::atomic<bool>* cancel);
@@ -165,6 +262,47 @@ class Dispatcher {
   void release(BackendState& backend,
                std::unique_ptr<service::ServiceClient> conn);
   void prober_loop();
+  std::uint64_t clock_ms() const;
+  /// Breaker + retry-budget gate, single lock acquisition. A kOk verdict
+  /// in the half-open state claims the probe slot; the caller must follow
+  /// with note_success or note_failure to release it.
+  Admit admit_for_attempt(BackendState& backend, bool is_retry);
+  void note_success(BackendState& backend, double latency_ms);
+  /// `overload`: the backend answered "overloaded" (alive but saturated)
+  /// rather than failing in transport; counts toward the breaker but not
+  /// toward down-marking.
+  void note_failure(BackendState& backend, bool overload);
+  /// Marks the backend down once down_after_failures consecutive
+  /// transport failures accumulate.
+  void note_transport_failure(BackendState& backend);
+  void maybe_eject_slow_peer(BackendState& backend);
+  /// Adaptive hedge delay: the primary's hedge_quantile windowed latency
+  /// when enough samples exist, hedge_delay_ms otherwise.
+  double hedge_delay_for(BackendState& backend) const;
+  bool hedgeable(const service::Json& request) const;
+
+  enum class AttemptResult { kResponse, kOverloaded, kFailed, kCancelled };
+  /// Cancel-on-first-win plumbing for a hedged attempt. The in-flight
+  /// connection is published into *conn_slot under *mutex; the winner
+  /// sets *cancelled and shuts the published connection down under the
+  /// same mutex, so the loser either never starts its call or has its
+  /// blocked read broken immediately.
+  struct HedgeContext {
+    std::mutex* mutex = nullptr;
+    service::ServiceClient** conn_slot = nullptr;
+    const std::atomic<bool>* cancelled = nullptr;
+  };
+  /// One complete forward attempt (acquire, call, stats, breaker/budget
+  /// bookkeeping). The caller must have admitted the attempt already.
+  /// kResponse: `response` holds the backend's answer. kOverloaded /
+  /// kFailed: keep walking the ring. kCancelled (hedged attempts only):
+  /// the other side won first; no counters or breaker state were touched.
+  AttemptResult attempt_backend(BackendState& backend,
+                                const service::Json& request,
+                                service::Json& response, HedgeContext* hedge);
+  /// Releases a claimed half-open probe slot without recording an
+  /// outcome (cancelled hedge attempts).
+  void clear_probe_slot(BackendState& backend);
   /// Fan an "ok" result out to the remaining first-R ring replicas.
   void replicate(const service::Json& request, const service::Json& response,
                  const std::vector<std::size_t>& walk,

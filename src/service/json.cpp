@@ -411,10 +411,11 @@ Json Json::parse(std::string_view text, std::pmr::memory_resource* mr) {
 // property the chaos suite proves); "no_cache" and "deadline_ms" because
 // they shape how the request is served, not what it computes; "baseline"
 // because an annotate edit baseline only steers cluster routing — the
-// annotation payload is a pure function of "source".
+// annotation payload is a pure function of "source"; "lane" because an
+// admission-lane override only shapes queueing priority.
 static bool volatile_field(std::string_view key) {
   return key == "threads" || key == "no_cache" || key == "deadline_ms" ||
-         key == "baseline";
+         key == "baseline" || key == "lane";
 }
 
 void canonical_request_key(const Json& request, std::string& out) {

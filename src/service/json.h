@@ -133,8 +133,9 @@ class Json {
 };
 
 /// Canonical request key: the request's non-volatile fields ("threads",
-/// "no_cache", and "deadline_ms" are excluded — they shape how a request
-/// is served, never what it computes), sorted by key, rendered as
+/// "no_cache", "deadline_ms", "baseline", and "lane" are excluded — they
+/// shape how a request is served, never what it computes), sorted by key,
+/// rendered as
 /// `key=value;...`. Routing, the disk cache, and the in-memory rendered
 /// response caches all key on this, so a logical request always lands on
 /// the same backend and the same cache slots. The append form reuses the

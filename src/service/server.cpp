@@ -1,7 +1,9 @@
 #include "service/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
@@ -61,7 +63,14 @@ constexpr std::size_t kMaxLineBytes = 4u << 20;
 }  // namespace
 
 ReplicationServer::ReplicationServer(ServerOptions options)
-    : options_(std::move(options)), core_(options_.service) {}
+    : options_(std::move(options)),
+      core_(options_.service),
+      net_faults_(options_.fault_plan) {}
+
+OverloadStats ReplicationServer::overload_stats() const {
+  const std::lock_guard<std::mutex> lock(queue_mutex_);
+  return overload_stats_;
+}
 
 ReplicationServer::~ReplicationServer() { stop(); }
 
@@ -197,7 +206,9 @@ void ReplicationServer::do_stop() {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     for (const auto& pending : in_flight_)
       pending->cancel->store(true, std::memory_order_relaxed);
-    for (const auto& pending : queue_)
+    for (const auto& pending : interactive_queue_)
+      pending->cancel->store(true, std::memory_order_relaxed);
+    for (const auto& pending : batch_queue_)
       pending->cancel->store(true, std::memory_order_relaxed);
   }
   queue_cv_.notify_all();
@@ -208,7 +219,10 @@ void ReplicationServer::do_stop() {
     std::deque<std::shared_ptr<PendingRequest>> leftovers;
     {
       const std::lock_guard<std::mutex> lock(queue_mutex_);
-      leftovers.swap(queue_);
+      leftovers.swap(interactive_queue_);
+      for (auto& pending : batch_queue_)
+        leftovers.push_back(std::move(pending));
+      batch_queue_.clear();
     }
     for (const auto& pending : leftovers)
       pending->reply.set_value(shutdown_error_response());
@@ -299,10 +313,40 @@ void ReplicationServer::connection_loop(int fd) {
   ::shutdown(fd, SHUT_RDWR);
 }
 
+bool ReplicationServer::write_response(int fd, const std::string& out) {
+  if (!net_faults_.plan().empty()) {
+    if (net_faults_.fire_next("net.stall")) {
+      // The socket goes quiet mid-exchange: nothing is written and the
+      // connection stays open, so the client's only exit is its own read
+      // timeout — indistinguishable from an arbitrarily slow peer.
+      return true;
+    }
+    if (net_faults_.fire_next("net.partial")) {
+      // Short write then stall: the first half of the line, never the
+      // newline. The client sees bytes arrive and then silence, so line
+      // framing alone cannot tell this from a response still in flight.
+      const std::string half = out.substr(0, out.size() / 2);
+      write_all(fd, half);
+      return true;
+    }
+  }
+  return write_all(fd, out);
+}
+
 bool ReplicationServer::handle_request_line(int fd, std::string_view line,
                                             util::Arena& arena,
                                             std::string& out) {
   out.clear();
+  // A partitioned server stays reachable — accepts connects, reads
+  // request bytes — but never answers anything again. Sticky once the
+  // "net.partition" site fires; only client-side timeouts can see it.
+  if (!net_faults_.plan().empty()) {
+    if (partitioned_.load(std::memory_order_relaxed)) return true;
+    if (net_faults_.fire_next("net.partition")) {
+      partitioned_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+  }
   Json request{Json::allocator_type(&arena)};
   try {
     request = Json::parse(line, &arena);
@@ -312,7 +356,7 @@ bool ReplicationServer::handle_request_line(int fd, std::string_view line,
     r.set("error", Json::string(e.what()));
     r.dump_to(out);
     out.push_back('\n');
-    return write_all(fd, out);
+    return write_response(fd, out);
   }
 
   if (request.is_object() && request.get_string("op", "") == "shutdown") {
@@ -321,7 +365,7 @@ bool ReplicationServer::handle_request_line(int fd, std::string_view line,
     r.set("op", Json::string("shutdown"));
     r.dump_to(out);
     out.push_back('\n');
-    write_all(fd, out);
+    write_response(fd, out);
     // Teardown joins this thread, so only signal the stopper here.
     request_stop();
     return false;
@@ -336,7 +380,7 @@ bool ReplicationServer::handle_request_line(int fd, std::string_view line,
                            core_.try_serve_cached_line(request, out));
   if (fast) {
     out.push_back('\n');
-    return write_all(fd, out);
+    return write_response(fd, out);
   }
 
   auto pending = std::make_shared<PendingRequest>();
@@ -348,10 +392,12 @@ bool ReplicationServer::handle_request_line(int fd, std::string_view line,
   pending->cancel = std::make_shared<std::atomic<bool>>(false);
   pending->started = std::chrono::steady_clock::now();
   std::future<Json> reply = pending->reply.get_future();
+  const RequestLane lane = classify_lane(request);
   // Decide under the lock, write outside it: a slow client with a full
   // socket buffer must never stall workers or other connections.
   enum class Admission { kEnqueued, kOverloaded, kShuttingDown };
   Admission admission;
+  std::shared_ptr<PendingRequest> shed;
   {
     const std::lock_guard<std::mutex> lock(queue_mutex_);
     if (!running_.load()) {
@@ -359,28 +405,51 @@ bool ReplicationServer::handle_request_line(int fd, std::string_view line,
       // workers; enqueuing now would leave this promise unfulfilled
       // forever and deadlock the join in do_stop(). Answer instead.
       admission = Admission::kShuttingDown;
-    } else if (queue_.size() >= options_.max_queue) {
-      // Backpressure: answer now instead of buffering unboundedly.
-      admission = Admission::kOverloaded;
-    } else {
-      queue_.push_back(pending);
+    } else if (interactive_queue_.size() + batch_queue_.size() <
+               options_.max_queue) {
+      if (lane == RequestLane::kBatch) {
+        batch_queue_.push_back(pending);
+        ++overload_stats_.batch_enqueued;
+      } else {
+        interactive_queue_.push_back(pending);
+        ++overload_stats_.interactive_enqueued;
+      }
       admission = Admission::kEnqueued;
+    } else if (lane == RequestLane::kInteractive && !batch_queue_.empty()) {
+      // Full queue, interactive arrival: shed the youngest queued batch
+      // entry (it loses the least progress — it would have run last) and
+      // take its slot. The victim gets a structured overloaded answer
+      // below, outside the lock.
+      shed = std::move(batch_queue_.back());
+      batch_queue_.pop_back();
+      interactive_queue_.push_back(pending);
+      ++overload_stats_.interactive_enqueued;
+      ++overload_stats_.shed_batch;
+      admission = Admission::kEnqueued;
+    } else {
+      // Backpressure: answer now instead of buffering unboundedly.
+      ++overload_stats_.overloaded_rejected;
+      admission = Admission::kOverloaded;
     }
   }
+  if (shed != nullptr) {
+    Json r = overloaded_response(options_.retry_after_ms);
+    r.set("shed", Json::boolean(true));
+    shed->reply.set_value(std::move(r));
+  }
   if (admission == Admission::kShuttingDown) {
-    write_all(fd, shutdown_error_response().dump() + "\n");
+    write_response(fd, shutdown_error_response().dump() + "\n");
     return false;  // teardown is closing this connection anyway
   }
   if (admission == Admission::kOverloaded) {
-    return write_all(fd,
-                     overloaded_response(options_.retry_after_ms).dump() +
-                         "\n");
+    return write_response(
+        fd, overloaded_response(options_.retry_after_ms).dump() + "\n");
   }
   queue_cv_.notify_one();
   out.clear();
   reply.get().dump_to(out);
   out.push_back('\n');
-  return write_all(fd, out);
+  return write_response(fd, out);
 }
 
 void ReplicationServer::worker_loop() {
@@ -388,14 +457,20 @@ void ReplicationServer::worker_loop() {
     std::shared_ptr<PendingRequest> pending;
     {
       std::unique_lock<std::mutex> lock(queue_mutex_);
-      queue_cv_.wait(lock,
-                     [this] { return !queue_.empty() || !running_.load(); });
-      if (queue_.empty()) {
+      queue_cv_.wait(lock, [this] {
+        return !interactive_queue_.empty() || !batch_queue_.empty() ||
+               !running_.load();
+      });
+      // Interactive lane drains first: queued batch work only runs when
+      // no interactive request is waiting.
+      std::deque<std::shared_ptr<PendingRequest>>& lane =
+          !interactive_queue_.empty() ? interactive_queue_ : batch_queue_;
+      if (lane.empty()) {
         if (!running_.load()) return;
         continue;
       }
-      pending = std::move(queue_.front());
-      queue_.pop_front();
+      pending = std::move(lane.front());
+      lane.pop_front();
       in_flight_.push_back(pending);
     }
     Json response = options_.handler
@@ -428,6 +503,56 @@ void ReplicationServer::watchdog_loop() {
 
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// One connect attempt with an optional wall-clock bound. timeout_ms <= 0
+// keeps the historical blocking connect (hardened against EINTR: a
+// signal-interrupted connect completes asynchronously, so the retry is a
+// poll for writability + SO_ERROR, never a second connect(2) — that
+// would race the in-flight handshake and return EALREADY). With a
+// timeout, the socket goes non-blocking for the handshake and a poll()
+// loop bounds it, so a partitioned peer that accepts SYNs but never
+// completes cannot wedge the caller; on success the socket is restored
+// to blocking mode. Returns true when connected (fd usable), false when
+// this attempt failed (caller closes the fd).
+bool connect_fd(int fd, const sockaddr* addr, socklen_t addr_len,
+                double timeout_ms) {
+  const auto settle = [fd](int poll_timeout_ms) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLOUT;
+    while (true) {
+      const int r = ::poll(&p, 1, poll_timeout_ms);
+      if (r < 0 && errno == EINTR) continue;
+      if (r <= 0) return false;  // timeout or poll failure
+      int err = 0;
+      socklen_t err_len = sizeof err;
+      return ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) == 0 &&
+             err == 0;
+    }
+  };
+  if (timeout_ms <= 0.0) {
+    if (::connect(fd, addr, addr_len) == 0) return true;
+    if (errno == EINTR) return settle(-1);
+    return false;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+    return false;
+  bool ok = false;
+  if (::connect(fd, addr, addr_len) == 0) {
+    ok = true;
+  } else if (errno == EINPROGRESS || errno == EINTR) {
+    const int bound =
+        std::max(1, static_cast<int>(timeout_ms + 0.5));
+    ok = settle(bound);
+  }
+  if (ok && ::fcntl(fd, F_SETFL, flags) != 0) ok = false;
+  return ok;
+}
+
+}  // namespace
+
 ServiceClient::~ServiceClient() { close(); }
 
 void ServiceClient::close() {
@@ -435,6 +560,10 @@ void ServiceClient::close() {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+void ServiceClient::shutdown_now() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 void ServiceClient::connect(const std::string& socket_path, int attempts) {
@@ -449,9 +578,11 @@ void ServiceClient::connect(const std::string& socket_path, int attempts) {
   for (int attempt = 0; attempt < attempts; ++attempt) {
     fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd_ < 0) throw std::runtime_error("ServiceClient: socket() failed");
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof addr) == 0)
+    if (connect_fd(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr,
+                   timeout_ms_)) {
+      apply_io_timeout();
       return;
+    }
     ::close(fd_);
     fd_ = -1;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -471,9 +602,11 @@ void ServiceClient::connect_tcp(const std::string& host, int port,
   for (int attempt = 0; attempt < attempts; ++attempt) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) throw std::runtime_error("ServiceClient: socket() failed");
-    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof addr) == 0)
+    if (connect_fd(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr,
+                   timeout_ms_)) {
+      apply_io_timeout();
       return;
+    }
     ::close(fd_);
     fd_ = -1;
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -483,11 +616,16 @@ void ServiceClient::connect_tcp(const std::string& host, int port,
 }
 
 void ServiceClient::set_timeout_ms(double ms) {
-  if (fd_ < 0 || ms <= 0.0) return;
+  timeout_ms_ = ms;
+  apply_io_timeout();
+}
+
+void ServiceClient::apply_io_timeout() {
+  if (fd_ < 0 || timeout_ms_ <= 0.0) return;
   timeval tv{};
-  tv.tv_sec = static_cast<time_t>(ms / 1000.0);
+  tv.tv_sec = static_cast<time_t>(timeout_ms_ / 1000.0);
   tv.tv_usec = static_cast<suseconds_t>(
-      (ms - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
+      (timeout_ms_ - static_cast<double>(tv.tv_sec) * 1000.0) * 1000.0);
   ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
 }

@@ -10,16 +10,35 @@
 // Architecture:
 //   accept loops — one thread per listener; spawns a reader thread per
 //                  connection
-//   request queue — bounded; a full queue answers immediately with
-//                   {"status":"overloaded","retry_after_ms":N} instead of
-//                   blocking the connection (backpressure, not buffering)
-//   workers      — options.workers threads popping the queue and calling
-//                  the handler (ServiceCore::handle by default; the
-//                  cluster dispatcher plugs in a forwarding handler)
+//   request queue — bounded, two priority lanes (interactive / batch,
+//                   see classify_lane). When the combined queue is full an
+//                   arriving batch request answers immediately with
+//                   {"status":"overloaded","retry_after_ms":N}; an
+//                   arriving interactive request instead sheds the
+//                   youngest queued *batch* entry (which gets the
+//                   overloaded answer, plus "shed":true) and takes its
+//                   slot, so sustained batch overload never starves the
+//                   interactive lane (backpressure, not buffering)
+//   workers      — options.workers threads popping the queue (interactive
+//                  lane first) and calling the handler
+//                  (ServiceCore::handle by default; the cluster
+//                  dispatcher plugs in a forwarding handler)
 //   watchdog     — one thread; flips the cancel flag of any request in
 //                  flight longer than watchdog_ms, which trips the
 //                  fitters' cooperative checkpoints and surfaces as a
 //                  structured "deadline_exceeded" response
+//
+// Network fault sites (serial-counter, from ServerOptions::fault_plan —
+// distinct from the service-level plan in ServiceOptions):
+//   "net.stall"     the response line is never written; the connection
+//                   stays open, so the client sits in read() until its
+//                   own timeout fires
+//   "net.partial"   a short write: the first half of the response line
+//                   (never the newline), then silence on an open socket
+//   "net.partition" sticky once fired: connects keep succeeding but no
+//                   request on any connection is ever answered again —
+//                   the shape of a network partition, which only a
+//                   client-side timeout can detect
 //
 // {"op":"shutdown"} answers {"status":"ok"} and then stops the server.
 #pragma once
@@ -38,6 +57,7 @@
 
 #include "service/service.h"
 #include "util/arena.h"
+#include "util/fault.h"
 
 namespace decompeval::service {
 
@@ -54,10 +74,16 @@ struct ServerOptions {
   /// the machine is an explicit operator decision, never an accident.
   std::string tcp_host = "127.0.0.1";
   std::size_t workers = 2;
-  std::size_t max_queue = 8;      ///< pending (unpopped) request cap
+  /// Pending (unpopped) request cap, shared across both lanes.
+  std::size_t max_queue = 8;
   double retry_after_ms = 25.0;   ///< hint attached to overloaded responses
   std::uint64_t watchdog_ms = 0;  ///< 0 = watchdog disabled
   ServiceOptions service;
+  /// Schedules for the transport-level "net.stall" / "net.partial" /
+  /// "net.partition" sites (see the header comment). Separate from
+  /// ServiceOptions::fault_plan so network chaos composes with — or runs
+  /// without — service-level faults. Empty = no network faults.
+  util::FaultPlan fault_plan;
   /// Request handler run by the workers. Default (empty): the server's
   /// own ServiceCore. The cluster dispatcher substitutes its forwarding
   /// logic here, reusing the queue/backpressure/shutdown machinery.
@@ -69,6 +95,18 @@ struct ServerOptions {
   /// rendered-line cache when no custom handler is set; a custom handler
   /// (dispatcher, cluster backend) supplies its own or none.
   std::function<bool(const Json&, std::string&)> fast_path;
+};
+
+/// Monotonic admission counters (guarded by the queue mutex).
+struct OverloadStats {
+  std::uint64_t interactive_enqueued = 0;
+  std::uint64_t batch_enqueued = 0;
+  /// Queued batch entries evicted (answered overloaded+"shed":true) so an
+  /// arriving interactive request could take their slot.
+  std::uint64_t shed_batch = 0;
+  /// Requests answered overloaded at admission (queue full, nothing to
+  /// shed in the arriving request's favor).
+  std::uint64_t overloaded_rejected = 0;
 };
 
 class ReplicationServer {
@@ -92,6 +130,7 @@ class ReplicationServer {
   /// or the server has not started.
   int tcp_port() const { return tcp_port_.load(); }
   ServiceCore& core() { return core_; }
+  OverloadStats overload_stats() const;
 
  private:
   struct PendingRequest {
@@ -111,6 +150,11 @@ class ReplicationServer {
                            std::string& out);
   void worker_loop();
   void watchdog_loop();
+  /// Writes one rendered response line, routed through the net.* fault
+  /// sites: a firing "net.stall"/"net.partial" suppresses some or all of
+  /// the bytes while keeping the connection open. Returns false only when
+  /// the connection must close.
+  bool write_response(int fd, const std::string& out);
   /// Signals the stopper thread; safe from any thread, including a
   /// connection thread handling the shutdown op.
   void request_stop();
@@ -128,11 +172,22 @@ class ReplicationServer {
   std::atomic<int> tcp_listen_fd_{-1};
   std::atomic<int> tcp_port_{-1};
 
-  std::mutex queue_mutex_;
+  mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<std::shared_ptr<PendingRequest>> queue_;
+  /// Two priority lanes under one bound (options_.max_queue on the sum).
+  /// Workers drain the interactive lane first; admission sheds the
+  /// youngest batch entry when a full queue meets an interactive arrival.
+  std::deque<std::shared_ptr<PendingRequest>> interactive_queue_;
+  std::deque<std::shared_ptr<PendingRequest>> batch_queue_;
+  OverloadStats overload_stats_;  ///< guarded by queue_mutex_
   /// Requests popped by a worker but not yet answered (watchdog scan set).
   std::vector<std::shared_ptr<PendingRequest>> in_flight_;
+
+  /// Transport-level fault injection (net.* sites). `partitioned_` is the
+  /// sticky consequence of "net.partition": once set, every connection
+  /// keeps accepting bytes but nothing is ever answered.
+  util::FaultInjector net_faults_;
+  std::atomic<bool> partitioned_{false};
 
   std::mutex conn_mutex_;
   std::vector<int> conn_fds_;
@@ -168,18 +223,32 @@ class ServiceClient {
   void connect(const std::string& socket_path, int attempts = 100);
   /// Connects to a TCP endpoint (same retry behavior).
   void connect_tcp(const std::string& host, int port, int attempts = 100);
-  /// Bounds every later send/recv on this connection (SO_SNDTIMEO /
-  /// SO_RCVTIMEO). Call after connect; 0 disables. After a timeout the
-  /// connection may hold a half-read reply — close it, don't reuse it.
+  /// Bounds this connection's I/O. Callable before OR after connect: set
+  /// before, it also bounds each connect(2) attempt (non-blocking connect
+  /// + poll), so a partitioned peer that accepts SYNs but never answers
+  /// cannot wedge the caller; after connect (or on the established
+  /// socket) it bounds every send/recv (SO_SNDTIMEO / SO_RCVTIMEO).
+  /// 0 disables. After a timeout the connection may hold a half-read
+  /// reply — close it, don't reuse it.
   void set_timeout_ms(double ms);
   bool connected() const { return fd_ >= 0; }
   void close();
+  /// Half-closes the socket from any thread without releasing the fd: a
+  /// call() blocked in read() on another thread returns immediately with
+  /// an error. This is the hedging cancel path — the losing attempt is
+  /// shut down, then joined, then destroyed; shutdown_now never races the
+  /// close() because only the owner calls close.
+  void shutdown_now();
 
   /// Sends one request line and blocks for the response line.
   Json call(const Json& request);
 
  private:
+  /// Applies timeout_ms_ to the established socket (SO_RCVTIMEO/SNDTIMEO).
+  void apply_io_timeout();
+
   int fd_ = -1;
+  double timeout_ms_ = 0.0;  ///< 0 = unbounded connect and I/O
   std::string buffer_;       ///< bytes read past the last newline
   std::string request_buf_;  ///< reused per-call request render buffer
 };

@@ -77,6 +77,17 @@ Json error_response(const std::string& message) {
 
 }  // namespace
 
+RequestLane classify_lane(const Json& request) {
+  if (!request.is_object()) return RequestLane::kInteractive;
+  const std::string lane = request.get_string("lane", "");
+  if (lane == "batch") return RequestLane::kBatch;
+  if (lane == "interactive") return RequestLane::kInteractive;
+  const std::string op = request.get_string("op", "");
+  if (op == "run_study" || op == "run_replication" || op == "journal_replay")
+    return RequestLane::kBatch;
+  return RequestLane::kInteractive;
+}
+
 ServiceCore::ServiceCore(ServiceOptions options)
     : options_(std::move(options)),
       faults_(options_.fault_plan),

@@ -78,6 +78,16 @@ struct ServiceOptions {
   std::size_t annotate_cache_capacity = 256;
 };
 
+/// Admission lane of a request under the server's two-lane bounded queue.
+/// Batch covers the long sweeps ("run_study", "run_replication",
+/// "journal_replay"); everything else — annotate, small metric requests,
+/// introspection — is interactive and overtakes batch under overload. An
+/// explicit string "lane" field ("interactive"/"batch") overrides the
+/// op-based default; like "threads" it is a volatile field, shaping how a
+/// request queues but never what it computes.
+enum class RequestLane { kInteractive, kBatch };
+RequestLane classify_lane(const Json& request);
+
 /// Monotonic counters, readable via the "stats" op.
 struct ServiceStats {
   std::uint64_t requests = 0;

@@ -3,7 +3,11 @@
 // server round trip including watchdog cancellation and backpressure.
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <functional>
+#include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -361,6 +365,164 @@ TEST(ReplicationServerTest, StopWithQueuedAndInFlightRequestsDoesNotHang) {
   server.stop();
   EXPECT_FALSE(server.running());
   for (auto& t : clients) t.join();
+}
+
+// Shared scaffolding for the exact-capacity boundary tests below: one
+// worker parked inside a gated batch handler, so the queue contents are
+// under full test control while admission decisions happen.
+struct LaneGate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  std::atomic<int> batch_entered{0};
+  std::atomic<bool> ping_handled{false};
+  std::atomic<bool> tagged_batch_saw_ping{false};
+
+  void release() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      open = true;
+    }
+    cv.notify_all();
+  }
+
+  std::function<Json(const Json&, const std::atomic<bool>*)> handler() {
+    return [this](const Json& request, const std::atomic<bool>*) {
+      Json r = Json::object();
+      r.set("status", Json::string("ok"));
+      r.set("op", Json::string(request.get_string("op", "")));
+      if (request.get_string("op", "") == "run_study") {
+        batch_entered.fetch_add(1);
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [this] { return open; });
+        // Records whether the interactive lane really overtook: by the
+        // time the tagged batch entry runs, the ping queued after it
+        // must already have been answered.
+        if (request.get_string("tag", "") == "after-ping")
+          tagged_batch_saw_ping.store(ping_handled.load());
+      } else {
+        ping_handled.store(true);
+      }
+      return r;
+    };
+  }
+};
+
+bool wait_until(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+Json call_once(const std::string& socket_path, Json request) {
+  ServiceClient client;
+  client.connect(socket_path);
+  return client.call(request);
+}
+
+TEST(ReplicationServerTest, OneBelowFullAdmitsBothLanesWithoutShedding) {
+  LaneGate gate;
+  ServerOptions options;
+  options.socket_path = unique_socket_path("b1");
+  options.workers = 1;
+  options.max_queue = 2;
+  options.handler = gate.handler();
+  ReplicationServer server(options);
+  server.start();
+
+  // The worker parks inside the first batch request, leaving the queue
+  // empty; one queued batch entry keeps it one below capacity.
+  auto blocker = std::async(std::launch::async, [&] {
+    return call_once(server.socket_path(), make_request("run_study"));
+  });
+  ASSERT_TRUE(wait_until([&] { return gate.batch_entered.load() == 1; }));
+  auto queued_batch = std::async(std::launch::async, [&] {
+    Json req = make_request("run_study");
+    req.set("tag", Json::string("after-ping"));
+    return call_once(server.socket_path(), req);
+  });
+  ASSERT_TRUE(
+      wait_until([&] { return server.overload_stats().batch_enqueued == 2; }));
+
+  // One-below-full: the interactive arrival is admitted without shedding
+  // anything, filling the queue exactly to capacity.
+  auto ping = std::async(std::launch::async, [&] {
+    return call_once(server.socket_path(), make_request("ping"));
+  });
+  ASSERT_TRUE(wait_until(
+      [&] { return server.overload_stats().interactive_enqueued == 1; }));
+  EXPECT_EQ(server.overload_stats().shed_batch, 0u);
+  EXPECT_EQ(server.overload_stats().overloaded_rejected, 0u);
+
+  gate.release();
+  EXPECT_EQ(ping.get().get_string("status", ""), "ok");
+  EXPECT_EQ(queued_batch.get().get_string("status", ""), "ok");
+  EXPECT_EQ(blocker.get().get_string("status", ""), "ok");
+  // Interactive-first draining: the queued batch entry observed the
+  // later-arriving ping already answered.
+  EXPECT_TRUE(gate.tagged_batch_saw_ping.load());
+  server.stop();
+}
+
+TEST(ReplicationServerTest, ExactlyFullQueueRejectsBatchAndShedsForInteractive) {
+  LaneGate gate;
+  ServerOptions options;
+  options.socket_path = unique_socket_path("b2");
+  options.workers = 1;
+  options.max_queue = 2;
+  options.retry_after_ms = 7;
+  options.handler = gate.handler();
+  ReplicationServer server(options);
+  server.start();
+
+  // Park the worker, then fill the queue to exactly max_queue with two
+  // batch entries (oldest first).
+  auto blocker = std::async(std::launch::async, [&] {
+    return call_once(server.socket_path(), make_request("run_study"));
+  });
+  ASSERT_TRUE(wait_until([&] { return gate.batch_entered.load() == 1; }));
+  auto oldest = std::async(std::launch::async, [&] {
+    return call_once(server.socket_path(), make_request("run_study"));
+  });
+  ASSERT_TRUE(
+      wait_until([&] { return server.overload_stats().batch_enqueued == 2; }));
+  auto youngest = std::async(std::launch::async, [&] {
+    return call_once(server.socket_path(), make_request("run_study"));
+  });
+  ASSERT_TRUE(
+      wait_until([&] { return server.overload_stats().batch_enqueued == 3; }));
+
+  // Exactly full + batch arrival: immediate overloaded, nothing shed.
+  const Json rejected =
+      call_once(server.socket_path(), make_request("run_study"));
+  EXPECT_EQ(rejected.get_string("status", ""), "overloaded");
+  EXPECT_EQ(rejected.get_number("retry_after_ms", 0), 7.0);
+  EXPECT_FALSE(rejected.get_bool("shed", false));
+  EXPECT_EQ(server.overload_stats().overloaded_rejected, 1u);
+  EXPECT_EQ(server.overload_stats().shed_batch, 0u);
+
+  // Exactly full + interactive arrival: the youngest batch entry is
+  // shed (overloaded + "shed":true) and the ping takes its slot.
+  auto ping = std::async(std::launch::async, [&] {
+    return call_once(server.socket_path(), make_request("ping"));
+  });
+  const Json shed = youngest.get();
+  EXPECT_EQ(shed.get_string("status", ""), "overloaded");
+  EXPECT_TRUE(shed.get_bool("shed", false));
+  EXPECT_EQ(shed.get_number("retry_after_ms", 0), 7.0);
+  EXPECT_EQ(server.overload_stats().shed_batch, 1u);
+  EXPECT_EQ(server.overload_stats().interactive_enqueued, 1u);
+
+  // The survivors drain normally: ping first, then the older batch entry.
+  gate.release();
+  EXPECT_EQ(ping.get().get_string("status", ""), "ok");
+  EXPECT_EQ(oldest.get().get_string("status", ""), "ok");
+  EXPECT_EQ(blocker.get().get_string("status", ""), "ok");
+  server.stop();
 }
 
 TEST(ServiceCoreTest, ResultCacheIsLruBounded) {

@@ -495,6 +495,83 @@ OfferedLoadReading bench_offered_load(std::size_t n_backends, bool hedging) {
   return reading;
 }
 
+// Sustained-absorb streaming ladder: one stream served through the
+// dispatcher at 1/2/4 socket-served backends, absorbing arrivals in
+// batches with a stream_dashboard probe between batches — the live
+// "operator watching the windowed RQs while the study runs" workload.
+// The stream routes by its id to a single backend, so the ladder
+// measures serving-path interference (more server threads on the same
+// host), not sharding; the headline column is the bit-identity of the
+// state digest across backend counts and refit cadences on/off.
+struct StreamReading {
+  double absorb_rps = 0.0;  ///< arrivals/s through the dispatcher
+  double dash_p50_us = 0.0;
+  double dash_p95_us = 0.0;
+  double dash_p99_us = 0.0;
+  std::string digest;
+};
+
+StreamReading bench_stream(std::size_t n_backends, bool refits) {
+  using service::Json;
+  constexpr std::uint64_t kArrivals = 4000;
+  constexpr std::uint64_t kBatch = 200;
+
+  BenchCluster bench(refits ? "stream-refit" : "stream", n_backends,
+                     /*replication_factor=*/1, /*hedge_delay_ms=*/0.0,
+                     /*response_cache_capacity=*/0);
+  cluster::Dispatcher& dispatcher = *bench.dispatcher;
+
+  Json open = Json::object();
+  open.set("op", Json::string("stream_open"));
+  open.set("stream", Json::string("bench"));
+  open.set("population", Json::number(32));
+  open.set("window_events", Json::number(512));
+  if (refits) {
+    open.set("refit_every", Json::number(1000));
+    open.set("fit_starts", Json::number(2));
+  }
+  benchmark::DoNotOptimize(dispatcher.handle(open, nullptr));
+
+  Json dash = Json::object();
+  dash.set("op", Json::string("stream_dashboard"));
+  dash.set("stream", Json::string("bench"));
+
+  std::vector<double> dash_us;
+  double absorb_ms = 0.0;
+  for (std::uint64_t upto = kBatch; upto <= kArrivals; upto += kBatch) {
+    Json absorb = Json::object();
+    absorb.set("op", Json::string("stream_absorb"));
+    absorb.set("stream", Json::string("bench"));
+    absorb.set("upto", Json::number(static_cast<double>(upto)));
+    absorb_ms += time_ms(
+        [&] { benchmark::DoNotOptimize(dispatcher.handle(absorb, nullptr)); });
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(dispatcher.handle(dash, nullptr));
+    dash_us.push_back(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+  }
+
+  StreamReading reading;
+  reading.absorb_rps =
+      static_cast<double>(kArrivals) / (absorb_ms / 1000.0);
+  std::sort(dash_us.begin(), dash_us.end());
+  const auto percentile = [&](double p) {
+    const std::size_t rank = static_cast<std::size_t>(
+        p * static_cast<double>(dash_us.size() - 1));
+    return dash_us[rank];
+  };
+  reading.dash_p50_us = percentile(0.50);
+  reading.dash_p95_us = percentile(0.95);
+  reading.dash_p99_us = percentile(0.99);
+
+  Json stats = Json::object();
+  stats.set("op", Json::string("stream_stats"));
+  stats.set("stream", Json::string("bench"));
+  reading.digest = dispatcher.handle(stats, nullptr).get_string("digest", "");
+  return reading;
+}
+
 // Cold metric battery: the four metric kernels over a fixed randomized
 // workload, timed with the rewritten kernels and again with the retained
 // reference implementations, results compared for exact equality. The
@@ -706,6 +783,16 @@ int main(int argc, char** argv) {
       hedged_readings.push_back(bench_offered_load(n, /*hedging=*/true));
     }
 
+    // 6e. Sustained-absorb streaming ladder: 4000 arrivals absorbed in
+    //     batches with a dashboard probe between batches, refit cadence
+    //     off vs every-1000. The digest column is the acceptance check:
+    //     bit-identical across backend counts and unchanged by refits.
+    std::vector<StreamReading> stream_readings, stream_refit_readings;
+    for (const std::size_t n : backend_ladder) {
+      stream_readings.push_back(bench_stream(n, /*refits=*/false));
+      stream_refit_readings.push_back(bench_stream(n, /*refits=*/true));
+    }
+
     // 7. Cold metric battery, rewritten kernels vs retained references.
     const BatteryReading battery = bench_metric_battery();
 
@@ -803,6 +890,30 @@ int main(int argc, char** argv) {
                 << format_fixed(on.achieved_rps, 1) << " req/s, hedges="
                 << on.hedges << ", wins=" << on.hedge_wins << ")\n";
     }
+
+    bool stream_identical = true;
+    for (const StreamReading& r : stream_readings)
+      stream_identical = stream_identical &&
+                         !r.digest.empty() &&
+                         r.digest == stream_readings.front().digest;
+    for (const StreamReading& r : stream_refit_readings)
+      stream_identical = stream_identical &&
+                         r.digest == stream_readings.front().digest;
+    std::cout << "\nStreaming sustained absorb (4000 arrivals, dashboard "
+                 "probe per 200-arrival batch):\n";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i) {
+      const StreamReading& off = stream_readings[i];
+      const StreamReading& on = stream_refit_readings[i];
+      std::cout << "  backends=" << backend_ladder[i] << ":  absorb="
+                << format_fixed(off.absorb_rps, 1)
+                << " arrivals/s  dashboard p50/p95/p99="
+                << format_fixed(off.dash_p50_us, 1) << "/"
+                << format_fixed(off.dash_p95_us, 1) << "/"
+                << format_fixed(off.dash_p99_us, 1) << " us  with-refits="
+                << format_fixed(on.absorb_rps, 1) << " arrivals/s\n";
+    }
+    std::cout << "  stream digests bit-identical across ladder and refits:  "
+              << (stream_identical ? "yes" : "NO — BUG") << "\n";
 
     std::cout << "\nCold metric battery (kernels vs retained references):\n"
               << "  fast=" << format_fixed(battery.fast_ms, 1)
@@ -924,7 +1035,25 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < backend_ladder.size(); ++i)
       json << (i ? ", " : "") << "\"" << backend_ladder[i] << "\": "
            << hedged_readings[i].hedges;
-    json << "},\n  \"annotate_bit_identical\": "
+    json << "},\n  \"stream_absorb_rps\": {";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"" << backend_ladder[i]
+           << "\": " << format_fixed(stream_readings[i].absorb_rps, 3);
+    json << "},\n  \"stream_refit_absorb_rps\": {";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"" << backend_ladder[i]
+           << "\": " << format_fixed(stream_refit_readings[i].absorb_rps, 3);
+    json << "},\n  \"stream_dashboard_latency_us\": {";
+    for (std::size_t i = 0; i < backend_ladder.size(); ++i)
+      json << (i ? ", " : "") << "\"" << backend_ladder[i] << "\": {\"p50\": "
+           << format_fixed(stream_readings[i].dash_p50_us, 3)
+           << ", \"p95\": "
+           << format_fixed(stream_readings[i].dash_p95_us, 3)
+           << ", \"p99\": "
+           << format_fixed(stream_readings[i].dash_p99_us, 3) << "}";
+    json << "},\n  \"stream_bit_identical\": "
+         << (stream_identical ? "true" : "false");
+    json << ",\n  \"annotate_bit_identical\": "
          << (annotate_identical ? "true" : "false")
          << ",\n  \"metric_battery_fast_ms\": "
          << format_fixed(battery.fast_ms, 3)

@@ -26,6 +26,13 @@
 # path against a blocked read by construction, which is precisely the
 # code a data-race or use-after-free detector must see under load.
 #
+# The streaming label (live-population arrivals, incremental window
+# state, warm-started refits, the served stream op family) likewise runs
+# as its own TSan and ASan stage: its cluster suites spin socket-served
+# backends and a replicating dispatcher, and the absorb path mutates
+# per-stream state under the server's worker threads — the exact shape
+# where a missing lock shows up only under a race detector.
+#
 # The soak label (20x kill/restart endurance loop under load) is excluded
 # from every default sweep; opt in with --soak.
 #
@@ -62,9 +69,16 @@ assert_no_orphaned_backends() {
     pgrep -af '[c]luster_backend' >&2
     exit 1
   fi
-  if pgrep -f '[t]est_(cluster_chaos|supervisor|soak|overload_chaos)' >/dev/null 2>&1; then
+  if pgrep -f '[t]est_(cluster_chaos|supervisor|soak|overload_chaos|streaming)' >/dev/null 2>&1; then
     echo "FATAL: orphaned test process(es) after $1:" >&2
-    pgrep -af '[t]est_(cluster_chaos|supervisor|soak|overload_chaos)' >&2
+    pgrep -af '[t]est_(cluster_chaos|supervisor|soak|overload_chaos|streaming)' >&2
+    exit 1
+  fi
+  # The streaming walkthrough serves sockets in-process; a leaked run
+  # squats on /tmp log dirs the same way a leaked backend squats caches.
+  if pgrep -f '[s]treaming_demo' >/dev/null 2>&1; then
+    echo "FATAL: orphaned streaming_demo process(es) after $1:" >&2
+    pgrep -af '[s]treaming_demo' >&2
     exit 1
   fi
 }
@@ -86,28 +100,36 @@ fi
 echo "=== ThreadSanitizer build + tier-1 + chaos tests ==="
 cmake -B build-tsan -S . -DDECOMPEVAL_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS"
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'tier1|chaos' -LE 'cluster|soak'
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L 'tier1|chaos' -LE 'cluster|streaming|soak'
 
 echo "=== ThreadSanitizer: cluster tests (transports, dispatcher, cache) ==="
-ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L cluster -LE soak
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L cluster -LE 'streaming|soak'
 assert_no_orphaned_backends "the TSan cluster stage"
 
 echo "=== ThreadSanitizer: overload suite (lanes, breakers, hedged reads) ==="
 ctest --test-dir build-tsan --output-on-failure -L overload
 assert_no_orphaned_backends "the TSan overload stage"
 
+echo "=== ThreadSanitizer: streaming suite (arrivals, windows, refits) ==="
+ctest --test-dir build-tsan --output-on-failure -L streaming
+assert_no_orphaned_backends "the TSan streaming stage"
+
 echo "=== AddressSanitizer build + tier-1 + chaos tests ==="
 cmake -B build-asan -S . -DDECOMPEVAL_SANITIZE=address
 cmake --build build-asan -j "$JOBS"
-ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'tier1|chaos' -LE 'cluster|soak'
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L 'tier1|chaos' -LE 'cluster|streaming|soak'
 
 echo "=== AddressSanitizer: cluster tests (transports, dispatcher, cache) ==="
-ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L cluster -LE soak
+ctest --test-dir build-asan --output-on-failure -j "$JOBS" -L cluster -LE 'streaming|soak'
 assert_no_orphaned_backends "the ASan cluster stage"
 
 echo "=== AddressSanitizer: overload suite (lanes, breakers, hedged reads) ==="
 ctest --test-dir build-asan --output-on-failure -L overload
 assert_no_orphaned_backends "the ASan overload stage"
+
+echo "=== AddressSanitizer: streaming suite (arrivals, windows, refits) ==="
+ctest --test-dir build-asan --output-on-failure -L streaming
+assert_no_orphaned_backends "the ASan streaming stage"
 
 echo "=== UndefinedBehaviorSanitizer build + tier-1 tests ==="
 cmake -B build-ubsan -S . -DDECOMPEVAL_SANITIZE=undefined

@@ -34,6 +34,7 @@ ClusterBackend::ClusterBackend(ClusterBackendOptions options)
       core_(options_.service),
       cache_(options_.cache),
       journal_(options_.journal),
+      streaming_(&core_.faults(), nullptr, options_.stream_log_dir),
       // Any active fault injection disables the rendered-line fast lane:
       // serving from it would skip service/cache/journal fault sites and
       // shift their deterministic hit sequences.
@@ -267,6 +268,20 @@ service::Json ClusterBackend::journal_compact_op() {
   return r;
 }
 
+service::Json ClusterBackend::handle_stream_op(const service::Json& request) {
+  // Stream writes journal in *absolute* form only: a relative "count"
+  // absorb is canonicalized to "upto" first, so the durable record is
+  // idempotent under replay dedup and replica fan-out. Stream results
+  // are time-varying and never touch the disk or line caches.
+  service::Json canonical = request;
+  service::Json error;
+  if (!streaming_.canonicalize(canonical, &error)) return error;
+  if (streaming::StreamEngine::is_stream_write(
+          canonical.get_string("op", "")))
+    journal_command(canonical);
+  return streaming_.handle(canonical);
+}
+
 service::Json ClusterBackend::handle(const service::Json& request,
                                      const std::atomic<bool>* cancel) {
   if (request.is_object()) {
@@ -296,6 +311,8 @@ service::Json ClusterBackend::handle(const service::Json& request,
     if (op == "journal_stats") return journal_stats_op();
     if (op == "journal_replay") return journal_replay_op(cancel);
     if (op == "journal_compact") return journal_compact_op();
+    if (streaming::StreamEngine::is_stream_op(op))
+      return handle_stream_op(request);
   }
 
   const bool no_cache =

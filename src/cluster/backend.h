@@ -30,6 +30,12 @@
 //   "journal_stats"   journal counters + structured warnings
 //   "journal_replay"  re-warm from the journal (returns replay counts)
 //   "journal_compact" drop snapshot-covered records now
+//   "stream_*"        the streaming study engine's op family (see
+//                     streaming/engine.h). Stream writes are journaled
+//                     in absolute (idempotent) form before execution and
+//                     replayed like any other command; stream results
+//                     are time-varying and therefore exempt from every
+//                     cache (disk, rendered-line, and the dispatcher's).
 #pragma once
 
 #include <atomic>
@@ -44,6 +50,7 @@
 #include "cluster/disk_cache.h"
 #include "cluster/journal.h"
 #include "service/service.h"
+#include "streaming/engine.h"
 #include "util/arena.h"
 #include "util/lru.h"
 
@@ -55,6 +62,11 @@ struct ClusterBackendOptions {
   DiskCacheOptions cache;
   /// journal.path empty → no journal (no durability for in-flight work).
   JournalOptions journal;
+  /// Root for *relative* stream arrival-log paths ("log" in stream_open).
+  /// Replicated stream commands ship the same logical path to every ring
+  /// replica; rooting each backend in its own directory keeps their logs
+  /// distinct on a shared filesystem. Empty = paths used verbatim.
+  std::string stream_log_dir;
   /// Auto-compact the journal when it outgrows this many bytes (checked
   /// after each store; 0 disables — compaction then only runs via the
   /// "journal_compact" op).
@@ -117,6 +129,7 @@ class ClusterBackend {
   service::ServiceCore& core() { return core_; }
   DiskCache& cache() { return cache_; }
   Journal& journal() { return journal_; }
+  streaming::StreamEngine& streaming() { return streaming_; }
   /// Recent journal-append warnings (bounded; oldest dropped first).
   std::vector<std::string> journal_warnings() const;
 
@@ -131,10 +144,15 @@ class ClusterBackend {
   service::Json journal_replay_op(const std::atomic<bool>* cancel);
   service::Json journal_compact_op();
 
+  service::Json handle_stream_op(const service::Json& request);
+
   ClusterBackendOptions options_;
   service::ServiceCore core_;
   DiskCache cache_;
   Journal journal_;
+  /// Stream sessions, driven by the core's fault injector so the
+  /// stream.* sites share one deterministic plan with everything else.
+  streaming::StreamEngine streaming_;
   std::atomic<bool> replaying_{false};
   mutable std::mutex journal_warn_mutex_;
   std::vector<std::string> journal_warnings_;

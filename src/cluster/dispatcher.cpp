@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "streaming/engine.h"
 #include "util/check.h"
 
 namespace decompeval::cluster {
@@ -464,6 +465,65 @@ bool Dispatcher::replicable(const service::Json& request) const {
   return !request.get_bool("no_cache", false);
 }
 
+bool Dispatcher::stream_replicable(const service::Json& request) const {
+  if (options_.replication_factor < 2 || !request.is_object()) return false;
+  return streaming::StreamEngine::is_stream_write(
+      request.get_string("op", ""));
+}
+
+void Dispatcher::replicate_stream(const service::Json& request,
+                                  const service::Json& response,
+                                  const std::vector<std::size_t>& walk,
+                                  std::size_t served_index) {
+  // Forward the *command* so each replica's StreamEngine re-executes it
+  // against its own session. A relative "count" absorb is pinned to the
+  // primary's absolute answer first ("emitted"), so a replica that fell
+  // behind (or raced ahead via an earlier failover) converges on the same
+  // arrival prefix instead of drifting by a relative amount.
+  service::Json outbound = service::strip_volatile_fields(request);
+  if (request.get_string("op", "") == "stream_absorb") {
+    service::Json absolute = service::Json::object();
+    for (const auto& [key, value] : outbound.members()) {
+      const std::string_view k(key.data(), key.size());
+      if (k == "count" || k == "upto") continue;
+      absolute.set(k, value);
+    }
+    absolute.set("upto", service::Json::number(
+                             response.get_number("emitted", 0.0)));
+    outbound = std::move(absolute);
+  }
+  const std::size_t r = std::min(options_.replication_factor, walk.size());
+  for (std::size_t i = 0; i < r; ++i) {
+    const std::size_t backend_index = walk[i];
+    if (backend_index == served_index) continue;
+    BackendState& backend = *backends_[backend_index];
+    if (!backend.up.load()) {
+      // Same stance as result replication: the primary's journal still
+      // covers the write, and a restarted replica re-warms from replay.
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.replication_failures;
+      continue;
+    }
+    try {
+      auto conn = acquire(backend, /*connect_attempts=*/10);
+      const service::Json reply = conn->call(outbound);
+      release(backend, std::move(conn));
+      // "degraded" is still an applied write: the replica absorbed what
+      // its fault plan let through and stays on the shared seq schedule.
+      const std::string status = reply.get_string("status", "");
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (status == "ok" || status == "degraded")
+        ++stats_.replicated;
+      else
+        ++stats_.replication_failures;
+    } catch (const std::exception&) {
+      backend.up.store(false);
+      const std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.replication_failures;
+    }
+  }
+}
+
 void Dispatcher::replicate(const service::Json& request,
                            const service::Json& response,
                            const std::vector<std::size_t>& walk,
@@ -813,10 +873,15 @@ service::Json Dispatcher::forward(const service::Json& request,
 
     service::Json response;
     switch (attempt_backend(backend, *outbound, response, nullptr)) {
-      case AttemptResult::kResponse:
-        if (response.get_string("status", "") == "ok" && replicable(request))
+      case AttemptResult::kResponse: {
+        const std::string status = response.get_string("status", "");
+        if (status == "ok" && replicable(request))
           replicate(request, response, candidates, backend_index);
+        else if ((status == "ok" || status == "degraded") &&
+                 stream_replicable(request))
+          replicate_stream(request, response, candidates, backend_index);
         return response;  // verbatim — bit-identical to a direct call
+      }
       case AttemptResult::kOverloaded:
       case AttemptResult::kFailed:
       case AttemptResult::kCancelled:  // unreachable without a hedge ctx

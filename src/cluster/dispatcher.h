@@ -307,6 +307,15 @@ class Dispatcher {
   void replicate(const service::Json& request, const service::Json& response,
                  const std::vector<std::size_t>& walk,
                  std::size_t served_index);
+  /// Stream writes replicate as *commands*, not results: the primary's
+  /// answer fixes the absolute absorb target, and each ring replica
+  /// re-executes the write against its own session (bit-identical by the
+  /// streaming determinism contract).
+  bool stream_replicable(const service::Json& request) const;
+  void replicate_stream(const service::Json& request,
+                        const service::Json& response,
+                        const std::vector<std::size_t>& walk,
+                        std::size_t served_index);
   bool line_cacheable(const service::Json& request) const;
   bool replicable(const service::Json& request) const;
   void maybe_store_response(const service::Json& request,

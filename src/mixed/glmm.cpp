@@ -288,4 +288,13 @@ GlmmFit fit_logistic_glmm(const MixedModelData& data,
   return fit;
 }
 
+std::vector<double> warm_start_from(const GlmmFit& fit) {
+  std::vector<double> x;
+  x.reserve(2 + fit.coefficients.size());
+  x.push_back(fit.sigma_user);
+  x.push_back(fit.sigma_question);
+  for (const Coefficient& c : fit.coefficients) x.push_back(c.estimate);
+  return x;
+}
+
 }  // namespace decompeval::mixed

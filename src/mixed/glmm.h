@@ -41,4 +41,9 @@ struct GlmmFit {
 GlmmFit fit_logistic_glmm(const MixedModelData& data,
                           const FitOptions& options = {});
 
+/// Packs a previous fit into the outer parameter vector
+/// [sigma_user, sigma_question, beta...] for FitOptions::warm_start of a
+/// later fit_logistic_glmm on related data (same fixed-effect layout).
+std::vector<double> warm_start_from(const GlmmFit& fit);
+
 }  // namespace decompeval::mixed

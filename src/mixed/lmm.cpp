@@ -208,4 +208,13 @@ LmmFit fit_lmm(const MixedModelData& data, const FitOptions& options) {
   return fit;
 }
 
+std::vector<double> warm_start_from(const LmmFit& fit) {
+  // The REML profile optimizes the relative covariance factors; beta and
+  // sigma are recovered in closed form, so the vector is theta only. A
+  // degenerate previous fit (sigma_residual == 0) has no usable ratios.
+  if (fit.sigma_residual <= 0.0) return {};
+  return {fit.sigma_user / fit.sigma_residual,
+          fit.sigma_question / fit.sigma_residual};
+}
+
 }  // namespace decompeval::mixed

@@ -43,4 +43,10 @@ struct LmmFit {
 /// result is identical at every thread count.
 LmmFit fit_lmm(const MixedModelData& data, const FitOptions& options = {});
 
+/// Packs a previous fit into the outer parameter vector
+/// [sigma_user/sigma_residual, sigma_question/sigma_residual] (the REML
+/// profile optimizes relative covariance factors only) for
+/// FitOptions::warm_start of a later fit_lmm on related data.
+std::vector<double> warm_start_from(const LmmFit& fit);
+
 }  // namespace decompeval::mixed

@@ -21,7 +21,18 @@ std::vector<std::vector<double>> multi_start_points(
 
   std::vector<std::vector<double>> starts;
   starts.reserve(static_cast<std::size_t>(options.n_starts) +
-                 options.extra_theta_starts.size());
+                 options.extra_theta_starts.size() +
+                 (options.warm_start.empty() ? 0 : 1));
+  if (!options.warm_start.empty()) {
+    DE_EXPECTS_MSG(options.warm_start.size() == x0.size(),
+                   "warm_start has the wrong dimension");
+    for (const double v : options.warm_start)
+      DE_EXPECTS_MSG(std::isfinite(v), "warm_start has a non-finite entry");
+    // Prepended, never substituted: the heuristic start and the whole cold
+    // candidate set stay in the search, so the warm winner can only improve
+    // on the cold winner (ties resolve to the warm start's lower index).
+    starts.push_back(options.warm_start);
+  }
   starts.push_back(x0);
   const std::size_t extra = static_cast<std::size_t>(options.n_starts) - 1;
   if (extra > 0) {

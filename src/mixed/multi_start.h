@@ -56,8 +56,18 @@ struct FitOptions {
   /// coordinates are copied from x0. The fitters fill this with the
   /// moment-based candidates; callers may add their own.
   std::vector<std::vector<double>> extra_theta_starts;
+  /// Optional warm start: a full parameter vector (theta coordinates first,
+  /// then the fixed effects) carried over from a previous fit on related
+  /// data — the streaming engine passes the previous window's winner here.
+  /// When non-empty it must match x0.size() and is *prepended* as start 0,
+  /// ahead of the heuristic start and every cold candidate. The cold start
+  /// set is retained unchanged, so the warm search explores a strict
+  /// superset of the cold search and — with ties broken toward the lower
+  /// index — its winning criterion is never worse than the cold one.
+  std::vector<double> warm_start;
   /// Optional chaos injection: fault site "mixed.start" is evaluated once
-  /// per start index. A firing start is quarantined, not fatal.
+  /// per start index (the warm start, when present, shifts the cold
+  /// indices up by one). A firing start is quarantined, not fatal.
   const util::FaultInjector* faults = nullptr;
   /// Cooperative cancellation, checked at fit entry and once per
   /// Nelder-Mead iteration. An expired deadline aborts with

@@ -472,6 +472,18 @@ void routing_key(const Json& request, std::string& out) {
       canonical_request_key(surrogate, out);
       return;
     }
+    // Stream ops route by stream id alone: every op touching one stream
+    // must land on the backend that owns that stream's session, whatever
+    // its other parameters ("upto", workload knobs) say.
+    const Json* stream = request.get("stream");
+    if (op != nullptr && op->type() == Json::Type::kString &&
+        op->as_string().rfind("stream_", 0) == 0 && stream != nullptr &&
+        stream->type() == Json::Type::kString) {
+      out += "stream\x1f";
+      const std::string_view id = stream->as_string();
+      out.append(id.data(), id.size());
+      return;
+    }
   }
   canonical_request_key(request, out);
 }

@@ -359,6 +359,41 @@ bool ReplicationServer::handle_request_line(int fd, std::string_view line,
     return write_response(fd, out);
   }
 
+  // Answered on the connection thread, like "shutdown": an operator
+  // probing an overloaded server must not wait behind the very queue
+  // being probed.
+  if (request.is_object() && request.get_string("op", "") == "server_stats") {
+    Json r = Json::object();
+    r.set("status", Json::string("ok"));
+    r.set("op", Json::string("server_stats"));
+    r.set("workers",
+          Json::number(static_cast<double>(options_.workers)));
+    r.set("max_queue",
+          Json::number(static_cast<double>(options_.max_queue)));
+    {
+      const std::lock_guard<std::mutex> lock(queue_mutex_);
+      r.set("interactive_queued", Json::number(static_cast<double>(
+                                      interactive_queue_.size())));
+      r.set("batch_queued",
+            Json::number(static_cast<double>(batch_queue_.size())));
+      r.set("in_flight",
+            Json::number(static_cast<double>(in_flight_.size())));
+      r.set("interactive_enqueued",
+            Json::number(static_cast<double>(
+                overload_stats_.interactive_enqueued)));
+      r.set("batch_enqueued", Json::number(static_cast<double>(
+                                  overload_stats_.batch_enqueued)));
+      r.set("shed_batch", Json::number(static_cast<double>(
+                              overload_stats_.shed_batch)));
+      r.set("overloaded_rejected",
+            Json::number(static_cast<double>(
+                overload_stats_.overloaded_rejected)));
+    }
+    r.dump_to(out);
+    out.push_back('\n');
+    return write_response(fd, out);
+  }
+
   if (request.is_object() && request.get_string("op", "") == "shutdown") {
     Json r = Json::object();
     r.set("status", Json::string("ok"));

@@ -41,6 +41,9 @@
 //                   client-side timeout can detect
 //
 // {"op":"shutdown"} answers {"status":"ok"} and then stops the server.
+// {"op":"server_stats"} answers on the connection thread with the
+// admission counters (OverloadStats), live queue depths, and worker
+// configuration — readable even when the queue itself is saturated.
 #pragma once
 
 #include <atomic>

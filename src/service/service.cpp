@@ -83,7 +83,8 @@ RequestLane classify_lane(const Json& request) {
   if (lane == "batch") return RequestLane::kBatch;
   if (lane == "interactive") return RequestLane::kInteractive;
   const std::string op = request.get_string("op", "");
-  if (op == "run_study" || op == "run_replication" || op == "journal_replay")
+  if (op == "run_study" || op == "run_replication" ||
+      op == "journal_replay" || op == "stream_absorb")
     return RequestLane::kBatch;
   return RequestLane::kInteractive;
 }

@@ -1,0 +1,258 @@
+#include "streaming/arrival.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/check.h"
+
+namespace decompeval::streaming {
+
+namespace {
+
+// Domain-separation salts: the candidate streams, the phase timeline, and
+// the population cohort must never alias each other or any batch seed.
+constexpr std::uint64_t kArrivalSalt = 0x5742EA11D2A45ULL;
+constexpr std::uint64_t kPhaseSalt = 0x0FF04A5E5ULL;
+constexpr std::uint64_t kCohortSalt = 0xC0480125ULL;
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, " %llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void append_bits(std::string& out, double v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, " %016llx",
+                static_cast<unsigned long long>(std::bit_cast<std::uint64_t>(v)));
+  out += buf;
+}
+
+class RecordReader {
+ public:
+  explicit RecordReader(std::string_view record) : record_(record) {}
+
+  std::uint64_t u64() {
+    const std::string tok = token();
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0')
+      throw std::runtime_error("arrival record: bad integer '" + tok + "'");
+    return v;
+  }
+
+  double bits() {
+    const std::string tok = token();
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(tok.c_str(), &end, 16);
+    if (end == tok.c_str() || *end != '\0' || tok.size() != 16)
+      throw std::runtime_error("arrival record: bad bit pattern '" + tok +
+                               "'");
+    return std::bit_cast<double>(static_cast<std::uint64_t>(v));
+  }
+
+  bool flag() {
+    const std::uint64_t v = u64();
+    if (v > 1) throw std::runtime_error("arrival record: bad flag");
+    return v == 1;
+  }
+
+  std::string token() {
+    while (pos_ < record_.size() && record_[pos_] == ' ') ++pos_;
+    const std::size_t start = pos_;
+    while (pos_ < record_.size() && record_[pos_] != ' ') ++pos_;
+    if (start == pos_)
+      throw std::runtime_error("arrival record: truncated");
+    return std::string(record_.substr(start, pos_ - start));
+  }
+
+  void expect_end() {
+    while (pos_ < record_.size() && record_[pos_] == ' ') ++pos_;
+    if (pos_ != record_.size())
+      throw std::runtime_error("arrival record: trailing bytes");
+  }
+
+ private:
+  std::string_view record_;
+  std::size_t pos_ = 0;
+};
+
+int clamp_likert(double mean) {
+  const long r = std::lround(mean);
+  return static_cast<int>(std::clamp(r, 1L, 5L));
+}
+
+}  // namespace
+
+std::string Arrival::serialize() const {
+  std::string out = "a1";
+  append_u64(out, seq);
+  append_u64(out, draw);
+  append_u64(out, virtual_us);
+  append_u64(out, user);
+  append_u64(out, snippet_index);
+  append_u64(out, question_index);
+  append_u64(out, question_global);
+  append_u64(out, treatment == study::Treatment::kDirty ? 1 : 0);
+  append_u64(out, answered ? 1 : 0);
+  append_u64(out, gradeable ? 1 : 0);
+  append_u64(out, correct ? 1 : 0);
+  append_bits(out, seconds);
+  append_bits(out, exp_coding);
+  append_bits(out, exp_re);
+  append_u64(out, has_opinion ? 1 : 0);
+  append_u64(out, static_cast<std::uint64_t>(likert_name));
+  append_u64(out, static_cast<std::uint64_t>(likert_type));
+  return out;
+}
+
+Arrival Arrival::parse(std::string_view record) {
+  RecordReader in(record);
+  if (in.token() != "a1")
+    throw std::runtime_error("arrival record: unknown version tag");
+  Arrival a;
+  a.seq = in.u64();
+  a.draw = in.u64();
+  a.virtual_us = in.u64();
+  a.user = in.u64();
+  a.snippet_index = in.u64();
+  a.question_index = in.u64();
+  a.question_global = in.u64();
+  a.treatment =
+      in.flag() ? study::Treatment::kDirty : study::Treatment::kHexRays;
+  a.answered = in.flag();
+  a.gradeable = in.flag();
+  a.correct = in.flag();
+  a.seconds = in.bits();
+  a.exp_coding = in.bits();
+  a.exp_re = in.bits();
+  a.has_opinion = in.flag();
+  a.likert_name = static_cast<int>(in.u64());
+  a.likert_type = static_cast<int>(in.u64());
+  if (a.likert_name > 5 || a.likert_type > 5)
+    throw std::runtime_error("arrival record: Likert out of range");
+  in.expect_end();
+  return a;
+}
+
+std::vector<study::Participant> streaming_population(std::size_t n,
+                                                     std::uint64_t seed) {
+  DE_EXPECTS_MSG(n > 0, "streaming population must be non-empty");
+  study::CohortConfig config;
+  config.n_unemployed = n / 42;
+  config.n_professionals = (n * 10) / 42;
+  config.n_students = n - config.n_professionals - config.n_unemployed;
+  // The stream models genuine live traffic; the batch study's planted
+  // low-effort responders exist to exercise the exclusion rule, which the
+  // windowed analyses do not apply.
+  config.n_rapid_students = 0;
+  config.n_rapid_professionals = 0;
+  config.seed = seed ^ kCohortSalt;
+  return study::generate_cohort(config);
+}
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config,
+                                     const std::vector<snippets::Snippet>* pool)
+    : config_(config),
+      pool_(pool),
+      population_(streaming_population(config.population, config.seed)),
+      base_(config.seed ^ kArrivalSalt),
+      phase_rng_(config.seed ^ kPhaseSalt) {
+  DE_EXPECTS_MSG(pool_ != nullptr && !pool_->empty(),
+                 "workload generator needs a snippet pool");
+  DE_EXPECTS_MSG(config_.rate_per_s > 0.0, "arrival rate must be positive");
+  DE_EXPECTS_MSG(config_.burst_on_mean_s > 0.0 &&
+                     config_.burst_off_mean_s > 0.0,
+                 "burst phase means must be positive");
+  DE_EXPECTS_MSG(config_.off_acceptance >= 0.0 &&
+                     config_.off_acceptance <= 1.0,
+                 "off_acceptance must be a probability");
+  for (const snippets::Snippet& s : *pool_)
+    DE_EXPECTS_MSG(!s.questions.empty(), "pool snippet has no questions");
+}
+
+bool WorkloadGenerator::phase_on_at(std::uint64_t t_us) {
+  // The boundary list is consumed strictly left to right, so lazily
+  // extending it keeps every boundary a pure function of the seed no
+  // matter when (or from what restored position) it is first needed.
+  while (phase_ends_us_.empty() || phase_ends_us_.back() <= t_us) {
+    const bool next_is_on = phase_ends_us_.size() % 2 == 0;
+    const double mean =
+        next_is_on ? config_.burst_on_mean_s : config_.burst_off_mean_s;
+    const double len_s = phase_rng_.exponential(1.0 / mean);
+    const auto len_us = static_cast<std::uint64_t>(
+        std::max<long long>(1, std::llround(len_s * 1e6)));
+    const std::uint64_t start =
+        phase_ends_us_.empty() ? 0 : phase_ends_us_.back();
+    phase_ends_us_.push_back(start + len_us);
+  }
+  const auto it = std::upper_bound(phase_ends_us_.begin(),
+                                   phase_ends_us_.end(), t_us);
+  const std::size_t phase =
+      static_cast<std::size_t>(it - phase_ends_us_.begin());
+  return phase % 2 == 0;  // phase 0 is "on"
+}
+
+Arrival WorkloadGenerator::next() {
+  for (;;) {
+    const std::uint64_t c = drawn_++;
+    // Everything this candidate needs — gap, thinning coin, payload —
+    // comes from one split stream, so the candidate is a pure function
+    // of (config, c) regardless of generation batching.
+    util::Rng stream = base_.split(c);
+    const double gap_s = stream.exponential(config_.rate_per_s);
+    clock_us_ += static_cast<std::uint64_t>(
+        std::max<long long>(1, std::llround(gap_s * 1e6)));
+    if (config_.process == ArrivalProcess::kBursty) {
+      const bool on = phase_on_at(clock_us_);
+      const double coin = stream.uniform();
+      if (!on && coin >= config_.off_acceptance) continue;
+    }
+
+    Arrival a;
+    a.seq = emitted_++;
+    a.draw = c;
+    a.virtual_us = clock_us_;
+    a.user = stream.uniform_index(population_.size());
+    const study::Participant& p = population_[a.user];
+    a.snippet_index = stream.uniform_index(pool_->size());
+    const snippets::Snippet& snippet = (*pool_)[a.snippet_index];
+    a.question_index = stream.uniform_index(snippet.questions.size());
+    a.treatment = stream.bernoulli(0.5) ? study::Treatment::kDirty
+                                        : study::Treatment::kHexRays;
+    const study::Response r = study::simulate_response(
+        p, snippet, a.snippet_index, a.question_index, a.treatment,
+        config_.response_model, stream);
+    a.question_global = r.question_global;
+    a.answered = r.answered;
+    a.gradeable = r.gradeable;
+    a.correct = r.correct;
+    a.seconds = r.seconds;
+    a.exp_coding = p.coding_experience_years;
+    a.exp_re = p.re_experience_years;
+    if (a.answered && stream.bernoulli(config_.opinion_probability)) {
+      const study::OpinionRecord o = study::simulate_opinion(
+          p, snippet, a.snippet_index, a.treatment, config_.response_model,
+          stream);
+      a.has_opinion = true;
+      a.likert_name = clamp_likert(o.mean_name_rating());
+      a.likert_type = clamp_likert(o.mean_type_rating());
+    }
+    return a;
+  }
+}
+
+void WorkloadGenerator::restore(std::uint64_t emitted, std::uint64_t drawn,
+                                std::uint64_t virtual_us) {
+  DE_EXPECTS_MSG(drawn >= emitted, "restore: drawn < emitted");
+  emitted_ = emitted;
+  drawn_ = drawn;
+  clock_us_ = virtual_us;
+}
+
+}  // namespace decompeval::streaming

@@ -1,0 +1,766 @@
+#include "streaming/engine.h"
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/rq1_correctness.h"
+#include "cluster/journal.h"
+#include "metrics/static_complexity.h"
+#include "snippets/snippet.h"
+#include "stats/correlation.h"
+#include "stats/tests.h"
+#include "streaming/arrival.h"
+#include "util/check.h"
+
+namespace decompeval::streaming {
+
+namespace {
+
+using service::Json;
+
+constexpr std::size_t kMaxNotes = 32;
+/// Minimum usable window rows before a model is attempted; below this a
+/// refit records "sparse" and keeps the previous fit (not a fault).
+constexpr std::size_t kMinFitRows = 16;
+
+Json bad_request(const std::string& message) {
+  Json r = Json::object();
+  r.set("status", Json::string("bad_request"));
+  r.set("error", Json::string(message));
+  return r;
+}
+
+Json error_response(const std::string& op, const std::string& message) {
+  Json r = Json::object();
+  r.set("status", Json::string("error"));
+  r.set("op", Json::string(op));
+  r.set("error", Json::string(message));
+  return r;
+}
+
+void set_count(Json& r, const char* key, std::uint64_t v) {
+  r.set(key, Json::number(static_cast<double>(v)));
+}
+
+struct StreamOptions {
+  WorkloadConfig workload;
+  WindowOptions window;
+  std::uint64_t refit_every = 0;  ///< 0 disables refits
+  int fit_starts = 4;
+  std::string log_path;
+};
+
+StreamOptions parse_stream_options(const Json& request) {
+  StreamOptions o;
+  const std::string process = request.get_string("process", "poisson");
+  if (process == "poisson") {
+    o.workload.process = ArrivalProcess::kPoisson;
+  } else if (process == "bursty") {
+    o.workload.process = ArrivalProcess::kBursty;
+  } else {
+    throw std::runtime_error("unknown arrival process '" + process + "'");
+  }
+  o.workload.rate_per_s = request.get_number("rate_per_s", 200.0);
+  o.workload.burst_on_mean_s = request.get_number("burst_on_s", 2.0);
+  o.workload.burst_off_mean_s = request.get_number("burst_off_s", 6.0);
+  o.workload.off_acceptance = request.get_number("off_acceptance", 0.05);
+  o.workload.population = static_cast<std::size_t>(
+      request.get_number("population", 64.0));
+  o.workload.opinion_probability =
+      request.get_number("opinion_probability", 0.35);
+  o.workload.seed =
+      static_cast<std::uint64_t>(request.get_number("seed", 68.0));
+  o.window.max_events = static_cast<std::size_t>(
+      request.get_number("window_events", 4096.0));
+  o.window.max_age_us = static_cast<std::uint64_t>(
+      request.get_number("window_age_ms", 0.0) * 1000.0);
+  o.refit_every = static_cast<std::uint64_t>(
+      request.get_number("refit_every", 0.0));
+  o.fit_starts =
+      static_cast<int>(request.get_number("fit_starts", 4.0));
+  if (o.fit_starts < 1)
+    throw std::runtime_error("fit_starts must be at least 1");
+  o.log_path = request.get_string("log", "");
+  return o;
+}
+
+bool nonconstant(const std::vector<double>& v) {
+  for (std::size_t i = 1; i < v.size(); ++i)
+    if (v[i] != v[0]) return true;
+  return false;
+}
+
+void set_correlation(Json& out, const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  set_count(out, "n", x.size());
+  if (x.size() < 8 || !nonconstant(x) || !nonconstant(y)) return;
+  const stats::CorrelationResult c = stats::spearman(x, y);
+  out.set("rho", Json::number(c.estimate));
+  out.set("p", Json::number(c.p_value));
+}
+
+void set_wilcoxon(Json& out, const std::vector<double>& x,
+                  const std::vector<double>& y) {
+  if (x.empty() || y.empty()) return;
+  const stats::WilcoxonResult w = stats::wilcoxon_rank_sum(x, y);
+  out.set("w", Json::number(w.w));
+  out.set("p", Json::number(w.p_value));
+  out.set("shift", Json::number(w.location_shift));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StreamSession
+// ---------------------------------------------------------------------------
+
+class StreamSession {
+ public:
+  StreamSession(std::string id, StreamOptions options,
+                const util::FaultInjector* faults,
+                const std::vector<snippets::Snippet>* pool)
+      : id_(std::move(id)),
+        options_(std::move(options)),
+        faults_(faults),
+        pool_(pool),
+        generator_(options_.workload, pool),
+        state_(options_.window) {
+    if (!options_.log_path.empty()) {
+      reload_from_log();
+      cluster::JournalOptions jo;
+      jo.path = options_.log_path;
+      log_ = std::make_unique<cluster::Journal>(jo);
+    }
+  }
+
+  Json open_response(bool already_open) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Json r = Json::object();
+    r.set("status", Json::string("ok"));
+    r.set("op", Json::string("stream_open"));
+    r.set("stream", Json::string(id_));
+    r.set("already_open", Json::boolean(already_open));
+    r.set("reloaded", Json::boolean(reloaded_records_ > 0));
+    set_count(r, "reloaded_records", reloaded_records_);
+    set_count(r, "emitted", generator_.emitted());
+    set_count(r, "absorbed", state_.absorbed());
+    set_count(r, "population", generator_.population().size());
+    return r;
+  }
+
+  /// Absolute absorb target base for canonicalizing relative requests.
+  std::uint64_t emitted_target_base() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return generator_.emitted();
+  }
+
+  Json absorb(std::uint64_t upto, std::size_t threads) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::uint64_t dropped_before = dropped_;
+    const std::uint64_t faulted_before = refits_faulted_;
+    while (generator_.emitted() < upto) {
+      const Arrival a = generator_.next();
+      process_arrival(a, /*from_log=*/false, threads);
+    }
+    Json r = Json::object();
+    const bool degraded = dropped_ > dropped_before ||
+                          refits_faulted_ > faulted_before;
+    r.set("status", Json::string(degraded ? "degraded" : "ok"));
+    r.set("op", Json::string("stream_absorb"));
+    r.set("stream", Json::string(id_));
+    set_count(r, "emitted", generator_.emitted());
+    set_count(r, "absorbed", state_.absorbed());
+    set_count(r, "dropped", dropped_);
+    set_count(r, "refit_attempts", refit_attempts_);
+    set_count(r, "refits_run", refits_run_);
+    if (degraded) r.set("notes", notes_json());
+    return r;
+  }
+
+  Json stats() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Json r = Json::object();
+    r.set("status", Json::string("ok"));
+    r.set("op", Json::string("stream_stats"));
+    r.set("stream", Json::string(id_));
+    set_count(r, "emitted", generator_.emitted());
+    set_count(r, "drawn", generator_.drawn());
+    set_count(r, "virtual_us", generator_.virtual_us());
+    set_count(r, "absorbed", state_.absorbed());
+    set_count(r, "evicted", state_.evicted());
+    set_count(r, "dropped", dropped_);
+    set_count(r, "window", state_.window().size());
+    set_count(r, "refit_attempts", refit_attempts_);
+    set_count(r, "refits_run", refits_run_);
+    set_count(r, "refits_faulted", refits_faulted_);
+    set_count(r, "refits_sparse", refits_sparse_);
+    set_count(r, "refit_failures", refit_failures_);
+    r.set("degraded", Json::boolean(dropped_ > 0 || refits_faulted_ > 0));
+    r.set("digest", Json::string(state_.digest()));
+    for (int t = 0; t < 2; ++t) {
+      const study::Treatment arm =
+          t == 0 ? study::Treatment::kHexRays : study::Treatment::kDirty;
+      Json c = Json::object();
+      const TreatmentCounts& lc = state_.lifetime_counts(arm);
+      set_count(c, "arrivals", lc.arrivals);
+      set_count(c, "answered", lc.answered);
+      set_count(c, "gradeable", lc.gradeable);
+      set_count(c, "correct", lc.correct);
+      set_count(c, "opinions", lc.opinions);
+      r.set(t == 0 ? "hexrays" : "dirty", c);
+    }
+    return r;
+  }
+
+  Json dashboard() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    Json r = Json::object();
+    r.set("status", Json::string("ok"));
+    r.set("op", Json::string("stream_dashboard"));
+    r.set("stream", Json::string(id_));
+    set_count(r, "absorbed", state_.absorbed());
+    set_count(r, "dropped", dropped_);
+    set_count(r, "window", state_.window().size());
+    set_count(r, "virtual_us", state_.newest_virtual_us());
+    // A window that lost arrivals or skipped refits to faults is degraded:
+    // the summaries are internally consistent over what survived but must
+    // not be read as the full stream.
+    const bool degraded = dropped_ > 0 || refits_faulted_ > 0;
+    r.set("window_degraded", Json::boolean(degraded));
+    if (degraded) r.set("notes", notes_json());
+    r.set("rq1", rq1_json());
+    r.set("rq2", rq2_json());
+    r.set("rq3", rq3_json());
+    r.set("rq4", rq4_json());
+    r.set("rq5", rq5_json());
+    return r;
+  }
+
+  SessionView view() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SessionView v;
+    v.window_data = window_study_data();
+    v.fit_starts = options_.fit_starts;
+    v.have_glmm = have_glmm_;
+    v.have_lmm = have_lmm_;
+    v.glmm = glmm_;
+    v.lmm = lmm_;
+    v.glmm_warm_used = last_glmm_warm_used_;
+    v.lmm_warm_used = last_lmm_warm_used_;
+    v.digest = state_.digest();
+    v.absorbed = state_.absorbed();
+    v.dropped = dropped_;
+    v.refit_attempts = refit_attempts_;
+    v.refits_run = refits_run_;
+    v.refits_faulted = refits_faulted_;
+    return v;
+  }
+
+ private:
+  void note(std::string text) {
+    if (notes_.size() >= kMaxNotes) notes_.erase(notes_.begin());
+    notes_.push_back(std::move(text));
+  }
+
+  Json notes_json() const {
+    Json out = Json::array();
+    for (const std::string& n : notes_) out.push_back(Json::string(n));
+    return out;
+  }
+
+  /// Absorbs (or drops) one arrival and runs the refit cadence. The
+  /// cadence keys on arrival seq — not on absorption success — so a
+  /// fault-dropped arrival still triggers the same refit schedule a
+  /// clean run would see.
+  void process_arrival(const Arrival& a, bool from_log, std::size_t threads) {
+    bool dropped = false;
+    if (!from_log && faults_ != nullptr) {
+      try {
+        faults_->raise_if("stream.absorb", a.seq);
+      } catch (const util::FaultError& e) {
+        dropped = true;
+        ++dropped_;
+        note("arrival " + std::to_string(a.seq) + " dropped: " + e.what());
+      }
+    }
+    if (!dropped) {
+      if (!from_log && log_ != nullptr) log_->append(a.serialize());
+      state_.absorb(a);
+    }
+    maybe_refit(a.seq, threads);
+  }
+
+  void maybe_refit(std::uint64_t seq, std::size_t threads) {
+    if (options_.refit_every == 0 ||
+        (seq + 1) % options_.refit_every != 0)
+      return;
+    run_refit(threads);
+  }
+
+  void run_refit(std::size_t threads) {
+    const std::uint64_t attempt = refit_attempts_++;
+    if (faults_ != nullptr) {
+      try {
+        faults_->raise_if("stream.refit", attempt);
+      } catch (const util::FaultError& e) {
+        ++refits_faulted_;
+        note("refit " + std::to_string(attempt) + " skipped: " + e.what());
+        return;
+      }
+    }
+    const study::StudyData data = window_study_data();
+    if (!refit_eligible(data)) {
+      ++refits_sparse_;
+      return;
+    }
+    mixed::FitOptions base;
+    base.n_starts = options_.fit_starts;
+    base.threads = threads;
+    bool fitted_any = false;
+    try {
+      mixed::FitOptions g = base;
+      if (have_glmm_) g.warm_start = mixed::warm_start_from(glmm_);
+      last_glmm_warm_used_ = g.warm_start;
+      glmm_ = mixed::fit_logistic_glmm(
+          analysis::build_model_data(data, /*timing_model=*/false, nullptr),
+          g);
+      have_glmm_ = true;
+      if (!g.warm_start.empty()) ++glmm_warm_refits_;
+      fitted_any = true;
+    } catch (const NumericalError& e) {
+      ++refit_failures_;
+      note("refit " + std::to_string(attempt) + " glmm failed: " + e.what());
+    }
+    try {
+      mixed::FitOptions l = base;
+      if (have_lmm_) l.warm_start = mixed::warm_start_from(lmm_);
+      last_lmm_warm_used_ = l.warm_start;
+      lmm_ = mixed::fit_lmm(
+          analysis::build_model_data(data, /*timing_model=*/true, nullptr),
+          l);
+      have_lmm_ = true;
+      if (!l.warm_start.empty()) ++lmm_warm_refits_;
+      fitted_any = true;
+    } catch (const NumericalError& e) {
+      ++refit_failures_;
+      note("refit " + std::to_string(attempt) + " lmm failed: " + e.what());
+    }
+    if (fitted_any) ++refits_run_;
+  }
+
+  /// The windowed refits need enough rows, both treatment arms, response
+  /// variation, and at least two levels per grouping factor; a window
+  /// that fails the check is "sparse" (the previous fit stays current).
+  bool refit_eligible(const study::StudyData& data) const {
+    std::size_t gradeable = 0;
+    std::size_t correct = 0;
+    std::size_t per_arm[2] = {0, 0};
+    std::set<std::size_t> users;
+    std::set<std::size_t> questions;
+    for (const study::Response& r : data.responses) {
+      if (!r.answered) continue;
+      users.insert(r.participant_id);
+      questions.insert(r.question_global);
+      ++per_arm[r.treatment == study::Treatment::kDirty ? 1 : 0];
+      if (!r.gradeable) continue;
+      ++gradeable;
+      if (r.correct) ++correct;
+    }
+    return gradeable >= kMinFitRows && users.size() >= 2 &&
+           questions.size() >= 2 && per_arm[0] >= 2 && per_arm[1] >= 2 &&
+           correct > 0 && correct < gradeable;
+  }
+
+  study::StudyData window_study_data() const {
+    study::StudyData data;
+    data.cohort = generator_.population();
+    data.n_questions = 0;
+    for (const Arrival& a : state_.window()) {
+      study::Response r;
+      r.participant_id = a.user;
+      r.snippet_index = a.snippet_index;
+      r.question_index = a.question_index;
+      r.question_global = a.question_global;
+      r.treatment = a.treatment;
+      r.answered = a.answered;
+      r.gradeable = a.gradeable;
+      r.correct = a.correct;
+      r.seconds = a.seconds;
+      data.responses.push_back(r);
+      data.n_questions = std::max<std::size_t>(data.n_questions,
+                                               a.question_global + 1);
+    }
+    return data;
+  }
+
+  void reload_from_log() {
+    const cluster::ReplayedJournal scanned =
+        cluster::Journal::replay(options_.log_path);
+    if (scanned.records.empty()) return;
+    std::vector<Arrival> records;
+    records.reserve(scanned.records.size());
+    for (const std::string& record : scanned.records)
+      records.push_back(Arrival::parse(record));
+    // Dropped (fault-suppressed) arrivals appear as seq gaps; replaying
+    // the gap as a drop keeps counters and the refit cadence on the
+    // exact schedule of the original run.
+    std::size_t next = 0;
+    const Arrival& last = records.back();
+    for (std::uint64_t seq = 0; seq <= last.seq; ++seq) {
+      if (next < records.size() && records[next].seq == seq) {
+        process_arrival(records[next], /*from_log=*/true, /*threads=*/0);
+        ++next;
+      } else {
+        ++dropped_;
+        note("arrival " + std::to_string(seq) + " dropped (log gap)");
+        maybe_refit(seq, /*threads=*/0);
+      }
+    }
+    if (next != records.size())
+      throw std::runtime_error("arrival log is not in seq order");
+    generator_.restore(last.seq + 1, last.draw + 1, last.virtual_us);
+    reloaded_records_ = records.size();
+  }
+
+  // ---- windowed RQ summaries (caller holds mutex_) ----
+
+  Json rq1_json() const {
+    Json out = Json::object();
+    for (int t = 0; t < 2; ++t) {
+      const study::Treatment arm =
+          t == 0 ? study::Treatment::kHexRays : study::Treatment::kDirty;
+      std::uint64_t gradeable = 0;
+      std::uint64_t correct = 0;
+      for (const Arrival& a : state_.window()) {
+        if (a.treatment != arm || !a.gradeable) continue;
+        ++gradeable;
+        if (a.correct) ++correct;
+      }
+      Json c = Json::object();
+      set_count(c, "gradeable", gradeable);
+      set_count(c, "correct", correct);
+      if (gradeable > 0)
+        c.set("rate", Json::number(static_cast<double>(correct) /
+                                   static_cast<double>(gradeable)));
+      out.set(t == 0 ? "hexrays" : "dirty", c);
+    }
+    Json g = Json::object();
+    g.set("fitted", Json::boolean(have_glmm_));
+    if (have_glmm_) {
+      g.set("deviance", Json::number(glmm_.deviance));
+      g.set("sigma_user", Json::number(glmm_.sigma_user));
+      g.set("sigma_question", Json::number(glmm_.sigma_question));
+      if (glmm_.coefficients.size() > 1) {
+        g.set("treatment_estimate",
+              Json::number(glmm_.coefficients[1].estimate));
+        g.set("treatment_p", Json::number(glmm_.coefficients[1].p_value));
+      }
+      g.set("warm", Json::boolean(!last_glmm_warm_used_.empty()));
+      set_count(g, "warm_refits", glmm_warm_refits_);
+    }
+    out.set("glmm", g);
+    return out;
+  }
+
+  Json rq2_json() const {
+    Json out = Json::object();
+    for (int t = 0; t < 2; ++t) {
+      const study::Treatment arm =
+          t == 0 ? study::Treatment::kHexRays : study::Treatment::kDirty;
+      std::uint64_t answered = 0;
+      double sum = 0.0;
+      for (const Arrival& a : state_.window()) {
+        if (a.treatment != arm || !a.answered) continue;
+        ++answered;
+        sum += a.seconds;
+      }
+      Json c = Json::object();
+      set_count(c, "answered", answered);
+      if (answered > 0)
+        c.set("mean_seconds",
+              Json::number(sum / static_cast<double>(answered)));
+      out.set(t == 0 ? "hexrays" : "dirty", c);
+    }
+    Json l = Json::object();
+    l.set("fitted", Json::boolean(have_lmm_));
+    if (have_lmm_) {
+      l.set("reml", Json::number(lmm_.reml_criterion));
+      l.set("sigma_user", Json::number(lmm_.sigma_user));
+      l.set("sigma_residual", Json::number(lmm_.sigma_residual));
+      if (lmm_.coefficients.size() > 1) {
+        l.set("treatment_estimate",
+              Json::number(lmm_.coefficients[1].estimate));
+        l.set("treatment_p", Json::number(lmm_.coefficients[1].p_value));
+      }
+      l.set("warm", Json::boolean(!last_lmm_warm_used_.empty()));
+      set_count(l, "warm_refits", lmm_warm_refits_);
+    }
+    out.set("lmm", l);
+    return out;
+  }
+
+  Json rq3_json() const {
+    Json out = Json::object();
+    for (const bool name_scale : {true, false}) {
+      std::vector<double> ratings[2];
+      Json counts[2] = {Json::array(), Json::array()};
+      for (int t = 0; t < 2; ++t) {
+        const study::Treatment arm =
+            t == 0 ? study::Treatment::kHexRays : study::Treatment::kDirty;
+        const TreatmentCounts& wc = state_.window_counts(arm);
+        for (int i = 0; i < 5; ++i) {
+          const std::uint64_t n =
+              name_scale ? wc.likert_name[i] : wc.likert_type[i];
+          counts[t].push_back(Json::number(static_cast<double>(n)));
+          for (std::uint64_t k = 0; k < n; ++k)
+            ratings[t].push_back(static_cast<double>(i + 1));
+        }
+      }
+      Json scale = Json::object();
+      scale.set("hexrays_counts", counts[0]);
+      scale.set("dirty_counts", counts[1]);
+      set_wilcoxon(scale, ratings[1], ratings[0]);  // DIRTY vs Hex-Rays
+      out.set(name_scale ? "name" : "type", scale);
+    }
+    return out;
+  }
+
+  Json rq4_json() const {
+    // Perception vs performance over the DIRTY window arrivals that
+    // filed an opinion: does a better (lower) rating go with being
+    // right, and do trusting raters actually do better?
+    std::vector<double> rating;
+    std::vector<double> correct;
+    std::vector<double> rating_correct;
+    std::vector<double> rating_incorrect;
+    for (const Arrival& a : state_.window()) {
+      if (a.treatment != study::Treatment::kDirty || !a.has_opinion ||
+          !a.gradeable)
+        continue;
+      const double mean_rating =
+          (static_cast<double>(a.likert_name) +
+           static_cast<double>(a.likert_type)) /
+          2.0;
+      rating.push_back(mean_rating);
+      correct.push_back(a.correct ? 1.0 : 0.0);
+      (a.correct ? rating_correct : rating_incorrect)
+          .push_back(mean_rating);
+    }
+    Json out = Json::object();
+    Json corr = Json::object();
+    set_correlation(corr, rating, correct);
+    out.set("rating_vs_correctness", corr);
+    Json trust = Json::object();
+    set_count(trust, "n_correct", rating_correct.size());
+    set_count(trust, "n_incorrect", rating_incorrect.size());
+    set_wilcoxon(trust, rating_correct, rating_incorrect);
+    out.set("trust", trust);
+    return out;
+  }
+
+  Json rq5_json() const {
+    // Static-complexity family only: the embedding-backed RQ5 metrics
+    // need a model the streaming path must not depend on, while the
+    // structural metrics are a pure function of the snippet pool.
+    ensure_complexity();
+    std::vector<double> cyclomatic;
+    std::vector<double> seconds;
+    std::vector<double> entropy;
+    std::vector<double> correct;
+    for (const Arrival& a : state_.window()) {
+      if (a.treatment != study::Treatment::kDirty) continue;
+      if (a.snippet_index >= complexity_.size() ||
+          !complexity_ok_[a.snippet_index])
+        continue;
+      const metrics::StaticComplexity& c = complexity_[a.snippet_index];
+      if (a.answered) {
+        cyclomatic.push_back(c.cyclomatic);
+        seconds.push_back(a.seconds);
+      }
+      if (a.gradeable) {
+        entropy.push_back(c.identifier_entropy);
+        correct.push_back(a.correct ? 1.0 : 0.0);
+      }
+    }
+    Json out = Json::object();
+    Json time_corr = Json::object();
+    set_correlation(time_corr, cyclomatic, seconds);
+    out.set("cyclomatic_vs_seconds", time_corr);
+    Json correct_corr = Json::object();
+    set_correlation(correct_corr, entropy, correct);
+    out.set("entropy_vs_correctness", correct_corr);
+    return out;
+  }
+
+  void ensure_complexity() const {
+    if (!complexity_.empty()) return;
+    complexity_.reserve(pool_->size());
+    complexity_ok_.reserve(pool_->size());
+    for (const snippets::Snippet& s : *pool_) {
+      try {
+        complexity_.push_back(metrics::compute_static_complexity(
+            s.dirty_source, s.parse_options));
+        complexity_ok_.push_back(true);
+      } catch (const std::exception&) {
+        complexity_.push_back(metrics::StaticComplexity{});
+        complexity_ok_.push_back(false);
+      }
+    }
+  }
+
+  const std::string id_;
+  const StreamOptions options_;
+  const util::FaultInjector* faults_;
+  const std::vector<snippets::Snippet>* pool_;
+  mutable std::mutex mutex_;
+  WorkloadGenerator generator_;
+  StreamState state_;
+  std::unique_ptr<cluster::Journal> log_;
+  std::uint64_t reloaded_records_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t refit_attempts_ = 0;
+  std::uint64_t refits_run_ = 0;
+  std::uint64_t refits_faulted_ = 0;
+  std::uint64_t refits_sparse_ = 0;
+  std::uint64_t refit_failures_ = 0;
+  std::uint64_t glmm_warm_refits_ = 0;
+  std::uint64_t lmm_warm_refits_ = 0;
+  bool have_glmm_ = false;
+  bool have_lmm_ = false;
+  mixed::GlmmFit glmm_;
+  mixed::LmmFit lmm_;
+  std::vector<double> last_glmm_warm_used_;
+  std::vector<double> last_lmm_warm_used_;
+  std::vector<std::string> notes_;
+  /// Lazily computed per-snippet static complexity for the windowed RQ5.
+  mutable std::vector<metrics::StaticComplexity> complexity_;
+  mutable std::vector<bool> complexity_ok_;
+};
+
+// ---------------------------------------------------------------------------
+// StreamEngine
+// ---------------------------------------------------------------------------
+
+StreamEngine::StreamEngine(const util::FaultInjector* faults,
+                           const std::vector<snippets::Snippet>* pool,
+                           std::string log_root)
+    : faults_(faults),
+      pool_(pool != nullptr ? pool : &snippets::study_snippets()),
+      log_root_(std::move(log_root)) {}
+
+StreamEngine::~StreamEngine() = default;
+
+bool StreamEngine::is_stream_op(const std::string& op) {
+  return op == "stream_open" || op == "stream_absorb" ||
+         op == "stream_stats" || op == "stream_dashboard";
+}
+
+bool StreamEngine::is_stream_write(const std::string& op) {
+  return op == "stream_open" || op == "stream_absorb";
+}
+
+StreamSession* StreamEngine::find(const std::string& id) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+bool StreamEngine::canonicalize(service::Json& request, service::Json* error) {
+  if (!request.is_object() ||
+      request.get_string("op", "") != "stream_absorb")
+    return true;
+  if (request.get("upto") != nullptr) return true;
+  const double count = request.get_number("count", -1.0);
+  if (count < 0.0) {
+    if (error != nullptr)
+      *error = bad_request(
+          "stream_absorb needs a non-negative 'upto' or 'count'");
+    return false;
+  }
+  StreamSession* session = find(request.get_string("stream", ""));
+  if (session == nullptr) {
+    if (error != nullptr)
+      *error = error_response("stream_absorb",
+                              "unknown stream '" +
+                                  request.get_string("stream", "") + "'");
+    return false;
+  }
+  // Rebuild without the relative field: the journaled command must be
+  // the absolute, idempotent form.
+  Json absolute = Json::object();
+  for (const auto& [key, value] : request.members()) {
+    const std::string_view k(key.data(), key.size());
+    if (k == "count") continue;
+    absolute.set(k, value);
+  }
+  absolute.set("upto",
+               Json::number(static_cast<double>(
+                   session->emitted_target_base() + count)));
+  request = std::move(absolute);
+  return true;
+}
+
+service::Json StreamEngine::handle(const service::Json& request) {
+  const std::string op =
+      request.is_object() ? request.get_string("op", "") : "";
+  try {
+    if (op == "stream_open") return open_op(request);
+    const std::string id = request.get_string("stream", "");
+    if (id.empty())
+      return bad_request("stream ops need a string field 'stream'");
+    StreamSession* session = find(id);
+    if (session == nullptr)
+      return error_response(op, "unknown stream '" + id + "'");
+    if (op == "stream_absorb") {
+      const double upto = request.get_number("upto", -1.0);
+      if (upto < 0.0)
+        return bad_request("stream_absorb needs a non-negative 'upto'");
+      const auto threads =
+          static_cast<std::size_t>(request.get_number("threads", 0.0));
+      return session->absorb(static_cast<std::uint64_t>(upto), threads);
+    }
+    if (op == "stream_stats") return session->stats();
+    if (op == "stream_dashboard") return session->dashboard();
+    return bad_request("unknown stream op '" + op + "'");
+  } catch (const std::exception& e) {
+    return error_response(op, e.what());
+  }
+}
+
+service::Json StreamEngine::open_op(const service::Json& request) {
+  const std::string id = request.get_string("stream", "");
+  if (id.empty())
+    return bad_request("stream_open needs a string field 'stream'");
+  {
+    // Idempotent re-open (journal replays re-issue the command): the
+    // existing session answers; its config stays authoritative.
+    StreamSession* existing = find(id);
+    if (existing != nullptr) return existing->open_response(true);
+  }
+  StreamOptions options = parse_stream_options(request);
+  if (!options.log_path.empty() && options.log_path[0] != '/' &&
+      !log_root_.empty())
+    options.log_path = log_root_ + "/" + options.log_path;
+  auto session =
+      std::make_unique<StreamSession>(id, options, faults_, pool_);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = sessions_.emplace(id, std::move(session));
+  return it->second->open_response(!inserted);
+}
+
+SessionView StreamEngine::view(const std::string& stream_id) const {
+  StreamSession* session = find(stream_id);
+  if (session == nullptr)
+    throw std::runtime_error("unknown stream '" + stream_id + "'");
+  return session->view();
+}
+
+std::size_t StreamEngine::open_streams() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace decompeval::streaming

@@ -1,0 +1,131 @@
+// The streaming study engine: live-population arrivals absorbed into
+// incremental per-stream state, with warm-started mixed-model refits and
+// windowed RQ1–RQ5 dashboards, served through the cluster as the
+// `stream` op family.
+//
+// Op family (ClusterBackend routes every "stream_*" op here):
+//   "stream_open"      create (or idempotently re-open) a stream:
+//                      workload knobs ("process" poisson|bursty,
+//                      "rate_per_s", "population", "seed", burst knobs,
+//                      "opinion_probability"), window bounds
+//                      ("window_events", "window_age_ms"), refit cadence
+//                      ("refit_every", "fit_starts"), and the arrival
+//                      log path ("log"). When the log already holds
+//                      records, opening *reloads*: state, refit chain,
+//                      and generator position are reconstructed from the
+//                      log bit-identically — the backend-restart re-warm.
+//   "stream_absorb"    generate + absorb arrivals up to an absolute
+//                      target ("upto"; the relative "count" form is
+//                      canonicalized to "upto" before journaling, so the
+//                      durable command is idempotent). Runs refits at
+//                      the every-N-arrivals cadence as targets pass.
+//   "stream_stats"     O(1) counters + the state digest (the
+//                      bit-identity probe).
+//   "stream_dashboard" windowed RQ1–RQ5 summaries recomputed from the
+//                      sliding window plus the warm refit chain.
+//
+// Cluster citizenship: stream ops are routed by stream id (see
+// service::routing_key), the write ops are journaled in absolute form
+// and replayed with the usual dedup, writes are forwarded to R−1 ring
+// replicas by the dispatcher, and results are cache-exempt everywhere
+// (they are time-varying by design; none of the op names appear in any
+// cacheable-op whitelist).
+//
+// Fault sites (served from the owning ServiceCore's injector):
+//   "stream.absorb"  hit = arrival seq. The arrival is dropped — not
+//                    logged, not absorbed — and the stream degrades with
+//                    a structured note. Because hits key on seq, a
+//                    replayed run drops the exact same arrivals.
+//   "stream.refit"   hit = refit attempt index. The refit is skipped,
+//                    the previous fit (and warm vector) stays current,
+//                    and the stream degrades with a note.
+//
+// Determinism: arrivals are pure functions of (config, candidate index),
+// refit cadence is a pure function of arrival seq, fits are bit-identical
+// at any thread count (multi-start contract), and every summary is
+// computed from window contents in deque order — so a streamed run
+// replays bit-for-bit from the arrival log at threads 1/2/4.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "mixed/glmm.h"
+#include "mixed/lmm.h"
+#include "service/json.h"
+#include "snippets/snippet.h"
+#include "streaming/state.h"
+#include "study/engine.h"
+#include "util/fault.h"
+
+namespace decompeval::streaming {
+
+class StreamSession;
+
+/// C++-level probe for the refit-equality and determinism tests: the
+/// current window as study data, the fits and the exact warm vectors the
+/// last refit consumed, and the state digest.
+struct SessionView {
+  study::StudyData window_data;
+  int fit_starts = 4;
+  bool have_glmm = false;
+  bool have_lmm = false;
+  mixed::GlmmFit glmm;
+  mixed::LmmFit lmm;
+  /// Warm starts the most recent executed refit passed to the fitters
+  /// (empty = that refit ran cold).
+  std::vector<double> glmm_warm_used;
+  std::vector<double> lmm_warm_used;
+  std::string digest;
+  std::uint64_t absorbed = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t refit_attempts = 0;
+  std::uint64_t refits_run = 0;
+  std::uint64_t refits_faulted = 0;
+};
+
+class StreamEngine {
+ public:
+  /// `faults` drives the stream.* sites (null = no injection). `pool`
+  /// defaults to the paper's snippet pool; it must outlive the engine.
+  /// A *relative* "log" path in stream_open resolves under `log_root`
+  /// (when non-empty) — so ring replicas on one filesystem, each backend
+  /// rooted in its own directory, keep distinct logs for the same
+  /// logical stream command.
+  explicit StreamEngine(const util::FaultInjector* faults = nullptr,
+                        const std::vector<snippets::Snippet>* pool = nullptr,
+                        std::string log_root = "");
+  ~StreamEngine();
+
+  static bool is_stream_op(const std::string& op);
+  /// Ops that mutate stream state — these are journaled and replicated.
+  static bool is_stream_write(const std::string& op);
+
+  /// Rewrites a relative "count" absorb into the absolute, idempotent
+  /// "upto" form (the only form that may be journaled). Returns false —
+  /// filling *error — when the request names an unknown stream.
+  bool canonicalize(service::Json& request, service::Json* error);
+
+  /// Serves one stream_* request. Never throws.
+  service::Json handle(const service::Json& request);
+
+  /// Test probe; throws std::runtime_error on an unknown stream.
+  SessionView view(const std::string& stream_id) const;
+
+  std::size_t open_streams() const;
+
+ private:
+  StreamSession* find(const std::string& id) const;
+  service::Json open_op(const service::Json& request);
+
+  const util::FaultInjector* faults_;
+  const std::vector<snippets::Snippet>* pool_;
+  const std::string log_root_;
+  mutable std::mutex mutex_;  ///< guards sessions_ (sessions self-lock)
+  std::map<std::string, std::unique_ptr<StreamSession>> sessions_;
+};
+
+}  // namespace decompeval::streaming

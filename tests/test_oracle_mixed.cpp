@@ -192,11 +192,12 @@ double pooled_glm_deviance(const double* y, const double* x1, std::size_t n) {
 constexpr std::size_t kDefaultStarts = 10;
 
 void expect_report_consistent(const mixed::MultiStartReport& report,
-                              double winning_value) {
-  EXPECT_EQ(report.n_starts, kDefaultStarts);
-  ASSERT_EQ(report.start_values.size(), kDefaultStarts);
-  ASSERT_EQ(report.start_evaluations.size(), kDefaultStarts);
-  ASSERT_LT(report.best_start, kDefaultStarts);
+                              double winning_value,
+                              std::size_t expected_starts = kDefaultStarts) {
+  EXPECT_EQ(report.n_starts, expected_starts);
+  ASSERT_EQ(report.start_values.size(), expected_starts);
+  ASSERT_EQ(report.start_evaluations.size(), expected_starts);
+  ASSERT_LT(report.best_start, expected_starts);
   EXPECT_TRUE(report.quarantined.empty());
   const double best = *std::min_element(report.start_values.begin(),
                                         report.start_values.end());
@@ -294,6 +295,51 @@ TEST(OracleGlmm, MultiStartNeverWorseThanSingleStart) {
   const mixed::GlmmFit many = mixed::fit_logistic_glmm(data);
   EXPECT_LE(many.deviance, one.deviance + 1e-9);
   expect_report_consistent(many.multi_start, many.deviance);
+}
+
+// ---------------------------------------------------------------------------
+// Warm starts: a previous fit prepended via FitOptions::warm_start keeps
+// the whole cold candidate set, so on the frozen reference datasets the
+// warm criterion can never exceed the cold one — and feeding a fit its own
+// optimum back must reproduce the frozen numbers.
+// ---------------------------------------------------------------------------
+
+TEST(OracleLmm, WarmStartNeverWorseThanCold) {
+  const auto data = balanced_lmm_data();
+  const mixed::LmmFit cold = mixed::fit_lmm(data);
+  mixed::FitOptions warm_options;
+  warm_options.warm_start = mixed::warm_start_from(cold);
+  ASSERT_EQ(warm_options.warm_start.size(), 2u);
+  const mixed::LmmFit warm = mixed::fit_lmm(data, warm_options);
+  EXPECT_LE(warm.reml_criterion, cold.reml_criterion + 1e-9);
+  // The warm start is an extra candidate, not a replacement.
+  EXPECT_EQ(warm.multi_start.n_starts, cold.multi_start.n_starts + 1);
+  // Re-optimizing from the optimum stays at the frozen reference fit.
+  EXPECT_NEAR(warm.reml_criterion, 264.6967861, 1e-4);
+  EXPECT_NEAR(warm.sigma_user, 1.7303263, 1e-4);
+  EXPECT_NEAR(warm.sigma_question, 1.1059181, 1e-4);
+}
+
+TEST(OracleGlmm, WarmStartNeverWorseThanCold) {
+  const auto data = glmm_data();
+  const mixed::GlmmFit cold = mixed::fit_logistic_glmm(data);
+  mixed::FitOptions warm_options;
+  warm_options.warm_start = mixed::warm_start_from(cold);
+  ASSERT_EQ(warm_options.warm_start.size(), 4u);  // 2 thetas + 2 betas
+  const mixed::GlmmFit warm = mixed::fit_logistic_glmm(data, warm_options);
+  EXPECT_LE(warm.deviance, cold.deviance + 1e-9);
+  EXPECT_EQ(warm.multi_start.n_starts, cold.multi_start.n_starts + 1);
+  expect_report_consistent(warm.multi_start, warm.deviance,
+                           cold.multi_start.n_starts + 1);
+  EXPECT_NEAR(warm.deviance, 120.4642740, 1e-4);  // frozen reference
+  EXPECT_NEAR(warm.sigma_user, 0.7131655, 1e-4);
+  EXPECT_NEAR(warm.sigma_question, 0.2446279, 1e-4);
+}
+
+TEST(OracleLmm, WarmStartFromDegenerateFitIsEmpty) {
+  mixed::LmmFit degenerate;
+  degenerate.sigma_residual = 0.0;
+  EXPECT_TRUE(mixed::warm_start_from(degenerate).empty());
 }
 
 // ---------------------------------------------------------------------------
